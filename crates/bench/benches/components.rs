@@ -1,0 +1,170 @@
+//! Criterion benchmarks for the hardware-model substrates: cache
+//! lookups (LRU and DRRIP), DRAM scheduling, and TLB operations —
+//! the per-access costs that bound overall simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use po_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache};
+use po_dram::{DramConfig, DramModel};
+use po_tlb::{Tlb, TlbConfig, TlbEntry};
+use po_types::{AccessKind, Asid, MainMemAddr, OBitVector, PhysAddr, Ppn, Vpn};
+use po_vm::{Pte, PteFlags};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("l1_hit_lookup_x1024", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::table2_l1());
+        for i in 0..512u64 {
+            cache.fill(PhysAddr::new(i * 64), false);
+        }
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1024u64 {
+                if cache.access(PhysAddr::new((i % 512) * 64), false) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.bench_function("drrip_fill_churn_x1024", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(CacheConfig::table2_l3()),
+            |mut cache| {
+                for i in 0..1024u64 {
+                    cache.fill(PhysAddr::new(i * 64 * 2048), i % 3 == 0);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("hierarchy_access_x1024", |b| {
+        b.iter_batched(
+            || CacheHierarchy::new(HierarchyConfig::table2()),
+            |mut h| {
+                for i in 0..1024u64 {
+                    let a = PhysAddr::new((i % 256) * 64);
+                    let out = h.access(a, AccessKind::Read);
+                    if matches!(out.result, po_cache::LookupResult::Miss) {
+                        h.fill(a, false);
+                    }
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("sequential_reads_x1024", |b| {
+        b.iter_batched(
+            || DramModel::new(DramConfig::table2()),
+            |mut dram| {
+                let mut t = 0;
+                for i in 0..1024u64 {
+                    t = dram.read(t, MainMemAddr::new(i * 64));
+                }
+                (dram, t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("row_conflict_reads_x1024", |b| {
+        b.iter_batched(
+            || DramModel::new(DramConfig::table2()),
+            |mut dram| {
+                let mut t = 0;
+                for i in 0..1024u64 {
+                    // Same bank, alternating rows: worst case.
+                    t = dram.read(t, MainMemAddr::new((i % 2) * 8 * 8192 * 16));
+                }
+                (dram, t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("posted_writes_with_drains_x1024", |b| {
+        b.iter_batched(
+            || DramModel::new(DramConfig::table2()),
+            |mut dram| {
+                let mut t = 0;
+                for i in 0..1024u64 {
+                    t = dram.write(t, MainMemAddr::new(i * 64));
+                }
+                (dram, t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let entry = |vpn: u64| TlbEntry {
+        asid: Asid::new(1),
+        vpn: Vpn::new(vpn),
+        pte: Pte {
+            ppn: Ppn::new(vpn + 10),
+            flags: PteFlags { present: true, writable: true, ..Default::default() },
+        },
+        obitvec: OBitVector::EMPTY,
+    };
+    let mut group = c.benchmark_group("tlb");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("l1_hit_lookup_x1024", |b| {
+        let mut tlb = Tlb::new(TlbConfig::table2());
+        for v in 0..16u64 {
+            tlb.fill(entry(v));
+        }
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1024u64 {
+                if tlb.lookup(Asid::new(1), Vpn::new(i % 16)).entry.is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.bench_function("fill_churn_x1024", |b| {
+        b.iter_batched(
+            || Tlb::new(TlbConfig::table2()),
+            |mut tlb| {
+                for v in 0..1024u64 {
+                    tlb.fill(entry(v * 7));
+                }
+                tlb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("coherence_obit_update_x1024", |b| {
+        let mut tlb = Tlb::new(TlbConfig::table2());
+        for v in 0..64u64 {
+            tlb.fill(entry(v));
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                tlb.coherence_obit_update(Asid::new(1), Vpn::new(i % 64), (i % 64) as usize, true);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_tlb);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmark for the simulator itself: how fast the Table 2
+//! machine executes trace operations (simulation throughput), and the
+//! end-to-end fork experiment at a small scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use po_sim::{run_fork_experiment, run_trace, Machine, SystemConfig};
+use po_types::Vpn;
+use po_workloads::spec_suite;
+
+fn bench_machine_throughput(c: &mut Criterion) {
+    let spec = spec_suite().into_iter().find(|s| s.name == "mcf").expect("mcf");
+    let ops = spec.generate_post_fork(50_000, 3);
+    let instr: u64 = ops.iter().map(|o| o.instructions()).sum();
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(instr));
+    group.bench_function("trace_throughput_50k_instr", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(SystemConfig::table2()).unwrap();
+                let pid = m.spawn_process().unwrap();
+                m.map_range(pid, spec.base_vpn(), spec.mapped_pages(50_000)).unwrap();
+                (m, pid)
+            },
+            |(mut m, pid)| {
+                run_trace(&mut m, pid, &ops).unwrap();
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_fork_experiment(c: &mut Criterion) {
+    let spec = spec_suite().into_iter().find(|s| s.name == "omnet").expect("omnet");
+    let warmup = spec.generate_warmup(20_000, 4);
+    let post = spec.generate_post_fork(40_000, 4);
+    let mapped = spec.mapped_pages(40_000);
+
+    let mut group = c.benchmark_group("fork_experiment_40k_instr");
+    group.sample_size(10);
+    group.bench_function("cow", |b| {
+        b.iter(|| {
+            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
+                .unwrap()
+        })
+    });
+    group.bench_function("oow", |b| {
+        b.iter(|| {
+            run_fork_experiment(
+                SystemConfig::table2_overlay(),
+                spec.base_vpn(),
+                mapped,
+                &warmup,
+                &post,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_machine_build(c: &mut Criterion) {
+    c.bench_function("machine/build_table2", |b| {
+        b.iter(|| Machine::new(SystemConfig::table2()).unwrap())
+    });
+    c.bench_function("machine/fork_1000_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(SystemConfig::table2_overlay()).unwrap();
+                let pid = m.spawn_process().unwrap();
+                m.map_range(pid, Vpn::new(0x100), 1000).unwrap();
+                (m, pid)
+            },
+            |(mut m, pid)| {
+                m.fork(pid).unwrap();
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_machine_throughput, bench_fork_experiment, bench_machine_build);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the Overlay Memory Store allocator
+//! and the segment-metadata line (Figure 7 encode/decode).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use po_overlay::{OverlayMemoryStore, SegmentClass, SegmentMeta};
+use po_types::MainMemAddr;
+
+fn bench_alloc_free(c: &mut Criterion) {
+    c.bench_function("oms/alloc_free_256b", |b| {
+        b.iter_batched(
+            || {
+                let mut s = OverlayMemoryStore::new();
+                s.add_chunk(MainMemAddr::new(0x10_0000), 64);
+                s
+            },
+            |mut s| {
+                let mut segs = Vec::with_capacity(256);
+                for _ in 0..256 {
+                    segs.push(s.allocate(SegmentClass::B256).unwrap());
+                }
+                for seg in segs {
+                    s.free(seg, SegmentClass::B256);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_split_chain(c: &mut Criterion) {
+    // Worst-case allocation: every 256 B request splits a fresh 4 KB
+    // page all the way down.
+    c.bench_function("oms/split_4k_to_256b", |b| {
+        b.iter_batched(
+            || {
+                let mut s = OverlayMemoryStore::new();
+                s.add_chunk(MainMemAddr::new(0x10_0000), 256);
+                s
+            },
+            |mut s| {
+                for _ in 0..256 {
+                    s.allocate(SegmentClass::B256).unwrap();
+                    // Drain the split residue so the next alloc splits again.
+                    while s.free_count(SegmentClass::B256) > 0 {
+                        s.allocate(SegmentClass::B256).unwrap();
+                    }
+                    while s.free_count(SegmentClass::B512) > 0 {
+                        s.allocate(SegmentClass::B512).unwrap();
+                    }
+                    while s.free_count(SegmentClass::K1) > 0 {
+                        s.allocate(SegmentClass::K1).unwrap();
+                    }
+                    while s.free_count(SegmentClass::K2) > 0 {
+                        s.allocate(SegmentClass::K2).unwrap();
+                    }
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_meta_ops(c: &mut Criterion) {
+    c.bench_function("segment_meta/alloc_slots", |b| {
+        b.iter_batched(
+            || SegmentMeta::new(SegmentClass::K2),
+            |mut m| {
+                for l in 0..31 {
+                    m.alloc_slot(l);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut m = SegmentMeta::new(SegmentClass::K2);
+    for l in (0..64).step_by(2) {
+        m.alloc_slot(l);
+    }
+    c.bench_function("segment_meta/encode_decode", |b| {
+        b.iter(|| {
+            let enc = m.encode();
+            SegmentMeta::decode(SegmentClass::K2, &enc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_alloc_free, bench_split_chain, bench_meta_ops);
+criterion_main!(benches);

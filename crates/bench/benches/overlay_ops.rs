@@ -1,0 +1,192 @@
+//! Criterion micro-benchmarks for the overlay framework's hot
+//! operations: overlaying writes, overlay reads (cache-resident and
+//! OMS-backed), lazy eviction, and the promotion actions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use po_dram::DataStore;
+use po_overlay::{OverlayConfig, OverlayManager};
+use po_sim::SystemConfig;
+use po_types::{Asid, LineData, MainMemAddr, Opn, Vpn};
+
+fn opn(v: u64) -> Opn {
+    Opn::encode(Asid::new(1), Vpn::new(v))
+}
+
+fn manager_with_store() -> (OverlayManager, DataStore, u64) {
+    let mut mgr = OverlayManager::new(OverlayConfig::default());
+    let mem = DataStore::new();
+    let mut cursor = 0x10_0000u64;
+    mgr.grow_store(&mut |frames| {
+        let base = MainMemAddr::new(cursor * 4096);
+        cursor += frames;
+        Ok(base)
+    })
+    .expect("grow");
+    (mgr, mem, cursor)
+}
+
+fn bench_overlaying_write(c: &mut Criterion) {
+    c.bench_function("overlay/overlaying_write", |b| {
+        b.iter_batched(
+            || OverlayManager::new(OverlayConfig::default()),
+            |mut mgr| {
+                for line in 0..64 {
+                    mgr.overlaying_write(opn(1), line, LineData::splat(line as u8)).unwrap();
+                }
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_read_resident(c: &mut Criterion) {
+    let (mut mgr, mem, _) = manager_with_store();
+    for line in 0..64 {
+        mgr.overlaying_write(opn(1), line, LineData::splat(line as u8)).unwrap();
+    }
+    c.bench_function("overlay/read_line_resident", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for line in 0..64 {
+                acc ^= mgr.read_line(opn(1), line, &mem).unwrap().as_bytes()[0];
+            }
+            acc
+        })
+    });
+}
+
+fn bench_read_from_oms(c: &mut Criterion) {
+    let (mut mgr, mut mem, mut cursor) = manager_with_store();
+    for line in 0..64 {
+        mgr.overlaying_write(opn(1), line, LineData::splat(line as u8)).unwrap();
+        mgr.evict_line(opn(1), line, &mut mem, &mut |frames| {
+            let base = MainMemAddr::new(cursor * 4096);
+            cursor += frames;
+            Ok(base)
+        })
+        .unwrap();
+    }
+    c.bench_function("overlay/read_line_from_oms", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for line in 0..64 {
+                acc ^= mgr.read_line(opn(1), line, &mem).unwrap().as_bytes()[0];
+            }
+            acc
+        })
+    });
+}
+
+fn bench_evict_with_lazy_alloc(c: &mut Criterion) {
+    c.bench_function("overlay/evict_line_lazy_alloc", |b| {
+        b.iter_batched(
+            || {
+                let (mut mgr, mem, cursor) = manager_with_store();
+                for line in 0..16 {
+                    mgr.overlaying_write(opn(1), line, LineData::splat(1)).unwrap();
+                }
+                (mgr, mem, cursor)
+            },
+            |(mut mgr, mut mem, mut cursor)| {
+                for line in 0..16 {
+                    mgr.evict_line(opn(1), line, &mut mem, &mut |frames| {
+                        let base = MainMemAddr::new(cursor * 4096);
+                        cursor += frames;
+                        Ok(base)
+                    })
+                    .unwrap();
+                }
+                (mgr, mem)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_commit(c: &mut Criterion) {
+    c.bench_function("overlay/copy_and_commit", |b| {
+        b.iter_batched(
+            || {
+                let (mut mgr, mut mem, _) = manager_with_store();
+                for line in (0..64).step_by(3) {
+                    mgr.overlaying_write(opn(1), line, LineData::splat(9)).unwrap();
+                }
+                for l in 0..64u64 {
+                    mem.write_line(MainMemAddr::new(0x5000_0000 + l * 64), LineData::splat(3));
+                }
+                (mgr, mem)
+            },
+            |(mut mgr, mut mem)| {
+                mgr.copy_and_commit(
+                    opn(1),
+                    MainMemAddr::new(0x5000_0000),
+                    MainMemAddr::new(0x6000_0000),
+                    &mut mem,
+                )
+                .unwrap();
+                (mgr, mem)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_timed_store_paths(c: &mut Criterion) {
+    // Full machine: the cost of a timed overlaying write vs a CoW store.
+    c.bench_function("machine/overlaying_write_store", |b| {
+        b.iter_batched(
+            || {
+                let mut m = po_sim::Machine::new(SystemConfig::table2_overlay()).unwrap();
+                let pid = m.spawn_process().unwrap();
+                m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+                let _child = m.fork(pid).unwrap();
+                (m, pid)
+            },
+            |(mut m, pid)| {
+                m.access_at(
+                    0,
+                    pid,
+                    po_types::VirtAddr::new(0x100_000),
+                    po_types::AccessKind::Write,
+                )
+                .unwrap();
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("machine/cow_store", |b| {
+        b.iter_batched(
+            || {
+                let mut m = po_sim::Machine::new(SystemConfig::table2()).unwrap();
+                let pid = m.spawn_process().unwrap();
+                m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+                let _child = m.fork(pid).unwrap();
+                (m, pid)
+            },
+            |(mut m, pid)| {
+                m.access_at(
+                    0,
+                    pid,
+                    po_types::VirtAddr::new(0x100_000),
+                    po_types::AccessKind::Write,
+                )
+                .unwrap();
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_overlaying_write,
+    bench_read_resident,
+    bench_read_from_oms,
+    bench_evict_with_lazy_alloc,
+    bench_commit,
+    bench_timed_store_paths,
+);
+criterion_main!(benches);

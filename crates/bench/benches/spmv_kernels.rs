@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the functional SpMV kernels: dense vs CSR
+//! vs overlay-backed, plus the dynamic-insertion comparison the paper
+//! highlights (§5.2: CSR insertion is costly, overlay insertion is one
+//! line move).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use po_sparse::{gen, CsrMatrix, OverlayMatrix};
+
+fn inputs() -> (po_sparse::TripletMatrix, Vec<f64>) {
+    let t = gen::clustered(64, 512, 16_000, 8, true, 5);
+    let x: Vec<f64> = (0..512).map(|i| (i % 17) as f64 - 8.0).collect();
+    (t, x)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let (t, x) = inputs();
+    let dense = t.to_dense();
+    let csr = CsrMatrix::from_triplets(&t);
+    let ovl = OverlayMatrix::from_triplets(&t);
+    let mut group = c.benchmark_group("spmv");
+    group.bench_function("dense", |b| b.iter(|| dense.spmv(&x)));
+    group.bench_function("csr", |b| b.iter(|| csr.spmv(&x)));
+    group.bench_function("overlay", |b| b.iter(|| ovl.spmv(&x)));
+    group.finish();
+}
+
+fn bench_dynamic_insert(c: &mut Criterion) {
+    let (t, _) = inputs();
+    let mut group = c.benchmark_group("dynamic_insert");
+    group.bench_function("csr_insert", |b| {
+        b.iter_batched(
+            || CsrMatrix::from_triplets(&t),
+            |mut csr| {
+                for i in 0..32u32 {
+                    csr.insert((i % 64) as usize, ((i * 37) % 512) as usize, 1.0);
+                }
+                csr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("overlay_insert", |b| {
+        b.iter_batched(
+            || OverlayMatrix::from_triplets(&t),
+            |mut ovl| {
+                for i in 0..32u32 {
+                    ovl.set((i % 64) as usize, ((i * 37) % 512) as usize, 1.0);
+                }
+                ovl
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let (t, _) = inputs();
+    let mut group = c.benchmark_group("construction");
+    group.bench_function("csr_from_triplets", |b| b.iter(|| CsrMatrix::from_triplets(&t)));
+    group.bench_function("overlay_from_triplets", |b| b.iter(|| OverlayMatrix::from_triplets(&t)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_dynamic_insert, bench_construction);
+criterion_main!(benches);

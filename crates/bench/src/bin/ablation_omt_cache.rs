@@ -1,0 +1,81 @@
+//! Ablation: OMT-cache size (Table 2 uses 64 entries).
+//!
+//! The OMT cache hides the 1000-cycle OMT walk on overlay-space misses.
+//! Sequential scans keep only one overlay page live at a time, so this
+//! microbenchmark interleaves overlay reads across blocks of 64 pages
+//! (line 0 of every page, then line 1 of every page, …): the OMT
+//! working set is exactly 64 entries, producing the knee at Table 2's
+//! size.
+//!
+//! Usage: `cargo run --release -p po-bench --bin ablation_omt_cache`
+
+use po_bench::{Args, ResultTable};
+use po_sim::{run_trace, Machine, SystemConfig, TraceOp};
+use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
+use po_types::{LineData, VirtAddr, Vpn};
+
+const BASE_VPN: u64 = 0x8_0000;
+const PAGES: u64 = 512;
+const LINES_PER_PAGE_USED: u64 = 16;
+const BLOCK: u64 = 64;
+
+fn build_machine(omt_entries: usize) -> (Machine, po_types::Asid) {
+    let mut config = SystemConfig::table2_overlay();
+    config.overlay.omt_cache_entries = omt_entries;
+    let mut m = Machine::new(config).expect("machine");
+    let pid = m.spawn_process().expect("process");
+    m.map_shared_zero_range(pid, Vpn::new(BASE_VPN), PAGES).expect("map");
+    for p in 0..PAGES {
+        for l in 0..LINES_PER_PAGE_USED {
+            m.seed_overlay_line(pid, Vpn::new(BASE_VPN + p), l as usize, LineData::splat(1))
+                .expect("seed");
+        }
+    }
+    (m, pid)
+}
+
+fn trace() -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for block in 0..PAGES / BLOCK {
+        for line in 0..LINES_PER_PAGE_USED {
+            for p in 0..BLOCK {
+                let vpn = BASE_VPN + block * BLOCK + p;
+                ops.push(TraceOp::Load(VirtAddr::new(
+                    vpn * PAGE_SIZE as u64 + line * LINE_SIZE as u64,
+                )));
+                ops.push(TraceOp::Compute(4));
+            }
+        }
+    }
+    ops
+}
+
+fn main() {
+    let _args = Args::from_env();
+    let ops = trace();
+    let mut table = ResultTable::new(
+        "Ablation: OMT cache size (interleaved overlay reads, 64-page blocks)",
+        &["omt_entries", "cycles", "omt_hit_rate", "vs_table2"],
+    );
+    let sizes = [1usize, 4, 16, 64, 256];
+    let mut results = Vec::new();
+    for &entries in &sizes {
+        let (mut m, pid) = build_machine(entries);
+        let stats = run_trace(&mut m, pid, &ops).expect("run");
+        let hit_rate = m.overlay().omt_cache().stats().hit_rate();
+        results.push((entries, stats.cycles, hit_rate));
+    }
+    let table2_cycles =
+        results.iter().find(|(e, _, _)| *e == 64).expect("64 in sweep").1 as f64;
+    for (entries, cycles, hit_rate) in results {
+        table.row(&[
+            &entries,
+            &cycles,
+            &format!("{:.1}%", hit_rate * 100.0),
+            &format!("{:+.1}%", (cycles as f64 / table2_cycles - 1.0) * 100.0),
+        ]);
+    }
+    table.print();
+    println!("\n(Expected: a knee at 64 entries — the block working set; Table 2's choice.)");
+    table.save_csv("ablation_omt_cache").expect("csv");
+}

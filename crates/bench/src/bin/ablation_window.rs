@@ -1,0 +1,49 @@
+//! Ablation: instruction-window size.
+//!
+//! Overlay-on-write wins partly because its per-line latencies hide in
+//! the out-of-order window, while copy-on-write's page copy is one big
+//! synchronous stall. A smaller window should therefore *shrink*
+//! overlay-on-write's advantage. This sweep reruns the mcf fork
+//! experiment across window sizes.
+//!
+//! Usage: `cargo run --release -p po-bench --bin ablation_window`
+
+use po_bench::{Args, ResultTable};
+use po_sim::{run_fork_experiment, SystemConfig};
+use po_workloads::spec_suite;
+
+fn main() {
+    let args = Args::from_env();
+    let warmup_instr: u64 = args.get("warmup", 300_000);
+    let post_instr: u64 = args.get("post", 500_000);
+    let seed: u64 = args.get("seed", 42);
+
+    let spec = spec_suite().into_iter().find(|s| s.name == "mcf").expect("mcf exists");
+    let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
+    let warmup = spec.generate_warmup(warmup_instr, seed);
+    let post = spec.generate_post_fork(post_instr, seed);
+
+    let mut table = ResultTable::new(
+        "Ablation: instruction window size (mcf fork experiment)",
+        &["window", "cow_cpi", "oow_cpi", "oow/cow"],
+    );
+    for window in [8usize, 16, 32, 64, 128, 256] {
+        let mut cow_cfg = SystemConfig::table2();
+        cow_cfg.window_entries = window;
+        let mut oow_cfg = SystemConfig::table2_overlay();
+        oow_cfg.window_entries = window;
+        let cow = run_fork_experiment(cow_cfg, spec.base_vpn(), mapped, &warmup, &post)
+            .expect("cow run");
+        let oow = run_fork_experiment(oow_cfg, spec.base_vpn(), mapped, &warmup, &post)
+            .expect("oow run");
+        table.row(&[
+            &window,
+            &format!("{:.3}", cow.cpi),
+            &format!("{:.3}", oow.cpi),
+            &format!("{:.3}", oow.cpi / cow.cpi),
+        ]);
+    }
+    table.print();
+    println!("\n(Table 2's window is 64 entries.)");
+    table.save_csv("ablation_window").expect("csv");
+}

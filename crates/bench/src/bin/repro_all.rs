@@ -1,0 +1,158 @@
+//! One-command reproduction: runs every quantitative experiment and
+//! writes `bench_results/report.md` with the paper-vs-measured summary.
+//!
+//! Usage: `cargo run --release -p po-bench --bin repro_all
+//! [--post <instr>] [--warmup <instr>] [--scale <f>] [--seed <n>]`
+//!
+//! (The per-figure binaries print the full tables; this target produces
+//! the headline numbers in one pass — a few minutes at defaults.)
+
+use po_bench::{geomean, Args};
+use po_sim::{hardware_cost, run_fork_experiment, SystemConfig};
+use po_sparse::{nonzero_locality, overhead_vs_ideal, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv};
+use po_workloads::spec_suite;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+    let warmup_instr: u64 = args.get("warmup", 400_000);
+    let post_instr: u64 = args.get("post", 600_000);
+    let scale: f64 = args.get("scale", 0.3);
+    let seed: u64 = args.get("seed", 42);
+
+    let mut report = String::new();
+    let w = &mut report;
+    writeln!(w, "# page-overlays reproduction report\n").unwrap();
+    writeln!(
+        w,
+        "Parameters: warmup={warmup_instr} post={post_instr} instructions, \
+         sparse scale={scale}, seed={seed}.\n"
+    )
+    .unwrap();
+
+    // ---- §4.5 hardware cost ------------------------------------------
+    let cost = hardware_cost(&SystemConfig::table2());
+    writeln!(
+        w,
+        "## §4.5 hardware cost\n\n\
+         OMT cache {} B + TLB extension {} B + tag extension {} B = **{:.1} KB** \
+         (paper: 94.5 KB).\n",
+        cost.omt_cache_bytes,
+        cost.tlb_extension_bytes,
+        cost.tag_extension_bytes,
+        cost.total_bytes() as f64 / 1024.0
+    )
+    .unwrap();
+
+    // ---- Figures 8 & 9 ----------------------------------------------
+    println!("running the 15-benchmark fork experiment (Figures 8 & 9)…");
+    let mut mem_ratios = Vec::new();
+    let mut cpi_ratios = Vec::new();
+    writeln!(w, "## Figures 8 & 9 — fork: CoW vs OoW\n").unwrap();
+    writeln!(w, "| benchmark | type | mem oow/cow | cpi oow/cow |").unwrap();
+    writeln!(w, "|---|---|---|---|").unwrap();
+    for spec in spec_suite() {
+        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
+        let warmup = spec.generate_warmup(warmup_instr, seed);
+        let post = spec.generate_post_fork(post_instr, seed);
+        let cow = run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
+            .expect("cow run");
+        let oow = run_fork_experiment(
+            SystemConfig::table2_overlay(),
+            spec.base_vpn(),
+            mapped,
+            &warmup,
+            &post,
+        )
+        .expect("oow run");
+        let mem_ratio = if cow.extra_memory_bytes == 0 {
+            1.0
+        } else {
+            oow.extra_memory_bytes as f64 / cow.extra_memory_bytes as f64
+        };
+        let cpi_ratio = oow.cpi / cow.cpi;
+        mem_ratios.push(mem_ratio);
+        cpi_ratios.push(cpi_ratio);
+        writeln!(
+            w,
+            "| {} | {:?} | {:.3} | {:.3} |",
+            spec.name, spec.wtype, mem_ratio, cpi_ratio
+        )
+        .unwrap();
+    }
+    let mem_mean = geomean(&mem_ratios);
+    let cpi_mean = geomean(&cpi_ratios);
+    writeln!(
+        w,
+        "\n**Measured:** OoW saves {:.0}% memory (paper: 53%) and runs {:.0}% faster \
+         (paper: 15%).\n",
+        (1.0 - mem_mean) * 100.0,
+        (1.0 - cpi_mean) * 100.0
+    )
+    .unwrap();
+
+    // ---- Figure 10 ----------------------------------------------------
+    println!("running the 87-matrix SpMV sweep (Figure 10)…");
+    let timed = TimedSpmv::table2();
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    let mut first_win_l: Option<f64> = None;
+    let mut results: Vec<(f64, f64, f64)> = Vec::new();
+    for spec in uf_like_suite(scale, seed) {
+        let l = nonzero_locality(&spec.matrix, 64);
+        let csr = CsrMatrix::from_triplets(&spec.matrix);
+        let ovl = OverlayMatrix::from_triplets(&spec.matrix);
+        let tc = timed.time_csr(&csr).expect("csr");
+        let to = timed.time_overlay(&ovl).expect("overlay");
+        let perf = tc.cycles as f64 / to.cycles as f64;
+        let mem = to.memory_bytes as f64 / tc.memory_bytes as f64;
+        results.push((l, perf, mem));
+        total += 1;
+        if perf > 1.0 {
+            wins += 1;
+        }
+    }
+    results.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite L"));
+    for (l, perf, _) in &results {
+        if *perf > 1.0 && first_win_l.is_none() {
+            first_win_l = Some(*l);
+        }
+    }
+    let (hi_l, hi_perf, hi_mem) = results.last().expect("nonempty suite");
+    writeln!(
+        w,
+        "## Figure 10 — SpMV overlays vs CSR\n\n\
+         Overlays beat CSR on **{wins}/{total}** matrices (paper: 34/87); first win at \
+         L = {:.2} (paper: ≈4.5). At L = {hi_l:.1}: **{:.0}% faster, {:.0}% less \
+         memory** than CSR (paper raefsky4: 92% faster, 34% less).\n",
+        first_win_l.unwrap_or(f64::NAN),
+        (hi_perf - 1.0) * 100.0,
+        (1.0 - hi_mem) * 100.0
+    )
+    .unwrap();
+
+    // ---- Figure 11 -----------------------------------------------------
+    println!("computing the line-size overhead sweep (Figure 11)…");
+    let suite = uf_like_suite(scale, seed);
+    let mut oh64 = Vec::new();
+    let mut oh4k = Vec::new();
+    for spec in &suite {
+        oh64.push(overhead_vs_ideal(&spec.matrix, 64));
+        oh4k.push(overhead_vs_ideal(&spec.matrix, 4096));
+    }
+    writeln!(
+        w,
+        "## Figure 11 — storage granularity\n\n\
+         Geomean overhead vs ideal: 64 B lines {:.1}x, 4 KB pages **{:.1}x** \
+         (paper: 53x at page granularity; our scatter families reach {:.0}x).\n",
+        geomean(&oh64),
+        geomean(&oh4k),
+        oh4k.iter().cloned().fold(0.0f64, f64::max)
+    )
+    .unwrap();
+
+    std::fs::create_dir_all("bench_results").expect("mkdir");
+    std::fs::write("bench_results/report.md", &report).expect("write report");
+    println!("\n{report}");
+    println!("report written to bench_results/report.md");
+}

@@ -1,0 +1,179 @@
+//! # po-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! full experiment index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table2_config` | Table 2 parameters + §4.5 hardware cost |
+//! | `fig8_fork_memory` | Figure 8: extra memory after fork, CoW vs OoW |
+//! | `fig9_fork_cpi` | Figure 9: CPI after fork, CoW vs OoW |
+//! | `fig10_spmv` | Figure 10: SpMV perf/memory vs CSR over 87 matrices |
+//! | `fig11_linesize` | Figure 11: memory overhead vs line size |
+//! | `sparsity_sweep` | §5.2 random-sparsity sensitivity study |
+//! | `ablation_*` | design-choice ablations (OMT cache, prefetch, segments) |
+//!
+//! Criterion micro-benchmarks for the framework's hot operations live
+//! under `benches/`.
+//!
+//! Every binary accepts `--scale <f>` (work multiplier, default 1.0)
+//! and `--seed <n>`, prints an aligned table to stdout, and writes a
+//! CSV next to it under `bench_results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// Minimal argument parsing: `--key value` pairs.
+#[derive(Clone, Debug)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Value of `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.raw.iter().any(|a| a == &key)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// A simple result table that prints aligned to stdout and saves a CSV.
+#[derive(Clone, Debug)]
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the table aligned to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as CSV under `bench_results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("bench_results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// Geometric mean of positive values (the paper's "mean" bars).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a byte count human-readably (B/KB/MB).
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2}MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_uniform_is_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 << 20), "3.00MB");
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = ResultTable::new("t", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        assert_eq!(t.rows.len(), 1);
+    }
+}

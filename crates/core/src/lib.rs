@@ -1,0 +1,70 @@
+//! # po-overlay — the page-overlay framework (the paper's contribution)
+//!
+//! Implements §3–§4 of *"Page Overlays: An Enhanced Virtual Memory
+//! Framework to Enable Fine-grained Memory Management"* (ISCA 2015):
+//!
+//! * **Access semantics** (§2.1): a virtual page may map to both a
+//!   physical page and an *overlay* holding a subset of its 64 cache
+//!   lines; lines present in the overlay are accessed from the overlay.
+//! * **Direct virtual-to-overlay mapping** (§4.1): the overlay page
+//!   number is `1 ‖ ASID ‖ VPN` (see [`po_types::Opn`]) — no table.
+//! * **Dual addressing** (§3.2): caches are addressed with full-page-sized
+//!   overlay addresses; main memory uses the compact **Overlay Memory
+//!   Store** ([`OverlayMemoryStore`]), resolved only on a full cache miss.
+//! * **OMT + OMT cache** (§4.2, §4.4.4): the Overlay Mapping Table maps
+//!   overlay pages to OMS segments; a 64-entry [`OmtCache`] at the memory
+//!   controller hides most walks.
+//! * **Segments** (§4.4.1–4.4.2): five sizes (256 B…4 KB); sub-4 KB
+//!   segments carry a metadata line of 64×5-bit slot pointers plus a
+//!   32-bit free bit vector ([`SegmentMeta`], Figure 7); grouped free
+//!   lists with splitting ([`OverlayMemoryStore`]).
+//! * **Overlaying writes** (§4.3.3) with lazy OMS allocation on dirty
+//!   eviction, and **promotion** (§4.3.4): commit / copy-and-commit /
+//!   discard ([`OverlayManager`]).
+//!
+//! The [`OverlayManager`] is the facade the OS/simulator uses; it owns
+//! the OMT, the OMT cache, the OMS, and the set of overlay lines that are
+//! still cache-resident (written but not yet evicted — the lazy-allocation
+//! window the paper highlights at the end of §4.3.3).
+//!
+//! # Example: overlay-on-write at the framework level
+//!
+//! ```
+//! use po_overlay::{OverlayConfig, OverlayManager};
+//! use po_dram::DataStore;
+//! use po_types::{Asid, LineData, Opn, Vpn};
+//!
+//! let mut mem = DataStore::new();
+//! let mut mgr = OverlayManager::new(OverlayConfig::default());
+//! mgr.grow_store(&mut |_frames| Ok(po_types::MainMemAddr::new(0x100_0000)))?;
+//!
+//! let opn = Opn::encode(Asid::new(1), Vpn::new(0x42));
+//! mgr.create_overlay(opn)?;
+//! // An overlaying write moves line 3 into the overlay…
+//! mgr.overlaying_write(opn, 3, LineData::splat(0xAA))?;
+//! assert!(mgr.obitvec(opn)?.contains(3));
+//! // …and the line is readable through the overlay path.
+//! assert_eq!(mgr.read_line(opn, 3, &mem)?, LineData::splat(0xAA));
+//! // Memory is only consumed when the dirty line is evicted (lazy).
+//! assert_eq!(mgr.store().bytes_in_use(), 0);
+//! mgr.evict_line(opn, 3, &mut mem, &mut |_| Err(po_types::PoError::OutOfMemory))?;
+//! assert!(mgr.store().bytes_in_use() > 0);
+//! assert_eq!(mgr.read_line(opn, 3, &mem)?, LineData::splat(0xAA));
+//! # Ok::<(), po_types::PoError>(())
+//! ```
+
+pub mod free_list;
+pub mod manager;
+pub mod omt;
+pub mod omt_cache;
+pub mod omt_walk;
+pub mod segment;
+pub mod store;
+
+pub use free_list::{FreeListStats, GroupedFreeList, MemoryBackedOms, NaiveFreeList};
+pub use manager::{EvictOutcome, GrantFn, OverlayConfig, OverlayManager, OverlayStats};
+pub use omt::{Omt, OmtEntry, SegmentRef};
+pub use omt_cache::{OmtCache, OmtCacheStats};
+pub use omt_walk::{HierarchicalOmt, OmtWalkStats};
+pub use segment::{SegmentClass, SegmentMeta};
+pub use store::{OverlayMemoryStore, StoreStats};

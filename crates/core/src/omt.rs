@@ -1,0 +1,128 @@
+//! The Overlay Mapping Table (OMT, §4.2 / §4.4.4).
+//!
+//! Maps each overlay page (OPN) to: the page's **OBitVector** and the
+//! location of its overlay in the Overlay Memory Store (segment base,
+//! class, and the segment's metadata line). The paper stores the OMT
+//! hierarchically in main memory, walked by the memory controller on an
+//! OMT-cache miss; the walk cost is charged by the timing layer
+//! ([`crate::OverlayConfig::omt_walk_latency`]).
+
+use crate::segment::{SegmentClass, SegmentMeta};
+use po_types::{MainMemAddr, OBitVector, Opn};
+use std::collections::HashMap;
+
+/// Where an overlay lives in the OMS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentRef {
+    /// Base address of the segment in main memory (`OMSaddr`).
+    pub base: MainMemAddr,
+    /// Segment size class.
+    pub class: SegmentClass,
+    /// The segment's metadata line (slot pointers + free vector).
+    pub meta: SegmentMeta,
+}
+
+/// One OMT entry (Figure 6: `OBitVector` + `OMSaddr` + segment metadata).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OmtEntry {
+    /// Which lines of the page are in the overlay.
+    pub obitvec: OBitVector,
+    /// The overlay's OMS segment; `None` until the first dirty overlay
+    /// line is evicted (allocation is lazy, §4.3.3).
+    pub segment: Option<SegmentRef>,
+}
+
+impl OmtEntry {
+    /// A fresh entry for a newly created overlay: empty vector, no
+    /// segment.
+    pub fn empty() -> Self {
+        Self { obitvec: OBitVector::EMPTY, segment: None }
+    }
+}
+
+/// The table itself. Functionally a map OPN → entry; the hierarchical
+/// radix layout of the in-memory table only affects the (constant) walk
+/// cost, which the timing layer charges.
+#[derive(Clone, Debug, Default)]
+pub struct Omt {
+    entries: HashMap<Opn, OmtEntry>,
+}
+
+impl Omt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, opn: Opn) -> Option<&OmtEntry> {
+        self.entries.get(&opn)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, opn: Opn) -> Option<&mut OmtEntry> {
+        self.entries.get_mut(&opn)
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, opn: Opn, entry: OmtEntry) {
+        self.entries.insert(opn, entry);
+    }
+
+    /// Removes an entry (overlay destroyed).
+    pub fn remove(&mut self, opn: Opn) -> Option<OmtEntry> {
+        self.entries.remove(&opn)
+    }
+
+    /// Number of pages that currently have overlays.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no page has an overlay.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(opn, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Opn, &OmtEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use po_types::{Asid, Vpn};
+
+    fn opn(v: u64) -> Opn {
+        Opn::encode(Asid::new(1), Vpn::new(v))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut omt = Omt::new();
+        assert!(omt.is_empty());
+        omt.insert(opn(1), OmtEntry::empty());
+        assert_eq!(omt.len(), 1);
+        assert!(omt.get(opn(1)).unwrap().obitvec.is_empty());
+        assert!(omt.get(opn(2)).is_none());
+        assert!(omt.remove(opn(1)).is_some());
+        assert!(omt.is_empty());
+    }
+
+    #[test]
+    fn entry_mutation_sticks() {
+        let mut omt = Omt::new();
+        omt.insert(opn(3), OmtEntry::empty());
+        omt.get_mut(opn(3)).unwrap().obitvec.set(7);
+        assert!(omt.get(opn(3)).unwrap().obitvec.contains(7));
+    }
+
+    #[test]
+    fn fresh_entry_has_no_segment() {
+        let e = OmtEntry::empty();
+        assert!(e.segment.is_none());
+        assert!(e.obitvec.is_empty());
+    }
+}

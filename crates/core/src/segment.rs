@@ -1,0 +1,369 @@
+//! Overlay Memory Store segments and their metadata (§4.4.1–§4.4.2,
+//! Figure 7).
+//!
+//! Each overlay lives in a *segment* of one of five fixed sizes. Sub-4 KB
+//! segments dedicate their first cache line to metadata: an array of 64
+//! five-bit slot pointers (one per cache line of the virtual page; 0 =
+//! "not present", otherwise the slot index holding the line) and a 32-bit
+//! free bit vector over the segment's slots — 352 bits total, fitting in
+//! one 64 B line. A 4 KB segment stores no metadata: each overlay line
+//! sits at the same offset it has within the virtual page.
+
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{MainMemAddr, OBitVector};
+
+/// The five segment sizes of §4.4.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentClass {
+    /// 256 B — metadata line + up to 3 overlay lines (Figure 7).
+    B256,
+    /// 512 B — metadata line + up to 7 overlay lines.
+    B512,
+    /// 1 KB — metadata line + up to 15 overlay lines.
+    K1,
+    /// 2 KB — metadata line + up to 31 overlay lines.
+    K2,
+    /// 4 KB — no metadata; direct per-line offsets; holds all 64 lines.
+    K4,
+}
+
+impl SegmentClass {
+    /// All classes, smallest to largest.
+    pub const ALL: [SegmentClass; 5] =
+        [SegmentClass::B256, SegmentClass::B512, SegmentClass::K1, SegmentClass::K2, SegmentClass::K4];
+
+    /// Segment size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            SegmentClass::B256 => 256,
+            SegmentClass::B512 => 512,
+            SegmentClass::K1 => 1024,
+            SegmentClass::K2 => 2048,
+            SegmentClass::K4 => PAGE_SIZE,
+        }
+    }
+
+    /// Total slots (cache lines) in the segment, including the metadata
+    /// line for sub-4 KB classes.
+    pub const fn slots(self) -> usize {
+        self.bytes() / LINE_SIZE
+    }
+
+    /// Overlay lines the segment can hold.
+    pub const fn capacity(self) -> usize {
+        match self {
+            SegmentClass::K4 => LINES_PER_PAGE,
+            _ => self.slots() - 1, // slot 0 is the metadata line
+        }
+    }
+
+    /// Whether this class stores a metadata line.
+    pub const fn has_metadata(self) -> bool {
+        !matches!(self, SegmentClass::K4)
+    }
+
+    /// The smallest class able to hold `lines` overlay lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines > 64` (a page has only 64 lines).
+    pub fn for_lines(lines: usize) -> SegmentClass {
+        assert!(lines <= LINES_PER_PAGE, "a page has at most 64 lines");
+        Self::ALL
+            .into_iter()
+            .find(|c| c.capacity() >= lines)
+            .expect("K4 holds any page")
+    }
+
+    /// The next larger class, if any (used when an overlay outgrows its
+    /// segment and must migrate, §4.4.2).
+    pub fn next_larger(self) -> Option<SegmentClass> {
+        let idx = Self::ALL.iter().position(|&c| c == self).expect("member of ALL");
+        Self::ALL.get(idx + 1).copied()
+    }
+
+    /// The next smaller class, if any (splitting a free segment,
+    /// §4.4.3).
+    pub fn next_smaller(self) -> Option<SegmentClass> {
+        let idx = Self::ALL.iter().position(|&c| c == self).expect("member of ALL");
+        idx.checked_sub(1).map(|i| Self::ALL[i])
+    }
+}
+
+/// The metadata line of a sub-4 KB segment (Figure 7): 64 slot pointers
+/// (5 bits each) plus a 32-bit free bit vector — 352 bits.
+///
+/// Slot pointer semantics: `0` = line not present (slot 0 is the
+/// metadata line itself, so it can double as "invalid"); otherwise the
+/// pointer is the slot index holding the line's data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    class: SegmentClass,
+    slot_ptr: [u8; LINES_PER_PAGE],
+    /// Bit `s` set ⇒ slot `s` free. Only bits `1..slots` are meaningful.
+    free: u32,
+}
+
+impl SegmentMeta {
+    /// Fresh metadata for an empty segment of `class`.
+    ///
+    /// For [`SegmentClass::K4`] the metadata is a pure identity mapping
+    /// (the paper stores none in memory; we keep the struct so the API is
+    /// uniform, but it encodes to nothing).
+    pub fn new(class: SegmentClass) -> Self {
+        let mut free = 0u32;
+        if class.has_metadata() {
+            for s in 1..class.slots() {
+                free |= 1 << s;
+            }
+        }
+        Self { class, slot_ptr: [0; LINES_PER_PAGE], free }
+    }
+
+    /// The segment class this metadata describes.
+    pub fn class(&self) -> SegmentClass {
+        self.class
+    }
+
+    /// Slot currently holding `line`, if present.
+    pub fn slot_of(&self, line: usize) -> Option<usize> {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        if self.class == SegmentClass::K4 {
+            // Direct layout: a K4 segment always "has" every line's slot;
+            // presence is tracked by the OBitVector, not the metadata.
+            return Some(line);
+        }
+        match self.slot_ptr[line] {
+            0 => None,
+            s => Some(s as usize),
+        }
+    }
+
+    /// Allocates a slot for `line`, returning it, or `None` if the
+    /// segment is full (the caller must migrate to a larger class).
+    pub fn alloc_slot(&mut self, line: usize) -> Option<usize> {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        if self.class == SegmentClass::K4 {
+            return Some(line);
+        }
+        if let Some(s) = self.slot_of(line) {
+            return Some(s); // already allocated
+        }
+        if self.free == 0 {
+            return None;
+        }
+        let slot = self.free.trailing_zeros() as usize;
+        self.free &= !(1 << slot);
+        self.slot_ptr[line] = slot as u8;
+        Some(slot)
+    }
+
+    /// Releases the slot held by `line` (no-op if absent).
+    pub fn free_slot(&mut self, line: usize) {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        if self.class == SegmentClass::K4 {
+            return;
+        }
+        let slot = self.slot_ptr[line];
+        if slot != 0 {
+            self.free |= 1 << slot;
+            self.slot_ptr[line] = 0;
+        }
+    }
+
+    /// Number of slots in use by overlay lines.
+    pub fn used_slots(&self) -> usize {
+        if self.class == SegmentClass::K4 {
+            // Not tracked here; the OBitVector is authoritative for K4.
+            0
+        } else {
+            self.class.slots() - 1 - self.free.count_ones() as usize
+        }
+    }
+
+    /// `true` if no free slot remains.
+    pub fn is_full(&self) -> bool {
+        self.class.has_metadata() && self.free == 0
+    }
+
+    /// Lines that currently own a slot (ascending).
+    pub fn present_lines(&self) -> OBitVector {
+        if self.class == SegmentClass::K4 {
+            return OBitVector::EMPTY; // authoritative vector lives in the OMT
+        }
+        (0..LINES_PER_PAGE).filter(|&l| self.slot_ptr[l] != 0).collect()
+    }
+
+    /// Main-memory address of `line`'s data within a segment based at
+    /// `seg_base`, or `None` if the line has no slot.
+    pub fn line_addr(&self, seg_base: MainMemAddr, line: usize) -> Option<MainMemAddr> {
+        let slot = self.slot_of(line)?;
+        Some(seg_base.add((slot * LINE_SIZE) as u64))
+    }
+
+    /// Encodes the metadata into its in-memory representation: 64 packed
+    /// 5-bit pointers followed by the 32-bit free vector (44 bytes of a
+    /// 64 B line). K4 encodes to all-zero (it stores no metadata).
+    pub fn encode(&self) -> [u8; LINE_SIZE] {
+        let mut out = [0u8; LINE_SIZE];
+        if self.class == SegmentClass::K4 {
+            return out;
+        }
+        // Pack 64 x 5-bit pointers little-endian into bits 0..320.
+        for (line, &ptr) in self.slot_ptr.iter().enumerate() {
+            let bit = line * 5;
+            let byte = bit / 8;
+            let shift = bit % 8;
+            let v = (ptr as u16) << shift;
+            out[byte] |= (v & 0xff) as u8;
+            if shift > 3 {
+                out[byte + 1] |= (v >> 8) as u8;
+            }
+        }
+        out[40..44].copy_from_slice(&self.free.to_le_bytes());
+        out
+    }
+
+    /// Decodes metadata previously produced by [`SegmentMeta::encode`].
+    pub fn decode(class: SegmentClass, bytes: &[u8; LINE_SIZE]) -> Self {
+        if class == SegmentClass::K4 {
+            return Self::new(class);
+        }
+        let mut slot_ptr = [0u8; LINES_PER_PAGE];
+        for (line, ptr) in slot_ptr.iter_mut().enumerate() {
+            let bit = line * 5;
+            let byte = bit / 8;
+            let shift = bit % 8;
+            let mut v = (bytes[byte] as u16) >> shift;
+            if shift > 3 {
+                v |= (bytes[byte + 1] as u16) << (8 - shift);
+            }
+            *ptr = (v & 0x1f) as u8;
+        }
+        let mut free_bytes = [0u8; 4];
+        free_bytes.copy_from_slice(&bytes[40..44]);
+        Self { class, slot_ptr, free: u32::from_le_bytes(free_bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_geometry_matches_figure7() {
+        assert_eq!(SegmentClass::B256.capacity(), 3); // Figure 7 caption
+        assert_eq!(SegmentClass::B512.capacity(), 7);
+        assert_eq!(SegmentClass::K1.capacity(), 15);
+        assert_eq!(SegmentClass::K2.capacity(), 31);
+        assert_eq!(SegmentClass::K4.capacity(), 64);
+        assert!(!SegmentClass::K4.has_metadata());
+    }
+
+    #[test]
+    fn for_lines_picks_smallest_fit() {
+        assert_eq!(SegmentClass::for_lines(0), SegmentClass::B256);
+        assert_eq!(SegmentClass::for_lines(3), SegmentClass::B256);
+        assert_eq!(SegmentClass::for_lines(4), SegmentClass::B512);
+        assert_eq!(SegmentClass::for_lines(16), SegmentClass::K2);
+        assert_eq!(SegmentClass::for_lines(32), SegmentClass::K4);
+        assert_eq!(SegmentClass::for_lines(64), SegmentClass::K4);
+    }
+
+    #[test]
+    fn neighbors() {
+        assert_eq!(SegmentClass::B256.next_larger(), Some(SegmentClass::B512));
+        assert_eq!(SegmentClass::K4.next_larger(), None);
+        assert_eq!(SegmentClass::B256.next_smaller(), None);
+        assert_eq!(SegmentClass::K4.next_smaller(), Some(SegmentClass::K2));
+    }
+
+    #[test]
+    fn alloc_until_full_then_migrate_signal() {
+        let mut m = SegmentMeta::new(SegmentClass::B256);
+        let s1 = m.alloc_slot(0).unwrap();
+        let s2 = m.alloc_slot(3).unwrap();
+        let s3 = m.alloc_slot(63).unwrap();
+        assert_eq!(m.used_slots(), 3);
+        assert!(m.is_full());
+        assert_eq!(m.alloc_slot(5), None, "full segment must refuse");
+        // Slots are distinct and never 0 (metadata line).
+        let mut slots = [s1, s2, s3];
+        slots.sort_unstable();
+        assert_eq!(slots, [1, 2, 3]);
+    }
+
+    #[test]
+    fn realloc_same_line_is_idempotent() {
+        let mut m = SegmentMeta::new(SegmentClass::B512);
+        let s = m.alloc_slot(10).unwrap();
+        assert_eq!(m.alloc_slot(10), Some(s));
+        assert_eq!(m.used_slots(), 1);
+    }
+
+    #[test]
+    fn free_slot_enables_reuse() {
+        let mut m = SegmentMeta::new(SegmentClass::B256);
+        for l in [1, 2, 3] {
+            m.alloc_slot(l).unwrap();
+        }
+        m.free_slot(2);
+        assert!(!m.is_full());
+        assert!(m.alloc_slot(40).is_some());
+        assert_eq!(m.slot_of(2), None);
+    }
+
+    #[test]
+    fn k4_uses_direct_offsets() {
+        let mut m = SegmentMeta::new(SegmentClass::K4);
+        assert_eq!(m.alloc_slot(17), Some(17));
+        assert_eq!(m.slot_of(17), Some(17));
+        assert_eq!(m.slot_of(0), Some(0));
+        assert!(!m.is_full());
+        let base = MainMemAddr::new(0x10000);
+        assert_eq!(m.line_addr(base, 5).unwrap().raw(), 0x10000 + 5 * 64);
+    }
+
+    #[test]
+    fn line_addr_uses_slot_not_line() {
+        let mut m = SegmentMeta::new(SegmentClass::B256);
+        m.alloc_slot(63).unwrap(); // line 63 → slot 1
+        let base = MainMemAddr::new(0x8000);
+        assert_eq!(m.line_addr(base, 63).unwrap().raw(), 0x8000 + 64);
+        assert_eq!(m.line_addr(base, 0), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for class in [SegmentClass::B256, SegmentClass::B512, SegmentClass::K1, SegmentClass::K2] {
+            let mut m = SegmentMeta::new(class);
+            for l in [0usize, 1, 31, 62] {
+                if m.alloc_slot(l).is_none() {
+                    break;
+                }
+            }
+            let encoded = m.encode();
+            let decoded = SegmentMeta::decode(class, &encoded);
+            assert_eq!(decoded, m, "roundtrip failed for {class:?}");
+        }
+    }
+
+    #[test]
+    fn metadata_fits_in_352_bits() {
+        // 64 pointers x 5 bits + 32-bit free vector = 352 bits = 44 bytes.
+        let mut m = SegmentMeta::new(SegmentClass::K2);
+        for l in 0..31 {
+            m.alloc_slot(l);
+        }
+        let enc = m.encode();
+        assert!(enc[44..].iter().all(|&b| b == 0), "encoding must not spill past 44 bytes");
+    }
+
+    #[test]
+    fn present_lines_tracks_allocations() {
+        let mut m = SegmentMeta::new(SegmentClass::K1);
+        m.alloc_slot(5);
+        m.alloc_slot(60);
+        assert_eq!(m.present_lines().iter().collect::<Vec<_>>(), vec![5, 60]);
+    }
+}

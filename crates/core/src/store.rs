@@ -1,0 +1,290 @@
+//! The Overlay Memory Store (OMS): free-space management (§4.4.3).
+//!
+//! The memory controller manages a region of main memory holding every
+//! overlay, split into segments of the five fixed sizes. Free segments
+//! are kept on per-class free lists (the paper uses a grouped linked
+//! list threaded through the free segments themselves; the management
+//! structure here is equivalent, and the accounting — what is free,
+//! what is allocated, what splits happened — matches). When a class
+//! runs dry, a segment of the next larger class is split in two; when
+//! the 4 KB class runs dry, the OS is asked for another chunk of pages.
+
+use crate::segment::SegmentClass;
+use po_types::geometry::PAGE_SIZE;
+use po_types::{Counter, MainMemAddr, PoError, PoResult};
+use std::collections::BTreeSet;
+
+/// OMS statistics.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Segment allocations served.
+    pub allocations: Counter,
+    /// Segments returned.
+    pub frees: Counter,
+    /// Splits of a larger segment into two smaller ones.
+    pub splits: Counter,
+    /// Chunks requested from the OS.
+    pub os_grants: Counter,
+}
+
+/// The Overlay Memory Store allocator.
+///
+/// # Example
+///
+/// ```
+/// use po_overlay::{OverlayMemoryStore, SegmentClass};
+/// use po_types::MainMemAddr;
+///
+/// let mut oms = OverlayMemoryStore::new();
+/// oms.add_chunk(MainMemAddr::new(0x10_0000), 1); // one 4 KB page
+/// let seg = oms.allocate(SegmentClass::B256)?;
+/// assert_eq!(oms.bytes_in_use(), 256);
+/// oms.free(seg, SegmentClass::B256);
+/// assert_eq!(oms.bytes_in_use(), 0);
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OverlayMemoryStore {
+    /// Per-class free lists (sorted for determinism; the paper threads a
+    /// grouped linked list through the segments themselves).
+    free: [BTreeSet<u64>; 5],
+    /// Total bytes under OMS management.
+    managed_bytes: u64,
+    /// Bytes currently allocated to overlays.
+    used_bytes: u64,
+    stats: StoreStats,
+}
+
+impl OverlayMemoryStore {
+    /// Creates an empty store (no memory yet; add with
+    /// [`OverlayMemoryStore::add_chunk`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns statistics.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn class_idx(class: SegmentClass) -> usize {
+        SegmentClass::ALL.iter().position(|&c| c == class).expect("member")
+    }
+
+    /// Adds `frames` 4 KB pages starting at page-aligned `base` to the
+    /// store (the OS grant of §4.4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page-aligned.
+    pub fn add_chunk(&mut self, base: MainMemAddr, frames: u64) {
+        assert_eq!(base.page_offset(), 0, "OMS chunks must be page-aligned");
+        self.stats.os_grants.inc();
+        for i in 0..frames {
+            let addr = base.raw() + i * PAGE_SIZE as u64;
+            self.free[Self::class_idx(SegmentClass::K4)].insert(addr);
+        }
+        self.managed_bytes += frames * PAGE_SIZE as u64;
+    }
+
+    /// Allocates a segment of `class`, splitting larger segments as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::OverlayStoreExhausted`] when no segment of this
+    /// or any larger class is free — the caller should obtain an OS grant
+    /// ([`OverlayMemoryStore::add_chunk`]) and retry.
+    pub fn allocate(&mut self, class: SegmentClass) -> PoResult<MainMemAddr> {
+        let idx = Self::class_idx(class);
+        if let Some(&addr) = self.free[idx].iter().next() {
+            self.free[idx].remove(&addr);
+            self.used_bytes += class.bytes() as u64;
+            self.stats.allocations.inc();
+            return Ok(MainMemAddr::new(addr));
+        }
+        // Split a larger segment (recursively).
+        let larger = class.next_larger().ok_or(PoError::OverlayStoreExhausted)?;
+        let big = self.allocate_for_split(larger)?;
+        self.stats.splits.inc();
+        let half = class.bytes() as u64;
+        debug_assert_eq!(larger.bytes() as u64, 2 * half);
+        self.free[idx].insert(big.raw() + half);
+        self.used_bytes += half;
+        self.stats.allocations.inc();
+        Ok(big)
+    }
+
+    /// Allocation used internally while splitting: does not count the
+    /// larger segment as "in use" (its halves are accounted separately).
+    fn allocate_for_split(&mut self, class: SegmentClass) -> PoResult<MainMemAddr> {
+        let idx = Self::class_idx(class);
+        if let Some(&addr) = self.free[idx].iter().next() {
+            self.free[idx].remove(&addr);
+            return Ok(MainMemAddr::new(addr));
+        }
+        let larger = class.next_larger().ok_or(PoError::OverlayStoreExhausted)?;
+        let big = self.allocate_for_split(larger)?;
+        self.stats.splits.inc();
+        let half = class.bytes() as u64;
+        self.free[idx].insert(big.raw() + half);
+        Ok(big)
+    }
+
+    /// Returns a segment to its class's free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on double free.
+    pub fn free(&mut self, base: MainMemAddr, class: SegmentClass) {
+        let idx = Self::class_idx(class);
+        let inserted = self.free[idx].insert(base.raw());
+        debug_assert!(inserted, "double free of segment {base}");
+        self.used_bytes -= class.bytes() as u64;
+        self.stats.frees.inc();
+    }
+
+    /// Bytes currently allocated to overlay segments — the memory-
+    /// consumption metric for overlay-on-write (Figure 8).
+    pub fn bytes_in_use(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes handed to the store by the OS.
+    pub fn bytes_managed(&self) -> u64 {
+        self.managed_bytes
+    }
+
+    /// Bytes sitting on free lists.
+    pub fn bytes_free(&self) -> u64 {
+        SegmentClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.free[i].len() as u64 * c.bytes() as u64)
+            .sum()
+    }
+
+    /// Free segments of one class (diagnostics).
+    pub fn free_count(&self, class: SegmentClass) -> usize {
+        self.free[Self::class_idx(class)].len()
+    }
+
+    /// Invariant: every managed byte is either free or in use, exactly
+    /// once. Checked by tests and property tests (DESIGN.md invariant 2).
+    pub fn check_conservation(&self) -> PoResult<()> {
+        if self.bytes_free() + self.bytes_in_use() == self.managed_bytes {
+            Ok(())
+        } else {
+            Err(PoError::Corrupted("OMS byte conservation violated"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(frames: u64) -> OverlayMemoryStore {
+        let mut s = OverlayMemoryStore::new();
+        s.add_chunk(MainMemAddr::new(0x100000), frames);
+        s
+    }
+
+    #[test]
+    fn empty_store_is_exhausted() {
+        let mut s = OverlayMemoryStore::new();
+        assert_eq!(s.allocate(SegmentClass::B256), Err(PoError::OverlayStoreExhausted));
+    }
+
+    #[test]
+    fn allocate_splits_a_page_down_to_256b() {
+        let mut s = store_with(1);
+        let seg = s.allocate(SegmentClass::B256).unwrap();
+        assert_eq!(seg.raw(), 0x100000);
+        // Splits: 4K→2K→1K→512→256 = 4 splits.
+        assert_eq!(s.stats().splits.get(), 4);
+        // Buddies of every size are now free.
+        assert_eq!(s.free_count(SegmentClass::B256), 1);
+        assert_eq!(s.free_count(SegmentClass::B512), 1);
+        assert_eq!(s.free_count(SegmentClass::K1), 1);
+        assert_eq!(s.free_count(SegmentClass::K2), 1);
+        assert_eq!(s.free_count(SegmentClass::K4), 0);
+        s.check_conservation().unwrap();
+        assert_eq!(s.bytes_in_use(), 256);
+    }
+
+    #[test]
+    fn free_then_reallocate_reuses() {
+        let mut s = store_with(1);
+        let a = s.allocate(SegmentClass::B512).unwrap();
+        s.free(a, SegmentClass::B512);
+        let b = s.allocate(SegmentClass::B512).unwrap();
+        assert_eq!(a, b);
+        s.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn exhaustion_reports_cleanly() {
+        let mut s = store_with(1);
+        let _a = s.allocate(SegmentClass::K4).unwrap();
+        assert_eq!(s.allocate(SegmentClass::B256), Err(PoError::OverlayStoreExhausted));
+        s.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn many_small_allocations_fill_the_page() {
+        let mut s = store_with(1);
+        let mut segs = Vec::new();
+        for _ in 0..16 {
+            segs.push(s.allocate(SegmentClass::B256).unwrap());
+        }
+        assert_eq!(s.allocate(SegmentClass::B256), Err(PoError::OverlayStoreExhausted));
+        // All 16 segments are distinct and 256-byte aligned.
+        let mut raws: Vec<u64> = segs.iter().map(|a| a.raw()).collect();
+        raws.sort_unstable();
+        raws.dedup();
+        assert_eq!(raws.len(), 16);
+        assert!(raws.iter().all(|r| r % 256 == 0));
+        s.check_conservation().unwrap();
+        // Free everything; the page is reusable as four 1K segments.
+        for seg in segs {
+            s.free(seg, SegmentClass::B256);
+        }
+        assert_eq!(s.bytes_in_use(), 0);
+        s.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn growth_after_exhaustion() {
+        let mut s = store_with(1);
+        s.allocate(SegmentClass::K4).unwrap();
+        assert!(s.allocate(SegmentClass::K4).is_err());
+        s.add_chunk(MainMemAddr::new(0x200000), 2);
+        assert!(s.allocate(SegmentClass::K4).is_ok());
+        assert!(s.allocate(SegmentClass::K2).is_ok());
+        s.check_conservation().unwrap();
+        assert_eq!(s.stats().os_grants.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn chunk_must_be_aligned() {
+        let mut s = OverlayMemoryStore::new();
+        s.add_chunk(MainMemAddr::new(0x100), 1);
+    }
+
+    #[test]
+    fn mixed_sizes_conserve_bytes() {
+        let mut s = store_with(4);
+        let a = s.allocate(SegmentClass::K1).unwrap();
+        let b = s.allocate(SegmentClass::B256).unwrap();
+        let c = s.allocate(SegmentClass::K2).unwrap();
+        s.check_conservation().unwrap();
+        assert_eq!(s.bytes_in_use(), 1024 + 256 + 2048);
+        s.free(b, SegmentClass::B256);
+        s.free(a, SegmentClass::K1);
+        s.free(c, SegmentClass::K2);
+        assert_eq!(s.bytes_in_use(), 0);
+        s.check_conservation().unwrap();
+    }
+}

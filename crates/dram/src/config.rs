@@ -1,0 +1,89 @@
+//! DRAM configuration (Table 2 of the paper).
+
+/// Timing and geometry parameters of the main memory.
+///
+/// Defaults model the paper's DDR3-1066 part behind a 2.67 GHz core:
+/// the memory bus runs at 533 MHz (1066 MT/s), i.e. one memory-bus clock
+/// is ~5 CPU cycles; DDR3-1066 CL7 timing gives tCAS = tRCD = tRP = 7
+/// memory clocks (35 CPU cycles each).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (Table 2: 8 banks, 1 channel, 1 rank).
+    pub banks: usize,
+    /// Row-buffer size in bytes (Table 2: 8 KB).
+    pub row_buffer_bytes: usize,
+    /// Column-access latency (CAS) in CPU cycles.
+    pub t_cas: u64,
+    /// Row-activate latency (RAS-to-CAS) in CPU cycles.
+    pub t_rcd: u64,
+    /// Precharge latency in CPU cycles.
+    pub t_rp: u64,
+    /// Data-bus occupancy of one 64 B burst in CPU cycles
+    /// (burst length 8 on an 8 B bus = 4 memory clocks = 20 CPU cycles).
+    pub t_burst: u64,
+    /// Capacity of the write buffer in entries (Table 2: 64, drained when
+    /// full — FR-FCFS "drain when full" policy).
+    pub write_buffer_entries: usize,
+    /// Fixed controller-side overhead per request (queueing, command
+    /// serialization) in CPU cycles.
+    pub t_controller: u64,
+}
+
+impl DramConfig {
+    /// The Table 2 configuration: DDR3-1066, 1 channel / 1 rank / 8 banks,
+    /// 8 B bus, burst length 8, 8 KB row buffer, 64-entry write buffer.
+    pub fn table2() -> Self {
+        Self {
+            banks: 8,
+            row_buffer_bytes: 8 * 1024,
+            t_cas: 35,
+            t_rcd: 35,
+            t_rp: 35,
+            t_burst: 20,
+            write_buffer_entries: 64,
+            t_controller: 20,
+        }
+    }
+
+    /// Latency of a row-buffer hit (CAS + burst + controller).
+    pub fn row_hit_latency(&self) -> u64 {
+        self.t_controller + self.t_cas + self.t_burst
+    }
+
+    /// Latency of an access to a closed bank (activate + CAS + burst).
+    pub fn row_closed_latency(&self) -> u64 {
+        self.t_controller + self.t_rcd + self.t_cas + self.t_burst
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + CAS +
+    /// burst).
+    pub fn row_conflict_latency(&self) -> u64 {
+        self.t_controller + self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering() {
+        let c = DramConfig::table2();
+        assert!(c.row_hit_latency() < c.row_closed_latency());
+        assert!(c.row_closed_latency() < c.row_conflict_latency());
+    }
+
+    #[test]
+    fn table2_values() {
+        let c = DramConfig::table2();
+        assert_eq!(c.banks, 8);
+        assert_eq!(c.row_buffer_bytes, 8192);
+        assert_eq!(c.write_buffer_entries, 64);
+    }
+}

@@ -1,0 +1,39 @@
+//! # po-dram — DDR3-1066 main-memory model
+//!
+//! The paper's evaluation (Table 2) couples the simulated core to a
+//! DDR3-1066 DRAM with one channel, one rank, eight banks, an 8-byte data
+//! bus, burst length 8 and an 8 KB row buffer, scheduled open-row
+//! FR-FCFS with a 64-entry write buffer drained when full.
+//!
+//! This crate provides:
+//!
+//! * [`DramConfig`] — the timing/geometry parameters (defaults = Table 2),
+//! * [`DramModel`] — a bank-accurate timing model: per-bank row-buffer
+//!   state, activate/precharge/CAS timing, shared data-bus occupancy, and
+//!   posted writes through a drain-when-full write buffer,
+//! * [`DataStore`] — the *functional* backing store: a sparse map from
+//!   main-memory frames to 4 KB byte arrays, so the rest of the system can
+//!   move real data and be checked against flat-memory oracles.
+//!
+//! Timing and function are deliberately separate: [`DramModel`] computes
+//! *when* a request completes, [`DataStore`] holds *what* the bytes are.
+//!
+//! # Example
+//!
+//! ```
+//! use po_dram::{DramConfig, DramModel};
+//! use po_types::MainMemAddr;
+//!
+//! let mut dram = DramModel::new(DramConfig::default());
+//! let t1 = dram.read(0, MainMemAddr::new(0x0));      // row miss: activate+CAS
+//! let t2 = dram.read(t1, MainMemAddr::new(0x40));    // same row: row hit
+//! assert!(t2 - t1 < t1, "row hit is cheaper than the initial activate");
+//! ```
+
+pub mod config;
+pub mod model;
+pub mod store;
+
+pub use config::DramConfig;
+pub use model::{DramModel, DramStats};
+pub use store::DataStore;

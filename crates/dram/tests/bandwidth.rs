@@ -1,0 +1,99 @@
+//! DRAM behavioral tests: bandwidth ceilings and scheduling effects
+//! that the Figure 8/9 analysis depends on (copy bandwidth, write-drain
+//! interference).
+
+use po_dram::{DramConfig, DramModel};
+use po_types::MainMemAddr;
+
+#[test]
+fn bus_bounds_peak_bandwidth() {
+    // However parallel the banks, N bursts cannot beat N * t_burst on
+    // the shared bus.
+    let config = DramConfig::table2();
+    let mut dram = DramModel::new(config.clone());
+    let n = 1024u64;
+    let mut done_max = 0;
+    for i in 0..n {
+        // Stripe across banks for maximal parallelism.
+        let addr = MainMemAddr::new(i * config.row_buffer_bytes as u64);
+        done_max = done_max.max(dram.read(0, addr));
+    }
+    assert!(
+        done_max >= n * config.t_burst,
+        "{n} bursts in {done_max} cycles beats the bus ({} cycles/burst)",
+        config.t_burst
+    );
+    // And with full bank parallelism it should be close to that bound.
+    assert!(
+        done_max < n * config.t_burst * 2,
+        "bank-striped reads should be bus-limited, got {done_max}"
+    );
+}
+
+#[test]
+fn same_bank_conflicts_serialize() {
+    let config = DramConfig::table2();
+    let mut dram = DramModel::new(config.clone());
+    let n = 64u64;
+    let stride = config.row_buffer_bytes as u64 * config.banks as u64; // same bank, new row
+    let mut done_max = 0;
+    for i in 0..n {
+        done_max = done_max.max(dram.read(0, MainMemAddr::new(i * stride)));
+    }
+    // Every access after the first is a row conflict on one bank.
+    let floor = (n - 1) * config.row_conflict_latency();
+    assert!(done_max >= floor, "conflict chain finished too fast: {done_max} < {floor}");
+}
+
+#[test]
+fn page_copy_bandwidth_model() {
+    // The CoW copy issues 64 reads at once; with 8 banks and an open-row
+    // friendly layout, it should take far less than 64 serial accesses.
+    let config = DramConfig::table2();
+    let mut dram = DramModel::new(config.clone());
+    let mut done_max = 0;
+    for l in 0..64u64 {
+        done_max = done_max.max(dram.read(0, MainMemAddr::new(0x10_0000 + l * 64)));
+    }
+    // A 4 KB page fits inside one 8 KB row: the copy streams out of a
+    // single open row (row-buffer locality), paying one activate and
+    // then row hits.
+    let bound = config.row_closed_latency() + 64 * config.row_hit_latency();
+    let serial_closed = 64 * config.row_closed_latency();
+    assert!(done_max <= bound, "page copy took {done_max}, bound {bound}");
+    assert!(
+        done_max < serial_closed,
+        "row-buffer locality must beat closed-row serial access"
+    );
+    assert!(dram.stats().row_hit_rate() > 0.95, "copy must stream from one row");
+}
+
+#[test]
+fn write_drain_blocks_subsequent_reads() {
+    let config = DramConfig::table2();
+    let mut dram = DramModel::new(config.clone());
+    // Fill the write buffer exactly.
+    for i in 0..config.write_buffer_entries as u64 {
+        assert_eq!(dram.write(0, MainMemAddr::new(i * 64)), 0);
+    }
+    // The overflowing write triggers a drain...
+    let t_after_drain = dram.write(0, MainMemAddr::new(1 << 22));
+    assert!(t_after_drain > 0);
+    // ...and a read issued "now" at cycle 0 sees busy banks.
+    let read_done = dram.read(0, MainMemAddr::new(0));
+    assert!(
+        read_done > config.row_conflict_latency(),
+        "read after a drain must observe bank occupancy, got {read_done}"
+    );
+}
+
+#[test]
+fn stats_reset_clears_counters_only() {
+    let mut dram = DramModel::new(DramConfig::table2());
+    let t = dram.read(0, MainMemAddr::new(0));
+    dram.reset_stats();
+    assert_eq!(dram.stats().reads.get(), 0);
+    // Bank state persists: the next same-row access is still a row hit.
+    dram.read(t, MainMemAddr::new(64));
+    assert_eq!(dram.stats().row_hits.get(), 1);
+}

@@ -1,0 +1,910 @@
+//! The full simulated system.
+//!
+//! A [`Machine`] owns every hardware model and the OS model, and
+//! implements the complete memory-access path of Figure 6: TLB (with
+//! OBitVector) → L1/L2/L3 → memory controller (OMT cache → Overlay
+//! Memory Store) → DRAM, plus the two write-divergence mechanisms under
+//! comparison: classic **copy-on-write** (page copy + shootdown on the
+//! critical path, Figure 3a) and **overlay-on-write** (single-line remap
+//! via coherence, Figure 3b).
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::stats::SimStats;
+use po_cache::{CacheHierarchy, LookupResult};
+use po_dram::{DataStore, DramModel};
+use po_overlay::OverlayManager;
+use po_tlb::{Tlb, TlbEntry};
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{
+    AccessKind, Asid, Cycle, MainMemAddr, OBitVector, Opn, PhysAddr, PoError, PoResult, VirtAddr,
+    Vpn,
+};
+use po_vm::OsModel;
+
+/// Memory-consumption baseline recorded by
+/// [`Machine::mark_memory_epoch`].
+#[derive(Clone, Copy, Debug, Default)]
+struct MemoryEpoch {
+    /// Regular frames in use (excluding OMS grants) at the epoch.
+    frames_net: u64,
+    /// Overlay store bytes in use at the epoch.
+    overlay_used: u64,
+}
+
+/// The simulated system. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Machine {
+    config: SystemConfig,
+    os: OsModel,
+    mem: DataStore,
+    overlay: OverlayManager,
+    /// Per-core TLBs (index 0 is the core the single-threaded experiments
+    /// run on).
+    tlbs: Vec<Tlb>,
+    caches: CacheHierarchy,
+    dram: DramModel,
+    core: CoreModel,
+    stats: SimStats,
+    /// Frames granted to the OMS so far (excluded from the "regular
+    /// frames" part of the memory metric; OMS consumption is counted at
+    /// segment granularity instead).
+    oms_frames: u64,
+    epoch: MemoryEpoch,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; reserved for configurations that pre-allocate
+    /// resources.
+    pub fn new(config: SystemConfig) -> PoResult<Self> {
+        Ok(Self {
+            os: OsModel::new(config.vm.clone()),
+            mem: DataStore::new(),
+            overlay: OverlayManager::new(config.overlay.clone()),
+            tlbs: (0..config.cores.max(1)).map(|_| Tlb::new(config.tlb.clone())).collect(),
+            caches: CacheHierarchy::new(config.hierarchy.clone()),
+            dram: DramModel::new(config.dram.clone()),
+            core: CoreModel::new(config.window_entries),
+            stats: SimStats::default(),
+            oms_frames: 0,
+            epoch: MemoryEpoch::default(),
+            config,
+        })
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Returns the OS model.
+    pub fn os(&self) -> &OsModel {
+        &self.os
+    }
+
+    /// Returns the overlay manager.
+    pub fn overlay(&self) -> &OverlayManager {
+        &self.overlay
+    }
+
+    /// Returns core 0's TLB.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlbs[0]
+    }
+
+    /// Returns core `core`'s TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn tlb_of(&self, core: usize) -> &Tlb {
+        &self.tlbs[core]
+    }
+
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.tlbs.len()
+    }
+
+    /// Returns the cache hierarchy.
+    pub fn caches(&self) -> &CacheHierarchy {
+        &self.caches
+    }
+
+    /// Returns the DRAM model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Returns the core model.
+    pub fn core(&self) -> &CoreModel {
+        &self.core
+    }
+
+    /// Returns the functional data store (read-only).
+    pub fn mem(&self) -> &DataStore {
+        &self.mem
+    }
+
+    /// Creates a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ASID exhaustion.
+    pub fn spawn_process(&mut self) -> PoResult<Asid> {
+        self.os.spawn()
+    }
+
+    /// Maps `count` writable anonymous pages at `start` for `asid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator exhaustion.
+    pub fn map_range(&mut self, asid: Asid, start: Vpn, count: u64) -> PoResult<()> {
+        self.os.map_range(asid, start, count, true)
+    }
+
+    /// Maps `count` virtual pages at `start` all onto a single shared
+    /// zero frame, with overlays enabled — the layout of the
+    /// sparse-data-structure technique (§5.2): "all virtual pages of the
+    /// data structure map to a zero physical page and each virtual page
+    /// is mapped to an overlay that contains only the non-zero cache
+    /// lines". Returns the shared frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator exhaustion.
+    pub fn map_shared_zero_range(
+        &mut self,
+        asid: Asid,
+        start: Vpn,
+        count: u64,
+    ) -> PoResult<po_types::Ppn> {
+        let zero = self.os.alloc_frame()?;
+        for i in 0..count {
+            let vpn = Vpn::new(start.raw() + i);
+            self.os.map_shared_frame(asid, vpn, zero)?;
+            self.os.enable_overlays(asid, vpn)?;
+        }
+        Ok(zero)
+    }
+
+    /// Functionally installs `data` as overlay line `line` of page `vpn`
+    /// and pushes it straight into the Overlay Memory Store, so later
+    /// timed reads resolve through the OMT (pre-built sparse structures).
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay/OMS failures.
+    pub fn seed_overlay_line(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        line: usize,
+        data: po_types::LineData,
+    ) -> PoResult<()> {
+        let opn = Opn::encode(asid, vpn);
+        self.overlay.overlaying_write(opn, line, data)?;
+        let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } = *self;
+        let mut grant = |frames: u64| {
+            *oms_frames += frames;
+            os.grant_oms_chunk(frames)
+        };
+        overlay.evict_line(opn, line, mem, &mut grant)?;
+        Ok(())
+    }
+
+    /// `fork`: clones the address space with copy-on-write; in overlay
+    /// mode also enables overlay semantics on every shared page
+    /// (overlay-on-write, §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS failures.
+    pub fn fork(&mut self, parent: Asid) -> PoResult<Asid> {
+        // The parent's logical page contents include its overlays; before
+        // re-sharing the frames (e.g. a second checkpoint fork), every
+        // overlay must be materialized into a private frame — the
+        // checkpoint-commit step of §5.3.2 ("the overlays are then
+        // committed"). Otherwise the new child would read the stale
+        // physical page underneath the parent's divergence.
+        if self.config.overlay_mode {
+            let overlaid: Vec<Vpn> = self
+                .os
+                .pages(parent)?
+                .into_iter()
+                .map(|(vpn, _)| vpn)
+                .filter(|&vpn| self.overlay.has_overlay(Opn::encode(parent, vpn)))
+                .collect();
+            for vpn in overlaid {
+                self.materialize_overlay(parent, vpn)?;
+            }
+        }
+        let child = self.os.fork(parent)?;
+        if self.config.overlay_mode {
+            for (vpn, _) in self.os.pages(parent)? {
+                self.os.enable_overlays(parent, vpn)?;
+                self.os.enable_overlays(child, vpn)?;
+            }
+        }
+        // fork rewrote PTE flags: cached translations are stale on
+        // every core.
+        for tlb in &mut self.tlbs {
+            tlb.flush_asid(parent);
+            tlb.flush_asid(child);
+        }
+        Ok(child)
+    }
+
+    /// Commits `vpn`'s overlay into a private frame (copy-and-commit when
+    /// the underlying frame is shared), leaving the page overlay-free and
+    /// writable. Used before re-sharing pages at `fork` time.
+    fn materialize_overlay(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
+        let opn = Opn::encode(asid, vpn);
+        // Obtain a private writable frame (copies the shared page if
+        // refcount > 1); then merge the overlay on top of it.
+        self.os.prepare_write(asid, vpn.base(), &mut self.mem)?;
+        let pte = self.os.translate(asid, vpn.base())?;
+        let frame = MainMemAddr::new(pte.ppn.base().raw());
+        self.overlay.commit(opn, frame, &mut self.mem)?;
+        for l in 0..LINES_PER_PAGE {
+            self.caches.invalidate_line(opn.line_addr(l));
+        }
+        Ok(())
+    }
+
+    /// Records the current memory consumption as the baseline for
+    /// [`Machine::extra_memory_bytes`] (called at the fork in Figure 8).
+    pub fn mark_memory_epoch(&mut self) {
+        self.epoch = MemoryEpoch {
+            frames_net: self.os.frames_allocated() - self.oms_frames,
+            overlay_used: self.overlay.overlay_memory_bytes(),
+        };
+    }
+
+    /// Additional memory consumed since the epoch: regular frames (page
+    /// granularity) plus overlay-store bytes (segment granularity) plus
+    /// cache-resident dirty overlay lines (line granularity) — the
+    /// Figure 8 metric.
+    pub fn extra_memory_bytes(&self) -> u64 {
+        let frames_net = self.os.frames_allocated() - self.oms_frames;
+        let frame_bytes = frames_net.saturating_sub(self.epoch.frames_net) * PAGE_SIZE as u64;
+        let overlay_bytes = self
+            .overlay
+            .overlay_memory_bytes()
+            .saturating_sub(self.epoch.overlay_used);
+        let resident_bytes = self.overlay.resident_lines() as u64 * LINE_SIZE as u64;
+        frame_bytes + overlay_bytes + resident_bytes
+    }
+
+    /// Flushes every cache-resident dirty overlay line into the Overlay
+    /// Memory Store (so segment-level accounting is complete before a
+    /// measurement or checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OMS growth failures.
+    pub fn flush_overlays(&mut self) -> PoResult<()> {
+        let opns: Vec<Opn> = self.overlay.omt().iter().map(|(o, _)| *o).collect();
+        for opn in opns {
+            let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } =
+                *self;
+            let mut grant = |frames: u64| {
+                *oms_frames += frames;
+                os.grant_oms_chunk(frames)
+            };
+            overlay.evict_all(opn, mem, &mut grant)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one trace operation through the core model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults (unmapped addresses, protection).
+    pub fn execute(&mut self, asid: Asid, op: &crate::trace::TraceOp) -> PoResult<()> {
+        use crate::trace::TraceOp;
+        match op {
+            TraceOp::Compute(n) => {
+                self.core.issue_compute(*n as u64);
+            }
+            TraceOp::Load(va) => {
+                let t = self.core.next_issue_cycle();
+                let lat = self.access_at(t, asid, *va, AccessKind::Read)?;
+                self.core.complete(t, lat);
+                self.stats.loads.inc();
+            }
+            TraceOp::Store(va) => {
+                let t = self.core.next_issue_cycle();
+                let lat = self.access_at(t, asid, *va, AccessKind::Write)?;
+                self.core.complete(t, lat);
+                self.stats.stores.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a snapshot of cumulative statistics (instructions, cycles,
+    /// counters, memory metric).
+    pub fn snapshot(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.instructions = self.core.instructions();
+        s.cycles = self.core.cycles();
+        s.bus_bytes = self.dram.stats().bus_bytes.get();
+        s.extra_memory_bytes = self.extra_memory_bytes();
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // The memory-access path (Figure 6).
+    // ------------------------------------------------------------------
+
+    /// Performs a demand access at cycle `now` on core 0, returning its
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] / [`PoError::ProtectionViolation`] on
+    /// translation failures.
+    pub fn access_at(
+        &mut self,
+        now: Cycle,
+        asid: Asid,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> PoResult<u64> {
+        self.access_at_core(now, 0, asid, va, kind)
+    }
+
+    /// Performs a demand access at cycle `now` on core `core` (private
+    /// TLB; shared caches and memory). Overlaying writes broadcast their
+    /// OBitVector update to every other core's TLB via the coherence
+    /// network (§4.3.3) — no shootdown.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::access_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_at_core(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        asid: Asid,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> PoResult<u64> {
+        let vpn = va.vpn();
+        let line = va.line_in_page();
+        let opn = Opn::encode(asid, vpn);
+        let mut lat: u64 = 0;
+
+        // 1. Translate (TLB, then walk + OMT OBitVector fetch on a miss).
+        let lookup = self.tlbs[core].lookup(asid, vpn);
+        lat += lookup.latency;
+        let mut entry = match lookup.entry {
+            Some(e) => e,
+            None => {
+                lat += self.tlbs[core].miss_penalty();
+                let pte = self.os.translate(asid, va)?;
+                let obitvec = if pte.flags.overlay_enabled {
+                    // The walk fetches the OBitVector from the OMT
+                    // (Figure 6), leaving the entry in the controller's
+                    // OMT cache as a side effect.
+                    self.overlay.warm_omt_cache(opn);
+                    self.overlay.obitvec(opn).unwrap_or(OBitVector::EMPTY)
+                } else {
+                    OBitVector::EMPTY
+                };
+                let e = TlbEntry { asid, vpn, pte, obitvec };
+                self.tlbs[core].fill(e);
+                e
+            }
+        };
+
+        // 2. Stores to non-writable pages: CoW or overlaying write.
+        if kind.is_write() && !entry.pte.flags.writable {
+            if !entry.pte.flags.cow {
+                return Err(PoError::ProtectionViolation(va));
+            }
+            if self.config.overlay_mode && entry.pte.flags.overlay_enabled {
+                if !entry.obitvec.contains(line) {
+                    lat +=
+                        self.overlaying_write_path(now + lat, core, asid, vpn, line, &mut entry)?;
+                }
+                // A store to a line already in the overlay is a simple
+                // write (§4.3.2): no extra work.
+            } else {
+                lat += self.cow_fault_path(now + lat, core, asid, va, &mut entry)?;
+            }
+        }
+
+        // 3. Pick the cache address: overlay or regular page (§4.3.1).
+        let use_overlay = entry.pte.flags.overlay_enabled && entry.obitvec.contains(line);
+        let cache_addr = if use_overlay {
+            opn.line_addr(line)
+        } else {
+            PhysAddr::new(entry.pte.ppn.line_addr(line).raw())
+        };
+
+        // 4. Caches, then memory.
+        lat += self.fetch_line(now + lat, cache_addr, kind)?;
+        Ok(lat)
+    }
+
+    /// Runs one line access through the hierarchy, going to memory (and
+    /// the OMT) on a full miss. Returns the latency.
+    fn fetch_line(&mut self, now: Cycle, cache_addr: PhysAddr, kind: AccessKind) -> PoResult<u64> {
+        let out = self.caches.access(cache_addr, kind);
+        let mut lat = out.latency;
+        self.handle_writebacks(now + lat, &out.writebacks)?;
+        if matches!(out.result, LookupResult::Miss) {
+            let (mm_addr, extra) = self.resolve_memory(cache_addr, kind.is_write())?;
+            lat += extra;
+            let done = self.dram.read(now + lat, mm_addr);
+            lat = done.saturating_sub(now);
+            let wbs = self.caches.fill(cache_addr, kind.is_write());
+            self.handle_writebacks(done, &wbs)?;
+        }
+        // Prefetches are issued off the critical path. A miss to an
+        // overlay address additionally triggers overlay-aware prefetch:
+        // the hardware knows the OBitVector, so it prefetches the next
+        // *present* overlay lines, skipping the holes that would break a
+        // plain stream prefetcher (§5.2: "the hardware ... can
+        // efficiently prefetch the overlay cache lines").
+        let mut prefetches = out.prefetches;
+        if cache_addr.is_overlay()
+            && matches!(out.result, LookupResult::Miss)
+            && self.config.hierarchy.prefetcher.enabled
+        {
+            prefetches.extend(self.overlay_prefetch_candidates(cache_addr));
+        }
+        for pf in prefetches {
+            if self.caches.probe(pf) {
+                continue;
+            }
+            if let Ok((mm_addr, _)) = self.resolve_memory(pf, false) {
+                self.dram.read(now + lat, mm_addr);
+                let wbs = self.caches.fill_prefetch(pf);
+                self.handle_writebacks(now + lat, &wbs)?;
+            }
+        }
+        Ok(lat)
+    }
+
+    /// Next present overlay lines after `addr`, following the OBitVector
+    /// across page boundaries (consecutive VPNs have consecutive OPNs
+    /// under the direct mapping, so the scan is a pure address walk).
+    fn overlay_prefetch_candidates(&self, addr: PhysAddr) -> Vec<PhysAddr> {
+        let degree = self.config.hierarchy.prefetcher.degree;
+        let distance = self.config.hierarchy.prefetcher.distance;
+        let opn = addr.opn();
+        let (asid, vpn) = opn.decode();
+        let mut out = Vec::with_capacity(degree);
+        let mut line = addr.line_in_page() + 1;
+        let mut page_off = 0u64;
+        let mut obv = self.overlay.obitvec(opn).unwrap_or(OBitVector::EMPTY);
+        for _ in 0..distance {
+            if line >= LINES_PER_PAGE {
+                line = 0;
+                page_off += 1;
+                let next = Opn::encode(asid, Vpn::new(vpn.raw() + page_off));
+                match self.overlay.obitvec(next) {
+                    Ok(v) => obv = v,
+                    Err(_) => break, // no further overlays to stream
+                }
+            }
+            if obv.contains(line) {
+                let o = Opn::encode(asid, Vpn::new(vpn.raw() + page_off));
+                out.push(o.line_addr(line));
+                if out.len() >= degree {
+                    break;
+                }
+            }
+            line += 1;
+        }
+        out
+    }
+
+    /// Maps a cache (physical-space) address to a main-memory address,
+    /// returning any extra latency (an OMT walk on an OMT-cache miss).
+    fn resolve_memory(&mut self, addr: PhysAddr, modify: bool) -> PoResult<(MainMemAddr, u64)> {
+        if addr.is_overlay() {
+            let opn = addr.opn();
+            let line = addr.line_in_page();
+            let (mm, omt_hit) = self.overlay.controller_resolve(opn, line, modify)?;
+            let extra = if omt_hit { 0 } else { self.config.overlay.omt_walk_latency };
+            Ok((mm, extra))
+        } else {
+            Ok((MainMemAddr::new(addr.raw()), 0))
+        }
+    }
+
+    /// Posts dirty evictions to memory; overlay-line evictions trigger
+    /// the lazy OMS allocation of §4.3.3.
+    fn handle_writebacks(&mut self, now: Cycle, writebacks: &[PhysAddr]) -> PoResult<()> {
+        for &wb in writebacks {
+            if wb.is_overlay() {
+                let opn = wb.opn();
+                let line = wb.line_in_page();
+                let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } =
+                    *self;
+                let mut grant = |frames: u64| {
+                    *oms_frames += frames;
+                    os.grant_oms_chunk(frames)
+                };
+                match overlay.evict_line(opn, line, mem, &mut grant) {
+                    Ok(_) => {
+                        if let Ok((mm, _)) = self.overlay.controller_resolve(opn, line, true) {
+                            self.dram.write(now, mm);
+                        }
+                    }
+                    // A stale writeback after a promotion/discard: drop it.
+                    Err(PoError::NoOverlay(_)) | Err(PoError::LineNotInOverlay { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            } else {
+                self.dram.write(now, MainMemAddr::new(wb.raw()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Classic copy-on-write fault (Figure 3a): trap, copy 64 lines with
+    /// full bank parallelism, remap with a TLB shootdown — all on the
+    /// store's critical path.
+    fn cow_fault_path(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        asid: Asid,
+        va: VirtAddr,
+        entry: &mut TlbEntry,
+    ) -> PoResult<u64> {
+        let mut lat = self.config.cow_fault_overhead;
+        let old_ppn = entry.pte.ppn;
+        let outcome = self.os.prepare_write(asid, va, &mut self.mem)?;
+        self.stats.cow_faults.inc();
+
+        if let Some(new_ppn) = outcome.new_ppn {
+            // Copy the page: 64 reads issued together (high MLP), writes
+            // posted through the write buffer.
+            let t0 = now + lat;
+            let src = MainMemAddr::new(old_ppn.base().raw());
+            let dst = MainMemAddr::new(new_ppn.base().raw());
+            let mut done_max = t0;
+            for l in 0..LINES_PER_PAGE as u64 {
+                let d = self.dram.read(t0, src.add(l * LINE_SIZE as u64));
+                done_max = done_max.max(d);
+                self.dram.write(d, dst.add(l * LINE_SIZE as u64));
+            }
+            lat += done_max - t0;
+            // The copy pollutes the cache hierarchy with the whole page
+            // (the paper's analysis of Type-2 benchmarks, §5.1).
+            for l in 0..LINES_PER_PAGE {
+                let addr = PhysAddr::new(new_ppn.line_addr(l).raw());
+                let wbs = self.caches.fill(addr, true);
+                self.handle_writebacks(done_max, &wbs)?;
+            }
+            self.stats.pages_copied.inc();
+        }
+
+        if outcome.tlb_shootdown {
+            lat += self.config.tlb_shootdown_latency;
+            for tlb in &mut self.tlbs {
+                tlb.shootdown(asid, va.vpn());
+            }
+        }
+
+        // The handler installs the new translation before returning.
+        let pte = self.os.translate(asid, va)?;
+        let new_entry = TlbEntry { asid, vpn: va.vpn(), pte, obitvec: OBitVector::EMPTY };
+        self.tlbs[core].fill(new_entry);
+        *entry = new_entry;
+        Ok(lat)
+    }
+
+    /// Overlay-on-write (Figure 3b, §4.3.3): fetch the line, retag it
+    /// into the overlay address space, broadcast the overlaying-read-
+    /// exclusive message, and continue — no page copy, no shootdown, no
+    /// OS involvement.
+    fn overlaying_write_path(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        asid: Asid,
+        vpn: Vpn,
+        line: usize,
+        entry: &mut TlbEntry,
+    ) -> PoResult<u64> {
+        let opn = Opn::encode(asid, vpn);
+        let phys_addr = PhysAddr::new(entry.pte.ppn.line_addr(line).raw());
+        let overlay_addr = opn.line_addr(line);
+
+        // Step 1: bring the original line into the cache (read path) and
+        // update its tag to the overlay page (§4.3.3 step 1).
+        let mut lat = self.fetch_line(now, phys_addr, AccessKind::Read)?;
+        let data = self.mem.read_line(MainMemAddr::new(phys_addr.raw()));
+        let (wbs, _) = self.caches.retag(phys_addr, overlay_addr);
+        self.handle_writebacks(now + lat, &wbs)?;
+
+        // Step 2: coherence-carried OBitVector update, broadcast to
+        // every core's TLB over the coherence network (no shootdown).
+        lat += self.config.coherence_update_latency;
+        for tlb in &mut self.tlbs {
+            tlb.coherence_obit_update(asid, vpn, line, true);
+        }
+        self.overlay.overlaying_write(opn, line, data)?;
+        entry.obitvec.set(line);
+        self.stats.overlaying_writes.inc();
+
+        // Optional promotion (§4.3.4) once the overlay covers enough of
+        // the page.
+        if entry.obitvec.len() >= self.config.promote_threshold {
+            lat += self.promote(now + lat, core, asid, vpn, entry)?;
+        }
+        Ok(lat)
+    }
+
+    /// Copy-and-commit promotion: materialize the merged page in a fresh
+    /// frame and retire the overlay.
+    fn promote(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        asid: Asid,
+        vpn: Vpn,
+        entry: &mut TlbEntry,
+    ) -> PoResult<u64> {
+        let opn = Opn::encode(asid, vpn);
+        let old_ppn = entry.pte.ppn;
+        // The page must become private: reuse the CoW machinery to get a
+        // fresh writable frame, then merge the overlay into it.
+        let outcome = self.os.prepare_write(asid, vpn.base(), &mut self.mem)?;
+        let new_ppn = outcome.new_ppn.unwrap_or(old_ppn);
+        let src = MainMemAddr::new(old_ppn.base().raw());
+        let dst = MainMemAddr::new(new_ppn.base().raw());
+        // prepare_write already copied old→new if the frame was shared,
+        // so committing the overlay on top of dst yields the merged page
+        // (for the sole-owner case src == dst and the copy is implicit).
+        self.overlay.commit(opn, dst, &mut self.mem)?;
+        // Invalidate stale overlay-tagged lines.
+        for l in 0..LINES_PER_PAGE {
+            self.caches.invalidate_line(opn.line_addr(l));
+        }
+        // Remap: shootdown + refreshed entry with a cleared OBitVector.
+        let mut lat = self.config.tlb_shootdown_latency;
+        for tlb in &mut self.tlbs {
+            tlb.shootdown(asid, vpn);
+        }
+        let pte = self.os.translate(asid, vpn.base())?;
+        let new_entry = TlbEntry { asid, vpn, pte, obitvec: OBitVector::EMPTY };
+        self.tlbs[core].fill(new_entry);
+        *entry = new_entry;
+        // Copy cost: the page copy ran through DRAM.
+        let t0 = now;
+        let mut done_max = t0;
+        for l in 0..LINES_PER_PAGE as u64 {
+            let d = self.dram.read(t0, src.add(l * LINE_SIZE as u64));
+            done_max = done_max.max(d);
+            self.dram.write(d, dst.add(l * LINE_SIZE as u64));
+        }
+        lat += done_max - t0;
+        self.stats.promotions.inc();
+        Ok(lat)
+    }
+
+    // ------------------------------------------------------------------
+    // Functional (untimed) access path — used by examples and
+    // correctness oracles.
+    // ------------------------------------------------------------------
+
+    /// Functionally writes one byte, honoring overlay semantics: a write
+    /// to a CoW page in overlay mode lands in the overlay; otherwise the
+    /// classic OS path is used.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation/protection failures.
+    pub fn poke(&mut self, asid: Asid, va: VirtAddr, value: u8) -> PoResult<()> {
+        let pte = self.os.translate(asid, va)?;
+        let vpn = va.vpn();
+        let opn = Opn::encode(asid, vpn);
+        let line = va.line_in_page();
+        let in_overlay = self
+            .overlay
+            .obitvec(opn)
+            .map(|v| v.contains(line))
+            .unwrap_or(false);
+        let overlay_write = pte.flags.overlay_enabled
+            && (in_overlay || (self.config.overlay_mode && pte.flags.cow && !pte.flags.writable));
+        if overlay_write {
+            let phys = MainMemAddr::new(pte.ppn.line_addr(line).raw());
+            let mut data = self.overlay.resolve_read(opn, line, phys, &self.mem)?;
+            data.as_mut_bytes()[va.line_offset()] = value;
+            if in_overlay {
+                self.overlay.write_line(opn, line, data)?;
+            } else {
+                self.overlay.overlaying_write(opn, line, data)?;
+                for tlb in &mut self.tlbs {
+                    tlb.coherence_obit_update(asid, vpn, line, true);
+                }
+            }
+            Ok(())
+        } else {
+            self.os.write(asid, va, value, &mut self.mem).map(|_| ())
+        }
+    }
+
+    /// Functionally reads one byte with overlay semantics (§2.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn peek(&self, asid: Asid, va: VirtAddr) -> PoResult<u8> {
+        let pte = self.os.translate(asid, va)?;
+        let vpn = va.vpn();
+        let opn = Opn::encode(asid, vpn);
+        let line = va.line_in_page();
+        let phys = MainMemAddr::new(pte.ppn.line_addr(line).raw());
+        if pte.flags.overlay_enabled {
+            let data = self.overlay.resolve_read(opn, line, phys, &self.mem)?;
+            Ok(data.as_bytes()[va.line_offset()])
+        } else {
+            Ok(self.mem.read_line(phys).as_bytes()[va.line_offset()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOp;
+
+    fn machine(overlay_mode: bool) -> (Machine, Asid) {
+        let config = if overlay_mode {
+            SystemConfig::table2_overlay()
+        } else {
+            SystemConfig::table2()
+        };
+        let mut m = Machine::new(config).unwrap();
+        let pid = m.spawn_process().unwrap();
+        m.map_range(pid, Vpn::new(0x100), 16).unwrap();
+        (m, pid)
+    }
+
+    fn va(page: u64, line: u64) -> VirtAddr {
+        VirtAddr::new((0x100 + page) * PAGE_SIZE as u64 + line * LINE_SIZE as u64)
+    }
+
+    #[test]
+    fn cold_access_costs_tlb_walk_and_dram() {
+        let (mut m, pid) = machine(false);
+        let lat = m.access_at(0, pid, va(0, 0), AccessKind::Read).unwrap();
+        assert!(lat > 1000, "cold access must include the 1000-cycle walk, got {lat}");
+        let lat2 = m.access_at(lat, pid, va(0, 0), AccessKind::Read).unwrap();
+        assert!(lat2 <= 3, "hot access is an L1 + TLB hit, got {lat2}");
+    }
+
+    #[test]
+    fn cow_store_copies_page_on_critical_path() {
+        let (mut m, pid) = machine(false);
+        m.poke(pid, va(0, 0), 7).unwrap();
+        let _child = m.fork(pid).unwrap();
+        m.mark_memory_epoch();
+        let lat = m.access_at(0, pid, va(0, 0), AccessKind::Write).unwrap();
+        assert!(
+            lat > m.config().cow_fault_overhead + m.config().tlb_shootdown_latency,
+            "CoW store must pay fault + copy + shootdown, got {lat}"
+        );
+        assert_eq!(m.snapshot().pages_copied.get(), 1);
+        assert_eq!(m.extra_memory_bytes(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn overlay_store_is_much_cheaper_than_cow() {
+        let (mut m_cow, pid_c) = machine(false);
+        let (mut m_ovl, pid_o) = machine(true);
+        for (m, pid) in [(&mut m_cow, pid_c), (&mut m_ovl, pid_o)] {
+            m.poke(pid, va(0, 0), 1).unwrap();
+            let _ = m.fork(pid).unwrap();
+            m.mark_memory_epoch();
+        }
+        let lat_cow = m_cow.access_at(0, pid_c, va(0, 0), AccessKind::Write).unwrap();
+        let lat_ovl = m_ovl.access_at(0, pid_o, va(0, 0), AccessKind::Write).unwrap();
+        assert!(
+            lat_ovl * 2 < lat_cow,
+            "overlaying write ({lat_ovl}) must be far cheaper than CoW ({lat_cow})"
+        );
+        assert_eq!(m_ovl.snapshot().overlaying_writes.get(), 1);
+        assert_eq!(m_ovl.snapshot().pages_copied.get(), 0);
+    }
+
+    #[test]
+    fn overlay_memory_is_line_granular() {
+        let (mut m, pid) = machine(true);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let _child = m.fork(pid).unwrap();
+        m.mark_memory_epoch();
+        // One store → one overlay line.
+        m.access_at(0, pid, va(0, 3), AccessKind::Write).unwrap();
+        m.flush_overlays().unwrap();
+        let extra = m.extra_memory_bytes();
+        assert!(
+            extra <= 256,
+            "one diverged line must cost one small segment, got {extra} bytes"
+        );
+    }
+
+    #[test]
+    fn overlay_reads_come_from_overlay_after_divergence() {
+        let (mut m, pid) = machine(true);
+        m.poke(pid, va(0, 0), 0x11).unwrap();
+        let child = m.fork(pid).unwrap();
+        m.poke(pid, va(0, 0), 0x22).unwrap(); // parent diverges via overlay
+        assert_eq!(m.peek(pid, va(0, 0)).unwrap(), 0x22);
+        assert_eq!(m.peek(child, va(0, 0)).unwrap(), 0x11, "child unaffected");
+    }
+
+    #[test]
+    fn fork_isolation_matches_under_both_modes() {
+        // DESIGN.md invariant 4: parent/child isolation identical in CoW
+        // and OoW modes.
+        for mode in [false, true] {
+            let (mut m, pid) = machine(mode);
+            for i in 0..32u64 {
+                m.poke(pid, va(i % 4, i % 64), i as u8).unwrap();
+            }
+            let child = m.fork(pid).unwrap();
+            for i in 0..32u64 {
+                m.poke(pid, va(i % 4, i % 64), 100 + i as u8).unwrap();
+            }
+            for i in 0..32u64 {
+                let child_sees = m.peek(child, va(i % 4, i % 64)).unwrap();
+                let parent_sees = m.peek(pid, va(i % 4, i % 64)).unwrap();
+                assert_eq!(parent_sees, 100 + i as u8, "mode={mode}");
+                assert_ne!(child_sees, parent_sees, "mode={mode} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_accumulates_instructions_and_cycles() {
+        let (mut m, pid) = machine(false);
+        m.execute(pid, &TraceOp::Compute(100)).unwrap();
+        m.execute(pid, &TraceOp::Load(va(0, 0))).unwrap();
+        m.execute(pid, &TraceOp::Store(va(0, 1))).unwrap();
+        let s = m.snapshot();
+        assert_eq!(s.instructions, 102);
+        assert_eq!(s.loads.get(), 1);
+        assert_eq!(s.stores.get(), 1);
+        assert!(s.cycles > 1000, "TLB walk dominates the first access");
+    }
+
+    #[test]
+    fn unmapped_access_errors() {
+        let (mut m, pid) = machine(false);
+        assert!(matches!(
+            m.access_at(0, pid, VirtAddr::new(0xdead_f000), AccessKind::Read),
+            Err(PoError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn simple_write_after_overlaying_write_is_cheap() {
+        let (mut m, pid) = machine(true);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let _child = m.fork(pid).unwrap();
+        let first = m.access_at(0, pid, va(0, 5), AccessKind::Write).unwrap();
+        let second = m.access_at(first, pid, va(0, 5), AccessKind::Write).unwrap();
+        assert!(second < 10, "simple overlay write must be a cache hit, got {second}");
+        assert!(first > second);
+    }
+}

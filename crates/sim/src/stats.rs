@@ -1,0 +1,36 @@
+//! Simulation statistics.
+
+use po_types::Counter;
+
+/// Aggregate statistics of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Demand loads.
+    pub loads: Counter,
+    /// Demand stores.
+    pub stores: Counter,
+    /// Copy-on-write faults taken (CoW mode).
+    pub cow_faults: Counter,
+    /// Full pages copied by CoW.
+    pub pages_copied: Counter,
+    /// Overlaying writes performed (OoW mode).
+    pub overlaying_writes: Counter,
+    /// Overlay promotions to full pages.
+    pub promotions: Counter,
+    /// Bytes of demand + copy traffic moved over the memory bus.
+    pub bus_bytes: u64,
+    /// Extra physical memory allocated since the measurement epoch
+    /// (regular frames + overlay store), in bytes — the Figure 8 metric.
+    pub extra_memory_bytes: u64,
+}
+
+impl SimStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        po_types::stats::ratio(self.cycles, self.instructions)
+    }
+}

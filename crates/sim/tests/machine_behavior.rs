@@ -1,0 +1,236 @@
+//! Machine-level behavioral tests: the end-to-end effects the figures
+//! rely on must be visible at the access level.
+
+use po_sim::{run_trace, Machine, SystemConfig, TraceOp};
+use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
+use po_types::{AccessKind, Asid, LineData, VirtAddr, Vpn};
+
+fn machine(config: SystemConfig) -> (Machine, Asid) {
+    let mut m = Machine::new(config).unwrap();
+    let pid = m.spawn_process().unwrap();
+    (m, pid)
+}
+
+fn va(vpn: u64, line: u64) -> VirtAddr {
+    VirtAddr::new(vpn * PAGE_SIZE as u64 + line * LINE_SIZE as u64)
+}
+
+#[test]
+fn streaming_reads_benefit_from_prefetch() {
+    let stream: Vec<TraceOp> = (0..2048u64)
+        .map(|i| TraceOp::Load(va(0x100 + i / 64, i % 64)))
+        .collect();
+
+    let mut on = SystemConfig::table2();
+    on.hierarchy.prefetcher.enabled = true;
+    let mut off = SystemConfig::table2();
+    off.hierarchy.prefetcher.enabled = false;
+
+    let mut cycles = Vec::new();
+    for config in [on, off] {
+        let (mut m, pid) = machine(config);
+        m.map_range(pid, Vpn::new(0x100), 40).unwrap();
+        let stats = run_trace(&mut m, pid, &stream).unwrap();
+        cycles.push(stats.cycles);
+    }
+    assert!(
+        cycles[0] * 2 < cycles[1],
+        "prefetching must at least halve streaming time ({} vs {})",
+        cycles[0],
+        cycles[1]
+    );
+}
+
+#[test]
+fn tlb_miss_cost_shows_up_once_per_page() {
+    let (mut m, pid) = machine(SystemConfig::table2());
+    m.map_range(pid, Vpn::new(0x200), 2).unwrap();
+    let cold = m.access_at(0, pid, va(0x200, 0), AccessKind::Read).unwrap();
+    let warm_same_page =
+        m.access_at(cold, pid, va(0x200, 1), AccessKind::Read).unwrap();
+    let cold_next_page =
+        m.access_at(cold * 2, pid, va(0x201, 0), AccessKind::Read).unwrap();
+    assert!(cold >= 1000, "first touch pays the walk: {cold}");
+    assert!(warm_same_page < 200, "same page reuses the TLB entry: {warm_same_page}");
+    assert!(cold_next_page >= 1000, "new page pays a fresh walk: {cold_next_page}");
+}
+
+#[test]
+fn overlay_read_after_flush_resolves_through_oms() {
+    // Seed an overlay line, flush it to the OMS, evict it from the
+    // caches by streaming, then read it: the access must succeed and
+    // cost a memory round-trip (controller → OMT cache → OMS → DRAM).
+    let (mut m, pid) = machine(SystemConfig::table2_overlay());
+    m.map_shared_zero_range(pid, Vpn::new(0x300), 1).unwrap();
+    m.seed_overlay_line(pid, Vpn::new(0x300), 7, LineData::splat(0xAD)).unwrap();
+    m.map_range(pid, Vpn::new(0x400), 600).unwrap();
+
+    // Stream enough lines to evict everything (600 pages > 2 MB L3).
+    let wash: Vec<TraceOp> = (0..600u64 * 64)
+        .map(|i| TraceOp::Load(va(0x400 + i / 64, i % 64)))
+        .collect();
+    run_trace(&mut m, pid, &wash).unwrap();
+
+    let lat = m.access_at(10_000_000, pid, va(0x300, 7), AccessKind::Read).unwrap();
+    assert!(lat > 50, "post-wash overlay read must go to memory, got {lat}");
+    // The data is intact through the whole path.
+    assert_eq!(
+        m.peek(pid, va(0x300, 7)).unwrap(),
+        0xAD,
+        "overlay line data must survive cache eviction"
+    );
+    // Lines NOT in the overlay read as zero from the shared zero page.
+    assert_eq!(m.peek(pid, va(0x300, 8)).unwrap(), 0);
+}
+
+#[test]
+fn overlaying_write_latency_is_line_not_page_scale() {
+    let (mut m_oow, pid_o) = machine(SystemConfig::table2_overlay());
+    let (mut m_cow, pid_c) = machine(SystemConfig::table2());
+    for (m, pid) in [(&mut m_oow, pid_o), (&mut m_cow, pid_c)] {
+        m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+        m.poke(pid, va(0x100, 0), 1).unwrap();
+        m.fork(pid).unwrap();
+    }
+    let oow = m_oow.access_at(0, pid_o, va(0x100, 0), AccessKind::Write).unwrap();
+    let cow = m_cow.access_at(0, pid_c, va(0x100, 0), AccessKind::Write).unwrap();
+    // CoW pays fault + copy + shootdown (>= 10k with Table 2 costs);
+    // the overlaying write is two orders smaller than a page copy path.
+    assert!(cow > 10_000, "CoW store cost {cow}");
+    assert!(oow < cow / 4, "overlaying write ({oow}) must be a fraction of CoW ({cow})");
+}
+
+#[test]
+fn second_fork_generation_works() {
+    // Grandchild forks: overlays/CoW interact across generations.
+    let (mut m, a) = machine(SystemConfig::table2_overlay());
+    m.map_range(a, Vpn::new(0x100), 1).unwrap();
+    m.poke(a, va(0x100, 0), 1).unwrap();
+    let b = m.fork(a).unwrap();
+    m.poke(a, va(0x100, 0), 2).unwrap(); // a diverges via overlay
+    let c = m.fork(b).unwrap(); // b (still on the original data) forks again
+    m.poke(b, va(0x100, 0), 3).unwrap();
+    assert_eq!(m.peek(a, va(0x100, 0)).unwrap(), 2);
+    assert_eq!(m.peek(b, va(0x100, 0)).unwrap(), 3);
+    assert_eq!(m.peek(c, va(0x100, 0)).unwrap(), 1, "grandchild sees the original");
+}
+
+#[test]
+fn promotion_converts_a_fully_diverged_overlay_to_a_page() {
+    // Threshold 4: four overlaying writes to one page trigger the
+    // copy-and-commit promotion (§4.3.4): the overlay disappears, the
+    // page becomes private and writable, and further stores are plain.
+    let mut config = SystemConfig::table2_overlay();
+    config.promote_threshold = 4;
+    let (mut m, pid) = machine(config);
+    m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+    let _child = m.fork(pid).unwrap();
+
+    let mut t = 0;
+    for line in 0..4u64 {
+        t += m.access_at(t, pid, va(0x100, line), AccessKind::Write).unwrap();
+    }
+    let s = m.snapshot();
+    assert_eq!(s.promotions.get(), 1, "4th diverged line must promote");
+    assert_eq!(m.overlay().overlay_count(), 0, "overlay destroyed by promotion");
+    assert_eq!(m.overlay().overlay_memory_bytes(), 0, "OMS space reclaimed");
+    // The page is now private: the next store is an ordinary write hit.
+    let lat = m.access_at(t, pid, va(0x100, 10), AccessKind::Write).unwrap();
+    assert!(lat < 1000, "post-promotion store must be plain, got {lat}");
+    assert_eq!(m.snapshot().overlaying_writes.get(), 4);
+}
+
+#[test]
+fn cross_core_coherence_updates_remote_tlbs_without_shootdown() {
+    // Two cores; core 1 caches a shared page's translation, core 0
+    // performs an overlaying write. Core 1's TLB must see the new
+    // OBitVector bit (via the overlaying-read-exclusive broadcast) and
+    // its next read must route to the overlay — with zero shootdowns.
+    let mut config = SystemConfig::table2_overlay();
+    config.cores = 2;
+    let (mut m, pid) = machine(config);
+    m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+    m.poke(pid, va(0x100, 0), 0x11).unwrap();
+    let _child = m.fork(pid).unwrap();
+
+    // Core 1 warms its TLB with the shared page.
+    m.access_at_core(0, 1, pid, va(0x100, 0), AccessKind::Read).unwrap();
+    assert!(m.tlb_of(1).peek(pid, Vpn::new(0x100)).is_some());
+
+    // Core 0 diverges line 0.
+    m.access_at_core(100_000, 0, pid, va(0x100, 0), AccessKind::Write).unwrap();
+
+    // Core 1's cached entry was updated in place.
+    let remote = m.tlb_of(1).peek(pid, Vpn::new(0x100)).expect("still cached");
+    assert!(remote.obitvec.contains(0), "remote OBitVector must be updated");
+    assert_eq!(m.tlb_of(1).stats().shootdowns.get(), 0, "no shootdown on core 1");
+    assert!(m.tlb_of(1).stats().obit_updates.get() >= 1);
+
+    // And a timed read on core 1 works (hits the overlay address).
+    let lat = m
+        .access_at_core(200_000, 1, pid, va(0x100, 0), AccessKind::Read)
+        .unwrap();
+    assert!(lat < 1000, "core 1 must not re-walk: its TLB entry is still valid, got {lat}");
+}
+
+#[test]
+fn cow_shootdown_reaches_every_core() {
+    let mut config = SystemConfig::table2(); // classic CoW
+    config.cores = 2;
+    let (mut m, pid) = machine(config);
+    m.map_range(pid, Vpn::new(0x100), 1).unwrap();
+    let _child = m.fork(pid).unwrap();
+    m.access_at_core(0, 1, pid, va(0x100, 0), AccessKind::Read).unwrap();
+    m.access_at_core(100_000, 0, pid, va(0x100, 0), AccessKind::Write).unwrap();
+    assert_eq!(m.tlb_of(1).stats().shootdowns.get(), 1, "CoW remap must shoot down core 1");
+    assert!(m.tlb_of(1).peek(pid, Vpn::new(0x100)).is_none());
+}
+
+#[test]
+fn refork_materializes_parent_overlays() {
+    // Checkpoint semantics: the parent diverges via overlays, then forks
+    // again. The new checkpoint child must see the parent's *current*
+    // data (overlays committed at fork), while the old child keeps the
+    // original snapshot.
+    let (mut m, parent) = machine(SystemConfig::table2_overlay());
+    m.map_range(parent, Vpn::new(0x100), 2).unwrap();
+    m.poke(parent, va(0x100, 0), 1).unwrap();
+
+    let ck1 = m.fork(parent).unwrap();
+    m.poke(parent, va(0x100, 0), 2).unwrap(); // diverges via overlay
+    m.poke(parent, va(0x101, 5), 9).unwrap();
+    assert!(m.overlay().overlay_count() >= 1);
+
+    let ck2 = m.fork(parent).unwrap(); // must commit the overlays first
+    assert_eq!(
+        m.overlay().overlay_count(),
+        0,
+        "fork must materialize the parent's overlays"
+    );
+    assert_eq!(m.peek(ck2, va(0x100, 0)).unwrap(), 2, "new checkpoint sees current data");
+    assert_eq!(m.peek(ck2, va(0x101, 5)).unwrap(), 9);
+    assert_eq!(m.peek(ck1, va(0x100, 0)).unwrap(), 1, "old checkpoint unchanged");
+
+    // The parent can keep diverging afterwards.
+    m.poke(parent, va(0x100, 0), 3).unwrap();
+    assert_eq!(m.peek(parent, va(0x100, 0)).unwrap(), 3);
+    assert_eq!(m.peek(ck2, va(0x100, 0)).unwrap(), 2);
+}
+
+#[test]
+fn snapshot_accounting_is_consistent() {
+    let (mut m, pid) = machine(SystemConfig::table2());
+    m.map_range(pid, Vpn::new(0x100), 4).unwrap();
+    let ops = vec![
+        TraceOp::Compute(50),
+        TraceOp::Load(va(0x100, 0)),
+        TraceOp::Store(va(0x101, 0)),
+        TraceOp::Load(va(0x100, 1)),
+    ];
+    let stats = run_trace(&mut m, pid, &ops).unwrap();
+    assert_eq!(stats.instructions, 53);
+    assert_eq!(stats.loads.get(), 2);
+    assert_eq!(stats.stores.get(), 1);
+    assert!(stats.cycles >= stats.instructions);
+    assert!(stats.cpi() >= 1.0);
+}

@@ -1,0 +1,292 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on 87 matrices from the UF Sparse Matrix
+//! Collection (each with ≥1.5 M non-zeros). That dataset is not
+//! available offline, so this module generates a suite of 87 synthetic
+//! matrices with the same *property that drives the results*: the
+//! non-zero-locality metric **L** (average non-zeros per non-zero 64 B
+//! line) spanning ~1…8, produced by realistic structure families
+//! (diagonal/banded, clustered runs, random blocks, power-law rows).
+//! Figure 10's x-axis sorts by L; the crossover near L ≈ 4.5 and the
+//! Figure 11 line-size trade-off re-emerge from this suite. See
+//! DESIGN.md §3.
+
+use crate::matrix::TripletMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Description of one generated matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixSpec {
+    /// Human-readable name (family + parameters).
+    pub name: String,
+    /// The matrix.
+    pub matrix: TripletMatrix,
+}
+
+/// Non-zeros placed in runs of `run_len` consecutive columns, aligned to
+/// line boundaries with probability `align_prob` — the direct L knob:
+/// aligned runs of length `k ≤ 8` give L ≈ k.
+pub fn clustered(
+    rows: usize,
+    cols: usize,
+    nnz_target: usize,
+    run_len: usize,
+    align: bool,
+    seed: u64,
+) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(rows, cols);
+    let run_len = run_len.clamp(1, cols);
+    while t.nnz() + run_len <= nnz_target {
+        let r = rng.gen_range(0..rows);
+        let start_max = cols - run_len;
+        let mut c0 = rng.gen_range(0..=start_max);
+        if align {
+            // Align runs to cache-line boundaries so a run of k ≤ 8
+            // occupies exactly one line (L ≈ k).
+            c0 -= c0 % 8;
+        }
+        for k in 0..run_len {
+            t.push(r, c0 + k, rng.gen_range(0.1..10.0));
+        }
+    }
+    t
+}
+
+/// A banded matrix: non-zeros within `bandwidth` of the diagonal.
+pub fn banded(n: usize, bandwidth: usize, seed: u64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(n);
+        for c in lo..hi {
+            t.push(r, c, rng.gen_range(0.1..10.0));
+        }
+    }
+    t
+}
+
+/// Dense `block x block` tiles scattered uniformly until `nnz_target`.
+pub fn block_random(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    nnz_target: usize,
+    seed: u64,
+) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(rows, cols);
+    let block = block.clamp(1, rows.min(cols));
+    while t.nnz() + block * block <= nnz_target {
+        let r0 = rng.gen_range(0..=(rows - block));
+        let c0 = rng.gen_range(0..=(cols - block));
+        for dr in 0..block {
+            for dc in 0..block {
+                t.push(r0 + dr, c0 + dc, rng.gen_range(0.1..10.0));
+            }
+        }
+    }
+    t
+}
+
+/// Uniformly random scatter — the worst case for locality (L → 1 when
+/// sparse).
+pub fn uniform_random(rows: usize, cols: usize, nnz_target: usize, seed: u64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(rows, cols);
+    while t.nnz() < nnz_target {
+        let r = rng.gen_range(0..rows);
+        let c = rng.gen_range(0..cols);
+        t.push(r, c, rng.gen_range(0.1..10.0));
+    }
+    t
+}
+
+/// Power-law row lengths (a few very dense rows, many near-empty ones) —
+/// the web-graph / social-network shape common in the UF collection.
+pub fn powerlaw(rows: usize, cols: usize, nnz_target: usize, seed: u64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(rows, cols);
+    let mut r = 0usize;
+    while t.nnz() < nnz_target {
+        // Row length ~ 1/(rank+1), capped.
+        let rank = rng.gen_range(1..rows + 1);
+        let len = (cols / rank).clamp(1, cols / 2);
+        let c0 = rng.gen_range(0..cols - len + 1);
+        for k in 0..len {
+            if t.nnz() >= nnz_target {
+                break;
+            }
+            t.push(r % rows, c0 + k, rng.gen_range(0.1..10.0));
+        }
+        r += 1;
+    }
+    t
+}
+
+/// A random matrix with an exact fraction of zero cache lines — used by
+/// the §5.2 sensitivity study ("randomly-generated sparse matrices with
+/// varying levels of sparsity").
+pub fn with_zero_line_fraction(
+    rows: usize,
+    cols: usize,
+    zero_line_fraction: f64,
+    seed: u64,
+) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(rows, cols);
+    let per_line = 8;
+    let total_lines = rows * cols / per_line;
+    for line in 0..total_lines {
+        if rng.gen_range(0.0..1.0) >= zero_line_fraction {
+            // Fill the whole line (keeps L high so the comparison is
+            // purely about the zero-line fraction).
+            let flat0 = line * per_line;
+            for k in 0..per_line {
+                let flat = flat0 + k;
+                t.push(flat / cols, flat % cols, rng.gen_range(0.1..10.0));
+            }
+        }
+    }
+    t
+}
+
+/// Generates the 87-matrix stand-in suite for the UF collection,
+/// spanning L from ~1 to 8. `scale` multiplies the target non-zero
+/// counts (1.0 ≈ tens of thousands of non-zeros per matrix — scaled
+/// down from the paper's ≥1.5 M so the full sweep runs quickly; the
+/// normalized figures are scale-invariant, see DESIGN.md §5).
+pub fn uf_like_suite(scale: f64, seed: u64) -> Vec<MatrixSpec> {
+    let mut out = Vec::new();
+    let nnz = |base: usize| ((base as f64 * scale) as usize).max(64);
+    let mut idx = 0u64;
+
+    // 29 clustered matrices sweeping run length 1..=8 (aligned), several
+    // densities each — direct L sweep.
+    for run in 1..=8usize {
+        for variant in 0..4usize {
+            if out.len() >= 29 {
+                break;
+            }
+            idx += 1;
+            let cols = 512;
+            // Pick rows so non-zero lines pack pages densely (~40-60
+            // lines per 64-line page), as in FEM-style UF matrices:
+            // page density and per-line locality are then independent.
+            let target = nnz(20_000);
+            let lines = (target / run).max(1);
+            let rows = (lines / (48 + 4 * variant)).clamp(8, 4096);
+            out.push(MatrixSpec {
+                name: format!("clustered_r{run}_v{variant}"),
+                matrix: clustered(rows, cols, target, run, true, seed + idx),
+            });
+        }
+    }
+    // 15 banded matrices, bandwidth sweep (high L for wide bands).
+    for (i, bw) in [0usize, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+        .into_iter()
+        .enumerate()
+    {
+        idx += 1;
+        // Round to a multiple of 8 so rows stay line-aligned (the timed
+        // SpMV paths require line-aligned columns).
+        let n = (nnz(20_000) / (2 * bw + 1)).clamp(64, 4096) / 8 * 8;
+        out.push(MatrixSpec { name: format!("banded_bw{bw}_{i}"), matrix: banded(n, bw, seed + idx) });
+    }
+    // 15 block matrices, block-size sweep.
+    for (i, b) in [1usize, 2, 2, 3, 3, 4, 4, 5, 6, 6, 8, 8, 10, 12, 16].into_iter().enumerate() {
+        idx += 1;
+        out.push(MatrixSpec {
+            name: format!("block_b{b}_{i}"),
+            matrix: block_random(512, 512, b, nnz(20_000), seed + idx),
+        });
+    }
+    // 14 uniform-random matrices, density sweep (low L, scattered over
+    // a large dense extent — the page-granularity worst case).
+    for i in 0..14usize {
+        idx += 1;
+        let rows = 1024 + i * 256;
+        out.push(MatrixSpec {
+            name: format!("uniform_{i}"),
+            matrix: uniform_random(rows, 512, nnz(8_000 + i * 1500), seed + idx),
+        });
+    }
+    // 14 power-law matrices (web-graph shape: huge extent, skewed rows).
+    for i in 0..14usize {
+        idx += 1;
+        out.push(MatrixSpec {
+            name: format!("powerlaw_{i}"),
+            matrix: powerlaw(1024 + i * 128, 512, nnz(15_000 + i * 1000), seed + idx),
+        });
+    }
+
+    out.truncate(87);
+    debug_assert_eq!(out.len(), 87);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::nonzero_locality;
+
+    #[test]
+    fn suite_has_87_matrices_spanning_l() {
+        let suite = uf_like_suite(0.05, 42);
+        assert_eq!(suite.len(), 87);
+        let ls: Vec<f64> =
+            suite.iter().map(|s| nonzero_locality(&s.matrix, 64)).collect();
+        let min = ls.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ls.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < 1.7, "suite must include poor-locality matrices, min={min}");
+        assert!(max > 6.0, "suite must include high-locality matrices, max={max}");
+        // Both sides of the paper's L = 4.5 crossover are populated.
+        assert!(ls.iter().filter(|&&l| l > 4.5).count() >= 15);
+        assert!(ls.iter().filter(|&&l| l < 4.5).count() >= 15);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_random(64, 64, 500, 7);
+        let b = uniform_random(64, 64, 500, 7);
+        assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            b.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn aligned_runs_control_locality() {
+        let tight = clustered(128, 512, 5_000, 8, true, 1);
+        let loose = clustered(128, 512, 5_000, 1, true, 2);
+        assert!(nonzero_locality(&tight, 64) > 6.0);
+        assert!(nonzero_locality(&loose, 64) < 2.0);
+    }
+
+    #[test]
+    fn banded_width_zero_is_diagonal() {
+        let t = banded(100, 0, 3);
+        assert_eq!(t.nnz(), 100);
+        for (r, c, _) in t.iter() {
+            assert_eq!(r, c);
+        }
+    }
+
+    #[test]
+    fn zero_line_fraction_is_respected() {
+        let t = with_zero_line_fraction(64, 64, 0.75, 9);
+        let total_lines = 64 * 64 / 8;
+        let nonzero_lines = t.nnz() / 8;
+        let frac = 1.0 - nonzero_lines as f64 / total_lines as f64;
+        assert!((frac - 0.75).abs() < 0.1, "frac = {frac}");
+    }
+
+    #[test]
+    fn block_matrices_have_blocky_locality() {
+        let t = block_random(256, 256, 8, 10_000, 11);
+        assert!(nonzero_locality(&t, 64) > 2.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # po-sparse — sparse data structures over page overlays (§5.2)
+//!
+//! The paper's second quantitative application: represent a sparse
+//! matrix by mapping all of its virtual pages to a single zero physical
+//! page and storing only the **non-zero cache lines** in overlays. The
+//! hardware then computes only on non-zero lines, prefetches them
+//! efficiently, and supports cheap dynamic insertion — the comparison
+//! points against CSR (Figures 10 & 11).
+//!
+//! This crate provides:
+//!
+//! * the matrix substrate: [`DenseMatrix`], [`TripletMatrix`] (COO
+//!   builder) and [`CsrMatrix`] with SpMV kernels ([`matrix`]),
+//! * the overlay-backed representation [`OverlayMatrix`] with SpMV and
+//!   O(1)-ish dynamic updates ([`overlay_repr`]),
+//! * the paper's metrics: the **L** non-zero-locality measure, CSR /
+//!   ideal / per-line-size footprints ([`metrics`]),
+//! * synthetic real-world-like matrix generators standing in for the UF
+//!   Sparse Matrix Collection ([`gen`]; see DESIGN.md §3 for the
+//!   substitution rationale),
+//! * the timing bridge: SpMV address traces for dense, CSR and overlay
+//!   representations, executed on the `po-sim` machine ([`timed`]).
+//!
+//! # Example
+//!
+//! ```
+//! use po_sparse::{TripletMatrix, CsrMatrix, OverlayMatrix};
+//!
+//! let mut t = TripletMatrix::new(4, 16);
+//! t.push(0, 0, 1.0);
+//! t.push(2, 9, -3.5);
+//! let csr = CsrMatrix::from_triplets(&t);
+//! let ovl = OverlayMatrix::from_triplets(&t);
+//! let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+//! assert_eq!(csr.spmv(&x), ovl.spmv(&x));
+//! ```
+
+pub mod gen;
+pub mod matrix;
+pub mod metrics;
+pub mod mtx;
+pub mod overlay_repr;
+pub mod timed;
+
+pub use gen::{uf_like_suite, MatrixSpec};
+pub use matrix::{CsrMatrix, DenseMatrix, TripletMatrix};
+pub use metrics::{csr_bytes, csr_bytes_from_parts, ideal_bytes, nonzero_locality, overhead_vs_ideal, overlay_bytes_for_line_size};
+pub use mtx::{read_mtx, write_mtx, MtxError};
+pub use overlay_repr::OverlayMatrix;
+pub use timed::{SpmvTiming, TimedSpmv};

@@ -1,0 +1,138 @@
+//! Footprint and locality metrics (Figures 10 & 11).
+
+use crate::matrix::TripletMatrix;
+use std::collections::BTreeSet;
+
+/// The paper's **L** metric for a triplet matrix under a given storage
+/// line size: average non-zero values per non-zero line (values are
+/// 8-byte doubles, so a 64 B line holds 8 and `1 ≤ L ≤ 8` at the
+/// default line size).
+pub fn nonzero_locality(t: &TripletMatrix, line_bytes: usize) -> f64 {
+    let per_line = line_bytes / 8;
+    let mut lines: BTreeSet<usize> = BTreeSet::new();
+    let mut nnz = 0usize;
+    for (r, c, _) in t.iter() {
+        let flat = r * t.cols() + c;
+        lines.insert(flat / per_line);
+        nnz += 1;
+    }
+    if lines.is_empty() {
+        0.0
+    } else {
+        nnz as f64 / lines.len() as f64
+    }
+}
+
+/// Bytes of the ideal representation: non-zero values only (Figure 11's
+/// normalization baseline).
+pub fn ideal_bytes(t: &TripletMatrix) -> u64 {
+    t.nnz() as u64 * 8
+}
+
+/// Bytes of the CSR representation: 8 B values + 4 B column indices +
+/// 4 B row pointers ("roughly 1.5 times the number of non-zero values",
+/// §5.2).
+pub fn csr_bytes(t: &TripletMatrix) -> u64 {
+    csr_bytes_from_parts(t.nnz(), t.rows())
+}
+
+/// [`csr_bytes`] from a non-zero count and row count directly.
+pub fn csr_bytes_from_parts(nnz: usize, rows: usize) -> u64 {
+    (nnz * 8 + nnz * 4 + (rows + 1) * 4) as u64
+}
+
+/// Bytes stored when keeping every non-zero chunk of `line_bytes` bytes
+/// (the Figure 11 sweep: 16 B … 4 KB granularity). At 4096 this is the
+/// "non-zero pages" scheme implementable on today's hardware.
+pub fn overlay_bytes_for_line_size(t: &TripletMatrix, line_bytes: usize) -> u64 {
+    let per_line = line_bytes / 8;
+    let mut lines: BTreeSet<usize> = BTreeSet::new();
+    for (r, c, _) in t.iter() {
+        let flat = r * t.cols() + c;
+        lines.insert(flat / per_line);
+    }
+    lines.len() as u64 * line_bytes as u64
+}
+
+/// Memory overhead of a line size relative to ideal (Figure 11 y-axis).
+pub fn overhead_vs_ideal(t: &TripletMatrix, line_bytes: usize) -> f64 {
+    po_types::stats::ratio(overlay_bytes_for_line_size(t, line_bytes), ideal_bytes(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal(n: usize) -> TripletMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        t
+    }
+
+    fn dense_rows(rows: usize, cols: usize) -> TripletMatrix {
+        let mut t = TripletMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.push(r, c, 1.0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn diagonal_has_poor_locality() {
+        // A large diagonal: one non-zero per 64 B line (when n >= 8).
+        let t = diagonal(64);
+        let l = nonzero_locality(&t, 64);
+        assert!(l < 1.5, "L = {l}");
+    }
+
+    #[test]
+    fn dense_rows_have_max_locality() {
+        let t = dense_rows(4, 64);
+        assert_eq!(nonzero_locality(&t, 64), 8.0);
+    }
+
+    #[test]
+    fn csr_is_roughly_1_5x_ideal_when_rows_amortize() {
+        // 12 B per non-zero (8 B value + 4 B col index) = 1.5x ideal once
+        // row pointers amortize (§5.2).
+        let t = dense_rows(8, 1024);
+        let ratio = csr_bytes(&t) as f64 / ideal_bytes(&t) as f64;
+        assert!((1.45..1.55).contains(&ratio), "ratio = {ratio}");
+        // A diagonal (one non-zero per row) pays a full row pointer per
+        // value: 2x.
+        let d = diagonal(1000);
+        let ratio_d = csr_bytes(&d) as f64 / ideal_bytes(&d) as f64;
+        assert!((1.9..2.1).contains(&ratio_d), "ratio = {ratio_d}");
+    }
+
+    #[test]
+    fn overhead_grows_with_line_size_for_scattered_data() {
+        let t = diagonal(512);
+        let mut prev = 0.0;
+        for line in [16usize, 64, 256, 1024, 4096] {
+            let oh = overhead_vs_ideal(&t, line);
+            assert!(oh >= prev, "overhead must be monotone in line size");
+            prev = oh;
+        }
+        // Page granularity is catastrophically wasteful for a diagonal.
+        assert!(overhead_vs_ideal(&t, 4096) > 50.0);
+        assert!(overhead_vs_ideal(&t, 16) <= 2.0);
+    }
+
+    #[test]
+    fn overhead_is_minimal_for_dense_lines() {
+        let t = dense_rows(8, 64); // exactly one full page of values
+        assert_eq!(overhead_vs_ideal(&t, 64), 1.0);
+        assert_eq!(overhead_vs_ideal(&t, 4096), 1.0);
+    }
+
+    #[test]
+    fn locality_depends_on_line_size() {
+        let t = diagonal(512);
+        assert!(nonzero_locality(&t, 16) <= nonzero_locality(&t, 4096));
+    }
+}

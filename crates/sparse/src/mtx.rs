@@ -1,0 +1,324 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper evaluates on UF Sparse Matrix Collection matrices, which
+//! are distributed in the Matrix Market exchange format. This module
+//! reads and writes the `coordinate` format (general, symmetric, and
+//! pattern variants), so the Figure 10/11 harnesses can run on the real
+//! collection when it is available instead of the synthetic suite.
+//!
+//! Supported headers:
+//!
+//! ```text
+//! %%MatrixMarket matrix coordinate real general
+//! %%MatrixMarket matrix coordinate real symmetric
+//! %%MatrixMarket matrix coordinate integer general|symmetric
+//! %%MatrixMarket matrix coordinate pattern general|symmetric
+//! ```
+
+use crate::matrix::TripletMatrix;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file; carries a line number (1-based,
+    /// 0 = header missing entirely) and description.
+    Parse {
+        /// Line the problem was found on.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "i/o error reading matrix market data: {e}"),
+            MtxError::Parse { line, what } => {
+                write!(f, "matrix market parse error at line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MtxError::Io(e) => Some(e),
+            MtxError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a coordinate-format Matrix Market matrix.
+///
+/// # Errors
+///
+/// Returns [`MtxError`] on I/O failures, malformed headers, dimension
+/// mismatches, or out-of-range indices.
+///
+/// # Example
+///
+/// ```
+/// use po_sparse::mtx::read_mtx;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n\
+///             % a comment\n\
+///             3 4 2\n\
+///             1 1 5.0\n\
+///             3 4 -1.5\n";
+/// let m = read_mtx(text.as_bytes())?;
+/// assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 4, 2));
+/// # Ok::<(), po_sparse::mtx::MtxError>(())
+/// ```
+pub fn read_mtx<R: BufRead>(reader: R) -> Result<TripletMatrix, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or(MtxError::Parse { line: 0, what: "empty input".into() })?;
+    let header = header?;
+    let mut toks = header.split_whitespace();
+    let banner = toks.next().unwrap_or("");
+    if !banner.eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(MtxError::Parse { line: 1, what: "missing %%MatrixMarket banner".into() });
+    }
+    let object = toks.next().unwrap_or("").to_ascii_lowercase();
+    let format = toks.next().unwrap_or("").to_ascii_lowercase();
+    let field = toks.next().unwrap_or("").to_ascii_lowercase();
+    let symmetry = toks.next().unwrap_or("general").to_ascii_lowercase();
+    if object != "matrix" || format != "coordinate" {
+        return Err(MtxError::Parse {
+            line: 1,
+            what: format!("unsupported object/format: {object} {format} (only matrix coordinate)"),
+        });
+    }
+    let field = match field.as_str() {
+        "real" | "double" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(MtxError::Parse { line: 1, what: format!("unsupported field {other}") })
+        }
+    };
+    let symmetry = match symmetry.as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(MtxError::Parse { line: 1, what: format!("unsupported symmetry {other}") })
+        }
+    };
+
+    // Size line (skipping comments/blanks).
+    let mut size: Option<(usize, usize, usize, usize)> = None;
+    let mut matrix: Option<TripletMatrix> = None;
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        match (&mut size, &mut matrix) {
+            (None, _) => {
+                if fields.len() != 3 {
+                    return Err(MtxError::Parse {
+                        line: lineno,
+                        what: "size line must be `rows cols nnz`".into(),
+                    });
+                }
+                let parse = |s: &str| {
+                    s.parse::<usize>().map_err(|_| MtxError::Parse {
+                        line: lineno,
+                        what: format!("bad integer {s}"),
+                    })
+                };
+                let (r, c, n) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+                size = Some((r, c, n, lineno));
+                matrix = Some(TripletMatrix::new(r, c));
+            }
+            (Some((rows, cols, nnz, _)), Some(m)) => {
+                let want = match field {
+                    Field::Pattern => 2,
+                    _ => 3,
+                };
+                if fields.len() != want {
+                    return Err(MtxError::Parse {
+                        line: lineno,
+                        what: format!("expected {want} fields, found {}", fields.len()),
+                    });
+                }
+                let parse_idx = |s: &str| {
+                    s.parse::<usize>().ok().filter(|&v| v >= 1).ok_or(MtxError::Parse {
+                        line: lineno,
+                        what: format!("bad 1-based index {s}"),
+                    })
+                };
+                let r = parse_idx(fields[0])? - 1;
+                let c = parse_idx(fields[1])? - 1;
+                if r >= *rows || c >= *cols {
+                    return Err(MtxError::Parse {
+                        line: lineno,
+                        what: format!("entry ({},{}) outside {rows}x{cols}", r + 1, c + 1),
+                    });
+                }
+                let v = match field {
+                    Field::Pattern => 1.0,
+                    _ => fields[2].parse::<f64>().map_err(|_| MtxError::Parse {
+                        line: lineno,
+                        what: format!("bad value {}", fields[2]),
+                    })?,
+                };
+                m.push(r, c, v);
+                if symmetry == Symmetry::Symmetric && r != c {
+                    m.push(c, r, v);
+                }
+                seen += 1;
+                if seen > *nnz {
+                    return Err(MtxError::Parse {
+                        line: lineno,
+                        what: format!("more than the declared {nnz} entries"),
+                    });
+                }
+            }
+            _ => unreachable!("size is set together with matrix"),
+        }
+    }
+    let (_, _, nnz, size_line) =
+        size.ok_or(MtxError::Parse { line: 0, what: "missing size line".into() })?;
+    if seen != nnz {
+        return Err(MtxError::Parse {
+            line: size_line,
+            what: format!("declared {nnz} entries but found {seen}"),
+        });
+    }
+    Ok(matrix.expect("set together with size"))
+}
+
+/// Writes a matrix in `coordinate real general` format.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_mtx<W: Write>(mut writer: W, m: &TripletMatrix) -> Result<(), MtxError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by page-overlays/po-sparse")?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {v}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut m = TripletMatrix::new(5, 7);
+        m.push(0, 0, 1.5);
+        m.push(4, 6, -2.0);
+        m.push(2, 3, 1e-3);
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &m).unwrap();
+        let back = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(back.rows(), 5);
+        assert_eq!(back.cols(), 7);
+        assert_eq!(back.iter().collect::<Vec<_>>(), m.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 4.0\n3 1 7.0\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3); // (0,0), (2,0), (0,2)
+        let d = m.to_dense();
+        assert_eq!(d.get(2, 0), 7.0);
+        assert_eq!(d.get(0, 2), 7.0);
+        assert_eq!(d.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn pattern_entries_become_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.to_dense().get(0, 1), 1.0);
+        assert_eq!(m.to_dense().get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn integer_field_parses() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 -9\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.to_dense().get(1, 1), -9.0);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% c1\n\n% c2\n2 2 1\n\n1 1 3.0\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad_banner = "MatrixMarket matrix coordinate real general\n1 1 0\n";
+        assert!(matches!(
+            read_mtx(bad_banner.as_bytes()),
+            Err(MtxError::Parse { line: 1, .. })
+        ));
+
+        let out_of_range = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_mtx(out_of_range.as_bytes()),
+            Err(MtxError::Parse { line: 3, .. })
+        ));
+
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_mtx(wrong_count.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 2 entries but found 1"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_variants_are_rejected_clearly() {
+        let array = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_mtx(array.as_bytes()).is_err());
+        let complex = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
+        assert!(read_mtx(complex.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn zero_values_are_dropped_like_triplet_push() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 0.0\n2 2 5.0\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+}

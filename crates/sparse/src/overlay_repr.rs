@@ -1,0 +1,265 @@
+//! The overlay-backed sparse representation (§5.2).
+//!
+//! The matrix is laid out as a dense row-major array of `f64` in
+//! virtual memory, but every virtual page maps to a shared zero
+//! physical page; only **non-zero cache lines** (8 `f64` each) exist,
+//! in overlays. SpMV walks only the overlay lines; dynamic insertion is
+//! "as simple as moving a cache line to the overlay".
+//!
+//! [`OverlayMatrix`] is the software model of that layout — page-indexed
+//! OBitVectors plus the stored lines — mirroring exactly what
+//! [`crate::timed`] materializes into the simulated machine.
+
+use crate::matrix::TripletMatrix;
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::OBitVector;
+use std::collections::BTreeMap;
+
+/// Values per 64 B cache line (8 double-precision floats, as in §5.2).
+pub const VALUES_PER_LINE: usize = LINE_SIZE / 8;
+
+/// The overlay-backed matrix.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Clone, Debug)]
+pub struct OverlayMatrix {
+    rows: usize,
+    cols: usize,
+    /// Per-page overlay bit vectors (pages absent here are entirely
+    /// zero).
+    obitvecs: BTreeMap<usize, OBitVector>,
+    /// Stored non-zero lines, keyed by global line index.
+    lines: BTreeMap<usize, [f64; VALUES_PER_LINE]>,
+}
+
+impl OverlayMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, obitvecs: BTreeMap::new(), lines: BTreeMap::new() }
+    }
+
+    /// Builds from triplets, storing each non-zero cache line in an
+    /// overlay.
+    pub fn from_triplets(t: &TripletMatrix) -> Self {
+        let mut m = Self::zeros(t.rows(), t.cols());
+        for (r, c, v) in t.iter() {
+            m.set(r, c, v);
+        }
+        m
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Global line index of element `(r, c)`.
+    fn line_of(&self, r: usize, c: usize) -> (usize, usize) {
+        let flat = r * self.cols + c;
+        (flat / VALUES_PER_LINE, flat % VALUES_PER_LINE)
+    }
+
+    /// Reads an element (zero if its line is not in any overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        let (line, off) = self.line_of(r, c);
+        self.lines.get(&line).map(|l| l[off]).unwrap_or(0.0)
+    }
+
+    /// Writes an element. Inserting a non-zero into a zero line is the
+    /// paper's cheap dynamic update: one overlay line appears; no other
+    /// line moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        let (line, off) = self.line_of(r, c);
+        let entry = self.lines.entry(line).or_insert([0.0; VALUES_PER_LINE]);
+        entry[off] = v;
+        if entry.iter().all(|&x| x == 0.0) {
+            // The line became all-zero: drop it from the overlay.
+            self.lines.remove(&line);
+            let page = line / LINES_PER_PAGE;
+            if let Some(obv) = self.obitvecs.get_mut(&page) {
+                obv.clear(line % LINES_PER_PAGE);
+                if obv.is_empty() {
+                    self.obitvecs.remove(&page);
+                }
+            }
+        } else {
+            let page = line / LINES_PER_PAGE;
+            self.obitvecs
+                .entry(page)
+                .or_insert(OBitVector::EMPTY)
+                .set(line % LINES_PER_PAGE);
+        }
+    }
+
+    /// Number of non-zero cache lines stored in overlays.
+    pub fn nonzero_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of pages that have an overlay.
+    pub fn overlay_pages(&self) -> usize {
+        self.obitvecs.len()
+    }
+
+    /// Total pages the dense layout spans.
+    pub fn total_pages(&self) -> usize {
+        (self.rows * self.cols * 8).div_ceil(PAGE_SIZE)
+    }
+
+    /// Iterates stored lines as `(global_line_index, values)`.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (usize, &[f64; VALUES_PER_LINE])> {
+        self.lines.iter().map(|(&i, v)| (i, v))
+    }
+
+    /// The OBitVector of page `page` (empty if the page has no overlay).
+    pub fn obitvec(&self, page: usize) -> OBitVector {
+        self.obitvecs.get(&page).copied().unwrap_or(OBitVector::EMPTY)
+    }
+
+    /// SpMV over overlay lines only: `y = A * x`. Zero lines contribute
+    /// nothing and are never touched — the work reduction of §5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (&line, vals) in &self.lines {
+            let base = line * VALUES_PER_LINE;
+            for (k, &v) in vals.iter().enumerate() {
+                if v != 0.0 {
+                    let flat = base + k;
+                    let r = flat / self.cols;
+                    let c = flat % self.cols;
+                    y[r] += v * x[c];
+                }
+            }
+        }
+        y
+    }
+
+    /// The non-zero locality metric **L**: average non-zero values per
+    /// non-zero cache line (1 ≤ L ≤ 8). Returns 0.0 for an empty matrix.
+    pub fn locality(&self) -> f64 {
+        if self.lines.is_empty() {
+            return 0.0;
+        }
+        let nnz: usize = self
+            .lines
+            .values()
+            .map(|l| l.iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        nnz as f64 / self.lines.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CsrMatrix;
+
+    fn sample() -> TripletMatrix {
+        let mut t = TripletMatrix::new(8, 64); // one row = 8 lines
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(3, 40, -1.0);
+        t.push(7, 63, 4.0);
+        t
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let m = OverlayMatrix::from_triplets(&sample());
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(3, 40), -1.0);
+    }
+
+    #[test]
+    fn only_nonzero_lines_are_stored() {
+        let m = OverlayMatrix::from_triplets(&sample());
+        // (0,0)+(0,1) share a line; (3,40) and (7,63) have their own.
+        assert_eq!(m.nonzero_lines(), 3);
+    }
+
+    #[test]
+    fn spmv_matches_csr_and_dense() {
+        let t = sample();
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 - 3.0).collect();
+        let expect = CsrMatrix::from_triplets(&t).spmv(&x);
+        assert_eq!(OverlayMatrix::from_triplets(&t).spmv(&x), expect);
+        assert_eq!(t.to_dense().spmv(&x), expect);
+    }
+
+    #[test]
+    fn dynamic_insert_is_line_local() {
+        let mut m = OverlayMatrix::from_triplets(&sample());
+        let before = m.nonzero_lines();
+        m.set(5, 5, 9.0); // new line
+        assert_eq!(m.nonzero_lines(), before + 1);
+        m.set(5, 6, 8.0); // same line: no growth
+        assert_eq!(m.nonzero_lines(), before + 1);
+        assert_eq!(m.get(5, 5), 9.0);
+    }
+
+    #[test]
+    fn clearing_a_line_removes_it() {
+        let mut m = OverlayMatrix::zeros(4, 8);
+        m.set(0, 0, 1.0);
+        assert_eq!(m.nonzero_lines(), 1);
+        m.set(0, 0, 0.0);
+        assert_eq!(m.nonzero_lines(), 0);
+        assert_eq!(m.overlay_pages(), 0);
+    }
+
+    #[test]
+    fn locality_metric() {
+        // 8 values in one line → L = 8.
+        let mut t = TripletMatrix::new(1, 8);
+        for c in 0..8 {
+            t.push(0, c, 1.0);
+        }
+        assert_eq!(OverlayMatrix::from_triplets(&t).locality(), 8.0);
+        // One value per line → L = 1.
+        let mut t2 = TripletMatrix::new(4, 8);
+        for r in 0..4 {
+            t2.push(r, 0, 1.0);
+        }
+        assert_eq!(OverlayMatrix::from_triplets(&t2).locality(), 1.0);
+        assert_eq!(OverlayMatrix::zeros(2, 2).locality(), 0.0);
+    }
+
+    #[test]
+    fn obitvec_matches_stored_lines() {
+        let m = OverlayMatrix::from_triplets(&sample());
+        for (line, _) in m.iter_lines() {
+            let page = line / LINES_PER_PAGE;
+            assert!(m.obitvec(page).contains(line % LINES_PER_PAGE));
+        }
+    }
+
+    #[test]
+    fn total_pages_covers_dense_extent() {
+        let m = OverlayMatrix::zeros(8, 64); // 8*64*8 = 4096 B = 1 page
+        assert_eq!(m.total_pages(), 1);
+        let m2 = OverlayMatrix::zeros(8, 65);
+        assert_eq!(m2.total_pages(), 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Efficient checkpointing (§5.3.2).
+//!
+//! HPC checkpointing is limited by the volume written to the backing
+//! store. With overlays, "overlays could be used to capture all the
+//! updates between two checkpoints. Only these overlays need to be
+//! written to the backing store … The overlays are then committed, so
+//! that each checkpoint captures precisely the delta since the last
+//! checkpoint."
+
+use po_dram::DataStore;
+use po_overlay::OverlayManager;
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{Counter, LineData, MainMemAddr, Opn, PoResult};
+use std::collections::BTreeMap;
+
+/// One serialized checkpoint: the per-page deltas captured since the
+/// previous checkpoint.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointDelta {
+    /// `(page, line) → data` of every line updated in the interval.
+    pub lines: BTreeMap<(u64, usize), LineData>,
+}
+
+impl CheckpointDelta {
+    /// Bytes this delta writes to the backing store: data lines plus one
+    /// OBitVector word per dirty page.
+    pub fn backing_bytes(&self) -> u64 {
+        let pages: std::collections::BTreeSet<u64> =
+            self.lines.keys().map(|&(p, _)| p).collect();
+        self.lines.len() as u64 * LINE_SIZE as u64 + pages.len() as u64 * 8
+    }
+}
+
+/// Checkpointing statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints taken.
+    pub checkpoints: Counter,
+    /// Lines captured across all checkpoints.
+    pub lines_captured: Counter,
+    /// Bytes written to the backing store (overlay scheme).
+    pub backing_bytes: Counter,
+    /// Bytes a page-granularity scheme would have written.
+    pub page_scheme_bytes: Counter,
+}
+
+/// An overlay-based checkpointing session over a region of pages.
+///
+/// # Example
+///
+/// ```
+/// use po_techniques::Checkpointer;
+/// use po_types::LineData;
+///
+/// let mut ck = Checkpointer::new(16); // 16-page region
+/// ck.write(3, 5, LineData::splat(1))?;
+/// let delta = ck.take_checkpoint()?;
+/// assert_eq!(delta.lines.len(), 1);
+/// // The delta is tiny compared to a page-granularity checkpoint.
+/// assert!(delta.backing_bytes() < 4096);
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Debug)]
+pub struct Checkpointer {
+    manager: OverlayManager,
+    mem: DataStore,
+    pages: u64,
+    /// Base frame of page `p` is `(BASE_FRAME + p) << 12`.
+    checkpoints: Vec<CheckpointDelta>,
+    oms_cursor: u64,
+    stats: CheckpointStats,
+}
+
+const BASE_FRAME: u64 = 0x2000;
+const ASID: u16 = 1;
+
+fn opn_of(page: u64) -> Opn {
+    Opn::encode(po_types::Asid::new(ASID), po_types::Vpn::new(page))
+}
+
+impl Checkpointer {
+    /// Creates a session over `pages` pages of initially-zero state.
+    pub fn new(pages: u64) -> Self {
+        Self {
+            manager: OverlayManager::new(Default::default()),
+            mem: DataStore::new(),
+            pages,
+            checkpoints: Vec::new(),
+            oms_cursor: 0x200_0000,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// Returns statistics.
+    pub fn stats(&self) -> &CheckpointStats {
+        &self.stats
+    }
+
+    /// Checkpoints taken so far.
+    pub fn checkpoints(&self) -> &[CheckpointDelta] {
+        &self.checkpoints
+    }
+
+    fn frame(&self, page: u64) -> MainMemAddr {
+        MainMemAddr::new((BASE_FRAME + page) * PAGE_SIZE as u64)
+    }
+
+    /// Writes a line of application state; the update is captured in the
+    /// page's overlay, not the base image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay failures; panics if `page` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page >= pages` or `line >= 64`.
+    pub fn write(&mut self, page: u64, line: usize, data: LineData) -> PoResult<()> {
+        assert!(page < self.pages, "page {page} out of range");
+        self.manager.overlaying_write(opn_of(page), line, data)
+    }
+
+    /// Reads a line of current state (base image merged with pending
+    /// updates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay failures.
+    pub fn read(&self, page: u64, line: usize) -> PoResult<LineData> {
+        let phys = self.frame(page).add((line * LINE_SIZE) as u64);
+        if self.manager.has_overlay(opn_of(page)) {
+            self.manager.resolve_read(opn_of(page), line, phys, &self.mem)
+        } else {
+            Ok(self.mem.read_line(phys))
+        }
+    }
+
+    /// Takes a checkpoint: serializes every captured overlay line to the
+    /// backing store (returned and recorded), then *commits* the
+    /// overlays into the base image (§4.3.4), so the next interval
+    /// starts clean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay failures.
+    pub fn take_checkpoint(&mut self) -> PoResult<CheckpointDelta> {
+        let mut delta = CheckpointDelta::default();
+        let opns: Vec<(u64, Opn)> = (0..self.pages)
+            .map(|p| (p, opn_of(p)))
+            .filter(|(_, o)| self.manager.has_overlay(*o))
+            .collect();
+        for (page, opn) in opns {
+            let obv = self.manager.obitvec(opn)?;
+            for line in obv.iter() {
+                let data = self.manager.read_line(opn, line, &self.mem)?;
+                delta.lines.insert((page, line), data);
+                self.stats.lines_captured.inc();
+            }
+            // Commit the overlay into the base image.
+            let frame = self.frame(page);
+            self.manager.commit(opn, frame, &mut self.mem)?;
+            // A page-granularity checkpointer would write the whole page.
+            self.stats.page_scheme_bytes.add(PAGE_SIZE as u64);
+        }
+        self.stats.backing_bytes.add(delta.backing_bytes());
+        self.stats.checkpoints.inc();
+        self.checkpoints.push(delta.clone());
+        Ok(delta)
+    }
+
+    /// Reconstructs the state as of checkpoint `index` by replaying
+    /// deltas onto a zero image — the recovery path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn restore(&self, index: usize) -> Vec<[LineData; LINES_PER_PAGE]> {
+        assert!(index < self.checkpoints.len(), "checkpoint {index} out of range");
+        let mut image = vec![[LineData::zeroed(); LINES_PER_PAGE]; self.pages as usize];
+        for ck in &self.checkpoints[..=index] {
+            for (&(page, line), data) in &ck.lines {
+                image[page as usize][line] = *data;
+            }
+        }
+        image
+    }
+
+    /// Flushes cache-resident overlay lines to the OMS (models the
+    /// eviction pressure between checkpoints; exercises lazy
+    /// allocation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OMS failures.
+    pub fn flush_to_oms(&mut self) -> PoResult<()> {
+        let opns: Vec<Opn> = (0..self.pages)
+            .map(opn_of)
+            .filter(|o| self.manager.has_overlay(*o))
+            .collect();
+        for opn in opns {
+            let cursor = &mut self.oms_cursor;
+            let Checkpointer { manager, mem, .. } = self;
+            manager.evict_all(opn, mem, &mut |frames| {
+                let chunk = MainMemAddr::new(*cursor * PAGE_SIZE as u64);
+                *cursor += frames;
+                Ok(chunk)
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_captures_only_updates() {
+        let mut ck = Checkpointer::new(8);
+        ck.write(0, 1, LineData::splat(1)).unwrap();
+        ck.write(5, 60, LineData::splat(2)).unwrap();
+        let delta = ck.take_checkpoint().unwrap();
+        assert_eq!(delta.lines.len(), 2);
+        assert_eq!(delta.lines[&(0, 1)], LineData::splat(1));
+        assert_eq!(delta.lines[&(5, 60)], LineData::splat(2));
+    }
+
+    #[test]
+    fn backing_volume_beats_page_granularity() {
+        let mut ck = Checkpointer::new(64);
+        // Touch one line in each of 32 pages.
+        for p in 0..32 {
+            ck.write(p, (p % 64) as usize, LineData::splat(p as u8)).unwrap();
+        }
+        ck.take_checkpoint().unwrap();
+        let s = ck.stats();
+        assert!(
+            s.backing_bytes.get() * 10 < s.page_scheme_bytes.get(),
+            "overlay checkpoint ({}) must be far below page scheme ({})",
+            s.backing_bytes.get(),
+            s.page_scheme_bytes.get()
+        );
+    }
+
+    #[test]
+    fn state_persists_across_checkpoints() {
+        let mut ck = Checkpointer::new(4);
+        ck.write(1, 2, LineData::splat(7)).unwrap();
+        ck.take_checkpoint().unwrap();
+        // After commit, the base image holds the data.
+        assert_eq!(ck.read(1, 2).unwrap(), LineData::splat(7));
+        // Next interval captures only new updates.
+        ck.write(1, 3, LineData::splat(8)).unwrap();
+        let d2 = ck.take_checkpoint().unwrap();
+        assert_eq!(d2.lines.len(), 1);
+        assert!(d2.lines.contains_key(&(1, 3)));
+    }
+
+    #[test]
+    fn restore_replays_deltas_in_order() {
+        let mut ck = Checkpointer::new(2);
+        ck.write(0, 0, LineData::splat(1)).unwrap();
+        ck.take_checkpoint().unwrap();
+        ck.write(0, 0, LineData::splat(2)).unwrap();
+        ck.write(1, 5, LineData::splat(3)).unwrap();
+        ck.take_checkpoint().unwrap();
+        let at0 = ck.restore(0);
+        assert_eq!(at0[0][0], LineData::splat(1));
+        assert_eq!(at0[1][5], LineData::zeroed());
+        let at1 = ck.restore(1);
+        assert_eq!(at1[0][0], LineData::splat(2));
+        assert_eq!(at1[1][5], LineData::splat(3));
+    }
+
+    #[test]
+    fn oms_flush_between_checkpoints_is_transparent() {
+        let mut ck = Checkpointer::new(4);
+        for l in 0..20 {
+            ck.write(2, l, LineData::splat(l as u8)).unwrap();
+        }
+        ck.flush_to_oms().unwrap(); // lines leave the cache
+        for l in 0..20usize {
+            assert_eq!(ck.read(2, l).unwrap(), LineData::splat(l as u8));
+        }
+        let delta = ck.take_checkpoint().unwrap();
+        assert_eq!(delta.lines.len(), 20);
+    }
+
+    #[test]
+    fn empty_interval_checkpoints_nothing() {
+        let mut ck = Checkpointer::new(4);
+        let delta = ck.take_checkpoint().unwrap();
+        assert!(delta.lines.is_empty());
+        assert_eq!(delta.backing_bytes(), 0);
+    }
+}

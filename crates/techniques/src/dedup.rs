@@ -1,0 +1,298 @@
+//! Fine-grained deduplication (§5.3.1).
+//!
+//! Gupta et al.'s Difference Engine observes that VMs running the same
+//! guest OS hold many *mostly*-identical pages and can halve memory by
+//! patching. The software version must apply a patch on every access;
+//! with overlays, "cache lines that are different from the base page
+//! can be stored in overlays, thereby enabling seamless access to
+//! patched pages" — reads hit either the base page or the overlay with
+//! no patching step.
+
+use po_dram::DataStore;
+use po_overlay::OverlayManager;
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{Counter, LineData, MainMemAddr, Opn, PoResult};
+use std::collections::HashMap;
+
+/// Deduplication statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DedupStats {
+    /// Pages inserted.
+    pub pages_inserted: Counter,
+    /// Pages stored as base + delta overlay.
+    pub pages_deduped: Counter,
+    /// Pages stored as fresh base pages.
+    pub base_pages: Counter,
+    /// Delta lines stored in overlays.
+    pub delta_lines: Counter,
+}
+
+/// The overlay-backed difference engine.
+///
+/// # Example
+///
+/// ```
+/// use po_techniques::DifferenceEngine;
+/// use po_types::{Asid, LineData, Opn, Vpn};
+///
+/// let mut engine = DifferenceEngine::new(48);
+/// let mostly_a = [LineData::splat(0xAA); 64];
+/// let mut variant = mostly_a;
+/// variant[7] = LineData::splat(0xBB); // one line differs
+///
+/// let p1 = Opn::encode(Asid::new(1), Vpn::new(1));
+/// let p2 = Opn::encode(Asid::new(1), Vpn::new(2));
+/// engine.insert_page(p1, &mostly_a)?;
+/// engine.insert_page(p2, &variant)?;
+/// assert_eq!(engine.stats().base_pages.get(), 1);
+/// assert_eq!(engine.stats().pages_deduped.get(), 1);
+/// assert_eq!(engine.read_line(p2, 7)?, LineData::splat(0xBB));
+/// assert_eq!(engine.read_line(p2, 8)?, LineData::splat(0xAA));
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Debug)]
+pub struct DifferenceEngine {
+    manager: OverlayManager,
+    mem: DataStore,
+    /// Base frames, in allocation order.
+    bases: Vec<MainMemAddr>,
+    /// Page → its base frame.
+    page_base: HashMap<Opn, usize>,
+    /// Minimum matching lines (of 64) required to dedup against a base.
+    match_threshold: usize,
+    next_frame: u64,
+    /// Frame cursor for OMS chunks (kept in a disjoint region above the
+    /// base pages).
+    oms_cursor: u64,
+    stats: DedupStats,
+}
+
+impl DifferenceEngine {
+    /// Creates an engine; pages matching an existing base in at least
+    /// `match_threshold` of their 64 lines are stored as deltas.
+    pub fn new(match_threshold: usize) -> Self {
+        Self {
+            manager: OverlayManager::new(Default::default()),
+            mem: DataStore::new(),
+            bases: Vec::new(),
+            page_base: HashMap::new(),
+            match_threshold,
+            next_frame: 0x1000, // frames 0x1000+ for bases
+            oms_cursor: 0x100_0000, // OMS chunks live far above the bases
+            stats: DedupStats::default(),
+        }
+    }
+
+    /// Returns statistics.
+    pub fn stats(&self) -> &DedupStats {
+        &self.stats
+    }
+
+    fn alloc_frame(&mut self) -> MainMemAddr {
+        let addr = MainMemAddr::new(self.next_frame * PAGE_SIZE as u64);
+        self.next_frame += 1;
+        addr
+    }
+
+    fn base_line(&self, base: MainMemAddr, line: usize) -> LineData {
+        self.mem.read_line(base.add((line * LINE_SIZE) as u64))
+    }
+
+    fn matching_lines(&self, base: MainMemAddr, data: &[LineData; LINES_PER_PAGE]) -> usize {
+        (0..LINES_PER_PAGE)
+            .filter(|&l| self.base_line(base, l) == data[l])
+            .count()
+    }
+
+    /// Inserts a page of data, deduplicating against the best existing
+    /// base page if it matches well enough.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay failures.
+    pub fn insert_page(&mut self, opn: Opn, data: &[LineData; LINES_PER_PAGE]) -> PoResult<()> {
+        self.stats.pages_inserted.inc();
+        // Find the best base.
+        let best = self
+            .bases
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i, self.matching_lines(b, data)))
+            .max_by_key(|&(_, m)| m);
+        if let Some((base_idx, matches)) = best {
+            if matches >= self.match_threshold {
+                let base = self.bases[base_idx];
+                // Store only the differing lines as an overlay delta.
+                self.manager.create_overlay(opn)?;
+                for (l, line_data) in data.iter().enumerate() {
+                    if self.base_line(base, l) != *line_data {
+                        self.manager.overlaying_write(opn, l, *line_data)?;
+                        let cursor = &mut self.oms_cursor;
+                        self.manager.evict_line(opn, l, &mut self.mem, &mut |frames| {
+                            let chunk = MainMemAddr::new(*cursor * PAGE_SIZE as u64);
+                            *cursor += frames;
+                            Ok(chunk)
+                        })?;
+                        self.stats.delta_lines.inc();
+                    }
+                }
+                self.page_base.insert(opn, base_idx);
+                self.stats.pages_deduped.inc();
+                return Ok(());
+            }
+        }
+        // No good base: this page becomes a new base.
+        let frame = self.alloc_frame();
+        for (l, line) in data.iter().enumerate() {
+            self.mem.write_line(frame.add((l * LINE_SIZE) as u64), *line);
+        }
+        self.bases.push(frame);
+        self.page_base.insert(opn, self.bases.len() - 1);
+        self.stats.base_pages.inc();
+        Ok(())
+    }
+
+    /// Reads a line of an inserted page: from its delta overlay if the
+    /// line diverged, else from the shared base page — the "seamless
+    /// access to patched pages".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] for unknown pages.
+    pub fn read_line(&self, opn: Opn, line: usize) -> PoResult<LineData> {
+        let base_idx = self
+            .page_base
+            .get(&opn)
+            .ok_or(po_types::PoError::Corrupted("page never inserted"))?;
+        let base = self.bases[*base_idx];
+        let phys = base.add((line * LINE_SIZE) as u64);
+        if self.manager.has_overlay(opn) {
+            self.manager.resolve_read(opn, line, phys, &self.mem)
+        } else {
+            Ok(self.mem.read_line(phys))
+        }
+    }
+
+    /// Reconstructs a whole page (oracle checks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DifferenceEngine::read_line`].
+    pub fn read_page(&self, opn: Opn) -> PoResult<[LineData; LINES_PER_PAGE]> {
+        let mut out = [LineData::zeroed(); LINES_PER_PAGE];
+        for (l, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_line(opn, l)?;
+        }
+        Ok(out)
+    }
+
+    /// Total memory consumed: base pages plus overlay segments. The
+    /// savings metric vs one-frame-per-page storage.
+    pub fn memory_bytes(&self) -> u64 {
+        self.bases.len() as u64 * PAGE_SIZE as u64 + self.manager.overlay_memory_bytes()
+    }
+
+    /// Bytes a non-deduplicating store would need for the same pages.
+    pub fn naive_bytes(&self) -> u64 {
+        self.stats.pages_inserted.get() * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use po_types::{Asid, Vpn};
+
+    fn opn(v: u64) -> Opn {
+        Opn::encode(Asid::new(1), Vpn::new(v))
+    }
+
+    fn page(fill: u8) -> [LineData; LINES_PER_PAGE] {
+        [LineData::splat(fill); LINES_PER_PAGE]
+    }
+
+    #[test]
+    fn identical_pages_share_one_base() {
+        let mut e = DifferenceEngine::new(48);
+        for i in 0..10 {
+            e.insert_page(opn(i), &page(0x42)).unwrap();
+        }
+        assert_eq!(e.stats().base_pages.get(), 1);
+        assert_eq!(e.stats().pages_deduped.get(), 9);
+        assert_eq!(e.stats().delta_lines.get(), 0);
+        assert!(e.memory_bytes() < e.naive_bytes() / 5);
+    }
+
+    #[test]
+    fn similar_pages_store_only_deltas() {
+        let mut e = DifferenceEngine::new(48);
+        e.insert_page(opn(0), &page(1)).unwrap();
+        let mut variant = page(1);
+        variant[3] = LineData::splat(9);
+        variant[60] = LineData::splat(8);
+        e.insert_page(opn(1), &variant).unwrap();
+        assert_eq!(e.stats().delta_lines.get(), 2);
+        assert_eq!(e.read_line(opn(1), 3).unwrap(), LineData::splat(9));
+        assert_eq!(e.read_line(opn(1), 60).unwrap(), LineData::splat(8));
+        assert_eq!(e.read_line(opn(1), 0).unwrap(), LineData::splat(1));
+        // The original is untouched.
+        assert_eq!(e.read_line(opn(0), 3).unwrap(), LineData::splat(1));
+    }
+
+    #[test]
+    fn dissimilar_pages_get_their_own_base() {
+        let mut e = DifferenceEngine::new(48);
+        e.insert_page(opn(0), &page(1)).unwrap();
+        e.insert_page(opn(1), &page(2)).unwrap();
+        assert_eq!(e.stats().base_pages.get(), 2);
+        assert_eq!(e.stats().pages_deduped.get(), 0);
+    }
+
+    #[test]
+    fn reconstruction_matches_original_exactly() {
+        let mut e = DifferenceEngine::new(32);
+        let mut original = page(7);
+        for l in (0..LINES_PER_PAGE).step_by(5) {
+            original[l] = LineData::splat(l as u8);
+        }
+        e.insert_page(opn(0), &page(7)).unwrap();
+        e.insert_page(opn(1), &original).unwrap();
+        assert_eq!(e.read_page(opn(1)).unwrap(), original);
+    }
+
+    #[test]
+    fn threshold_controls_dedup_aggressiveness() {
+        // 32 differing lines: dedup at threshold 16, not at 48.
+        let mut variant = page(1);
+        for l in 0..32 {
+            variant[l] = LineData::splat(200 + l as u8);
+        }
+        let mut strict = DifferenceEngine::new(48);
+        strict.insert_page(opn(0), &page(1)).unwrap();
+        strict.insert_page(opn(1), &variant).unwrap();
+        assert_eq!(strict.stats().base_pages.get(), 2);
+
+        let mut loose = DifferenceEngine::new(16);
+        loose.insert_page(opn(0), &page(1)).unwrap();
+        loose.insert_page(opn(1), &variant).unwrap();
+        assert_eq!(loose.stats().base_pages.get(), 1);
+        assert_eq!(loose.stats().delta_lines.get(), 32);
+        assert_eq!(loose.read_page(opn(1)).unwrap(), variant);
+    }
+
+    #[test]
+    fn memory_savings_track_similarity() {
+        // 50 pages, each differing from the base in 2 lines: the paper's
+        // VM-fleet scenario. Savings should approach the ~50% Difference
+        // Engine reports.
+        let mut e = DifferenceEngine::new(48);
+        e.insert_page(opn(0), &page(5)).unwrap();
+        for i in 1..50 {
+            let mut v = page(5);
+            v[(i % 64) as usize] = LineData::splat(i as u8);
+            e.insert_page(opn(i), &v).unwrap();
+        }
+        let ratio = e.memory_bytes() as f64 / e.naive_bytes() as f64;
+        assert!(ratio < 0.5, "dedup ratio {ratio}");
+    }
+}

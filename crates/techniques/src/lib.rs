@@ -1,0 +1,41 @@
+//! # po-techniques — the five remaining Table-1 techniques
+//!
+//! The paper quantitatively evaluates two applications of the overlay
+//! framework (overlay-on-write in `po-sim`, sparse data structures in
+//! `po-sparse`) and describes five more (§5.3). This crate implements
+//! all five on top of [`po_overlay::OverlayManager`]:
+//!
+//! * [`dedup`] — **fine-grained deduplication** (§5.3.1): pages with
+//!   mostly-identical data share one base physical page; the differing
+//!   cache lines live in each page's overlay (a hardware-assisted
+//!   Difference Engine).
+//! * [`checkpoint`] — **efficient checkpointing** (§5.3.2): overlays
+//!   capture all updates between checkpoints; only the overlays are
+//!   written to the backing store, then committed.
+//! * [`speculation`] — **virtualizing speculation** (§5.3.3):
+//!   speculative updates buffer in overlays, surviving cache eviction
+//!   (unbounded speculation); commit/discard maps directly onto the
+//!   framework's promotion actions.
+//! * [`metadata`] — **fine-grained metadata management** (§5.3.4): the
+//!   overlay address space doubles as shadow memory; word-granularity
+//!   metadata (taint, protection) is stored in shadow overlays with
+//!   dedicated metadata load/store operations.
+//! * [`superpage`] — **flexible super-pages** (§5.3.5): a 2 MB
+//!   super-page is divided into 64 segments (one per OBitVector bit);
+//!   individual segments can be remapped, copied on write, or given
+//!   their own protection, without breaking up the super-page.
+//!
+//! Each module is self-contained and exercised by unit tests plus the
+//! workspace-level examples and property tests.
+
+pub mod checkpoint;
+pub mod dedup;
+pub mod metadata;
+pub mod speculation;
+pub mod superpage;
+
+pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use dedup::{DedupStats, DifferenceEngine};
+pub use metadata::{ShadowMemory, WordProtection};
+pub use speculation::{SpeculationState, SpeculativeRegion};
+pub use superpage::FlexSuperPage;

@@ -1,0 +1,319 @@
+//! Virtualizing speculation (§5.3.3).
+//!
+//! Hardware speculation (thread-level speculation, transactional
+//! memory) traditionally buffers speculative updates in the cache and
+//! must abort when a speculative line is evicted. With overlays, the
+//! updates go to the page's overlay instead: "the overlay can be
+//! committed or discarded based on whether the speculation succeeds or
+//! fails. This approach is not limited by cache capacity and enables
+//! potentially unbounded speculation."
+
+use po_dram::DataStore;
+use po_overlay::OverlayManager;
+use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
+use po_types::{Asid, Counter, LineData, MainMemAddr, Opn, PoError, PoResult, Vpn};
+use std::collections::BTreeSet;
+
+/// State of a speculative region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpeculationState {
+    /// No transaction open.
+    Idle,
+    /// A transaction is buffering updates in overlays.
+    Active,
+}
+
+/// Statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SpeculationStats {
+    /// Transactions committed.
+    pub commits: Counter,
+    /// Transactions aborted.
+    pub aborts: Counter,
+    /// Speculative lines evicted to the OMS mid-transaction (the cases
+    /// that would have killed a cache-bound scheme).
+    pub overflowed_lines: Counter,
+}
+
+/// A region of memory supporting overlay-buffered speculation.
+///
+/// # Example
+///
+/// ```
+/// use po_techniques::{SpeculativeRegion, SpeculationState};
+/// use po_types::LineData;
+///
+/// let mut region = SpeculativeRegion::new(8);
+/// region.begin()?;
+/// region.spec_write(0, 0, LineData::splat(1))?;
+/// assert_eq!(region.read(0, 0)?, LineData::splat(1)); // visible inside
+/// region.abort()?;
+/// assert_eq!(region.read(0, 0)?, LineData::zeroed()); // rolled back
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Debug)]
+pub struct SpeculativeRegion {
+    manager: OverlayManager,
+    mem: DataStore,
+    pages: u64,
+    state: SpeculationState,
+    touched: BTreeSet<u64>,
+    oms_cursor: u64,
+    stats: SpeculationStats,
+}
+
+const BASE_FRAME: u64 = 0x3000;
+
+fn opn_of(page: u64) -> Opn {
+    Opn::encode(Asid::new(2), Vpn::new(page))
+}
+
+impl SpeculativeRegion {
+    /// Creates a region of `pages` zero-initialized pages.
+    pub fn new(pages: u64) -> Self {
+        Self {
+            manager: OverlayManager::new(Default::default()),
+            mem: DataStore::new(),
+            pages,
+            state: SpeculationState::Idle,
+            touched: BTreeSet::new(),
+            oms_cursor: 0x300_0000,
+            stats: SpeculationStats::default(),
+        }
+    }
+
+    /// Returns statistics.
+    pub fn stats(&self) -> &SpeculationStats {
+        &self.stats
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SpeculationState {
+        self.state
+    }
+
+    fn frame(&self, page: u64) -> MainMemAddr {
+        MainMemAddr::new((BASE_FRAME + page) * PAGE_SIZE as u64)
+    }
+
+    /// Writes committed (non-speculative) state; only legal outside a
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] if a transaction is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn write(&mut self, page: u64, line: usize, data: LineData) -> PoResult<()> {
+        assert!(page < self.pages, "page {page} out of range");
+        if self.state == SpeculationState::Active {
+            return Err(PoError::Corrupted("non-speculative write inside a transaction"));
+        }
+        self.mem.write_line(self.frame(page).add((line * LINE_SIZE) as u64), data);
+        Ok(())
+    }
+
+    /// Opens a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] if one is already active.
+    pub fn begin(&mut self) -> PoResult<()> {
+        if self.state == SpeculationState::Active {
+            return Err(PoError::Corrupted("nested transactions are not supported"));
+        }
+        self.state = SpeculationState::Active;
+        self.touched.clear();
+        Ok(())
+    }
+
+    /// Buffers a speculative write in the page's overlay.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] if no transaction is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn spec_write(&mut self, page: u64, line: usize, data: LineData) -> PoResult<()> {
+        assert!(page < self.pages, "page {page} out of range");
+        if self.state != SpeculationState::Active {
+            return Err(PoError::Corrupted("speculative write outside a transaction"));
+        }
+        self.touched.insert(page);
+        self.manager.overlaying_write(opn_of(page), line, data)
+    }
+
+    /// Reads with transactional semantics: speculative data if present,
+    /// else committed state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay failures.
+    pub fn read(&self, page: u64, line: usize) -> PoResult<LineData> {
+        let phys = self.frame(page).add((line * LINE_SIZE) as u64);
+        if self.manager.has_overlay(opn_of(page)) {
+            self.manager.resolve_read(opn_of(page), line, phys, &self.mem)
+        } else {
+            Ok(self.mem.read_line(phys))
+        }
+    }
+
+    /// Simulates cache pressure: evicts all speculative lines to the
+    /// Overlay Memory Store. In a cache-bound scheme this would abort
+    /// the transaction; with overlays it is invisible (§5.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OMS failures.
+    pub fn evict_speculative_state(&mut self) -> PoResult<usize> {
+        let mut evicted = 0;
+        let touched: Vec<u64> = self.touched.iter().copied().collect();
+        for page in touched {
+            let cursor = &mut self.oms_cursor;
+            let SpeculativeRegion { manager, mem, .. } = self;
+            evicted += manager.evict_all(opn_of(page), mem, &mut |frames| {
+                let chunk = MainMemAddr::new(*cursor * PAGE_SIZE as u64);
+                *cursor += frames;
+                Ok(chunk)
+            })?;
+        }
+        self.stats.overflowed_lines.add(evicted as u64);
+        Ok(evicted)
+    }
+
+    /// Commits the transaction: every overlay is merged into the
+    /// committed state (the framework's *commit* action).
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] if no transaction is active.
+    pub fn commit(&mut self) -> PoResult<()> {
+        if self.state != SpeculationState::Active {
+            return Err(PoError::Corrupted("commit without a transaction"));
+        }
+        let touched: Vec<u64> = self.touched.iter().copied().collect();
+        for page in touched {
+            if self.manager.has_overlay(opn_of(page)) {
+                let frame = self.frame(page);
+                self.manager.commit(opn_of(page), frame, &mut self.mem)?;
+            }
+        }
+        self.state = SpeculationState::Idle;
+        self.stats.commits.inc();
+        Ok(())
+    }
+
+    /// Aborts the transaction: every overlay is discarded (the
+    /// framework's *discard* action); committed state is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] if no transaction is active.
+    pub fn abort(&mut self) -> PoResult<()> {
+        if self.state != SpeculationState::Active {
+            return Err(PoError::Corrupted("abort without a transaction"));
+        }
+        let touched: Vec<u64> = self.touched.iter().copied().collect();
+        for page in touched {
+            if self.manager.has_overlay(opn_of(page)) {
+                self.manager.discard(opn_of(page))?;
+            }
+        }
+        self.state = SpeculationState::Idle;
+        self.stats.aborts.inc();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_publishes_speculative_writes() {
+        let mut r = SpeculativeRegion::new(4);
+        r.write(0, 0, LineData::splat(1)).unwrap();
+        r.begin().unwrap();
+        r.spec_write(0, 0, LineData::splat(2)).unwrap();
+        r.spec_write(1, 5, LineData::splat(3)).unwrap();
+        r.commit().unwrap();
+        assert_eq!(r.read(0, 0).unwrap(), LineData::splat(2));
+        assert_eq!(r.read(1, 5).unwrap(), LineData::splat(3));
+        assert_eq!(r.stats().commits.get(), 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_completely() {
+        let mut r = SpeculativeRegion::new(4);
+        r.write(0, 0, LineData::splat(1)).unwrap();
+        r.begin().unwrap();
+        r.spec_write(0, 0, LineData::splat(2)).unwrap();
+        assert_eq!(r.read(0, 0).unwrap(), LineData::splat(2), "visible inside txn");
+        r.abort().unwrap();
+        assert_eq!(r.read(0, 0).unwrap(), LineData::splat(1), "rolled back");
+    }
+
+    #[test]
+    fn unbounded_speculation_survives_eviction() {
+        // Write more speculative lines than any L1 could hold, evict them
+        // all to the OMS, and still commit correctly.
+        let mut r = SpeculativeRegion::new(64);
+        r.begin().unwrap();
+        for page in 0..64u64 {
+            for line in 0..32usize {
+                r.spec_write(page, line, LineData::splat((page as u8) ^ (line as u8))).unwrap();
+            }
+        }
+        let evicted = r.evict_speculative_state().unwrap();
+        assert_eq!(evicted, 64 * 32, "all speculative lines must overflow to the OMS");
+        // Data still visible and committable.
+        assert_eq!(r.read(63, 31).unwrap(), LineData::splat(63 ^ 31));
+        r.commit().unwrap();
+        assert_eq!(r.read(63, 31).unwrap(), LineData::splat(63 ^ 31));
+        assert_eq!(r.stats().overflowed_lines.get(), 64 * 32);
+    }
+
+    #[test]
+    fn abort_after_eviction_also_works() {
+        let mut r = SpeculativeRegion::new(8);
+        r.write(3, 3, LineData::splat(9)).unwrap();
+        r.begin().unwrap();
+        for line in 0..64 {
+            r.spec_write(3, line, LineData::splat(1)).unwrap();
+        }
+        r.evict_speculative_state().unwrap();
+        r.abort().unwrap();
+        assert_eq!(r.read(3, 3).unwrap(), LineData::splat(9));
+        assert_eq!(r.read(3, 4).unwrap(), LineData::zeroed());
+    }
+
+    #[test]
+    fn state_machine_guards() {
+        let mut r = SpeculativeRegion::new(2);
+        assert!(r.spec_write(0, 0, LineData::zeroed()).is_err());
+        assert!(r.commit().is_err());
+        assert!(r.abort().is_err());
+        r.begin().unwrap();
+        assert!(r.begin().is_err(), "no nesting");
+        assert!(r.write(0, 0, LineData::zeroed()).is_err(), "no mixed writes");
+        r.abort().unwrap();
+        assert_eq!(r.state(), SpeculationState::Idle);
+    }
+
+    #[test]
+    fn sequential_transactions_are_independent() {
+        let mut r = SpeculativeRegion::new(2);
+        r.begin().unwrap();
+        r.spec_write(0, 0, LineData::splat(1)).unwrap();
+        r.commit().unwrap();
+        r.begin().unwrap();
+        r.spec_write(0, 1, LineData::splat(2)).unwrap();
+        r.abort().unwrap();
+        assert_eq!(r.read(0, 0).unwrap(), LineData::splat(1));
+        assert_eq!(r.read(0, 1).unwrap(), LineData::zeroed());
+    }
+}

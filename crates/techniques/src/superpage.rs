@@ -1,0 +1,254 @@
+//! Flexible super-pages (§5.3.5).
+//!
+//! Super-pages cut TLB misses but freeze 2 MB of mapping in one entry —
+//! no OS today shares a super-page copy-on-write. The paper applies
+//! overlays "at higher-level page table entries": the 64-bit OBitVector
+//! divides a 2 MB super-page into 64 segments of 8 pages (32 KB) each,
+//! and individual segments can be remapped, copied on write, or given
+//! their own protection while the rest of the super-page keeps its one
+//! TLB entry.
+
+use po_types::geometry::PAGE_SIZE;
+use po_types::{OBitVector, PoError, PoResult, Ppn, VirtAddr, Vpn};
+use po_vm::{FrameAllocator, SuperPageMapping, SUPERPAGE_PAGES};
+
+/// Pages per overlay segment of a super-page (512 pages / 64 bits).
+pub const PAGES_PER_SEGMENT: usize = SUPERPAGE_PAGES / 64;
+
+/// Per-segment protection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentProtection {
+    /// Reads and writes allowed.
+    ReadWrite,
+    /// Writes fault (or trigger segment copy-on-write).
+    ReadOnly,
+}
+
+/// A super-page whose segments can be individually remapped/protected.
+///
+/// # Example
+///
+/// ```
+/// use po_techniques::FlexSuperPage;
+/// use po_types::{Ppn, Vpn};
+/// use po_vm::FrameAllocator;
+///
+/// let mut alloc = FrameAllocator::new(4096);
+/// let base = alloc.alloc_contiguous(512)?;
+/// let mut sp = FlexSuperPage::new(Vpn::new(0), base).unwrap();
+/// // Share it copy-on-write, then write one page: only that page's
+/// // 32 KB segment is copied.
+/// sp.mark_cow();
+/// let copied = sp.write_page(Vpn::new(5), &mut alloc)?;
+/// assert_eq!(copied, 8); // one segment = 8 pages
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlexSuperPage {
+    mapping: SuperPageMapping,
+    /// Segments remapped away from the contiguous base (OBitVector at
+    /// the PMD level).
+    seg_bitvec: OBitVector,
+    /// Remap target for each segment (base PPN of its 8 frames).
+    seg_remap: [Option<Ppn>; 64],
+    /// Per-segment protection.
+    seg_prot: [SegmentProtection; 64],
+    /// Whole-super-page copy-on-write mode.
+    cow: bool,
+}
+
+impl FlexSuperPage {
+    /// Creates a flexible super-page over an aligned 2 MB mapping.
+    /// Returns `None` on misalignment (see [`SuperPageMapping::new`]).
+    pub fn new(base_vpn: Vpn, base_ppn: Ppn) -> Option<Self> {
+        Some(Self {
+            mapping: SuperPageMapping::new(base_vpn, base_ppn)?,
+            seg_bitvec: OBitVector::EMPTY,
+            seg_remap: [None; 64],
+            seg_prot: [SegmentProtection::ReadWrite; 64],
+            cow: false,
+        })
+    }
+
+    /// Marks the whole super-page copy-on-write (e.g. after sharing it
+    /// with another process) — the case no conventional system supports
+    /// without splintering the mapping.
+    pub fn mark_cow(&mut self) {
+        self.cow = true;
+        self.seg_prot = [SegmentProtection::ReadOnly; 64];
+    }
+
+    /// The OBitVector over segments (diagnostics/TLB model).
+    pub fn seg_bitvec(&self) -> OBitVector {
+        self.seg_bitvec
+    }
+
+    fn segment_of(&self, vpn: Vpn) -> PoResult<(usize, usize)> {
+        let idx = self
+            .mapping
+            .index_of(vpn)
+            .ok_or(PoError::Unmapped(vpn.base()))?;
+        Ok((idx / PAGES_PER_SEGMENT, idx % PAGES_PER_SEGMENT))
+    }
+
+    /// Translates a page through the flexible mapping: remapped segments
+    /// override the contiguous base.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] outside the super-page.
+    pub fn translate(&self, vpn: Vpn) -> PoResult<Ppn> {
+        let (seg, within) = self.segment_of(vpn)?;
+        if self.seg_bitvec.contains(seg) {
+            let base = self.seg_remap[seg].expect("bit set implies remap");
+            Ok(Ppn::new(base.raw() + within as u64))
+        } else {
+            self.mapping.translate(vpn).ok_or(PoError::Unmapped(vpn.base()))
+        }
+    }
+
+    /// Protection of the segment containing `vpn`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] outside the super-page.
+    pub fn protection(&self, vpn: Vpn) -> PoResult<SegmentProtection> {
+        let (seg, _) = self.segment_of(vpn)?;
+        Ok(self.seg_prot[seg])
+    }
+
+    /// Sets the protection of one 32 KB segment — "multiple protection
+    /// domains within a super-page".
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] outside the super-page.
+    pub fn protect_segment(&mut self, vpn: Vpn, prot: SegmentProtection) -> PoResult<()> {
+        let (seg, _) = self.segment_of(vpn)?;
+        self.seg_prot[seg] = prot;
+        Ok(())
+    }
+
+    /// Handles a write to `vpn`: if its segment is CoW-protected, only
+    /// that segment (8 pages) is copied and remapped — not the whole
+    /// 2 MB page. Returns the number of pages copied (0 if the segment
+    /// was already private/writable).
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] outside the super-page;
+    /// [`PoError::ProtectionViolation`] on a write to a read-only
+    /// segment when not in CoW mode; allocator exhaustion.
+    pub fn write_page(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> PoResult<usize> {
+        let (seg, _) = self.segment_of(vpn)?;
+        match self.seg_prot[seg] {
+            SegmentProtection::ReadWrite => Ok(0),
+            SegmentProtection::ReadOnly if !self.cow => {
+                Err(PoError::ProtectionViolation(vpn.base()))
+            }
+            SegmentProtection::ReadOnly => {
+                // Segment-granularity copy-on-write: remap this segment
+                // onto fresh frames and set its OBitVector bit.
+                let new_base = alloc.alloc_contiguous(PAGES_PER_SEGMENT as u64)?;
+                self.seg_remap[seg] = Some(new_base);
+                self.seg_bitvec.set(seg);
+                self.seg_prot[seg] = SegmentProtection::ReadWrite;
+                Ok(PAGES_PER_SEGMENT)
+            }
+        }
+    }
+
+    /// Bytes of extra memory consumed by diverged segments (vs copying
+    /// the whole super-page).
+    pub fn diverged_bytes(&self) -> u64 {
+        self.seg_bitvec.len() as u64 * (PAGES_PER_SEGMENT * PAGE_SIZE) as u64
+    }
+
+    /// Convenience: translate a full virtual address.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Unmapped`] outside the super-page.
+    pub fn translate_addr(&self, va: VirtAddr) -> PoResult<u64> {
+        let ppn = self.translate(va.vpn())?;
+        Ok(ppn.base().raw() | va.page_offset() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FlexSuperPage, FrameAllocator) {
+        let mut alloc = FrameAllocator::new(1 << 16);
+        let base = alloc.alloc_contiguous(512).unwrap();
+        (FlexSuperPage::new(Vpn::new(0), base).unwrap(), alloc)
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(PAGES_PER_SEGMENT, 8); // 512 pages / 64 OBitVector bits
+    }
+
+    #[test]
+    fn contiguous_translation_by_default() {
+        let (sp, _) = setup();
+        for vpn in [0u64, 100, 511] {
+            let ppn = sp.translate(Vpn::new(vpn)).unwrap();
+            assert_eq!(ppn.raw(), sp.translate(Vpn::new(0)).unwrap().raw() + vpn);
+        }
+        assert!(sp.translate(Vpn::new(512)).is_err());
+    }
+
+    #[test]
+    fn segment_cow_copies_only_32kb() {
+        let (mut sp, mut alloc) = setup();
+        sp.mark_cow();
+        let before = alloc.allocated();
+        let copied = sp.write_page(Vpn::new(17), &mut alloc).unwrap();
+        assert_eq!(copied, 8);
+        assert_eq!(alloc.allocated() - before, 8, "one segment, not 512 pages");
+        assert_eq!(sp.diverged_bytes(), 8 * 4096);
+        // Pages in the written segment translate to the new frames…
+        let seg_base_vpn = 16; // segment 2 covers vpns 16..24
+        let p = sp.translate(Vpn::new(seg_base_vpn)).unwrap();
+        assert_ne!(p.raw(), sp.translate(Vpn::new(0)).unwrap().raw() + seg_base_vpn);
+        // …while other segments still use the shared base.
+        let q = sp.translate(Vpn::new(100)).unwrap();
+        assert_eq!(q.raw(), sp.translate(Vpn::new(0)).unwrap().raw() + 100);
+    }
+
+    #[test]
+    fn second_write_to_same_segment_is_free() {
+        let (mut sp, mut alloc) = setup();
+        sp.mark_cow();
+        sp.write_page(Vpn::new(17), &mut alloc).unwrap();
+        let copied = sp.write_page(Vpn::new(18), &mut alloc).unwrap();
+        assert_eq!(copied, 0, "vpn 18 is in the already-private segment");
+    }
+
+    #[test]
+    fn per_segment_protection_domains() {
+        let (mut sp, mut alloc) = setup();
+        sp.protect_segment(Vpn::new(8), SegmentProtection::ReadOnly).unwrap();
+        assert_eq!(sp.protection(Vpn::new(9)).unwrap(), SegmentProtection::ReadOnly);
+        assert_eq!(sp.protection(Vpn::new(16)).unwrap(), SegmentProtection::ReadWrite);
+        // Not CoW: the write must fault, not copy.
+        assert!(matches!(
+            sp.write_page(Vpn::new(9), &mut alloc),
+            Err(PoError::ProtectionViolation(_))
+        ));
+    }
+
+    #[test]
+    fn translate_addr_keeps_offset() {
+        let (sp, _) = setup();
+        let pa = sp.translate_addr(VirtAddr::new(5 * 4096 + 0x123)).unwrap();
+        assert_eq!(pa & 0xfff, 0x123);
+    }
+
+    #[test]
+    fn misaligned_base_rejected() {
+        assert!(FlexSuperPage::new(Vpn::new(3), Ppn::new(0)).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! TLB coherence via the cache-coherence network (§4.3.3).
+//!
+//! An overlaying write must make every TLB caching the page agree that
+//! the written line now lives in the overlay. The naïve approach is a
+//! TLB shootdown; the paper instead rides the cache-coherence network
+//! with a new **overlaying read exclusive** message, exploiting three
+//! facts: (i) only one line's mapping changes, (ii) the overlay page
+//! number uniquely identifies the virtual page (overlays are unshared),
+//! and (iii) overlay addresses are ordinary physical addresses, hence
+//! already part of the coherence network.
+
+use crate::tlb::Tlb;
+use po_types::{Opn, PhysAddr, PoError, PoResult};
+
+/// The coherence message broadcast on an overlaying write.
+///
+/// Carries the overlay line address; receivers decode `(ASID, VPN)`
+/// directly from the overlay page number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlayingReadExclusive {
+    /// Overlay-space address of the affected line.
+    pub line_addr: PhysAddr,
+}
+
+impl OverlayingReadExclusive {
+    /// Builds the message for line `line` of overlay page `opn`.
+    pub fn new(opn: Opn, line: usize) -> Self {
+        Self { line_addr: opn.line_addr(line) }
+    }
+
+    /// Decodes the overlay page and line index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::NotAnOverlayAddress`] if the address lies
+    /// outside the overlay address space.
+    pub fn decode(&self) -> PoResult<(Opn, usize)> {
+        if !self.line_addr.is_overlay() {
+            return Err(PoError::NotAnOverlayAddress(self.line_addr));
+        }
+        Ok((self.line_addr.opn(), self.line_addr.line_in_page()))
+    }
+}
+
+/// Delivers an overlaying-write notification to every TLB in the system
+/// (all cores snoop the coherence network). Returns how many TLBs
+/// actually cached the page and were updated.
+///
+/// # Errors
+///
+/// Propagates decode failures for non-overlay addresses.
+pub fn broadcast_overlaying_write(
+    tlbs: &mut [Tlb],
+    msg: OverlayingReadExclusive,
+) -> PoResult<usize> {
+    let (opn, line) = msg.decode()?;
+    let (asid, vpn) = opn.decode();
+    let mut updated = 0;
+    for tlb in tlbs {
+        if tlb.coherence_obit_update(asid, vpn, line, true) {
+            updated += 1;
+        }
+    }
+    Ok(updated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::{TlbConfig, TlbEntry};
+    use po_types::{Asid, OBitVector, Ppn, Vpn};
+    use po_vm::{Pte, PteFlags};
+
+    fn entry(asid: u16, vpn: u64) -> TlbEntry {
+        TlbEntry {
+            asid: Asid::new(asid),
+            vpn: Vpn::new(vpn),
+            pte: Pte {
+                ppn: Ppn::new(1),
+                flags: PteFlags { present: true, writable: false, cow: true, overlay_enabled: true },
+            },
+            obitvec: OBitVector::EMPTY,
+        }
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let opn = Opn::encode(Asid::new(5), Vpn::new(0x77));
+        let msg = OverlayingReadExclusive::new(opn, 13);
+        assert_eq!(msg.decode().unwrap(), (opn, 13));
+    }
+
+    #[test]
+    fn non_overlay_address_is_rejected() {
+        let msg = OverlayingReadExclusive { line_addr: PhysAddr::new(0x1000) };
+        assert!(matches!(msg.decode(), Err(PoError::NotAnOverlayAddress(_))));
+    }
+
+    #[test]
+    fn broadcast_updates_every_caching_tlb_without_shootdowns() {
+        // Invariant 7 of DESIGN.md: after an overlaying write, every TLB
+        // holding the page agrees on the OBitVector, with zero shootdowns.
+        let mut tlbs = vec![
+            Tlb::new(TlbConfig::table2()),
+            Tlb::new(TlbConfig::table2()),
+            Tlb::new(TlbConfig::table2()),
+        ];
+        tlbs[0].fill(entry(3, 0x10));
+        tlbs[2].fill(entry(3, 0x10));
+        // TLB 1 does not cache the page.
+        let opn = Opn::encode(Asid::new(3), Vpn::new(0x10));
+        let updated =
+            broadcast_overlaying_write(&mut tlbs, OverlayingReadExclusive::new(opn, 42)).unwrap();
+        assert_eq!(updated, 2);
+        for i in [0usize, 2] {
+            let e = tlbs[i].peek(Asid::new(3), Vpn::new(0x10)).unwrap();
+            assert!(e.obitvec.contains(42));
+            assert_eq!(tlbs[i].stats().shootdowns.get(), 0);
+        }
+        assert!(tlbs[1].peek(Asid::new(3), Vpn::new(0x10)).is_none());
+    }
+
+    #[test]
+    fn broadcast_to_empty_system_is_zero() {
+        let mut tlbs: Vec<Tlb> = vec![Tlb::new(TlbConfig::table2())];
+        let opn = Opn::encode(Asid::new(1), Vpn::new(1));
+        let n = broadcast_overlaying_write(&mut tlbs, OverlayingReadExclusive::new(opn, 0)).unwrap();
+        assert_eq!(n, 0);
+    }
+}

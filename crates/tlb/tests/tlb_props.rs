@@ -1,0 +1,118 @@
+//! Property tests for the TLB: hit/miss behavior against a bounded
+//! oracle, and coherence-update consistency under random interleavings.
+
+use po_tlb::{Tlb, TlbConfig, TlbEntry, TlbOutcome};
+use po_types::{Asid, OBitVector, Ppn, Vpn};
+use po_vm::{Pte, PteFlags};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn entry(asid: u16, vpn: u64, ppn: u64) -> TlbEntry {
+    TlbEntry {
+        asid: Asid::new(asid),
+        vpn: Vpn::new(vpn),
+        pte: Pte {
+            ppn: Ppn::new(ppn),
+            flags: PteFlags { present: true, writable: true, ..Default::default() },
+        },
+        obitvec: OBitVector::EMPTY,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Fill { asid: u16, vpn: u64, ppn: u64 },
+    Lookup { asid: u16, vpn: u64 },
+    Shootdown { asid: u16, vpn: u64 },
+    ObitSet { asid: u16, vpn: u64, line: usize },
+    FlushAsid { asid: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let asid = 1u16..4;
+    let vpn = 0u64..64;
+    prop_oneof![
+        (asid.clone(), vpn.clone(), 0u64..1024)
+            .prop_map(|(asid, vpn, ppn)| Op::Fill { asid, vpn, ppn }),
+        (asid.clone(), vpn.clone()).prop_map(|(asid, vpn)| Op::Lookup { asid, vpn }),
+        (asid.clone(), vpn.clone()).prop_map(|(asid, vpn)| Op::Shootdown { asid, vpn }),
+        (asid.clone(), vpn.clone(), 0usize..64)
+            .prop_map(|(asid, vpn, line)| Op::ObitSet { asid, vpn, line }),
+        asid.prop_map(|asid| Op::FlushAsid { asid }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Hits never return wrong data: whatever the TLB returns must match
+    /// the last fill for that `(asid, vpn)`; misses are always allowed
+    /// (capacity), but a hit after a shootdown/flush without a refill is
+    /// forbidden.
+    #[test]
+    fn tlb_never_returns_stale_translations(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig::table2());
+        // Oracle: the authoritative latest state per (asid, vpn), or
+        // None after an invalidation.
+        let mut truth: BTreeMap<(u16, u64), Option<(u64, OBitVector)>> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Fill { asid, vpn, ppn } => {
+                    tlb.fill(entry(asid, vpn, ppn));
+                    truth.insert((asid, vpn), Some((ppn, OBitVector::EMPTY)));
+                }
+                Op::Lookup { asid, vpn } => {
+                    let got = tlb.lookup(Asid::new(asid), Vpn::new(vpn));
+                    match got.outcome {
+                        TlbOutcome::Miss => prop_assert!(got.entry.is_none()),
+                        _ => {
+                            let e = got.entry.expect("hit carries an entry");
+                            let expected = truth
+                                .get(&(asid, vpn))
+                                .copied()
+                                .flatten();
+                            let (ppn, obv) = expected
+                                .unwrap_or_else(|| panic!("hit for never-filled/invalidated ({asid},{vpn})"));
+                            prop_assert_eq!(e.pte.ppn.raw(), ppn);
+                            prop_assert_eq!(e.obitvec, obv);
+                        }
+                    }
+                }
+                Op::Shootdown { asid, vpn } => {
+                    tlb.shootdown(Asid::new(asid), Vpn::new(vpn));
+                    truth.insert((asid, vpn), None);
+                }
+                Op::ObitSet { asid, vpn, line } => {
+                    let updated = tlb.coherence_obit_update(Asid::new(asid), Vpn::new(vpn), line, true);
+                    if updated {
+                        if let Some(Some((_, obv))) = truth.get_mut(&(asid, vpn)) {
+                            obv.set(line);
+                        }
+                    }
+                    // An update can only land on a cached page.
+                    if updated {
+                        prop_assert!(truth.get(&(asid, vpn)).copied().flatten().is_some());
+                    }
+                }
+                Op::FlushAsid { asid } => {
+                    tlb.flush_asid(Asid::new(asid));
+                    for ((a, _), v) in truth.iter_mut() {
+                        if *a == asid {
+                            *v = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Capacity never exceeds the configured entry counts.
+    #[test]
+    fn occupancy_is_bounded(fills in prop::collection::vec((1u16..8, 0u64..10_000), 1..300)) {
+        let mut tlb = Tlb::new(TlbConfig::table2());
+        for &(asid, vpn) in &fills {
+            tlb.fill(entry(asid, vpn, vpn + 1));
+        }
+        prop_assert!(tlb.occupancy() <= 64 + 1024);
+    }
+}

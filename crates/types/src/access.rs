@@ -1,0 +1,73 @@
+//! Memory-access descriptors shared by the TLB, cache and DRAM models.
+
+use crate::addr::VirtAddr;
+use core::fmt;
+
+/// Whether a memory access reads or writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A demand load.
+    Read,
+    /// A demand store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A single demand access issued by the simulated core.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemoryAccess {
+    /// The virtual address accessed.
+    pub vaddr: VirtAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Creates a read access.
+    #[inline]
+    pub const fn read(vaddr: VirtAddr) -> Self {
+        Self { vaddr, kind: AccessKind::Read }
+    }
+
+    /// Creates a write access.
+    #[inline]
+    pub const fn write(vaddr: VirtAddr) -> Self {
+        Self { vaddr, kind: AccessKind::Write }
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.vaddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemoryAccess::read(VirtAddr::new(0x40));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.kind.is_write());
+        let w = MemoryAccess::write(VirtAddr::new(0x80));
+        assert!(w.kind.is_write());
+    }
+}

@@ -1,0 +1,444 @@
+//! Strongly-typed addresses and page numbers.
+//!
+//! Four address spaces appear in the paper's design (Figure 4):
+//!
+//! 1. the per-process **virtual address space** ([`VirtAddr`], [`Vpn`]),
+//! 2. the widened **physical address space** ([`PhysAddr`], [`Ppn`]) whose
+//!    upper half (MSB set) is the *overlay address space* ([`Opn`]),
+//! 3. the **main memory address space** ([`MainMemAddr`]) that actual DRAM
+//!    responds to, split between regular frames and the Overlay Memory
+//!    Store.
+//!
+//! The virtual-to-overlay mapping is *direct* (§4.1): the overlay page
+//! number for `(asid, vpn)` is the concatenation `1 ‖ asid ‖ vpn`, so no
+//! table lookup is ever needed to find a page's overlay address.
+
+use crate::geometry::{ASID_BITS, LINES_PER_PAGE, LINE_SHIFT, PAGE_SHIFT, VADDR_BITS};
+use core::fmt;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates the address from a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the byte offset of this address within its page.
+            #[inline]
+            pub const fn page_offset(self) -> usize {
+                (self.0 & ((1 << PAGE_SHIFT) - 1)) as usize
+            }
+
+            /// Returns the byte offset of this address within its cache line.
+            #[inline]
+            pub const fn line_offset(self) -> usize {
+                (self.0 & ((1 << LINE_SHIFT) - 1)) as usize
+            }
+
+            /// Returns the index (0..64) of the cache line containing this
+            /// address within its page.
+            #[inline]
+            pub const fn line_in_page(self) -> usize {
+                ((self.0 >> LINE_SHIFT) as usize) % LINES_PER_PAGE
+            }
+
+            /// Returns the address rounded down to its cache-line base.
+            #[inline]
+            pub const fn line_base(self) -> Self {
+                Self(self.0 & !((1 << LINE_SHIFT) - 1))
+            }
+
+            /// Returns the address rounded down to its page base.
+            #[inline]
+            pub const fn page_base(self) -> Self {
+                Self(self.0 & !((1 << PAGE_SHIFT) - 1))
+            }
+
+            /// Returns the address advanced by `bytes`.
+            #[inline]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.raw()
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A virtual address within one process's 48-bit address space.
+    VirtAddr
+);
+addr_newtype!(
+    /// An address in the *widened* 64-bit physical address space.
+    ///
+    /// If the MSB ([`crate::geometry::OVERLAY_BIT`]) is set, this address
+    /// lies in the overlay address space and is not directly backed by main
+    /// memory; the memory controller resolves it through the Overlay
+    /// Mapping Table (§4.2).
+    PhysAddr
+);
+addr_newtype!(
+    /// An address in the main-memory (DRAM) address space — what the memory
+    /// controller actually sends to DRAM. Regular physical pages map
+    /// directly here; overlay lines map into the Overlay Memory Store.
+    MainMemAddr
+);
+
+macro_rules! pn_newtype {
+    ($(#[$meta:meta])* $name:ident, $addr:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates the page number from a raw value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the base address of this page.
+            #[inline]
+            pub const fn base(self) -> $addr {
+                $addr::new(self.0 << PAGE_SHIFT)
+            }
+
+            /// Returns the address of cache line `line` (0..64) within this
+            /// page.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `line >= LINES_PER_PAGE`.
+            #[inline]
+            pub fn line_addr(self, line: usize) -> $addr {
+                assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+                $addr::new((self.0 << PAGE_SHIFT) | ((line as u64) << LINE_SHIFT))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+pn_newtype!(
+    /// A virtual page number (bits 12..48 of a [`VirtAddr`]).
+    Vpn,
+    VirtAddr
+);
+pn_newtype!(
+    /// A regular physical page number (a main-memory frame).
+    Ppn,
+    PhysAddr
+);
+
+impl VirtAddr {
+    /// Returns the virtual page number of this address.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn::new(self.0 >> PAGE_SHIFT)
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical page number of this address.
+    #[inline]
+    pub const fn ppn(self) -> Ppn {
+        Ppn::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns `true` if this address lies in the overlay address space
+    /// (MSB set, §4.1).
+    #[inline]
+    pub const fn is_overlay(self) -> bool {
+        self.0 >> crate::geometry::OVERLAY_BIT == 1
+    }
+
+    /// Interprets this address as an overlay address and returns its
+    /// overlay page number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not in the overlay address space; check
+    /// [`PhysAddr::is_overlay`] first.
+    #[inline]
+    pub fn opn(self) -> Opn {
+        assert!(self.is_overlay(), "address {self} is not an overlay address");
+        Opn::from_raw(self.0 >> PAGE_SHIFT)
+    }
+}
+
+impl MainMemAddr {
+    /// Returns the main-memory frame number of this address.
+    #[inline]
+    pub const fn frame(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+}
+
+/// An address-space identifier: the process ID used in the direct
+/// virtual-to-overlay mapping (§4.1). 15 bits, so up to 2^15 processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// The maximum representable ASID (15 bits).
+    pub const MAX: u16 = (1 << ASID_BITS) - 1;
+
+    /// Creates an ASID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds [`Asid::MAX`] (the paper's widened physical
+    /// address space supports 2^15 processes).
+    #[inline]
+    pub fn new(raw: u16) -> Self {
+        assert!(raw <= Self::MAX, "ASID {raw} exceeds 15-bit limit");
+        Self(raw)
+    }
+
+    /// Returns the raw identifier.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Asid({})", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An overlay page number: a page in the overlay address space.
+///
+/// Encodes the paper's direct mapping (§4.1, Figure 5):
+///
+/// ```text
+///   bit 51      bits 36..51     bits 0..36
+///   [ 1 ]       [   ASID    ]   [   VPN   ]
+/// ```
+///
+/// (page-number view of `1 ‖ ASID ‖ vaddr`; the page offset re-enters when
+/// the OPN is turned back into a [`PhysAddr`]).
+///
+/// Because no two virtual pages may map to the same overlay, the OPN
+/// uniquely identifies the `(asid, vpn)` pair — the property the paper's
+/// TLB-coherence scheme relies on (§4.3.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Opn(u64);
+
+impl Opn {
+    const VPN_BITS: u32 = VADDR_BITS - PAGE_SHIFT; // 36
+
+    /// Encodes the overlay page number for virtual page `vpn` of process
+    /// `asid` using the direct mapping of §4.1.
+    #[inline]
+    pub fn encode(asid: Asid, vpn: Vpn) -> Self {
+        debug_assert!(vpn.raw() < (1 << Self::VPN_BITS), "VPN exceeds 36 bits");
+        let pn = (1u64 << (Self::VPN_BITS + ASID_BITS))
+            | ((asid.raw() as u64) << Self::VPN_BITS)
+            | vpn.raw();
+        Self(pn)
+    }
+
+    /// Reconstructs an OPN from its raw page-number representation (the top
+    /// bits of an overlay [`PhysAddr`]).
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw page-number representation.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes the `(asid, vpn)` pair this overlay page belongs to. Because
+    /// the mapping is 1-1 (no overlay sharing), this inversion is exact.
+    #[inline]
+    pub fn decode(self) -> (Asid, Vpn) {
+        let vpn = Vpn::new(self.0 & ((1 << Self::VPN_BITS) - 1));
+        let asid = Asid::new(((self.0 >> Self::VPN_BITS) as u16) & Asid::MAX);
+        (asid, vpn)
+    }
+
+    /// Returns the base [`PhysAddr`] of this overlay page (MSB set).
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the overlay [`PhysAddr`] of cache line `line` within this
+    /// overlay page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= LINES_PER_PAGE`.
+    #[inline]
+    pub fn line_addr(self, line: usize) -> PhysAddr {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        PhysAddr::new((self.0 << PAGE_SHIFT) | ((line as u64) << LINE_SHIFT))
+    }
+}
+
+impl fmt::Debug for Opn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (asid, vpn) = self.decode();
+        write!(f, "Opn(asid={}, vpn={:#x})", asid, vpn.raw())
+    }
+}
+
+impl fmt::Display for Opn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{LINE_SIZE, PAGE_SIZE};
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.vpn().raw(), 0x1234_5678 >> 12);
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(va.line_in_page(), 0x678 / LINE_SIZE);
+        assert_eq!(va.line_offset(), 0x678 % LINE_SIZE);
+        assert_eq!(va.page_base().raw(), 0x1234_5000);
+        assert_eq!(va.line_base().raw(), 0x1234_5640);
+    }
+
+    #[test]
+    fn vpn_line_addr_roundtrip() {
+        let vpn = Vpn::new(42);
+        for line in 0..crate::geometry::LINES_PER_PAGE {
+            let addr = vpn.line_addr(line);
+            assert_eq!(addr.vpn(), vpn);
+            assert_eq!(addr.line_in_page(), line);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vpn_line_addr_rejects_out_of_range() {
+        Vpn::new(1).line_addr(64);
+    }
+
+    #[test]
+    fn opn_encode_decode_roundtrip() {
+        for asid in [0u16, 1, 77, Asid::MAX] {
+            for vpn in [0u64, 5, (1 << 36) - 1] {
+                let opn = Opn::encode(Asid::new(asid), Vpn::new(vpn));
+                assert_eq!(opn.decode(), (Asid::new(asid), Vpn::new(vpn)));
+                assert!(opn.base().is_overlay(), "overlay bit must be MSB-visible");
+            }
+        }
+    }
+
+    #[test]
+    fn opn_base_sets_overlay_bit() {
+        let opn = Opn::encode(Asid::new(3), Vpn::new(0x1000));
+        let pa = opn.base();
+        assert!(pa.is_overlay());
+        assert_eq!(pa.opn(), opn);
+    }
+
+    #[test]
+    fn regular_phys_addr_is_not_overlay() {
+        let pa = PhysAddr::new(0x7fff_ffff_ffff);
+        assert!(!pa.is_overlay());
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_overlays() {
+        // §4.1 constraint: no two virtual pages share an overlay page.
+        let a = Opn::encode(Asid::new(1), Vpn::new(10));
+        let b = Opn::encode(Asid::new(1), Vpn::new(11));
+        let c = Opn::encode(Asid::new(2), Vpn::new(10));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn opn_line_addr_is_within_page() {
+        let opn = Opn::encode(Asid::new(9), Vpn::new(123));
+        let addr = opn.line_addr(63);
+        assert!(addr.is_overlay());
+        assert_eq!(addr.opn(), opn);
+        assert_eq!(addr.line_in_page(), 63);
+        assert_eq!(addr.raw() - opn.base().raw(), (PAGE_SIZE - LINE_SIZE) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "15-bit limit")]
+    fn asid_rejects_overflow() {
+        Asid::new(Asid::MAX + 1);
+    }
+}

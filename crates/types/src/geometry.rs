@@ -1,0 +1,51 @@
+//! Machine geometry constants used throughout the paper's evaluation.
+//!
+//! The paper (Table 2 and §4) assumes 4 KB pages and a uniform 64 B cache
+//! line, i.e. 64 cache lines per page, which is why the per-page overlay
+//! bit vector ([`crate::OBitVector`]) is exactly 64 bits wide.
+
+/// Size of a virtual/physical page in bytes (4 KB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of a cache line in bytes (64 B, uniform across the hierarchy).
+pub const LINE_SIZE: usize = 64;
+
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Number of cache lines in one page (`PAGE_SIZE / LINE_SIZE` = 64).
+pub const LINES_PER_PAGE: usize = PAGE_SIZE / LINE_SIZE;
+
+/// Number of virtual-address bits per process (the paper assumes a 48-bit
+/// virtual address space, §4.1).
+pub const VADDR_BITS: u32 = 48;
+
+/// Number of physical-address bits in the *widened* physical address space
+/// that accommodates the overlay address space (§4.1: 64-bit physical
+/// address space).
+pub const PADDR_BITS: u32 = 64;
+
+/// Number of address-space-identifier (process) bits. With a 64-bit
+/// physical address space, a 48-bit virtual space and one overlay bit, the
+/// paper supports `2^15` processes (§4.1).
+pub const ASID_BITS: u32 = PADDR_BITS - VADDR_BITS - 1; // 15
+
+/// Bit position of the overlay bit in a widened physical address: the MSB.
+pub const OVERLAY_BIT: u32 = PADDR_BITS - 1; // 63
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        assert_eq!(PAGE_SIZE, 1 << PAGE_SHIFT);
+        assert_eq!(LINE_SIZE, 1 << LINE_SHIFT);
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(ASID_BITS, 15);
+        assert_eq!(OVERLAY_BIT, 63);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cache-line payloads.
+//!
+//! The functional half of the reproduction moves real bytes around so that
+//! every overlay state transition can be checked against a flat-memory
+//! oracle. [`LineData`] is the unit of that data movement: one 64-byte
+//! cache line.
+
+use crate::geometry::LINE_SIZE;
+use core::fmt;
+
+/// The data contents of one 64-byte cache line.
+///
+/// # Example
+///
+/// ```
+/// use po_types::LineData;
+///
+/// let mut line = LineData::zeroed();
+/// line.as_mut_bytes()[0] = 0xAB;
+/// assert!(!line.is_zero());
+/// assert_eq!(line.as_bytes()[0], 0xAB);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineData([u8; LINE_SIZE]);
+
+impl LineData {
+    /// Creates an all-zero cache line.
+    #[inline]
+    pub const fn zeroed() -> Self {
+        Self([0; LINE_SIZE])
+    }
+
+    /// Creates a line from raw bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; LINE_SIZE]) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a line whose bytes are all `fill` — handy for tests.
+    #[inline]
+    pub const fn splat(fill: u8) -> Self {
+        Self([fill; LINE_SIZE])
+    }
+
+    /// Returns a view of the line's bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; LINE_SIZE] {
+        &self.0
+    }
+
+    /// Returns a mutable view of the line's bytes.
+    #[inline]
+    pub fn as_mut_bytes(&mut self) -> &mut [u8; LINE_SIZE] {
+        &mut self.0
+    }
+
+    /// Returns `true` if every byte is zero (the test used by the
+    /// sparse-data-structure technique, §5.2, to decide whether a line
+    /// belongs in an overlay).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Interprets the line as 8 little-endian `f64` values (the layout the
+    /// paper's SpMV evaluation assumes: 8 double-precision values per 64 B
+    /// line).
+    pub fn as_f64x8(&self) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        for (i, v) in out.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.0[i * 8..(i + 1) * 8]);
+            *v = f64::from_le_bytes(b);
+        }
+        out
+    }
+
+    /// Builds a line from 8 little-endian `f64` values.
+    pub fn from_f64x8(vals: [f64; 8]) -> Self {
+        let mut bytes = [0u8; LINE_SIZE];
+        for (i, v) in vals.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        Self(bytes)
+    }
+}
+
+impl Default for LineData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print only a prefix: full 64-byte dumps drown test output.
+        write!(
+            f,
+            "LineData[{:02x} {:02x} {:02x} {:02x} ..{}]",
+            self.0[0],
+            self.0[1],
+            self.0[2],
+            self.0[3],
+            if self.is_zero() { " all-zero" } else { "" }
+        )
+    }
+}
+
+impl AsRef<[u8]> for LineData {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsMut<[u8]> for LineData {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl From<[u8; LINE_SIZE]> for LineData {
+    fn from(bytes: [u8; LINE_SIZE]) -> Self {
+        Self(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        assert!(LineData::zeroed().is_zero());
+        assert!(!LineData::splat(1).is_zero());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = [1.0, -2.5, 0.0, 3.25, f64::MAX, f64::MIN, 1e-300, 42.0];
+        let line = LineData::from_f64x8(vals);
+        assert_eq!(line.as_f64x8(), vals);
+    }
+
+    #[test]
+    fn byte_mutation_visible() {
+        let mut line = LineData::zeroed();
+        line.as_mut_bytes()[63] = 7;
+        assert_eq!(line.as_bytes()[63], 7);
+        assert!(!line.is_zero());
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-page overlay bit vector (`OBitVector`, §3.1 of the paper).
+//!
+//! Each virtual page is associated with a 64-bit vector that records which
+//! of its 64 cache lines currently live in the page's overlay. The vector
+//! is cached in the TLB so the processor can decide — on the critical path
+//! of an L1 access — whether to tag the access with the physical page
+//! number or the overlay page number (§4.3.1).
+
+use crate::geometry::LINES_PER_PAGE;
+use core::fmt;
+
+/// A 64-bit vector with one bit per cache line of a 4 KB page.
+///
+/// Bit `i` set means cache line `i` of the page is present in the overlay
+/// and must be accessed from there (access semantics of §2.1).
+///
+/// # Example
+///
+/// ```
+/// use po_types::OBitVector;
+///
+/// let mut v = OBitVector::EMPTY;
+/// v.set(3);
+/// v.set(17);
+/// assert!(v.contains(3));
+/// assert!(!v.contains(4));
+/// assert_eq!(v.iter().collect::<Vec<_>>(), vec![3, 17]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OBitVector(u64);
+
+impl OBitVector {
+    /// The empty vector: no lines are in the overlay.
+    pub const EMPTY: Self = Self(0);
+
+    /// The full vector: every line of the page is in the overlay.
+    pub const FULL: Self = Self(u64::MAX);
+
+    /// Creates a vector from its raw 64-bit representation.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw 64-bit representation (what the TLB entry stores).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if line `line` is present in the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    #[inline]
+    pub fn contains(self, line: usize) -> bool {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        (self.0 >> line) & 1 == 1
+    }
+
+    /// Marks line `line` as present in the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    #[inline]
+    pub fn set(&mut self, line: usize) {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        self.0 |= 1 << line;
+    }
+
+    /// Clears line `line` (the line reverts to the physical page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    #[inline]
+    pub fn clear(&mut self, line: usize) {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        self.0 &= !(1 << line);
+    }
+
+    /// Returns the number of lines present in the overlay.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if no lines are in the overlay.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if every line of the page is in the overlay.
+    #[inline]
+    pub const fn is_full(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Iterates over the indices of lines present in the overlay, in
+    /// ascending order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Returns the union of two vectors.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Returns the intersection of two vectors.
+    #[inline]
+    pub const fn intersection(self, other: Self) -> Self {
+        Self(self.0 & other.0)
+    }
+
+    /// Returns the lines present in `self` but not in `other`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// Returns the number of overlay lines with index strictly below
+    /// `line` — the rank used when overlay lines are stored densely in
+    /// virtual-page order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    #[inline]
+    pub fn rank(self, line: usize) -> usize {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of range");
+        (self.0 & ((1u64 << line) - 1)).count_ones() as usize
+    }
+}
+
+impl fmt::Debug for OBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OBitVector({:#018x}, {} lines)", self.0, self.len())
+    }
+}
+
+impl fmt::Display for OBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::Binary for OBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for OBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl FromIterator<usize> for OBitVector {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut v = Self::EMPTY;
+        for line in iter {
+            v.set(line);
+        }
+        v
+    }
+}
+
+impl IntoIterator for OBitVector {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over set line indices of an [`OBitVector`], ascending.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(idx)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut v = OBitVector::EMPTY;
+        assert!(v.is_empty());
+        v.set(0);
+        v.set(63);
+        assert!(v.contains(0));
+        assert!(v.contains(63));
+        assert!(!v.contains(32));
+        assert_eq!(v.len(), 2);
+        v.clear(0);
+        assert!(!v.contains(0));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert!(OBitVector::FULL.is_full());
+        assert_eq!(OBitVector::FULL.len(), 64);
+        assert!(OBitVector::EMPTY.is_empty());
+        assert_eq!(OBitVector::EMPTY.len(), 0);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let v: OBitVector = [5usize, 1, 60, 33].into_iter().collect();
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 5, 33, 60]);
+        assert_eq!(v.iter().len(), 4);
+    }
+
+    #[test]
+    fn rank_counts_lower_lines() {
+        let v: OBitVector = [0usize, 2, 4, 63].into_iter().collect();
+        assert_eq!(v.rank(0), 0);
+        assert_eq!(v.rank(1), 1);
+        assert_eq!(v.rank(3), 2);
+        assert_eq!(v.rank(5), 3);
+        assert_eq!(v.rank(63), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: OBitVector = [1usize, 2, 3].into_iter().collect();
+        let b: OBitVector = [3usize, 4].into_iter().collect();
+        assert_eq!(a.union(b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_rejects_out_of_range() {
+        OBitVector::EMPTY.contains(64);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the foundational types: address arithmetic, the
+//! direct virtual-to-overlay mapping, and OBitVector set algebra
+//! (checked against `BTreeSet` oracles).
+
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{Asid, LineData, OBitVector, Opn, VirtAddr, Vpn};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn virt_addr_decomposition_is_consistent(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        // Reassemble the address from its parts.
+        let rebuilt = va.vpn().base().raw() + va.page_offset() as u64;
+        prop_assert_eq!(rebuilt, raw);
+        let line_rebuilt = va.line_base().raw() + va.line_offset() as u64;
+        prop_assert_eq!(line_rebuilt, raw);
+        prop_assert!(va.page_offset() < PAGE_SIZE);
+        prop_assert!(va.line_offset() < LINE_SIZE);
+        prop_assert!(va.line_in_page() < LINES_PER_PAGE);
+        prop_assert_eq!(
+            va.line_in_page(),
+            va.page_offset() / LINE_SIZE,
+            "line index must be the page offset in lines"
+        );
+    }
+
+    #[test]
+    fn opn_mapping_is_injective_and_invertible(
+        asid1 in 0u16..=Asid::MAX,
+        asid2 in 0u16..=Asid::MAX,
+        vpn1 in 0u64..(1 << 36),
+        vpn2 in 0u64..(1 << 36),
+    ) {
+        let o1 = Opn::encode(Asid::new(asid1), Vpn::new(vpn1));
+        let o2 = Opn::encode(Asid::new(asid2), Vpn::new(vpn2));
+        prop_assert_eq!(o1.decode(), (Asid::new(asid1), Vpn::new(vpn1)));
+        // §4.1: the constraint that no two virtual pages share an overlay
+        // page is structural: the mapping is injective.
+        prop_assert_eq!(o1 == o2, (asid1, vpn1) == (asid2, vpn2));
+        // Every overlay address has the MSB set.
+        prop_assert!(o1.base().is_overlay());
+        prop_assert_eq!(o1.base().opn(), o1);
+    }
+
+    #[test]
+    fn obitvec_matches_btreeset_oracle(
+        adds in prop::collection::vec(0usize..64, 0..80),
+        removes in prop::collection::vec(0usize..64, 0..40),
+    ) {
+        let mut v = OBitVector::EMPTY;
+        let mut oracle = BTreeSet::new();
+        for &a in &adds {
+            v.set(a);
+            oracle.insert(a);
+        }
+        for &r in &removes {
+            v.clear(r);
+            oracle.remove(&r);
+        }
+        prop_assert_eq!(v.len(), oracle.len());
+        prop_assert_eq!(v.iter().collect::<Vec<_>>(), oracle.iter().copied().collect::<Vec<_>>());
+        for line in 0..64 {
+            prop_assert_eq!(v.contains(line), oracle.contains(&line));
+            // rank = number of set lines strictly below.
+            prop_assert_eq!(v.rank(line), oracle.range(..line).count());
+        }
+    }
+
+    #[test]
+    fn obitvec_algebra_matches_sets(
+        a in prop::collection::btree_set(0usize..64, 0..40),
+        b in prop::collection::btree_set(0usize..64, 0..40),
+    ) {
+        let va: OBitVector = a.iter().copied().collect();
+        let vb: OBitVector = b.iter().copied().collect();
+        let union: Vec<usize> = a.union(&b).copied().collect();
+        let inter: Vec<usize> = a.intersection(&b).copied().collect();
+        let diff: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(va.union(vb).iter().collect::<Vec<_>>(), union);
+        prop_assert_eq!(va.intersection(vb).iter().collect::<Vec<_>>(), inter);
+        prop_assert_eq!(va.difference(vb).iter().collect::<Vec<_>>(), diff);
+    }
+
+    #[test]
+    fn line_data_f64_roundtrip(vals in prop::array::uniform8(prop::num::f64::ANY)) {
+        let line = LineData::from_f64x8(vals);
+        let back = line.as_f64x8();
+        for (x, y) in vals.iter().zip(back.iter()) {
+            // Bit-exact roundtrip (NaN payloads included).
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn line_data_is_zero_iff_all_bytes_zero(bytes in prop::array::uniform32(any::<u8>())) {
+        let mut full = [0u8; 64];
+        full[..32].copy_from_slice(&bytes);
+        let line = LineData::from_bytes(full);
+        prop_assert_eq!(line.is_zero(), full.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Physical frame allocation.
+//!
+//! Regular physical pages map directly into the main-memory address
+//! space (Figure 4 of the paper: "Direct Mapping"), so a [`Ppn`]'s frame
+//! address is just `ppn << 12`. The allocator hands out frames from a
+//! fixed-size pool and tracks a free list; the OS also carves chunks out
+//! of this pool for the memory controller's Overlay Memory Store
+//! (§4.4.3).
+
+use po_types::{MainMemAddr, PoError, PoResult, Ppn};
+
+/// A free-list frame allocator over `total_frames` 4 KB frames.
+///
+/// # Example
+///
+/// ```
+/// use po_vm::FrameAllocator;
+///
+/// let mut alloc = FrameAllocator::new(128);
+/// let f = alloc.alloc()?;
+/// assert!(alloc.allocated() == 1);
+/// alloc.free(f);
+/// assert!(alloc.allocated() == 0);
+/// # Ok::<(), po_types::PoError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    total: u64,
+    next_never_used: u64,
+    free_list: Vec<Ppn>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `total_frames` frames (frame 0 upward).
+    pub fn new(total_frames: u64) -> Self {
+        Self { total: total_frames, next_never_used: 0, free_list: Vec::new() }
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::OutOfMemory`] when the pool is exhausted.
+    pub fn alloc(&mut self) -> PoResult<Ppn> {
+        if let Some(ppn) = self.free_list.pop() {
+            return Ok(ppn);
+        }
+        if self.next_never_used < self.total {
+            let ppn = Ppn::new(self.next_never_used);
+            self.next_never_used += 1;
+            Ok(ppn)
+        } else {
+            Err(PoError::OutOfMemory)
+        }
+    }
+
+    /// Allocates `n` physically contiguous frames (used to grant OMS
+    /// chunks to the memory controller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::OutOfMemory`] if fewer than `n` never-used
+    /// frames remain (contiguity is only guaranteed in the virgin
+    /// region).
+    pub fn alloc_contiguous(&mut self, n: u64) -> PoResult<Ppn> {
+        if self.next_never_used + n <= self.total {
+            let base = Ppn::new(self.next_never_used);
+            self.next_never_used += n;
+            Ok(base)
+        } else {
+            Err(PoError::OutOfMemory)
+        }
+    }
+
+    /// Returns a frame to the pool.
+    pub fn free(&mut self, ppn: Ppn) {
+        debug_assert!(
+            !self.free_list.contains(&ppn),
+            "double free of frame {ppn:?}"
+        );
+        self.free_list.push(ppn);
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.next_never_used - self.free_list.len() as u64
+    }
+
+    /// Total frames managed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Main-memory address of a frame (direct mapping).
+    pub fn frame_addr(ppn: Ppn) -> MainMemAddr {
+        MainMemAddr::new(ppn.base().raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_recycles() {
+        let mut a = FrameAllocator::new(2);
+        let f1 = a.alloc().unwrap();
+        let f2 = a.alloc().unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(a.alloc(), Err(PoError::OutOfMemory));
+        a.free(f1);
+        assert_eq!(a.alloc().unwrap(), f1);
+    }
+
+    #[test]
+    fn contiguous_allocation_is_sequential() {
+        let mut a = FrameAllocator::new(100);
+        let base = a.alloc_contiguous(10).unwrap();
+        let next = a.alloc().unwrap();
+        assert_eq!(next.raw(), base.raw() + 10);
+        assert_eq!(a.allocated(), 11);
+    }
+
+    #[test]
+    fn frame_addr_is_direct() {
+        assert_eq!(FrameAllocator::frame_addr(Ppn::new(3)).raw(), 3 * 4096);
+    }
+
+    #[test]
+    fn exhaustion_of_contiguous() {
+        let mut a = FrameAllocator::new(5);
+        assert!(a.alloc_contiguous(6).is_err());
+        assert!(a.alloc_contiguous(5).is_ok());
+        assert!(a.alloc().is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! A 4-level radix page table.
+//!
+//! Mirrors the x86-64 structure the paper assumes (48-bit virtual
+//! addresses, 9 bits per level, 4 KB leaves). The table is functional —
+//! the TLB model charges the 1000-cycle walk cost of Table 2 — but the
+//! radix structure is real so walks, sharing and teardown behave like
+//! the real thing.
+
+use po_types::geometry::PAGE_SHIFT;
+use po_types::{Ppn, VirtAddr, Vpn};
+use std::collections::HashMap;
+
+/// Number of radix levels walked on a TLB miss.
+pub const WALK_LEVELS: usize = 4;
+
+const INDEX_BITS: u32 = 9;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+/// Per-page mapping flags.
+///
+/// `cow` and `overlay_enabled` are the two bits the paper adds to the
+/// conventional set: `cow` marks pages shared in copy-on-write mode
+/// (§2.2: "the OS explicitly indicates to the hardware, through the page
+/// tables, that the pages should be copied-on-write"), and
+/// `overlay_enabled` turns the overlay semantics on for a mapping
+/// (overlays are "an inexpensive feature that can be turned on or off",
+/// §1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Mapping exists.
+    pub present: bool,
+    /// Writes permitted without a fault.
+    pub writable: bool,
+    /// Shared copy-on-write page: a write triggers the CoW (or
+    /// overlay-on-write) handler.
+    pub cow: bool,
+    /// Overlay semantics enabled for this page.
+    pub overlay_enabled: bool,
+}
+
+/// A leaf page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// The mapped physical frame.
+    pub ppn: Ppn,
+    /// Flags.
+    pub flags: PteFlags,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    children: HashMap<u16, Node>,
+    leaf: Option<Pte>,
+}
+
+/// The per-process radix table.
+///
+/// # Example
+///
+/// ```
+/// use po_vm::{PageTable, Pte, PteFlags};
+/// use po_types::{Ppn, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vpn::new(0x42), Pte { ppn: Ppn::new(7), flags: PteFlags { present: true, writable: true, ..Default::default() } });
+/// assert_eq!(pt.lookup(Vpn::new(0x42)).unwrap().ppn, Ppn::new(7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    root: Node,
+    mapped: usize,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn indices(vpn: Vpn) -> [u16; WALK_LEVELS] {
+        let mut out = [0u16; WALK_LEVELS];
+        let raw = vpn.raw();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let shift = INDEX_BITS * (WALK_LEVELS - 1 - i) as u32;
+            *slot = ((raw >> shift) & INDEX_MASK) as u16;
+        }
+        out
+    }
+
+    /// Installs (or replaces) the mapping for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) {
+        let mut node = &mut self.root;
+        for idx in Self::indices(vpn) {
+            node = node.children.entry(idx).or_default();
+        }
+        if node.leaf.is_none() {
+            self.mapped += 1;
+        }
+        node.leaf = Some(pte);
+    }
+
+    /// Removes the mapping for `vpn`, returning the old entry.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let mut node = &mut self.root;
+        for idx in Self::indices(vpn) {
+            node = node.children.get_mut(&idx)?;
+        }
+        let old = node.leaf.take();
+        if old.is_some() {
+            self.mapped -= 1;
+        }
+        old
+    }
+
+    /// Walks the table for `vpn`.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Pte> {
+        let mut node = &self.root;
+        for idx in Self::indices(vpn) {
+            node = node.children.get(&idx)?;
+        }
+        node.leaf
+    }
+
+    /// Walks the table for the page containing `vaddr`.
+    pub fn translate(&self, vaddr: VirtAddr) -> Option<Pte> {
+        self.lookup(vaddr.vpn())
+    }
+
+    /// Mutable access to the entry for `vpn` (flag updates by fault
+    /// handlers).
+    pub fn entry_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        let mut node = &mut self.root;
+        for idx in Self::indices(vpn) {
+            node = node.children.get_mut(&idx)?;
+        }
+        node.leaf.as_mut()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped
+    }
+
+    /// Iterates over every `(vpn, pte)` pair (used by `fork` to clone an
+    /// address space).
+    pub fn iter(&self) -> Vec<(Vpn, Pte)> {
+        let mut out = Vec::with_capacity(self.mapped);
+        fn walk(node: &Node, prefix: u64, depth: usize, out: &mut Vec<(Vpn, Pte)>) {
+            if depth == WALK_LEVELS {
+                if let Some(pte) = node.leaf {
+                    out.push((Vpn::new(prefix), pte));
+                }
+                return;
+            }
+            let mut keys: Vec<_> = node.children.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                walk(
+                    &node.children[&k],
+                    (prefix << INDEX_BITS) | k as u64,
+                    depth + 1,
+                    out,
+                );
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    /// Translates a full virtual address to a physical byte address.
+    pub fn translate_addr(&self, vaddr: VirtAddr) -> Option<u64> {
+        let pte = self.translate(vaddr)?;
+        Some(pte.ppn.base().raw() | (vaddr.raw() & ((1 << PAGE_SHIFT) - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pte(ppn: u64) -> Pte {
+        Pte {
+            ppn: Ppn::new(ppn),
+            flags: PteFlags { present: true, writable: true, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.lookup(Vpn::new(5)).is_none());
+        pt.map(Vpn::new(5), pte(9));
+        assert_eq!(pt.lookup(Vpn::new(5)).unwrap().ppn, Ppn::new(9));
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.unmap(Vpn::new(5)).unwrap().ppn, Ppn::new(9));
+        assert!(pt.lookup(Vpn::new(5)).is_none());
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn distinct_vpns_do_not_collide() {
+        let mut pt = PageTable::new();
+        // VPNs that share low-level indices but differ at upper levels.
+        let a = Vpn::new(0x1);
+        let b = Vpn::new(0x1 | (1 << 27)); // differs at level-0 index
+        pt.map(a, pte(1));
+        pt.map(b, pte(2));
+        assert_eq!(pt.lookup(a).unwrap().ppn, Ppn::new(1));
+        assert_eq!(pt.lookup(b).unwrap().ppn, Ppn::new(2));
+    }
+
+    #[test]
+    fn remap_replaces_without_count_growth() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(3), pte(1));
+        pt.map(Vpn::new(3), pte(2));
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.lookup(Vpn::new(3)).unwrap().ppn, Ppn::new(2));
+    }
+
+    #[test]
+    fn entry_mut_updates_flags() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(7), pte(1));
+        pt.entry_mut(Vpn::new(7)).unwrap().flags.writable = false;
+        assert!(!pt.lookup(Vpn::new(7)).unwrap().flags.writable);
+    }
+
+    #[test]
+    fn iter_enumerates_in_vpn_order() {
+        let mut pt = PageTable::new();
+        for v in [9u64, 3, 7, 1_000_000] {
+            pt.map(Vpn::new(v), pte(v));
+        }
+        let all = pt.iter();
+        let vpns: Vec<u64> = all.iter().map(|(v, _)| v.raw()).collect();
+        assert_eq!(vpns, vec![3, 7, 9, 1_000_000]);
+    }
+
+    #[test]
+    fn translate_addr_combines_frame_and_offset() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(2), pte(5));
+        let pa = pt.translate_addr(VirtAddr::new(2 * 4096 + 0x123)).unwrap();
+        assert_eq!(pa, 5 * 4096 + 0x123);
+    }
+}

@@ -1,0 +1,97 @@
+//! 2 MB super-page mappings.
+//!
+//! Substrate for the paper's *flexible super-pages* technique (§5.3.5):
+//! a super-page normally maps 512 consecutive 4 KB pages with a single
+//! higher-level page-table entry; the overlay mechanism lets the OS remap
+//! *segments* of a super-page individually (the technique itself lives in
+//! `po-techniques::superpage`, built on this type).
+
+use po_types::{Ppn, Vpn};
+
+/// Number of 4 KB pages in a 2 MB super-page.
+pub const SUPERPAGE_PAGES: usize = 512;
+
+/// A 2 MB super-page mapping: `SUPERPAGE_PAGES` consecutive virtual pages
+/// backed by consecutive physical frames.
+///
+/// # Example
+///
+/// ```
+/// use po_vm::{SuperPageMapping, SUPERPAGE_PAGES};
+/// use po_types::{Ppn, Vpn};
+///
+/// let sp = SuperPageMapping::new(Vpn::new(512), Ppn::new(0x1000)).unwrap();
+/// assert_eq!(sp.translate(Vpn::new(512 + 5)), Some(Ppn::new(0x1005)));
+/// assert_eq!(sp.translate(Vpn::new(511)), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperPageMapping {
+    base_vpn: Vpn,
+    base_ppn: Ppn,
+    /// Whether writes are permitted.
+    pub writable: bool,
+}
+
+impl SuperPageMapping {
+    /// Creates a super-page mapping. Both base page numbers must be
+    /// 512-page (2 MB) aligned.
+    ///
+    /// Returns `None` if either base is misaligned.
+    pub fn new(base_vpn: Vpn, base_ppn: Ppn) -> Option<Self> {
+        if !base_vpn.raw().is_multiple_of(SUPERPAGE_PAGES as u64)
+            || !base_ppn.raw().is_multiple_of(SUPERPAGE_PAGES as u64)
+        {
+            return None;
+        }
+        Some(Self { base_vpn, base_ppn, writable: true })
+    }
+
+    /// Base virtual page.
+    pub fn base_vpn(&self) -> Vpn {
+        self.base_vpn
+    }
+
+    /// Base physical frame.
+    pub fn base_ppn(&self) -> Ppn {
+        self.base_ppn
+    }
+
+    /// Returns `true` if `vpn` falls inside this super-page.
+    pub fn covers(&self, vpn: Vpn) -> bool {
+        let delta = vpn.raw().wrapping_sub(self.base_vpn.raw());
+        delta < SUPERPAGE_PAGES as u64
+    }
+
+    /// Index of `vpn` within the super-page (0..512), if covered.
+    pub fn index_of(&self, vpn: Vpn) -> Option<usize> {
+        self.covers(vpn).then(|| (vpn.raw() - self.base_vpn.raw()) as usize)
+    }
+
+    /// Translates a covered `vpn` to its frame.
+    pub fn translate(&self, vpn: Vpn) -> Option<Ppn> {
+        self.index_of(vpn).map(|i| Ppn::new(self.base_ppn.raw() + i as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_enforced() {
+        assert!(SuperPageMapping::new(Vpn::new(1), Ppn::new(0)).is_none());
+        assert!(SuperPageMapping::new(Vpn::new(0), Ppn::new(5)).is_none());
+        assert!(SuperPageMapping::new(Vpn::new(1024), Ppn::new(512)).is_some());
+    }
+
+    #[test]
+    fn coverage_and_translation() {
+        let sp = SuperPageMapping::new(Vpn::new(1024), Ppn::new(2048)).unwrap();
+        assert!(sp.covers(Vpn::new(1024)));
+        assert!(sp.covers(Vpn::new(1535)));
+        assert!(!sp.covers(Vpn::new(1536)));
+        assert!(!sp.covers(Vpn::new(1023)));
+        assert_eq!(sp.translate(Vpn::new(1100)), Some(Ppn::new(2048 + 76)));
+        assert_eq!(sp.index_of(Vpn::new(1535)), Some(511));
+    }
+}

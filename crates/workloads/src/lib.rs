@@ -1,0 +1,40 @@
+//! # po-workloads — SPEC-CPU2006-like write-working-set generators
+//!
+//! The paper's fork experiment (§5.1) runs 15 SPEC CPU2006 benchmarks
+//! grouped by the *shape of their write working set*:
+//!
+//! * **Type 1** — low write working-set size: `bwaves, hmmer, libq,
+//!   sphinx3, tonto`;
+//! * **Type 2** — almost all cache lines within each modified page are
+//!   updated: `bzip2, cactus, lbm, leslie3d, soplex`;
+//! * **Type 3** — only a few cache lines in each modified page are
+//!   updated: `astar, Gems, mcf, milc, omnet`.
+//!
+//! SPEC binaries and SimPoint traces are not available offline, so this
+//! crate generates synthetic traces parameterized by exactly the
+//! features that drive Figures 8 and 9 (see DESIGN.md §3): dirty-page
+//! rate, lines written per dirty page, *temporal clustering* of the
+//! writes within a page (the paper's explanation for `cactus`, the one
+//! benchmark where copy-on-write wins: "when writes to different cache
+//! lines within a page are close in time, copy-on-write performs
+//! better"), and the background read/compute mix that keeps the cache
+//! hierarchy under realistic pressure.
+//!
+//! # Example
+//!
+//! ```
+//! use po_workloads::{spec_suite, WorkloadType};
+//!
+//! let suite = spec_suite();
+//! assert_eq!(suite.len(), 15);
+//! assert_eq!(suite.iter().filter(|s| s.wtype == WorkloadType::DensePages).count(), 5);
+//! let mcf = suite.iter().find(|s| s.name == "mcf").unwrap();
+//! let trace = mcf.generate_post_fork(100_000, 7);
+//! assert!(!trace.is_empty());
+//! ```
+
+pub mod spec;
+pub mod tracegen;
+
+pub use spec::{spec_suite, WorkloadSpec, WorkloadType};
+pub use tracegen::fork_traces;

@@ -1,0 +1,161 @@
+//! The 15 benchmark specifications.
+
+use crate::tracegen;
+use po_sim::TraceOp;
+use po_types::Vpn;
+
+/// The paper's three write-working-set classes (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadType {
+    /// Type 1: low write working-set size.
+    LowWriteSet,
+    /// Type 2: almost all lines within each modified page are updated.
+    DensePages,
+    /// Type 3: only a few lines within each modified page are updated.
+    SparsePages,
+}
+
+/// Parameters of one synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Benchmark name (as in Figures 8/9).
+    pub name: &'static str,
+    /// Write-working-set class.
+    pub wtype: WorkloadType,
+    /// Pages dirtied per million post-fork instructions.
+    pub dirty_pages_per_minstr: f64,
+    /// Cache lines written per dirty page (1..=64).
+    pub lines_per_dirty_page: u64,
+    /// Fraction of dirty pages whose line writes happen back-to-back
+    /// (1.0 = cactus-like bursts, where CoW's high-MLP page copy wins;
+    /// 0.0 = writes to a page spread across the whole window).
+    pub temporal_clustering: f64,
+    /// Read accesses interleaved per write.
+    pub reads_per_write: u32,
+    /// Compute instructions per memory access.
+    pub compute_per_mem: u32,
+    /// Read-footprint pages (cache pressure).
+    pub read_pages: u64,
+}
+
+impl WorkloadSpec {
+    /// Virtual page where the workload's heap starts.
+    pub fn base_vpn(&self) -> Vpn {
+        Vpn::new(0x4_0000)
+    }
+
+    /// Total pages the experiment must map: the read footprint plus the
+    /// largest write set a window of `max_window_instructions` can dirty
+    /// (pass the larger of the warmup and post-fork windows).
+    pub fn mapped_pages(&self, max_window_instructions: u64) -> u64 {
+        self.read_pages + self.dirty_pages(max_window_instructions) + 1
+    }
+
+    /// Pages dirtied in a window of `post_instructions`.
+    pub fn dirty_pages(&self, post_instructions: u64) -> u64 {
+        ((post_instructions as f64 / 1e6) * self.dirty_pages_per_minstr).ceil() as u64
+    }
+
+    /// Generates the warmup (pre-fork) trace: touches the read footprint
+    /// and pre-writes the pages that will later diverge, so frames are
+    /// materialized and caches warm.
+    pub fn generate_warmup(&self, instructions: u64, seed: u64) -> Vec<TraceOp> {
+        tracegen::warmup_trace(self, instructions, seed)
+    }
+
+    /// Generates the post-fork trace of roughly `instructions`
+    /// instructions.
+    pub fn generate_post_fork(&self, instructions: u64, seed: u64) -> Vec<TraceOp> {
+        tracegen::post_fork_trace(self, instructions, seed)
+    }
+}
+
+/// The 15-benchmark suite of §5.1, five per type. The parameters are
+/// synthetic but chosen to reproduce each type's qualitative behaviour
+/// (and the relative ordering visible in Figures 8/9): Type 1 dirties
+/// almost nothing; Type 2 dirties full pages (with `cactus` writing its
+/// pages in tight bursts); Type 3 dirties many pages a few lines each.
+pub fn spec_suite() -> Vec<WorkloadSpec> {
+    use WorkloadType::*;
+    vec![
+        // ---- Type 1: low write working set --------------------------
+        WorkloadSpec { name: "bwaves", wtype: LowWriteSet, dirty_pages_per_minstr: 0.6, lines_per_dirty_page: 24, temporal_clustering: 0.2, reads_per_write: 12, compute_per_mem: 3, read_pages: 800 },
+        WorkloadSpec { name: "hmmer", wtype: LowWriteSet, dirty_pages_per_minstr: 0.3, lines_per_dirty_page: 16, temporal_clustering: 0.3, reads_per_write: 14, compute_per_mem: 4, read_pages: 600 },
+        WorkloadSpec { name: "libq", wtype: LowWriteSet, dirty_pages_per_minstr: 0.8, lines_per_dirty_page: 32, temporal_clustering: 0.1, reads_per_write: 10, compute_per_mem: 3, read_pages: 900 },
+        WorkloadSpec { name: "sphinx3", wtype: LowWriteSet, dirty_pages_per_minstr: 0.5, lines_per_dirty_page: 12, temporal_clustering: 0.2, reads_per_write: 16, compute_per_mem: 3, read_pages: 700 },
+        WorkloadSpec { name: "tonto", wtype: LowWriteSet, dirty_pages_per_minstr: 0.4, lines_per_dirty_page: 20, temporal_clustering: 0.2, reads_per_write: 12, compute_per_mem: 4, read_pages: 500 },
+        // ---- Type 2: full-page writers ------------------------------
+        WorkloadSpec { name: "bzip2", wtype: DensePages, dirty_pages_per_minstr: 26.0, lines_per_dirty_page: 60, temporal_clustering: 0.15, reads_per_write: 3, compute_per_mem: 3, read_pages: 900 },
+        WorkloadSpec { name: "cactus", wtype: DensePages, dirty_pages_per_minstr: 22.0, lines_per_dirty_page: 62, temporal_clustering: 0.98, reads_per_write: 2, compute_per_mem: 2, read_pages: 900 },
+        WorkloadSpec { name: "lbm", wtype: DensePages, dirty_pages_per_minstr: 34.0, lines_per_dirty_page: 64, temporal_clustering: 0.1, reads_per_write: 2, compute_per_mem: 2, read_pages: 1100 },
+        WorkloadSpec { name: "leslie3d", wtype: DensePages, dirty_pages_per_minstr: 24.0, lines_per_dirty_page: 56, temporal_clustering: 0.2, reads_per_write: 3, compute_per_mem: 3, read_pages: 1000 },
+        WorkloadSpec { name: "soplex", wtype: DensePages, dirty_pages_per_minstr: 18.0, lines_per_dirty_page: 52, temporal_clustering: 0.25, reads_per_write: 4, compute_per_mem: 3, read_pages: 800 },
+        // ---- Type 3: sparse-page writers ----------------------------
+        WorkloadSpec { name: "astar", wtype: SparsePages, dirty_pages_per_minstr: 40.0, lines_per_dirty_page: 6, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 3, read_pages: 1000 },
+        WorkloadSpec { name: "Gems", wtype: SparsePages, dirty_pages_per_minstr: 55.0, lines_per_dirty_page: 8, temporal_clustering: 0.1, reads_per_write: 4, compute_per_mem: 3, read_pages: 1200 },
+        WorkloadSpec { name: "mcf", wtype: SparsePages, dirty_pages_per_minstr: 80.0, lines_per_dirty_page: 4, temporal_clustering: 0.05, reads_per_write: 4, compute_per_mem: 2, read_pages: 1400 },
+        WorkloadSpec { name: "milc", wtype: SparsePages, dirty_pages_per_minstr: 48.0, lines_per_dirty_page: 5, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 3, read_pages: 1100 },
+        WorkloadSpec { name: "omnet", wtype: SparsePages, dirty_pages_per_minstr: 60.0, lines_per_dirty_page: 3, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 2, read_pages: 1100 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_five_of_each_type() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 15);
+        for wtype in [WorkloadType::LowWriteSet, WorkloadType::DensePages, WorkloadType::SparsePages] {
+            assert_eq!(suite.iter().filter(|s| s.wtype == wtype).count(), 5);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_match_figure8() {
+        let suite = spec_suite();
+        let mut names: Vec<_> = suite.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+        for expected in ["bwaves", "cactus", "mcf", "omnet", "Gems"] {
+            assert!(suite.iter().any(|s| s.name == expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn type_parameters_are_coherent() {
+        for s in spec_suite() {
+            match s.wtype {
+                WorkloadType::LowWriteSet => assert!(s.dirty_pages_per_minstr < 2.0),
+                WorkloadType::DensePages => {
+                    assert!(s.lines_per_dirty_page >= 48, "{}", s.name)
+                }
+                WorkloadType::SparsePages => {
+                    assert!(s.lines_per_dirty_page <= 10, "{}", s.name);
+                    assert!(s.dirty_pages_per_minstr >= 30.0, "{}", s.name);
+                }
+            }
+            assert!(s.lines_per_dirty_page <= 64);
+            assert!((0.0..=1.0).contains(&s.temporal_clustering));
+        }
+    }
+
+    #[test]
+    fn dirty_pages_scale_with_window() {
+        let mcf = spec_suite().into_iter().find(|s| s.name == "mcf").unwrap();
+        assert_eq!(mcf.dirty_pages(1_000_000) * 2, mcf.dirty_pages(2_000_000));
+    }
+
+    #[test]
+    fn cactus_is_the_clustered_one() {
+        let suite = spec_suite();
+        let cactus = suite.iter().find(|s| s.name == "cactus").unwrap();
+        for s in &suite {
+            if s.name != "cactus" {
+                assert!(s.temporal_clustering < cactus.temporal_clustering);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Trace synthesis for the fork experiment.
+
+use crate::spec::WorkloadSpec;
+use po_sim::TraceOp;
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::VirtAddr;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn line_va(vpn: u64, line: u64) -> VirtAddr {
+    VirtAddr::new(vpn * PAGE_SIZE as u64 + line * LINE_SIZE as u64)
+}
+
+/// A background read with SPEC-like locality: most accesses hit a hot
+/// working set (cache/TLB-resident), the rest sweep the cold footprint
+/// sequentially (prefetcher-friendly), with rare pointer-chase jumps.
+struct ReadStream {
+    base_vpn: u64,
+    pages: u64,
+    hot_pages: u64,
+    hot_cursor: u64,
+    cold_cursor: u64,
+}
+
+impl ReadStream {
+    fn new(base_vpn: u64, pages: u64) -> Self {
+        Self { base_vpn, pages, hot_pages: pages.clamp(1, 64), hot_cursor: 0, cold_cursor: 0 }
+    }
+
+    fn next(&mut self, rng: &mut StdRng) -> TraceOp {
+        let total_lines = self.pages * LINES_PER_PAGE as u64;
+        let hot_lines = self.hot_pages * LINES_PER_PAGE as u64;
+        let line = if rng.gen_bool(0.01) {
+            // Pointer chase anywhere in the footprint.
+            rng.gen_range(0..total_lines)
+        } else if rng.gen_bool(0.75) {
+            // Hot set: fits the L2 cache and the TLB.
+            let l = self.hot_cursor % hot_lines;
+            self.hot_cursor += 1;
+            l
+        } else {
+            // Cold sequential sweep over the full footprint.
+            let l = self.cold_cursor % total_lines;
+            self.cold_cursor += 1;
+            l
+        };
+        TraceOp::Load(line_va(self.base_vpn + line / LINES_PER_PAGE as u64, line % LINES_PER_PAGE as u64))
+    }
+}
+
+/// Builds the warmup (pre-fork) trace: sweeps the read footprint and
+/// dirties the soon-to-diverge region so every frame is materialized
+/// and the hierarchy is warm, as the paper's 200 M-instruction warmup
+/// does.
+pub fn warmup_trace(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Vec<TraceOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A2_4D00);
+    let base = spec.base_vpn().raw();
+    let mut ops = Vec::new();
+    let mut stream = ReadStream::new(base, spec.read_pages);
+    let unit = 1 + spec.compute_per_mem as u64;
+    let mut budget = instructions;
+    // Touch each write-region page once so its frame exists pre-fork.
+    let write_base = base + spec.read_pages;
+    // Pre-touch only pages a window of this size can dirty, so every
+    // access stays inside `spec.mapped_pages(window)` for any window at
+    // least as large as the warmup.
+    let prewrite_cap = spec.dirty_pages(instructions);
+    let mut wp = 0u64;
+    while budget > unit {
+        if wp < prewrite_cap && rng.gen_bool(0.05) {
+            ops.push(TraceOp::Store(line_va(write_base + wp, 0)));
+            wp += 1;
+        } else {
+            ops.push(stream.next(&mut rng));
+        }
+        ops.push(TraceOp::Compute(spec.compute_per_mem));
+        budget -= unit;
+    }
+    ops
+}
+
+/// Builds the post-fork trace: `spec.dirty_pages(instructions)` pages
+/// diverge, each receiving `lines_per_dirty_page` line writes; a
+/// `temporal_clustering` fraction of those pages are written in a tight
+/// burst, the rest have their writes spread across the window;
+/// background reads and compute fill the remaining instruction budget.
+pub fn post_fork_trace(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Vec<TraceOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
+    let base = spec.base_vpn().raw();
+    let write_base = base + spec.read_pages;
+    let dirty = spec.dirty_pages(instructions);
+
+    // Per-page write groups.
+    let mut groups: Vec<Vec<TraceOp>> = Vec::new();
+    for p in 0..dirty {
+        let mut lines: Vec<u64> = (0..LINES_PER_PAGE as u64).collect();
+        lines.shuffle(&mut rng);
+        lines.truncate(spec.lines_per_dirty_page as usize);
+        let burst = rng.gen_bool(spec.temporal_clustering);
+        if burst {
+            // All writes to this page happen back-to-back.
+            let mut g = Vec::with_capacity(lines.len() * 2);
+            for l in lines {
+                g.push(TraceOp::Store(line_va(write_base + p, l)));
+                g.push(TraceOp::Compute(spec.compute_per_mem));
+            }
+            groups.push(g);
+        } else {
+            // Each line write is its own group, scattered in time.
+            for l in lines {
+                groups.push(vec![
+                    TraceOp::Store(line_va(write_base + p, l)),
+                    TraceOp::Compute(spec.compute_per_mem),
+                ]);
+            }
+        }
+    }
+    groups.shuffle(&mut rng);
+
+    // Fill with reads so the total hits the instruction budget.
+    let unit = 1 + spec.compute_per_mem as u64;
+    let write_instr: u64 = groups.iter().map(|g| g.len() as u64 / 2 * unit).sum();
+    let read_ops = instructions.saturating_sub(write_instr) / unit;
+    let reads_between = if groups.is_empty() { read_ops } else { read_ops / (groups.len() as u64 + 1) };
+
+    let mut stream = ReadStream::new(base, spec.read_pages);
+    let mut ops = Vec::new();
+    let mut emit_reads = |ops: &mut Vec<TraceOp>, rng: &mut StdRng, n: u64| {
+        for _ in 0..n {
+            ops.push(stream.next(rng));
+            ops.push(TraceOp::Compute(spec.compute_per_mem));
+        }
+    };
+    emit_reads(&mut ops, &mut rng, reads_between);
+    for g in groups {
+        ops.extend(g);
+        emit_reads(&mut ops, &mut rng, reads_between);
+    }
+    ops
+}
+
+/// Convenience wrapper producing `(warmup, post)` traces for one
+/// benchmark, sized like a scaled-down version of the paper's
+/// 200 M + 300 M instruction windows.
+pub fn fork_traces(
+    spec: &WorkloadSpec,
+    warmup_instructions: u64,
+    post_instructions: u64,
+    seed: u64,
+) -> (Vec<TraceOp>, Vec<TraceOp>) {
+    (
+        warmup_trace(spec, warmup_instructions, seed),
+        post_fork_trace(spec, post_instructions, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_suite;
+
+    fn instr_count(ops: &[TraceOp]) -> u64 {
+        ops.iter().map(|o| o.instructions()).sum()
+    }
+
+    fn store_pages(ops: &[TraceOp]) -> std::collections::BTreeSet<u64> {
+        ops.iter()
+            .filter_map(|o| match o {
+                TraceOp::Store(va) => Some(va.vpn().raw()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn post_trace_hits_instruction_budget() {
+        for spec in spec_suite() {
+            let ops = spec.generate_post_fork(500_000, 1);
+            let n = instr_count(&ops);
+            assert!(
+                (n as f64) > 0.8 * 500_000.0 && (n as f64) < 1.2 * 500_000.0,
+                "{}: {n} instructions for a 500k budget",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_page_count_matches_spec() {
+        for spec in spec_suite() {
+            let window = 400_000;
+            let ops = spec.generate_post_fork(window, 2);
+            let pages = store_pages(&ops);
+            assert_eq!(
+                pages.len() as u64,
+                spec.dirty_pages(window),
+                "{} dirty-page mismatch",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn lines_per_page_matches_spec() {
+        let spec = spec_suite().into_iter().find(|s| s.name == "mcf").unwrap();
+        let ops = spec.generate_post_fork(400_000, 3);
+        let mut per_page: std::collections::HashMap<u64, std::collections::BTreeSet<u64>> =
+            std::collections::HashMap::new();
+        for op in &ops {
+            if let TraceOp::Store(va) = op {
+                per_page
+                    .entry(va.vpn().raw())
+                    .or_default()
+                    .insert(va.line_in_page() as u64);
+            }
+        }
+        for (page, lines) in per_page {
+            assert_eq!(lines.len() as u64, spec.lines_per_dirty_page, "page {page}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let spec = &spec_suite()[0];
+        assert_eq!(spec.generate_post_fork(100_000, 9), spec.generate_post_fork(100_000, 9));
+        assert_ne!(spec.generate_post_fork(100_000, 9), spec.generate_post_fork(100_000, 10));
+    }
+
+    #[test]
+    fn all_accesses_stay_inside_mapped_range() {
+        for spec in spec_suite() {
+            let window = 300_000;
+            let mapped = spec.mapped_pages(window);
+            let base = spec.base_vpn().raw();
+            for ops in [spec.generate_warmup(window, 4), spec.generate_post_fork(window, 4)] {
+                for op in &ops {
+                    let va = match op {
+                        TraceOp::Load(v) | TraceOp::Store(v) => *v,
+                        _ => continue,
+                    };
+                    let vpn = va.vpn().raw();
+                    assert!(
+                        vpn >= base && vpn < base + mapped,
+                        "{}: access to {vpn:#x} outside [{base:#x}, {:#x})",
+                        spec.name,
+                        base + mapped
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cactus_writes_arrive_in_bursts() {
+        let suite = spec_suite();
+        let cactus = suite.iter().find(|s| s.name == "cactus").unwrap();
+        let ops = cactus.generate_post_fork(300_000, 5);
+        // Measure the maximum gap (in ops) between consecutive writes to
+        // the same page: bursts mean tiny gaps.
+        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut max_gap = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            if let TraceOp::Store(va) = op {
+                let p = va.vpn().raw();
+                if let Some(prev) = last_seen.insert(p, i) {
+                    max_gap = max_gap.max(i - prev);
+                }
+            }
+        }
+        assert!(
+            max_gap < 1000,
+            "cactus same-page write gap should be tiny, got {max_gap}"
+        );
+    }
+}

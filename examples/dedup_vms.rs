@@ -1,0 +1,65 @@
+//! Fine-grained deduplication of mostly-identical pages (§5.3.1) — the
+//! Difference Engine scenario: many virtual machines booted from the
+//! same guest image whose pages differ in a handful of cache lines.
+//!
+//! Run with: `cargo run --release --example dedup_vms`
+
+use page_overlays::techniques::DifferenceEngine;
+use page_overlays::types::{Asid, LineData, Opn, PoResult, Vpn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VMS: u64 = 8;
+const PAGES_PER_VM: u64 = 32;
+
+fn main() -> PoResult<()> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut engine = DifferenceEngine::new(48);
+
+    // The "guest image": 32 template pages of pseudo-random content.
+    let mut template = Vec::new();
+    for p in 0..PAGES_PER_VM {
+        let mut page = [LineData::zeroed(); 64];
+        for (l, line) in page.iter_mut().enumerate() {
+            *line = LineData::splat((p as u8).wrapping_mul(31).wrapping_add(l as u8));
+        }
+        template.push(page);
+    }
+
+    // Each VM's copy of each page differs in 0-3 cache lines (dirty
+    // logs, timestamps, pointers).
+    let mut originals = Vec::new();
+    for vm in 0..VMS {
+        for p in 0..PAGES_PER_VM {
+            let mut page = template[p as usize];
+            let diffs = rng.gen_range(0..=3);
+            for _ in 0..diffs {
+                let line = rng.gen_range(0..64);
+                page[line] = LineData::splat(rng.gen());
+            }
+            let opn = Opn::encode(Asid::new(vm as u16 + 1), Vpn::new(p));
+            engine.insert_page(opn, &page)?;
+            originals.push((opn, page));
+        }
+    }
+
+    // Every page reconstructs exactly.
+    for (opn, page) in &originals {
+        assert_eq!(&engine.read_page(*opn)?, page, "reconstruction mismatch");
+    }
+
+    let stats = engine.stats();
+    println!("== difference-engine dedup across {VMS} VMs x {PAGES_PER_VM} pages ==");
+    println!("pages inserted: {}", stats.pages_inserted);
+    println!("base pages:     {}", stats.base_pages);
+    println!("deduped pages:  {}", stats.pages_deduped);
+    println!("delta lines:    {}", stats.delta_lines);
+    println!(
+        "memory: {} bytes vs {} naive ({:.0}% saved; Difference Engine reports ~50%)",
+        engine.memory_bytes(),
+        engine.naive_bytes(),
+        (1.0 - engine.memory_bytes() as f64 / engine.naive_bytes() as f64) * 100.0
+    );
+    println!("\nall {} pages reconstruct bit-exactly ✓", originals.len());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The paper's §5.1 scenario on one workload: checkpoint a process with
+//! `fork` and compare copy-on-write against overlay-on-write — the
+//! single-benchmark version of Figures 8 and 9.
+//!
+//! Run with: `cargo run --release --example fork_checkpoint [-- <name>]`
+//! where `<name>` is one of the 15 benchmarks (default: `mcf`).
+
+use page_overlays::sim::{run_fork_experiment, SystemConfig};
+use page_overlays::workloads::spec_suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let spec = spec_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; see po_workloads::spec_suite()"));
+
+    let warmup_instr = 400_000;
+    let post_instr = 600_000;
+    println!(
+        "== fork checkpoint: {} ({:?}) ==\n{} dirty pages expected, {} lines per dirty page\n",
+        spec.name,
+        spec.wtype,
+        spec.dirty_pages(post_instr),
+        spec.lines_per_dirty_page
+    );
+
+    let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
+    let warmup = spec.generate_warmup(warmup_instr, 42);
+    let post = spec.generate_post_fork(post_instr, 42);
+
+    let cow = run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
+        .expect("CoW run failed");
+    let oow = run_fork_experiment(
+        SystemConfig::table2_overlay(),
+        spec.base_vpn(),
+        mapped,
+        &warmup,
+        &post,
+    )
+    .expect("OoW run failed");
+
+    println!("                       copy-on-write   overlay-on-write");
+    println!("post-fork CPI        {:>15.3} {:>18.3}", cow.cpi, oow.cpi);
+    println!(
+        "extra memory (bytes) {:>15} {:>18}",
+        cow.extra_memory_bytes, oow.extra_memory_bytes
+    );
+    println!(
+        "pages copied         {:>15} {:>18}",
+        cow.pages_copied, oow.pages_copied
+    );
+    println!(
+        "overlaying writes    {:>15} {:>18}",
+        cow.overlaying_writes, oow.overlaying_writes
+    );
+    println!(
+        "\noverlay-on-write: {:.1}% faster, {:.1}% less extra memory",
+        (1.0 - oow.cpi / cow.cpi) * 100.0,
+        (1.0 - oow.extra_memory_bytes as f64 / cow.extra_memory_bytes.max(1) as f64) * 100.0
+    );
+}

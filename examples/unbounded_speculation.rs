@@ -1,0 +1,60 @@
+//! Unbounded speculation over overlays (§5.3.3).
+//!
+//! Cache-based transactional memory aborts when a speculatively-written
+//! line is evicted. Overlay-buffered speculation survives eviction: the
+//! speculative state simply moves to the Overlay Memory Store. This
+//! example runs a transaction whose write set far exceeds the 64 KB L1,
+//! forces every speculative line out of the cache, and then both aborts
+//! and commits correctly.
+//!
+//! Run with: `cargo run --release --example unbounded_speculation`
+
+use page_overlays::techniques::SpeculativeRegion;
+use page_overlays::types::{LineData, PoResult};
+
+fn main() -> PoResult<()> {
+    let pages = 128u64; // 512 KB region
+    let mut region = SpeculativeRegion::new(pages);
+
+    // Committed initial state.
+    for p in 0..pages {
+        region.write(p, 0, LineData::splat(0x11))?;
+    }
+
+    // --- Transaction 1: overflow the cache, then abort. --------------
+    region.begin()?;
+    let mut spec_lines = 0;
+    for p in 0..pages {
+        for l in 0..32 {
+            region.spec_write(p, l, LineData::splat(0xEE))?;
+            spec_lines += 1;
+        }
+    }
+    println!(
+        "transaction 1: {spec_lines} speculative lines ({} KB) — {}x the 64 KB L1",
+        spec_lines * 64 / 1024,
+        spec_lines * 64 / (64 * 1024)
+    );
+    let evicted = region.evict_speculative_state()?;
+    println!("evicted {evicted} speculative lines to the Overlay Memory Store");
+    println!("(a cache-bound TM design would have aborted here)");
+    region.abort()?;
+    assert_eq!(region.read(0, 0)?, LineData::splat(0x11));
+    assert_eq!(region.read(77, 5)?, LineData::zeroed());
+    println!("abort rolled everything back ✓\n");
+
+    // --- Transaction 2: same overflow, then commit. ------------------
+    region.begin()?;
+    for p in 0..pages {
+        for l in 0..32 {
+            region.spec_write(p, l, LineData::splat(0xCC))?;
+        }
+    }
+    region.evict_speculative_state()?;
+    region.commit()?;
+    assert_eq!(region.read(0, 0)?, LineData::splat(0xCC));
+    assert_eq!(region.read(127, 31)?, LineData::splat(0xCC));
+    println!("transaction 2 committed {spec_lines} lines after full eviction ✓");
+    println!("\nstats: {:?}", region.stats());
+    Ok(())
+}

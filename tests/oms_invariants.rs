@@ -1,0 +1,116 @@
+//! Property tests for the Overlay Memory Store (DESIGN.md invariant 2):
+//! byte conservation under arbitrary allocate/free/grow interleavings,
+//! non-overlap of live segments, and split behavior.
+
+use page_overlays::overlay::{OverlayMemoryStore, SegmentClass};
+use page_overlays::types::{MainMemAddr, PoError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(SegmentClass),
+    /// Free the i-th oldest live allocation (mod live count).
+    Free(usize),
+    Grow(u64),
+}
+
+fn class_strategy() -> impl Strategy<Value = SegmentClass> {
+    prop_oneof![
+        Just(SegmentClass::B256),
+        Just(SegmentClass::B512),
+        Just(SegmentClass::K1),
+        Just(SegmentClass::K2),
+        Just(SegmentClass::K4),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        class_strategy().prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Free),
+        (1u64..4).prop_map(Op::Grow),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn oms_conserves_bytes_and_never_overlaps(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut store = OverlayMemoryStore::new();
+        store.add_chunk(MainMemAddr::new(0x10_0000), 2);
+        let mut live: BTreeMap<u64, SegmentClass> = BTreeMap::new();
+        let mut next_chunk = 0x100u64; // chunk index for growth
+
+        for op in &ops {
+            match *op {
+                Op::Alloc(class) => match store.allocate(class) {
+                    Ok(base) => {
+                        // No overlap with any live segment.
+                        let lo = base.raw();
+                        let hi = lo + class.bytes() as u64;
+                        for (&olo, &oclass) in &live {
+                            let ohi = olo + oclass.bytes() as u64;
+                            prop_assert!(
+                                hi <= olo || lo >= ohi,
+                                "segment [{lo:#x},{hi:#x}) overlaps [{olo:#x},{ohi:#x})"
+                            );
+                        }
+                        // Alignment to its own size.
+                        prop_assert_eq!(lo % class.bytes() as u64, 0);
+                        live.insert(lo, class);
+                    }
+                    Err(PoError::OverlayStoreExhausted) => {} // fine
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                },
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let key = *live.keys().nth(i % live.len()).expect("nonempty");
+                        let class = live.remove(&key).expect("present");
+                        store.free(MainMemAddr::new(key), class);
+                    }
+                }
+                Op::Grow(frames) => {
+                    store.add_chunk(MainMemAddr::new(next_chunk * 0x1000_0000), frames);
+                    next_chunk += 1;
+                }
+            }
+            store.check_conservation().unwrap();
+            // Live bytes match the allocator's own accounting.
+            let live_bytes: u64 = live.values().map(|c| c.bytes() as u64).sum();
+            prop_assert_eq!(store.bytes_in_use(), live_bytes);
+        }
+    }
+
+    /// Freeing everything returns the store to fully-free.
+    #[test]
+    fn full_free_restores_all_bytes(classes in prop::collection::vec(class_strategy(), 1..40)) {
+        let mut store = OverlayMemoryStore::new();
+        store.add_chunk(MainMemAddr::new(0x40_0000), 16);
+        let mut live = Vec::new();
+        for class in classes {
+            if let Ok(base) = store.allocate(class) {
+                live.push((base, class));
+            }
+        }
+        for (base, class) in live {
+            store.free(base, class);
+        }
+        prop_assert_eq!(store.bytes_in_use(), 0);
+        prop_assert_eq!(store.bytes_free(), store.bytes_managed());
+        store.check_conservation().unwrap();
+    }
+}
+
+#[test]
+fn worst_case_fragmentation_still_serves_16_smallest() {
+    // One page split entirely into 256 B segments.
+    let mut store = OverlayMemoryStore::new();
+    store.add_chunk(MainMemAddr::new(0x0), 1);
+    for i in 0..16 {
+        store.allocate(SegmentClass::B256).unwrap_or_else(|e| panic!("alloc {i}: {e}"));
+    }
+    assert_eq!(store.bytes_in_use(), 4096);
+    assert_eq!(store.bytes_free(), 0);
+}

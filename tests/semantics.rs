@@ -1,0 +1,226 @@
+//! Property tests for the paper's access semantics (§2.1) and promotion
+//! actions (§4.3.4) — DESIGN.md invariants 1, 3 and 5.
+//!
+//! Oracle: a flat 4 KB shadow page updated alongside the framework.
+//! After any interleaving of overlaying writes, simple writes, evictions
+//! and reads, line `i` must read as the overlay copy iff
+//! `OBitVector[i]` is set, else as the physical-page copy.
+
+use page_overlays::dram::DataStore;
+use page_overlays::overlay::{OverlayConfig, OverlayManager, SegmentClass, SegmentMeta};
+use page_overlays::types::{Asid, LineData, MainMemAddr, Opn, Vpn};
+use proptest::prelude::*;
+
+const PHYS_FRAME: u64 = 0x9000_0000;
+
+fn opn() -> Opn {
+    Opn::encode(Asid::new(1), Vpn::new(0x42))
+}
+
+fn phys_line(line: usize) -> MainMemAddr {
+    MainMemAddr::new(PHYS_FRAME + (line * 64) as u64)
+}
+
+/// One step of the random walk.
+#[derive(Clone, Debug)]
+enum Op {
+    OverlayingWrite { line: usize, fill: u8 },
+    SimpleWrite { line: usize, fill: u8 },
+    Evict { line: usize },
+    EvictAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64, any::<u8>()).prop_map(|(line, fill)| Op::OverlayingWrite { line, fill }),
+        (0usize..64, any::<u8>()).prop_map(|(line, fill)| Op::SimpleWrite { line, fill }),
+        (0usize..64).prop_map(|line| Op::Evict { line }),
+        Just(Op::EvictAll),
+    ]
+}
+
+struct Harness {
+    mgr: OverlayManager,
+    mem: DataStore,
+    shadow: [LineData; 64],
+    cursor: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let mut mem = DataStore::new();
+        let mut shadow = [LineData::zeroed(); 64];
+        // Physical page has recognizable contents.
+        for (l, slot) in shadow.iter_mut().enumerate() {
+            let data = LineData::splat(0x80 | l as u8);
+            mem.write_line(phys_line(l), data);
+            *slot = data;
+        }
+        Self { mgr: OverlayManager::new(OverlayConfig::default()), mem, shadow, cursor: 0x8_0000 }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::OverlayingWrite { line, fill } => {
+                self.mgr.overlaying_write(opn(), line, LineData::splat(fill)).unwrap();
+                self.shadow[line] = LineData::splat(fill);
+            }
+            Op::SimpleWrite { line, fill } => {
+                // Only legal if the line is already in the overlay.
+                let present = self
+                    .mgr
+                    .obitvec(opn())
+                    .map(|v| v.contains(line))
+                    .unwrap_or(false);
+                if present {
+                    self.mgr.write_line(opn(), line, LineData::splat(fill)).unwrap();
+                    self.shadow[line] = LineData::splat(fill);
+                } else {
+                    assert!(self.mgr.write_line(opn(), line, LineData::splat(fill)).is_err());
+                }
+            }
+            Op::Evict { line } => {
+                let present = self
+                    .mgr
+                    .obitvec(opn())
+                    .map(|v| v.contains(line))
+                    .unwrap_or(false);
+                if present {
+                    let Harness { mgr, mem, cursor, .. } = self;
+                    mgr.evict_line(opn(), line, mem, &mut |frames| {
+                        let base = MainMemAddr::new(*cursor * 4096);
+                        *cursor += frames;
+                        Ok(base)
+                    })
+                    .unwrap();
+                }
+            }
+            Op::EvictAll => {
+                if self.mgr.has_overlay(opn()) {
+                    let Harness { mgr, mem, cursor, .. } = self;
+                    mgr.evict_all(opn(), mem, &mut |frames| {
+                        let base = MainMemAddr::new(*cursor * 4096);
+                        *cursor += frames;
+                        Ok(base)
+                    })
+                    .unwrap();
+                }
+            }
+        }
+    }
+
+    /// The access-semantics check: every line reads per §2.1.
+    fn check_all_lines(&self) {
+        let obv = self
+            .mgr
+            .obitvec(opn())
+            .unwrap_or(page_overlays::types::OBitVector::EMPTY);
+        for line in 0..64 {
+            let got = self
+                .mgr
+                .resolve_read(opn(), line, phys_line(line), &self.mem)
+                .unwrap();
+            assert_eq!(got, self.shadow[line], "line {line}, obv={obv}");
+            // Physical page is never modified by overlay operations.
+            if !obv.contains(line) {
+                assert_eq!(
+                    self.mem.read_line(phys_line(line)),
+                    LineData::splat(0x80 | line as u8),
+                    "physical page corrupted at line {line}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: access semantics equal the flat-shadow oracle under
+    /// arbitrary operation interleavings.
+    #[test]
+    fn access_semantics_match_flat_oracle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        h.check_all_lines();
+        h.mgr.store().check_conservation().unwrap();
+    }
+
+    /// Invariant 5a: copy-and-commit produces exactly the merged view,
+    /// clears the OBitVector, and frees all OMS space.
+    #[test]
+    fn copy_and_commit_equals_merged_view(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        if !h.mgr.has_overlay(opn()) {
+            return Ok(());
+        }
+        let dst = MainMemAddr::new(0xA000_0000);
+        let src = MainMemAddr::new(PHYS_FRAME);
+        let Harness { mgr, mem, shadow, .. } = &mut h;
+        mgr.copy_and_commit(opn(), src, dst, mem).unwrap();
+        for line in 0..64 {
+            assert_eq!(mem.read_line(dst.add((line * 64) as u64)), shadow[line], "line {line}");
+        }
+        prop_assert!(!h.mgr.has_overlay(opn()));
+        prop_assert_eq!(h.mgr.overlay_memory_bytes(), 0);
+        h.mgr.store().check_conservation().unwrap();
+    }
+
+    /// Invariant 5b: discard reverts to the physical page and frees all
+    /// OMS space.
+    #[test]
+    fn discard_reverts_to_physical_page(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        if !h.mgr.has_overlay(opn()) {
+            return Ok(());
+        }
+        h.mgr.discard(opn()).unwrap();
+        for line in 0..64 {
+            let got = h.mgr.resolve_read(opn(), line, phys_line(line), &h.mem).unwrap();
+            prop_assert_eq!(got, LineData::splat(0x80 | line as u8));
+        }
+        prop_assert_eq!(h.mgr.overlay_memory_bytes(), 0);
+        h.mgr.store().check_conservation().unwrap();
+    }
+
+    /// Invariant 3: segment metadata slot pointers always form a partial
+    /// injection lines → slots, and the free vector is its complement.
+    #[test]
+    fn segment_metadata_is_a_partial_injection(
+        lines in prop::collection::btree_set(0usize..64, 0..30),
+        frees in prop::collection::vec(0usize..64, 0..10),
+    ) {
+        let class = SegmentClass::for_lines(lines.len());
+        let mut meta = SegmentMeta::new(class);
+        for &l in &lines {
+            meta.alloc_slot(l).expect("class sized for the line count");
+        }
+        for &l in &frees {
+            meta.free_slot(l);
+        }
+        if class != SegmentClass::K4 {
+            // Injection: no two lines share a slot.
+            let mut seen = std::collections::BTreeSet::new();
+            for l in 0..64 {
+                if let Some(s) = meta.slot_of(l) {
+                    prop_assert!(s >= 1 && s < class.slots(), "slot {s} out of range");
+                    prop_assert!(seen.insert(s), "slot {s} assigned twice");
+                }
+            }
+            // Used + free slot counts account for every data slot.
+            let used = meta.used_slots();
+            prop_assert_eq!(used, seen.len());
+        }
+        // Round-trip through the 352-bit encoding.
+        let decoded = SegmentMeta::decode(class, &meta.encode());
+        prop_assert_eq!(decoded, meta);
+    }
+}

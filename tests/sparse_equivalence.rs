@@ -1,0 +1,135 @@
+//! Property tests for the sparse substrate (DESIGN.md invariant 6):
+//! dense, CSR and overlay-backed SpMV agree for arbitrary matrices, and
+//! dynamic insertion preserves equivalence.
+
+use page_overlays::sparse::{CsrMatrix, OverlayMatrix, TripletMatrix};
+use proptest::prelude::*;
+
+const ROWS: usize = 24;
+const COLS: usize = 64;
+
+fn triplets_strategy() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0usize..ROWS, 0usize..COLS, -100i32..100),
+        0..120,
+    )
+    .prop_map(|v| v.into_iter().map(|(r, c, x)| (r, c, x as f64)).collect())
+}
+
+fn build(entries: &[(usize, usize, f64)]) -> TripletMatrix {
+    let mut t = TripletMatrix::new(ROWS, COLS);
+    for &(r, c, v) in entries {
+        t.push(r, c, v);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spmv_representations_agree(entries in triplets_strategy(), xs in prop::collection::vec(-50i32..50, COLS)) {
+        let t = build(&entries);
+        let x: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+        let dense = t.to_dense().spmv(&x);
+        let csr = CsrMatrix::from_triplets(&t).spmv(&x);
+        let ovl = OverlayMatrix::from_triplets(&t).spmv(&x);
+        // Integer-valued inputs: results are exact, so equality is fair.
+        prop_assert_eq!(&dense, &csr);
+        prop_assert_eq!(&csr, &ovl);
+    }
+
+    #[test]
+    fn element_access_agrees(entries in triplets_strategy()) {
+        let t = build(&entries);
+        let dense = t.to_dense();
+        let ovl = OverlayMatrix::from_triplets(&t);
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                prop_assert_eq!(dense.get(r, c), ovl.get(r, c), "({}, {})", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_updates_preserve_equivalence(
+        entries in triplets_strategy(),
+        updates in prop::collection::vec((0usize..ROWS, 0usize..COLS, -100i32..100), 1..30),
+        xs in prop::collection::vec(-10i32..10, COLS),
+    ) {
+        let t = build(&entries);
+        let mut dense = t.to_dense();
+        let mut ovl = OverlayMatrix::from_triplets(&t);
+        for &(r, c, v) in &updates {
+            dense.set(r, c, v as f64);
+            ovl.set(r, c, v as f64);
+        }
+        let x: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+        prop_assert_eq!(dense.spmv(&x), ovl.spmv(&x));
+        prop_assert_eq!(dense.nnz(), count_nnz(&ovl));
+    }
+
+    /// Storage invariant: stored lines are exactly the non-zero lines,
+    /// and the OBitVectors agree with them.
+    #[test]
+    fn overlay_stores_exactly_nonzero_lines(entries in triplets_strategy()) {
+        let t = build(&entries);
+        let ovl = OverlayMatrix::from_triplets(&t);
+        let dense = t.to_dense();
+        let lines_per_row = COLS / 8;
+        let total_lines = ROWS * lines_per_row;
+        let mut expected = 0;
+        for line in 0..total_lines {
+            let base = line * 8;
+            let nonzero = (0..8).any(|k| {
+                let flat = base + k;
+                dense.get(flat / COLS, flat % COLS) != 0.0
+            });
+            if nonzero {
+                expected += 1;
+                let page = line / 64;
+                prop_assert!(ovl.obitvec(page).contains(line % 64));
+            }
+        }
+        prop_assert_eq!(ovl.nonzero_lines(), expected);
+    }
+}
+
+fn count_nnz(ovl: &OverlayMatrix) -> usize {
+    let mut n = 0;
+    for r in 0..ovl.rows() {
+        for c in 0..ovl.cols() {
+            if ovl.get(r, c) != 0.0 {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[test]
+fn csr_insert_equivalence_on_a_fixed_case() {
+    let mut t = TripletMatrix::new(4, 16);
+    t.push(0, 3, 1.0);
+    t.push(2, 8, 2.0);
+    let mut csr = CsrMatrix::from_triplets(&t);
+    let mut dense = t.to_dense();
+    for (r, c, v) in [(1usize, 1usize, 5.0f64), (0, 0, -1.0), (3, 15, 4.0), (0, 3, 9.0)] {
+        csr.insert(r, c, v);
+        dense.set(r, c, v);
+    }
+    let x = vec![1.0; 16];
+    assert_eq!(csr.spmv(&x), dense.spmv(&x));
+}
+
+#[test]
+fn empty_matrix_is_fine_everywhere() {
+    let t = TripletMatrix::new(8, 16);
+    let x = vec![1.0; 16];
+    assert_eq!(t.to_dense().spmv(&x), vec![0.0; 8]);
+    assert_eq!(CsrMatrix::from_triplets(&t).spmv(&x), vec![0.0; 8]);
+    let ovl = OverlayMatrix::from_triplets(&t);
+    assert_eq!(ovl.spmv(&x), vec![0.0; 8]);
+    assert_eq!(ovl.nonzero_lines(), 0);
+    assert_eq!(ovl.locality(), 0.0);
+}

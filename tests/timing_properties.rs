@@ -1,0 +1,163 @@
+//! Property tests for the timing models: the core window model, the
+//! DRAM scheduler, and the machine's end-to-end latency accounting —
+//! plus failure injection for the Overlay Memory Store growth path.
+
+use page_overlays::dram::{DataStore, DramConfig, DramModel};
+use page_overlays::overlay::{OverlayConfig, OverlayManager};
+use page_overlays::sim::{CoreModel, Machine, SystemConfig};
+use page_overlays::types::{
+    AccessKind, Asid, LineData, MainMemAddr, Opn, PoError, VirtAddr, Vpn,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core model: cycles are monotone, instructions are counted
+    /// exactly, and total cycles are bounded below by issue width and
+    /// above by full serialization.
+    #[test]
+    fn core_model_bounds(latencies in prop::collection::vec(1u64..2000, 1..200)) {
+        let mut core = CoreModel::new(64);
+        let mut last_cycles = 0;
+        for &lat in &latencies {
+            let t = core.next_issue_cycle();
+            core.complete(t, lat);
+            prop_assert!(core.cycles() >= last_cycles, "retirement must be monotone");
+            last_cycles = core.cycles();
+        }
+        let n = latencies.len() as u64;
+        prop_assert_eq!(core.instructions(), n);
+        // Lower bound: single issue. Upper bound: fully serialized.
+        let serial: u64 = latencies.iter().sum::<u64>() + n;
+        prop_assert!(core.cycles() >= n);
+        prop_assert!(core.cycles() <= serial, "{} > {}", core.cycles(), serial);
+    }
+
+    /// A wider window never makes execution slower.
+    #[test]
+    fn wider_window_is_never_slower(latencies in prop::collection::vec(1u64..500, 1..100)) {
+        let mut cycles_by_window = Vec::new();
+        for window in [4usize, 16, 64] {
+            let mut core = CoreModel::new(window);
+            for &lat in &latencies {
+                let t = core.next_issue_cycle();
+                core.complete(t, lat);
+            }
+            cycles_by_window.push(core.cycles());
+        }
+        prop_assert!(cycles_by_window[0] >= cycles_by_window[1]);
+        prop_assert!(cycles_by_window[1] >= cycles_by_window[2]);
+    }
+
+    /// DRAM: completion times are monotone per issue order, and every
+    /// access takes at least the row-hit latency.
+    #[test]
+    fn dram_completions_are_sane(addrs in prop::collection::vec(0u64..(1 << 24), 1..200)) {
+        let mut dram = DramModel::new(DramConfig::table2());
+        let min = DramConfig::table2().row_hit_latency();
+        let mut t = 0;
+        for &a in &addrs {
+            let done = dram.read(t, MainMemAddr::new(a));
+            prop_assert!(done >= t + min, "done={done} t={t}");
+            t = done;
+        }
+        // Row-buffer accounting covers every serviced request.
+        let s = dram.stats();
+        prop_assert_eq!(
+            s.row_hits.get() + s.row_closed.get() + s.row_conflicts.get(),
+            addrs.len() as u64
+        );
+    }
+
+    /// Machine timing: repeated reads of the same location converge to
+    /// the L1+TLB hit latency and never return zero.
+    #[test]
+    fn machine_latencies_converge(page in 0u64..8, line in 0usize..64) {
+        let mut m = Machine::new(SystemConfig::table2()).unwrap();
+        let pid = m.spawn_process().unwrap();
+        m.map_range(pid, Vpn::new(0x500), 8).unwrap();
+        let va = VirtAddr::new((0x500 + page) * 4096 + (line * 64) as u64);
+        let first = m.access_at(0, pid, va, AccessKind::Read).unwrap();
+        let mut t = first;
+        let mut latest = first;
+        for _ in 0..3 {
+            latest = m.access_at(t, pid, va, AccessKind::Read).unwrap();
+            t += latest;
+        }
+        prop_assert!(first >= 1000, "cold access must pay the TLB walk, got {first}");
+        prop_assert!(latest >= 1 && latest <= 3, "steady state must be an L1 hit, got {latest}");
+    }
+}
+
+#[test]
+fn oms_growth_failure_is_contained() {
+    // If the OS refuses to grow the OMS, the eviction fails cleanly and
+    // the overlay's data stays readable from the cache-resident copy.
+    let mut mgr = OverlayManager::new(OverlayConfig::default());
+    let mut mem = DataStore::new();
+    let opn = Opn::encode(Asid::new(1), Vpn::new(1));
+    mgr.overlaying_write(opn, 5, LineData::splat(7)).unwrap();
+
+    let err = mgr
+        .evict_line(opn, 5, &mut mem, &mut |_| Err(PoError::OutOfMemory))
+        .unwrap_err();
+    assert!(matches!(err, PoError::OutOfMemory));
+    // State is consistent: line still present and readable, store empty.
+    assert!(mgr.obitvec(opn).unwrap().contains(5));
+    assert_eq!(mgr.read_line(opn, 5, &mem).unwrap(), LineData::splat(7));
+    assert_eq!(mgr.store().bytes_in_use(), 0);
+    mgr.store().check_conservation().unwrap();
+
+    // A later successful grant lets the same eviction proceed.
+    let mut cursor = 0x100u64;
+    mgr.evict_line(opn, 5, &mut mem, &mut |frames| {
+        let base = MainMemAddr::new(cursor * 4096);
+        cursor += frames;
+        Ok(base)
+    })
+    .unwrap();
+    assert_eq!(mgr.read_line(opn, 5, &mem).unwrap(), LineData::splat(7));
+}
+
+#[test]
+fn machine_survives_frame_exhaustion_on_cow() {
+    // A machine with barely any frames: the CoW copy path runs out of
+    // memory and reports it rather than corrupting state.
+    let mut config = SystemConfig::table2();
+    config.vm.total_frames = 3; // 2 mapped pages + nothing spare
+    let mut m = Machine::new(config).unwrap();
+    let pid = m.spawn_process().unwrap();
+    m.map_range(pid, Vpn::new(1), 2).unwrap();
+    let child = m.fork(pid).unwrap();
+    // Sole remaining frame goes to the first CoW copy...
+    m.access_at(0, pid, VirtAddr::new(0x1000), AccessKind::Write).unwrap();
+    // ...the second fault must fail with OutOfMemory.
+    let err = m.access_at(0, pid, VirtAddr::new(0x2000), AccessKind::Write).unwrap_err();
+    assert!(matches!(err, PoError::OutOfMemory));
+    // The child's view is untouched.
+    assert_eq!(m.peek(child, VirtAddr::new(0x1000)).unwrap(), 0);
+}
+
+#[test]
+fn overlay_mode_dodges_frame_exhaustion() {
+    // The same tiny machine in overlay mode: no page copies, so the
+    // writes succeed where CoW ran out of frames. (The OMS grant draws
+    // frames too, but only one chunk for many diverged lines.)
+    let mut config = SystemConfig::table2_overlay();
+    config.vm.total_frames = 70; // 2 pages + one 64-frame OMS chunk + slack
+    config.overlay.oms_chunk_frames = 64;
+    config.promote_threshold = 65; // never promote: fully-diverged pages stay overlays
+    let mut m = Machine::new(config).unwrap();
+    let pid = m.spawn_process().unwrap();
+    m.map_range(pid, Vpn::new(1), 2).unwrap();
+    let _child = m.fork(pid).unwrap();
+    for line in 0..64usize {
+        m.access_at(0, pid, VirtAddr::new(0x1000 + (line * 64) as u64), AccessKind::Write)
+            .unwrap();
+        m.access_at(0, pid, VirtAddr::new(0x2000 + (line * 64) as u64), AccessKind::Write)
+            .unwrap();
+    }
+    m.flush_overlays().unwrap();
+    assert_eq!(m.overlay().overlay_count(), 2);
+}

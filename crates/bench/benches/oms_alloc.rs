@@ -19,7 +19,7 @@ fn bench_alloc_free(c: &mut Criterion) {
                     segs.push(s.allocate(SegmentClass::B256).unwrap());
                 }
                 for seg in segs {
-                    s.free(seg, SegmentClass::B256);
+                    s.free(seg, SegmentClass::B256).unwrap();
                 }
                 s
             },

@@ -65,8 +65,7 @@ fn main() {
         let hit_rate = m.overlay().omt_cache().stats().hit_rate();
         results.push((entries, stats.cycles, hit_rate));
     }
-    let table2_cycles =
-        results.iter().find(|(e, _, _)| *e == 64).expect("64 in sweep").1 as f64;
+    let table2_cycles = results.iter().find(|(e, _, _)| *e == 64).expect("64 in sweep").1 as f64;
     for (entries, cycles, hit_rate) in results {
         table.row(&[
             &entries,

@@ -38,9 +38,8 @@ fn main() {
         .expect("fine run");
         let mut coarse_cfg = SystemConfig::table2_overlay();
         coarse_cfg.overlay.min_segment_class = SegmentClass::K4;
-        let coarse =
-            run_fork_experiment(coarse_cfg, spec.base_vpn(), mapped, &warmup, &post)
-                .expect("coarse run");
+        let coarse = run_fork_experiment(coarse_cfg, spec.base_vpn(), mapped, &warmup, &post)
+            .expect("coarse run");
 
         table.row(&[
             &spec.name,

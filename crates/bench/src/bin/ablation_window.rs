@@ -32,10 +32,10 @@ fn main() {
         cow_cfg.window_entries = window;
         let mut oow_cfg = SystemConfig::table2_overlay();
         oow_cfg.window_entries = window;
-        let cow = run_fork_experiment(cow_cfg, spec.base_vpn(), mapped, &warmup, &post)
-            .expect("cow run");
-        let oow = run_fork_experiment(oow_cfg, spec.base_vpn(), mapped, &warmup, &post)
-            .expect("oow run");
+        let cow =
+            run_fork_experiment(cow_cfg, spec.base_vpn(), mapped, &warmup, &post).expect("cow run");
+        let oow =
+            run_fork_experiment(oow_cfg, spec.base_vpn(), mapped, &warmup, &post).expect("oow run");
         table.row(&[
             &window,
             &format!("{:.3}", cow.cpi),

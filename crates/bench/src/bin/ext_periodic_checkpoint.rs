@@ -30,10 +30,9 @@ fn main() {
         let mapped = spec.mapped_pages(interval_instr * intervals);
         let warmup = spec.generate_warmup(interval_instr, seed);
         let interval = spec.generate_post_fork(interval_instr, seed);
-        for (mode, config) in [
-            ("cow", SystemConfig::table2()),
-            ("oow", SystemConfig::table2_overlay()),
-        ] {
+        for (mode, config) in
+            [("cow", SystemConfig::table2()), ("oow", SystemConfig::table2_overlay())]
+        {
             let r = run_periodic_checkpoint_experiment(
                 config,
                 spec.base_vpn(),

@@ -13,9 +13,7 @@
 //! default 0.3 keeps the sweep under a minute).
 
 use po_bench::{Args, ResultTable};
-use po_sparse::{
-    nonzero_locality, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv,
-};
+use po_sparse::{nonzero_locality, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv};
 
 fn main() {
     let args = Args::from_env();
@@ -58,10 +56,7 @@ fn main() {
     }
     table.print();
 
-    println!(
-        "\nOverlays outperform CSR on {wins} of {} matrices (paper: 34 of 87).",
-        rows.len()
-    );
+    println!("\nOverlays outperform CSR on {wins} of {} matrices (paper: 34 of 87).", rows.len());
     if let Some(l) = crossover_l {
         println!("First overlay win at L = {l:.2} (paper: crossover near L = 4.5).");
     }

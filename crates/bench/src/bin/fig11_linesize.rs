@@ -62,7 +62,11 @@ fn main() {
         "Summary: geomean overhead and #matrices where granularity beats CSR",
         &["granularity", "geomean_overhead", "beats_csr_on"],
     );
-    summary.row(&[&"CSR", &format!("{:.2}", geomean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())), &"-"]);
+    summary.row(&[
+        &"CSR",
+        &format!("{:.2}", geomean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+        &"-",
+    ]);
     for (i, &ls) in LINE_SIZES.iter().enumerate() {
         let ovs: Vec<f64> = rows.iter().map(|r| r.3[i]).collect();
         let beats = rows.iter().filter(|r| r.3[i] < r.2).count();

@@ -32,14 +32,9 @@ fn main() {
         let warmup = spec.generate_warmup(warmup_instr, seed);
         let post = spec.generate_post_fork(post_instr, seed);
 
-        let cow = run_fork_experiment(
-            SystemConfig::table2(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("CoW run failed");
+        let cow =
+            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
+                .expect("CoW run failed");
         let oow = run_fork_experiment(
             SystemConfig::table2_overlay(),
             spec.base_vpn(),

@@ -9,7 +9,9 @@
 
 use po_bench::{geomean, Args};
 use po_sim::{hardware_cost, run_fork_experiment, SystemConfig};
-use po_sparse::{nonzero_locality, overhead_vs_ideal, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv};
+use po_sparse::{
+    nonzero_locality, overhead_vs_ideal, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv,
+};
 use po_workloads::spec_suite;
 use std::fmt::Write as _;
 
@@ -55,8 +57,9 @@ fn main() {
         let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
         let warmup = spec.generate_warmup(warmup_instr, seed);
         let post = spec.generate_post_fork(post_instr, seed);
-        let cow = run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
-            .expect("cow run");
+        let cow =
+            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
+                .expect("cow run");
         let oow = run_fork_experiment(
             SystemConfig::table2_overlay(),
             spec.base_vpn(),
@@ -73,12 +76,8 @@ fn main() {
         let cpi_ratio = oow.cpi / cow.cpi;
         mem_ratios.push(mem_ratio);
         cpi_ratios.push(cpi_ratio);
-        writeln!(
-            w,
-            "| {} | {:?} | {:.3} | {:.3} |",
-            spec.name, spec.wtype, mem_ratio, cpi_ratio
-        )
-        .unwrap();
+        writeln!(w, "| {} | {:?} | {:.3} | {:.3} |", spec.name, spec.wtype, mem_ratio, cpi_ratio)
+            .unwrap();
     }
     let mem_mean = geomean(&mem_ratios);
     let cpi_mean = geomean(&cpi_ratios);

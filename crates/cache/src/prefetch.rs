@@ -97,9 +97,7 @@ impl StreamPrefetcher {
             let delta = line as i64 - s.last_demand as i64;
             match s.state {
                 StreamState::Allocated => delta.unsigned_abs() <= window && delta != 0,
-                StreamState::Active => {
-                    delta * s.direction > 0 && delta.unsigned_abs() <= window
-                }
+                StreamState::Active => delta * s.direction > 0 && delta.unsigned_abs() <= window,
             }
         }) {
             let degree = self.config.degree as u64;
@@ -144,9 +142,7 @@ impl StreamPrefetcher {
         };
         if self.streams.len() < self.config.streams {
             self.streams.push(entry);
-        } else if let Some(victim) =
-            self.streams.iter_mut().min_by_key(|s| s.last_used)
-        {
+        } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.last_used) {
             *victim = entry;
         }
         Vec::new()

@@ -57,14 +57,7 @@ impl Replacement {
             PolicyKind::Lru => (0..sets * ways).map(|i| (i % ways) as u8).collect(),
             PolicyKind::Drrip => vec![RRPV_MAX; sets * ways],
         };
-        Self {
-            kind,
-            sets,
-            ways,
-            state,
-            psel: PSEL_MAX / 2,
-            brrip_tick: 0,
-        }
+        Self { kind, sets, ways, state, psel: PSEL_MAX / 2, brrip_tick: 0 }
     }
 
     #[inline]

@@ -92,11 +92,8 @@ fn prefetcher_turns_stream_misses_into_l3_hits() {
         for i in 0..4096u64 {
             let a = PhysAddr::new(0x100_0000 + i * 64);
             let out = h.access(a, AccessKind::Read);
-            match out.result {
-                po_cache::LookupResult::Miss => {
-                    h.fill(a, false);
-                }
-                _ => {}
+            if matches!(out.result, po_cache::LookupResult::Miss) {
+                h.fill(a, false);
             }
             for pf in out.prefetches {
                 h.fill_prefetch(pf);

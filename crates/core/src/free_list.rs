@@ -247,6 +247,7 @@ impl GroupedFreeList {
             return None;
         }
         self.load_leader(mem);
+        // Statically infallible: load_leader just populated `cached`.
         let (count, next, ptrs) = self.cached.as_mut().expect("leader loaded");
         if *count > 0 {
             *count -= 1;
@@ -289,6 +290,7 @@ impl MemoryBackedOms {
         let mut classes = SegmentClass::ALL.into_iter();
         Self {
             lists: std::array::from_fn(|_| {
+                // Statically infallible: the array and ALL have equal length.
                 GroupedFreeList::new(classes.next().expect("five classes"))
             }),
             managed_bytes: 0,
@@ -297,6 +299,7 @@ impl MemoryBackedOms {
     }
 
     fn idx(class: SegmentClass) -> usize {
+        // Statically infallible: ALL enumerates every SegmentClass.
         SegmentClass::ALL.iter().position(|&c| c == class).expect("member")
     }
 
@@ -331,9 +334,7 @@ impl MemoryBackedOms {
             self.used_bytes += class.bytes() as u64;
             return Ok(seg);
         }
-        let larger = class
-            .next_larger()
-            .ok_or(po_types::PoError::OverlayStoreExhausted)?;
+        let larger = class.next_larger().ok_or(po_types::PoError::OverlayStoreExhausted)?;
         // Split one larger segment into two of this class; keep one.
         let big = self.allocate_for_split(mem, larger)?;
         let half = class.bytes() as u64;
@@ -351,9 +352,7 @@ impl MemoryBackedOms {
         if let Some(seg) = self.lists[i].pop(mem) {
             return Ok(seg);
         }
-        let larger = class
-            .next_larger()
-            .ok_or(po_types::PoError::OverlayStoreExhausted)?;
+        let larger = class.next_larger().ok_or(po_types::PoError::OverlayStoreExhausted)?;
         let big = self.allocate_for_split(mem, larger)?;
         let half = class.bytes() as u64;
         self.lists[i].push(mem, MainMemAddr::new(big.raw() + half));
@@ -548,7 +547,7 @@ mod tests {
         // Free everything; both return to zero use.
         for ((x, cx), (y, cy)) in live_backed.into_iter().zip(live_model) {
             backed.free(&mut mem, x, cx);
-            model.free(y, cy);
+            model.free(y, cy).unwrap();
             assert_eq!(backed.bytes_in_use(), model.bytes_in_use());
         }
         assert_eq!(backed.bytes_in_use(), 0);

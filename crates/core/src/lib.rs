@@ -53,6 +53,11 @@
 //! # Ok::<(), po_types::PoError>(())
 //! ```
 
+// Robustness gate: fallible paths in this crate return `PoResult`
+// (`PoError::Corrupted` for broken internal invariants) instead of
+// panicking. The few remaining `expect()` calls are statically
+// infallible and individually justified at the call site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod free_list;
 pub mod manager;
 pub mod omt;

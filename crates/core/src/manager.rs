@@ -18,7 +18,7 @@ use crate::segment::{SegmentClass, SegmentMeta};
 use crate::store::OverlayMemoryStore;
 use po_dram::DataStore;
 use po_types::{
-    Counter, LineData, MainMemAddr, OBitVector, Opn, PoError, PoResult,
+    Counter, FaultInjector, FaultSite, LineData, MainMemAddr, OBitVector, Opn, PoError, PoResult,
 };
 use std::collections::HashMap;
 
@@ -72,6 +72,16 @@ pub struct OverlayStats {
     pub copy_commits: Counter,
     /// Discard promotions.
     pub discards: Counter,
+    /// Overlays collapsed back into physical pages under memory
+    /// pressure ([`OverlayManager::collapse_overlay`]).
+    pub reclaims: Counter,
+    /// OMS bytes recovered by those collapses.
+    pub reclaim_freed_bytes: Counter,
+    /// Allocation attempts retried after reclaim or a transient fault.
+    pub alloc_retries: Counter,
+    /// Faults injected across all sites (synced from the
+    /// [`FaultInjector`] by [`OverlayManager::sync_injected_faults`]).
+    pub injected_faults: Counter,
 }
 
 /// What an eviction had to do (timing hooks for `po-sim`).
@@ -102,6 +112,7 @@ pub struct OverlayManager {
     /// evicted): the lazy-allocation window.
     resident: HashMap<(Opn, usize), LineData>,
     stats: OverlayStats,
+    faults: FaultInjector,
 }
 
 impl Default for OmtCache {
@@ -122,7 +133,30 @@ impl OverlayManager {
             store: OverlayMemoryStore::new(),
             resident: HashMap::new(),
             stats: OverlayStats::default(),
+            faults: FaultInjector::none(),
         }
+    }
+
+    /// Installs a fault injector, shared with the OMS.
+    /// [`FaultSite::OmtCacheCorruption`] is honored here;
+    /// [`FaultSite::OmsAllocFailed`] in the store.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.store.set_fault_injector(faults.clone());
+        self.faults = faults;
+    }
+
+    /// Copies the injector-wide total of injected faults into
+    /// [`OverlayStats::injected_faults`]. All layers share one injector,
+    /// so this snapshot covers OS, DRAM, store and manager sites.
+    pub fn sync_injected_faults(&mut self) {
+        self.stats.injected_faults.reset();
+        self.stats.injected_faults.add(self.faults.total_injected());
+    }
+
+    /// Records one allocation retry (called by the reclaim orchestration
+    /// in `po-sim` when it re-attempts after freeing memory).
+    pub fn note_alloc_retry(&mut self) {
+        self.stats.alloc_retries.inc();
     }
 
     /// Returns the configuration.
@@ -199,7 +233,8 @@ impl OverlayManager {
     /// Propagates overlay-creation failures.
     pub fn overlaying_write(&mut self, opn: Opn, line: usize, data: LineData) -> PoResult<()> {
         self.create_overlay(opn)?;
-        let entry = self.omt.get_mut(opn).expect("created above");
+        // Statically infallible: create_overlay inserted the entry above.
+        let entry = self.omt.get_mut(opn).expect("entry inserted by create_overlay");
         if entry.obitvec.contains(line) {
             // Already remapped: this is just a simple write.
             self.stats.simple_writes.inc();
@@ -243,9 +278,9 @@ impl OverlayManager {
         if let Some(data) = self.resident.get(&(opn, line)) {
             return Ok(*data);
         }
-        let seg = entry.segment.ok_or(PoError::Corrupted(
-            "overlay line neither cache-resident nor in the OMS",
-        ))?;
+        let seg = entry
+            .segment
+            .ok_or(PoError::Corrupted("overlay line neither cache-resident nor in the OMS"))?;
         let addr = seg
             .meta
             .line_addr(seg.base, line)
@@ -324,19 +359,24 @@ impl OverlayManager {
             None => return Ok(outcome), // clean in OMS already
         };
 
+        // The entry was checked present at function entry; a vanished
+        // entry mid-eviction is state corruption, reported rather than
+        // panicked on.
+        const GONE: PoError = PoError::Corrupted("OMT entry vanished during eviction");
+
         // Ensure a segment exists with a slot for this line.
-        let needed = self.omt.get(opn).expect("checked").obitvec.len();
-        if self.omt.get(opn).expect("checked").segment.is_none() {
+        let needed = self.omt.get(opn).ok_or(GONE)?.obitvec.len();
+        if self.omt.get(opn).ok_or(GONE)?.segment.is_none() {
             let class = SegmentClass::for_lines(needed.max(1)).max(self.config.min_segment_class);
             let base = self.allocate_segment(class, grant, &mut outcome)?;
             let seg = SegmentRef { base, class, meta: SegmentMeta::new(class) };
-            self.omt.get_mut(opn).expect("checked").segment = Some(seg);
+            self.omt.get_mut(opn).ok_or(GONE)?.segment = Some(seg);
             self.stats.segment_allocs.inc();
             outcome.allocated_segment = true;
         }
 
         // Try to place the line; migrate to a larger segment if full.
-        let mut seg = self.omt.get(opn).expect("checked").segment.expect("ensured");
+        let mut seg = self.omt.get(opn).ok_or(GONE)?.segment.ok_or(GONE)?;
         if seg.meta.alloc_slot(line).is_none() {
             let target = {
                 let by_count = SegmentClass::for_lines(needed.max(1));
@@ -346,10 +386,12 @@ impl OverlayManager {
             let new_base = self.allocate_segment(target, grant, &mut outcome)?;
             let mut new_meta = SegmentMeta::new(target);
             // Move every stored line to the new segment.
-            for l in self.omt.get(opn).expect("checked").obitvec.iter() {
+            for l in self.omt.get(opn).ok_or(GONE)?.obitvec.iter() {
                 if let Some(old_addr) = seg.meta.line_addr(seg.base, l) {
                     if seg.meta.slot_of(l).is_some() && !self.resident.contains_key(&(opn, l)) {
-                        let slot = new_meta.alloc_slot(l).expect("larger segment fits");
+                        let slot = new_meta
+                            .alloc_slot(l)
+                            .ok_or(PoError::Corrupted("migration target segment too small"))?;
                         let new_addr = new_base.add((slot * po_types::geometry::LINE_SIZE) as u64);
                         let d = mem.read_line(old_addr);
                         mem.write_line(new_addr, d);
@@ -357,17 +399,22 @@ impl OverlayManager {
                     }
                 }
             }
-            self.store.free(seg.base, seg.class);
+            self.store.free(seg.base, seg.class)?;
             seg = SegmentRef { base: new_base, class: target, meta: new_meta };
-            seg.meta.alloc_slot(line).expect("fresh larger segment has room");
+            seg.meta
+                .alloc_slot(line)
+                .ok_or(PoError::Corrupted("fresh migration segment rejected a slot"))?;
             self.stats.migrations.inc();
             outcome.migrated = true;
         }
 
-        let addr = seg.meta.line_addr(seg.base, line).expect("slot just ensured");
+        let addr = seg
+            .meta
+            .line_addr(seg.base, line)
+            .ok_or(PoError::Corrupted("evicted line lost its segment slot"))?;
         mem.write_line(addr, data);
         self.resident.remove(&(opn, line));
-        self.omt.get_mut(opn).expect("checked").segment = Some(seg);
+        self.omt.get_mut(opn).ok_or(GONE)?.segment = Some(seg);
         self.omt_cache.access(opn, true);
         self.stats.evictions.inc();
         Ok(outcome)
@@ -385,12 +432,11 @@ impl OverlayManager {
         mem: &mut DataStore,
         grant: &mut GrantFn<'_>,
     ) -> PoResult<usize> {
-        let lines: Vec<usize> = self
-            .resident
-            .keys()
-            .filter(|(o, _)| *o == opn)
-            .map(|(_, l)| *l)
-            .collect();
+        let mut lines: Vec<usize> =
+            self.resident.keys().filter(|(o, _)| *o == opn).map(|(_, l)| *l).collect();
+        // Hash-ordered map: evict in line order so segment allocation and
+        // migration (and any seeded fault plan) are reproducible.
+        lines.sort_unstable();
         let n = lines.len();
         for line in lines {
             self.evict_line(opn, line, mem, grant)?;
@@ -426,6 +472,12 @@ impl OverlayManager {
             .meta
             .line_addr(seg.base, line)
             .ok_or(PoError::Corrupted("controller asked for a line with no slot"))?;
+        if self.faults.fire(FaultSite::OmtCacheCorruption) {
+            // Detected-and-discarded ECC model: the corrupted entry is
+            // dropped, forcing a miss and an OMT re-walk — extra latency,
+            // never silent data corruption.
+            self.omt_cache.invalidate(opn);
+        }
         let hit = self.omt_cache.access(opn, modify);
         Ok((addr, hit))
     }
@@ -442,14 +494,15 @@ impl OverlayManager {
         }
     }
 
-    fn destroy(&mut self, opn: Opn) {
+    fn destroy(&mut self, opn: Opn) -> PoResult<()> {
         if let Some(entry) = self.omt.remove(opn) {
             if let Some(seg) = entry.segment {
-                self.store.free(seg.base, seg.class);
+                self.store.free(seg.base, seg.class)?;
             }
         }
         self.resident.retain(|(o, _), _| *o != opn);
         self.omt_cache.invalidate(opn);
+        Ok(())
     }
 
     /// Promotion: **commit** (§4.3.4) — writes every overlay line into
@@ -459,18 +512,20 @@ impl OverlayManager {
     /// # Errors
     ///
     /// [`PoError::NoOverlay`] if the page has no overlay.
-    pub fn commit(&mut self, opn: Opn, dst_frame: MainMemAddr, mem: &mut DataStore) -> PoResult<usize> {
+    pub fn commit(
+        &mut self,
+        opn: Opn,
+        dst_frame: MainMemAddr,
+        mem: &mut DataStore,
+    ) -> PoResult<usize> {
         let entry = *self.omt.get(opn).ok_or(PoError::NoOverlay(opn))?;
         let mut merged = 0;
         for line in entry.obitvec.iter() {
             let data = self.read_line(opn, line, mem)?;
-            mem.write_line(
-                dst_frame.add((line * po_types::geometry::LINE_SIZE) as u64),
-                data,
-            );
+            mem.write_line(dst_frame.add((line * po_types::geometry::LINE_SIZE) as u64), data);
             merged += 1;
         }
-        self.destroy(opn);
+        self.destroy(opn)?;
         self.stats.commits.inc();
         Ok(merged)
     }
@@ -515,7 +570,7 @@ impl OverlayManager {
         if !self.has_overlay(opn) {
             return Err(PoError::NoOverlay(opn));
         }
-        self.destroy(opn);
+        self.destroy(opn)?;
         self.stats.discards.inc();
         Ok(())
     }
@@ -540,6 +595,79 @@ impl OverlayManager {
     /// Pages that currently have overlays.
     pub fn overlay_count(&self) -> usize {
         self.omt.len()
+    }
+
+    /// Overlays worth collapsing under memory pressure, coldest first:
+    /// pages whose OMS segment is allocated, preferring ones absent from
+    /// the OMT cache (not recently touched by the controller), then in
+    /// deterministic OPN order. `exempt` (the page whose access is being
+    /// served) is never offered.
+    pub fn reclaim_candidates(&self, exempt: Option<Opn>) -> Vec<Opn> {
+        let mut v: Vec<Opn> = self
+            .omt
+            .iter()
+            .filter(|(o, e)| Some(**o) != exempt && e.segment.is_some())
+            .map(|(o, _)| *o)
+            .collect();
+        v.sort_by_key(|o| (self.omt_cache.contains(*o), o.raw()));
+        v
+    }
+
+    /// Collapses `opn`'s overlay into the physical page at `dst_frame`
+    /// (the §4.3.4 commit promotion, used here as the memory-pressure
+    /// release valve) and returns the OMS bytes freed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates commit failures.
+    pub fn collapse_overlay(
+        &mut self,
+        opn: Opn,
+        dst_frame: MainMemAddr,
+        mem: &mut DataStore,
+    ) -> PoResult<u64> {
+        let before = self.store.bytes_in_use();
+        self.commit(opn, dst_frame, mem)?;
+        let freed = before.saturating_sub(self.store.bytes_in_use());
+        self.stats.reclaims.inc();
+        self.stats.reclaim_freed_bytes.add(freed);
+        Ok(freed)
+    }
+
+    /// Structural self-check of the manager + store (DESIGN.md "Fault
+    /// model & degradation"):
+    ///
+    /// 1. the OMS's bytes-in-use equals the summed size of all live
+    ///    segments referenced by OMT entries;
+    /// 2. every OBitVector bit is backed by a cache-resident line or an
+    ///    allocated segment slot (no unreadable overlay lines);
+    /// 3. the store's free lists are disjoint, chunk-bounded, and byte
+    ///    conservation holds ([`OverlayMemoryStore::verify_layout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] naming the violated invariant.
+    pub fn verify_invariants(&self) -> PoResult<()> {
+        let mut live_bytes = 0u64;
+        for (opn, entry) in self.omt.iter() {
+            if let Some(seg) = entry.segment {
+                live_bytes += seg.class.bytes() as u64;
+            }
+            for line in entry.obitvec.iter() {
+                let resident = self.resident.contains_key(&(*opn, line));
+                let stored =
+                    entry.segment.map(|seg| seg.meta.slot_of(line).is_some()).unwrap_or(false);
+                if !resident && !stored {
+                    return Err(PoError::Corrupted(
+                        "OBitVector bit has neither a resident nor a stored line",
+                    ));
+                }
+            }
+        }
+        if live_bytes != self.store.bytes_in_use() {
+            return Err(PoError::Corrupted("live segment bytes disagree with OMS bytes-in-use"));
+        }
+        self.store.verify_layout()
     }
 }
 
@@ -631,17 +759,11 @@ mod tests {
         mem.write_line(phys, LineData::splat(0x11)); // physical copy
         m.overlaying_write(opn(1), 0, LineData::splat(0x22)).unwrap();
         // Line 0 is in the overlay → overlay data wins.
-        assert_eq!(
-            m.resolve_read(opn(1), 0, phys, &mem).unwrap(),
-            LineData::splat(0x22)
-        );
+        assert_eq!(m.resolve_read(opn(1), 0, phys, &mem).unwrap(), LineData::splat(0x22));
         // Line 1 is not → physical page data.
         let phys1 = MainMemAddr::new(0x7040);
         mem.write_line(phys1, LineData::splat(0x33));
-        assert_eq!(
-            m.resolve_read(opn(1), 1, phys1, &mem).unwrap(),
-            LineData::splat(0x33)
-        );
+        assert_eq!(m.resolve_read(opn(1), 1, phys1, &mem).unwrap(), LineData::splat(0x33));
     }
 
     #[test]
@@ -775,10 +897,7 @@ mod tests {
         assert!(matches!(m.obitvec(opn(9)), Err(PoError::NoOverlay(_))));
         assert!(matches!(m.read_line(opn(9), 0, &mem), Err(PoError::NoOverlay(_))));
         m.create_overlay(opn(9)).unwrap();
-        assert!(matches!(
-            m.read_line(opn(9), 0, &mem),
-            Err(PoError::LineNotInOverlay { .. })
-        ));
+        assert!(matches!(m.read_line(opn(9), 0, &mem), Err(PoError::LineNotInOverlay { .. })));
         assert!(matches!(m.discard(opn(10)), Err(PoError::NoOverlay(_))));
     }
 }

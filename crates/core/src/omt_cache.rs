@@ -90,11 +90,9 @@ impl OmtCache {
         if self.slots.len() < self.capacity {
             self.slots.push(new);
         } else {
-            let victim = self
-                .slots
-                .iter_mut()
-                .min_by_key(|s| s.last_used)
-                .expect("capacity > 0");
+            // Statically infallible: this branch means slots.len() >=
+            // capacity, and new() asserts capacity > 0.
+            let victim = self.slots.iter_mut().min_by_key(|s| s.last_used).expect("capacity > 0");
             if victim.dirty {
                 self.stats.writebacks.inc();
             }

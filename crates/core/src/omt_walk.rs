@@ -121,12 +121,7 @@ impl HierarchicalOmt {
     /// Descends to the leaf slot for `opn`, allocating interior nodes on
     /// the way when `create` is set. Returns the byte address of the
     /// entry, or `None` when the path does not exist.
-    fn slot_addr(
-        &mut self,
-        mem: &mut DataStore,
-        opn: Opn,
-        create: bool,
-    ) -> Option<MainMemAddr> {
+    fn slot_addr(&mut self, mem: &mut DataStore, opn: Opn, create: bool) -> Option<MainMemAddr> {
         let idx = Self::indices(opn);
         let mut node = self.root;
         for &i in idx.iter().take(3) {
@@ -151,6 +146,7 @@ impl HierarchicalOmt {
         match entry.segment {
             Some(seg) => {
                 out[8..16].copy_from_slice(&seg.base.raw().to_le_bytes());
+                // Statically infallible: ALL enumerates every SegmentClass.
                 let class_code = SegmentClass::ALL
                     .iter()
                     .position(|&c| c == seg.class)
@@ -199,6 +195,8 @@ impl HierarchicalOmt {
     /// Currently infallible (node allocation is unbounded in the model);
     /// kept fallible for configurations with table quotas.
     pub fn insert(&mut self, mem: &mut DataStore, opn: Opn, entry: &OmtEntry) -> PoResult<()> {
+        // Statically infallible: slot_addr with create=true allocates
+        // intermediate nodes on demand and always returns a slot.
         let slot = self.slot_addr(mem, opn, true).expect("create mode always yields a slot");
         let bytes = Self::encode_entry(entry);
         for (i, chunk) in bytes.chunks(LINE_SIZE).enumerate() {
@@ -235,10 +233,7 @@ impl HierarchicalOmt {
     pub fn remove(&mut self, mem: &mut DataStore, opn: Opn) {
         if let Some(slot) = self.slot_addr(mem, opn, false) {
             for i in 0..2 {
-                mem.write_line(
-                    slot.add((i * LINE_SIZE) as u64),
-                    po_types::LineData::zeroed(),
-                );
+                mem.write_line(slot.add((i * LINE_SIZE) as u64), po_types::LineData::zeroed());
                 self.stats.line_accesses.inc();
             }
         }
@@ -373,7 +368,7 @@ mod tests {
         }
         assert!(omt.table_bytes() > before);
         assert_eq!(
-            omt.stats().nodes_allocated.get() as u64 * PAGE_SIZE as u64 + PAGE_SIZE as u64,
+            omt.stats().nodes_allocated.get() * PAGE_SIZE as u64 + PAGE_SIZE as u64,
             omt.table_bytes()
         );
     }

@@ -29,8 +29,13 @@ pub enum SegmentClass {
 
 impl SegmentClass {
     /// All classes, smallest to largest.
-    pub const ALL: [SegmentClass; 5] =
-        [SegmentClass::B256, SegmentClass::B512, SegmentClass::K1, SegmentClass::K2, SegmentClass::K4];
+    pub const ALL: [SegmentClass; 5] = [
+        SegmentClass::B256,
+        SegmentClass::B512,
+        SegmentClass::K1,
+        SegmentClass::K2,
+        SegmentClass::K4,
+    ];
 
     /// Segment size in bytes.
     pub const fn bytes(self) -> usize {
@@ -69,15 +74,14 @@ impl SegmentClass {
     /// Panics if `lines > 64` (a page has only 64 lines).
     pub fn for_lines(lines: usize) -> SegmentClass {
         assert!(lines <= LINES_PER_PAGE, "a page has at most 64 lines");
-        Self::ALL
-            .into_iter()
-            .find(|c| c.capacity() >= lines)
-            .expect("K4 holds any page")
+        // Statically infallible after the assert: K4 holds 64 lines.
+        Self::ALL.into_iter().find(|c| c.capacity() >= lines).expect("K4 holds any page")
     }
 
     /// The next larger class, if any (used when an overlay outgrows its
     /// segment and must migrate, §4.4.2).
     pub fn next_larger(self) -> Option<SegmentClass> {
+        // Statically infallible: ALL enumerates every SegmentClass.
         let idx = Self::ALL.iter().position(|&c| c == self).expect("member of ALL");
         Self::ALL.get(idx + 1).copied()
     }
@@ -85,6 +89,7 @@ impl SegmentClass {
     /// The next smaller class, if any (splitting a free segment,
     /// §4.4.3).
     pub fn next_smaller(self) -> Option<SegmentClass> {
+        // Statically infallible: ALL enumerates every SegmentClass.
         let idx = Self::ALL.iter().position(|&c| c == self).expect("member of ALL");
         idx.checked_sub(1).map(|i| Self::ALL[i])
     }

@@ -11,7 +11,7 @@
 
 use crate::segment::SegmentClass;
 use po_types::geometry::PAGE_SIZE;
-use po_types::{Counter, MainMemAddr, PoError, PoResult};
+use po_types::{Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult};
 use std::collections::BTreeSet;
 
 /// OMS statistics.
@@ -39,7 +39,7 @@ pub struct StoreStats {
 /// oms.add_chunk(MainMemAddr::new(0x10_0000), 1); // one 4 KB page
 /// let seg = oms.allocate(SegmentClass::B256)?;
 /// assert_eq!(oms.bytes_in_use(), 256);
-/// oms.free(seg, SegmentClass::B256);
+/// oms.free(seg, SegmentClass::B256)?;
 /// assert_eq!(oms.bytes_in_use(), 0);
 /// # Ok::<(), po_types::PoError>(())
 /// ```
@@ -52,7 +52,11 @@ pub struct OverlayMemoryStore {
     managed_bytes: u64,
     /// Bytes currently allocated to overlays.
     used_bytes: u64,
+    /// Chunks granted by the OS, as `(base, bytes)` spans; used by
+    /// [`OverlayMemoryStore::verify_layout`] to bound the free lists.
+    chunks: Vec<(u64, u64)>,
     stats: StoreStats,
+    faults: FaultInjector,
 }
 
 impl OverlayMemoryStore {
@@ -67,8 +71,15 @@ impl OverlayMemoryStore {
         &self.stats
     }
 
+    /// Installs a fault injector; [`FaultSite::OmsAllocFailed`] is
+    /// honored here.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
     fn class_idx(class: SegmentClass) -> usize {
-        SegmentClass::ALL.iter().position(|&c| c == class).expect("member")
+        // Statically infallible: ALL enumerates every SegmentClass variant.
+        SegmentClass::ALL.iter().position(|&c| c == class).expect("ALL covers every class")
     }
 
     /// Adds `frames` 4 KB pages starting at page-aligned `base` to the
@@ -84,6 +95,7 @@ impl OverlayMemoryStore {
             let addr = base.raw() + i * PAGE_SIZE as u64;
             self.free[Self::class_idx(SegmentClass::K4)].insert(addr);
         }
+        self.chunks.push((base.raw(), frames * PAGE_SIZE as u64));
         self.managed_bytes += frames * PAGE_SIZE as u64;
     }
 
@@ -96,6 +108,11 @@ impl OverlayMemoryStore {
     /// or any larger class is free — the caller should obtain an OS grant
     /// ([`OverlayMemoryStore::add_chunk`]) and retry.
     pub fn allocate(&mut self, class: SegmentClass) -> PoResult<MainMemAddr> {
+        if self.faults.fire(FaultSite::OmsAllocFailed) {
+            // Transient allocator glitch: report exhaustion without
+            // consuming anything; the caller's grow/reclaim path retries.
+            return Err(PoError::OverlayStoreExhausted);
+        }
         let idx = Self::class_idx(class);
         if let Some(&addr) = self.free[idx].iter().next() {
             self.free[idx].remove(&addr);
@@ -133,15 +150,24 @@ impl OverlayMemoryStore {
 
     /// Returns a segment to its class's free list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) on double free.
-    pub fn free(&mut self, base: MainMemAddr, class: SegmentClass) {
+    /// Returns [`PoError::Corrupted`] on a double free or when the
+    /// accounting would underflow; the store is left unchanged so the
+    /// caller can report the corruption instead of compounding it.
+    pub fn free(&mut self, base: MainMemAddr, class: SegmentClass) -> PoResult<()> {
         let idx = Self::class_idx(class);
-        let inserted = self.free[idx].insert(base.raw());
-        debug_assert!(inserted, "double free of segment {base}");
-        self.used_bytes -= class.bytes() as u64;
+        let bytes = class.bytes() as u64;
+        let remaining = self
+            .used_bytes
+            .checked_sub(bytes)
+            .ok_or(PoError::Corrupted("OMS free would underflow byte accounting"))?;
+        if !self.free[idx].insert(base.raw()) {
+            return Err(PoError::Corrupted("double free of OMS segment"));
+        }
+        self.used_bytes = remaining;
         self.stats.frees.inc();
+        Ok(())
     }
 
     /// Bytes currently allocated to overlay segments — the memory-
@@ -177,6 +203,38 @@ impl OverlayMemoryStore {
         } else {
             Err(PoError::Corrupted("OMS byte conservation violated"))
         }
+    }
+
+    /// Structural self-check of the free lists:
+    ///
+    /// 1. byte conservation ([`OverlayMemoryStore::check_conservation`]);
+    /// 2. free segments of all classes are pairwise disjoint spans;
+    /// 3. every free span lies inside an OS-granted chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] naming the violated invariant.
+    pub fn verify_layout(&self) -> PoResult<()> {
+        self.check_conservation()?;
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (i, class) in SegmentClass::ALL.iter().enumerate() {
+            for &base in &self.free[i] {
+                spans.push((base, class.bytes() as u64));
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(PoError::Corrupted("OMS free lists overlap"));
+            }
+        }
+        for &(base, len) in &spans {
+            let inside = self.chunks.iter().any(|&(cb, cl)| base >= cb && base + len <= cb + cl);
+            if !inside {
+                return Err(PoError::Corrupted("OMS free segment outside granted chunks"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -217,7 +275,7 @@ mod tests {
     fn free_then_reallocate_reuses() {
         let mut s = store_with(1);
         let a = s.allocate(SegmentClass::B512).unwrap();
-        s.free(a, SegmentClass::B512);
+        s.free(a, SegmentClass::B512).unwrap();
         let b = s.allocate(SegmentClass::B512).unwrap();
         assert_eq!(a, b);
         s.check_conservation().unwrap();
@@ -248,7 +306,7 @@ mod tests {
         s.check_conservation().unwrap();
         // Free everything; the page is reusable as four 1K segments.
         for seg in segs {
-            s.free(seg, SegmentClass::B256);
+            s.free(seg, SegmentClass::B256).unwrap();
         }
         assert_eq!(s.bytes_in_use(), 0);
         s.check_conservation().unwrap();
@@ -281,9 +339,9 @@ mod tests {
         let c = s.allocate(SegmentClass::K2).unwrap();
         s.check_conservation().unwrap();
         assert_eq!(s.bytes_in_use(), 1024 + 256 + 2048);
-        s.free(b, SegmentClass::B256);
-        s.free(a, SegmentClass::K1);
-        s.free(c, SegmentClass::K2);
+        s.free(b, SegmentClass::B256).unwrap();
+        s.free(a, SegmentClass::K1).unwrap();
+        s.free(c, SegmentClass::K2).unwrap();
         assert_eq!(s.bytes_in_use(), 0);
         s.check_conservation().unwrap();
     }

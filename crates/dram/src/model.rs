@@ -10,7 +10,7 @@
 //! different banks overlap while same-bank row conflicts serialize.
 
 use crate::config::DramConfig;
-use po_types::{Counter, Cycle, MainMemAddr};
+use po_types::{Counter, Cycle, FaultInjector, FaultSite, MainMemAddr};
 
 /// Outcome of a row-buffer lookup, used for stats and latency selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +43,8 @@ pub struct DramStats {
     pub drains: Counter,
     /// Total bytes moved over the data bus.
     pub bus_bytes: Counter,
+    /// Reads retried after an injected transient (correctable) error.
+    pub read_retries: Counter,
 }
 
 impl DramStats {
@@ -64,13 +66,27 @@ pub struct DramModel {
     /// Pending posted writes (line addresses) awaiting a drain.
     write_buffer: Vec<MainMemAddr>,
     stats: DramStats,
+    faults: FaultInjector,
 }
 
 impl DramModel {
     /// Creates a model with all banks closed.
     pub fn new(config: DramConfig) -> Self {
         let banks = vec![Bank::default(); config.banks];
-        Self { config, banks, bus_free_at: 0, write_buffer: Vec::new(), stats: Stats::default() }
+        Self {
+            config,
+            banks,
+            bus_free_at: 0,
+            write_buffer: Vec::new(),
+            stats: Stats::default(),
+            faults: FaultInjector::none(),
+        }
+    }
+
+    /// Installs a fault injector; [`FaultSite::DramReadError`] is
+    /// honored here.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Returns the configuration.
@@ -134,7 +150,14 @@ impl DramModel {
     /// returning the completion cycle.
     pub fn read(&mut self, now: Cycle, addr: MainMemAddr) -> Cycle {
         self.stats.reads.inc();
-        self.service(now, addr.line_base())
+        let done = self.service(now, addr.line_base());
+        if self.faults.fire(FaultSite::DramReadError) {
+            // Transient correctable error: the controller re-issues the
+            // read; the data is intact, only latency is lost.
+            self.stats.read_retries.inc();
+            return self.service(done, addr.line_base());
+        }
+        done
     }
 
     /// Posts a write of the line containing `addr` into the write buffer.
@@ -227,8 +250,8 @@ mod tests {
         // Issue two closed-bank reads at the same instant to two banks.
         let t1 = m.read(0, MainMemAddr::new(0));
         let t2 = m.read(0, MainMemAddr::new(row_bytes)); // next bank
-        // The second overlaps except for bus serialization: it must finish
-        // well before 2x the full closed latency.
+                                                         // The second overlaps except for bus serialization: it must finish
+                                                         // well before 2x the full closed latency.
         assert!(t2 < t1 + m.config().row_closed_latency());
         assert!(t2 > t1, "bus still serializes the bursts");
     }

@@ -55,10 +55,7 @@ impl DataStore {
     /// Writes the 64 B line containing `addr`.
     pub fn write_line(&mut self, addr: MainMemAddr, data: LineData) {
         let base = addr.line_base();
-        let frame = self
-            .frames
-            .entry(base.frame())
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let frame = self.frames.entry(base.frame()).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         let off = base.page_offset();
         frame[off..off + LINE_SIZE].copy_from_slice(data.as_bytes());
     }
@@ -73,10 +70,7 @@ impl DataStore {
 
     /// Writes a single byte.
     pub fn write_byte(&mut self, addr: MainMemAddr, value: u8) {
-        let frame = self
-            .frames
-            .entry(addr.frame())
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let frame = self.frames.entry(addr.frame()).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         frame[addr.page_offset()] = value;
     }
 
@@ -113,7 +107,7 @@ mod tests {
     #[test]
     fn unwritten_memory_reads_zero() {
         let mem = DataStore::new();
-        assert!(mem.read_line(MainMemAddr::new(0xdead_000)).is_zero());
+        assert!(mem.read_line(MainMemAddr::new(0x0dea_d000)).is_zero());
         assert_eq!(mem.read_byte(MainMemAddr::new(12345)), 0);
         assert_eq!(mem.resident_frames(), 0);
     }

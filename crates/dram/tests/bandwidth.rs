@@ -61,10 +61,7 @@ fn page_copy_bandwidth_model() {
     let bound = config.row_closed_latency() + 64 * config.row_hit_latency();
     let serial_closed = 64 * config.row_closed_latency();
     assert!(done_max <= bound, "page copy took {done_max}, bound {bound}");
-    assert!(
-        done_max < serial_closed,
-        "row-buffer locality must beat closed-row serial access"
-    );
+    assert!(done_max < serial_closed, "row-buffer locality must beat closed-row serial access");
     assert!(dram.stats().row_hit_rate() > 0.95, "copy must stream from one row");
 }
 

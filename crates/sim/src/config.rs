@@ -124,7 +124,7 @@ mod tests {
         assert_eq!(cost.omt_cache_bytes, 4 * 1024); // "4KB"
         assert_eq!(cost.tlb_extension_bytes, 8704); // "8.5KB"
         assert_eq!(cost.tag_extension_bytes, 82 * 1024); // "82KB"
-        // "the overall hardware storage cost is 94.5KB"
+                                                         // "the overall hardware storage cost is 94.5KB"
         assert_eq!(cost.total_bytes(), 96768);
         assert!((cost.total_bytes() as f64 / 1024.0 - 94.5).abs() < 0.01);
     }

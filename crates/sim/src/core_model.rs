@@ -64,6 +64,7 @@ impl CoreModel {
     pub fn next_issue_cycle(&self) -> Cycle {
         let by_issue_width = self.last_issue + 1;
         if self.window.len() >= self.window_size {
+            // Statically infallible: the branch guarantees a non-empty window.
             by_issue_width.max(*self.window.front().expect("window full"))
         } else {
             by_issue_width

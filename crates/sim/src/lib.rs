@@ -54,7 +54,10 @@ pub mod trace_io;
 pub use config::{hardware_cost, HardwareCost, SystemConfig};
 pub use core_model::CoreModel;
 pub use machine::Machine;
-pub use scenario::{run_fork_experiment, run_periodic_checkpoint_experiment, ForkExperimentResult, PeriodicCheckpointResult};
+pub use scenario::{
+    run_fork_experiment, run_periodic_checkpoint_experiment, ForkExperimentResult,
+    PeriodicCheckpointResult,
+};
 pub use stats::SimStats;
 pub use trace::{run_trace, Trace, TraceOp};
 pub use trace_io::{read_trace, write_trace, TraceIoError};

@@ -13,14 +13,15 @@ use crate::core_model::CoreModel;
 use crate::stats::SimStats;
 use po_cache::{CacheHierarchy, LookupResult};
 use po_dram::{DataStore, DramModel};
-use po_overlay::OverlayManager;
+use po_overlay::{OverlayManager, OverlayStats};
 use po_tlb::{Tlb, TlbEntry};
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 use po_types::{
-    AccessKind, Asid, Cycle, MainMemAddr, OBitVector, Opn, PhysAddr, PoError, PoResult, VirtAddr,
-    Vpn,
+    AccessKind, Asid, Cycle, FaultInjector, FaultPlan, FaultSite, MainMemAddr, OBitVector, Opn,
+    PhysAddr, PoError, PoResult, VirtAddr, Vpn,
 };
 use po_vm::OsModel;
+use po_vm::WriteOutcome;
 
 /// Memory-consumption baseline recorded by
 /// [`Machine::mark_memory_epoch`].
@@ -51,7 +52,13 @@ pub struct Machine {
     /// segment granularity instead).
     oms_frames: u64,
     epoch: MemoryEpoch,
+    faults: FaultInjector,
 }
+
+/// Bound on allocation attempts per access: each retry first reclaims
+/// overlay memory, so attempts only repeat while reclaim keeps freeing
+/// space (or a transient injected refusal clears).
+const MAX_ALLOC_ATTEMPTS: usize = 8;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -72,8 +79,30 @@ impl Machine {
             stats: SimStats::default(),
             oms_frames: 0,
             epoch: MemoryEpoch::default(),
+            faults: FaultInjector::none(),
             config,
         })
+    }
+
+    /// Arms fault injection for the whole machine: one shared injector is
+    /// distributed to the OS model (frame allocation, OMS grants), the
+    /// DRAM model (transient read errors), the overlay manager (OMT-cache
+    /// corruption) and its store (allocation failures), and the machine
+    /// itself (TLB-shootdown timeouts). With no plan installed every
+    /// fault check is a single discriminant test on the fast path.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let inj = FaultInjector::from_plan(plan);
+        self.os.set_fault_injector(inj.clone());
+        self.dram.set_fault_injector(inj.clone());
+        self.overlay.set_fault_injector(inj.clone());
+        self.faults = inj;
+    }
+
+    /// Overlay statistics with [`OverlayStats::injected_faults`] synced
+    /// from the shared injector.
+    pub fn overlay_stats(&mut self) -> OverlayStats {
+        self.overlay.sync_injected_faults();
+        self.overlay.stats().clone()
     }
 
     /// Returns the configuration.
@@ -189,12 +218,7 @@ impl Machine {
     ) -> PoResult<()> {
         let opn = Opn::encode(asid, vpn);
         self.overlay.overlaying_write(opn, line, data)?;
-        let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } = *self;
-        let mut grant = |frames: u64| {
-            *oms_frames += frames;
-            os.grant_oms_chunk(frames)
-        };
-        overlay.evict_line(opn, line, mem, &mut grant)?;
+        self.evict_line_reclaiming(opn, line)?;
         Ok(())
     }
 
@@ -213,13 +237,16 @@ impl Machine {
         // committed"). Otherwise the new child would read the stale
         // physical page underneath the parent's divergence.
         if self.config.overlay_mode {
-            let overlaid: Vec<Vpn> = self
+            let mut overlaid: Vec<Vpn> = self
                 .os
                 .pages(parent)?
                 .into_iter()
                 .map(|(vpn, _)| vpn)
                 .filter(|&vpn| self.overlay.has_overlay(Opn::encode(parent, vpn)))
                 .collect();
+            // Page tables iterate hash-ordered; materialize in VPN order
+            // so frame allocation (and seeded fault plans) reproduce.
+            overlaid.sort_by_key(|v| v.raw());
             for vpn in overlaid {
                 self.materialize_overlay(parent, vpn)?;
             }
@@ -247,7 +274,7 @@ impl Machine {
         let opn = Opn::encode(asid, vpn);
         // Obtain a private writable frame (copies the shared page if
         // refcount > 1); then merge the overlay on top of it.
-        self.os.prepare_write(asid, vpn.base(), &mut self.mem)?;
+        self.prepare_write_retrying(asid, vpn.base())?;
         let pte = self.os.translate(asid, vpn.base())?;
         let frame = MainMemAddr::new(pte.ppn.base().raw());
         self.overlay.commit(opn, frame, &mut self.mem)?;
@@ -273,10 +300,8 @@ impl Machine {
     pub fn extra_memory_bytes(&self) -> u64 {
         let frames_net = self.os.frames_allocated() - self.oms_frames;
         let frame_bytes = frames_net.saturating_sub(self.epoch.frames_net) * PAGE_SIZE as u64;
-        let overlay_bytes = self
-            .overlay
-            .overlay_memory_bytes()
-            .saturating_sub(self.epoch.overlay_used);
+        let overlay_bytes =
+            self.overlay.overlay_memory_bytes().saturating_sub(self.epoch.overlay_used);
         let resident_bytes = self.overlay.resident_lines() as u64 * LINE_SIZE as u64;
         frame_bytes + overlay_bytes + resident_bytes
     }
@@ -289,15 +314,153 @@ impl Machine {
     ///
     /// Propagates OMS growth failures.
     pub fn flush_overlays(&mut self) -> PoResult<()> {
-        let opns: Vec<Opn> = self.overlay.omt().iter().map(|(o, _)| *o).collect();
+        let mut opns: Vec<Opn> = self.overlay.omt().iter().map(|(o, _)| *o).collect();
+        // The OMT is hash-ordered; flush in OPN order so the grant-query
+        // stream (and with it any seeded fault plan) is reproducible.
+        opns.sort_by_key(|o| o.raw());
         for opn in opns {
+            let mut last = Ok(());
+            for attempt in 0..MAX_ALLOC_ATTEMPTS {
+                let Machine {
+                    ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, ..
+                } = *self;
+                let mut grant = |frames: u64| {
+                    let base = os.grant_oms_chunk(frames)?;
+                    *oms_frames += frames;
+                    Ok(base)
+                };
+                match overlay.evict_all(opn, mem, &mut grant) {
+                    Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
+                        last = Err(e);
+                        if attempt + 1 == MAX_ALLOC_ATTEMPTS
+                            || self.recover_overlay_memory(Some(opn))? == 0
+                        {
+                            return last;
+                        }
+                    }
+                    r => {
+                        last = r.map(|_| ());
+                        break;
+                    }
+                }
+            }
+            last?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful degradation under memory pressure.
+    // ------------------------------------------------------------------
+
+    /// Evicts one dirty overlay line into the OMS, reclaiming overlay
+    /// memory and retrying (bounded) if the store is exhausted or the OS
+    /// refuses to grow it. Surfaces the error only once reclaim can free
+    /// nothing further.
+    fn evict_line_reclaiming(
+        &mut self,
+        opn: Opn,
+        line: usize,
+    ) -> PoResult<po_overlay::EvictOutcome> {
+        let mut last = Err(PoError::OverlayStoreExhausted);
+        for attempt in 0..MAX_ALLOC_ATTEMPTS {
             let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } =
                 *self;
             let mut grant = |frames: u64| {
+                let base = os.grant_oms_chunk(frames)?;
                 *oms_frames += frames;
-                os.grant_oms_chunk(frames)
+                Ok(base)
             };
-            overlay.evict_all(opn, mem, &mut grant)?;
+            match overlay.evict_line(opn, line, mem, &mut grant) {
+                Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
+                    last = Err(e);
+                    if attempt + 1 == MAX_ALLOC_ATTEMPTS
+                        || self.recover_overlay_memory(Some(opn))? == 0
+                    {
+                        return last;
+                    }
+                }
+                r => return r,
+            }
+        }
+        last
+    }
+
+    /// Releases overlay memory under pressure by collapsing cold overlays
+    /// back into physical pages (the §4.3.4 commit promotion, driven by
+    /// the OS instead of the promotion threshold). Stops after the first
+    /// candidate that frees bytes; returns the total freed. `exempt`
+    /// protects the page whose access triggered the pressure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates commit failures; candidates whose pages are unmapped or
+    /// cannot be privatized are skipped, not errors.
+    pub fn recover_overlay_memory(&mut self, exempt: Option<Opn>) -> PoResult<u64> {
+        self.overlay.note_alloc_retry();
+        let mut freed = 0u64;
+        for opn in self.overlay.reclaim_candidates(exempt) {
+            let (asid, vpn) = opn.decode();
+            // Privatize the frame first: committing onto a still-shared
+            // page would leak the divergence to the other sharers. A page
+            // that is gone or cannot be copied is skipped.
+            if self.os.prepare_write(asid, vpn.base(), &mut self.mem).is_err() {
+                continue;
+            }
+            let pte = self.os.translate(asid, vpn.base())?;
+            let frame = MainMemAddr::new(pte.ppn.base().raw());
+            freed += self.overlay.collapse_overlay(opn, frame, &mut self.mem)?;
+            // The overlay address space for this page is dead: drop stale
+            // cache lines and cached translations everywhere.
+            for l in 0..LINES_PER_PAGE {
+                self.caches.invalidate_line(opn.line_addr(l));
+            }
+            for tlb in &mut self.tlbs {
+                tlb.shootdown(asid, vpn);
+            }
+            if freed > 0 {
+                break;
+            }
+        }
+        Ok(freed)
+    }
+
+    /// `prepare_write` with bounded retry: a refused frame allocation
+    /// (e.g. an injected [`FaultSite::FrameAllocExhausted`]) triggers an
+    /// overlay-memory reclaim before surfacing `OutOfMemory`.
+    fn prepare_write_retrying(&mut self, asid: Asid, va: VirtAddr) -> PoResult<WriteOutcome> {
+        let mut last = Err(PoError::OutOfMemory);
+        for attempt in 0..MAX_ALLOC_ATTEMPTS {
+            match self.os.prepare_write(asid, va, &mut self.mem) {
+                Err(PoError::OutOfMemory) => {
+                    last = Err(PoError::OutOfMemory);
+                    if attempt + 1 == MAX_ALLOC_ATTEMPTS
+                        || self.recover_overlay_memory(Some(Opn::encode(asid, va.vpn())))? == 0
+                    {
+                        return last;
+                    }
+                }
+                r => return r,
+            }
+        }
+        last
+    }
+
+    /// Structural self-check tying the layers together (DESIGN.md "Fault
+    /// model & degradation"): overlay-manager invariants (byte accounting,
+    /// OBitVector backing, free-list layout) plus the machine-level grant
+    /// ledger — the OMS must manage exactly the bytes of the frames the
+    /// OS granted it.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] naming the violated invariant.
+    pub fn verify_invariants(&self) -> PoResult<()> {
+        self.overlay.verify_invariants()?;
+        if self.overlay.store().bytes_managed() != self.oms_frames * PAGE_SIZE as u64 {
+            return Err(PoError::Corrupted(
+                "OMS managed bytes disagree with the frames granted by the OS",
+            ));
         }
         Ok(())
     }
@@ -534,13 +697,7 @@ impl Machine {
             if wb.is_overlay() {
                 let opn = wb.opn();
                 let line = wb.line_in_page();
-                let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } =
-                    *self;
-                let mut grant = |frames: u64| {
-                    *oms_frames += frames;
-                    os.grant_oms_chunk(frames)
-                };
-                match overlay.evict_line(opn, line, mem, &mut grant) {
+                match self.evict_line_reclaiming(opn, line) {
                     Ok(_) => {
                         if let Ok((mm, _)) = self.overlay.controller_resolve(opn, line, true) {
                             self.dram.write(now, mm);
@@ -570,7 +727,7 @@ impl Machine {
     ) -> PoResult<u64> {
         let mut lat = self.config.cow_fault_overhead;
         let old_ppn = entry.pte.ppn;
-        let outcome = self.os.prepare_write(asid, va, &mut self.mem)?;
+        let outcome = self.prepare_write_retrying(asid, va)?;
         self.stats.cow_faults.inc();
 
         if let Some(new_ppn) = outcome.new_ppn {
@@ -598,6 +755,11 @@ impl Machine {
 
         if outcome.tlb_shootdown {
             lat += self.config.tlb_shootdown_latency;
+            if self.faults.fire(FaultSite::TlbShootdownTimeout) {
+                // A straggler core acked the IPI late: one extra
+                // round-trip of shootdown latency, correctness unchanged.
+                lat += self.config.tlb_shootdown_latency;
+            }
             for tlb in &mut self.tlbs {
                 tlb.shootdown(asid, va.vpn());
             }
@@ -667,7 +829,7 @@ impl Machine {
         let old_ppn = entry.pte.ppn;
         // The page must become private: reuse the CoW machinery to get a
         // fresh writable frame, then merge the overlay into it.
-        let outcome = self.os.prepare_write(asid, vpn.base(), &mut self.mem)?;
+        let outcome = self.prepare_write_retrying(asid, vpn.base())?;
         let new_ppn = outcome.new_ppn.unwrap_or(old_ppn);
         let src = MainMemAddr::new(old_ppn.base().raw());
         let dst = MainMemAddr::new(new_ppn.base().raw());
@@ -681,6 +843,10 @@ impl Machine {
         }
         // Remap: shootdown + refreshed entry with a cleared OBitVector.
         let mut lat = self.config.tlb_shootdown_latency;
+        if self.faults.fire(FaultSite::TlbShootdownTimeout) {
+            // Straggler ack: pay one extra shootdown round-trip.
+            lat += self.config.tlb_shootdown_latency;
+        }
         for tlb in &mut self.tlbs {
             tlb.shootdown(asid, vpn);
         }
@@ -718,11 +884,7 @@ impl Machine {
         let vpn = va.vpn();
         let opn = Opn::encode(asid, vpn);
         let line = va.line_in_page();
-        let in_overlay = self
-            .overlay
-            .obitvec(opn)
-            .map(|v| v.contains(line))
-            .unwrap_or(false);
+        let in_overlay = self.overlay.obitvec(opn).map(|v| v.contains(line)).unwrap_or(false);
         let overlay_write = pte.flags.overlay_enabled
             && (in_overlay || (self.config.overlay_mode && pte.flags.cow && !pte.flags.writable));
         if overlay_write {
@@ -769,11 +931,8 @@ mod tests {
     use crate::trace::TraceOp;
 
     fn machine(overlay_mode: bool) -> (Machine, Asid) {
-        let config = if overlay_mode {
-            SystemConfig::table2_overlay()
-        } else {
-            SystemConfig::table2()
-        };
+        let config =
+            if overlay_mode { SystemConfig::table2_overlay() } else { SystemConfig::table2() };
         let mut m = Machine::new(config).unwrap();
         let pid = m.spawn_process().unwrap();
         m.map_range(pid, Vpn::new(0x100), 16).unwrap();
@@ -837,10 +996,7 @@ mod tests {
         m.access_at(0, pid, va(0, 3), AccessKind::Write).unwrap();
         m.flush_overlays().unwrap();
         let extra = m.extra_memory_bytes();
-        assert!(
-            extra <= 256,
-            "one diverged line must cost one small segment, got {extra} bytes"
-        );
+        assert!(extra <= 256, "one diverged line must cost one small segment, got {extra} bytes");
     }
 
     #[test]

@@ -152,22 +152,11 @@ mod tests {
         let base = 0x200;
         let warmup = writes(base, 8, 1, 10);
         let post = writes(base, 8, 2, 50);
-        let cow = run_fork_experiment(
-            SystemConfig::table2(),
-            Vpn::new(base),
-            16,
-            &warmup,
-            &post,
-        )
-        .unwrap();
-        let oow = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            Vpn::new(base),
-            16,
-            &warmup,
-            &post,
-        )
-        .unwrap();
+        let cow = run_fork_experiment(SystemConfig::table2(), Vpn::new(base), 16, &warmup, &post)
+            .unwrap();
+        let oow =
+            run_fork_experiment(SystemConfig::table2_overlay(), Vpn::new(base), 16, &warmup, &post)
+                .unwrap();
         assert_eq!(cow.pages_copied, 8);
         assert_eq!(oow.pages_copied, 0);
         assert_eq!(oow.overlaying_writes, 16);
@@ -217,9 +206,7 @@ mod tests {
         let base = 0x300;
         let mut post = Vec::new();
         for l in 0..32u64 {
-            post.push(TraceOp::Load(VirtAddr::new(
-                base * PAGE_SIZE as u64 + l * LINE_SIZE as u64,
-            )));
+            post.push(TraceOp::Load(VirtAddr::new(base * PAGE_SIZE as u64 + l * LINE_SIZE as u64)));
             post.push(TraceOp::Compute(20));
         }
         for config in [SystemConfig::table2(), SystemConfig::table2_overlay()] {

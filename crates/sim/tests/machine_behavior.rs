@@ -17,9 +17,8 @@ fn va(vpn: u64, line: u64) -> VirtAddr {
 
 #[test]
 fn streaming_reads_benefit_from_prefetch() {
-    let stream: Vec<TraceOp> = (0..2048u64)
-        .map(|i| TraceOp::Load(va(0x100 + i / 64, i % 64)))
-        .collect();
+    let stream: Vec<TraceOp> =
+        (0..2048u64).map(|i| TraceOp::Load(va(0x100 + i / 64, i % 64))).collect();
 
     let mut on = SystemConfig::table2();
     on.hierarchy.prefetcher.enabled = true;
@@ -46,10 +45,8 @@ fn tlb_miss_cost_shows_up_once_per_page() {
     let (mut m, pid) = machine(SystemConfig::table2());
     m.map_range(pid, Vpn::new(0x200), 2).unwrap();
     let cold = m.access_at(0, pid, va(0x200, 0), AccessKind::Read).unwrap();
-    let warm_same_page =
-        m.access_at(cold, pid, va(0x200, 1), AccessKind::Read).unwrap();
-    let cold_next_page =
-        m.access_at(cold * 2, pid, va(0x201, 0), AccessKind::Read).unwrap();
+    let warm_same_page = m.access_at(cold, pid, va(0x200, 1), AccessKind::Read).unwrap();
+    let cold_next_page = m.access_at(cold * 2, pid, va(0x201, 0), AccessKind::Read).unwrap();
     assert!(cold >= 1000, "first touch pays the walk: {cold}");
     assert!(warm_same_page < 200, "same page reuses the TLB entry: {warm_same_page}");
     assert!(cold_next_page >= 1000, "new page pays a fresh walk: {cold_next_page}");
@@ -66,9 +63,8 @@ fn overlay_read_after_flush_resolves_through_oms() {
     m.map_range(pid, Vpn::new(0x400), 600).unwrap();
 
     // Stream enough lines to evict everything (600 pages > 2 MB L3).
-    let wash: Vec<TraceOp> = (0..600u64 * 64)
-        .map(|i| TraceOp::Load(va(0x400 + i / 64, i % 64)))
-        .collect();
+    let wash: Vec<TraceOp> =
+        (0..600u64 * 64).map(|i| TraceOp::Load(va(0x400 + i / 64, i % 64))).collect();
     run_trace(&mut m, pid, &wash).unwrap();
 
     let lat = m.access_at(10_000_000, pid, va(0x300, 7), AccessKind::Read).unwrap();
@@ -167,9 +163,7 @@ fn cross_core_coherence_updates_remote_tlbs_without_shootdown() {
     assert!(m.tlb_of(1).stats().obit_updates.get() >= 1);
 
     // And a timed read on core 1 works (hits the overlay address).
-    let lat = m
-        .access_at_core(200_000, 1, pid, va(0x100, 0), AccessKind::Read)
-        .unwrap();
+    let lat = m.access_at_core(200_000, 1, pid, va(0x100, 0), AccessKind::Read).unwrap();
     assert!(lat < 1000, "core 1 must not re-walk: its TLB entry is still valid, got {lat}");
 }
 
@@ -202,11 +196,7 @@ fn refork_materializes_parent_overlays() {
     assert!(m.overlay().overlay_count() >= 1);
 
     let ck2 = m.fork(parent).unwrap(); // must commit the overlays first
-    assert_eq!(
-        m.overlay().overlay_count(),
-        0,
-        "fork must materialize the parent's overlays"
-    );
+    assert_eq!(m.overlay().overlay_count(), 0, "fork must materialize the parent's overlays");
     assert_eq!(m.peek(ck2, va(0x100, 0)).unwrap(), 2, "new checkpoint sees current data");
     assert_eq!(m.peek(ck2, va(0x101, 5)).unwrap(), 9);
     assert_eq!(m.peek(ck1, va(0x100, 0)).unwrap(), 1, "old checkpoint unchanged");

@@ -185,15 +185,17 @@ pub fn uf_like_suite(scale: f64, seed: u64) -> Vec<MatrixSpec> {
         }
     }
     // 15 banded matrices, bandwidth sweep (high L for wide bands).
-    for (i, bw) in [0usize, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128]
-        .into_iter()
-        .enumerate()
+    for (i, bw) in
+        [0usize, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128].into_iter().enumerate()
     {
         idx += 1;
         // Round to a multiple of 8 so rows stay line-aligned (the timed
         // SpMV paths require line-aligned columns).
         let n = (nnz(20_000) / (2 * bw + 1)).clamp(64, 4096) / 8 * 8;
-        out.push(MatrixSpec { name: format!("banded_bw{bw}_{i}"), matrix: banded(n, bw, seed + idx) });
+        out.push(MatrixSpec {
+            name: format!("banded_bw{bw}_{i}"),
+            matrix: banded(n, bw, seed + idx),
+        });
     }
     // 15 block matrices, block-size sweep.
     for (i, b) in [1usize, 2, 2, 3, 3, 4, 4, 5, 6, 6, 8, 8, 10, 12, 16].into_iter().enumerate() {
@@ -236,8 +238,7 @@ mod tests {
     fn suite_has_87_matrices_spanning_l() {
         let suite = uf_like_suite(0.05, 42);
         assert_eq!(suite.len(), 87);
-        let ls: Vec<f64> =
-            suite.iter().map(|s| nonzero_locality(&s.matrix, 64)).collect();
+        let ls: Vec<f64> = suite.iter().map(|s| nonzero_locality(&s.matrix, 64)).collect();
         let min = ls.iter().cloned().fold(f64::MAX, f64::min);
         let max = ls.iter().cloned().fold(f64::MIN, f64::max);
         assert!(min < 1.7, "suite must include poor-locality matrices, min={min}");
@@ -252,10 +253,7 @@ mod tests {
         let a = uniform_random(64, 64, 500, 7);
         let b = uniform_random(64, 64, 500, 7);
         assert_eq!(a.nnz(), b.nnz());
-        assert_eq!(
-            a.iter().collect::<Vec<_>>(),
-            b.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
     }
 
     #[test]

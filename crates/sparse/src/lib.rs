@@ -44,7 +44,10 @@ pub mod timed;
 
 pub use gen::{uf_like_suite, MatrixSpec};
 pub use matrix::{CsrMatrix, DenseMatrix, TripletMatrix};
-pub use metrics::{csr_bytes, csr_bytes_from_parts, ideal_bytes, nonzero_locality, overhead_vs_ideal, overlay_bytes_for_line_size};
+pub use metrics::{
+    csr_bytes, csr_bytes_from_parts, ideal_bytes, nonzero_locality, overhead_vs_ideal,
+    overlay_bytes_for_line_size,
+};
 pub use mtx::{read_mtx, write_mtx, MtxError};
 pub use overlay_repr::OverlayMatrix;
 pub use timed::{SpmvTiming, TimedSpmv};

@@ -98,9 +98,8 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<TripletMatrix, MtxError> {
     let mut lines = reader.lines().enumerate();
 
     // Header.
-    let (_, header) = lines
-        .next()
-        .ok_or(MtxError::Parse { line: 0, what: "empty input".into() })?;
+    let (_, header) =
+        lines.next().ok_or(MtxError::Parse { line: 0, what: "empty input".into() })?;
     let header = header?;
     let mut toks = header.split_whitespace();
     let banner = toks.next().unwrap_or("");
@@ -291,16 +290,10 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let bad_banner = "MatrixMarket matrix coordinate real general\n1 1 0\n";
-        assert!(matches!(
-            read_mtx(bad_banner.as_bytes()),
-            Err(MtxError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_mtx(bad_banner.as_bytes()), Err(MtxError::Parse { line: 1, .. })));
 
         let out_of_range = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(
-            read_mtx(out_of_range.as_bytes()),
-            Err(MtxError::Parse { line: 3, .. })
-        ));
+        assert!(matches!(read_mtx(out_of_range.as_bytes()), Err(MtxError::Parse { line: 3, .. })));
 
         let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
         let err = read_mtx(wrong_count.as_bytes()).unwrap_err();

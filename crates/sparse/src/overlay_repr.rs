@@ -99,10 +99,7 @@ impl OverlayMatrix {
             }
         } else {
             let page = line / LINES_PER_PAGE;
-            self.obitvecs
-                .entry(page)
-                .or_insert(OBitVector::EMPTY)
-                .set(line % LINES_PER_PAGE);
+            self.obitvecs.entry(page).or_insert(OBitVector::EMPTY).set(line % LINES_PER_PAGE);
         }
     }
 
@@ -160,11 +157,7 @@ impl OverlayMatrix {
         if self.lines.is_empty() {
             return 0.0;
         }
-        let nnz: usize = self
-            .lines
-            .values()
-            .map(|l| l.iter().filter(|&&v| v != 0.0).count())
-            .sum();
+        let nnz: usize = self.lines.values().map(|l| l.iter().filter(|&&v| v != 0.0).count()).sum();
         nnz as f64 / self.lines.len() as f64
     }
 }

@@ -105,9 +105,7 @@ impl TimedSpmv {
                 let line = r * lines_per_row + lr;
                 trace.push(TraceOp::Load(va(A_VPN, (line * LINE_SIZE) as u64)));
                 trace.push(TraceOp::Load(va(X_VPN, (lr * LINE_SIZE) as u64)));
-                trace.push(TraceOp::Compute(
-                    MAC_OPS_PER_VALUE * VALUES_PER_LINE as u32,
-                ));
+                trace.push(TraceOp::Compute(MAC_OPS_PER_VALUE * VALUES_PER_LINE as u32));
             }
             trace.push(TraceOp::Store(va(Y_VPN, (r * 8) as u64)));
         }

@@ -25,8 +25,7 @@ impl CheckpointDelta {
     /// Bytes this delta writes to the backing store: data lines plus one
     /// OBitVector word per dirty page.
     pub fn backing_bytes(&self) -> u64 {
-        let pages: std::collections::BTreeSet<u64> =
-            self.lines.keys().map(|&(p, _)| p).collect();
+        let pages: std::collections::BTreeSet<u64> = self.lines.keys().map(|&(p, _)| p).collect();
         self.lines.len() as u64 * LINE_SIZE as u64 + pages.len() as u64 * 8
     }
 }
@@ -193,10 +192,8 @@ impl Checkpointer {
     ///
     /// Propagates OMS failures.
     pub fn flush_to_oms(&mut self) -> PoResult<()> {
-        let opns: Vec<Opn> = (0..self.pages)
-            .map(opn_of)
-            .filter(|o| self.manager.has_overlay(*o))
-            .collect();
+        let opns: Vec<Opn> =
+            (0..self.pages).map(opn_of).filter(|o| self.manager.has_overlay(*o)).collect();
         for opn in opns {
             let cursor = &mut self.oms_cursor;
             let Checkpointer { manager, mem, .. } = self;

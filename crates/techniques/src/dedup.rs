@@ -77,7 +77,7 @@ impl DifferenceEngine {
             bases: Vec::new(),
             page_base: HashMap::new(),
             match_threshold,
-            next_frame: 0x1000, // frames 0x1000+ for bases
+            next_frame: 0x1000,     // frames 0x1000+ for bases
             oms_cursor: 0x100_0000, // OMS chunks live far above the bases
             stats: DedupStats::default(),
         }
@@ -99,9 +99,7 @@ impl DifferenceEngine {
     }
 
     fn matching_lines(&self, base: MainMemAddr, data: &[LineData; LINES_PER_PAGE]) -> usize {
-        (0..LINES_PER_PAGE)
-            .filter(|&l| self.base_line(base, l) == data[l])
-            .count()
+        (0..LINES_PER_PAGE).filter(|&l| self.base_line(base, l) == data[l]).count()
     }
 
     /// Inserts a page of data, deduplicating against the best existing
@@ -160,10 +158,8 @@ impl DifferenceEngine {
     ///
     /// Returns [`po_types::PoError::Corrupted`] for unknown pages.
     pub fn read_line(&self, opn: Opn, line: usize) -> PoResult<LineData> {
-        let base_idx = self
-            .page_base
-            .get(&opn)
-            .ok_or(po_types::PoError::Corrupted("page never inserted"))?;
+        let base_idx =
+            self.page_base.get(&opn).ok_or(po_types::PoError::Corrupted("page never inserted"))?;
         let base = self.bases[*base_idx];
         let phys = base.add((line * LINE_SIZE) as u64);
         if self.manager.has_overlay(opn) {
@@ -264,8 +260,8 @@ mod tests {
     fn threshold_controls_dedup_aggressiveness() {
         // 32 differing lines: dedup at threshold 16, not at 48.
         let mut variant = page(1);
-        for l in 0..32 {
-            variant[l] = LineData::splat(200 + l as u8);
+        for (l, v) in variant.iter_mut().take(32).enumerate() {
+            *v = LineData::splat(200 + l as u8);
         }
         let mut strict = DifferenceEngine::new(48);
         strict.insert_page(opn(0), &page(1)).unwrap();

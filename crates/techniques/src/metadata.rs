@@ -320,10 +320,7 @@ mod tests {
         s.protect_word(ro, WordProtection::ReadOnly).unwrap();
 
         // Guard word: both directions fault.
-        assert!(matches!(
-            s.checked_load(guard),
-            Err(po_types::PoError::ProtectionViolation(_))
-        ));
+        assert!(matches!(s.checked_load(guard), Err(po_types::PoError::ProtectionViolation(_))));
         assert!(s.checked_store(guard, 1).is_err());
         // Read-only word: load ok, store faults, data intact.
         assert_eq!(s.checked_load(ro).unwrap(), 42);
@@ -350,7 +347,8 @@ mod tests {
 
     #[test]
     fn protection_roundtrips_through_tags() {
-        for prot in [WordProtection::ReadWrite, WordProtection::ReadOnly, WordProtection::NoAccess] {
+        for prot in [WordProtection::ReadWrite, WordProtection::ReadOnly, WordProtection::NoAccess]
+        {
             assert_eq!(WordProtection::from_tag(prot.to_tag()), prot);
         }
     }
@@ -362,10 +360,7 @@ mod tests {
             s.metadata_store(VirtAddr::new(0x10_000 + line * 64), line as u8).unwrap();
         }
         for line in 0..64u64 {
-            assert_eq!(
-                s.metadata_load(VirtAddr::new(0x10_000 + line * 64)).unwrap(),
-                line as u8
-            );
+            assert_eq!(s.metadata_load(VirtAddr::new(0x10_000 + line * 64)).unwrap(), line as u8);
         }
     }
 }

@@ -84,10 +84,7 @@ impl FlexSuperPage {
     }
 
     fn segment_of(&self, vpn: Vpn) -> PoResult<(usize, usize)> {
-        let idx = self
-            .mapping
-            .index_of(vpn)
-            .ok_or(PoError::Unmapped(vpn.base()))?;
+        let idx = self.mapping.index_of(vpn).ok_or(PoError::Unmapped(vpn.base()))?;
         Ok((idx / PAGES_PER_SEGMENT, idx % PAGES_PER_SEGMENT))
     }
 

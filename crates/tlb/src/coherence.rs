@@ -77,7 +77,12 @@ mod tests {
             vpn: Vpn::new(vpn),
             pte: Pte {
                 ppn: Ppn::new(1),
-                flags: PteFlags { present: true, writable: false, cow: true, overlay_enabled: true },
+                flags: PteFlags {
+                    present: true,
+                    writable: false,
+                    cow: true,
+                    overlay_enabled: true,
+                },
             },
             obitvec: OBitVector::EMPTY,
         }
@@ -124,7 +129,8 @@ mod tests {
     fn broadcast_to_empty_system_is_zero() {
         let mut tlbs: Vec<Tlb> = vec![Tlb::new(TlbConfig::table2())];
         let opn = Opn::encode(Asid::new(1), Vpn::new(1));
-        let n = broadcast_overlaying_write(&mut tlbs, OverlayingReadExclusive::new(opn, 0)).unwrap();
+        let n =
+            broadcast_overlaying_write(&mut tlbs, OverlayingReadExclusive::new(opn, 0)).unwrap();
         assert_eq!(n, 0);
     }
 }

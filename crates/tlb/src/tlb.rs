@@ -167,13 +167,9 @@ impl TlbArray {
             return;
         }
         // Otherwise pick an invalid way, else the LRU way.
-        let way = (0..self.ways)
-            .find(|&w| self.entries[base + w].is_none())
-            .unwrap_or_else(|| {
-                (0..self.ways)
-                    .max_by_key(|&w| self.ranks[base + w])
-                    .expect("nonzero ways")
-            });
+        let way = (0..self.ways).find(|&w| self.entries[base + w].is_none()).unwrap_or_else(|| {
+            (0..self.ways).max_by_key(|&w| self.ranks[base + w]).expect("nonzero ways")
+        });
         self.entries[base + way] = Some(entry);
         self.touch(set, way);
     }
@@ -284,7 +280,13 @@ impl Tlb {
     /// (§4.3.3): if this TLB caches the page, the bit is set (overlaying
     /// write) or cleared in place. Returns `true` if any cached entry was
     /// updated.
-    pub fn coherence_obit_update(&mut self, asid: Asid, vpn: Vpn, line: usize, present: bool) -> bool {
+    pub fn coherence_obit_update(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        line: usize,
+        present: bool,
+    ) -> bool {
         let mut hit = false;
         for array in [&mut self.l1, &mut self.l2] {
             if let Some(e) = array.entry_mut(asid, vpn) {

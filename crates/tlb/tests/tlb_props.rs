@@ -32,12 +32,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     let asid = 1u16..4;
     let vpn = 0u64..64;
     prop_oneof![
-        (asid.clone(), vpn.clone(), 0u64..1024)
-            .prop_map(|(asid, vpn, ppn)| Op::Fill { asid, vpn, ppn }),
+        (asid.clone(), vpn.clone(), 0u64..1024).prop_map(|(asid, vpn, ppn)| Op::Fill {
+            asid,
+            vpn,
+            ppn
+        }),
         (asid.clone(), vpn.clone()).prop_map(|(asid, vpn)| Op::Lookup { asid, vpn }),
         (asid.clone(), vpn.clone()).prop_map(|(asid, vpn)| Op::Shootdown { asid, vpn }),
-        (asid.clone(), vpn.clone(), 0usize..64)
-            .prop_map(|(asid, vpn, line)| Op::ObitSet { asid, vpn, line }),
+        (asid.clone(), vpn.clone(), 0usize..64).prop_map(|(asid, vpn, line)| Op::ObitSet {
+            asid,
+            vpn,
+            line
+        }),
         asid.prop_map(|asid| Op::FlushAsid { asid }),
     ]
 }

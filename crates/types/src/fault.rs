@@ -1,0 +1,336 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The paper's only discussed failure mode — the Overlay Memory Store
+//! running dry and the OS refusing to grow it (§4.4.3) — is one of
+//! several ways a real overlay-capable memory system can degrade. This
+//! module provides a seeded, reproducible way to exercise all of them:
+//! a [`FaultPlan`] names the [`FaultSite`]s that may fire (each with a
+//! per-query probability or an explicit schedule of query indices), and
+//! a [`FaultInjector`] handle is threaded through the OS model, the
+//! overlay manager, the DRAM model and the machine. The default
+//! injector is inert: [`FaultInjector::none`] carries no state and its
+//! [`fire`](FaultInjector::fire) fast-path is a single `Option`
+//! discriminant test, so benchmarks and production-style runs pay
+//! nothing.
+//!
+//! Determinism contract: with the same plan (same seed, same site
+//! configuration) the same sequence of `fire` calls produces the same
+//! sequence of decisions, independent of wall-clock or platform.
+//!
+//! # Example
+//!
+//! ```
+//! use po_types::fault::{FaultInjector, FaultPlan, FaultSite};
+//!
+//! // Refuse ~30% of OMS grow requests, deterministically.
+//! let plan = FaultPlan::new(0xC0FFEE).with_probability(FaultSite::OmsGrowRefused, 0.3);
+//! let inj = FaultInjector::from_plan(plan);
+//! let refusals = (0..1000).filter(|_| inj.fire(FaultSite::OmsGrowRefused)).count();
+//! assert!(refusals > 200 && refusals < 400);
+//! assert_eq!(inj.injected(FaultSite::OmsGrowRefused), refusals as u64);
+//!
+//! // The default injector never fires and costs nothing.
+//! let none = FaultInjector::none();
+//! assert!(!none.fire(FaultSite::OmsGrowRefused));
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// Places in the simulated system where a fault can be injected.
+///
+/// Each variant corresponds to one guarded decision point in a model
+/// crate; the enum lives here in `po-types` so every layer shares the
+/// same vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// The OS refuses to grant the overlay manager another OMS chunk
+    /// (§4.4.3: memory pressure — the one failure mode the paper names).
+    OmsGrowRefused,
+    /// The OS frame allocator is exhausted: `alloc_frame` fails even
+    /// though the simulated DRAM capacity is not actually consumed.
+    FrameAllocExhausted,
+    /// An OMT-cache entry is corrupted: the entry is dropped and the
+    /// controller must re-walk the in-memory OMT (detected-and-
+    /// discarded ECC model, not silent data corruption).
+    OmtCacheCorruption,
+    /// A DRAM read suffers a transient (correctable) error and must be
+    /// retried, costing extra latency.
+    DramReadError,
+    /// A TLB shootdown IPI times out and must be re-sent, stalling the
+    /// initiating core for an extra round-trip.
+    TlbShootdownTimeout,
+    /// The OMS allocator transiently fails an allocation even though
+    /// free segments exist (controller metadata glitch), forcing the
+    /// caller through the grow/reclaim path.
+    OmsAllocFailed,
+}
+
+impl FaultSite {
+    /// All sites, for iteration in reports and tests.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::OmsGrowRefused,
+        FaultSite::FrameAllocExhausted,
+        FaultSite::OmtCacheCorruption,
+        FaultSite::DramReadError,
+        FaultSite::TlbShootdownTimeout,
+        FaultSite::OmsAllocFailed,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultSite::OmsGrowRefused => 0,
+            FaultSite::FrameAllocExhausted => 1,
+            FaultSite::OmtCacheCorruption => 2,
+            FaultSite::DramReadError => 3,
+            FaultSite::TlbShootdownTimeout => 4,
+            FaultSite::OmsAllocFailed => 5,
+        }
+    }
+}
+
+const NUM_SITES: usize = FaultSite::ALL.len();
+
+/// How one site decides whether a given query fires.
+#[derive(Clone, Debug, Default)]
+enum Trigger {
+    /// Never fires (default for unconfigured sites).
+    #[default]
+    Never,
+    /// Fires independently on each query with this probability.
+    Probability(f64),
+    /// Fires exactly on these 0-based query indices (per-site counter).
+    Schedule(BTreeSet<u64>),
+}
+
+/// A seeded description of which faults fire where.
+///
+/// Build one with [`FaultPlan::new`], then chain
+/// [`with_probability`](FaultPlan::with_probability) /
+/// [`at_queries`](FaultPlan::at_queries) calls, and hand it to
+/// [`FaultInjector::from_plan`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: [Trigger; NUM_SITES],
+}
+
+impl FaultPlan {
+    /// An empty plan (no site fires) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, triggers: Default::default() }
+    }
+
+    /// Makes `site` fire independently on each query with probability
+    /// `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_probability(mut self, site: FaultSite, p: f64) -> Self {
+        self.triggers[site.index()] = Trigger::Probability(p.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Makes `site` fire exactly on the given 0-based query indices
+    /// (each site counts its own queries).
+    #[must_use]
+    pub fn at_queries<I: IntoIterator<Item = u64>>(mut self, site: FaultSite, queries: I) -> Self {
+        self.triggers[site.index()] = Trigger::Schedule(queries.into_iter().collect());
+        self
+    }
+}
+
+/// Mutable per-injector state, shared by all clones of a handle.
+#[derive(Debug)]
+struct FaultState {
+    rng: SplitMix64,
+    triggers: [Trigger; NUM_SITES],
+    queries: [u64; NUM_SITES],
+    injected: [u64; NUM_SITES],
+}
+
+/// A cloneable handle asked "does a fault fire here?" at each guarded
+/// decision point.
+///
+/// All clones of a handle share one state: the machine hands clones to
+/// the OS model, the overlay manager and the DRAM model, and a single
+/// report covers them all. [`FaultInjector::none`] (also `Default`) is
+/// inert and allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector(Option<Arc<Mutex<FaultState>>>);
+
+impl FaultInjector {
+    /// The inert injector: never fires, never allocates.
+    #[inline]
+    pub const fn none() -> Self {
+        Self(None)
+    }
+
+    /// Builds an active injector executing `plan`.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        Self(Some(Arc::new(Mutex::new(FaultState {
+            rng: SplitMix64::new(plan.seed),
+            triggers: plan.triggers,
+            queries: [0; NUM_SITES],
+            injected: [0; NUM_SITES],
+        }))))
+    }
+
+    /// `true` if this handle can ever fire (i.e. was built from a plan).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Asks whether a fault fires at `site`. Counts the query, and the
+    /// injection if it fires. The no-plan fast path is a single
+    /// discriminant test.
+    #[inline]
+    pub fn fire(&self, site: FaultSite) -> bool {
+        match &self.0 {
+            None => false,
+            Some(state) => Self::fire_slow(state, site),
+        }
+    }
+
+    fn fire_slow(state: &Mutex<FaultState>, site: FaultSite) -> bool {
+        // Lock poisoning cannot occur: no code panics while holding
+        // this mutex (the closure below is panic-free), so unwrap_or_else
+        // recovers the guard rather than crashing the simulation.
+        let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
+        let i = site.index();
+        let q = s.queries[i];
+        s.queries[i] += 1;
+        let fires = match &s.triggers[i] {
+            Trigger::Never => false,
+            Trigger::Probability(p) => {
+                let p = *p;
+                s.rng.next_f64() < p
+            }
+            Trigger::Schedule(set) => set.contains(&q),
+        };
+        if fires {
+            s.injected[i] += 1;
+        }
+        fires
+    }
+
+    /// Number of times `site` has been queried.
+    pub fn queries(&self, site: FaultSite) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.lock().unwrap_or_else(|e| e.into_inner()).queries[site.index()])
+    }
+
+    /// Number of faults injected at `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.lock().unwrap_or_else(|e| e.into_inner()).injected[site.index()])
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.lock().unwrap_or_else(|e| e.into_inner()).injected.iter().sum())
+    }
+}
+
+/// SplitMix64 (Steele, Lea, Flood 2014) — the same engine the rand shim
+/// uses, duplicated here so `po-types` stays dependency-free.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_injector_never_fires_and_counts_nothing() {
+        let inj = FaultInjector::none();
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                assert!(!inj.fire(site));
+            }
+            assert_eq!(inj.queries(site), 0);
+            assert_eq!(inj.injected(site), 0);
+        }
+        assert!(!inj.is_active());
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn probability_trigger_is_deterministic_per_seed() {
+        let mk = || {
+            FaultInjector::from_plan(
+                FaultPlan::new(42).with_probability(FaultSite::DramReadError, 0.5),
+            )
+        };
+        let (a, b) = (mk(), mk());
+        let fa: Vec<bool> = (0..256).map(|_| a.fire(FaultSite::DramReadError)).collect();
+        let fb: Vec<bool> = (0..256).map(|_| b.fire(FaultSite::DramReadError)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&x| x) && fa.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn schedule_trigger_fires_exactly_on_listed_queries() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(0).at_queries(FaultSite::OmsGrowRefused, [0, 3, 4]),
+        );
+        let fired: Vec<bool> = (0..6).map(|_| inj.fire(FaultSite::OmsGrowRefused)).collect();
+        assert_eq!(fired, [true, false, false, true, true, false]);
+        assert_eq!(inj.injected(FaultSite::OmsGrowRefused), 3);
+        assert_eq!(inj.queries(FaultSite::OmsGrowRefused), 6);
+    }
+
+    #[test]
+    fn sites_count_independently_and_clones_share_state() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(7)
+                .with_probability(FaultSite::OmsGrowRefused, 1.0)
+                .with_probability(FaultSite::FrameAllocExhausted, 0.0),
+        );
+        let clone = inj.clone();
+        assert!(clone.fire(FaultSite::OmsGrowRefused));
+        assert!(!clone.fire(FaultSite::FrameAllocExhausted));
+        assert_eq!(inj.injected(FaultSite::OmsGrowRefused), 1);
+        assert_eq!(inj.injected(FaultSite::FrameAllocExhausted), 0);
+        assert_eq!(inj.total_injected(), 1);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let always = FaultInjector::from_plan(
+            FaultPlan::new(1).with_probability(FaultSite::TlbShootdownTimeout, 7.5),
+        );
+        assert!(always.fire(FaultSite::TlbShootdownTimeout));
+        let never = FaultInjector::from_plan(
+            FaultPlan::new(1).with_probability(FaultSite::TlbShootdownTimeout, -3.0),
+        );
+        assert!(!never.fire(FaultSite::TlbShootdownTimeout));
+    }
+}

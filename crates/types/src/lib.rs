@@ -36,6 +36,7 @@
 pub mod access;
 pub mod addr;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod line;
 pub mod obitvec;
@@ -44,6 +45,7 @@ pub mod stats;
 pub use access::{AccessKind, MemoryAccess};
 pub use addr::{Asid, MainMemAddr, Opn, PhysAddr, Ppn, VirtAddr, Vpn};
 pub use error::{PoError, PoResult};
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use line::LineData;
 pub use obitvec::OBitVector;
 pub use stats::Counter;

@@ -74,10 +74,7 @@ impl FrameAllocator {
 
     /// Returns a frame to the pool.
     pub fn free(&mut self, ppn: Ppn) {
-        debug_assert!(
-            !self.free_list.contains(&ppn),
-            "double free of frame {ppn:?}"
-        );
+        debug_assert!(!self.free_list.contains(&ppn), "double free of frame {ppn:?}");
         self.free_list.push(ppn);
     }
 

@@ -11,7 +11,9 @@ use crate::frame::FrameAllocator;
 use crate::page_table::{PageTable, Pte, PteFlags};
 use po_dram::DataStore;
 use po_types::geometry::PAGE_SIZE;
-use po_types::{Asid, Counter, MainMemAddr, PoError, PoResult, Ppn, VirtAddr, Vpn};
+use po_types::{
+    Asid, Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult, Ppn, VirtAddr, Vpn,
+};
 use std::collections::HashMap;
 
 /// Configuration of the VM substrate.
@@ -61,6 +63,7 @@ pub struct OsModel {
     refcounts: HashMap<Ppn, u32>,
     next_asid: u16,
     stats: OsStats,
+    faults: FaultInjector,
 }
 
 impl OsModel {
@@ -72,7 +75,14 @@ impl OsModel {
             refcounts: HashMap::new(),
             next_asid: 1,
             stats: OsStats::default(),
+            faults: FaultInjector::none(),
         }
+    }
+
+    /// Installs a fault injector; [`FaultSite::OmsGrowRefused`] and
+    /// [`FaultSite::FrameAllocExhausted`] are honored here.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Returns OS statistics.
@@ -101,6 +111,16 @@ impl OsModel {
         Ok(asid)
     }
 
+    /// Frame allocation with the [`FaultSite::FrameAllocExhausted`]
+    /// guard: an injected fault makes the allocator report exhaustion
+    /// without consuming capacity.
+    fn alloc_checked(&mut self) -> PoResult<Ppn> {
+        if self.faults.fire(FaultSite::FrameAllocExhausted) {
+            return Err(PoError::OutOfMemory);
+        }
+        self.allocator.alloc()
+    }
+
     fn table(&self, asid: Asid) -> PoResult<&PageTable> {
         self.processes.get(&asid).ok_or(PoError::Corrupted("unknown process"))
     }
@@ -115,7 +135,7 @@ impl OsModel {
     ///
     /// Propagates allocator exhaustion.
     pub fn map_anonymous(&mut self, asid: Asid, vpn: Vpn, writable: bool) -> PoResult<Ppn> {
-        let ppn = self.allocator.alloc()?;
+        let ppn = self.alloc_checked()?;
         self.refcounts.insert(ppn, 1);
         let pte = Pte {
             ppn,
@@ -126,7 +146,13 @@ impl OsModel {
     }
 
     /// Maps a range of `count` anonymous pages starting at `start`.
-    pub fn map_range(&mut self, asid: Asid, start: Vpn, count: u64, writable: bool) -> PoResult<()> {
+    pub fn map_range(
+        &mut self,
+        asid: Asid,
+        start: Vpn,
+        count: u64,
+        writable: bool,
+    ) -> PoResult<()> {
         for i in 0..count {
             self.map_anonymous(asid, Vpn::new(start.raw() + i), writable)?;
         }
@@ -141,7 +167,7 @@ impl OsModel {
     ///
     /// Propagates allocator exhaustion.
     pub fn alloc_frame(&mut self) -> PoResult<Ppn> {
-        let ppn = self.allocator.alloc()?;
+        let ppn = self.alloc_checked()?;
         self.refcounts.insert(ppn, 0);
         Ok(ppn)
     }
@@ -166,10 +192,7 @@ impl OsModel {
     /// Enables overlay semantics on an existing mapping (the OS-visible
     /// switch of §1: overlays can be "turned on or off").
     pub fn enable_overlays(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
-        let pte = self
-            .table_mut(asid)?
-            .entry_mut(vpn)
-            .ok_or(PoError::Unmapped(vpn.base()))?;
+        let pte = self.table_mut(asid)?.entry_mut(vpn).ok_or(PoError::Unmapped(vpn.base()))?;
         pte.flags.overlay_enabled = true;
         Ok(())
     }
@@ -279,7 +302,7 @@ impl OsModel {
             return Ok(WriteOutcome { copied_page: false, new_ppn: None, tlb_shootdown: true });
         }
         // Shared: copy the whole page to a fresh frame (Figure 3a).
-        let new_ppn = self.allocator.alloc()?;
+        let new_ppn = self.alloc_checked()?;
         mem.copy_frame(FrameAllocator::frame_addr(pte.ppn), FrameAllocator::frame_addr(new_ppn));
         *self.refcounts.get_mut(&pte.ppn).expect("shared frame tracked") -= 1;
         self.refcounts.insert(new_ppn, 1);
@@ -299,10 +322,7 @@ impl OsModel {
     ///
     /// Returns [`PoError::Unmapped`] if the page was not mapped.
     pub fn unmap(&mut self, asid: Asid, vpn: Vpn, mem: &mut DataStore) -> PoResult<()> {
-        let pte = self
-            .table_mut(asid)?
-            .unmap(vpn)
-            .ok_or(PoError::Unmapped(vpn.base()))?;
+        let pte = self.table_mut(asid)?.unmap(vpn).ok_or(PoError::Unmapped(vpn.base()))?;
         let refs = self.refcounts.entry(pte.ppn).or_insert(1);
         *refs -= 1;
         if *refs == 0 {
@@ -340,6 +360,11 @@ impl OsModel {
     ///
     /// Propagates allocator exhaustion.
     pub fn grant_oms_chunk(&mut self, frames: u64) -> PoResult<MainMemAddr> {
+        if self.faults.fire(FaultSite::OmsGrowRefused) {
+            // The OS is under memory pressure and declines to grow the
+            // OMS (§4.4.3); the manager must reclaim or fail the access.
+            return Err(PoError::OutOfMemory);
+        }
         let base = self.allocator.alloc_contiguous(frames)?;
         Ok(FrameAllocator::frame_addr(base))
     }

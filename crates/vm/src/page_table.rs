@@ -155,12 +155,7 @@ impl PageTable {
             let mut keys: Vec<_> = node.children.keys().copied().collect();
             keys.sort_unstable();
             for k in keys {
-                walk(
-                    &node.children[&k],
-                    (prefix << INDEX_BITS) | k as u64,
-                    depth + 1,
-                    out,
-                );
+                walk(&node.children[&k], (prefix << INDEX_BITS) | k as u64, depth + 1, out);
             }
         }
         walk(&self.root, 0, 0, &mut out);

@@ -1,9 +1,9 @@
 //! Property tests for the 4-level radix page table and the OS model,
 //! checked against flat-map oracles.
 
-use po_vm::{OsModel, PageTable, Pte, PteFlags, VmConfig};
 use po_dram::DataStore;
 use po_types::{Ppn, VirtAddr, Vpn};
+use po_vm::{OsModel, PageTable, Pte, PteFlags, VmConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -79,23 +79,158 @@ pub fn spec_suite() -> Vec<WorkloadSpec> {
     use WorkloadType::*;
     vec![
         // ---- Type 1: low write working set --------------------------
-        WorkloadSpec { name: "bwaves", wtype: LowWriteSet, dirty_pages_per_minstr: 0.6, lines_per_dirty_page: 24, temporal_clustering: 0.2, reads_per_write: 12, compute_per_mem: 3, read_pages: 800 },
-        WorkloadSpec { name: "hmmer", wtype: LowWriteSet, dirty_pages_per_minstr: 0.3, lines_per_dirty_page: 16, temporal_clustering: 0.3, reads_per_write: 14, compute_per_mem: 4, read_pages: 600 },
-        WorkloadSpec { name: "libq", wtype: LowWriteSet, dirty_pages_per_minstr: 0.8, lines_per_dirty_page: 32, temporal_clustering: 0.1, reads_per_write: 10, compute_per_mem: 3, read_pages: 900 },
-        WorkloadSpec { name: "sphinx3", wtype: LowWriteSet, dirty_pages_per_minstr: 0.5, lines_per_dirty_page: 12, temporal_clustering: 0.2, reads_per_write: 16, compute_per_mem: 3, read_pages: 700 },
-        WorkloadSpec { name: "tonto", wtype: LowWriteSet, dirty_pages_per_minstr: 0.4, lines_per_dirty_page: 20, temporal_clustering: 0.2, reads_per_write: 12, compute_per_mem: 4, read_pages: 500 },
+        WorkloadSpec {
+            name: "bwaves",
+            wtype: LowWriteSet,
+            dirty_pages_per_minstr: 0.6,
+            lines_per_dirty_page: 24,
+            temporal_clustering: 0.2,
+            reads_per_write: 12,
+            compute_per_mem: 3,
+            read_pages: 800,
+        },
+        WorkloadSpec {
+            name: "hmmer",
+            wtype: LowWriteSet,
+            dirty_pages_per_minstr: 0.3,
+            lines_per_dirty_page: 16,
+            temporal_clustering: 0.3,
+            reads_per_write: 14,
+            compute_per_mem: 4,
+            read_pages: 600,
+        },
+        WorkloadSpec {
+            name: "libq",
+            wtype: LowWriteSet,
+            dirty_pages_per_minstr: 0.8,
+            lines_per_dirty_page: 32,
+            temporal_clustering: 0.1,
+            reads_per_write: 10,
+            compute_per_mem: 3,
+            read_pages: 900,
+        },
+        WorkloadSpec {
+            name: "sphinx3",
+            wtype: LowWriteSet,
+            dirty_pages_per_minstr: 0.5,
+            lines_per_dirty_page: 12,
+            temporal_clustering: 0.2,
+            reads_per_write: 16,
+            compute_per_mem: 3,
+            read_pages: 700,
+        },
+        WorkloadSpec {
+            name: "tonto",
+            wtype: LowWriteSet,
+            dirty_pages_per_minstr: 0.4,
+            lines_per_dirty_page: 20,
+            temporal_clustering: 0.2,
+            reads_per_write: 12,
+            compute_per_mem: 4,
+            read_pages: 500,
+        },
         // ---- Type 2: full-page writers ------------------------------
-        WorkloadSpec { name: "bzip2", wtype: DensePages, dirty_pages_per_minstr: 26.0, lines_per_dirty_page: 60, temporal_clustering: 0.15, reads_per_write: 3, compute_per_mem: 3, read_pages: 900 },
-        WorkloadSpec { name: "cactus", wtype: DensePages, dirty_pages_per_minstr: 22.0, lines_per_dirty_page: 62, temporal_clustering: 0.98, reads_per_write: 2, compute_per_mem: 2, read_pages: 900 },
-        WorkloadSpec { name: "lbm", wtype: DensePages, dirty_pages_per_minstr: 34.0, lines_per_dirty_page: 64, temporal_clustering: 0.1, reads_per_write: 2, compute_per_mem: 2, read_pages: 1100 },
-        WorkloadSpec { name: "leslie3d", wtype: DensePages, dirty_pages_per_minstr: 24.0, lines_per_dirty_page: 56, temporal_clustering: 0.2, reads_per_write: 3, compute_per_mem: 3, read_pages: 1000 },
-        WorkloadSpec { name: "soplex", wtype: DensePages, dirty_pages_per_minstr: 18.0, lines_per_dirty_page: 52, temporal_clustering: 0.25, reads_per_write: 4, compute_per_mem: 3, read_pages: 800 },
+        WorkloadSpec {
+            name: "bzip2",
+            wtype: DensePages,
+            dirty_pages_per_minstr: 26.0,
+            lines_per_dirty_page: 60,
+            temporal_clustering: 0.15,
+            reads_per_write: 3,
+            compute_per_mem: 3,
+            read_pages: 900,
+        },
+        WorkloadSpec {
+            name: "cactus",
+            wtype: DensePages,
+            dirty_pages_per_minstr: 22.0,
+            lines_per_dirty_page: 62,
+            temporal_clustering: 0.98,
+            reads_per_write: 2,
+            compute_per_mem: 2,
+            read_pages: 900,
+        },
+        WorkloadSpec {
+            name: "lbm",
+            wtype: DensePages,
+            dirty_pages_per_minstr: 34.0,
+            lines_per_dirty_page: 64,
+            temporal_clustering: 0.1,
+            reads_per_write: 2,
+            compute_per_mem: 2,
+            read_pages: 1100,
+        },
+        WorkloadSpec {
+            name: "leslie3d",
+            wtype: DensePages,
+            dirty_pages_per_minstr: 24.0,
+            lines_per_dirty_page: 56,
+            temporal_clustering: 0.2,
+            reads_per_write: 3,
+            compute_per_mem: 3,
+            read_pages: 1000,
+        },
+        WorkloadSpec {
+            name: "soplex",
+            wtype: DensePages,
+            dirty_pages_per_minstr: 18.0,
+            lines_per_dirty_page: 52,
+            temporal_clustering: 0.25,
+            reads_per_write: 4,
+            compute_per_mem: 3,
+            read_pages: 800,
+        },
         // ---- Type 3: sparse-page writers ----------------------------
-        WorkloadSpec { name: "astar", wtype: SparsePages, dirty_pages_per_minstr: 40.0, lines_per_dirty_page: 6, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 3, read_pages: 1000 },
-        WorkloadSpec { name: "Gems", wtype: SparsePages, dirty_pages_per_minstr: 55.0, lines_per_dirty_page: 8, temporal_clustering: 0.1, reads_per_write: 4, compute_per_mem: 3, read_pages: 1200 },
-        WorkloadSpec { name: "mcf", wtype: SparsePages, dirty_pages_per_minstr: 80.0, lines_per_dirty_page: 4, temporal_clustering: 0.05, reads_per_write: 4, compute_per_mem: 2, read_pages: 1400 },
-        WorkloadSpec { name: "milc", wtype: SparsePages, dirty_pages_per_minstr: 48.0, lines_per_dirty_page: 5, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 3, read_pages: 1100 },
-        WorkloadSpec { name: "omnet", wtype: SparsePages, dirty_pages_per_minstr: 60.0, lines_per_dirty_page: 3, temporal_clustering: 0.1, reads_per_write: 5, compute_per_mem: 2, read_pages: 1100 },
+        WorkloadSpec {
+            name: "astar",
+            wtype: SparsePages,
+            dirty_pages_per_minstr: 40.0,
+            lines_per_dirty_page: 6,
+            temporal_clustering: 0.1,
+            reads_per_write: 5,
+            compute_per_mem: 3,
+            read_pages: 1000,
+        },
+        WorkloadSpec {
+            name: "Gems",
+            wtype: SparsePages,
+            dirty_pages_per_minstr: 55.0,
+            lines_per_dirty_page: 8,
+            temporal_clustering: 0.1,
+            reads_per_write: 4,
+            compute_per_mem: 3,
+            read_pages: 1200,
+        },
+        WorkloadSpec {
+            name: "mcf",
+            wtype: SparsePages,
+            dirty_pages_per_minstr: 80.0,
+            lines_per_dirty_page: 4,
+            temporal_clustering: 0.05,
+            reads_per_write: 4,
+            compute_per_mem: 2,
+            read_pages: 1400,
+        },
+        WorkloadSpec {
+            name: "milc",
+            wtype: SparsePages,
+            dirty_pages_per_minstr: 48.0,
+            lines_per_dirty_page: 5,
+            temporal_clustering: 0.1,
+            reads_per_write: 5,
+            compute_per_mem: 3,
+            read_pages: 1100,
+        },
+        WorkloadSpec {
+            name: "omnet",
+            wtype: SparsePages,
+            dirty_pages_per_minstr: 60.0,
+            lines_per_dirty_page: 3,
+            temporal_clustering: 0.1,
+            reads_per_write: 5,
+            compute_per_mem: 2,
+            read_pages: 1100,
+        },
     ]
 }
 
@@ -107,7 +242,9 @@ mod tests {
     fn suite_has_five_of_each_type() {
         let suite = spec_suite();
         assert_eq!(suite.len(), 15);
-        for wtype in [WorkloadType::LowWriteSet, WorkloadType::DensePages, WorkloadType::SparsePages] {
+        for wtype in
+            [WorkloadType::LowWriteSet, WorkloadType::DensePages, WorkloadType::SparsePages]
+        {
             assert_eq!(suite.iter().filter(|s| s.wtype == wtype).count(), 5);
         }
     }

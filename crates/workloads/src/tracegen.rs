@@ -45,7 +45,10 @@ impl ReadStream {
             self.cold_cursor += 1;
             l
         };
-        TraceOp::Load(line_va(self.base_vpn + line / LINES_PER_PAGE as u64, line % LINES_PER_PAGE as u64))
+        TraceOp::Load(line_va(
+            self.base_vpn + line / LINES_PER_PAGE as u64,
+            line % LINES_PER_PAGE as u64,
+        ))
     }
 }
 
@@ -122,7 +125,8 @@ pub fn post_fork_trace(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Vec
     let unit = 1 + spec.compute_per_mem as u64;
     let write_instr: u64 = groups.iter().map(|g| g.len() as u64 / 2 * unit).sum();
     let read_ops = instructions.saturating_sub(write_instr) / unit;
-    let reads_between = if groups.is_empty() { read_ops } else { read_ops / (groups.len() as u64 + 1) };
+    let reads_between =
+        if groups.is_empty() { read_ops } else { read_ops / (groups.len() as u64 + 1) };
 
     let mut stream = ReadStream::new(base, spec.read_pages);
     let mut ops = Vec::new();
@@ -149,10 +153,7 @@ pub fn fork_traces(
     post_instructions: u64,
     seed: u64,
 ) -> (Vec<TraceOp>, Vec<TraceOp>) {
-    (
-        warmup_trace(spec, warmup_instructions, seed),
-        post_fork_trace(spec, post_instructions, seed),
-    )
+    (warmup_trace(spec, warmup_instructions, seed), post_fork_trace(spec, post_instructions, seed))
 }
 
 #[cfg(test)]
@@ -209,10 +210,7 @@ mod tests {
             std::collections::HashMap::new();
         for op in &ops {
             if let TraceOp::Store(va) = op {
-                per_page
-                    .entry(va.vpn().raw())
-                    .or_default()
-                    .insert(va.line_in_page() as u64);
+                per_page.entry(va.vpn().raw()).or_default().insert(va.line_in_page() as u64);
             }
         }
         for (page, lines) in per_page {
@@ -268,9 +266,6 @@ mod tests {
                 }
             }
         }
-        assert!(
-            max_gap < 1000,
-            "cactus same-page write gap should be tiny, got {max_gap}"
-        );
+        assert!(max_gap < 1000, "cactus same-page write gap should be tiny, got {max_gap}");
     }
 }

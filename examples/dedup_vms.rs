@@ -34,7 +34,7 @@ fn main() -> PoResult<()> {
             let mut page = template[p as usize];
             let diffs = rng.gen_range(0..=3);
             for _ in 0..diffs {
-                let line = rng.gen_range(0..64);
+                let line = rng.gen_range(0..64usize);
                 page[line] = LineData::splat(rng.gen());
             }
             let opn = Opn::encode(Asid::new(vm as u16 + 1), Vpn::new(p));

@@ -42,18 +42,9 @@ fn main() {
 
     println!("                       copy-on-write   overlay-on-write");
     println!("post-fork CPI        {:>15.3} {:>18.3}", cow.cpi, oow.cpi);
-    println!(
-        "extra memory (bytes) {:>15} {:>18}",
-        cow.extra_memory_bytes, oow.extra_memory_bytes
-    );
-    println!(
-        "pages copied         {:>15} {:>18}",
-        cow.pages_copied, oow.pages_copied
-    );
-    println!(
-        "overlaying writes    {:>15} {:>18}",
-        cow.overlaying_writes, oow.overlaying_writes
-    );
+    println!("extra memory (bytes) {:>15} {:>18}", cow.extra_memory_bytes, oow.extra_memory_bytes);
+    println!("pages copied         {:>15} {:>18}", cow.pages_copied, oow.pages_copied);
+    println!("overlaying writes    {:>15} {:>18}", cow.overlaying_writes, oow.overlaying_writes);
     println!(
         "\noverlay-on-write: {:.1}% faster, {:.1}% less extra memory",
         (1.0 - oow.cpi / cow.cpi) * 100.0,

@@ -45,12 +45,8 @@ fn main() -> PoResult<()> {
     // Recovery at the final checkpoint matches the live state exactly.
     let last = ck.restore(ITERATIONS - 1);
     for p in 0..PAGES {
-        for line in 0..64usize {
-            assert_eq!(
-                last[p as usize][line],
-                ck.read(p, line)?,
-                "page {p} line {line} diverged after recovery"
-            );
+        for (line, &got) in last[p as usize].iter().enumerate() {
+            assert_eq!(got, ck.read(p, line)?, "page {p} line {line} diverged after recovery");
         }
     }
     println!("full-state recovery verified against the live image ✓");

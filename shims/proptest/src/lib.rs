@@ -1,0 +1,575 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate reimplements the subset of the proptest API the reproduction's
+//! property tests use: the [`proptest!`] macro, range/`Just`/tuple
+//! strategies, `prop_map`, `prop_oneof!`, `prop::collection::{vec,
+//! btree_set}`, `prop::array::{uniform8, uniform32}`, `any::<T>()`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index in
+//!   the panic message instead of a minimized input.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test function's name (overridable with the `PROPTEST_SEED`
+//!   environment variable), so failures reproduce exactly across runs
+//!   and machines.
+
+use std::rc::Rc;
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn gen_value(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Whole-domain: raw bit patterns, NaNs and infinities included
+            // (mirrors proptest's f64::ANY spirit).
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy for the full domain of `T` (returned by `any`).
+    #[derive(Clone, Debug, Default)]
+    pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+    impl<T> AnyOf<T> {
+        /// Creates the strategy.
+        pub const fn new() -> Self {
+            Self(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> AnyOf<T> {
+        AnyOf::new()
+    }
+
+    /// `prop::collection::vec` and friends.
+    pub mod collection {
+        use super::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Collection size specification (mirrors `proptest::collection::
+        /// SizeRange`): a fixed length or a range of lengths.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            /// Inclusive lower bound.
+            pub lo: usize,
+            /// Exclusive upper bound.
+            pub hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                Self { lo: r.start, hi: r.end }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                Self { lo, hi: hi + 1 }
+            }
+        }
+
+        impl SizeRange {
+            fn draw(&self, rng: &mut TestRng) -> usize {
+                let span = (self.hi - self.lo).max(1) as u64;
+                self.lo + rng.below(span) as usize
+            }
+        }
+
+        /// Vector of `element` values with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, len: len.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.draw(rng);
+                (0..n).map(|_| self.element.gen_value(rng)).collect()
+            }
+        }
+
+        /// Set of up to `len` distinct `element` values (fewer if the
+        /// element domain is small — same contract as proptest).
+        pub fn btree_set<S>(element: S, len: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, len: len.into() }
+        }
+
+        /// See [`btree_set`].
+        #[derive(Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = self.len.draw(rng);
+                let mut set = BTreeSet::new();
+                // Bounded attempts: small domains can't reach the target.
+                for _ in 0..target.saturating_mul(4).max(8) {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.gen_value(rng));
+                }
+                set
+            }
+        }
+    }
+
+    /// `prop::array::uniformN`.
+    pub mod array {
+        use super::{Strategy, TestRng};
+
+        /// Fixed-size array strategy.
+        #[derive(Clone)]
+        pub struct UniformArray<S, const N: usize>(S);
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn gen_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+                std::array::from_fn(|_| self.0.gen_value(rng))
+            }
+        }
+
+        /// Array of 8 values drawn from `s`.
+        pub fn uniform8<S: Strategy>(s: S) -> UniformArray<S, 8> {
+            UniformArray(s)
+        }
+
+        /// Array of 32 values drawn from `s`.
+        pub fn uniform32<S: Strategy>(s: S) -> UniformArray<S, 32> {
+            UniformArray(s)
+        }
+    }
+
+    /// `prop::num`.
+    pub mod num {
+        /// Strategies over `f64`.
+        pub mod f64 {
+            /// Whole-domain `f64` strategy (NaNs included).
+            pub const ANY: super::super::AnyOf<f64> = super::super::AnyOf::new();
+        }
+    }
+
+    // Re-exported under the `prop::` paths tests spell out.
+    pub use self::{array as prop_array, collection as prop_collection};
+
+    /// Silences the unused-import warning for `BTreeSet` above.
+    const _: fn() -> BTreeSet<u8> = BTreeSet::new;
+}
+
+pub mod test_runner {
+    //! Test execution: configuration and the deterministic RNG.
+
+    /// Failure type property-test bodies can `return Err(..)` with
+    /// (mirrors `proptest::test_runner::TestCaseError`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used by all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name (FNV-1a), XORed with
+        /// `PROPTEST_SEED` when set, so failures replay exactly.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h ^= extra;
+                }
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The `prop::` module path tests import via the prelude.
+pub mod prop {
+    pub use crate::strategy::array;
+    pub use crate::strategy::collection;
+    pub use crate::strategy::num;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                // Bodies may `return Ok(())` early, as with real proptest,
+                // so each case runs as a `Result`-returning closure.
+                let run = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Err(e) = run(&mut rng) {
+                        panic!("test case rejected: {e:?}");
+                    }
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (deterministic seed from test name{})",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        if std::env::var("PROPTEST_SEED").is_ok() {
+                            " ^ PROPTEST_SEED"
+                        } else {
+                            ""
+                        },
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+// Keep the `Rc` import honest (used via strategy::BoxedStrategy).
+const _: fn(u8) -> Rc<u8> = Rc::new;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0u64..100,
+            pair in (0usize..4, any::<bool>()),
+            v in prop::collection::vec((0u8..10).prop_map(|b| b * 2), 1..20),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b % 2 == 0 && b < 20));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in prop::collection::vec(
+            prop_oneof![Just(1u8), Just(2u8), Just(3u8)], 64..65,
+        )) {
+            for p in &picks {
+                prop_assert!((1..=3).contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn same_name_same_sequence() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

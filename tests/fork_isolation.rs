@@ -21,9 +21,8 @@ struct WriteOp {
 }
 
 fn write_strategy() -> impl Strategy<Value = WriteOp> {
-    (any::<bool>(), 0u64..PAGES, 0u64..4096, any::<u8>()).prop_map(
-        |(by_parent, page, offset, value)| WriteOp { by_parent, page, offset, value },
-    )
+    (any::<bool>(), 0u64..PAGES, 0u64..4096, any::<u8>())
+        .prop_map(|(by_parent, page, offset, value)| WriteOp { by_parent, page, offset, value })
 }
 
 fn va(page: u64, offset: u64) -> VirtAddr {
@@ -31,11 +30,7 @@ fn va(page: u64, offset: u64) -> VirtAddr {
 }
 
 fn setup(overlay_mode: bool, init: &[(u64, u64, u8)]) -> (Machine, Asid, Asid) {
-    let config = if overlay_mode {
-        SystemConfig::table2_overlay()
-    } else {
-        SystemConfig::table2()
-    };
+    let config = if overlay_mode { SystemConfig::table2_overlay() } else { SystemConfig::table2() };
     let mut m = Machine::new(config).unwrap();
     let parent = m.spawn_process().unwrap();
     m.map_range(parent, Vpn::new(BASE_VPN), PAGES).unwrap();

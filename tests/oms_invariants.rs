@@ -3,7 +3,7 @@
 //! non-overlap of live segments, and split behavior.
 
 use page_overlays::overlay::{OverlayMemoryStore, SegmentClass};
-use page_overlays::types::{MainMemAddr, PoError};
+use page_overlays::types::{FaultInjector, FaultPlan, FaultSite, MainMemAddr, PoError};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -68,7 +68,7 @@ proptest! {
                     if !live.is_empty() {
                         let key = *live.keys().nth(i % live.len()).expect("nonempty");
                         let class = live.remove(&key).expect("present");
-                        store.free(MainMemAddr::new(key), class);
+                        store.free(MainMemAddr::new(key), class).unwrap();
                     }
                 }
                 Op::Grow(frames) => {
@@ -78,6 +78,68 @@ proptest! {
             }
             store.check_conservation().unwrap();
             // Live bytes match the allocator's own accounting.
+            let live_bytes: u64 = live.values().map(|c| c.bytes() as u64).sum();
+            prop_assert_eq!(store.bytes_in_use(), live_bytes);
+        }
+    }
+
+    /// DESIGN.md "Fault model & degradation": under a seeded fault plan
+    /// injecting allocation failures, plus refused growth once a budget
+    /// is spent, every operation either succeeds or fails cleanly with
+    /// `OverlayStoreExhausted` — and after *every* step the accounting
+    /// (`bytes_in_use + bytes_free == bytes_managed`), the structural
+    /// layout (free lists disjoint and chunk-bounded), and the model's
+    /// own view of live segments all still hold.
+    #[test]
+    fn oms_faulted_ops_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        seed in 0u64..1024,
+    ) {
+        let mut store = OverlayMemoryStore::new();
+        store.set_fault_injector(FaultInjector::from_plan(
+            FaultPlan::new(seed).with_probability(FaultSite::OmsAllocFailed, 0.2),
+        ));
+        store.add_chunk(MainMemAddr::new(0x10_0000), 2);
+        let mut live: BTreeMap<u64, SegmentClass> = BTreeMap::new();
+        let mut next_chunk = 0x100u64;
+        // The OS grants only this many further frames: past it, growth is
+        // refused and the store must keep operating on what it has.
+        let mut grow_budget = 6u64;
+
+        for op in &ops {
+            match *op {
+                Op::Alloc(class) => match store.allocate(class) {
+                    Ok(base) => {
+                        prop_assert_eq!(base.raw() % class.bytes() as u64, 0);
+                        live.insert(base.raw(), class);
+                    }
+                    // Real exhaustion and injected failure look the same
+                    // to the caller: a clean, retryable error.
+                    Err(PoError::OverlayStoreExhausted) => {}
+                    Err(e) => prop_assert!(false, "unexpected error {}", e),
+                },
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let key = *live.keys().nth(i % live.len()).expect("nonempty");
+                        let class = live.remove(&key).expect("present");
+                        store.free(MainMemAddr::new(key), class).unwrap();
+                    }
+                }
+                Op::Grow(frames) => {
+                    if grow_budget >= frames {
+                        grow_budget -= frames;
+                        store.add_chunk(MainMemAddr::new(next_chunk * 0x1000_0000), frames);
+                        next_chunk += 1;
+                    }
+                    // else: the OS refused the chunk; nothing changes.
+                }
+            }
+            store.check_conservation().unwrap();
+            store.verify_layout().unwrap();
+            prop_assert_eq!(
+                store.bytes_in_use() + store.bytes_free(),
+                store.bytes_managed()
+            );
             let live_bytes: u64 = live.values().map(|c| c.bytes() as u64).sum();
             prop_assert_eq!(store.bytes_in_use(), live_bytes);
         }
@@ -95,7 +157,7 @@ proptest! {
             }
         }
         for (base, class) in live {
-            store.free(base, class);
+            store.free(base, class).unwrap();
         }
         prop_assert_eq!(store.bytes_in_use(), 0);
         prop_assert_eq!(store.bytes_free(), store.bytes_managed());

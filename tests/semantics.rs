@@ -67,11 +67,7 @@ impl Harness {
             }
             Op::SimpleWrite { line, fill } => {
                 // Only legal if the line is already in the overlay.
-                let present = self
-                    .mgr
-                    .obitvec(opn())
-                    .map(|v| v.contains(line))
-                    .unwrap_or(false);
+                let present = self.mgr.obitvec(opn()).map(|v| v.contains(line)).unwrap_or(false);
                 if present {
                     self.mgr.write_line(opn(), line, LineData::splat(fill)).unwrap();
                     self.shadow[line] = LineData::splat(fill);
@@ -80,11 +76,7 @@ impl Harness {
                 }
             }
             Op::Evict { line } => {
-                let present = self
-                    .mgr
-                    .obitvec(opn())
-                    .map(|v| v.contains(line))
-                    .unwrap_or(false);
+                let present = self.mgr.obitvec(opn()).map(|v| v.contains(line)).unwrap_or(false);
                 if present {
                     let Harness { mgr, mem, cursor, .. } = self;
                     mgr.evict_line(opn(), line, mem, &mut |frames| {
@@ -111,15 +103,9 @@ impl Harness {
 
     /// The access-semantics check: every line reads per §2.1.
     fn check_all_lines(&self) {
-        let obv = self
-            .mgr
-            .obitvec(opn())
-            .unwrap_or(page_overlays::types::OBitVector::EMPTY);
+        let obv = self.mgr.obitvec(opn()).unwrap_or(page_overlays::types::OBitVector::EMPTY);
         for line in 0..64 {
-            let got = self
-                .mgr
-                .resolve_read(opn(), line, phys_line(line), &self.mem)
-                .unwrap();
+            let got = self.mgr.resolve_read(opn(), line, phys_line(line), &self.mem).unwrap();
             assert_eq!(got, self.shadow[line], "line {line}, obv={obv}");
             // Physical page is never modified by overlay operations.
             if !obv.contains(line) {
@@ -163,8 +149,8 @@ proptest! {
         let src = MainMemAddr::new(PHYS_FRAME);
         let Harness { mgr, mem, shadow, .. } = &mut h;
         mgr.copy_and_commit(opn(), src, dst, mem).unwrap();
-        for line in 0..64 {
-            assert_eq!(mem.read_line(dst.add((line * 64) as u64)), shadow[line], "line {line}");
+        for (line, expect) in shadow.iter().enumerate() {
+            assert_eq!(mem.read_line(dst.add((line * 64) as u64)), *expect, "line {line}");
         }
         prop_assert!(!h.mgr.has_overlay(opn()));
         prop_assert_eq!(h.mgr.overlay_memory_bytes(), 0);

@@ -9,11 +9,8 @@ const ROWS: usize = 24;
 const COLS: usize = 64;
 
 fn triplets_strategy() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0usize..ROWS, 0usize..COLS, -100i32..100),
-        0..120,
-    )
-    .prop_map(|v| v.into_iter().map(|(r, c, x)| (r, c, x as f64)).collect())
+    prop::collection::vec((0usize..ROWS, 0usize..COLS, -100i32..100), 0..120)
+        .prop_map(|v| v.into_iter().map(|(r, c, x)| (r, c, x as f64)).collect())
 }
 
 fn build(entries: &[(usize, usize, f64)]) -> TripletMatrix {

@@ -4,7 +4,9 @@
 //! shootdowns.
 
 use page_overlays::techniques::{Checkpointer, DifferenceEngine, SpeculativeRegion};
-use page_overlays::tlb::{broadcast_overlaying_write, OverlayingReadExclusive, Tlb, TlbConfig, TlbEntry};
+use page_overlays::tlb::{
+    broadcast_overlaying_write, OverlayingReadExclusive, Tlb, TlbConfig, TlbEntry,
+};
 use page_overlays::types::{Asid, LineData, OBitVector, Opn, Ppn, Vpn};
 use page_overlays::vm::{Pte, PteFlags};
 use proptest::prelude::*;
@@ -63,12 +65,12 @@ proptest! {
         for (i, snap) in snapshots.iter().enumerate() {
             let image = ck.restore(i);
             for page in 0..6u64 {
-                for line in 0..64usize {
+                for (line, &got) in image[page as usize].iter().enumerate() {
                     let expect = snap
                         .get(&(page, line))
                         .map(|&f| LineData::splat(f))
                         .unwrap_or(LineData::zeroed());
-                    prop_assert_eq!(image[page as usize][line], expect,
+                    prop_assert_eq!(got, expect,
                         "checkpoint {}, page {}, line {}", i, page, line);
                 }
             }

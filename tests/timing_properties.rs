@@ -5,9 +5,7 @@
 use page_overlays::dram::{DataStore, DramConfig, DramModel};
 use page_overlays::overlay::{OverlayConfig, OverlayManager};
 use page_overlays::sim::{CoreModel, Machine, SystemConfig};
-use page_overlays::types::{
-    AccessKind, Asid, LineData, MainMemAddr, Opn, PoError, VirtAddr, Vpn,
-};
+use page_overlays::types::{AccessKind, Asid, LineData, MainMemAddr, Opn, PoError, VirtAddr, Vpn};
 use proptest::prelude::*;
 
 proptest! {
@@ -86,7 +84,7 @@ proptest! {
             t += latest;
         }
         prop_assert!(first >= 1000, "cold access must pay the TLB walk, got {first}");
-        prop_assert!(latest >= 1 && latest <= 3, "steady state must be an L1 hit, got {latest}");
+        prop_assert!((1..=3).contains(&latest), "steady state must be an L1 hit, got {latest}");
     }
 }
 
@@ -99,9 +97,7 @@ fn oms_growth_failure_is_contained() {
     let opn = Opn::encode(Asid::new(1), Vpn::new(1));
     mgr.overlaying_write(opn, 5, LineData::splat(7)).unwrap();
 
-    let err = mgr
-        .evict_line(opn, 5, &mut mem, &mut |_| Err(PoError::OutOfMemory))
-        .unwrap_err();
+    let err = mgr.evict_line(opn, 5, &mut mem, &mut |_| Err(PoError::OutOfMemory)).unwrap_err();
     assert!(matches!(err, PoError::OutOfMemory));
     // State is consistent: line still present and readable, store empty.
     assert!(mgr.obitvec(opn).unwrap().contains(5));
@@ -153,10 +149,8 @@ fn overlay_mode_dodges_frame_exhaustion() {
     m.map_range(pid, Vpn::new(1), 2).unwrap();
     let _child = m.fork(pid).unwrap();
     for line in 0..64usize {
-        m.access_at(0, pid, VirtAddr::new(0x1000 + (line * 64) as u64), AccessKind::Write)
-            .unwrap();
-        m.access_at(0, pid, VirtAddr::new(0x2000 + (line * 64) as u64), AccessKind::Write)
-            .unwrap();
+        m.access_at(0, pid, VirtAddr::new(0x1000 + (line * 64) as u64), AccessKind::Write).unwrap();
+        m.access_at(0, pid, VirtAddr::new(0x2000 + (line * 64) as u64), AccessKind::Write).unwrap();
     }
     m.flush_overlays().unwrap();
     assert_eq!(m.overlay().overlay_count(), 2);

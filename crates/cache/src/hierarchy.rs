@@ -236,6 +236,53 @@ impl CacheHierarchy {
             }
         }
     }
+
+    /// Serializes all three levels, the prefetcher and hierarchy stats.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        self.l1.encode_snapshot(w);
+        self.l2.encode_snapshot(w);
+        self.l3.encode_snapshot(w);
+        self.prefetcher.encode_snapshot(w);
+        for c in [
+            &self.stats.accesses,
+            &self.stats.l1_hits,
+            &self.stats.l2_hits,
+            &self.stats.l3_hits,
+            &self.stats.misses,
+            &self.stats.prefetch_fills,
+        ] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a hierarchy with `config` geometry from
+    /// [`encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation or
+    /// malformed data; pass the same config the snapshot was taken with.
+    pub fn decode_snapshot(
+        config: HierarchyConfig,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let l1 = SetAssocCache::decode_snapshot(config.l1, r)?;
+        let l2 = SetAssocCache::decode_snapshot(config.l2, r)?;
+        let l3 = SetAssocCache::decode_snapshot(config.l3, r)?;
+        let prefetcher = StreamPrefetcher::decode_snapshot(config.prefetcher, r)?;
+        let mut stats = HierarchyStats::default();
+        for c in [
+            &mut stats.accesses,
+            &mut stats.l1_hits,
+            &mut stats.l2_hits,
+            &mut stats.l3_hits,
+            &mut stats.misses,
+            &mut stats.prefetch_fills,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        Ok(Self { l1, l2, l3, prefetcher, stats })
+    }
 }
 
 #[cfg(test)]

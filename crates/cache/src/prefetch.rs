@@ -152,6 +152,57 @@ impl StreamPrefetcher {
     pub fn active_streams(&self) -> usize {
         self.streams.len()
     }
+
+    /// Serializes stream entries (in table order), the LRU tick and
+    /// stats.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        w.put_u64(self.tick);
+        w.put_len(self.streams.len());
+        for s in &self.streams {
+            w.put_u64(s.last_demand);
+            w.put_u64(s.next_prefetch);
+            w.put_i64(s.direction);
+            w.put_bool(matches!(s.state, StreamState::Active));
+            w.put_u64(s.last_used);
+        }
+        for c in [&self.stats.trainings, &self.stats.issued, &self.stats.allocations] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a prefetcher with `config` from [`encode_snapshot`]
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation or an
+    /// oversized stream table.
+    pub fn decode_snapshot(
+        config: PrefetcherConfig,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let mut p = Self::new(config);
+        p.tick = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > p.config.streams {
+            return Err(po_types::PoError::Corrupted("snapshot stream table exceeds capacity"));
+        }
+        for _ in 0..n {
+            let last_demand = r.get_u64()?;
+            let next_prefetch = r.get_u64()?;
+            let direction = r.get_i64()?;
+            if direction != 1 && direction != -1 {
+                return Err(po_types::PoError::Corrupted("snapshot stream direction invalid"));
+            }
+            let state = if r.get_bool()? { StreamState::Active } else { StreamState::Allocated };
+            let last_used = r.get_u64()?;
+            p.streams.push(Stream { last_demand, next_prefetch, direction, state, last_used });
+        }
+        for c in [&mut p.stats.trainings, &mut p.stats.issued, &mut p.stats.allocations] {
+            c.add(r.get_u64()?);
+        }
+        Ok(p)
+    }
 }
 
 #[cfg(test)]

@@ -163,6 +163,49 @@ impl Replacement {
     pub fn sets(&self) -> usize {
         self.sets
     }
+
+    /// Serializes the mutable replacement state (geometry and policy come
+    /// from the cache config and are not re-encoded).
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        for s in &self.state {
+            w.put_u8(*s);
+        }
+        w.put_u16(self.psel);
+        w.put_u32(self.brrip_tick);
+    }
+
+    /// Rebuilds replacement state for a `kind`/`sets`/`ways` cache from
+    /// [`encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation or
+    /// out-of-range values.
+    pub fn decode_snapshot(
+        kind: PolicyKind,
+        sets: usize,
+        ways: usize,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let mut out = Self::new(kind, sets, ways);
+        let bound = match kind {
+            PolicyKind::Lru => ways as u8,
+            PolicyKind::Drrip => RRPV_MAX + 1,
+        };
+        for s in out.state.iter_mut() {
+            let v = r.get_u8()?;
+            if v >= bound {
+                return Err(po_types::PoError::Corrupted("snapshot replacement rank too large"));
+            }
+            *s = v;
+        }
+        out.psel = r.get_u16()?;
+        if out.psel > PSEL_MAX {
+            return Err(po_types::PoError::Corrupted("snapshot PSEL exceeds 10 bits"));
+        }
+        out.brrip_tick = r.get_u32()?;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -214,6 +214,46 @@ impl SetAssocCache {
     pub fn occupancy(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Serializes tags, valid/dirty bits, replacement state and stats.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        for way in &self.ways {
+            w.put_u64(way.tag);
+            w.put_bool(way.valid);
+            w.put_bool(way.dirty);
+        }
+        self.replacement.encode_snapshot(w);
+        for c in [&self.stats.hits, &self.stats.misses, &self.stats.fills, &self.stats.writebacks] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a cache with `config` geometry from [`encode_snapshot`]
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation or
+    /// malformed data; pass the same config the snapshot was taken with.
+    pub fn decode_snapshot(
+        config: CacheConfig,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let mut cache = Self::new(config);
+        for way in cache.ways.iter_mut() {
+            way.tag = r.get_u64()?;
+            way.valid = r.get_bool()?;
+            way.dirty = r.get_bool()?;
+        }
+        cache.replacement =
+            Replacement::decode_snapshot(cache.config.policy, cache.sets, cache.config.ways, r)?;
+        let mut stats = CacheStats::default();
+        for c in [&mut stats.hits, &mut stats.misses, &mut stats.fills, &mut stats.writebacks] {
+            c.add(r.get_u64()?);
+        }
+        cache.stats = stats;
+        Ok(cache)
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! ([`crate::OverlayConfig::omt_walk_latency`]).
 
 use crate::segment::{SegmentClass, SegmentMeta};
-use po_types::{MainMemAddr, OBitVector, Opn};
+use po_types::geometry::LINE_SIZE;
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
+use po_types::{MainMemAddr, OBitVector, Opn, PoError, PoResult};
 use std::collections::HashMap;
 
 /// Where an overlay lives in the OMS.
@@ -87,6 +89,62 @@ impl Omt {
     /// Iterates over all `(opn, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Opn, &OmtEntry)> {
         self.entries.iter()
+    }
+
+    /// Serializes every entry in ascending OPN order (byte-stable
+    /// regardless of hash-map iteration order). Segment metadata reuses
+    /// the in-memory line encoding of [`SegmentMeta::encode`].
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        let mut opns: Vec<Opn> = self.entries.keys().copied().collect();
+        opns.sort_unstable_by_key(|o| o.raw());
+        w.put_len(opns.len());
+        for opn in opns {
+            let e = &self.entries[&opn];
+            w.put_u64(opn.raw());
+            w.put_u64(e.obitvec.raw());
+            match e.segment {
+                None => w.put_bool(false),
+                Some(seg) => {
+                    w.put_bool(true);
+                    // Statically infallible: ALL enumerates every class.
+                    let tag = SegmentClass::ALL
+                        .iter()
+                        .position(|&c| c == seg.class)
+                        .expect("member of ALL");
+                    w.put_u8(tag as u8);
+                    w.put_u64(seg.base.raw());
+                    w.put_bytes(&seg.meta.encode());
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a table from [`Omt::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] on truncation or an unknown segment class.
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let n = r.get_len()?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let opn = Opn::from_raw(r.get_u64()?);
+            let obitvec = OBitVector::from_raw(r.get_u64()?);
+            let segment = if r.get_bool()? {
+                let tag = r.get_u8()? as usize;
+                let class = *SegmentClass::ALL
+                    .get(tag)
+                    .ok_or(PoError::Corrupted("snapshot segment class tag unknown"))?;
+                let base = MainMemAddr::new(r.get_u64()?);
+                let mut line = [0u8; LINE_SIZE];
+                line.copy_from_slice(r.get_bytes(LINE_SIZE)?);
+                Some(SegmentRef { base, class, meta: SegmentMeta::decode(class, &line) })
+            } else {
+                None
+            };
+            entries.insert(opn, OmtEntry { obitvec, segment });
+        }
+        Ok(Self { entries })
     }
 }
 

@@ -9,7 +9,8 @@
 //! back on eviction) and hit/miss statistics — everything the timing and
 //! cost models need.
 
-use po_types::{Counter, Opn};
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
+use po_types::{Counter, Opn, PoError, PoResult};
 
 /// OMT-cache statistics.
 #[derive(Clone, Debug, Default)]
@@ -125,6 +126,51 @@ impl OmtCache {
     /// `true` when no entries are cached.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Serializes the slot table (in table order), the LRU tick and
+    /// stats. The capacity is configuration, not state, and is not
+    /// re-encoded.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.tick);
+        w.put_len(self.slots.len());
+        for s in &self.slots {
+            w.put_u64(s.opn.raw());
+            w.put_bool(s.dirty);
+            w.put_u64(s.last_used);
+        }
+        for c in [&self.stats.hits, &self.stats.misses, &self.stats.writebacks] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a cache of `capacity` entries from
+    /// [`OmtCache::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] on truncation or an oversized slot table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (as [`OmtCache::new`] does).
+    pub fn decode_snapshot(capacity: usize, r: &mut SnapshotReader) -> PoResult<Self> {
+        let mut cache = Self::new(capacity);
+        cache.tick = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(PoError::Corrupted("snapshot OMT-cache slots exceed capacity"));
+        }
+        for _ in 0..n {
+            let opn = Opn::from_raw(r.get_u64()?);
+            let dirty = r.get_bool()?;
+            let last_used = r.get_u64()?;
+            cache.slots.push(Slot { opn, dirty, last_used });
+        }
+        for c in [&mut cache.stats.hits, &mut cache.stats.misses, &mut cache.stats.writebacks] {
+            c.add(r.get_u64()?);
+        }
+        Ok(cache)
     }
 }
 

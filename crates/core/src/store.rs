@@ -11,6 +11,7 @@
 
 use crate::segment::SegmentClass;
 use po_types::geometry::PAGE_SIZE;
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult};
 use std::collections::BTreeSet;
 
@@ -235,6 +236,67 @@ impl OverlayMemoryStore {
             }
         }
         Ok(())
+    }
+
+    /// Serializes free lists (BTreeSets iterate sorted — byte-stable),
+    /// byte accounting, chunk spans and stats. The fault injector is
+    /// deliberately not serialized; the machine-level snapshot owns it.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        for set in &self.free {
+            w.put_len(set.len());
+            for &addr in set {
+                w.put_u64(addr);
+            }
+        }
+        w.put_u64(self.managed_bytes);
+        w.put_u64(self.used_bytes);
+        w.put_len(self.chunks.len());
+        for &(base, bytes) in &self.chunks {
+            w.put_u64(base);
+            w.put_u64(bytes);
+        }
+        for c in
+            [&self.stats.allocations, &self.stats.frees, &self.stats.splits, &self.stats.os_grants]
+        {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a store from [`OverlayMemoryStore::encode_snapshot`]
+    /// bytes, with an inert fault injector (reinstall via
+    /// [`OverlayMemoryStore::set_fault_injector`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Corrupted`] on truncation or when the decoded free
+    /// lists violate the store's structural invariants
+    /// ([`OverlayMemoryStore::verify_layout`]).
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let mut store = Self::new();
+        for set in &mut store.free {
+            let n = r.get_len()?;
+            for _ in 0..n {
+                set.insert(r.get_u64()?);
+            }
+        }
+        store.managed_bytes = r.get_u64()?;
+        store.used_bytes = r.get_u64()?;
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let base = r.get_u64()?;
+            let bytes = r.get_u64()?;
+            store.chunks.push((base, bytes));
+        }
+        for c in [
+            &mut store.stats.allocations,
+            &mut store.stats.frees,
+            &mut store.stats.splits,
+            &mut store.stats.os_grants,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        store.verify_layout()?;
+        Ok(store)
     }
 }
 

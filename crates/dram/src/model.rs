@@ -201,6 +201,76 @@ impl DramModel {
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
     }
+
+    /// Serializes bank state, bus occupancy, the write buffer (in
+    /// order) and stats. The fault injector is snapshotted at machine
+    /// level, not here.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        for bank in &self.banks {
+            match bank.open_row {
+                None => w.put_bool(false),
+                Some(row) => {
+                    w.put_bool(true);
+                    w.put_u64(row);
+                }
+            }
+            w.put_u64(bank.ready_at);
+        }
+        w.put_u64(self.bus_free_at);
+        w.put_len(self.write_buffer.len());
+        for addr in &self.write_buffer {
+            w.put_u64(addr.raw());
+        }
+        for c in [
+            &self.stats.reads,
+            &self.stats.writes,
+            &self.stats.row_hits,
+            &self.stats.row_closed,
+            &self.stats.row_conflicts,
+            &self.stats.drains,
+            &self.stats.bus_bytes,
+            &self.stats.read_retries,
+        ] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a model with `config` from [`encode_snapshot`] bytes.
+    /// The restored model carries an inert fault injector; install the
+    /// machine's via [`DramModel::set_fault_injector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation.
+    pub fn decode_snapshot(
+        config: DramConfig,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let mut model = Self::new(config);
+        for bank in model.banks.iter_mut() {
+            bank.open_row = if r.get_bool()? { Some(r.get_u64()?) } else { None };
+            bank.ready_at = r.get_u64()?;
+        }
+        model.bus_free_at = r.get_u64()?;
+        let n = r.get_len()?;
+        model.write_buffer.reserve(n);
+        for _ in 0..n {
+            model.write_buffer.push(MainMemAddr::new(r.get_u64()?));
+        }
+        for c in [
+            &mut model.stats.reads,
+            &mut model.stats.writes,
+            &mut model.stats.row_hits,
+            &mut model.stats.row_closed,
+            &mut model.stats.row_conflicts,
+            &mut model.stats.drains,
+            &mut model.stats.bus_bytes,
+            &mut model.stats.read_retries,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        Ok(model)
+    }
 }
 
 // Private alias so the constructor reads naturally above.

@@ -98,6 +98,36 @@ impl DataStore {
     pub fn free_frame(&mut self, addr: MainMemAddr) {
         self.frames.remove(&addr.frame());
     }
+
+    /// Serializes every materialized frame in sorted frame order
+    /// (byte-stable regardless of hash-map iteration order).
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        let mut frames: Vec<u64> = self.frames.keys().copied().collect();
+        frames.sort_unstable();
+        w.put_len(frames.len());
+        for f in frames {
+            w.put_u64(f);
+            w.put_bytes(&self.frames[&f][..]);
+        }
+    }
+
+    /// Rebuilds a memory from [`encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation.
+    pub fn decode_snapshot(r: &mut po_types::SnapshotReader) -> po_types::PoResult<Self> {
+        let n = r.get_len()?;
+        let mut frames = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let f = r.get_u64()?;
+            let bytes = r.get_bytes(PAGE_SIZE)?;
+            let mut frame = Box::new([0u8; PAGE_SIZE]);
+            frame.copy_from_slice(bytes);
+            frames.insert(f, frame);
+        }
+        Ok(Self { frames })
+    }
 }
 
 #[cfg(test)]

@@ -122,6 +122,48 @@ impl CoreModel {
     pub fn cpi(&self) -> f64 {
         po_types::stats::ratio(self.cycles(), self.instructions())
     }
+
+    /// Serializes the in-flight window (front to back), issue/retire
+    /// frontiers and instruction count. The window size is configuration
+    /// and is not re-encoded.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        w.put_len(self.window.len());
+        for &retire in &self.window {
+            w.put_u64(retire);
+        }
+        w.put_u64(self.last_issue);
+        w.put_u64(self.last_retire);
+        w.put_u64(self.instructions);
+    }
+
+    /// Rebuilds a core with a `window_size`-entry window from
+    /// [`CoreModel::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation or an
+    /// oversized window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_size` is zero (as [`CoreModel::new`] does).
+    pub fn decode_snapshot(
+        window_size: usize,
+        r: &mut po_types::SnapshotReader,
+    ) -> po_types::PoResult<Self> {
+        let mut core = Self::new(window_size);
+        let n = r.get_len()?;
+        if n > window_size {
+            return Err(po_types::PoError::Corrupted("snapshot core window exceeds capacity"));
+        }
+        for _ in 0..n {
+            core.window.push_back(r.get_u64()?);
+        }
+        core.last_issue = r.get_u64()?;
+        core.last_retire = r.get_u64()?;
+        core.instructions = r.get_u64()?;
+        Ok(core)
+    }
 }
 
 #[cfg(test)]

@@ -43,10 +43,14 @@
 //! # Ok::<(), po_types::PoError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod config;
 pub mod core_model;
 pub mod machine;
+pub mod oracle;
 pub mod scenario;
+pub mod sim_test;
 pub mod stats;
 pub mod trace;
 pub mod trace_io;
@@ -54,10 +58,14 @@ pub mod trace_io;
 pub use config::{hardware_cost, HardwareCost, SystemConfig};
 pub use core_model::CoreModel;
 pub use machine::Machine;
+pub use oracle::DiffOracle;
 pub use scenario::{
     run_fork_experiment, run_periodic_checkpoint_experiment, ForkExperimentResult,
     PeriodicCheckpointResult,
 };
+pub use sim_test::{
+    generate_ops, run_crash_convergence, run_ops, shrink_ops, SimHarness, VPN_BASE,
+};
 pub use stats::SimStats;
 pub use trace::{run_trace, Trace, TraceOp};
-pub use trace_io::{read_trace, write_trace, TraceIoError};
+pub use trace_io::{read_trace, write_trace, write_trace_with_seed, TraceIoError};

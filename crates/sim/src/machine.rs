@@ -16,6 +16,7 @@ use po_dram::{DataStore, DramModel};
 use po_overlay::{OverlayManager, OverlayStats};
 use po_tlb::{Tlb, TlbEntry};
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::snapshot::{fingerprint64, SnapshotReader, SnapshotWriter};
 use po_types::{
     AccessKind, Asid, Cycle, FaultInjector, FaultPlan, FaultSite, MainMemAddr, OBitVector, Opn,
     PhysAddr, PoError, PoResult, VirtAddr, Vpn,
@@ -59,6 +60,11 @@ pub struct Machine {
 /// overlay memory, so attempts only repeat while reclaim keeps freeing
 /// space (or a transient injected refusal clears).
 const MAX_ALLOC_ATTEMPTS: usize = 8;
+
+/// `"POSN"` — leading bytes of every machine snapshot.
+const SNAPSHOT_MAGIC: u32 = 0x504F_534E;
+/// Bumped whenever the snapshot byte layout changes (DESIGN.md §8).
+const SNAPSHOT_VERSION: u32 = 1;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -465,11 +471,157 @@ impl Machine {
         Ok(())
     }
 
-    /// Executes one trace operation through the core model.
+    // ------------------------------------------------------------------
+    // Deterministic simulation testing: snapshot/restore, crash points,
+    // and the harness-level overlay promotions (DESIGN.md §8).
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete machine state — page tables, OMT and OMT
+    /// cache, OMS, resident overlay lines, TLBs, caches, DRAM timing and
+    /// contents, core window, statistics, and the fault injector's RNG —
+    /// into a versioned, byte-stable buffer. Two machines in the same
+    /// state produce identical bytes; [`Machine::restore_snapshot`]
+    /// followed by [`Machine::save_snapshot`] is the identity.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u32(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        w.put_u64(fingerprint64(&format!("{:?}", self.config)));
+        self.os.encode_snapshot(&mut w);
+        self.mem.encode_snapshot(&mut w);
+        self.overlay.encode_snapshot(&mut w);
+        w.put_len(self.tlbs.len());
+        for tlb in &self.tlbs {
+            tlb.encode_snapshot(&mut w);
+        }
+        self.caches.encode_snapshot(&mut w);
+        self.dram.encode_snapshot(&mut w);
+        self.core.encode_snapshot(&mut w);
+        self.stats.encode_snapshot(&mut w);
+        w.put_u64(self.oms_frames);
+        w.put_u64(self.epoch.frames_net);
+        w.put_u64(self.epoch.overlay_used);
+        self.faults.encode_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Restores the machine to the exact state captured by
+    /// [`Machine::save_snapshot`]. The snapshot must come from a machine
+    /// built with the same configuration (checked via a fingerprint in
+    /// the header). The fault injector — including its RNG position and
+    /// remaining schedules — is restored and redistributed to every
+    /// layer, so replayed runs make the same injection decisions.
     ///
     /// # Errors
     ///
-    /// Propagates access faults (unmapped addresses, protection).
+    /// [`PoError::Corrupted`] on a bad magic, unsupported version,
+    /// configuration mismatch, truncation, trailing bytes, or any
+    /// structurally invalid component state.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> PoResult<()> {
+        let mut r = SnapshotReader::new(bytes);
+        if r.get_u32()? != SNAPSHOT_MAGIC {
+            return Err(PoError::Corrupted("snapshot magic mismatch"));
+        }
+        if r.get_u32()? != SNAPSHOT_VERSION {
+            return Err(PoError::Corrupted("snapshot version unsupported"));
+        }
+        if r.get_u64()? != fingerprint64(&format!("{:?}", self.config)) {
+            return Err(PoError::Corrupted("snapshot built under a different configuration"));
+        }
+        let os = po_vm::OsModel::decode_snapshot(&mut r)?;
+        let mem = DataStore::decode_snapshot(&mut r)?;
+        let overlay = OverlayManager::decode_snapshot(self.config.overlay.clone(), &mut r)?;
+        let n_tlbs = r.get_len()?;
+        if n_tlbs != self.tlbs.len() {
+            return Err(PoError::Corrupted("snapshot TLB count disagrees with configuration"));
+        }
+        let mut tlbs = Vec::with_capacity(n_tlbs);
+        for _ in 0..n_tlbs {
+            tlbs.push(Tlb::decode_snapshot(self.config.tlb.clone(), &mut r)?);
+        }
+        let caches = CacheHierarchy::decode_snapshot(self.config.hierarchy.clone(), &mut r)?;
+        let dram = DramModel::decode_snapshot(self.config.dram.clone(), &mut r)?;
+        let core = CoreModel::decode_snapshot(self.config.window_entries, &mut r)?;
+        let stats = SimStats::decode_snapshot(&mut r)?;
+        let oms_frames = r.get_u64()?;
+        let epoch = MemoryEpoch { frames_net: r.get_u64()?, overlay_used: r.get_u64()? };
+        let faults = FaultInjector::decode_snapshot(&mut r)?;
+        r.expect_end()?;
+        // All decodes succeeded: commit, then redistribute the restored
+        // injector exactly as install_fault_plan does.
+        self.os = os;
+        self.mem = mem;
+        self.overlay = overlay;
+        self.tlbs = tlbs;
+        self.caches = caches;
+        self.dram = dram;
+        self.core = core;
+        self.stats = stats;
+        self.oms_frames = oms_frames;
+        self.epoch = epoch;
+        self.os.set_fault_injector(faults.clone());
+        self.dram.set_fault_injector(faults.clone());
+        self.overlay.set_fault_injector(faults.clone());
+        self.faults = faults;
+        Ok(())
+    }
+
+    /// Polls the [`FaultSite::CrashPoint`] site: `true` means the fault
+    /// plan scheduled a crash at this op boundary. The caller (the
+    /// deterministic-simulation harness) abandons the machine and
+    /// restores the last snapshot.
+    pub fn poll_crash_point(&mut self) -> bool {
+        self.faults.fire(FaultSite::CrashPoint)
+    }
+
+    /// Disarms one fault site across every layer sharing the injector —
+    /// used after a crash-point fires so the replayed suffix does not
+    /// crash at the same op again.
+    pub fn clear_fault_trigger(&mut self, site: FaultSite) {
+        self.faults.clear_trigger(site);
+    }
+
+    /// Commits `vpn`'s overlay into a private physical frame (§4.3.4
+    /// commit promotion, driven explicitly). The page ends overlay-free
+    /// and writable; reads are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::NoOverlay`] if the page has no overlay; propagates
+    /// allocation failures from the privatization step.
+    pub fn commit_overlay(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
+        if !self.overlay.has_overlay(Opn::encode(asid, vpn)) {
+            return Err(PoError::NoOverlay(Opn::encode(asid, vpn)));
+        }
+        self.materialize_overlay(asid, vpn)
+    }
+
+    /// Discards `vpn`'s overlay (§4.3.4 discard promotion): the page
+    /// reverts to its physical contents.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::NoOverlay`] if the page has no overlay.
+    pub fn discard_overlay(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
+        let opn = Opn::encode(asid, vpn);
+        self.overlay.discard(opn)?;
+        for l in 0..LINES_PER_PAGE {
+            self.caches.invalidate_line(opn.line_addr(l));
+        }
+        for tlb in &mut self.tlbs {
+            tlb.shootdown(asid, vpn);
+        }
+        Ok(())
+    }
+
+    /// Executes one core-level trace operation through the core model.
+    /// Harness-level ops (process/overlay management) belong to the
+    /// deterministic-simulation harness, not the core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults (unmapped addresses, protection);
+    /// [`PoError::Corrupted`] for harness-level ops.
     pub fn execute(&mut self, asid: Asid, op: &crate::trace::TraceOp) -> PoResult<()> {
         use crate::trace::TraceOp;
         match op {
@@ -487,6 +639,11 @@ impl Machine {
                 let lat = self.access_at(t, asid, *va, AccessKind::Write)?;
                 self.core.complete(t, lat);
                 self.stats.stores.inc();
+            }
+            _ => {
+                return Err(PoError::Corrupted(
+                    "harness-level trace op handed to the core executor",
+                ))
             }
         }
         Ok(())
@@ -682,6 +839,13 @@ impl Machine {
         if addr.is_overlay() {
             let opn = addr.opn();
             let line = addr.line_in_page();
+            // A functional overlaying write can leave its line resident
+            // in the manager with no OMS home (allocation is lazy,
+            // §4.3.3). The controller's first touch materializes it via
+            // the normal eviction path instead of faulting.
+            if self.overlay.line_needs_materialization(opn, line) {
+                self.evict_line_reclaiming(opn, line)?;
+            }
             let (mm, omt_hit) = self.overlay.controller_resolve(opn, line, modify)?;
             let extra = if omt_hit { 0 } else { self.config.overlay.omt_walk_latency };
             Ok((mm, extra))
@@ -1051,6 +1215,71 @@ mod tests {
             m.access_at(0, pid, VirtAddr::new(0xdead_f000), AccessKind::Read),
             Err(PoError::Unmapped(_))
         ));
+    }
+
+    #[test]
+    fn machine_snapshot_round_trip_is_byte_identical() {
+        let (mut m, pid) = machine(true);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let child = m.fork(pid).unwrap();
+        for i in 0..40u64 {
+            m.access_at(i * 10, pid, va(i % 4, i % 64), AccessKind::Write).unwrap();
+        }
+        m.flush_overlays().unwrap();
+        m.mark_memory_epoch();
+        let bytes = m.save_snapshot();
+
+        // Restoring into a fresh machine of the same config reproduces
+        // the bytes and the observable state.
+        let mut fresh = Machine::new(SystemConfig::table2_overlay()).unwrap();
+        fresh.restore_snapshot(&bytes).unwrap();
+        assert_eq!(fresh.save_snapshot(), bytes);
+        fresh.verify_invariants().unwrap();
+        assert_eq!(fresh.peek(pid, va(0, 0)).unwrap(), m.peek(pid, va(0, 0)).unwrap());
+        assert_eq!(fresh.peek(child, va(0, 0)).unwrap(), 1);
+
+        // And the two machines stay in lockstep on further execution.
+        for i in 0..10u64 {
+            m.access_at(0, pid, va(i % 4, (i * 7) % 64), AccessKind::Write).unwrap();
+            fresh.access_at(0, pid, va(i % 4, (i * 7) % 64), AccessKind::Write).unwrap();
+        }
+        assert_eq!(fresh.save_snapshot(), m.save_snapshot());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_config_and_corruption() {
+        let (m, _) = machine(true);
+        let bytes = m.save_snapshot();
+        let mut other = Machine::new(SystemConfig::table2()).unwrap();
+        assert!(matches!(other.restore_snapshot(&bytes), Err(PoError::Corrupted(_))));
+        let mut same = Machine::new(SystemConfig::table2_overlay()).unwrap();
+        assert!(same.restore_snapshot(&bytes[..bytes.len() - 1]).is_err());
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF; // magic
+        assert!(same.restore_snapshot(&garbled).is_err());
+        same.restore_snapshot(&bytes).unwrap();
+    }
+
+    #[test]
+    fn commit_and_discard_overlay_change_page_contents_correctly() {
+        let (mut m, pid) = machine(true);
+        m.poke(pid, va(1, 2), 0x11).unwrap();
+        let _child = m.fork(pid).unwrap();
+        m.poke(pid, va(1, 2), 0x22).unwrap(); // diverges via overlay
+        assert!(m.overlay().has_overlay(Opn::encode(pid, va(1, 2).vpn())));
+        // Commit keeps the new value but drops the overlay.
+        m.commit_overlay(pid, va(1, 2).vpn()).unwrap();
+        assert!(!m.overlay().has_overlay(Opn::encode(pid, va(1, 2).vpn())));
+        assert_eq!(m.peek(pid, va(1, 2)).unwrap(), 0x22);
+
+        // Discard reverts to the pre-divergence contents.
+        let child2 = m.fork(pid).unwrap();
+        m.poke(pid, va(1, 2), 0x33).unwrap();
+        assert_eq!(m.peek(pid, va(1, 2)).unwrap(), 0x33);
+        m.discard_overlay(pid, va(1, 2).vpn()).unwrap();
+        assert_eq!(m.peek(pid, va(1, 2)).unwrap(), 0x22);
+        assert_eq!(m.peek(child2, va(1, 2)).unwrap(), 0x22);
+        assert!(matches!(m.discard_overlay(pid, Vpn::new(0x9999)), Err(PoError::NoOverlay(_))));
     }
 
     #[test]

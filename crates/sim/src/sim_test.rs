@@ -1,0 +1,689 @@
+//! Deterministic simulation testing: the differential harness, the
+//! seeded op-stream generator, the crash-convergence runner, and the
+//! trace shrinker (DESIGN.md §8).
+//!
+//! The pieces compose into two test shapes:
+//!
+//! * **Differential run** — [`SimHarness::apply`] executes one
+//!   [`TraceOp`] against the machine *and* the [`DiffOracle`], probing
+//!   the machine for routing (does this write land in an overlay?) while
+//!   the oracle independently tracks every byte's expected value. Each
+//!   `Peek` is compared on the spot; [`SimHarness::check_all`] sweeps at
+//!   the end; [`Machine::verify_invariants`] runs after every op.
+//! * **Crash convergence** — [`run_crash_convergence`] runs the same
+//!   trace twice: a golden run, and a run that crashes at a scheduled
+//!   [`FaultSite::CrashPoint`] query, restores the last
+//!   [`Machine::save_snapshot`], replays the journaled op suffix (after
+//!   a round-trip through [`crate::trace_io`]), and must end
+//!   byte-identical to the golden snapshot.
+//!
+//! Harness-level ops resolve their `proc_sel` modulo the live process
+//! count and clamp page numbers into a bounded window, so **every
+//! subsequence of a valid trace is itself valid** — the property the
+//! [`shrink_ops`] delta-debugging loop relies on.
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::oracle::DiffOracle;
+use crate::trace::TraceOp;
+use crate::trace_io::{read_trace, write_trace};
+use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use po_types::{Asid, FaultPlan, FaultSite, LineData, Opn, PoError, VirtAddr, Vpn};
+
+/// First virtual page the generator maps (mirrors the scenario setups).
+pub const VPN_BASE: u64 = 0x100;
+/// Harness-level VPNs are taken modulo this span (fits the 36-bit OPN
+/// VPN field with slack, keeps arbitrary trace files safe to replay).
+const MAX_VPN_SPAN: u64 = 1 << 20;
+/// Upper bound on pages a single `Map` op may create.
+const MAX_MAP_PAGES: u32 = 64;
+
+/// Machine errors the harness treats as benign outcomes of an op (the
+/// op is skipped; resource exhaustion and unmapped targets are normal
+/// under fault injection and random traces). Everything else is a bug.
+fn benign(e: &PoError) -> bool {
+    matches!(
+        e,
+        PoError::Unmapped(_)
+            | PoError::OutOfMemory
+            | PoError::OverlayStoreExhausted
+            | PoError::NoOverlay(_)
+    )
+}
+
+fn clamp_va(va: VirtAddr) -> VirtAddr {
+    VirtAddr::new(va.raw() % (MAX_VPN_SPAN * PAGE_SIZE as u64))
+}
+
+fn clamp_vpn(vpn: u64) -> Vpn {
+    Vpn::new(vpn % MAX_VPN_SPAN)
+}
+
+/// Where a functional write will land, per the machine's own state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Route {
+    Unmapped,
+    Base,
+    Delta,
+}
+
+/// The differential harness: a [`Machine`] and its [`DiffOracle`] in
+/// lockstep, plus the live process list that `proc_sel` selectors
+/// resolve against.
+pub struct SimHarness {
+    /// The machine under test.
+    pub machine: Machine,
+    /// The reference byte model.
+    pub oracle: DiffOracle,
+    /// Live processes in spawn order.
+    pub procs: Vec<Asid>,
+    /// Test-only deliberate bug: a `Poke` of `0x42` writes `0x43` into
+    /// the machine (the oracle keeps `0x42`) — used to prove the fuzzer
+    /// detects and shrinks real divergence.
+    pub inject_bug: bool,
+}
+
+impl SimHarness {
+    /// Creates a harness with no processes and no fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction failures.
+    pub fn new(config: SystemConfig) -> po_types::PoResult<Self> {
+        Ok(Self {
+            machine: Machine::new(config)?,
+            oracle: DiffOracle::new(),
+            procs: Vec::new(),
+            inject_bug: false,
+        })
+    }
+
+    /// [`SimHarness::new`] plus an installed [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction failures.
+    pub fn with_fault_plan(config: SystemConfig, plan: FaultPlan) -> po_types::PoResult<Self> {
+        let mut h = Self::new(config)?;
+        h.machine.install_fault_plan(plan);
+        Ok(h)
+    }
+
+    fn resolve(&self, sel: u32) -> Option<Asid> {
+        if self.procs.is_empty() {
+            None
+        } else {
+            Some(self.procs[sel as usize % self.procs.len()])
+        }
+    }
+
+    /// Applies one op to the machine and the oracle, then re-syncs
+    /// committed overlays and checks machine invariants.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means **divergence or an unexpected machine failure** — a
+    /// genuine finding, not a benign skip.
+    pub fn apply(&mut self, op: &TraceOp) -> Result<(), String> {
+        self.apply_inner(op)?;
+        self.sync_committed();
+        self.machine
+            .verify_invariants()
+            .map_err(|e| format!("invariant violated after {op:?}: {e:?}"))
+    }
+
+    /// Oracle-side bookkeeping for commits the harness did not issue
+    /// itself: promotions and pressure-driven collapses fold an overlay
+    /// into its physical page from deep inside the timed path. An
+    /// overlay the machine no longer has can never be discarded again,
+    /// so its delta becomes permanent.
+    fn sync_committed(&mut self) {
+        for (asid, vpn) in self.oracle.delta_pages() {
+            if !self.machine.overlay().has_overlay(Opn::encode(asid, vpn)) {
+                self.oracle.merge_delta(asid, vpn);
+            }
+        }
+    }
+
+    /// Replicates the machine's write-routing decision from its own
+    /// observable state (PTE flags + OBitVector).
+    fn route_of(&self, asid: Asid, va: VirtAddr) -> Route {
+        let Ok(pte) = self.machine.os().translate(asid, va) else {
+            return Route::Unmapped;
+        };
+        let opn = Opn::encode(asid, va.vpn());
+        let in_overlay = self
+            .machine
+            .overlay()
+            .obitvec(opn)
+            .map(|v| v.contains(va.line_in_page()))
+            .unwrap_or(false);
+        let overlay_write = pte.flags.overlay_enabled
+            && (in_overlay
+                || (self.machine.config().overlay_mode && pte.flags.cow && !pte.flags.writable));
+        if overlay_write {
+            Route::Delta
+        } else {
+            Route::Base
+        }
+    }
+
+    fn apply_inner(&mut self, op: &TraceOp) -> Result<(), String> {
+        match *op {
+            TraceOp::Compute(_) | TraceOp::Load(_) | TraceOp::Store(_) => {
+                let Some(asid) = self.procs.first().copied() else { return Ok(()) };
+                match self.machine.execute(asid, op) {
+                    Ok(()) => Ok(()),
+                    Err(e) if benign(&e) => Ok(()),
+                    Err(e) => Err(format!("timed op {op:?} failed: {e:?}")),
+                }
+            }
+            TraceOp::Spawn => match self.machine.spawn_process() {
+                Ok(asid) => {
+                    self.procs.push(asid);
+                    self.oracle.spawn(asid);
+                    Ok(())
+                }
+                Err(e) if benign(&e) => Ok(()),
+                Err(e) => Err(format!("spawn failed: {e:?}")),
+            },
+            TraceOp::Map { proc_sel, start, count } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                let start = start % MAX_VPN_SPAN;
+                for i in 0..count.min(MAX_MAP_PAGES) as u64 {
+                    let vpn = Vpn::new(start + i);
+                    // Remapping would swap in a fresh zero frame under
+                    // live data; the harness only ever extends.
+                    if self.machine.os().translate(asid, vpn.base()).is_ok() {
+                        continue;
+                    }
+                    match self.machine.map_range(asid, vpn, 1) {
+                        Ok(()) => self.oracle.note_mapped(asid, vpn),
+                        Err(e) if benign(&e) => {}
+                        Err(e) => return Err(format!("map of vpn {:#x} failed: {e:?}", vpn.raw())),
+                    }
+                }
+                Ok(())
+            }
+            TraceOp::Fork { proc_sel } => {
+                let Some(parent) = self.resolve(proc_sel) else { return Ok(()) };
+                match self.machine.fork(parent) {
+                    Ok(child) => {
+                        // fork materialized (committed) every parent
+                        // overlay before sharing the frames.
+                        self.oracle.merge_all_deltas(parent);
+                        self.oracle.clone_process(parent, child);
+                        self.procs.push(child);
+                        Ok(())
+                    }
+                    // A fork that dies mid-materialize leaves some parent
+                    // overlays committed; sync_committed picks those up.
+                    Err(e) if benign(&e) => Ok(()),
+                    Err(e) => Err(format!("fork of asid {} failed: {e:?}", parent.raw())),
+                }
+            }
+            TraceOp::Poke { proc_sel, va, value } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                let va = clamp_va(va);
+                let route = self.route_of(asid, va);
+                if (route != Route::Unmapped) != self.oracle.is_mapped(asid, va.vpn()) {
+                    return Err(format!(
+                        "mapping disagreement at asid {} va {:#x}: machine {}, oracle {}",
+                        asid.raw(),
+                        va.raw(),
+                        if route == Route::Unmapped { "unmapped" } else { "mapped" },
+                        if self.oracle.is_mapped(asid, va.vpn()) { "mapped" } else { "unmapped" },
+                    ));
+                }
+                let wire = if self.inject_bug && value == 0x42 { value ^ 1 } else { value };
+                match self.machine.poke(asid, va, wire) {
+                    Ok(()) => {
+                        match route {
+                            Route::Delta => self.oracle.write_delta(asid, va, value),
+                            Route::Base => self.oracle.write_base(asid, va, value),
+                            Route::Unmapped => {
+                                return Err(format!(
+                                    "poke at va {:#x} succeeded on a page the translation probe \
+                                     called unmapped",
+                                    va.raw()
+                                ))
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(PoError::Unmapped(_)) if route == Route::Unmapped => Ok(()),
+                    // Frame exhaustion during the CoW copy: no byte lands.
+                    Err(e) if benign(&e) => Ok(()),
+                    Err(e) => Err(format!("poke at va {:#x} failed: {e:?}", va.raw())),
+                }
+            }
+            TraceOp::Peek { proc_sel, va } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                self.check_byte(asid, clamp_va(va))
+            }
+            TraceOp::SeedLine { proc_sel, vpn, line, value } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                let vpn = clamp_vpn(vpn);
+                let line = line as usize % LINES_PER_PAGE;
+                let opn = Opn::encode(asid, vpn);
+                // Seed only lines the machine will make visible (the page
+                // reads through the overlay) and that are not already
+                // overlaid — mirrors the sparse-structure setup path.
+                let visible = self
+                    .machine
+                    .os()
+                    .translate(asid, vpn.base())
+                    .map(|pte| pte.flags.overlay_enabled)
+                    .unwrap_or(false);
+                let in_overlay = |m: &Machine| {
+                    m.overlay().obitvec(opn).map(|v| v.contains(line)).unwrap_or(false)
+                };
+                if !visible || in_overlay(&self.machine) {
+                    return Ok(());
+                }
+                match self.machine.seed_overlay_line(asid, vpn, line, LineData::splat(value)) {
+                    Ok(()) => {
+                        self.oracle.write_delta_line(asid, vpn, line, value);
+                        Ok(())
+                    }
+                    Err(e) if benign(&e) => {
+                        // The overlay write itself may have landed before
+                        // the OMS eviction failed; believe the OBitVector.
+                        if in_overlay(&self.machine) {
+                            self.oracle.write_delta_line(asid, vpn, line, value);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => {
+                        Err(format!("seed of vpn {:#x} line {line} failed: {e:?}", vpn.raw()))
+                    }
+                }
+            }
+            TraceOp::CommitPage { proc_sel, vpn } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                let vpn = clamp_vpn(vpn);
+                match self.machine.commit_overlay(asid, vpn) {
+                    // NoOverlay covers both "never overlaid" (empty
+                    // delta, merge is a no-op) and "already collapsed"
+                    // (the delta is committed either way).
+                    Ok(()) | Err(PoError::NoOverlay(_)) => {
+                        self.oracle.merge_delta(asid, vpn);
+                        Ok(())
+                    }
+                    Err(e) if benign(&e) => Ok(()),
+                    Err(e) => Err(format!("commit of vpn {:#x} failed: {e:?}", vpn.raw())),
+                }
+            }
+            TraceOp::DiscardPage { proc_sel, vpn } => {
+                let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
+                let vpn = clamp_vpn(vpn);
+                let had = self.machine.overlay().has_overlay(Opn::encode(asid, vpn));
+                match self.machine.discard_overlay(asid, vpn) {
+                    Ok(()) => {
+                        if had {
+                            self.oracle.drop_delta(asid, vpn);
+                        }
+                        Ok(())
+                    }
+                    // No overlay left to revert (never created, or the
+                    // machine collapsed it — sync merges any stale delta).
+                    Err(PoError::NoOverlay(_)) => Ok(()),
+                    Err(e) if benign(&e) => Ok(()),
+                    Err(e) => Err(format!("discard of vpn {:#x} failed: {e:?}", vpn.raw())),
+                }
+            }
+            TraceOp::Flush => match self.machine.flush_overlays() {
+                Ok(()) => Ok(()),
+                Err(e) if benign(&e) => Ok(()),
+                Err(e) => Err(format!("flush failed: {e:?}")),
+            },
+            TraceOp::Reclaim => match self.machine.recover_overlay_memory(None) {
+                Ok(_) => Ok(()),
+                Err(e) if benign(&e) => Ok(()),
+                Err(e) => Err(format!("reclaim failed: {e:?}")),
+            },
+        }
+    }
+
+    /// Compares one byte between machine and oracle.
+    ///
+    /// # Errors
+    ///
+    /// `Err` describes the divergence.
+    pub fn check_byte(&self, asid: Asid, va: VirtAddr) -> Result<(), String> {
+        match (self.machine.peek(asid, va), self.oracle.read(asid, va)) {
+            (Ok(got), Some(want)) if got == want => Ok(()),
+            (Ok(got), Some(want)) => Err(format!(
+                "divergence at asid {} va {:#x}: machine has {got:#04x}, oracle expects \
+                 {want:#04x}",
+                asid.raw(),
+                va.raw()
+            )),
+            (Err(PoError::Unmapped(_)), None) => Ok(()),
+            (Ok(got), None) => Err(format!(
+                "machine reads {got:#04x} at asid {} va {:#x} but the oracle says unmapped",
+                asid.raw(),
+                va.raw()
+            )),
+            (Err(e), Some(want)) => Err(format!(
+                "machine cannot read asid {} va {:#x} (oracle expects {want:#04x}): {e:?}",
+                asid.raw(),
+                va.raw()
+            )),
+            (Err(e), None) => Err(format!(
+                "unexpected read failure on unmapped asid {} va {:#x}: {e:?}",
+                asid.raw(),
+                va.raw()
+            )),
+        }
+    }
+
+    /// Sweeps every byte the oracle holds an opinion on, plus the first
+    /// byte of every line of every mapped page (to catch stray writes).
+    ///
+    /// # Errors
+    ///
+    /// The first divergence found.
+    pub fn check_all(&self) -> Result<(), String> {
+        for &asid in &self.procs {
+            for vpn in self.oracle.mapped_pages(asid) {
+                let base = vpn.raw() * PAGE_SIZE as u64;
+                let mut offsets = self.oracle.known_offsets(asid, vpn);
+                offsets.extend((0..LINES_PER_PAGE as u32).map(|l| l * LINE_SIZE as u32));
+                offsets.sort_unstable();
+                offsets.dedup();
+                for off in offsets {
+                    self.check_byte(asid, VirtAddr::new(base + off as u64))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Seeded op-stream generation.
+// ----------------------------------------------------------------------
+
+/// SplitMix64 (Steele, Lea, Flood 2014) — self-contained so generated
+/// streams never depend on ambient entropy.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Generates a deterministic op stream of length `count` from `seed`,
+/// biased toward a small page window (VPNs `VPN_BASE..VPN_BASE+8`) so
+/// ops collide and exercise overlay creation, commit, discard, fork
+/// sharing, and reclaim against each other. Pokes hit `0x42` often —
+/// the trigger byte of [`SimHarness::inject_bug`].
+pub fn generate_ops(seed: u64, count: usize) -> Vec<TraceOp> {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_D157);
+    let mut ops = Vec::with_capacity(count);
+    // Every stream starts alive: one process with a small working set.
+    ops.push(TraceOp::Spawn);
+    ops.push(TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 8 });
+    while ops.len() < count {
+        let r = rng.next_u64();
+        let sel = ((r >> 8) % 8) as u32;
+        let vpn = VPN_BASE + (r >> 16) % 8;
+        let va = VirtAddr::new(vpn * PAGE_SIZE as u64 + (r >> 24) % PAGE_SIZE as u64);
+        let value = if (r >> 40).is_multiple_of(4) { 0x42 } else { (r >> 48) as u8 };
+        let op = match r % 100 {
+            0..=1 => TraceOp::Spawn,
+            2..=6 => TraceOp::Map { proc_sel: sel, start: vpn, count: 1 + ((r >> 36) % 3) as u32 },
+            7..=11 => TraceOp::Fork { proc_sel: sel },
+            12..=38 => TraceOp::Poke { proc_sel: sel, va, value },
+            39..=58 => TraceOp::Peek { proc_sel: sel, va },
+            59..=62 => TraceOp::SeedLine {
+                proc_sel: sel,
+                vpn,
+                line: ((r >> 36) % LINES_PER_PAGE as u64) as u8,
+                value,
+            },
+            63..=67 => TraceOp::CommitPage { proc_sel: sel, vpn },
+            68..=72 => TraceOp::DiscardPage { proc_sel: sel, vpn },
+            73..=74 => TraceOp::Flush,
+            75..=76 => TraceOp::Reclaim,
+            77..=80 => TraceOp::Compute(1 + (r >> 36) as u32 % 16),
+            81..=90 => TraceOp::Load(va),
+            _ => TraceOp::Store(va),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Builds a harness, applies `ops`, and runs the final sweep.
+///
+/// # Errors
+///
+/// The first divergence or unexpected machine failure.
+pub fn run_ops(
+    config: &SystemConfig,
+    plan: Option<&FaultPlan>,
+    ops: &[TraceOp],
+    inject_bug: bool,
+) -> Result<(), String> {
+    let mut h = match plan {
+        Some(p) => SimHarness::with_fault_plan(config.clone(), p.clone()),
+        None => SimHarness::new(config.clone()),
+    }
+    .map_err(|e| format!("machine construction failed: {e:?}"))?;
+    h.inject_bug = inject_bug;
+    for (i, op) in ops.iter().enumerate() {
+        h.apply(op).map_err(|e| format!("op {i}: {e}"))?;
+    }
+    h.check_all()
+}
+
+// ----------------------------------------------------------------------
+// Crash convergence.
+// ----------------------------------------------------------------------
+
+/// Runs `ops` twice under `base_plan` (which must not schedule
+/// [`FaultSite::CrashPoint`] itself — the runner owns that site):
+///
+/// * **golden** — straight through, polling the crash point after every
+///   op (so fault-query streams match the crashy run);
+/// * **crashy** — same, plus a crash scheduled at the `crash_at`-th
+///   crash-point query. On crash: restore the last snapshot (taken
+///   every `snapshot_every` ops), clear the crash trigger, round-trip
+///   the journaled op suffix through the trace format, and replay it.
+///
+/// Both runs then clear the crash-point trigger and must produce
+/// byte-identical [`Machine::save_snapshot`] images.
+///
+/// Returns whether the crash actually fired.
+///
+/// # Errors
+///
+/// Divergence (machine bytes or oracle), replay corruption, or an
+/// unexpected machine failure.
+pub fn run_crash_convergence(
+    config: &SystemConfig,
+    ops: &[TraceOp],
+    base_plan: &FaultPlan,
+    crash_at: u64,
+    snapshot_every: usize,
+) -> Result<bool, String> {
+    let every = snapshot_every.max(1);
+    let golden_plan = base_plan.clone().at_queries(FaultSite::CrashPoint, []);
+    let crashy_plan = base_plan.clone().at_queries(FaultSite::CrashPoint, [crash_at]);
+
+    // Golden run.
+    let mut golden = SimHarness::with_fault_plan(config.clone(), golden_plan)
+        .map_err(|e| format!("machine construction failed: {e:?}"))?;
+    for (i, op) in ops.iter().enumerate() {
+        golden.apply(op).map_err(|e| format!("golden op {i}: {e}"))?;
+        if golden.machine.poll_crash_point() {
+            return Err("crash point fired in the golden run".into());
+        }
+    }
+    golden.machine.clear_fault_trigger(FaultSite::CrashPoint);
+
+    // Crashy run.
+    let mut h = SimHarness::with_fault_plan(config.clone(), crashy_plan)
+        .map_err(|e| format!("machine construction failed: {e:?}"))?;
+    let mut saved: Option<(Vec<u8>, DiffOracle, Vec<Asid>, usize)> = None;
+    let mut crashed = false;
+    for (i, op) in ops.iter().enumerate() {
+        if i % every == 0 {
+            saved = Some((h.machine.save_snapshot(), h.oracle.clone(), h.procs.clone(), i));
+        }
+        h.apply(op).map_err(|e| format!("crashy op {i}: {e}"))?;
+        if h.machine.poll_crash_point() {
+            crashed = true;
+            let (bytes, oracle, procs, from) =
+                saved.take().ok_or("crash fired before the first snapshot")?;
+            h.machine
+                .restore_snapshot(&bytes)
+                .map_err(|e| format!("restore after crash at op {i} failed: {e:?}"))?;
+            h.machine.clear_fault_trigger(FaultSite::CrashPoint);
+            h.oracle = oracle;
+            h.procs = procs;
+            // The journal is the op suffix since the snapshot; round-trip
+            // it through the trace format, as a real recovery would.
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &ops[from..])
+                .map_err(|e| format!("journal write failed: {e}"))?;
+            let journal =
+                read_trace(buf.as_slice()).map_err(|e| format!("journal read failed: {e}"))?;
+            if journal != ops[from..] {
+                return Err("journal did not round-trip through the trace format".into());
+            }
+            for (j, op) in journal.iter().enumerate() {
+                h.apply(op).map_err(|e| format!("replay op {}: {e}", from + j))?;
+                if h.machine.poll_crash_point() {
+                    return Err("crash point re-fired during replay".into());
+                }
+            }
+            break;
+        }
+    }
+    h.machine.clear_fault_trigger(FaultSite::CrashPoint);
+
+    if golden.machine.save_snapshot() != h.machine.save_snapshot() {
+        return Err(format!(
+            "crashed-and-replayed machine diverged from the golden run (crash_at={crash_at}, \
+             snapshot_every={every})"
+        ));
+    }
+    golden.check_all().map_err(|e| format!("golden final sweep: {e}"))?;
+    h.check_all().map_err(|e| format!("crashy final sweep: {e}"))?;
+    Ok(crashed)
+}
+
+// ----------------------------------------------------------------------
+// Trace shrinking.
+// ----------------------------------------------------------------------
+
+/// Shrinks a failing trace to a locally minimal one by delta debugging:
+/// remove chunks of decreasing size, keeping any candidate that still
+/// fails [`run_ops`]. Because subsequences of valid traces stay valid,
+/// every candidate is directly replayable.
+///
+/// Returns the shrunk trace (the input itself if it does not fail).
+pub fn shrink_ops(
+    config: &SystemConfig,
+    plan: Option<&FaultPlan>,
+    ops: &[TraceOp],
+    inject_bug: bool,
+) -> Vec<TraceOp> {
+    let fails = |candidate: &[TraceOp]| run_ops(config, plan, candidate, inject_bug).is_err();
+    let mut cur = ops.to_vec();
+    if !fails(&cur) {
+        return cur;
+    }
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.drain(i..(i + chunk).min(cand.len()));
+            if fails(&cand) {
+                cur = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_run_is_clean_in_both_modes() {
+        let ops = generate_ops(7, 300);
+        run_ops(&SystemConfig::table2_overlay(), None, &ops, false).unwrap();
+        run_ops(&SystemConfig::table2(), None, &ops, false).unwrap();
+    }
+
+    #[test]
+    fn injected_bug_is_detected_and_shrinks_small() {
+        let config = SystemConfig::table2_overlay();
+        // Find a seed whose stream trips the bug (0x42 pokes are common).
+        let ops = generate_ops(3, 200);
+        let err = run_ops(&config, None, &ops, true).unwrap_err();
+        assert!(err.contains("divergence") || err.contains("oracle"), "{err}");
+        let shrunk = shrink_ops(&config, None, &ops, true);
+        assert!(shrunk.len() <= 10, "shrunk to {} ops: {shrunk:?}", shrunk.len());
+        assert!(run_ops(&config, None, &shrunk, true).is_err());
+        // The shrunk trace replays through the trace format.
+        let mut buf = Vec::new();
+        crate::trace_io::write_trace(&mut buf, &shrunk).unwrap();
+        let back = crate::trace_io::read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, shrunk);
+        assert!(run_ops(&config, None, &back, true).is_err());
+    }
+
+    #[test]
+    fn crash_convergence_basic() {
+        let config = SystemConfig::table2_overlay();
+        let ops = generate_ops(11, 150);
+        let plan = FaultPlan::new(0xC0FFEE);
+        let crashed = run_crash_convergence(&config, &ops, &plan, 70, 16).unwrap();
+        assert!(crashed);
+        // A crash point past the end of the trace never fires.
+        let crashed = run_crash_convergence(&config, &ops, &plan, 10_000, 16).unwrap();
+        assert!(!crashed);
+    }
+
+    #[test]
+    fn crash_convergence_under_fault_plan() {
+        let config = SystemConfig::table2_overlay();
+        let ops = generate_ops(13, 150);
+        let plan = FaultPlan::new(0xFA117)
+            .with_probability(FaultSite::OmsAllocFailed, 0.05)
+            .with_probability(FaultSite::OmsGrowRefused, 0.05);
+        let crashed = run_crash_convergence(&config, &ops, &plan, 40, 8).unwrap();
+        assert!(crashed);
+    }
+
+    #[test]
+    fn generated_streams_are_deterministic() {
+        assert_eq!(generate_ops(42, 100), generate_ops(42, 100));
+        assert_ne!(generate_ops(42, 100), generate_ops(43, 100));
+    }
+}

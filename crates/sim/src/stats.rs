@@ -33,4 +33,44 @@ impl SimStats {
     pub fn cpi(&self) -> f64 {
         po_types::stats::ratio(self.cycles, self.instructions)
     }
+
+    /// Serializes every field in declaration order.
+    pub fn encode_snapshot(&self, w: &mut po_types::SnapshotWriter) {
+        w.put_u64(self.instructions);
+        w.put_u64(self.cycles);
+        for c in [
+            &self.loads,
+            &self.stores,
+            &self.cow_faults,
+            &self.pages_copied,
+            &self.overlaying_writes,
+            &self.promotions,
+        ] {
+            w.put_u64(c.get());
+        }
+        w.put_u64(self.bus_bytes);
+        w.put_u64(self.extra_memory_bytes);
+    }
+
+    /// Rebuilds statistics from [`SimStats::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`po_types::PoError::Corrupted`] on truncation.
+    pub fn decode_snapshot(r: &mut po_types::SnapshotReader) -> po_types::PoResult<Self> {
+        let mut s = Self { instructions: r.get_u64()?, cycles: r.get_u64()?, ..Self::default() };
+        for c in [
+            &mut s.loads,
+            &mut s.stores,
+            &mut s.cow_faults,
+            &mut s.pages_copied,
+            &mut s.overlaying_writes,
+            &mut s.promotions,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        s.bus_bytes = r.get_u64()?;
+        s.extra_memory_bytes = r.get_u64()?;
+        Ok(s)
+    }
 }

@@ -5,6 +5,18 @@ use crate::stats::SimStats;
 use po_types::{Asid, PoResult, VirtAddr};
 
 /// One operation of a trace.
+///
+/// The first three variants are core-level (timed) operations consumed
+/// by [`Machine::execute`]. The remainder are **harness-level**
+/// operations used by the deterministic-simulation harness
+/// ([`crate::sim_test`]) and the differential fuzzer: they act on the
+/// whole machine (processes, mappings, overlay promotions) and are
+/// rejected by [`Machine::execute`].
+///
+/// Harness ops name processes by a *selector*, resolved as
+/// `proc_sel % live_process_count` at apply time (no-op when no process
+/// exists). This makes **every subsequence of a trace a valid trace** —
+/// the property the fuzzer's trace shrinker relies on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOp {
     /// `n` non-memory instructions (1 cycle each, single issue).
@@ -13,15 +25,91 @@ pub enum TraceOp {
     Load(VirtAddr),
     /// A demand store.
     Store(VirtAddr),
+    /// Harness: spawn a new process.
+    Spawn,
+    /// Harness: map `count` writable anonymous pages at VPN `start` for
+    /// the selected process.
+    Map {
+        /// Process selector (modulo live process count).
+        proc_sel: u32,
+        /// First virtual page number of the range.
+        start: u64,
+        /// Pages to map.
+        count: u32,
+    },
+    /// Harness: fork the selected process.
+    Fork {
+        /// Process selector.
+        proc_sel: u32,
+    },
+    /// Harness: functional one-byte write ([`Machine::poke`]).
+    Poke {
+        /// Process selector.
+        proc_sel: u32,
+        /// Target address.
+        va: VirtAddr,
+        /// Byte to write.
+        value: u8,
+    },
+    /// Harness: functional one-byte read ([`Machine::peek`]), compared
+    /// against the differential oracle.
+    Peek {
+        /// Process selector.
+        proc_sel: u32,
+        /// Address to read.
+        va: VirtAddr,
+    },
+    /// Harness: seed one overlay line directly into the OMS
+    /// ([`Machine::seed_overlay_line`] with a splatted byte).
+    SeedLine {
+        /// Process selector.
+        proc_sel: u32,
+        /// Virtual page number.
+        vpn: u64,
+        /// Line index within the page (0..64; enforced by the trace
+        /// parser).
+        line: u8,
+        /// Byte splatted across the line.
+        value: u8,
+    },
+    /// Harness: commit the page's overlay ([`Machine::commit_overlay`]).
+    CommitPage {
+        /// Process selector.
+        proc_sel: u32,
+        /// Virtual page number.
+        vpn: u64,
+    },
+    /// Harness: discard the page's overlay
+    /// ([`Machine::discard_overlay`]).
+    DiscardPage {
+        /// Process selector.
+        proc_sel: u32,
+        /// Virtual page number.
+        vpn: u64,
+    },
+    /// Harness: flush every cache-resident dirty overlay line into the
+    /// OMS ([`Machine::flush_overlays`]).
+    Flush,
+    /// Harness: reclaim overlay memory by collapsing cold overlays
+    /// ([`Machine::recover_overlay_memory`]).
+    Reclaim,
 }
 
 impl TraceOp {
-    /// Instructions this op represents.
+    /// Instructions this op represents (harness-level ops execute no
+    /// instructions).
     pub fn instructions(&self) -> u64 {
         match self {
             TraceOp::Compute(n) => *n as u64,
-            _ => 1,
+            TraceOp::Load(_) | TraceOp::Store(_) => 1,
+            _ => 0,
         }
+    }
+
+    /// `true` for harness-level ops (everything except
+    /// `Compute`/`Load`/`Store`).
+    pub fn is_harness_op(&self) -> bool {
+        !matches!(self, TraceOp::Compute(_) | TraceOp::Load(_) | TraceOp::Store(_))
     }
 }
 

@@ -6,12 +6,32 @@
 //!
 //! ```text
 //! # comments and blank lines are ignored
-//! C <n>        # n compute instructions
-//! L <hexaddr>  # load
-//! S <hexaddr>  # store
+//! !trace-version 2   # optional headers, before the first op,
+//! !ops 4             # each at most once
+//! !seed 1b2c3d
+//! C <n>              # n compute instructions
+//! L <hexaddr>        # load
+//! S <hexaddr>        # store
+//! P                  # spawn a process              (version 2)
+//! M <p> <hexvpn> <n> # map n pages at vpn           (version 2)
+//! F <p>              # fork                         (version 2)
+//! W <p> <hexva> <v>  # poke one byte                (version 2)
+//! R <p> <hexva>      # peek one byte                (version 2)
+//! K <p> <hexvpn> <line> <v>  # seed overlay line    (version 2)
+//! T <p> <hexvpn>     # commit page overlay          (version 2)
+//! D <p> <hexvpn>     # discard page overlay         (version 2)
+//! U                  # flush dirty overlay lines    (version 2)
+//! G                  # reclaim overlay memory       (version 2)
 //! ```
+//!
+//! Headers are validated strictly: duplicates are rejected, a declared
+//! `!ops` count must match the number of ops actually present, a
+//! declared `!trace-version 1` trace may not contain version-2 tags,
+//! and line indices must be in `0..64`. Version-1 traces (no headers,
+//! only `C`/`L`/`S`) remain parseable unchanged.
 
 use crate::trace::TraceOp;
+use po_types::geometry::LINES_PER_PAGE;
 use po_types::VirtAddr;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -49,30 +69,136 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-/// Writes a trace in the text format.
+/// Writes a trace in the text format. Traces containing harness-level
+/// ops are written with version-2 headers (including an `!ops` count
+/// that [`read_trace`] cross-checks); pure `C`/`L`/`S` traces keep the
+/// header-free version-1 shape for compatibility.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_trace<W: Write>(mut w: W, ops: &[TraceOp]) -> Result<(), TraceIoError> {
+pub fn write_trace<W: Write>(w: W, ops: &[TraceOp]) -> Result<(), TraceIoError> {
+    write_trace_with_seed(w, ops, None)
+}
+
+/// [`write_trace`] plus an optional `!seed` header recording the
+/// generator seed that produced the trace (reproducibility metadata for
+/// fuzzer repros; ignored by the parser beyond validation).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_trace_with_seed<W: Write>(
+    mut w: W,
+    ops: &[TraceOp],
+    seed: Option<u64>,
+) -> Result<(), TraceIoError> {
     writeln!(w, "# page-overlays trace, {} ops", ops.len())?;
+    if ops.iter().any(TraceOp::is_harness_op) || seed.is_some() {
+        writeln!(w, "!trace-version 2")?;
+        writeln!(w, "!ops {}", ops.len())?;
+        if let Some(s) = seed {
+            writeln!(w, "!seed {s:x}")?;
+        }
+    }
     for op in ops {
         match op {
             TraceOp::Compute(n) => writeln!(w, "C {n}")?,
             TraceOp::Load(va) => writeln!(w, "L {:x}", va.raw())?,
             TraceOp::Store(va) => writeln!(w, "S {:x}", va.raw())?,
+            TraceOp::Spawn => writeln!(w, "P")?,
+            TraceOp::Map { proc_sel, start, count } => {
+                writeln!(w, "M {proc_sel} {start:x} {count}")?
+            }
+            TraceOp::Fork { proc_sel } => writeln!(w, "F {proc_sel}")?,
+            TraceOp::Poke { proc_sel, va, value } => {
+                writeln!(w, "W {proc_sel} {:x} {value}", va.raw())?
+            }
+            TraceOp::Peek { proc_sel, va } => writeln!(w, "R {proc_sel} {:x}", va.raw())?,
+            TraceOp::SeedLine { proc_sel, vpn, line, value } => {
+                writeln!(w, "K {proc_sel} {vpn:x} {line} {value}")?
+            }
+            TraceOp::CommitPage { proc_sel, vpn } => writeln!(w, "T {proc_sel} {vpn:x}")?,
+            TraceOp::DiscardPage { proc_sel, vpn } => writeln!(w, "D {proc_sel} {vpn:x}")?,
+            TraceOp::Flush => writeln!(w, "U")?,
+            TraceOp::Reclaim => writeln!(w, "G")?,
         }
     }
     Ok(())
 }
 
-/// Reads a trace in the text format.
+fn parse_err(line: usize, what: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse { line, what: what.into() }
+}
+
+/// Header state accumulated while parsing.
+#[derive(Default)]
+struct Headers {
+    version: Option<u32>,
+    ops: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl Headers {
+    fn apply(&mut self, lineno: usize, key: &str, value: &str) -> Result<(), TraceIoError> {
+        match key {
+            "trace-version" => {
+                if self.version.is_some() {
+                    return Err(parse_err(lineno, "duplicate !trace-version header"));
+                }
+                let v: u32 = value
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad trace version {value}")))?;
+                if !(1..=2).contains(&v) {
+                    return Err(parse_err(lineno, format!("unsupported trace version {v}")));
+                }
+                self.version = Some(v);
+            }
+            "ops" => {
+                if self.ops.is_some() {
+                    return Err(parse_err(lineno, "duplicate !ops header"));
+                }
+                self.ops = Some(
+                    value
+                        .parse()
+                        .map_err(|_| parse_err(lineno, format!("bad op count {value}")))?,
+                );
+            }
+            "seed" => {
+                if self.seed.is_some() {
+                    return Err(parse_err(lineno, "duplicate !seed header"));
+                }
+                self.seed = Some(
+                    u64::from_str_radix(value, 16)
+                        .map_err(|_| parse_err(lineno, format!("bad hex seed {value}")))?,
+                );
+            }
+            other => return Err(parse_err(lineno, format!("unknown header !{other}"))),
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64_hex(lineno: usize, what: &str, s: &str) -> Result<u64, TraceIoError> {
+    u64::from_str_radix(s, 16).map_err(|_| parse_err(lineno, format!("bad hex {what} {s}")))
+}
+
+fn parse_dec<T: std::str::FromStr>(lineno: usize, what: &str, s: &str) -> Result<T, TraceIoError> {
+    s.parse().map_err(|_| parse_err(lineno, format!("bad {what} {s}")))
+}
+
+/// Reads a trace in the text format, validating headers and per-op
+/// field ranges.
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] on I/O failures or malformed lines.
+/// Returns [`TraceIoError`] on I/O failures, malformed lines,
+/// duplicate or contradictory headers (an `!ops` count that disagrees
+/// with the trace body, version-2 tags in a declared version-1 trace),
+/// or out-of-range line indices.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
     let mut ops = Vec::new();
+    let mut headers = Headers::default();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
         let lineno = idx + 1;
@@ -80,32 +206,88 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        let (tag, rest) = t.split_at(1);
-        let arg = rest.trim();
+        if let Some(header) = t.strip_prefix('!') {
+            if !ops.is_empty() {
+                return Err(parse_err(lineno, "header after the first op"));
+            }
+            let (key, value) = header.split_once(' ').unwrap_or((header, ""));
+            headers.apply(lineno, key, value.trim())?;
+            continue;
+        }
+        let mut fields = t.split_whitespace();
+        // Statically infallible: t is non-empty after the trim checks.
+        let tag = fields.next().unwrap_or("");
+        let mut field =
+            |what: &str| fields.next().ok_or_else(|| parse_err(lineno, format!("missing {what}")));
         let op = match tag {
-            "C" => TraceOp::Compute(arg.parse::<u32>().map_err(|_| TraceIoError::Parse {
-                line: lineno,
-                what: format!("bad compute count {arg}"),
-            })?),
-            "L" | "S" => {
-                let addr = u64::from_str_radix(arg, 16).map_err(|_| TraceIoError::Parse {
-                    line: lineno,
-                    what: format!("bad hex address {arg}"),
-                })?;
-                if tag == "L" {
-                    TraceOp::Load(VirtAddr::new(addr))
-                } else {
-                    TraceOp::Store(VirtAddr::new(addr))
+            "C" => TraceOp::Compute(parse_dec(lineno, "compute count", field("compute count")?)?),
+            "L" => {
+                TraceOp::Load(VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?))
+            }
+            "S" => {
+                TraceOp::Store(VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?))
+            }
+            "P" => TraceOp::Spawn,
+            "M" => TraceOp::Map {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+                start: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+                count: parse_dec(lineno, "page count", field("page count")?)?,
+            },
+            "F" => TraceOp::Fork {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+            },
+            "W" => TraceOp::Poke {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+                va: VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?),
+                value: parse_dec(lineno, "byte value", field("byte value")?)?,
+            },
+            "R" => TraceOp::Peek {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+                va: VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?),
+            },
+            "K" => {
+                let proc_sel = parse_dec(lineno, "process selector", field("process selector")?)?;
+                let vpn = parse_u64_hex(lineno, "vpn", field("vpn")?)?;
+                let line_idx: u8 = parse_dec(lineno, "line index", field("line index")?)?;
+                if line_idx as usize >= LINES_PER_PAGE {
+                    return Err(parse_err(
+                        lineno,
+                        format!("line index {line_idx} out of range (a page has 64 lines)"),
+                    ));
                 }
+                let value = parse_dec(lineno, "byte value", field("byte value")?)?;
+                TraceOp::SeedLine { proc_sel, vpn, line: line_idx, value }
             }
-            other => {
-                return Err(TraceIoError::Parse {
-                    line: lineno,
-                    what: format!("unknown op tag {other}"),
-                })
-            }
+            "T" => TraceOp::CommitPage {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+                vpn: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+            },
+            "D" => TraceOp::DiscardPage {
+                proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
+                vpn: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+            },
+            "U" => TraceOp::Flush,
+            "G" => TraceOp::Reclaim,
+            other => return Err(parse_err(lineno, format!("unknown op tag {other}"))),
         };
+        if fields.next().is_some() {
+            return Err(parse_err(lineno, format!("trailing fields after {tag} op")));
+        }
+        if headers.version == Some(1) && op.is_harness_op() {
+            return Err(parse_err(
+                lineno,
+                format!("op tag {tag} requires trace version 2, but version 1 was declared"),
+            ));
+        }
         ops.push(op);
+    }
+    if let Some(declared) = headers.ops {
+        if declared != ops.len() {
+            return Err(parse_err(
+                0,
+                format!("!ops header declared {declared} ops but the trace has {}", ops.len()),
+            ));
+        }
     }
     Ok(ops)
 }
@@ -163,5 +345,87 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &ops).unwrap();
         assert_eq!(read_trace(buf.as_slice()).unwrap(), ops);
+    }
+
+    /// One op of every variant, with awkward values.
+    fn all_variants() -> Vec<TraceOp> {
+        vec![
+            TraceOp::Compute(0),
+            TraceOp::Compute(u32::MAX),
+            TraceOp::Load(VirtAddr::new(0)),
+            TraceOp::Store(VirtAddr::new(u64::MAX >> 1)),
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: u32::MAX, start: 0x100, count: 7 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 3, va: VirtAddr::new(0x1234_5678), value: 255 },
+            TraceOp::Peek { proc_sel: 9, va: VirtAddr::new(0xabc) },
+            TraceOp::SeedLine { proc_sel: 1, vpn: 0x42, line: 63, value: 0 },
+            TraceOp::CommitPage { proc_sel: 2, vpn: 0x101 },
+            TraceOp::DiscardPage { proc_sel: 4, vpn: 0x102 },
+            TraceOp::Flush,
+            TraceOp::Reclaim,
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let ops = all_variants();
+        let mut buf = Vec::new();
+        write_trace_with_seed(&mut buf, &ops, Some(0xdead_beef)).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("!trace-version 2"), "{text}");
+        assert!(text.contains("!seed deadbeef"), "{text}");
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), ops);
+    }
+
+    #[test]
+    fn duplicate_headers_rejected() {
+        for dup in [
+            "!trace-version 2\n!trace-version 2\nP\n",
+            "!ops 1\n!ops 1\nP\n",
+            "!seed 1\n!seed 1\nP\n",
+        ] {
+            let err = read_trace(dup.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("duplicate"), "{dup:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn contradictory_headers_rejected() {
+        // Declared op count disagrees with the body.
+        let err = read_trace("!ops 3\nP\nU\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 3 ops"), "{err}");
+        // Version-2 tags under a declared version-1 trace.
+        let err = read_trace("!trace-version 1\nP\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("requires trace version 2"), "{err}");
+        // Headers may not follow ops.
+        let err = read_trace("C 1\n!ops 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header after the first op"), "{err}");
+        // Unknown headers are rejected, not skipped.
+        let err = read_trace("!frobnicate on\nC 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown header"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_line_index_rejected() {
+        let err = read_trace("K 0 100 64 7\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line index 64 out of range"), "{err}");
+        assert!(read_trace("K 0 100 63 7\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let err = read_trace("C 5 6\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing fields"), "{err}");
+        let err = read_trace("P 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing fields"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        for bad in ["M 0 100\n", "W 0 ff\n", "K 0 100 5\n", "F\n"] {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("missing"), "{bad:?} → {err}");
+        }
     }
 }

@@ -34,6 +34,7 @@
 //! assert!(matches!(hit.outcome, TlbOutcome::L1Hit));
 //! assert_eq!(hit.latency, 1);
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod coherence;
 pub mod tlb;

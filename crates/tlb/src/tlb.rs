@@ -1,7 +1,8 @@
 //! The two-level TLB with OBitVector-extended entries.
 
-use po_types::{Asid, Counter, OBitVector, Vpn};
-use po_vm::Pte;
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
+use po_types::{Asid, Counter, OBitVector, PoError, PoResult, Ppn, Vpn};
+use po_vm::{Pte, PteFlags};
 
 /// TLB geometry and latencies (defaults = Table 2).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,10 +167,12 @@ impl TlbArray {
             self.touch(s, w);
             return;
         }
-        // Otherwise pick an invalid way, else the LRU way.
-        let way = (0..self.ways).find(|&w| self.entries[base + w].is_none()).unwrap_or_else(|| {
-            (0..self.ways).max_by_key(|&w| self.ranks[base + w]).expect("nonzero ways")
-        });
+        // Otherwise pick an invalid way, else the LRU way (way 0 is
+        // unreachable fallback: `new` guarantees at least one way).
+        let way = (0..self.ways)
+            .find(|&w| self.entries[base + w].is_none())
+            .or_else(|| (0..self.ways).max_by_key(|&w| self.ranks[base + w]))
+            .unwrap_or(0);
         self.entries[base + way] = Some(entry);
         self.touch(set, way);
     }
@@ -198,6 +201,68 @@ impl TlbArray {
 
     fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        for e in &self.entries {
+            match e {
+                None => w.put_bool(false),
+                Some(e) => {
+                    w.put_bool(true);
+                    w.put_u16(e.asid.raw());
+                    w.put_u64(e.vpn.raw());
+                    w.put_u64(e.pte.ppn.raw());
+                    let f = e.pte.flags;
+                    w.put_u8(
+                        f.present as u8
+                            | (f.writable as u8) << 1
+                            | (f.cow as u8) << 2
+                            | (f.overlay_enabled as u8) << 3,
+                    );
+                    w.put_u64(e.obitvec.raw());
+                }
+            }
+        }
+        for rank in &self.ranks {
+            w.put_u8(*rank);
+        }
+    }
+
+    fn decode_snapshot(r: &mut SnapshotReader, entries: usize, ways: usize) -> PoResult<Self> {
+        let mut array = TlbArray::new(entries, ways);
+        for slot in array.entries.iter_mut() {
+            *slot = if r.get_bool()? {
+                let raw_asid = r.get_u16()?;
+                if raw_asid > Asid::MAX {
+                    return Err(PoError::Corrupted("snapshot TLB ASID exceeds 15 bits"));
+                }
+                let asid = Asid::new(raw_asid);
+                let vpn = Vpn::new(r.get_u64()?);
+                let ppn = Ppn::new(r.get_u64()?);
+                let f = r.get_u8()?;
+                if f & !0xF != 0 {
+                    return Err(PoError::Corrupted("snapshot TLB PTE flags have unknown bits"));
+                }
+                let flags = PteFlags {
+                    present: f & 1 != 0,
+                    writable: f & 2 != 0,
+                    cow: f & 4 != 0,
+                    overlay_enabled: f & 8 != 0,
+                };
+                let obitvec = OBitVector::from_raw(r.get_u64()?);
+                Some(TlbEntry { asid, vpn, pte: Pte { ppn, flags }, obitvec })
+            } else {
+                None
+            };
+        }
+        for rank in array.ranks.iter_mut() {
+            let v = r.get_u8()?;
+            if v as usize >= ways {
+                return Err(PoError::Corrupted("snapshot TLB LRU rank exceeds ways"));
+            }
+            *rank = v;
+        }
+        Ok(array)
     }
 }
 
@@ -320,14 +385,9 @@ impl Tlb {
     /// Reads the cached entry without updating LRU state (tests and
     /// invariant checks).
     pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
-        self.l1
-            .find(asid, vpn)
-            .map(|(s, w)| self.l1.entries[s * self.l1.ways + w].expect("found"))
-            .or_else(|| {
-                self.l2
-                    .find(asid, vpn)
-                    .map(|(s, w)| self.l2.entries[s * self.l2.ways + w].expect("found"))
-            })
+        self.l1.find(asid, vpn).and_then(|(s, w)| self.l1.entries[s * self.l1.ways + w]).or_else(
+            || self.l2.find(asid, vpn).and_then(|(s, w)| self.l2.entries[s * self.l2.ways + w]),
+        )
     }
 
     /// Flushes all entries of a process (context destruction).
@@ -339,6 +399,45 @@ impl Tlb {
     /// Total valid entries across both levels.
     pub fn occupancy(&self) -> usize {
         self.l1.occupancy() + self.l2.occupancy()
+    }
+
+    /// Serializes both levels (entries plus LRU ranks) and statistics.
+    /// Geometry comes from the config and is not re-encoded.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        self.l1.encode_snapshot(w);
+        self.l2.encode_snapshot(w);
+        for c in [
+            &self.stats.l1_hits,
+            &self.stats.l2_hits,
+            &self.stats.misses,
+            &self.stats.shootdowns,
+            &self.stats.obit_updates,
+        ] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds a TLB with `config` geometry from [`encode_snapshot`]
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::Corrupted`] on truncation or malformed data;
+    /// the caller must pass the same config the snapshot was taken with.
+    pub fn decode_snapshot(config: TlbConfig, r: &mut SnapshotReader) -> PoResult<Self> {
+        let l1 = TlbArray::decode_snapshot(r, config.l1_entries, config.l1_ways)?;
+        let l2 = TlbArray::decode_snapshot(r, config.l2_entries, config.l2_ways)?;
+        let mut stats = TlbStats::default();
+        for c in [
+            &mut stats.l1_hits,
+            &mut stats.l2_hits,
+            &mut stats.misses,
+            &mut stats.shootdowns,
+            &mut stats.obit_updates,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        Ok(Self { config, l1, l2, stats })
     }
 }
 

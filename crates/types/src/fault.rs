@@ -34,6 +34,8 @@
 //! assert!(!none.fire(FaultSite::OmsGrowRefused));
 //! ```
 
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
+use crate::{PoError, PoResult};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
@@ -65,17 +67,23 @@ pub enum FaultSite {
     /// free segments exist (controller metadata glitch), forcing the
     /// caller through the grow/reclaim path.
     OmsAllocFailed,
+    /// The whole machine "loses power" at an operation boundary: the
+    /// simulation-test harness polls this site between ops and, when it
+    /// fires, abandons the in-flight run, restores the last snapshot and
+    /// replays the journaled suffix (deterministic simulation testing).
+    CrashPoint,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports and tests.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::OmsGrowRefused,
         FaultSite::FrameAllocExhausted,
         FaultSite::OmtCacheCorruption,
         FaultSite::DramReadError,
         FaultSite::TlbShootdownTimeout,
         FaultSite::OmsAllocFailed,
+        FaultSite::CrashPoint,
     ];
 
     #[inline]
@@ -87,6 +95,7 @@ impl FaultSite {
             FaultSite::DramReadError => 3,
             FaultSite::TlbShootdownTimeout => 4,
             FaultSite::OmsAllocFailed => 5,
+            FaultSite::CrashPoint => 6,
         }
     }
 }
@@ -235,6 +244,91 @@ impl FaultInjector {
             .as_ref()
             .map_or(0, |s| s.lock().unwrap_or_else(|e| e.into_inner()).injected.iter().sum())
     }
+
+    /// Disarms `site` on this injector (and all clones sharing its
+    /// state): subsequent queries at the site still count but never
+    /// fire. The crash-replay harness uses this to clear the
+    /// [`FaultSite::CrashPoint`] schedule after restoring a snapshot so
+    /// the replay run does not crash again at the same op.
+    pub fn clear_trigger(&self, site: FaultSite) {
+        if let Some(state) = &self.0 {
+            let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
+            s.triggers[site.index()] = Trigger::Never;
+        }
+    }
+
+    /// Serializes the injector (RNG position, triggers, per-site query
+    /// and injection counters) so a restored machine makes the *same*
+    /// future fault decisions the original would have.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        match &self.0 {
+            None => w.put_bool(false),
+            Some(state) => {
+                w.put_bool(true);
+                let s = state.lock().unwrap_or_else(|e| e.into_inner());
+                w.put_u64(s.rng.state);
+                for t in &s.triggers {
+                    match t {
+                        Trigger::Never => w.put_u8(0),
+                        Trigger::Probability(p) => {
+                            w.put_u8(1);
+                            w.put_f64(*p);
+                        }
+                        Trigger::Schedule(set) => {
+                            w.put_u8(2);
+                            w.put_len(set.len());
+                            for q in set {
+                                w.put_u64(*q);
+                            }
+                        }
+                    }
+                }
+                for q in &s.queries {
+                    w.put_u64(*q);
+                }
+                for n in &s.injected {
+                    w.put_u64(*n);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds an injector from [`encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::Corrupted`] on truncation or malformed tags.
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        if !r.get_bool()? {
+            return Ok(Self::none());
+        }
+        let rng = SplitMix64 { state: r.get_u64()? };
+        let mut triggers: [Trigger; NUM_SITES] = Default::default();
+        for t in &mut triggers {
+            *t = match r.get_u8()? {
+                0 => Trigger::Never,
+                1 => Trigger::Probability(r.get_f64()?),
+                2 => {
+                    let n = r.get_len()?;
+                    let mut set = BTreeSet::new();
+                    for _ in 0..n {
+                        set.insert(r.get_u64()?);
+                    }
+                    Trigger::Schedule(set)
+                }
+                _ => return Err(PoError::Corrupted("snapshot fault trigger tag unknown")),
+            };
+        }
+        let mut queries = [0u64; NUM_SITES];
+        for q in &mut queries {
+            *q = r.get_u64()?;
+        }
+        let mut injected = [0u64; NUM_SITES];
+        for n in &mut injected {
+            *n = r.get_u64()?;
+        }
+        Ok(Self(Some(Arc::new(Mutex::new(FaultState { rng, triggers, queries, injected })))))
+    }
 }
 
 /// SplitMix64 (Steele, Lea, Flood 2014) — the same engine the rand shim
@@ -320,6 +414,60 @@ mod tests {
         assert_eq!(inj.injected(FaultSite::OmsGrowRefused), 1);
         assert_eq!(inj.injected(FaultSite::FrameAllocExhausted), 0);
         assert_eq!(inj.total_injected(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_future_decisions() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(0xFEED)
+                .with_probability(FaultSite::DramReadError, 0.5)
+                .at_queries(FaultSite::CrashPoint, [2, 5]),
+        );
+        // Advance past some queries so RNG position and counters matter.
+        for _ in 0..10 {
+            inj.fire(FaultSite::DramReadError);
+        }
+        inj.fire(FaultSite::CrashPoint);
+
+        let mut w = SnapshotWriter::new();
+        inj.encode_snapshot(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        let restored = FaultInjector::decode_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(restored.queries(FaultSite::DramReadError), 10);
+        assert_eq!(restored.injected(FaultSite::CrashPoint), 0);
+        let a: Vec<bool> = (0..64).map(|_| inj.fire(FaultSite::DramReadError)).collect();
+        let b: Vec<bool> = (0..64).map(|_| restored.fire(FaultSite::DramReadError)).collect();
+        assert_eq!(a, b);
+        // Schedule sites stay aligned too (query 2 fires on both).
+        assert_eq!(inj.fire(FaultSite::CrashPoint), restored.fire(FaultSite::CrashPoint));
+        assert!(inj.fire(FaultSite::CrashPoint));
+        assert!(restored.fire(FaultSite::CrashPoint));
+    }
+
+    #[test]
+    fn inert_injector_snapshot_round_trips() {
+        let mut w = SnapshotWriter::new();
+        FaultInjector::none().encode_snapshot(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        let restored = FaultInjector::decode_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert!(!restored.is_active());
+    }
+
+    #[test]
+    fn clear_trigger_disarms_site_across_clones() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(1).with_probability(FaultSite::CrashPoint, 1.0),
+        );
+        let clone = inj.clone();
+        assert!(inj.fire(FaultSite::CrashPoint));
+        clone.clear_trigger(FaultSite::CrashPoint);
+        assert!(!inj.fire(FaultSite::CrashPoint));
+        assert_eq!(inj.queries(FaultSite::CrashPoint), 2);
     }
 
     #[test]

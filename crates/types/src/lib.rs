@@ -40,6 +40,7 @@ pub mod fault;
 pub mod geometry;
 pub mod line;
 pub mod obitvec;
+pub mod snapshot;
 pub mod stats;
 
 pub use access::{AccessKind, MemoryAccess};
@@ -48,6 +49,7 @@ pub use error::{PoError, PoResult};
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use line::LineData;
 pub use obitvec::OBitVector;
+pub use snapshot::{fingerprint64, SnapshotReader, SnapshotWriter};
 pub use stats::Counter;
 
 /// A simulation timestamp measured in CPU cycles.

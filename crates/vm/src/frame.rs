@@ -7,6 +7,7 @@
 //! of this pool for the memory controller's Overlay Memory Store
 //! (§4.4.3).
 
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{MainMemAddr, PoError, PoResult, Ppn};
 
 /// A free-list frame allocator over `total_frames` 4 KB frames.
@@ -91,6 +92,42 @@ impl FrameAllocator {
     /// Main-memory address of a frame (direct mapping).
     pub fn frame_addr(ppn: Ppn) -> MainMemAddr {
         MainMemAddr::new(ppn.base().raw())
+    }
+
+    /// Serializes the allocator. The free list is written verbatim (it
+    /// is a LIFO stack, so its order determines which frame the next
+    /// `alloc` returns — byte-stable restore must preserve it).
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.total);
+        w.put_u64(self.next_never_used);
+        w.put_len(self.free_list.len());
+        for ppn in &self.free_list {
+            w.put_u64(ppn.raw());
+        }
+    }
+
+    /// Rebuilds an allocator from [`encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::Corrupted`] on truncation or an inconsistent
+    /// free list.
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let total = r.get_u64()?;
+        let next_never_used = r.get_u64()?;
+        if next_never_used > total {
+            return Err(PoError::Corrupted("snapshot allocator watermark exceeds pool"));
+        }
+        let n = r.get_len()?;
+        let mut free_list = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ppn = Ppn::new(r.get_u64()?);
+            if ppn.raw() >= next_never_used {
+                return Err(PoError::Corrupted("snapshot free list names never-used frame"));
+            }
+            free_list.push(ppn);
+        }
+        Ok(Self { total, next_never_used, free_list })
     }
 }
 

@@ -34,6 +34,7 @@
 //! assert!(fault.copied_page, "CoW must copy the whole page on first write");
 //! assert_eq!(os.read(child, VirtAddr::new(0x10_000), &mem).unwrap(), 0);
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod frame;
 pub mod os;

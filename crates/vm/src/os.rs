@@ -11,6 +11,7 @@ use crate::frame::FrameAllocator;
 use crate::page_table::{PageTable, Pte, PteFlags};
 use po_dram::DataStore;
 use po_types::geometry::PAGE_SIZE;
+use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{
     Asid, Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult, Ppn, VirtAddr, Vpn,
 };
@@ -294,7 +295,10 @@ impl OsModel {
         let refs = self.refcounts.get(&pte.ppn).copied().unwrap_or(1);
         if refs == 1 {
             // Sole owner: just re-enable writes.
-            let e = self.table_mut(asid)?.entry_mut(vpn).expect("translated above");
+            let e = self
+                .table_mut(asid)?
+                .entry_mut(vpn)
+                .ok_or(PoError::Corrupted("entry vanished between translate and update"))?;
             e.flags.cow = false;
             e.flags.writable = true;
             // Dropping CoW still requires the remap to be visible.
@@ -304,9 +308,15 @@ impl OsModel {
         // Shared: copy the whole page to a fresh frame (Figure 3a).
         let new_ppn = self.alloc_checked()?;
         mem.copy_frame(FrameAllocator::frame_addr(pte.ppn), FrameAllocator::frame_addr(new_ppn));
-        *self.refcounts.get_mut(&pte.ppn).expect("shared frame tracked") -= 1;
+        *self
+            .refcounts
+            .get_mut(&pte.ppn)
+            .ok_or(PoError::Corrupted("shared frame missing from refcounts"))? -= 1;
         self.refcounts.insert(new_ppn, 1);
-        let e = self.table_mut(asid)?.entry_mut(vpn).expect("translated above");
+        let e = self
+            .table_mut(asid)?
+            .entry_mut(vpn)
+            .ok_or(PoError::Corrupted("entry vanished between translate and update"))?;
         e.ppn = new_ppn;
         e.flags.cow = false;
         e.flags.writable = true;
@@ -382,6 +392,113 @@ impl OsModel {
     /// Returns an error if the process does not exist.
     pub fn pages(&self, asid: Asid) -> PoResult<Vec<(Vpn, Pte)>> {
         Ok(self.table(asid)?.iter())
+    }
+
+    /// Serializes the OS model (allocator, page tables, refcounts,
+    /// stats). Maps are emitted in sorted key order so the encoding is
+    /// byte-stable. The fault injector is *not* serialized here — the
+    /// machine snapshots it once and redistributes it on restore.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        self.allocator.encode_snapshot(w);
+        w.put_u16(self.next_asid);
+        let mut asids: Vec<Asid> = self.processes.keys().copied().collect();
+        asids.sort_unstable_by_key(|a| a.raw());
+        w.put_len(asids.len());
+        for asid in asids {
+            w.put_u16(asid.raw());
+            let entries = self.processes[&asid].iter();
+            w.put_len(entries.len());
+            for (vpn, pte) in entries {
+                w.put_u64(vpn.raw());
+                w.put_u64(pte.ppn.raw());
+                let f = pte.flags;
+                w.put_u8(
+                    f.present as u8
+                        | (f.writable as u8) << 1
+                        | (f.cow as u8) << 2
+                        | (f.overlay_enabled as u8) << 3,
+                );
+            }
+        }
+        let mut refs: Vec<(u64, u32)> = self.refcounts.iter().map(|(p, c)| (p.raw(), *c)).collect();
+        refs.sort_unstable();
+        w.put_len(refs.len());
+        for (ppn, count) in refs {
+            w.put_u64(ppn);
+            w.put_u32(count);
+        }
+        for c in [
+            &self.stats.forks,
+            &self.stats.cow_faults,
+            &self.stats.pages_copied,
+            &self.stats.bytes_copied,
+            &self.stats.tlb_shootdowns,
+        ] {
+            w.put_u64(c.get());
+        }
+    }
+
+    /// Rebuilds an OS model from [`encode_snapshot`] bytes. The restored
+    /// model carries an inert fault injector; install the machine's via
+    /// [`OsModel::set_fault_injector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoError::Corrupted`] on truncation or malformed data.
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let allocator = FrameAllocator::decode_snapshot(r)?;
+        let next_asid = r.get_u16()?;
+        let nproc = r.get_len()?;
+        let mut processes = HashMap::with_capacity(nproc);
+        for _ in 0..nproc {
+            let raw_asid = r.get_u16()?;
+            if raw_asid > Asid::MAX {
+                return Err(PoError::Corrupted("snapshot ASID exceeds 15 bits"));
+            }
+            let asid = Asid::new(raw_asid);
+            let n = r.get_len()?;
+            let mut table = PageTable::new();
+            for _ in 0..n {
+                let vpn = Vpn::new(r.get_u64()?);
+                let ppn = Ppn::new(r.get_u64()?);
+                let f = r.get_u8()?;
+                if f & !0xF != 0 {
+                    return Err(PoError::Corrupted("snapshot PTE flags have unknown bits"));
+                }
+                let flags = PteFlags {
+                    present: f & 1 != 0,
+                    writable: f & 2 != 0,
+                    cow: f & 4 != 0,
+                    overlay_enabled: f & 8 != 0,
+                };
+                table.map(vpn, Pte { ppn, flags });
+            }
+            processes.insert(asid, table);
+        }
+        let nrefs = r.get_len()?;
+        let mut refcounts = HashMap::with_capacity(nrefs);
+        for _ in 0..nrefs {
+            let ppn = Ppn::new(r.get_u64()?);
+            refcounts.insert(ppn, r.get_u32()?);
+        }
+        let mut stats = OsStats::default();
+        for c in [
+            &mut stats.forks,
+            &mut stats.cow_faults,
+            &mut stats.pages_copied,
+            &mut stats.bytes_copied,
+            &mut stats.tlb_shootdowns,
+        ] {
+            c.add(r.get_u64()?);
+        }
+        Ok(Self {
+            allocator,
+            processes,
+            refcounts,
+            next_asid,
+            stats,
+            faults: FaultInjector::none(),
+        })
     }
 }
 

@@ -1,0 +1,114 @@
+//! Differential fuzzer for the page-overlay machine.
+//!
+//! Generates seeded op streams (maps, pokes/peeks, forks, overlay
+//! commits/discards/flushes/reclaims, timed loads/stores), runs each
+//! against the machine and the byte-level [`DiffOracle`], and — on
+//! divergence — shrinks the stream to a locally minimal trace and
+//! writes it as a replayable trace file.
+//!
+//! ```text
+//! diff_fuzz [--seed N] [--runs N] [--ops N] [--cow] [--faults]
+//!           [--inject-bug] [--out PATH]
+//! ```
+//!
+//! * `--seed` — first stream seed (default 1; run `i` uses `seed + i`).
+//! * `--runs` — streams to try (default 20).
+//! * `--ops` — ops per stream (default 400).
+//! * `--cow` — fuzz the copy-on-write baseline instead of overlay mode.
+//! * `--faults` — install a PR-1 style fault plan (OMS allocation
+//!   failures, grow refusals, frame exhaustion) seeded per run.
+//! * `--inject-bug` — enable the deliberate test-only divergence (a
+//!   poke of `0x42` writes `0x43`): the fuzzer must catch it.
+//! * `--out` — where to write the shrunk failing trace
+//!   (default `diff_fuzz_failure.trace`).
+//!
+//! Exits 0 if every run converges, 1 on divergence (after writing the
+//! shrunk trace), 2 on usage errors.
+//!
+//! [`DiffOracle`]: page_overlays::sim::DiffOracle
+
+use page_overlays::sim::{generate_ops, run_ops, shrink_ops, write_trace_with_seed, SystemConfig};
+use page_overlays::types::{FaultPlan, FaultSite};
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    runs: u64,
+    ops: usize,
+    cow: bool,
+    faults: bool,
+    inject_bug: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 1,
+        runs: 20,
+        ops: 400,
+        cow: false,
+        faults: false,
+        inject_bug: false,
+        out: "diff_fuzz_failure.trace".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--cow" => opts.cow = true,
+            "--faults" => opts.faults = true,
+            "--inject-bug" => opts.inject_bug = true,
+            "--out" => opts.out = value("--out")?,
+            other => return Err(format!("unknown argument {other} (see the module docs)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("diff_fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = if opts.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+
+    for i in 0..opts.runs {
+        let seed = opts.seed.wrapping_add(i);
+        let ops = generate_ops(seed, opts.ops);
+        let plan = opts.faults.then(|| {
+            FaultPlan::new(seed ^ 0xFA17)
+                .with_probability(FaultSite::OmsAllocFailed, 0.05)
+                .with_probability(FaultSite::OmsGrowRefused, 0.05)
+                .with_probability(FaultSite::FrameAllocExhausted, 0.02)
+        });
+        match run_ops(&config, plan.as_ref(), &ops, opts.inject_bug) {
+            Ok(()) => println!("seed {seed}: ok ({} ops)", ops.len()),
+            Err(e) => {
+                println!("seed {seed}: DIVERGENCE — {e}");
+                let shrunk = shrink_ops(&config, plan.as_ref(), &ops, opts.inject_bug);
+                println!("shrunk {} ops -> {} ops", ops.len(), shrunk.len());
+                let file = match std::fs::File::create(&opts.out) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("diff_fuzz: cannot create {}: {e}", opts.out);
+                        return ExitCode::from(2);
+                    }
+                };
+                if let Err(e) = write_trace_with_seed(file, &shrunk, Some(seed)) {
+                    eprintln!("diff_fuzz: cannot write {}: {e}", opts.out);
+                    return ExitCode::from(2);
+                }
+                println!("minimal failing trace written to {}", opts.out);
+                return ExitCode::from(1);
+            }
+        }
+    }
+    println!("{} runs converged", opts.runs);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! Property tests for [`OBitVector`] against a plain `u64` reference
+//! model, plus snapshot round-trip coverage of the raw representation.
+
+use page_overlays::types::snapshot::{SnapshotReader, SnapshotWriter};
+use page_overlays::types::OBitVector;
+use proptest::prelude::*;
+
+/// The reference model: bit `i` of a `u64` ⇔ line `i` in the overlay.
+fn model_of(ops: &[(u8, u8)]) -> (OBitVector, u64) {
+    let mut v = OBitVector::EMPTY;
+    let mut m = 0u64;
+    for &(code, raw_line) in ops {
+        let line = raw_line as usize % 64;
+        match code % 3 {
+            0 => {
+                v.set(line);
+                m |= 1 << line;
+            }
+            1 => {
+                v.clear(line);
+                m &= !(1 << line);
+            }
+            _ => assert_eq!(v.contains(line), (m >> line) & 1 == 1),
+        }
+    }
+    (v, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_u64_model(ops in prop::collection::vec((any::<u8>(), any::<u8>()), 0..64)) {
+        let (v, m) = model_of(&ops);
+        prop_assert_eq!(v.raw(), m);
+        prop_assert_eq!(v.len(), m.count_ones() as usize);
+        prop_assert_eq!(v.is_empty(), m == 0);
+        prop_assert_eq!(v.is_full(), m == u64::MAX);
+        for line in 0..64usize {
+            prop_assert_eq!(v.contains(line), (m >> line) & 1 == 1);
+            prop_assert_eq!(v.rank(line), (m & ((1u64 << line) - 1)).count_ones() as usize);
+        }
+        let from_iter: Vec<usize> = v.iter().collect();
+        let from_model: Vec<usize> = (0..64).filter(|&i| (m >> i) & 1 == 1).collect();
+        prop_assert_eq!(from_iter, from_model);
+    }
+
+    #[test]
+    fn set_algebra_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        let (va, vb) = (OBitVector::from_raw(a), OBitVector::from_raw(b));
+        prop_assert_eq!(va.union(vb).raw(), a | b);
+        prop_assert_eq!(va.intersection(vb).raw(), a & b);
+        prop_assert_eq!(va.difference(vb).raw(), a & !b);
+    }
+
+    #[test]
+    fn snapshot_round_trip(raw in any::<u64>()) {
+        let v = OBitVector::from_raw(raw);
+        let mut w = SnapshotWriter::new();
+        w.put_u64(v.raw());
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = OBitVector::from_raw(r.get_u64().expect("u64 present"));
+        r.expect_end().expect("no trailing bytes");
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(back.raw(), raw);
+    }
+}

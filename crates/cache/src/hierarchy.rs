@@ -10,6 +10,7 @@
 use crate::config::HierarchyConfig;
 use crate::prefetch::StreamPrefetcher;
 use crate::set_assoc::{Evicted, SetAssocCache};
+use po_telemetry::{Event as TelemetryEvent, HitLevel, TelemetrySink};
 use po_types::{AccessKind, Counter, PhysAddr};
 
 /// Which cache level serviced an access.
@@ -77,6 +78,9 @@ pub struct CacheHierarchy {
     l3: SetAssocCache,
     prefetcher: StreamPrefetcher,
     stats: HierarchyStats,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl CacheHierarchy {
@@ -88,7 +92,13 @@ impl CacheHierarchy {
             l3: SetAssocCache::new(config.l3),
             prefetcher: StreamPrefetcher::new(config.prefetcher),
             stats: HierarchyStats::default(),
+            sink: TelemetrySink::noop(),
         }
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Returns hierarchy statistics.
@@ -124,6 +134,28 @@ impl CacheHierarchy {
     /// accesses hit closer to the core; on a full miss the caller should
     /// obtain the line from memory and then call [`CacheHierarchy::fill`].
     pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> AccessOutcome {
+        let out = self.access_inner(addr, kind);
+        if self.sink.is_active() {
+            self.sink.emit(|| TelemetryEvent::CacheAccess {
+                addr: addr.raw(),
+                write: kind.is_write(),
+                level: match out.result {
+                    LookupResult::Hit { level: Level::L1 } => HitLevel::L1,
+                    LookupResult::Hit { level: Level::L2 } => HitLevel::L2,
+                    LookupResult::Hit { level: Level::L3 } => HitLevel::L3,
+                    LookupResult::Miss => HitLevel::Miss,
+                },
+                latency: out.latency,
+            });
+            self.sink.count("cache.accesses", 1);
+            if matches!(out.result, LookupResult::Miss) {
+                self.sink.count("cache.misses", 1);
+            }
+        }
+        out
+    }
+
+    fn access_inner(&mut self, addr: PhysAddr, kind: AccessKind) -> AccessOutcome {
         self.stats.accesses.inc();
         let is_write = kind.is_write();
         let mut writebacks = Vec::new();
@@ -281,7 +313,7 @@ impl CacheHierarchy {
         ] {
             c.add(r.get_u64()?);
         }
-        Ok(Self { l1, l2, l3, prefetcher, stats })
+        Ok(Self { l1, l2, l3, prefetcher, stats, sink: TelemetrySink::noop() })
     }
 }
 

@@ -37,6 +37,8 @@
 //! assert!(hit.latency < miss.latency);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod config;
 pub mod hierarchy;
 pub mod prefetch;

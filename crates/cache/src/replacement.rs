@@ -137,10 +137,15 @@ impl Replacement {
         }
         match self.kind {
             PolicyKind::Lru => {
-                // Evict the way with the highest recency rank.
-                (0..self.ways)
-                    .max_by_key(|&w| self.state[self.idx(set, w)])
-                    .expect("cache must have at least one way")
+                // Evict the way with the highest recency rank (ties go
+                // to the highest way, matching max_by_key's last-max).
+                let mut victim = 0;
+                for w in 1..self.ways {
+                    if self.state[self.idx(set, w)] >= self.state[self.idx(set, victim)] {
+                        victim = w;
+                    }
+                }
+                victim
             }
             PolicyKind::Drrip => {
                 // Find an RRPV==MAX way, aging everyone until one appears.

@@ -17,6 +17,7 @@ use crate::omt_cache::OmtCache;
 use crate::segment::{SegmentClass, SegmentMeta};
 use crate::store::OverlayMemoryStore;
 use po_dram::DataStore;
+use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{
     Counter, FaultInjector, FaultSite, LineData, MainMemAddr, OBitVector, Opn, PoError, PoResult,
@@ -114,6 +115,9 @@ pub struct OverlayManager {
     resident: HashMap<(Opn, usize), LineData>,
     stats: OverlayStats,
     faults: FaultInjector,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl Default for OmtCache {
@@ -135,6 +139,7 @@ impl OverlayManager {
             resident: HashMap::new(),
             stats: OverlayStats::default(),
             faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
         }
     }
 
@@ -144,6 +149,14 @@ impl OverlayManager {
     pub fn set_fault_injector(&mut self, faults: FaultInjector) {
         self.store.set_fault_injector(faults.clone());
         self.faults = faults;
+    }
+
+    /// Installs the telemetry sink, shared with the OMS and the OMT
+    /// cache (a clone of the machine's sink).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.store.set_telemetry(sink.clone());
+        self.omt_cache.set_telemetry(sink.clone());
+        self.sink = sink;
     }
 
     /// Copies the injector-wide total of injected faults into
@@ -239,9 +252,12 @@ impl OverlayManager {
         if entry.obitvec.contains(line) {
             // Already remapped: this is just a simple write.
             self.stats.simple_writes.inc();
+            self.sink.count("overlay.simple_writes", 1);
         } else {
             entry.obitvec.set(line);
             self.stats.overlaying_writes.inc();
+            self.sink.count("overlay.overlaying_writes", 1);
+            self.sink.emit(|| TelemetryEvent::OverlayingWrite { opn: opn.raw(), line: line as u8 });
         }
         self.resident.insert((opn, line), data);
         Ok(())
@@ -478,8 +494,14 @@ impl OverlayManager {
             // dropped, forcing a miss and an OMT re-walk — extra latency,
             // never silent data corruption.
             self.omt_cache.invalidate(opn);
+            self.sink.emit(|| TelemetryEvent::FaultInjected { site: "OmtCacheCorruption" });
         }
         let hit = self.omt_cache.access(opn, modify);
+        self.sink.emit(|| TelemetryEvent::OmsResolve {
+            opn: opn.raw(),
+            line: line as u8,
+            cache_hit: hit,
+        });
         Ok((addr, hit))
     }
 
@@ -646,6 +668,8 @@ impl OverlayManager {
         let freed = before.saturating_sub(self.store.bytes_in_use());
         self.stats.reclaims.inc();
         self.stats.reclaim_freed_bytes.add(freed);
+        self.sink.count("overlay.reclaims", 1);
+        self.sink.emit(|| TelemetryEvent::Reclaim { opn: opn.raw(), freed_bytes: freed });
         Ok(freed)
     }
 
@@ -762,7 +786,16 @@ impl OverlayManager {
         ] {
             c.add(r.get_u64()?);
         }
-        Ok(Self { config, omt, omt_cache, store, resident, stats, faults: FaultInjector::none() })
+        Ok(Self {
+            config,
+            omt,
+            omt_cache,
+            store,
+            resident,
+            stats,
+            faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
+        })
     }
 }
 

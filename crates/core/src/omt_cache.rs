@@ -9,6 +9,7 @@
 //! back on eviction) and hit/miss statistics — everything the timing and
 //! cost models need.
 
+use po_telemetry::TelemetrySink;
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{Counter, Opn, PoError, PoResult};
 
@@ -56,6 +57,9 @@ pub struct OmtCache {
     slots: Vec<Slot>,
     tick: u64,
     stats: OmtCacheStats,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl OmtCache {
@@ -66,7 +70,18 @@ impl OmtCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "OMT cache needs at least one entry");
-        Self { capacity, slots: Vec::new(), tick: 0, stats: OmtCacheStats::default() }
+        Self {
+            capacity,
+            slots: Vec::new(),
+            tick: 0,
+            stats: OmtCacheStats::default(),
+            sink: TelemetrySink::noop(),
+        }
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Returns statistics.
@@ -84,9 +99,11 @@ impl OmtCache {
             slot.last_used = self.tick;
             slot.dirty |= modify;
             self.stats.hits.inc();
+            self.sink.count("omt_cache.hits", 1);
             return true;
         }
         self.stats.misses.inc();
+        self.sink.count("omt_cache.misses", 1);
         let new = Slot { opn, dirty: modify, last_used: self.tick };
         if self.slots.len() < self.capacity {
             self.slots.push(new);

@@ -10,6 +10,7 @@
 //! the 4 KB class runs dry, the OS is asked for another chunk of pages.
 
 use crate::segment::SegmentClass;
+use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::geometry::PAGE_SIZE;
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult};
@@ -58,6 +59,9 @@ pub struct OverlayMemoryStore {
     chunks: Vec<(u64, u64)>,
     stats: StoreStats,
     faults: FaultInjector,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl OverlayMemoryStore {
@@ -76,6 +80,11 @@ impl OverlayMemoryStore {
     /// honored here.
     pub fn set_fault_injector(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     fn class_idx(class: SegmentClass) -> usize {
@@ -112,6 +121,7 @@ impl OverlayMemoryStore {
         if self.faults.fire(FaultSite::OmsAllocFailed) {
             // Transient allocator glitch: report exhaustion without
             // consuming anything; the caller's grow/reclaim path retries.
+            self.sink.emit(|| TelemetryEvent::FaultInjected { site: "OmsAllocFailed" });
             return Err(PoError::OverlayStoreExhausted);
         }
         let idx = Self::class_idx(class);
@@ -119,6 +129,7 @@ impl OverlayMemoryStore {
             self.free[idx].remove(&addr);
             self.used_bytes += class.bytes() as u64;
             self.stats.allocations.inc();
+            self.sink.count("oms.allocations", 1);
             return Ok(MainMemAddr::new(addr));
         }
         // Split a larger segment (recursively).
@@ -130,6 +141,7 @@ impl OverlayMemoryStore {
         self.free[idx].insert(big.raw() + half);
         self.used_bytes += half;
         self.stats.allocations.inc();
+        self.sink.count("oms.allocations", 1);
         Ok(big)
     }
 

@@ -30,6 +30,8 @@
 //! assert!(t2 - t1 < t1, "row hit is cheaper than the initial activate");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod config;
 pub mod model;
 pub mod store;

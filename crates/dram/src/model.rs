@@ -10,6 +10,7 @@
 //! different banks overlap while same-bank row conflicts serialize.
 
 use crate::config::DramConfig;
+use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::{Counter, Cycle, FaultInjector, FaultSite, MainMemAddr};
 
 /// Outcome of a row-buffer lookup, used for stats and latency selection.
@@ -67,6 +68,9 @@ pub struct DramModel {
     write_buffer: Vec<MainMemAddr>,
     stats: DramStats,
     faults: FaultInjector,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl DramModel {
@@ -80,6 +84,7 @@ impl DramModel {
             write_buffer: Vec::new(),
             stats: Stats::default(),
             faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
         }
     }
 
@@ -87,6 +92,11 @@ impl DramModel {
     /// honored here.
     pub fn set_fault_injector(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Returns the configuration.
@@ -150,12 +160,22 @@ impl DramModel {
     /// returning the completion cycle.
     pub fn read(&mut self, now: Cycle, addr: MainMemAddr) -> Cycle {
         self.stats.reads.inc();
-        let done = self.service(now, addr.line_base());
+        let mut done = self.service(now, addr.line_base());
         if self.faults.fire(FaultSite::DramReadError) {
             // Transient correctable error: the controller re-issues the
             // read; the data is intact, only latency is lost.
             self.stats.read_retries.inc();
-            return self.service(done, addr.line_base());
+            self.sink.emit(|| TelemetryEvent::FaultInjected { site: "DramReadError" });
+            done = self.service(done, addr.line_base());
+        }
+        if self.sink.is_active() {
+            self.sink.count("dram.reads", 1);
+            self.sink.emit(|| TelemetryEvent::DramAccess {
+                addr: addr.raw(),
+                write: false,
+                latency: done.saturating_sub(now),
+            });
+            self.sink.observe("dram.read_latency", done.saturating_sub(now));
         }
         done
     }
@@ -168,6 +188,14 @@ impl DramModel {
     /// drained first and the acceptance is delayed until the drain ends.
     pub fn write(&mut self, now: Cycle, addr: MainMemAddr) -> Cycle {
         self.stats.writes.inc();
+        if self.sink.is_active() {
+            self.sink.count("dram.writes", 1);
+            self.sink.emit(|| TelemetryEvent::DramAccess {
+                addr: addr.raw(),
+                write: true,
+                latency: 0,
+            });
+        }
         let mut t = now;
         if self.write_buffer.len() >= self.config.write_buffer_entries {
             t = self.drain(now);

@@ -60,11 +60,12 @@ pub use core_model::CoreModel;
 pub use machine::Machine;
 pub use oracle::DiffOracle;
 pub use scenario::{
-    run_fork_experiment, run_periodic_checkpoint_experiment, ForkExperimentResult,
-    PeriodicCheckpointResult,
+    run_fork_experiment, run_fork_experiment_instrumented, run_periodic_checkpoint_experiment,
+    ForkExperimentResult, PeriodicCheckpointResult,
 };
 pub use sim_test::{
-    generate_ops, run_crash_convergence, run_ops, shrink_ops, SimHarness, VPN_BASE,
+    generate_ops, run_crash_convergence, run_ops, run_ops_traced, shrink_ops, SimHarness,
+    FAILURE_EVENT_TAIL, VPN_BASE,
 };
 pub use stats::SimStats;
 pub use trace::{run_trace, Trace, TraceOp};

@@ -14,6 +14,7 @@ use crate::stats::SimStats;
 use po_cache::{CacheHierarchy, LookupResult};
 use po_dram::{DataStore, DramModel};
 use po_overlay::{OverlayManager, OverlayStats};
+use po_telemetry::{Event as TelemetryEvent, Layer, TelemetrySink};
 use po_tlb::{Tlb, TlbEntry};
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 use po_types::snapshot::{fingerprint64, SnapshotReader, SnapshotWriter};
@@ -54,6 +55,10 @@ pub struct Machine {
     oms_frames: u64,
     epoch: MemoryEpoch,
     faults: FaultInjector,
+    /// Telemetry handle; clones are distributed to every layer by
+    /// [`Machine::install_telemetry`]. Never serialized into snapshots —
+    /// telemetry-on and telemetry-off machines produce identical bytes.
+    sink: TelemetrySink,
 }
 
 /// Bound on allocation attempts per access: each retry first reclaims
@@ -86,8 +91,36 @@ impl Machine {
             oms_frames: 0,
             epoch: MemoryEpoch::default(),
             faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
             config,
         })
+    }
+
+    /// Arms telemetry for the whole machine, mirroring
+    /// [`Machine::install_fault_plan`]: clones of one sink (sharing one
+    /// core) go to the OS model, the DRAM model, the overlay manager
+    /// (which forwards to the OMT cache and the OMS), the cache
+    /// hierarchy, and every TLB. Pass [`TelemetrySink::noop`] to turn
+    /// telemetry back off. Telemetry never feeds back into simulation
+    /// state: runs with and without it reach byte-identical snapshots.
+    pub fn install_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+        self.redistribute_telemetry();
+    }
+
+    /// The machine's telemetry sink (Noop unless installed).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
+    fn redistribute_telemetry(&mut self) {
+        self.os.set_telemetry(self.sink.clone());
+        self.dram.set_telemetry(self.sink.clone());
+        self.overlay.set_telemetry(self.sink.clone());
+        self.caches.set_telemetry(self.sink.clone());
+        for tlb in &mut self.tlbs {
+            tlb.set_telemetry(self.sink.clone());
+        }
     }
 
     /// Arms fault injection for the whole machine: one shared injector is
@@ -563,6 +596,9 @@ impl Machine {
         self.dram.set_fault_injector(faults.clone());
         self.overlay.set_fault_injector(faults.clone());
         self.faults = faults;
+        // Decoded components come up with inert sinks; re-arm them from
+        // the machine's (never-serialized) telemetry handle.
+        self.redistribute_telemetry();
         Ok(())
     }
 
@@ -627,18 +663,22 @@ impl Machine {
         match op {
             TraceOp::Compute(n) => {
                 self.core.issue_compute(*n as u64);
+                self.sink.layer(Layer::Core, *n as u64);
+                self.sink.instructions(*n as u64);
             }
             TraceOp::Load(va) => {
                 let t = self.core.next_issue_cycle();
                 let lat = self.access_at(t, asid, *va, AccessKind::Read)?;
                 self.core.complete(t, lat);
                 self.stats.loads.inc();
+                self.sink.instructions(1);
             }
             TraceOp::Store(va) => {
                 let t = self.core.next_issue_cycle();
                 let lat = self.access_at(t, asid, *va, AccessKind::Write)?;
                 self.core.complete(t, lat);
                 self.stats.stores.inc();
+                self.sink.instructions(1);
             }
             _ => {
                 return Err(PoError::Corrupted(
@@ -705,14 +745,18 @@ impl Machine {
         let line = va.line_in_page();
         let opn = Opn::encode(asid, vpn);
         let mut lat: u64 = 0;
+        self.sink.set_now(now);
+        self.sink.begin_access(kind.is_write(), va.raw());
 
         // 1. Translate (TLB, then walk + OMT OBitVector fetch on a miss).
         let lookup = self.tlbs[core].lookup(asid, vpn);
         lat += lookup.latency;
+        self.sink.layer(Layer::Tlb, lookup.latency);
         let mut entry = match lookup.entry {
             Some(e) => e,
             None => {
                 lat += self.tlbs[core].miss_penalty();
+                self.sink.layer(Layer::Tlb, self.tlbs[core].miss_penalty());
                 let pte = self.os.translate(asid, va)?;
                 let obitvec = if pte.flags.overlay_enabled {
                     // The walk fetches the OBitVector from the OMT
@@ -742,12 +786,23 @@ impl Machine {
                 // A store to a line already in the overlay is a simple
                 // write (§4.3.2): no extra work.
             } else {
-                lat += self.cow_fault_path(now + lat, core, asid, va, &mut entry)?;
+                let cow = self.cow_fault_path(now + lat, core, asid, va, &mut entry)?;
+                // The CoW path drives DRAM/caches directly (not through
+                // fetch_line), so its whole latency is the CoW overhead.
+                self.sink.layer(Layer::CowFault, cow);
+                lat += cow;
             }
         }
 
         // 3. Pick the cache address: overlay or regular page (§4.3.1).
         let use_overlay = entry.pte.flags.overlay_enabled && entry.obitvec.contains(line);
+        if entry.pte.flags.overlay_enabled {
+            self.sink.emit(|| TelemetryEvent::OBitCheck {
+                opn: opn.raw(),
+                line: line as u8,
+                set: use_overlay,
+            });
+        }
         let cache_addr = if use_overlay {
             opn.line_addr(line)
         } else {
@@ -756,6 +811,7 @@ impl Machine {
 
         // 4. Caches, then memory.
         lat += self.fetch_line(now + lat, cache_addr, kind)?;
+        self.sink.end_access(lat);
         Ok(lat)
     }
 
@@ -764,12 +820,17 @@ impl Machine {
     fn fetch_line(&mut self, now: Cycle, cache_addr: PhysAddr, kind: AccessKind) -> PoResult<u64> {
         let out = self.caches.access(cache_addr, kind);
         let mut lat = out.latency;
+        self.sink.layer(Layer::Cache, out.latency);
         self.handle_writebacks(now + lat, &out.writebacks)?;
         if matches!(out.result, LookupResult::Miss) {
             let (mm_addr, extra) = self.resolve_memory(cache_addr, kind.is_write())?;
+            self.sink.layer(Layer::OmtWalk, extra);
             lat += extra;
             let done = self.dram.read(now + lat, mm_addr);
             lat = done.saturating_sub(now);
+            // Everything past the cache lookup and the OMT walk is the
+            // DRAM round trip (bank timing + bus occupancy).
+            self.sink.layer(Layer::Dram, lat.saturating_sub(out.latency + extra));
             let wbs = self.caches.fill(cache_addr, kind.is_write());
             self.handle_writebacks(done, &wbs)?;
         }
@@ -848,6 +909,9 @@ impl Machine {
             }
             let (mm, omt_hit) = self.overlay.controller_resolve(opn, line, modify)?;
             let extra = if omt_hit { 0 } else { self.config.overlay.omt_walk_latency };
+            if !omt_hit {
+                self.sink.emit(|| TelemetryEvent::OmtWalk { opn: opn.raw(), latency: extra });
+            }
             Ok((mm, extra))
         } else {
             Ok((MainMemAddr::new(addr.raw()), 0))
@@ -964,6 +1028,9 @@ impl Machine {
         // Step 2: coherence-carried OBitVector update, broadcast to
         // every core's TLB over the coherence network (no shootdown).
         lat += self.config.coherence_update_latency;
+        // fetch_line above already attributed its cycles to the cache/
+        // DRAM layers; only the coherence broadcast is overlay overhead.
+        self.sink.layer(Layer::OverlayWrite, self.config.coherence_update_latency);
         for tlb in &mut self.tlbs {
             tlb.coherence_obit_update(asid, vpn, line, true);
         }
@@ -974,7 +1041,9 @@ impl Machine {
         // Optional promotion (§4.3.4) once the overlay covers enough of
         // the page.
         if entry.obitvec.len() >= self.config.promote_threshold {
-            lat += self.promote(now + lat, core, asid, vpn, entry)?;
+            let promo = self.promote(now + lat, core, asid, vpn, entry)?;
+            self.sink.layer(Layer::Promotion, promo);
+            lat += promo;
         }
         Ok(lat)
     }

@@ -10,6 +10,7 @@
 use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::trace::{run_trace, TraceOp};
+use po_telemetry::TelemetrySink;
 use po_types::{PoResult, Vpn};
 
 /// Result of one fork experiment.
@@ -28,6 +29,13 @@ pub struct ForkExperimentResult {
     pub pages_copied: u64,
     /// Overlaying writes performed.
     pub overlaying_writes: u64,
+    /// OMT-cache hit rate over the whole run (0 when never accessed,
+    /// i.e. in CoW mode).
+    pub omt_cache_hit_rate: f64,
+    /// Overlay Memory Store bytes in use after the post-fork segment,
+    /// captured before the final flush folds overlays back into their
+    /// pages (0 in CoW mode).
+    pub overlay_bytes: u64,
 }
 
 /// Runs the §5.1 scenario: map `mapped_pages` pages at `base_vpn`, run
@@ -44,7 +52,33 @@ pub fn run_fork_experiment(
     warmup: &[TraceOp],
     post: &[TraceOp],
 ) -> PoResult<ForkExperimentResult> {
+    run_fork_experiment_instrumented(
+        config,
+        base_vpn,
+        mapped_pages,
+        warmup,
+        post,
+        TelemetrySink::noop(),
+    )
+}
+
+/// [`run_fork_experiment`] with a caller-supplied telemetry sink
+/// installed on the machine for the whole run, so the post-fork segment
+/// can be decomposed into a per-layer CPI stack and an event journal.
+///
+/// # Errors
+///
+/// Propagates machine faults.
+pub fn run_fork_experiment_instrumented(
+    config: SystemConfig,
+    base_vpn: Vpn,
+    mapped_pages: u64,
+    warmup: &[TraceOp],
+    post: &[TraceOp],
+    sink: TelemetrySink,
+) -> PoResult<ForkExperimentResult> {
     let mut machine = Machine::new(config)?;
+    machine.install_telemetry(sink);
     let parent = machine.spawn_process()?;
     machine.map_range(parent, base_vpn, mapped_pages)?;
 
@@ -53,6 +87,7 @@ pub fn run_fork_experiment(
     machine.mark_memory_epoch();
 
     let stats = run_trace(&mut machine, parent, post)?;
+    let overlay_bytes = machine.overlay().store().bytes_in_use();
     machine.flush_overlays()?;
 
     let total = machine.snapshot();
@@ -63,6 +98,8 @@ pub fn run_fork_experiment(
         extra_memory_bytes: machine.extra_memory_bytes(),
         pages_copied: total.pages_copied.get(),
         overlaying_writes: total.overlaying_writes.get(),
+        omt_cache_hit_rate: machine.overlay().omt_cache().stats().hit_rate(),
+        overlay_bytes,
     })
 }
 

@@ -27,8 +27,14 @@ use crate::machine::Machine;
 use crate::oracle::DiffOracle;
 use crate::trace::TraceOp;
 use crate::trace_io::{read_trace, write_trace};
+use po_telemetry::TelemetrySink;
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 use po_types::{Asid, FaultPlan, FaultSite, LineData, Opn, PoError, VirtAddr, Vpn};
+
+/// Journal/span ring capacity the traced harness entry points install:
+/// enough context to see what led up to a divergence, small enough to
+/// dump next to a shrunk trace.
+pub const FAILURE_EVENT_TAIL: usize = 256;
 
 /// First virtual page the generator maps (mirrors the scenario setups).
 pub const VPN_BASE: u64 = 0x100;
@@ -107,6 +113,19 @@ impl SimHarness {
         let mut h = Self::new(config)?;
         h.machine.install_fault_plan(plan);
         Ok(h)
+    }
+
+    /// Arms the machine with an active telemetry sink whose journal and
+    /// span rings hold `capacity` entries, so a later failure report can
+    /// include the event tail ([`SimHarness::telemetry_tail`]).
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.machine.install_telemetry(TelemetrySink::with_capacity(capacity, capacity));
+    }
+
+    /// Last `n` journal events as JSONL (empty when telemetry is off).
+    #[must_use]
+    pub fn telemetry_tail(&self, n: usize) -> String {
+        self.machine.telemetry().tail_jsonl(n)
     }
 
     fn resolve(&self, sel: u32) -> Option<Asid> {
@@ -491,6 +510,37 @@ pub fn run_ops(
     h.check_all()
 }
 
+/// [`run_ops`] with telemetry armed: on divergence the error comes back
+/// with the last [`FAILURE_EVENT_TAIL`] journal events as JSONL, so the
+/// fuzzer can dump what the machine was doing alongside the shrunk
+/// trace. Telemetry never feeds back into simulation state, so a trace
+/// fails here iff it fails under [`run_ops`].
+///
+/// # Errors
+///
+/// `(description, event_tail_jsonl)` for the first divergence or
+/// unexpected machine failure.
+pub fn run_ops_traced(
+    config: &SystemConfig,
+    plan: Option<&FaultPlan>,
+    ops: &[TraceOp],
+    inject_bug: bool,
+) -> Result<(), (String, String)> {
+    let mut h = match plan {
+        Some(p) => SimHarness::with_fault_plan(config.clone(), p.clone()),
+        None => SimHarness::new(config.clone()),
+    }
+    .map_err(|e| (format!("machine construction failed: {e:?}"), String::new()))?;
+    h.enable_telemetry(FAILURE_EVENT_TAIL);
+    h.inject_bug = inject_bug;
+    for (i, op) in ops.iter().enumerate() {
+        if let Err(e) = h.apply(op) {
+            return Err((format!("op {i}: {e}"), h.telemetry_tail(FAILURE_EVENT_TAIL)));
+        }
+    }
+    h.check_all().map_err(|e| (e, h.telemetry_tail(FAILURE_EVENT_TAIL)))
+}
+
 // ----------------------------------------------------------------------
 // Crash convergence.
 // ----------------------------------------------------------------------
@@ -536,9 +586,12 @@ pub fn run_crash_convergence(
     }
     golden.machine.clear_fault_trigger(FaultSite::CrashPoint);
 
-    // Crashy run.
+    // Crashy run. Telemetry rides along (it survives the restore — the
+    // machine re-installs its sink) so a convergence failure can show
+    // the replayed tail; it never affects the compared snapshot bytes.
     let mut h = SimHarness::with_fault_plan(config.clone(), crashy_plan)
         .map_err(|e| format!("machine construction failed: {e:?}"))?;
+    h.enable_telemetry(FAILURE_EVENT_TAIL);
     let mut saved: Option<(Vec<u8>, DiffOracle, Vec<Asid>, usize)> = None;
     let mut crashed = false;
     for (i, op) in ops.iter().enumerate() {
@@ -578,9 +631,10 @@ pub fn run_crash_convergence(
     h.machine.clear_fault_trigger(FaultSite::CrashPoint);
 
     if golden.machine.save_snapshot() != h.machine.save_snapshot() {
+        let tail = h.telemetry_tail(FAILURE_EVENT_TAIL);
         return Err(format!(
             "crashed-and-replayed machine diverged from the golden run (crash_at={crash_at}, \
-             snapshot_every={every})"
+             snapshot_every={every}); last events:\n{tail}"
         ));
     }
     golden.check_all().map_err(|e| format!("golden final sweep: {e}"))?;

@@ -35,6 +35,8 @@
 //! assert_eq!(csr.spmv(&x), ovl.spmv(&x));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod gen;
 pub mod matrix;
 pub mod metrics;

@@ -206,7 +206,12 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<TripletMatrix, MtxError> {
                     });
                 }
             }
-            _ => unreachable!("size is set together with matrix"),
+            (Some(_), None) => {
+                return Err(MtxError::Parse {
+                    line: lineno,
+                    what: "internal: size line seen without a matrix".into(),
+                })
+            }
         }
     }
     let (_, _, nnz, size_line) =
@@ -217,7 +222,7 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<TripletMatrix, MtxError> {
             what: format!("declared {nnz} entries but found {seen}"),
         });
     }
-    Ok(matrix.expect("set together with size"))
+    matrix.ok_or(MtxError::Parse { line: 0, what: "missing size line".into() })
 }
 
 /// Writes a matrix in `coordinate real general` format.

@@ -22,6 +22,7 @@ use crate::matrix::CsrMatrix;
 use crate::overlay_repr::{OverlayMatrix, VALUES_PER_LINE};
 use po_overlay::SegmentClass;
 use po_sim::{run_trace, Machine, SystemConfig, TraceOp};
+use po_telemetry::TelemetrySink;
 use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
 use po_types::{LineData, PoResult, VirtAddr, Vpn};
 
@@ -67,18 +68,27 @@ fn pages_for(bytes: usize) -> u64 {
 #[derive(Clone, Debug)]
 pub struct TimedSpmv {
     config: SystemConfig,
+    sink: TelemetrySink,
 }
 
 impl TimedSpmv {
     /// Uses the given system configuration (overlay runs force
     /// `overlay_mode` on).
     pub fn new(config: SystemConfig) -> Self {
-        Self { config }
+        Self { config, sink: TelemetrySink::noop() }
     }
 
     /// The Table 2 machine.
     pub fn table2() -> Self {
         Self::new(SystemConfig::table2_overlay())
+    }
+
+    /// Installs `sink` on every machine the timer constructs, so a run
+    /// can be decomposed into a per-layer CPI stack and event journal.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Times a dense SpMV over a `rows x cols` matrix.
@@ -93,6 +103,7 @@ impl TimedSpmv {
     pub fn time_dense(&self, rows: usize, cols: usize) -> PoResult<SpmvTiming> {
         assert_eq!(cols % VALUES_PER_LINE, 0, "cols must be line-aligned");
         let mut m = Machine::new(self.config.clone())?;
+        m.install_telemetry(self.sink.clone());
         let pid = m.spawn_process()?;
         m.map_range(pid, Vpn::new(A_VPN), pages_for(rows * cols * 8))?;
         m.map_range(pid, Vpn::new(X_VPN), pages_for(cols * 8))?;
@@ -124,6 +135,7 @@ impl TimedSpmv {
     /// Propagates machine faults.
     pub fn time_csr(&self, csr: &CsrMatrix) -> PoResult<SpmvTiming> {
         let mut m = Machine::new(self.config.clone())?;
+        m.install_telemetry(self.sink.clone());
         let pid = m.spawn_process()?;
         m.map_range(pid, Vpn::new(VALUES_VPN), pages_for(csr.nnz() * 8).max(1))?;
         m.map_range(pid, Vpn::new(COLIDX_VPN), pages_for(csr.nnz() * 4).max(1))?;
@@ -168,6 +180,7 @@ impl TimedSpmv {
         let mut config = self.config.clone();
         config.overlay_mode = true;
         let mut m = Machine::new(config)?;
+        m.install_telemetry(self.sink.clone());
         let pid = m.spawn_process()?;
         let a_pages = pages_for(ovl.rows() * ovl.cols() * 8).max(1);
         m.map_shared_zero_range(pid, Vpn::new(A_VPN), a_pages)?;

@@ -28,6 +28,8 @@
 //! Each module is self-contained and exercised by unit tests plus the
 //! workspace-level examples and property tests.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod checkpoint;
 pub mod dedup;
 pub mod metadata;

@@ -97,7 +97,8 @@ impl FlexSuperPage {
     pub fn translate(&self, vpn: Vpn) -> PoResult<Ppn> {
         let (seg, within) = self.segment_of(vpn)?;
         if self.seg_bitvec.contains(seg) {
-            let base = self.seg_remap[seg].expect("bit set implies remap");
+            let base = self.seg_remap[seg]
+                .ok_or(PoError::Corrupted("segment bit set without a remap target"))?;
             Ok(Ppn::new(base.raw() + within as u64))
         } else {
             self.mapping.translate(vpn).ok_or(PoError::Unmapped(vpn.base()))

@@ -1,0 +1,396 @@
+//! The deterministic structured event journal.
+//!
+//! A bounded ring buffer of typed [`Event`]s, each stamped with a
+//! monotonically increasing sequence number and the *simulated* cycle
+//! at which it occurred. Wall-clock time never appears anywhere: two
+//! runs of the same seeded workload produce byte-identical journals,
+//! which is what lets the deterministic-simulation harness diff them
+//! and dump the tail on divergence.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Hit level of a lookup in a two-level structure (TLB) or a
+/// three-level one (cache hierarchy). `Miss` means every level missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Third-level hit (caches only).
+    L3,
+    /// Missed every level.
+    Miss,
+}
+
+impl HitLevel {
+    /// Stable string form used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HitLevel::L1 => "L1",
+            HitLevel::L2 => "L2",
+            HitLevel::L3 => "L3",
+            HitLevel::Miss => "miss",
+        }
+    }
+}
+
+/// One structured telemetry event.
+///
+/// Fields are raw integers (page numbers, addresses, cycle counts) so
+/// the crate has no dependency on the simulator's newtypes and any
+/// layer can emit without conversion ceremony. The variant set mirrors
+/// the access path of the paper's Figure 6: TLB, O-bit check, cache,
+/// OMT walk / OMT-cache resolve, OMS, DRAM, plus the overlay lifecycle
+/// (overlaying write, reclaim) and injected faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A TLB lookup (L1/L2/miss) and its latency.
+    TlbLookup {
+        /// Address-space id of the requesting process.
+        asid: u16,
+        /// Virtual page number looked up.
+        vpn: u64,
+        /// Where it hit.
+        level: HitLevel,
+        /// Lookup latency in cycles (includes the walk on a miss).
+        latency: u64,
+    },
+    /// An OBitVector membership test deciding overlay vs page routing.
+    OBitCheck {
+        /// Overlay page number checked.
+        opn: u64,
+        /// Line index within the page (0..64).
+        line: u8,
+        /// Whether the bit was set (line lives in the overlay).
+        set: bool,
+    },
+    /// A cache-hierarchy access.
+    CacheAccess {
+        /// Line-aligned physical/overlay address presented to the caches.
+        addr: u64,
+        /// `true` for stores.
+        write: bool,
+        /// Where it hit (or `Miss` for a full hierarchy miss).
+        level: HitLevel,
+        /// Hierarchy latency in cycles (miss latency excludes DRAM).
+        latency: u64,
+    },
+    /// A full OMT walk (OMT-cache miss) at the memory controller.
+    OmtWalk {
+        /// Overlay page number walked.
+        opn: u64,
+        /// Walk latency in cycles.
+        latency: u64,
+    },
+    /// A memory-controller overlay-address resolution (OMT-cache probe).
+    OmsResolve {
+        /// Overlay page number resolved.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+        /// Whether the OMT cache hit.
+        cache_hit: bool,
+    },
+    /// A DRAM access and its latency.
+    DramAccess {
+        /// Main-memory address.
+        addr: u64,
+        /// `true` for writes.
+        write: bool,
+        /// Latency in cycles from issue to completion.
+        latency: u64,
+    },
+    /// An overlaying write: a store to a shared page creates/extends an
+    /// overlay instead of copying the page.
+    OverlayingWrite {
+        /// Overlay page number written.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+    },
+    /// Overlay memory reclaimed by collapsing a cold overlay.
+    Reclaim {
+        /// Overlay page number collapsed.
+        opn: u64,
+        /// OMS bytes freed.
+        freed_bytes: u64,
+    },
+    /// A fault-injection site fired.
+    FaultInjected {
+        /// Stable site name (e.g. `"OmsAllocFailed"`).
+        site: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable kind string used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TlbLookup { .. } => "TlbLookup",
+            Event::OBitCheck { .. } => "OBitCheck",
+            Event::CacheAccess { .. } => "CacheAccess",
+            Event::OmtWalk { .. } => "OmtWalk",
+            Event::OmsResolve { .. } => "OmsResolve",
+            Event::DramAccess { .. } => "DramAccess",
+            Event::OverlayingWrite { .. } => "OverlayingWrite",
+            Event::Reclaim { .. } => "Reclaim",
+            Event::FaultInjected { .. } => "FaultInjected",
+        }
+    }
+
+    /// Duration in simulated cycles, for events that model a latency.
+    pub fn duration(&self) -> Option<u64> {
+        match self {
+            Event::TlbLookup { latency, .. }
+            | Event::CacheAccess { latency, .. }
+            | Event::OmtWalk { latency, .. }
+            | Event::DramAccess { latency, .. } => Some(*latency),
+            _ => None,
+        }
+    }
+
+    /// Writes the variant-specific JSON fields (no braces) into `out`.
+    fn write_json_fields(&self, out: &mut String) {
+        match *self {
+            Event::TlbLookup { asid, vpn, level, latency } => {
+                let _ = write!(
+                    out,
+                    "\"asid\":{asid},\"vpn\":{vpn},\"level\":\"{}\",\"latency\":{latency}",
+                    level.as_str()
+                );
+            }
+            Event::OBitCheck { opn, line, set } => {
+                let _ = write!(out, "\"opn\":{opn},\"line\":{line},\"set\":{set}");
+            }
+            Event::CacheAccess { addr, write, level, latency } => {
+                let _ = write!(
+                    out,
+                    "\"addr\":{addr},\"write\":{write},\"level\":\"{}\",\"latency\":{latency}",
+                    level.as_str()
+                );
+            }
+            Event::OmtWalk { opn, latency } => {
+                let _ = write!(out, "\"opn\":{opn},\"latency\":{latency}");
+            }
+            Event::OmsResolve { opn, line, cache_hit } => {
+                let _ = write!(out, "\"opn\":{opn},\"line\":{line},\"cache_hit\":{cache_hit}");
+            }
+            Event::DramAccess { addr, write, latency } => {
+                let _ = write!(out, "\"addr\":{addr},\"write\":{write},\"latency\":{latency}");
+            }
+            Event::OverlayingWrite { opn, line } => {
+                let _ = write!(out, "\"opn\":{opn},\"line\":{line}");
+            }
+            Event::Reclaim { opn, freed_bytes } => {
+                let _ = write!(out, "\"opn\":{opn},\"freed_bytes\":{freed_bytes}");
+            }
+            Event::FaultInjected { site } => {
+                let _ = write!(out, "\"site\":\"{site}\"");
+            }
+        }
+    }
+}
+
+/// A journal entry: an event plus its sequence number and cycle stamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (0-based, counts every event emitted,
+    /// including those since evicted from the ring).
+    pub seq: u64,
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// One JSONL line (no trailing newline), keys in fixed order:
+    /// `{"seq":..,"cycle":..,"kind":"..",<fields>}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"cycle\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.cycle,
+            self.event.kind()
+        );
+        let mut fields = String::new();
+        self.event.write_json_fields(&mut fields);
+        if !fields.is_empty() {
+            s.push(',');
+            s.push_str(&fields);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A bounded ring of [`EventRecord`]s.
+///
+/// When full, the oldest record is evicted; `dropped()` reports how
+/// many were lost. Capacity 0 disables recording entirely (the
+/// sequence counter still advances so counters stay meaningful).
+#[derive(Clone, Debug)]
+pub struct Journal {
+    ring: VecDeque<EventRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event at `cycle`, evicting the oldest if full.
+    pub fn push(&mut self, cycle: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(EventRecord { seq, cycle, event });
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EventRecord> + '_ {
+        self.ring.iter()
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &EventRecord> + '_ {
+        let skip = self.ring.len().saturating_sub(n);
+        self.ring.iter().skip(skip)
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    pub fn total_emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted (or not recorded because capacity is 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all records (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// All held records as JSONL, one event per line, trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for r in &self.ring {
+            s.push_str(&r.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The most recent `n` records as JSONL.
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let mut s = String::new();
+        for r in self.tail(n) {
+            s.push_str(&r.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut j = Journal::new(2);
+        j.push(10, Event::OverlayingWrite { opn: 1, line: 0 });
+        j.push(11, Event::OverlayingWrite { opn: 2, line: 1 });
+        j.push(12, Event::OverlayingWrite { opn: 3, line: 2 });
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.total_emitted(), 3);
+        assert_eq!(j.dropped(), 1);
+        let seqs: Vec<_> = j.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_drops() {
+        let mut j = Journal::new(0);
+        j.push(1, Event::FaultInjected { site: "x" });
+        assert!(j.is_empty());
+        assert_eq!(j.total_emitted(), 1);
+        assert_eq!(j.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let r = EventRecord {
+            seq: 7,
+            cycle: 42,
+            event: Event::TlbLookup { asid: 1, vpn: 16, level: HitLevel::L2, latency: 10 },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"seq\":7,\"cycle\":42,\"kind\":\"TlbLookup\",\"asid\":1,\"vpn\":16,\"level\":\"L2\",\"latency\":10}"
+        );
+        let r2 = EventRecord {
+            seq: 0,
+            cycle: 0,
+            event: Event::OBitCheck { opn: 9, line: 3, set: true },
+        };
+        assert_eq!(
+            r2.to_jsonl(),
+            "{\"seq\":0,\"cycle\":0,\"kind\":\"OBitCheck\",\"opn\":9,\"line\":3,\"set\":true}"
+        );
+    }
+
+    #[test]
+    fn tail_returns_newest() {
+        let mut j = Journal::new(8);
+        for i in 0..5 {
+            j.push(i, Event::OmtWalk { opn: i, latency: 1 });
+        }
+        let seqs: Vec<_> = j.tail(2).map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(j.tail_jsonl(2).lines().count(), 2);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(Event::DramAccess { addr: 0, write: false, latency: 30 }.duration(), Some(30));
+        assert_eq!(Event::Reclaim { opn: 0, freed_bytes: 256 }.duration(), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! # po-telemetry — deterministic tracing, metrics, and run reports
+//!
+//! The observability substrate of the page-overlays simulator. The
+//! paper's evaluation (§6) rests on fine-grained accounting — CPI
+//! stacks, OMT-cache hit rates, memory-overhead curves, per-access
+//! latency breakdowns — and this crate provides the machinery to
+//! collect all of it without perturbing the simulation:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and log2-bucketed
+//!   latency histograms ([`Log2Histogram`]), iterated and exported in
+//!   deterministic name order.
+//! * [`Journal`] — a bounded ring of typed [`Event`]s (TLB lookups,
+//!   O-bit checks, cache accesses, OMT walks, OMS resolutions, DRAM
+//!   accesses, overlaying writes, reclaims, injected faults) stamped
+//!   with **simulated cycles, never wall clock** — so two identical
+//!   seeded runs produce byte-identical journals and the deterministic
+//!   simulation harness can dump the tail on divergence.
+//! * [`SpanTracker`] / [`CpiStack`] — span-style access-lifecycle
+//!   tracing: each timed memory operation opens a span, the layers it
+//!   traverses attribute their latency contributions, and the closed
+//!   spans aggregate into a per-layer CPI stack.
+//! * Exporters — JSONL event logs, Chrome `trace_event` JSON
+//!   ([`chrome_trace`]), and a human-readable run report
+//!   ([`run_report`]).
+//!
+//! The handle every layer holds is a [`TelemetrySink`]: an enum whose
+//! default [`Noop`](TelemetrySink::Noop) variant makes every recording
+//! method a single discriminant test (arguments are behind closures, so
+//! nothing is even constructed). The machine distributes clones of one
+//! active sink to all layers, exactly like the fault injector.
+//!
+//! # Example
+//!
+//! ```
+//! use po_telemetry::{Event, HitLevel, Layer, TelemetrySink};
+//!
+//! let sink = TelemetrySink::active();
+//! sink.set_now(100);                       // simulated cycle, set by the machine
+//! sink.begin_access(false, 0x1000);        // a load issues
+//! sink.layer(Layer::Tlb, 1);               // TLB hit: 1 cycle
+//! sink.emit(|| Event::TlbLookup { asid: 1, vpn: 1, level: HitLevel::L1, latency: 1 });
+//! sink.layer(Layer::Cache, 9);             // L2 hit: 9 cycles
+//! sink.end_access(10);                     // span closes; CPI stack updated
+//! sink.instructions(1);
+//!
+//! let stack = sink.cpi_stack().unwrap();
+//! assert_eq!(stack.layer_cycles(Layer::Tlb), 1);
+//! assert_eq!(stack.layer_cycles(Layer::Cache), 9);
+//! assert!(sink.journal_jsonl().contains("\"kind\":\"TlbLookup\""));
+//!
+//! // The default sink records nothing and costs (almost) nothing.
+//! let off = TelemetrySink::noop();
+//! off.emit(|| unreachable!("never constructed on Noop"));
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use export::{chrome_trace, run_report};
+pub use journal::{Event, EventRecord, HitLevel, Journal};
+pub use metrics::{Log2Histogram, MetricsRegistry};
+pub use sink::{TelemetryCore, TelemetrySink};
+pub use span::{AccessSpan, CpiStack, Layer, SpanTracker};

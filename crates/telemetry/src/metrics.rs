@@ -1,0 +1,337 @@
+//! Named counters, gauges, and log2-bucketed latency histograms.
+//!
+//! The registry is the *aggregate* side of telemetry: where the event
+//! journal records individual occurrences, the registry folds them into
+//! totals that can be cross-checked against the simulator's own
+//! statistics structs (`SimStats`, `OverlayStats`, …) and exported as
+//! JSON.
+//!
+//! Determinism: all maps are `BTreeMap`s keyed by `&'static str`, so
+//! iteration order — and therefore every exported byte — depends only
+//! on the metric names, never on hash seeds or insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two latency histogram: bucket `i` counts observations
+/// `v` with `bit_length(v) == i`, i.e. bucket 0 holds `v == 0`,
+/// bucket 1 holds `v == 1`, bucket 2 holds `2..=3`, bucket 3 holds
+/// `4..=7`, and so on up to bucket 64.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Index of the bucket holding `v`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (0..=64).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Iterates the non-empty buckets as `(bucket_lo, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), c))
+    }
+
+    /// JSON object: `{"count":..,"sum":..,"min":..,"max":..,"buckets":{"<lo>":n,..}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        let mut first = true;
+        for (lo, c) in self.nonzero_buckets() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{lo}\":{c}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// A registry of named counters, gauges, and latency histograms.
+///
+/// Names are `&'static str` by design: every metric name in the
+/// simulator is a compile-time constant, and static names keep the
+/// hot-path cost to a `BTreeMap` lookup with no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Log2Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Sets the named gauge.
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records one observation in the named histogram.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (None if never set).
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Log2Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the whole registry as one JSON object with
+    /// `counters`, `gauges`, and `histograms` sub-objects, keys in
+    /// deterministic (lexicographic) order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        s.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{}", h.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders a human-readable table of everything recorded.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            s.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(s, "  {k:<40} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(s, "  {k:<40} {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            s.push_str("histograms (log2 buckets):\n");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    s,
+                    "  {k:<40} count={} mean={:.1} min={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.max()
+                );
+                for (lo, c) in h.nonzero_buckets() {
+                    let _ = writeln!(s, "    >= {lo:<10} {c:>12}");
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(7), 3);
+        assert_eq!(Log2Histogram::bucket_of(8), 4);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_lo(0), 0);
+        assert_eq!(Log2Histogram::bucket_lo(1), 1);
+        assert_eq!(Log2Histogram::bucket_lo(4), 8);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 3, 200] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 204);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 200);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(8), 1); // 200 is in [128, 256)
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = MetricsRegistry::new();
+        r.count("b.second", 2);
+        r.count("a.first", 1);
+        r.count("a.first", 1);
+        r.gauge("g", -5);
+        r.observe("lat", 100);
+        assert_eq!(r.counter("a.first"), 2);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge_value("g"), Some(-5));
+        let names: Vec<_> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.first", "b.second"], "deterministic name order");
+        let json = r.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a.first\":2,\"b.second\":2}"));
+        assert!(json.contains("\"gauges\":{\"g\":-5}"));
+        assert!(json.contains("\"lat\":{\"count\":1"));
+    }
+
+    #[test]
+    fn empty_registry_json() {
+        let r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+}

@@ -1,0 +1,393 @@
+//! Span-style access-lifecycle tracing and the per-layer CPI stack.
+//!
+//! Each timed memory operation opens a *span*; the layers it traverses
+//! (TLB, caches, OMT walk, DRAM, plus the overlay mechanisms that add
+//! cycles on top — CoW faults, overlaying writes, promotions) attribute
+//! their latency contributions to it; closing the span folds the
+//! contributions into a running [`CpiStack`] and appends an
+//! [`AccessSpan`] record to a bounded ring for Chrome-trace export.
+//!
+//! Attribution discipline (keeps the stack additive): base-path layers
+//! (TLB/cache/OMT/DRAM) report their *own* latency; overlay mechanisms
+//! report only the *extra* cycles they add beyond the base path, so
+//! `sum(layers) + residual == total latency` for every span. Residual
+//! cycles (issue-window stalls, rounding) land in [`Layer::Other`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Number of attribution layers.
+pub const NUM_LAYERS: usize = 9;
+
+/// Where cycles of a memory operation are spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// TLB lookup (including the page-table walk on a miss).
+    Tlb,
+    /// Cache-hierarchy lookup latency.
+    Cache,
+    /// OMT walk at the memory controller (OMT-cache miss penalty).
+    OmtWalk,
+    /// DRAM access beyond the cache/OMT latency.
+    Dram,
+    /// Extra cycles of a copy-on-write page copy.
+    CowFault,
+    /// Extra cycles of creating/extending an overlay on a store.
+    OverlayWrite,
+    /// Extra cycles of overlay promotion (commit / copy-and-commit).
+    Promotion,
+    /// Non-memory (compute) instructions retiring.
+    Core,
+    /// Residual: cycles not attributed to any layer above.
+    Other,
+}
+
+impl Layer {
+    /// All layers in display order.
+    pub const ALL: [Layer; NUM_LAYERS] = [
+        Layer::Tlb,
+        Layer::Cache,
+        Layer::OmtWalk,
+        Layer::Dram,
+        Layer::CowFault,
+        Layer::OverlayWrite,
+        Layer::Promotion,
+        Layer::Core,
+        Layer::Other,
+    ];
+
+    /// Dense index (0..NUM_LAYERS).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Tlb => 0,
+            Layer::Cache => 1,
+            Layer::OmtWalk => 2,
+            Layer::Dram => 3,
+            Layer::CowFault => 4,
+            Layer::OverlayWrite => 5,
+            Layer::Promotion => 6,
+            Layer::Core => 7,
+            Layer::Other => 8,
+        }
+    }
+
+    /// Stable name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Tlb => "tlb",
+            Layer::Cache => "cache",
+            Layer::OmtWalk => "omt_walk",
+            Layer::Dram => "dram",
+            Layer::CowFault => "cow_fault",
+            Layer::OverlayWrite => "overlay_write",
+            Layer::Promotion => "promotion",
+            Layer::Core => "core",
+            Layer::Other => "other",
+        }
+    }
+}
+
+/// One completed memory-operation span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessSpan {
+    /// `true` for stores.
+    pub write: bool,
+    /// Virtual address accessed.
+    pub va: u64,
+    /// Cycle the operation was issued.
+    pub start: u64,
+    /// Total latency in cycles.
+    pub total: u64,
+    /// Per-layer cycle contributions, indexed by [`Layer::index`].
+    pub layers: [u64; NUM_LAYERS],
+}
+
+impl AccessSpan {
+    /// Cycles attributed to `layer`.
+    pub fn layer(&self, layer: Layer) -> u64 {
+        self.layers[layer.index()]
+    }
+}
+
+/// Aggregated per-layer cycle totals — the CPI stack of a run.
+///
+/// `cycles_per_instruction` of each layer is that layer's contribution
+/// to the workload's CPI; layers not exercised report 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    layers: [u64; NUM_LAYERS],
+    /// Memory operations spanned.
+    ops: u64,
+    /// Instructions retired (set via [`CpiStack::add_instructions`]).
+    instructions: u64,
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `layer`.
+    #[inline]
+    pub fn add(&mut self, layer: Layer, cycles: u64) {
+        self.layers[layer.index()] = self.layers[layer.index()].saturating_add(cycles);
+    }
+
+    /// Counts one completed memory-operation span.
+    #[inline]
+    pub fn add_span(&mut self, span: &AccessSpan) {
+        for (i, &c) in span.layers.iter().enumerate() {
+            self.layers[i] = self.layers[i].saturating_add(c);
+        }
+        self.ops += 1;
+    }
+
+    /// Counts retired instructions (the CPI denominator).
+    #[inline]
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Cycles attributed to `layer`.
+    pub fn layer_cycles(&self, layer: Layer) -> u64 {
+        self.layers[layer.index()]
+    }
+
+    /// Total attributed cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().sum()
+    }
+
+    /// Memory operations spanned.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Instructions retired.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// `layer`'s contribution to CPI (0.0 with no instructions).
+    pub fn layer_cpi(&self, layer: Layer) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.layer_cycles(layer) as f64 / self.instructions as f64
+        }
+    }
+
+    /// JSON object mapping layer name to attributed cycles, plus
+    /// `ops` and `instructions`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"layers\":{");
+        let mut first = true;
+        for layer in Layer::ALL {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{}\":{}", layer.as_str(), self.layer_cycles(layer));
+        }
+        let _ = write!(s, "}},\"ops\":{},\"instructions\":{}}}", self.ops, self.instructions);
+        s
+    }
+
+    /// Renders the stack as an aligned text table with per-layer CPI
+    /// and percentage bars.
+    pub fn render_text(&self) -> String {
+        let total = self.total_cycles().max(1);
+        let mut s = String::new();
+        let _ = writeln!(s, "  {:<14} {:>14} {:>8} {:>8}  ", "layer", "cycles", "cpi", "share");
+        for layer in Layer::ALL {
+            let c = self.layer_cycles(layer);
+            if c == 0 {
+                continue;
+            }
+            let share = c as f64 / total as f64;
+            let bar_len = (share * 30.0).round() as usize;
+            let _ = writeln!(
+                s,
+                "  {:<14} {:>14} {:>8.3} {:>7.1}%  {}",
+                layer.as_str(),
+                c,
+                self.layer_cpi(layer),
+                share * 100.0,
+                "#".repeat(bar_len)
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>14} {:>8.3}",
+            "total",
+            self.total_cycles(),
+            if self.instructions == 0 {
+                0.0
+            } else {
+                self.total_cycles() as f64 / self.instructions as f64
+            }
+        );
+        let _ = writeln!(s, "  ops={} instructions={}", self.ops, self.instructions);
+        s
+    }
+}
+
+/// A span under construction (one per in-flight memory operation; the
+/// simulator is single-issue per machine so one slot suffices).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenSpan {
+    write: bool,
+    va: u64,
+    start: u64,
+    layers: [u64; NUM_LAYERS],
+}
+
+/// Tracks the in-flight span and the ring of completed spans.
+#[derive(Clone, Debug)]
+pub struct SpanTracker {
+    current: Option<OpenSpan>,
+    ring: VecDeque<AccessSpan>,
+    capacity: usize,
+    dropped: u64,
+    stack: CpiStack,
+}
+
+impl SpanTracker {
+    /// A tracker keeping at most `capacity` completed spans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            current: None,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            stack: CpiStack::new(),
+        }
+    }
+
+    /// Opens a span for a memory operation issued at `start`.
+    /// An unclosed previous span is discarded (fault-aborted access).
+    pub fn begin(&mut self, write: bool, va: u64, start: u64) {
+        self.current = Some(OpenSpan { write, va, start, layers: [0; NUM_LAYERS] });
+    }
+
+    /// Attributes `cycles` to `layer`. Inside a span the cycles go to
+    /// the span; outside (e.g. compute instructions) they go straight
+    /// to the aggregate stack.
+    pub fn attribute(&mut self, layer: Layer, cycles: u64) {
+        match &mut self.current {
+            Some(span) => {
+                span.layers[layer.index()] = span.layers[layer.index()].saturating_add(cycles);
+            }
+            None => self.stack.add(layer, cycles),
+        }
+    }
+
+    /// Closes the current span with its total latency, assigning any
+    /// unattributed cycles to [`Layer::Other`]. No-op if no span is
+    /// open.
+    pub fn end(&mut self, total: u64) -> Option<AccessSpan> {
+        let open = self.current.take()?;
+        let mut layers = open.layers;
+        let attributed: u64 = layers.iter().sum();
+        layers[Layer::Other.index()] += total.saturating_sub(attributed);
+        let span = AccessSpan { write: open.write, va: open.va, start: open.start, total, layers };
+        self.stack.add_span(&span);
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back(span);
+        }
+        Some(span)
+    }
+
+    /// Counts retired instructions.
+    pub fn add_instructions(&mut self, n: u64) {
+        self.stack.add_instructions(n);
+    }
+
+    /// The aggregate CPI stack.
+    pub fn stack(&self) -> &CpiStack {
+        &self.stack
+    }
+
+    /// Completed spans currently held, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &AccessSpan> + '_ {
+        self.ring.iter()
+    }
+
+    /// Spans evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` if a span is currently open.
+    pub fn in_span(&self) -> bool {
+        self.current.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lifecycle_attributes_residual_to_other() {
+        let mut t = SpanTracker::new(4);
+        t.begin(false, 0x1000, 100);
+        t.attribute(Layer::Tlb, 1);
+        t.attribute(Layer::Cache, 9);
+        let span = t.end(30).expect("span was open");
+        assert_eq!(span.layer(Layer::Tlb), 1);
+        assert_eq!(span.layer(Layer::Cache), 9);
+        assert_eq!(span.layer(Layer::Other), 20);
+        assert_eq!(span.total, 30);
+        assert_eq!(t.stack().ops(), 1);
+        assert_eq!(t.stack().total_cycles(), 30);
+    }
+
+    #[test]
+    fn attribution_outside_span_goes_to_aggregate() {
+        let mut t = SpanTracker::new(4);
+        t.attribute(Layer::Core, 50);
+        assert_eq!(t.stack().layer_cycles(Layer::Core), 50);
+        assert_eq!(t.stack().ops(), 0);
+    }
+
+    #[test]
+    fn end_without_begin_is_noop() {
+        let mut t = SpanTracker::new(4);
+        assert!(t.end(10).is_none());
+        assert_eq!(t.stack().ops(), 0);
+    }
+
+    #[test]
+    fn cpi_math() {
+        let mut s = CpiStack::new();
+        s.add(Layer::Dram, 300);
+        s.add(Layer::Core, 100);
+        s.add_instructions(200);
+        assert!((s.layer_cpi(Layer::Dram) - 1.5).abs() < 1e-9);
+        assert_eq!(s.total_cycles(), 400);
+        let json = s.to_json();
+        assert!(json.contains("\"dram\":300"));
+        assert!(json.contains("\"instructions\":200"));
+    }
+
+    #[test]
+    fn span_ring_bounded() {
+        let mut t = SpanTracker::new(2);
+        for i in 0..5 {
+            t.begin(true, i, i);
+            t.end(1);
+        }
+        assert_eq!(t.spans().count(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.stack().ops(), 5, "aggregate stack still counts evicted spans");
+    }
+}

@@ -1,5 +1,6 @@
 //! The two-level TLB with OBitVector-extended entries.
 
+use po_telemetry::{Event as TelemetryEvent, HitLevel, TelemetrySink};
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{Asid, Counter, OBitVector, PoError, PoResult, Ppn, Vpn};
 use po_vm::{Pte, PteFlags};
@@ -273,6 +274,9 @@ pub struct Tlb {
     l1: TlbArray,
     l2: TlbArray,
     stats: TlbStats,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl Tlb {
@@ -280,7 +284,12 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         let l1 = TlbArray::new(config.l1_entries, config.l1_ways);
         let l2 = TlbArray::new(config.l2_entries, config.l2_ways);
-        Self { config, l1, l2, stats: TlbStats::default() }
+        Self { config, l1, l2, stats: TlbStats::default(), sink: TelemetrySink::noop() }
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Returns the configuration.
@@ -295,6 +304,31 @@ impl Tlb {
 
     /// Looks up a translation. On an L2 hit the entry is promoted to L1.
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> TlbLookup {
+        let lookup = self.lookup_inner(asid, vpn);
+        if self.sink.is_active() {
+            self.sink.emit(|| TelemetryEvent::TlbLookup {
+                asid: asid.raw(),
+                vpn: vpn.raw(),
+                level: match lookup.outcome {
+                    TlbOutcome::L1Hit => HitLevel::L1,
+                    TlbOutcome::L2Hit => HitLevel::L2,
+                    TlbOutcome::Miss => HitLevel::Miss,
+                },
+                latency: lookup.latency,
+            });
+            self.sink.count(
+                match lookup.outcome {
+                    TlbOutcome::L1Hit => "tlb.l1_hits",
+                    TlbOutcome::L2Hit => "tlb.l2_hits",
+                    TlbOutcome::Miss => "tlb.misses",
+                },
+                1,
+            );
+        }
+        lookup
+    }
+
+    fn lookup_inner(&mut self, asid: Asid, vpn: Vpn) -> TlbLookup {
         if let Some(e) = self.l1.lookup(asid, vpn) {
             self.stats.l1_hits.inc();
             return TlbLookup {
@@ -437,7 +471,7 @@ impl Tlb {
         ] {
             c.add(r.get_u64()?);
         }
-        Ok(Self { config, l1, l2, stats })
+        Ok(Self { config, l1, l2, stats, sink: TelemetrySink::noop() })
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::frame::FrameAllocator;
 use crate::page_table::{PageTable, Pte, PteFlags};
 use po_dram::DataStore;
+use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::geometry::PAGE_SIZE;
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{
@@ -65,6 +66,9 @@ pub struct OsModel {
     next_asid: u16,
     stats: OsStats,
     faults: FaultInjector,
+    /// Telemetry handle (never serialized; the machine re-installs it
+    /// after a snapshot restore).
+    sink: TelemetrySink,
 }
 
 impl OsModel {
@@ -77,7 +81,13 @@ impl OsModel {
             next_asid: 1,
             stats: OsStats::default(),
             faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
         }
+    }
+
+    /// Installs the telemetry sink (a clone sharing the machine's core).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Installs a fault injector; [`FaultSite::OmsGrowRefused`] and
@@ -117,8 +127,10 @@ impl OsModel {
     /// without consuming capacity.
     fn alloc_checked(&mut self) -> PoResult<Ppn> {
         if self.faults.fire(FaultSite::FrameAllocExhausted) {
+            self.sink.emit(|| TelemetryEvent::FaultInjected { site: "FrameAllocExhausted" });
             return Err(PoError::OutOfMemory);
         }
+        self.sink.count("os.frames_allocated", 1);
         self.allocator.alloc()
     }
 
@@ -373,8 +385,10 @@ impl OsModel {
         if self.faults.fire(FaultSite::OmsGrowRefused) {
             // The OS is under memory pressure and declines to grow the
             // OMS (§4.4.3); the manager must reclaim or fail the access.
+            self.sink.emit(|| TelemetryEvent::FaultInjected { site: "OmsGrowRefused" });
             return Err(PoError::OutOfMemory);
         }
+        self.sink.count("os.oms_chunks_granted", 1);
         let base = self.allocator.alloc_contiguous(frames)?;
         Ok(FrameAllocator::frame_addr(base))
     }
@@ -498,6 +512,7 @@ impl OsModel {
             next_asid,
             stats,
             faults: FaultInjector::none(),
+            sink: TelemetrySink::noop(),
         })
     }
 }

@@ -33,6 +33,8 @@
 //! assert!(!trace.is_empty());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod spec;
 pub mod tracegen;
 

@@ -23,11 +23,14 @@
 //!   (default `diff_fuzz_failure.trace`).
 //!
 //! Exits 0 if every run converges, 1 on divergence (after writing the
-//! shrunk trace), 2 on usage errors.
+//! shrunk trace and, next to it, `<out>.events.jsonl` — the last 256
+//! telemetry events of the minimal failing replay), 2 on usage errors.
 //!
 //! [`DiffOracle`]: page_overlays::sim::DiffOracle
 
-use page_overlays::sim::{generate_ops, run_ops, shrink_ops, write_trace_with_seed, SystemConfig};
+use page_overlays::sim::{
+    generate_ops, run_ops, run_ops_traced, shrink_ops, write_trace_with_seed, SystemConfig,
+};
 use page_overlays::types::{FaultPlan, FaultSite};
 use std::process::ExitCode;
 
@@ -105,6 +108,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 println!("minimal failing trace written to {}", opts.out);
+                // Replay the minimal trace with telemetry armed and dump
+                // the event tail: what the machine was doing as it broke.
+                if let Err((_, tail)) =
+                    run_ops_traced(&config, plan.as_ref(), &shrunk, opts.inject_bug)
+                {
+                    if tail.is_empty() {
+                        // A fully-shrunk trace can be purely functional
+                        // (spawn/map/poke) and never touch a timed,
+                        // event-emitting path.
+                        println!("no telemetry events in the minimal replay (functional ops only)");
+                    } else {
+                        let events_out = format!("{}.events.jsonl", opts.out);
+                        match std::fs::write(&events_out, tail) {
+                            Ok(()) => println!("event tail written to {events_out}"),
+                            Err(e) => eprintln!("diff_fuzz: cannot write {events_out}: {e}"),
+                        }
+                    }
+                }
                 return ExitCode::from(1);
             }
         }

@@ -36,6 +36,10 @@
 /// Foundational types: addresses, OBitVector, line data, errors.
 pub use po_types as types;
 
+/// Deterministic tracing, metrics, and run reports (cycle-stamped event
+/// journal, per-layer CPI stacks, JSONL/Chrome-trace exporters).
+pub use po_telemetry as telemetry;
+
 /// DDR3-1066 DRAM model and the functional data store.
 pub use po_dram as dram;
 

@@ -1,0 +1,31 @@
+// Clean fixture: passes every lint rule.
+// Not compiled -- consumed as text by the fixture tests.
+
+pub struct GoodStats {
+    pub pokes: Counter,
+}
+
+pub struct Good {
+    stats: GoodStats,
+    sink: TelemetrySink,
+}
+
+impl Good {
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    pub fn poke(&mut self) {
+        self.stats.pokes.inc();
+        self.sink.count("good.pokes", 1);
+    }
+
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.stats.pokes.get());
+    }
+
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let pokes = r.get_u64()?;
+        Ok(Self::from_pokes(pokes))
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded true positive for PA-L001: decode reads a different width
+// than encode wrote (u8 vs u32), so every restore shears.
+// Not compiled -- consumed as text by the fixture tests.
+
+pub struct Broken {
+    a: u64,
+    b: u8,
+}
+
+impl Broken {
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.a);
+        w.put_u8(self.b);
+    }
+
+    pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+        let a = r.get_u64()?;
+        let b = r.get_u32()?;
+        Ok(Self { a, b: b as u8 })
+    }
+}

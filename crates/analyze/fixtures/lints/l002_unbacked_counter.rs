@@ -1,0 +1,26 @@
+// Seeded true positive for PA-L002: a telemetry counter is emitted with
+// no backing `Counter` stat field, so the statistic vanishes whenever
+// telemetry is disabled.
+// Not compiled -- consumed as text by the fixture tests.
+
+pub struct WidgetStats {
+    pub hits: Counter,
+}
+
+pub struct Widget {
+    stats: WidgetStats,
+    sink: TelemetrySink,
+}
+
+impl Widget {
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    pub fn touch(&mut self) {
+        self.stats.hits.inc();
+        self.sink.count("widget.hits", 1);
+        // "misses" has no `misses: Counter` field anywhere in this file.
+        self.sink.count("widget.misses", 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Seeded true positive for PA-L003: `GammaFault` is missing from the
+// `ALL` table, and no file outside this one references any variant.
+// Not compiled -- consumed as text by the fixture tests.
+
+pub enum FaultSite {
+    AlphaFault,
+    GammaFault,
+}
+
+impl FaultSite {
+    pub const ALL: [FaultSite; 1] = [
+        FaultSite::AlphaFault,
+    ];
+}

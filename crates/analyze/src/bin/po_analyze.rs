@@ -1,0 +1,174 @@
+//! `po_analyze` — the static-analysis driver.
+//!
+//! ```text
+//! po_analyze lint  [--root DIR] [--json]
+//! po_analyze trace [--cow] [--oms-limit BYTES] [--crash-at N]...
+//!                  [--assume-faults] [--json] FILE...
+//! po_analyze all   [--root DIR] [--json]
+//! ```
+//!
+//! * `lint` — run the source lints (PA-L001..L004) over the tree.
+//! * `trace` — abstractly interpret `.trace` files (PA-V000..V006).
+//!   `--cow` verifies under the copy-on-write baseline config instead
+//!   of the overlay config; `--oms-limit` arms the OMS-budget rule;
+//!   each `--crash-at N` arms the crash-point reachability rule for
+//!   query index N; `--assume-faults` verifies as if a fault plan may
+//!   be active (only fault-independent findings survive).
+//! * `all` — `lint` plus `trace` over every `.trace` file under the
+//!   root (fixtures excluded).
+//!
+//! Exit status: 0 when no finding reaches warn severity, 1 when one
+//! does, 2 on usage or I/O errors.
+
+use po_analyze::lints;
+use po_analyze::verifier::{verify_trace_text, VerifierOptions};
+use po_analyze::{Report, Severity};
+use po_sim::SystemConfig;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Cli {
+    command: String,
+    root: PathBuf,
+    json: bool,
+    cow: bool,
+    oms_limit: Option<u64>,
+    crash_at: Vec<u64>,
+    assume_faults: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: po_analyze lint  [--root DIR] [--json]\n\
+         \x20      po_analyze trace [--cow] [--oms-limit BYTES] [--crash-at N]... \
+         [--assume-faults] [--json] FILE...\n\
+         \x20      po_analyze all   [--root DIR] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: args.first().cloned().ok_or("missing command")?,
+        root: PathBuf::from("."),
+        json: false,
+        cow: false,
+        oms_limit: None,
+        crash_at: Vec::new(),
+        assume_faults: false,
+        files: Vec::new(),
+    };
+    if !matches!(cli.command.as_str(), "lint" | "trace" | "all") {
+        return Err(format!("unknown command {}", cli.command));
+    }
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => cli.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--json" => cli.json = true,
+            "--cow" => cli.cow = true,
+            "--assume-faults" => cli.assume_faults = true,
+            "--oms-limit" => {
+                let v = it.next().ok_or("--oms-limit needs a value")?;
+                cli.oms_limit = Some(v.parse().map_err(|_| format!("bad --oms-limit {v}"))?);
+            }
+            "--crash-at" => {
+                let v = it.next().ok_or("--crash-at needs a value")?;
+                cli.crash_at.push(v.parse().map_err(|_| format!("bad --crash-at {v}"))?);
+            }
+            f if !f.starts_with('-') => cli.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cli.command == "trace" && cli.files.is_empty() {
+        return Err("trace needs at least one FILE".to_string());
+    }
+    Ok(cli)
+}
+
+fn verify_file(cli: &Cli, path: &Path, report: &mut Report) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let config = if cli.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+    let opts = VerifierOptions {
+        oms_limit: cli.oms_limit,
+        crash_queries: cli.crash_at.clone(),
+        assume_faults: cli.assume_faults,
+    };
+    let analysis = verify_trace_text(&config, &text, &opts, &path.display().to_string());
+    report.extend(analysis.report);
+    Ok(())
+}
+
+/// `.trace` files under `root`, skipping fixture directories.
+fn collect_traces(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(name.as_ref(), "target" | ".git" | "fixtures" | "related") {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".trace") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn run(cli: &Cli) -> Result<Report, String> {
+    let mut report = Report::new();
+    if matches!(cli.command.as_str(), "lint" | "all") {
+        report.extend(lints::run_lints(&cli.root).map_err(|e| format!("lint walk failed: {e}"))?);
+    }
+    if cli.command == "trace" {
+        for f in &cli.files {
+            verify_file(cli, f, &mut report)?;
+        }
+    }
+    if cli.command == "all" {
+        let traces = collect_traces(&cli.root).map_err(|e| format!("trace walk failed: {e}"))?;
+        for f in &traces {
+            verify_file(cli, f, &mut report)?;
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("po_analyze: {e}");
+            return usage();
+        }
+    };
+    match run(&cli) {
+        Ok(report) => {
+            if cli.json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_human());
+            }
+            if report.clean_at(Severity::Warn) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("po_analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

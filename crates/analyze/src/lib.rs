@@ -1,0 +1,30 @@
+//! # po-analyze — static analysis for the page-overlays repo
+//!
+//! Two independent fronts, one finding model, one CI gate:
+//!
+//! * [`verifier`] — an abstract interpreter over deterministic-simulation
+//!   `.trace` files. It symbolically executes the overlay state machine
+//!   (per-page must/may OBitVectors, three-valued PTE flags, OMS demand
+//!   accounting, TLB-staleness tracking) and proves properties no
+//!   concrete replay can: ops that must fail, crash points that can
+//!   never fire, overlay allocation that can exceed an OMS budget,
+//!   traces that end with resident-but-unbacked overlay lines.
+//! * [`lints`] — project-specific source lints built on a
+//!   self-contained tokenizer (no compiler or registry dependencies):
+//!   snapshot encode/decode field-pairing symmetry, telemetry
+//!   counter-name parity, fault-site threading coverage, telemetry-sink
+//!   threading completeness.
+//!
+//! Both fronts emit [`findings::Report`]s with deterministic JSON and
+//! human renderings; the `po_analyze` binary drives them and CI runs it
+//! with findings-as-errors outside the seeded true-positive fixtures.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![deny(missing_docs)]
+
+pub mod findings;
+pub mod lints;
+pub mod verifier;
+
+pub use findings::{Finding, Report, Severity};
+pub use verifier::{verify_ops, verify_trace_text, Analysis, Verdict, VerifierOptions};

@@ -1,0 +1,202 @@
+//! PA-L003 — fault-site variant threading coverage.
+//!
+//! The fault-injection harness only exercises what the components
+//! actually query: a [`FaultSite`](po_types::FaultSite) variant that no
+//! layer ever passes to `fire()` is dead configuration — plans naming
+//! it silently do nothing, and the robustness suite reports vacuous
+//! coverage. Two checks over the whole source set:
+//!
+//! 1. every `FaultSite` enum variant appears in the `FaultSite::ALL`
+//!    table (the injector sizes its per-site state from `ALL`);
+//! 2. every variant is referenced (`FaultSite::<Variant>`) in at least
+//!    one file other than the defining one — i.e. some component
+//!    threads it.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L003";
+
+/// Extracts `(variant, 0-based line)` pairs from the `FaultSite` enum
+/// body in the defining file.
+fn enum_variants(file: &ScannedFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for block in file.blocks("enum") {
+        if block.name != "FaultSite" {
+            continue;
+        }
+        for (i, line) in file.lines[block.start..=block.end].iter().enumerate() {
+            let t = line.trim().trim_end_matches(',');
+            if !t.is_empty()
+                && t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && t.chars().all(|c| c.is_alphanumeric())
+            {
+                out.push((t.to_string(), block.start + i));
+            }
+        }
+    }
+    out
+}
+
+/// All `FaultSite::<Variant>` references in a file.
+fn site_refs(file: &ScannedFile) -> Vec<String> {
+    file.lines.iter().flat_map(|l| site_refs_line(l)).collect()
+}
+
+/// Runs the rule over the whole scanned source set. `files` pairs a
+/// repo-relative path with its scan; the defining file is the one
+/// containing the `FaultSite` enum.
+pub fn check(files: &[(String, ScannedFile)], report: &mut Report) {
+    let Some((def_path, def_file)) =
+        files.iter().find(|(_, f)| f.lines.iter().any(|l| l.contains("enum FaultSite")))
+    else {
+        return; // nothing to check in this source set
+    };
+    let variants = enum_variants(def_file);
+    if variants.is_empty() {
+        return;
+    }
+
+    // Check 1: membership in the ALL table (within the defining file).
+    let all_table: Vec<String> = {
+        let mut in_table = false;
+        let mut sites = Vec::new();
+        for line in &def_file.lines {
+            if line.contains("const ALL") {
+                in_table = true;
+            }
+            if in_table {
+                for s in site_refs_line(line) {
+                    sites.push(s);
+                }
+                // The type annotation `[FaultSite; N]` also contains a
+                // bracket — only `];` ends the initializer list.
+                if line.contains("];") {
+                    break;
+                }
+            }
+        }
+        sites
+    };
+    for (v, line) in &variants {
+        if !all_table.iter().any(|s| s == v) && !def_file.allowed(*line, RULE) {
+            report.push(Finding::new(
+                RULE,
+                Severity::Warn,
+                def_path.as_str(),
+                line + 1,
+                format!(
+                    "fault site {v} is missing from FaultSite::ALL: the injector never \
+                     allocates state for it and plans naming it are dead"
+                ),
+            ));
+        }
+    }
+
+    // Check 2: at least one reference outside the defining file.
+    for (v, line) in &variants {
+        let threaded = files
+            .iter()
+            .filter(|(p, _)| p != def_path)
+            .any(|(_, f)| site_refs(f).iter().any(|s| s == v));
+        if !threaded && !def_file.allowed(*line, RULE) {
+            report.push(Finding::new(
+                RULE,
+                Severity::Warn,
+                def_path.as_str(),
+                line + 1,
+                format!(
+                    "fault site {v} is never threaded through any component: no file outside \
+                     the definition references FaultSite::{v}, so injecting it does nothing"
+                ),
+            ));
+        }
+    }
+}
+
+/// `FaultSite::X` references on a single line.
+fn site_refs_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(at) = rest.find("FaultSite::") {
+        let tail = &rest[at + "FaultSite::".len()..];
+        let name: String = tail.chars().take_while(|c| c.is_alphanumeric()).collect();
+        if !name.is_empty() {
+            out.push(name.clone());
+        }
+        rest = &tail[name.len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(def: &str, user: &str) -> Vec<(String, ScannedFile)> {
+        vec![
+            ("types/fault.rs".to_string(), ScannedFile::scan(def)),
+            ("vm/os.rs".to_string(), ScannedFile::scan(user)),
+        ]
+    }
+
+    const DEF: &str = "\
+pub enum FaultSite {
+    AlphaFault,
+    BetaFault,
+}
+impl FaultSite {
+    pub const ALL: [FaultSite; 2] = [
+        FaultSite::AlphaFault,
+        FaultSite::BetaFault,
+    ];
+}
+";
+
+    #[test]
+    fn fully_threaded_is_clean() {
+        let user = "fn f(i: &FaultInjector) {
+    i.fire(FaultSite::AlphaFault);
+    i.fire(FaultSite::BetaFault);
+}
+";
+        let mut r = Report::new();
+        check(&corpus(DEF, user), &mut r);
+        assert!(r.findings.is_empty(), "{}", r.to_human());
+    }
+
+    #[test]
+    fn unthreaded_variant_fires() {
+        let user = "fn f(i: &FaultInjector) { i.fire(FaultSite::AlphaFault); }\n";
+        let mut r = Report::new();
+        check(&corpus(DEF, user), &mut r);
+        assert_eq!(r.findings.len(), 1, "{}", r.to_human());
+        assert!(r.findings[0].message.contains("BetaFault"));
+        assert!(r.findings[0].message.contains("never threaded"));
+    }
+
+    #[test]
+    fn variant_missing_from_all_fires() {
+        let def = "\
+pub enum FaultSite {
+    AlphaFault,
+    BetaFault,
+}
+impl FaultSite {
+    pub const ALL: [FaultSite; 1] = [
+        FaultSite::AlphaFault,
+    ];
+}
+";
+        let user = "fn f(i: &FaultInjector) {
+    i.fire(FaultSite::AlphaFault);
+    i.fire(FaultSite::BetaFault);
+}
+";
+        let mut r = Report::new();
+        check(&corpus(def, user), &mut r);
+        assert_eq!(r.findings.len(), 1, "{}", r.to_human());
+        assert!(r.findings[0].message.contains("missing from FaultSite::ALL"));
+    }
+}

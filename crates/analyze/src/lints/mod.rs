@@ -1,0 +1,111 @@
+//! Front 2: project-specific source lints.
+//!
+//! Four rules, each encoding a repo convention whose violation is a
+//! real bug rather than a style nit:
+//!
+//! | Rule    | Severity | Meaning |
+//! |---------|----------|---------|
+//! | PA-L001 | warn     | snapshot encode/decode field sequences disagree |
+//! | PA-L002 | warn     | telemetry counter emitted with no backing `Counter` stat field |
+//! | PA-L003 | warn     | `FaultSite` variant missing from `ALL` or threaded nowhere |
+//! | PA-L004 | warn     | component sink field with no telemetry installer |
+//!
+//! All rules run on a [`tokenizer::ScannedFile`] — a self-contained
+//! scanner with no compiler or registry dependencies — and honour a
+//! `// po-analyze: allow(PA-Lxxx)` comment on the offending line or the
+//! line above it.
+
+pub mod fault_threading;
+pub mod sink_threading;
+pub mod snapshot_pairing;
+pub mod telemetry_parity;
+pub mod tokenizer;
+
+use crate::findings::Report;
+use std::fs;
+use std::path::{Path, PathBuf};
+use tokenizer::ScannedFile;
+
+/// Directory components never linted: build output, vendored shims
+/// (external-API stand-ins), seeded true-positive fixtures, VCS state.
+const SKIP_DIRS: [&str; 5] = ["target", "shims", "fixtures", ".git", "related"];
+
+/// Runs the per-file rules (PA-L001/2/4) over one source text.
+#[must_use]
+pub fn lint_source(path_label: &str, text: &str) -> Report {
+    let file = ScannedFile::scan(text);
+    let mut report = Report::new();
+    snapshot_pairing::check(path_label, &file, &mut report);
+    telemetry_parity::check(path_label, &file, &mut report);
+    sink_threading::check(path_label, &file, &mut report);
+    report
+}
+
+/// Collects every `.rs` file under `root` (skipping [`SKIP_DIRS`]),
+/// sorted for deterministic reports.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every lint rule over the source tree rooted at `root`,
+/// reporting paths relative to it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn run_lints(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::new();
+    let mut scanned: Vec<(String, ScannedFile)> = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let text = fs::read_to_string(&path)?;
+        let file = ScannedFile::scan(&text);
+        snapshot_pairing::check(&rel, &file, &mut report);
+        telemetry_parity::check(&rel, &file, &mut report);
+        sink_threading::check(&rel, &file, &mut report);
+        scanned.push((rel, file));
+    }
+    fault_threading::check(&scanned, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_runs_all_per_file_rules() {
+        // One source violating L002 and L004 at once.
+        let src = "\
+pub struct M {
+    sink: TelemetrySink,
+}
+fn tick(sink: &TelemetrySink) {
+    sink.count(\"m.unbacked\", 1);
+}
+";
+        let report = lint_source("x.rs", src);
+        let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"PA-L002"), "{rules:?}");
+        assert!(rules.contains(&"PA-L004"), "{rules:?}");
+    }
+}

@@ -1,0 +1,116 @@
+//! PA-L004 — telemetry-sink threading completeness.
+//!
+//! Components hold their [`TelemetrySink`](po_telemetry::TelemetrySink)
+//! as a struct field initialized to `noop()` and rely on the machine to
+//! thread a shared active sink down after construction. A component
+//! that declares a `sink: TelemetrySink` field but exposes no installer
+//! (`set_telemetry` / `with_telemetry` / `install_telemetry`) is stuck
+//! at noop forever: its events and counters can never reach a report.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L004";
+
+/// Installer method names that count as threading support.
+const INSTALLERS: [&str; 3] = ["fn set_telemetry", "fn with_telemetry", "fn install_telemetry"];
+
+/// Runs the rule over one scanned file.
+pub fn check(path: &str, file: &ScannedFile, report: &mut Report) {
+    // Sink fields: `sink: TelemetrySink` lines inside struct bodies
+    // (function parameters of the same shape live outside them).
+    let mut sink_fields = Vec::new();
+    for block in file.blocks("struct") {
+        for (off, line) in file.lines[block.start..=block.end].iter().enumerate() {
+            let t = line.trim().trim_end_matches(',');
+            if t.trim_start_matches("pub ").trim() == "sink: TelemetrySink" {
+                sink_fields.push(block.start + off);
+            }
+        }
+    }
+    if sink_fields.is_empty() {
+        return;
+    }
+    let has_installer = file
+        .lines
+        .iter()
+        .enumerate()
+        .any(|(i, l)| !file.test_lines[i] && INSTALLERS.iter().any(|p| l.contains(p)));
+    if has_installer {
+        return;
+    }
+    for line in sink_fields {
+        if file.allowed(line, RULE) {
+            continue;
+        }
+        report.push(Finding::new(
+            RULE,
+            Severity::Warn,
+            path,
+            line + 1,
+            "struct holds a `sink: TelemetrySink` field but this file defines no installer \
+             (set_telemetry / with_telemetry / install_telemetry): the sink is stuck at noop \
+             and the component's telemetry is unreachable"
+                .to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Report {
+        let file = ScannedFile::scan(src);
+        let mut r = Report::new();
+        check("t.rs", &file, &mut r);
+        r
+    }
+
+    #[test]
+    fn field_with_installer_is_clean() {
+        let src = "\
+pub struct M {
+    sink: TelemetrySink,
+}
+impl M {
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+}
+";
+        assert!(run(src).findings.is_empty(), "{}", run(src).to_human());
+    }
+
+    #[test]
+    fn field_without_installer_fires() {
+        let src = "\
+pub struct M {
+    pub sink: TelemetrySink,
+}
+impl M {
+    pub fn new() -> Self {
+        Self { sink: TelemetrySink::noop() }
+    }
+}
+";
+        let rep = run(src);
+        assert_eq!(rep.findings.len(), 1, "{}", rep.to_human());
+        assert_eq!(rep.findings[0].rule, RULE);
+        assert_eq!(rep.findings[0].line, 2);
+    }
+
+    #[test]
+    fn parameter_is_not_a_field() {
+        let src = "\
+pub fn run(
+    config: Config,
+    sink: TelemetrySink,
+) -> Result {
+    todo!()
+}
+";
+        assert!(run(src).findings.is_empty(), "{}", run(src).to_human());
+    }
+}

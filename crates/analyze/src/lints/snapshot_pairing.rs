@@ -1,0 +1,250 @@
+//! PA-L001 — snapshot encode/decode field-pairing symmetry.
+//!
+//! The snapshot codec ([`po_types::snapshot`]) is byte-positional:
+//! `decode_snapshot` must read exactly the fields `encode_snapshot`
+//! wrote, in the same order and with the same widths, or every restore
+//! silently shears. The project convention is that the two functions
+//! are structurally parallel (same loops, same order), which makes the
+//! property statically checkable: the source-order sequence of
+//! `put_<ty>` call sites in an `encode_snapshot` body must equal the
+//! sequence of `get_<ty>` call sites in the paired `decode_snapshot`
+//! body (nested `encode_snapshot`/`decode_snapshot` calls pair with
+//! each other).
+//!
+//! Loop iteration counts and branch-arm repetitions are dynamic, so
+//! sequences are compared in canonical form: the order in which
+//! distinct widths *first appear*. That catches swapped fields and
+//! width mismatches statically; same-width omissions are left to the
+//! dynamic roundtrip tests, which cover them exactly.
+//!
+//! Pairs are matched positionally within a file: the N-th
+//! `encode_snapshot` pairs with the N-th `decode_snapshot`.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L001";
+
+/// Token sequence of one codec body: `put_`/`get_` type suffixes plus
+/// `nested` markers for recursive codec calls.
+fn codec_tokens(file: &ScannedFile, start: usize, end: usize, kind: &str) -> Vec<String> {
+    // `kind` is "encode" or "decode"; encode bodies call `put_<ty>` and
+    // nested `encode_snapshot`, decode bodies `get_<ty>` and nested
+    // `decode_snapshot`.
+    let call = if kind == "encode" { "put_" } else { "get_" };
+    let nested = format!("{kind}_snapshot(");
+    let mut out = Vec::new();
+    for line in &file.lines[start..=end] {
+        // Skip signature lines so the definition itself is not counted
+        // as a recursive call.
+        if line.contains("fn ") {
+            continue;
+        }
+        let mut rest = line.as_str();
+        loop {
+            let put = rest.find(call);
+            let nest = rest.find(&nested);
+            let (is_width_call, at) = match (put, nest) {
+                (None, None) => break,
+                (Some(p), None) => (true, p),
+                (Some(p), Some(n)) if p < n => (true, p),
+                (_, Some(n)) => (false, n),
+            };
+            if is_width_call {
+                let tail = &rest[at + call.len()..];
+                let ty: String =
+                    tail.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                let after = &tail[ty.len()..];
+                // Only real codec widths count — `get_mut(...)` and
+                // friends are not cursor operations.
+                const WIDTHS: [&str; 9] =
+                    ["u8", "u16", "u32", "u64", "i64", "bool", "f64", "len", "bytes"];
+                if WIDTHS.contains(&ty.as_str()) && after.starts_with('(') {
+                    out.push(ty);
+                }
+                rest = tail;
+            } else {
+                out.push("nested".to_string());
+                rest = &rest[at + nested.len()..];
+            }
+        }
+    }
+    out
+}
+
+/// Keeps only the first occurrence of each distinct token, preserving
+/// order.
+fn first_appearance(tokens: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for t in tokens {
+        if !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Runs the rule over one scanned file.
+pub fn check(path: &str, file: &ScannedFile, report: &mut Report) {
+    let fns = file.blocks("fn");
+    let encoders: Vec<_> = fns.iter().filter(|b| b.name == "encode_snapshot").collect();
+    let decoders: Vec<_> = fns.iter().filter(|b| b.name == "decode_snapshot").collect();
+    if encoders.len() != decoders.len() {
+        // An unpaired codec half is itself a pairing violation (unless
+        // the file only *calls* the codecs, in which case no fn matched
+        // and both lists are empty).
+        if let Some(odd) = encoders.get(decoders.len()).or(decoders.get(encoders.len())) {
+            if !file.allowed(odd.start, RULE) {
+                report.push(Finding::new(
+                    RULE,
+                    Severity::Warn,
+                    path,
+                    odd.start + 1,
+                    format!(
+                        "{} has no positional counterpart: {} encode_snapshot fn(s) vs {} \
+                         decode_snapshot fn(s) in this file",
+                        odd.name,
+                        encoders.len(),
+                        decoders.len()
+                    ),
+                ));
+            }
+        }
+        return;
+    }
+    for (enc, dec) in encoders.iter().zip(&decoders) {
+        // Canonical form: the order in which distinct widths first
+        // appear. Run lengths are loop-dependent and encode-side
+        // `match` arms re-emit the same tag the decode side reads once,
+        // so repetition counts are dynamic — but the first-appearance
+        // order of widths is an execution invariant of structurally
+        // parallel codecs.
+        let wr = first_appearance(codec_tokens(file, enc.start, enc.end, "encode"));
+        let rd = first_appearance(codec_tokens(file, dec.start, dec.end, "decode"));
+        if wr != rd {
+            if file.allowed(dec.start, RULE) {
+                continue;
+            }
+            let diverge = wr.iter().zip(&rd).take_while(|(a, b)| a == b).count();
+            let detail = if diverge < wr.len() && diverge < rd.len() {
+                format!(
+                    "first divergence at width {}: encode writes `put_{}`, decode reads `get_{}`",
+                    diverge + 1,
+                    wr[diverge],
+                    rd[diverge]
+                )
+            } else if wr.len() > rd.len() {
+                format!(
+                    "encode writes {} distinct width(s) but decode reads only {} \
+                     (missing `get_{}`)",
+                    wr.len(),
+                    rd.len(),
+                    wr[diverge]
+                )
+            } else {
+                format!(
+                    "decode reads {} distinct width(s) but encode writes only {} \
+                     (extra `get_{}`)",
+                    rd.len(),
+                    wr.len(),
+                    rd[diverge]
+                )
+            };
+            report.push(Finding::new(
+                RULE,
+                Severity::Warn,
+                path,
+                dec.start + 1,
+                format!("encode/decode snapshot field sequences disagree: {detail}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Report {
+        let file = ScannedFile::scan(src);
+        let mut r = Report::new();
+        check("t.rs", &file, &mut r);
+        r
+    }
+
+    #[test]
+    fn symmetric_codec_is_clean() {
+        let src = "\
+pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+    self.inner.encode_snapshot(w);
+    w.put_u64(self.a);
+    w.put_len(self.v.len());
+    for x in &self.v {
+        w.put_u32(*x);
+    }
+}
+pub fn decode_snapshot(r: &mut SnapshotReader) -> PoResult<Self> {
+    let inner = Inner::decode_snapshot(r)?;
+    let a = r.get_u64()?;
+    let n = r.get_len()?;
+    let mut v = Vec::new();
+    for _ in 0..n {
+        v.push(r.get_u32()?);
+    }
+    Ok(Self { inner, a, v })
+}
+";
+        assert!(run(src).findings.is_empty(), "{}", run(src).to_human());
+    }
+
+    #[test]
+    fn width_mismatch_fires() {
+        let src = "\
+fn encode_snapshot(&self, w: &mut W) {
+    w.put_u64(self.a);
+    w.put_u8(self.b);
+}
+fn decode_snapshot(r: &mut R) -> PoResult<Self> {
+    let a = r.get_u64()?;
+    let b = r.get_u32()?;
+    Ok(Self { a, b })
+}
+";
+        let rep = run(src);
+        assert_eq!(rep.findings.len(), 1, "{}", rep.to_human());
+        assert_eq!(rep.findings[0].rule, RULE);
+        assert!(rep.findings[0].message.contains("put_u8"), "{}", rep.findings[0].message);
+    }
+
+    #[test]
+    fn missing_field_fires() {
+        let src = "\
+fn encode_snapshot(&self, w: &mut W) {
+    w.put_u64(self.a);
+    w.put_u8(self.b);
+}
+fn decode_snapshot(r: &mut R) -> PoResult<Self> {
+    let a = r.get_u64()?;
+    Ok(Self { a, b: 0 })
+}
+";
+        let rep = run(src);
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].message.contains("missing"), "{}", rep.findings[0].message);
+    }
+
+    #[test]
+    fn allow_escape_hatch() {
+        let src = "\
+fn encode_snapshot(&self, w: &mut W) {
+    w.put_u64(self.a);
+}
+// po-analyze: allow(PA-L001)
+fn decode_snapshot(r: &mut R) -> PoResult<Self> {
+    Ok(Self { a: 0 })
+}
+";
+        assert!(run(src).findings.is_empty());
+    }
+}

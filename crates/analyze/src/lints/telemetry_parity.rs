@@ -1,0 +1,136 @@
+//! PA-L002 — telemetry counter-name ↔ component-stat parity.
+//!
+//! Every layer that emits a named telemetry counter
+//! (`self.sink.count("<component>.<stat>", n)`) also keeps a local
+//! always-on stats struct with a [`Counter`](po_types::Counter) field
+//! per statistic — telemetry is an optional *view*, never the only
+//! record. The checkable convention: the `<stat>` suffix of every
+//! emitted counter name must match a `<stat>: Counter` field declared
+//! in the same file. An emission without a backing field is a
+//! statistic that silently vanishes whenever telemetry is off.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L002";
+
+/// Counter field names declared in the file (outside test mods).
+fn counter_fields(file: &ScannedFile) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] {
+            continue;
+        }
+        let t = line.trim();
+        let Some(colon) = t.find(':') else { continue };
+        let ty = t[colon + 1..].trim().trim_end_matches(',');
+        if ty != "Counter" {
+            continue;
+        }
+        let name = t[..colon].trim().trim_start_matches("pub ").trim();
+        if !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+/// Runs the rule over one scanned file.
+pub fn check(path: &str, file: &ScannedFile, report: &mut Report) {
+    let fields = counter_fields(file);
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || !line.contains(".count(") {
+            continue;
+        }
+        // The cleaned line has the literal blanked; the original text
+        // lives in the per-line string table.
+        let Some(name) = file.strings[i].first() else { continue };
+        let Some((component, stat)) = name.split_once('.') else { continue };
+        if component.is_empty()
+            || stat.is_empty()
+            || !stat.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue;
+        }
+        if !fields.iter().any(|f| f == stat) && !file.allowed(i, RULE) {
+            report.push(Finding::new(
+                RULE,
+                Severity::Warn,
+                path,
+                i + 1,
+                format!(
+                    "telemetry counter \"{name}\" has no matching `{stat}: Counter` stat field \
+                     in this file: the statistic vanishes when telemetry is off"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Report {
+        let file = ScannedFile::scan(src);
+        let mut r = Report::new();
+        check("t.rs", &file, &mut r);
+        r
+    }
+
+    #[test]
+    fn paired_counter_is_clean() {
+        let src = "\
+pub struct Stats {
+    pub widgets: Counter,
+}
+impl M {
+    fn tick(&mut self) {
+        self.stats.widgets.inc();
+        self.sink.count(\"m.widgets\", 1);
+    }
+}
+";
+        assert!(run(src).findings.is_empty(), "{}", run(src).to_human());
+    }
+
+    #[test]
+    fn unbacked_counter_fires() {
+        let src = "\
+pub struct Stats {
+    pub widgets: Counter,
+}
+fn tick(sink: &TelemetrySink) {
+    sink.count(\"m.gadgets\", 1);
+}
+";
+        let rep = run(src);
+        assert_eq!(rep.findings.len(), 1, "{}", rep.to_human());
+        assert!(rep.findings[0].message.contains("m.gadgets"));
+    }
+
+    #[test]
+    fn test_mod_emissions_ignored() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(sink: &TelemetrySink) {
+        sink.count(\"x.y\", 1);
+    }
+}
+";
+        assert!(run(src).findings.is_empty());
+    }
+
+    #[test]
+    fn allow_escape_hatch() {
+        let src = "\
+fn tick(sink: &TelemetrySink) {
+    // po-analyze: allow(PA-L002)
+    sink.count(\"m.transient\", 1);
+}
+";
+        assert!(run(src).findings.is_empty());
+    }
+}

@@ -1,0 +1,1151 @@
+//! The abstract interpreter: symbolic execution of a harness trace over
+//! the [`lattice`](super::lattice) domain.
+//!
+//! The interpreter mirrors the deterministic-simulation harness
+//! (`po_sim::sim_test`) op for op — the same process-selector
+//! resolution, the same VPN/VA clamping, the same write-routing rules
+//! the machine itself uses — but tracks each `(process, vpage)` pair as
+//! an [`AbsPage`]: three-valued PTE flags, a must/may OBitVector, a
+//! must/may set of cache-resident overlay lines with no OMS backing
+//! yet, and a TLB-staleness bit.
+//!
+//! The staleness bit is load-bearing: the OS CoW path privatizes pages
+//! *without* a TLB shootdown, so a later timed store can route through
+//! a stale TLB entry (`cow=1, writable=0, overlay_enabled=1`) and
+//! create an overlay on an already-private page. Whenever a page's TLB
+//! image may diverge from its page-table state, the interpreter widens
+//! instead of concluding. (Commit and discard promotions both shoot
+//! down — commit's shootdown was missing from the machine until the
+//! verifier-vs-runtime agreement test caught a fuzz trace crashing on a
+//! stale post-commit OBitVector.)
+//!
+//! Soundness contract (checked by the verifier-vs-runtime agreement
+//! test): for every page, `must ⊆ concrete OBitVector ⊆ may`, a
+//! `Tri::Yes`/`Tri::No` flag matches the concrete PTE, and the process
+//! count is exact — as long as the state never [degrades]
+//! (`AbsState::degraded`). Degradation triggers when frame or OMS
+//! allocation may fail (the upper-bound accounting crosses the
+//! configured physical memory) and suppresses every must-style claim.
+
+use super::lattice::{LineSet, Tri};
+use crate::findings::{Finding, Report, Severity};
+use po_overlay::SegmentClass;
+use po_sim::{SystemConfig, TraceOp, MAX_MAP_PAGES, MAX_VPN_SPAN};
+use po_types::geometry::{LINES_PER_PAGE, PAGE_SIZE};
+use po_types::Asid;
+use std::collections::BTreeMap;
+
+/// Options for one verification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifierOptions {
+    /// Overlay-store budget in bytes: enables the PA-V005 (possible OMS
+    /// overflow) rule against this limit.
+    pub oms_limit: Option<u64>,
+    /// Crash-point query indices (0-based, one poll per op — the
+    /// `run_crash_convergence` schedule): enables PA-V004 (unreachable
+    /// crash point) for each.
+    pub crash_queries: Vec<u64>,
+    /// Assume a fault plan may be armed during replay: every allocation
+    /// and overlay operation may fail, so the interpreter starts
+    /// degraded and reports only fault-independent findings.
+    pub assume_faults: bool,
+}
+
+/// Abstract per-page state. Flag fields describe the page *given that
+/// it is mapped*; they are meaningless while `mapped` is `No`.
+#[derive(Clone, Debug)]
+pub struct AbsPage {
+    /// Is there a translation for this page?
+    pub mapped: Tri,
+    /// PTE writable flag.
+    pub writable: Tri,
+    /// PTE copy-on-write flag.
+    pub cow: Tri,
+    /// PTE overlay-enabled flag.
+    pub enabled: Tri,
+    /// The OBitVector abstraction: `must ⊆ concrete ⊆ may`.
+    pub overlay: LineSet,
+    /// Overlay lines written but possibly not yet backed by an OMS slot
+    /// (cache-resident or store-pending). `must` ≠ 0 at end of trace is
+    /// the PR-2 bug shape: lines resident without backing slots.
+    pub resident: LineSet,
+    /// Union of `overlay.may` since the last full shootdown of this
+    /// page: an upper bound on any stale TLB entry's OBitVector. Drives
+    /// the promotion-possible check through stale entries.
+    pub stale_may: u64,
+    /// `false` once a TLB entry for this page may disagree with the
+    /// page table (privatization without shootdown).
+    pub tlb_clean: bool,
+}
+
+impl Default for AbsPage {
+    fn default() -> Self {
+        Self {
+            mapped: Tri::No,
+            writable: Tri::No,
+            cow: Tri::No,
+            enabled: Tri::No,
+            overlay: LineSet::EMPTY,
+            resident: LineSet::EMPTY,
+            stale_may: 0,
+            tlb_clean: true,
+        }
+    }
+}
+
+impl AbsPage {
+    /// Structural invariants of the abstraction itself.
+    fn well_formed(&self) -> bool {
+        self.overlay.well_formed()
+            && self.resident.well_formed()
+            && self.overlay.may & !self.stale_may == 0
+            && (self.overlay.must == 0 || self.mapped == Tri::Yes)
+    }
+}
+
+/// The whole-trace abstract state after interpretation.
+#[derive(Clone, Debug, Default)]
+pub struct AbsState {
+    /// Number of live processes (spawn order = harness `procs` order).
+    pub procs: usize,
+    /// Whether `procs` is exact (fork can fail once degraded).
+    pub procs_exact: bool,
+    /// Per-`(process index, vpn)` page states. An absent key means
+    /// "definitely unmapped" — while the state is not collapsed.
+    pub pages: BTreeMap<(usize, u64), AbsPage>,
+    /// `true` once an allocation may have failed: must-claims and
+    /// state-dependent findings are suppressed from that point on.
+    pub degraded: bool,
+    /// `true` once per-page tracking was abandoned entirely (a fork
+    /// under possible memory pressure): `pages` holds nothing usable.
+    pub collapsed: bool,
+    /// Peak possible OMS segment demand over the trace, in bytes
+    /// (sum over pages of the smallest legal segment class covering the
+    /// page's `may` line count).
+    pub peak_oms_demand: u64,
+}
+
+/// Process cap of the OS model: ASIDs are 15-bit and `next_asid` starts
+/// at 1, so at most `Asid::MAX` processes ever spawn.
+const PROC_CAP: usize = Asid::MAX as usize;
+
+/// Interpreter for one trace.
+struct Interp<'a> {
+    config: &'a SystemConfig,
+    opts: &'a VerifierOptions,
+    subject: &'a str,
+    st: AbsState,
+    report: Report,
+    /// Upper bound on regular frames allocated so far.
+    frames_ub: u64,
+}
+
+impl<'a> Interp<'a> {
+    fn new(config: &'a SystemConfig, opts: &'a VerifierOptions, subject: &'a str) -> Self {
+        let mut st = AbsState { procs_exact: true, ..AbsState::default() };
+        if opts.assume_faults {
+            st.degraded = true;
+        }
+        Self { config, opts, subject, st, report: Report::new(), frames_ub: 0 }
+    }
+
+    /// `true` while definite (must-style) conclusions are allowed.
+    fn precise(&self) -> bool {
+        !self.st.degraded
+    }
+
+    fn finding(&mut self, rule: &'static str, severity: Severity, op_idx: usize, msg: String) {
+        // `usize::MAX` marks a whole-trace finding, rendered as line 0.
+        let line = op_idx.wrapping_add(1);
+        self.report.push(Finding::new(rule, severity, self.subject, line, msg));
+    }
+
+    /// A finding that is only sound when the interpreter is precise.
+    fn precise_finding(
+        &mut self,
+        rule: &'static str,
+        severity: Severity,
+        op_idx: usize,
+        msg: String,
+    ) {
+        if self.precise() {
+            self.finding(rule, severity, op_idx, msg);
+        }
+    }
+
+    /// Accounts an upper bound of `frames` freshly allocated 4 KB
+    /// frames and degrades once physical memory may be exhausted.
+    fn note_alloc(&mut self, frames: u64) {
+        self.frames_ub += frames;
+        let chunk_bytes = self.config.overlay.oms_chunk_frames * PAGE_SIZE as u64;
+        let oms_chunks = self.st.peak_oms_demand.div_ceil(chunk_bytes.max(1));
+        let oms_frames_ub = oms_chunks * self.config.overlay.oms_chunk_frames;
+        if self.frames_ub + oms_frames_ub >= self.config.vm.total_frames {
+            self.st.degraded = true;
+        }
+    }
+
+    /// Resolves a harness process selector. `None` = no live process
+    /// (the op is a no-op); resolution is only trusted while the
+    /// process count is exact.
+    fn resolve(&self, sel: u32) -> Option<usize> {
+        if !self.st.procs_exact || self.st.procs == 0 {
+            None
+        } else {
+            Some(sel as usize % self.st.procs)
+        }
+    }
+
+    fn page_mut(&mut self, p: usize, vpn: u64) -> &mut AbsPage {
+        self.st.pages.entry((p, vpn)).or_default()
+    }
+
+    fn page_ref(&self, p: usize, vpn: u64) -> AbsPage {
+        self.st.pages.get(&(p, vpn)).cloned().unwrap_or_default()
+    }
+
+    /// All page keys belonging to process `p`.
+    fn keys_of(&self, p: usize) -> Vec<u64> {
+        self.st.pages.range((p, 0)..=(p, u64::MAX)).map(|(&(_, vpn), _)| vpn).collect()
+    }
+
+    /// Emits a PA-V001 dead-op finding when no process exists yet.
+    /// Returns `Some(proc index)` when the selector resolves.
+    fn resolve_or_dead(&mut self, sel: u32, op_idx: usize, what: &str) -> Option<usize> {
+        match self.resolve(sel) {
+            Some(p) => Some(p),
+            None => {
+                if self.st.procs_exact && self.st.procs == 0 {
+                    self.precise_finding(
+                        "PA-V001",
+                        Severity::Warn,
+                        op_idx,
+                        format!("{what} before any process is spawned: the op is dead"),
+                    );
+                }
+                None
+            }
+        }
+    }
+
+    /// Sum over pages of the smallest legal OMS segment able to hold
+    /// each page's possible overlay (segment-class legality: 256 B /
+    /// 512 B / 1 KB / 2 KB / 4 KB, clamped to the configured minimum).
+    fn oms_demand(&self) -> u64 {
+        let min = self.config.overlay.min_segment_class;
+        self.st
+            .pages
+            .values()
+            .filter(|pg| pg.overlay.may != 0)
+            .map(|pg| {
+                let class = SegmentClass::for_lines(pg.overlay.may_count());
+                class.bytes().max(min.bytes()) as u64
+            })
+            .sum()
+    }
+
+    fn update_demand(&mut self) {
+        let d = self.oms_demand();
+        if d > self.st.peak_oms_demand {
+            self.st.peak_oms_demand = d;
+            // Re-check the physical bound with the larger OMS estimate.
+            self.note_alloc(0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-op transfer functions.
+    // ------------------------------------------------------------------
+
+    fn op_spawn(&mut self, i: usize) {
+        if self.st.procs >= PROC_CAP {
+            self.precise_finding(
+                "PA-V001",
+                Severity::Warn,
+                i,
+                format!("spawn after the {PROC_CAP}-process ASID space is exhausted: must fail"),
+            );
+            return;
+        }
+        // spawn_process registers an empty address space — no frame
+        // allocation, so it succeeds exactly iff the cap is not reached.
+        self.st.procs += 1;
+    }
+
+    fn op_map(&mut self, i: usize, sel: u32, start: u64, count: u32) {
+        let Some(p) = self.resolve_or_dead(sel, i, "map") else { return };
+        if count == 0 {
+            self.precise_finding(
+                "PA-V001",
+                Severity::Warn,
+                i,
+                "map of zero pages: the op is dead".to_string(),
+            );
+            return;
+        }
+        let start = start % MAX_VPN_SPAN;
+        let mut fresh = 0u64;
+        for k in 0..count.min(MAX_MAP_PAGES) as u64 {
+            let vpn = start + k;
+            let precise = self.precise();
+            let page = self.page_mut(p, vpn);
+            match page.mapped {
+                Tri::Yes => {} // the harness never remaps
+                Tri::No => {
+                    *page = AbsPage {
+                        mapped: if precise { Tri::Yes } else { Tri::Maybe },
+                        writable: Tri::Yes,
+                        cow: Tri::No,
+                        enabled: Tri::No,
+                        ..AbsPage::default()
+                    };
+                    fresh += 1;
+                }
+                Tri::Maybe => {
+                    // Either already mapped (unchanged) or mapped fresh.
+                    page.writable = page.writable.join(Tri::Yes);
+                    page.cow = page.cow.join(Tri::No);
+                    page.enabled = page.enabled.join(Tri::No);
+                    page.overlay.weaken();
+                    page.resident.weaken();
+                    fresh += 1;
+                }
+            }
+        }
+        self.note_alloc(fresh);
+    }
+
+    fn op_fork(&mut self, i: usize, sel: u32) {
+        let Some(parent) = self.resolve_or_dead(sel, i, "fork") else {
+            if !self.st.procs_exact {
+                // A fork whose parent set is unknown: give up tracking.
+                self.st.collapsed = true;
+                self.st.pages.clear();
+            }
+            return;
+        };
+        if self.st.procs >= PROC_CAP {
+            self.precise_finding(
+                "PA-V001",
+                Severity::Warn,
+                i,
+                format!("fork after the {PROC_CAP}-process ASID space is exhausted: must fail"),
+            );
+            return;
+        }
+        if self.st.degraded {
+            // Fork allocates frames while materializing parent overlays;
+            // under possible memory pressure it may fail, making the
+            // process count — and with it every selector — unknowable.
+            self.st.procs_exact = false;
+            self.st.collapsed = true;
+            self.st.pages.clear();
+            self.st.procs += 1; // upper bound only; unusable anyway
+            return;
+        }
+        let child = self.st.procs;
+        let overlay_mode = self.config.overlay_mode;
+        for vpn in self.keys_of(parent) {
+            let page = self.page_mut(parent, vpn);
+            // In overlay mode fork first materializes (commits) every
+            // parent overlay into a private frame.
+            let had_overlay = page.overlay.may != 0;
+            if had_overlay {
+                page.overlay = LineSet::EMPTY;
+                page.resident = LineSet::EMPTY;
+            }
+            // os.fork then re-shares every present page CoW (both
+            // modes); overlay semantics are enabled only in overlay
+            // mode. fork ends with a full TLB flush of both ASIDs.
+            if page.mapped.possibly() {
+                match page.mapped {
+                    Tri::Yes => {
+                        page.writable = Tri::No;
+                        page.cow = Tri::Yes;
+                        if overlay_mode {
+                            page.enabled = Tri::Yes;
+                        }
+                    }
+                    _ => {
+                        page.writable = page.writable.join(Tri::No);
+                        page.cow = page.cow.join(Tri::Yes);
+                        if overlay_mode {
+                            page.enabled = page.enabled.join(Tri::Yes);
+                        }
+                    }
+                }
+            }
+            page.tlb_clean = true;
+            page.stale_may = page.overlay.may;
+            let clone = page.clone();
+            if had_overlay {
+                self.note_alloc(1); // materialize may copy the frame
+            }
+            self.st.pages.insert((child, vpn), clone);
+        }
+        self.st.procs += 1;
+    }
+
+    fn op_poke(&mut self, i: usize, sel: u32, raw_va: u64) {
+        let Some(p) = self.resolve_or_dead(sel, i, "poke") else { return };
+        let va = raw_va % (MAX_VPN_SPAN * PAGE_SIZE as u64);
+        let vpn = va / PAGE_SIZE as u64;
+        let line = (va as usize % PAGE_SIZE) / (PAGE_SIZE / LINES_PER_PAGE);
+        let page = self.page_ref(p, vpn);
+        if page.mapped == Tri::No && !self.st.collapsed {
+            self.precise_finding(
+                "PA-V002",
+                Severity::Warn,
+                i,
+                format!("poke targets vpn {vpn:#x}, which is never mapped: must fail"),
+            );
+            return;
+        }
+        self.functional_write(p, vpn, line);
+        self.update_demand();
+    }
+
+    /// The machine's functional write routing (`Machine::poke`): a fresh
+    /// translate — TLB staleness does not apply — then overlay write iff
+    /// `enabled && (in_overlay || (overlay_mode && cow && !writable))`.
+    fn functional_write(&mut self, p: usize, vpn: u64, line: usize) {
+        let precise = self.precise();
+        let overlay_mode = Tri::from_bool(self.config.overlay_mode);
+        let page = self.page_mut(p, vpn);
+        let in_ov = page.overlay.contains(line);
+        let base_is_cow = overlay_mode.and(page.cow).and(!page.writable);
+        let route_overlay = page.enabled.and(in_ov.or(base_is_cow));
+        let mut cow_copy_possible = false;
+        match route_overlay {
+            Tri::Yes if precise && page.mapped == Tri::Yes => {
+                if in_ov != Tri::Yes {
+                    // overlaying_write: the line joins the overlay as a
+                    // store-pending (not yet OMS-backed) line.
+                    page.overlay.insert_must(line);
+                    page.resident.insert_must(line);
+                } else {
+                    // write_line to an existing overlay line: it may
+                    // become pending again.
+                    page.resident.insert_may(line);
+                }
+                page.stale_may |= page.overlay.may;
+            }
+            Tri::No if precise && page.mapped == Tri::Yes => {
+                // Base route. On a CoW page (plain CoW mode) os.write
+                // privatizes the frame — with no TLB shootdown.
+                if page.cow == Tri::Yes && page.writable == Tri::No {
+                    page.writable = Tri::Yes;
+                    page.cow = Tri::No;
+                    page.tlb_clean = false;
+                    cow_copy_possible = true;
+                } else if page.cow.possibly() && page.writable != Tri::Yes {
+                    page.writable = page.writable.join(Tri::Yes);
+                    page.cow = page.cow.join(Tri::No);
+                    page.tlb_clean = false;
+                    cow_copy_possible = true;
+                }
+            }
+            _ => {
+                // Either route may be taken (or the interpreter is
+                // imprecise): widen both.
+                if route_overlay.possibly() {
+                    page.overlay.insert_may(line);
+                    page.resident.insert_may(line);
+                    page.stale_may |= page.overlay.may;
+                }
+                if route_overlay != Tri::Yes && page.cow.possibly() && page.writable != Tri::Yes {
+                    page.writable = page.writable.join(Tri::Yes);
+                    page.cow = page.cow.join(Tri::No);
+                    page.tlb_clean = false;
+                    cow_copy_possible = true;
+                }
+            }
+        }
+        if cow_copy_possible {
+            self.note_alloc(1);
+        }
+    }
+
+    fn op_peek(&mut self, i: usize, sel: u32, raw_va: u64) {
+        let Some(p) = self.resolve_or_dead(sel, i, "peek") else { return };
+        let va = raw_va % (MAX_VPN_SPAN * PAGE_SIZE as u64);
+        let vpn = va / PAGE_SIZE as u64;
+        if self.page_ref(p, vpn).mapped == Tri::No && !self.st.collapsed {
+            self.precise_finding(
+                "PA-V002",
+                Severity::Warn,
+                i,
+                format!("peek targets vpn {vpn:#x}, which is never mapped: reads nothing"),
+            );
+        }
+    }
+
+    fn op_seed(&mut self, i: usize, sel: u32, vpn: u64, line: u8) {
+        let Some(p) = self.resolve_or_dead(sel, i, "seed") else { return };
+        let vpn = vpn % MAX_VPN_SPAN;
+        let line = line as usize % LINES_PER_PAGE;
+        let precise = self.precise();
+        let page = self.page_mut(p, vpn);
+        // The harness seeds only pages whose translation has
+        // overlay_enabled, and only lines not already overlaid.
+        if page.mapped == Tri::No || page.enabled == Tri::No {
+            let reason =
+                if page.mapped == Tri::No { "never mapped" } else { "never overlay-enabled" };
+            self.precise_finding(
+                "PA-V003",
+                Severity::Info,
+                i,
+                format!("seed of vpn {vpn:#x} line {line}: the page is {reason}, the op is dead"),
+            );
+            return;
+        }
+        let in_ov = page.overlay.contains(line);
+        if in_ov == Tri::Yes {
+            self.precise_finding(
+                "PA-V003",
+                Severity::Info,
+                i,
+                format!(
+                    "seed of vpn {vpn:#x} line {line}: the line is already in the overlay, the \
+                     op is dead"
+                ),
+            );
+            return;
+        }
+        if precise && page.mapped == Tri::Yes && page.enabled == Tri::Yes && in_ov == Tri::No {
+            // seed_overlay_line evicts the line to the OMS immediately:
+            // it is in the overlay *and* backed (no residency).
+            page.overlay.insert_must(line);
+        } else {
+            page.overlay.insert_may(line);
+        }
+        page.stale_may |= page.overlay.may;
+        self.update_demand();
+    }
+
+    fn op_commit(&mut self, i: usize, sel: u32, vpn: u64) {
+        let Some(p) = self.resolve_or_dead(sel, i, "commit") else { return };
+        let vpn = vpn % MAX_VPN_SPAN;
+        let precise = self.precise();
+        let page = self.page_mut(p, vpn);
+        match page.overlay.non_empty() {
+            Tri::No => {
+                self.precise_finding(
+                    "PA-V003",
+                    Severity::Info,
+                    i,
+                    format!("commit of vpn {vpn:#x}, which never has an overlay: the op is dead"),
+                );
+            }
+            Tri::Yes if precise && page.mapped == Tri::Yes => {
+                // materialize: privatize the frame (writable, not CoW),
+                // fold the overlay in, and shoot down the page's TLB
+                // entries (commit promotion is symmetric with discard).
+                page.overlay = LineSet::EMPTY;
+                page.resident = LineSet::EMPTY;
+                page.writable = Tri::Yes;
+                page.cow = Tri::No;
+                page.tlb_clean = true;
+                page.stale_may = 0;
+                self.note_alloc(1);
+            }
+            _ => {
+                // NoOverlay (no change) or a real commit (privatized).
+                page.overlay.weaken();
+                page.resident.weaken();
+                if page.mapped.possibly() {
+                    page.writable = page.writable.join(Tri::Yes);
+                    page.cow = page.cow.join(Tri::No);
+                    // The shootdown happens only on a real commit, so
+                    // cleanliness cannot be reclaimed here.
+                    self.note_alloc(1);
+                }
+            }
+        }
+    }
+
+    fn op_discard(&mut self, i: usize, sel: u32, vpn: u64) {
+        let Some(p) = self.resolve_or_dead(sel, i, "discard") else { return };
+        let vpn = vpn % MAX_VPN_SPAN;
+        let precise = self.precise();
+        let page = self.page_mut(p, vpn);
+        match page.overlay.non_empty() {
+            Tri::No => {
+                self.precise_finding(
+                    "PA-V003",
+                    Severity::Info,
+                    i,
+                    format!("discard of vpn {vpn:#x}, which never has an overlay: the op is dead"),
+                );
+            }
+            Tri::Yes if precise => {
+                // discard drops the overlay and shoots down the page's
+                // TLB entries; PTE flags are untouched.
+                page.overlay = LineSet::EMPTY;
+                page.resident = LineSet::EMPTY;
+                page.tlb_clean = true;
+                page.stale_may = 0;
+            }
+            _ => {
+                page.overlay.weaken();
+                page.resident.weaken();
+                // The shootdown happens only if the overlay existed, so
+                // neither cleanliness nor stale bits can be reclaimed.
+            }
+        }
+    }
+
+    fn op_flush(&mut self) {
+        // flush_overlays evicts every dirty overlay line into the OMS:
+        // nothing stays resident-without-backing (precise or not — a
+        // partial flush still only *reduces* residency, so clearing
+        // `must` is sound and clearing `may` needs precision).
+        let precise = self.precise();
+        for page in self.st.pages.values_mut() {
+            if precise {
+                page.resident = LineSet::EMPTY;
+            } else {
+                page.resident.weaken();
+            }
+        }
+        self.update_demand();
+    }
+
+    fn op_reclaim(&mut self, i: usize) {
+        let candidates: Vec<(usize, u64)> =
+            self.st.pages.iter().filter(|(_, pg)| pg.overlay.may != 0).map(|(&k, _)| k).collect();
+        if candidates.is_empty() {
+            if !self.st.collapsed {
+                self.precise_finding(
+                    "PA-V003",
+                    Severity::Info,
+                    i,
+                    "reclaim with provably no overlay to collapse: the op is dead".to_string(),
+                );
+            }
+            return;
+        }
+        let precise = self.precise();
+        if precise && candidates.len() == 1 {
+            let (p, vpn) = candidates[0];
+            let page = self.page_mut(p, vpn);
+            if page.overlay.must == page.overlay.may && page.mapped == Tri::Yes {
+                // The sole candidate is collapsed: privatize + commit +
+                // shootdown.
+                page.overlay = LineSet::EMPTY;
+                page.resident = LineSet::EMPTY;
+                page.writable = Tri::Yes;
+                page.cow = Tri::No;
+                page.tlb_clean = true;
+                page.stale_may = 0;
+                self.note_alloc(1);
+                return;
+            }
+        }
+        // Reclaim stops after the first candidate that frees bytes, in
+        // an order the abstraction does not model: every candidate may
+        // or may not have been collapsed.
+        for (p, vpn) in candidates {
+            let page = self.page_mut(p, vpn);
+            page.overlay.weaken();
+            page.resident.weaken();
+            if page.mapped.possibly() {
+                page.writable = page.writable.join(Tri::Yes);
+                page.cow = page.cow.join(Tri::No);
+            }
+            self.note_alloc(1);
+        }
+    }
+
+    /// Timed ops (`Compute`/`Load`/`Store`) run on the first process.
+    /// Returns its index, or emits PA-V001 when none exists.
+    fn timed_proc(&mut self, i: usize, what: &str) -> Option<usize> {
+        if self.st.procs_exact && self.st.procs == 0 {
+            self.precise_finding(
+                "PA-V001",
+                Severity::Warn,
+                i,
+                format!("timed {what} before any process is spawned: the op is dead"),
+            );
+            return None;
+        }
+        self.st.procs_exact.then_some(0)
+    }
+
+    /// Cache activity of a timed access may write any dirty overlay
+    /// line back to the OMS: residency is no longer guaranteed.
+    fn timed_side_effects(&mut self) {
+        for page in self.st.pages.values_mut() {
+            page.resident.weaken();
+        }
+    }
+
+    fn op_load(&mut self, i: usize, raw_va: u64) {
+        let Some(p) = self.timed_proc(i, "load") else { return };
+        let vpn = raw_va / PAGE_SIZE as u64; // timed ops are NOT clamped
+        if self.page_ref(p, vpn).mapped == Tri::No && !self.st.collapsed {
+            self.precise_finding(
+                "PA-V002",
+                Severity::Warn,
+                i,
+                format!("timed load of vpn {vpn:#x}, which is never mapped: must fault"),
+            );
+            return;
+        }
+        self.timed_side_effects();
+    }
+
+    fn op_store(&mut self, i: usize, raw_va: u64) {
+        let Some(p) = self.timed_proc(i, "store") else { return };
+        let vpn = raw_va / PAGE_SIZE as u64; // timed ops are NOT clamped
+        let line = (raw_va as usize % PAGE_SIZE) / (PAGE_SIZE / LINES_PER_PAGE);
+        if self.page_ref(p, vpn).mapped == Tri::No && !self.st.collapsed {
+            self.precise_finding(
+                "PA-V002",
+                Severity::Warn,
+                i,
+                format!("timed store to vpn {vpn:#x}, which is never mapped: must fault"),
+            );
+            return;
+        }
+        self.timed_side_effects();
+
+        let precise = self.precise();
+        let overlay_mode = self.config.overlay_mode;
+        let threshold = self.config.promote_threshold;
+        let mut alloc = 0u64;
+        let page = self.page_mut(p, vpn);
+        let flags_exact = page.tlb_clean
+            && page.mapped == Tri::Yes
+            && page.writable != Tri::Maybe
+            && page.cow != Tri::Maybe
+            && page.enabled != Tri::Maybe
+            && page.overlay.must == page.overlay.may;
+        if precise && flags_exact {
+            // The TLB image (hit or fresh fill) equals the page table.
+            if page.writable == Tri::No {
+                // cow must hold (mapped non-writable pages are CoW by
+                // construction), else the store would fault hard.
+                if overlay_mode && page.enabled == Tri::Yes {
+                    if page.overlay.contains(line) != Tri::Yes {
+                        // overlaying_write_path: retag into the overlay.
+                        page.overlay.insert_must(line);
+                        page.resident.insert_must(line);
+                        page.stale_may |= page.overlay.may;
+                        if page.overlay.must_count() >= threshold {
+                            // §4.3.4 promotion: commit + privatize +
+                            // shootdown.
+                            page.overlay = LineSet::EMPTY;
+                            page.resident = LineSet::EMPTY;
+                            page.writable = Tri::Yes;
+                            page.cow = Tri::No;
+                            page.tlb_clean = true;
+                            page.stale_may = 0;
+                            alloc = 1;
+                        }
+                    }
+                    // A store to a line already in the overlay is a
+                    // plain cache write: no structural change.
+                } else {
+                    // Classic CoW fault: privatize with shootdown/refill.
+                    page.writable = Tri::Yes;
+                    page.cow = Tri::No;
+                    page.tlb_clean = false; // L2 may keep the old entry
+                    alloc = 1;
+                }
+            } else if page.enabled.possibly() && page.overlay.contains(line).possibly() {
+                // Writable page whose line sits in an overlay: the write
+                // lands at the overlay address and is resident again.
+                page.resident.insert_may(line);
+            }
+        } else {
+            // Widened store: the routing TLB entry may be stale (old
+            // flags, old OBitVector), so consider every route at once.
+            let maybe_unwritable = !(page.tlb_clean && page.writable == Tri::Yes);
+            if maybe_unwritable {
+                let stale_cow = page.cow.possibly() || !page.tlb_clean;
+                if overlay_mode && page.enabled.possibly() && stale_cow {
+                    page.overlay.insert_may(line);
+                    page.resident.insert_may(line);
+                    page.stale_may |= page.overlay.may;
+                    if (page.stale_may.count_ones() as usize) >= threshold {
+                        // A promotion through a stale entry is possible.
+                        page.overlay.weaken();
+                        page.resident.weaken();
+                        page.writable = page.writable.join(Tri::Yes);
+                        page.cow = page.cow.join(Tri::No);
+                        alloc += 1;
+                    }
+                }
+                if stale_cow {
+                    // A CoW fault is also possible.
+                    page.writable = page.writable.join(Tri::Yes);
+                    page.cow = page.cow.join(Tri::No);
+                    page.tlb_clean = false;
+                    alloc += 1;
+                }
+            }
+            if page.enabled.possibly() && page.overlay.contains(line).possibly() {
+                page.resident.insert_may(line);
+            }
+        }
+        if alloc > 0 {
+            self.note_alloc(alloc);
+        }
+        self.update_demand();
+    }
+
+    // ------------------------------------------------------------------
+    // Driver.
+    // ------------------------------------------------------------------
+
+    fn run(mut self, ops: &[TraceOp]) -> (Report, AbsState) {
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                TraceOp::Spawn => self.op_spawn(i),
+                TraceOp::Map { proc_sel, start, count } => self.op_map(i, proc_sel, start, count),
+                TraceOp::Fork { proc_sel } => self.op_fork(i, proc_sel),
+                TraceOp::Poke { proc_sel, va, .. } => self.op_poke(i, proc_sel, va.raw()),
+                TraceOp::Peek { proc_sel, va } => self.op_peek(i, proc_sel, va.raw()),
+                TraceOp::SeedLine { proc_sel, vpn, line, .. } => {
+                    self.op_seed(i, proc_sel, vpn, line)
+                }
+                TraceOp::CommitPage { proc_sel, vpn } => self.op_commit(i, proc_sel, vpn),
+                TraceOp::DiscardPage { proc_sel, vpn } => self.op_discard(i, proc_sel, vpn),
+                TraceOp::Flush => self.op_flush(),
+                TraceOp::Reclaim => self.op_reclaim(i),
+                TraceOp::Compute(_) => {
+                    let _ = self.timed_proc(i, "compute");
+                }
+                TraceOp::Load(va) => self.op_load(i, va.raw()),
+                TraceOp::Store(va) => self.op_store(i, va.raw()),
+            }
+            debug_assert!(
+                self.st.pages.values().all(AbsPage::well_formed),
+                "abstract state ill-formed after op {i} ({op:?})"
+            );
+        }
+
+        // PA-V004: crash-point reachability. run_crash_convergence polls
+        // the crash site exactly once per op, so a 0-based query index
+        // ≥ ops.len() can never fire.
+        let polls = ops.len() as u64;
+        for &q in &self.opts.crash_queries {
+            if q >= polls {
+                self.finding(
+                    "PA-V004",
+                    Severity::Warn,
+                    // Whole-trace finding: anchor at op 0.
+                    usize::MAX,
+                    format!(
+                        "crash point scheduled at query {q} can never fire: the trace polls the \
+                         crash site only {polls} times (once per op)"
+                    ),
+                );
+            }
+        }
+
+        // PA-V005: possible OMS overflow against a configured budget.
+        if let Some(limit) = self.opts.oms_limit {
+            if self.st.peak_oms_demand > limit {
+                self.finding(
+                    "PA-V005",
+                    Severity::Warn,
+                    usize::MAX,
+                    format!(
+                        "lazy overlay allocation can demand {} bytes of OMS segments at its \
+                         peak, exceeding the {limit}-byte budget",
+                        self.st.peak_oms_demand
+                    ),
+                );
+            }
+        }
+
+        // PA-V006: lines the trace provably leaves resident with no OMS
+        // backing slot (the bug shape PR 2's fuzzer caught dynamically).
+        if !self.st.collapsed {
+            let tails: Vec<(usize, u64, u32)> = self
+                .st
+                .pages
+                .iter()
+                .filter(|(_, pg)| pg.resident.must != 0)
+                .map(|(&(p, vpn), pg)| (p, vpn, pg.resident.must.count_ones()))
+                .collect();
+            for (p, vpn, n) in tails {
+                self.precise_finding(
+                    "PA-V006",
+                    Severity::Info,
+                    usize::MAX,
+                    format!(
+                        "trace ends with {n} overlay line(s) of process {p} vpn {vpn:#x} \
+                         resident without a guaranteed OMS backing slot; a final flush (U) \
+                         would settle them"
+                    ),
+                );
+            }
+        }
+
+        self.report.sort();
+        (self.report, self.st)
+    }
+}
+
+/// Symbolically executes `ops` under `config`, returning the findings
+/// and the final abstract state. Findings use `subject` as the file
+/// name and the 1-based op ordinal as the line (0 = whole-trace).
+#[must_use]
+pub fn verify_ops(
+    config: &SystemConfig,
+    ops: &[TraceOp],
+    opts: &VerifierOptions,
+    subject: &str,
+) -> (Report, AbsState) {
+    Interp::new(config, opts, subject).run(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use po_types::VirtAddr;
+
+    fn overlay_cfg() -> SystemConfig {
+        SystemConfig::table2_overlay()
+    }
+
+    fn rules(report: &Report) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_trace_has_no_findings() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 4 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_040), value: 7 },
+            TraceOp::Peek { proc_sel: 0, va: VirtAddr::new(0x100_040) },
+            TraceOp::Flush,
+        ];
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        assert_eq!(st.procs, 2);
+        assert!(st.procs_exact && !st.degraded);
+    }
+
+    #[test]
+    fn op_before_spawn_is_dead() {
+        let ops = vec![TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 }, TraceOp::Spawn];
+        let (report, _) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V001"]);
+    }
+
+    #[test]
+    fn poke_on_unmapped_page_must_fail() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x999_000), value: 1 },
+        ];
+        let (report, _) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V002"]);
+    }
+
+    #[test]
+    fn overlay_tracking_through_fork_and_poke() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_080), value: 1 },
+        ];
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        // The trace ends with the poked line still resident: exactly
+        // the PA-V006 informational tail, nothing else.
+        assert_eq!(rules(&report), vec!["PA-V006"], "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        // Fork shared the page CoW + overlay-enabled; the poke then
+        // overlays exactly line 2 (offset 0x80).
+        assert_eq!(page.overlay.must, 1 << 2);
+        assert_eq!(page.overlay.may, 1 << 2);
+        assert_eq!(page.resident.must, 1 << 2);
+        assert_eq!(page.cow, Tri::Yes);
+        assert_eq!(page.enabled, Tri::Yes);
+        // The child shares the frame but has no overlay of its own.
+        assert_eq!(st.pages[&(1, 0x100)].overlay.may, 0);
+    }
+
+    #[test]
+    fn commit_without_overlay_is_dead_and_with_overlay_privatizes() {
+        let dead = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::CommitPage { proc_sel: 0, vpn: 0x100 },
+        ];
+        let (report, _) = verify_ops(&overlay_cfg(), &dead, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V003"]);
+
+        let live = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+            TraceOp::CommitPage { proc_sel: 0, vpn: 0x100 },
+        ];
+        let (report, st) = verify_ops(&overlay_cfg(), &live, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        assert_eq!(page.overlay.may, 0);
+        assert_eq!(page.writable, Tri::Yes);
+        // commit promotion shoots down the page's TLB entries.
+        assert!(page.tlb_clean);
+    }
+
+    #[test]
+    fn commit_shootdown_keeps_timed_stores_precise() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+            TraceOp::CommitPage { proc_sel: 0, vpn: 0x100 },
+            // The shootdown forces a TLB refill: the store sees the
+            // private writable page exactly and stays a plain write.
+            TraceOp::Store(VirtAddr::new(0x100_040)),
+        ];
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        assert_eq!(page.overlay.may, 0, "no stale route can re-create the overlay");
+        assert!(page.tlb_clean);
+    }
+
+    #[test]
+    fn stale_cow_privatization_widens_timed_stores() {
+        // The OS CoW path (a functional poke routed to `os.write`) still
+        // privatizes without a shootdown: in plain CoW mode a later
+        // timed store may take either the stale CoW route or the plain
+        // write, so the flags stay widened but no overlay appears.
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+            TraceOp::Store(VirtAddr::new(0x100_040)),
+        ];
+        let (report, st) =
+            verify_ops(&SystemConfig::table2(), &ops, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        assert!(!page.tlb_clean, "the CoW privatization left stale TLB entries");
+        assert_eq!(page.overlay.may, 0, "no overlays in plain CoW mode");
+        assert_eq!(page.writable, Tri::Yes);
+    }
+
+    #[test]
+    fn discard_restores_tlb_cleanliness() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+            TraceOp::DiscardPage { proc_sel: 0, vpn: 0x100 },
+            TraceOp::Store(VirtAddr::new(0x100_040)),
+        ];
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        // The overlaying store leaves its line resident at trace end.
+        assert_eq!(rules(&report), vec!["PA-V006"], "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        // After the discard shootdown the store's TLB image is exact:
+        // the page is still shared CoW, so the store overlays line 1.
+        assert_eq!(page.overlay.must, 1 << 1);
+        assert_eq!(page.overlay.may, 1 << 1);
+    }
+
+    #[test]
+    fn unreachable_crash_point_reported() {
+        let ops = vec![TraceOp::Spawn, TraceOp::Flush];
+        let opts = VerifierOptions { crash_queries: vec![1, 2, 100], ..Default::default() };
+        let (report, _) = verify_ops(&overlay_cfg(), &ops, &opts, "<t>");
+        // Queries 2 and 100 are past the 2 polls this trace performs.
+        assert_eq!(rules(&report), vec!["PA-V004", "PA-V004"]);
+    }
+
+    #[test]
+    fn oms_budget_overflow_reported() {
+        let mut ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 2 },
+            TraceOp::Fork { proc_sel: 0 },
+        ];
+        // 4 seeded lines per page → each page needs a 512 B segment.
+        for vpn in [0x100u64, 0x101] {
+            for line in 0..4u8 {
+                ops.push(TraceOp::SeedLine { proc_sel: 0, vpn, line, value: 1 });
+            }
+        }
+        let tight = VerifierOptions { oms_limit: Some(768), ..Default::default() };
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &tight, "<t>");
+        assert_eq!(st.peak_oms_demand, 1024);
+        assert_eq!(rules(&report), vec!["PA-V005"]);
+        let roomy = VerifierOptions { oms_limit: Some(1024), ..Default::default() };
+        let (report, _) = verify_ops(&overlay_cfg(), &ops, &roomy, "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+    }
+
+    #[test]
+    fn resident_tail_reported_and_settled_by_flush() {
+        let base = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+        ];
+        let (report, _) = verify_ops(&overlay_cfg(), &base, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V006"]);
+
+        let mut flushed = base;
+        flushed.push(TraceOp::Flush);
+        let (report, _) = verify_ops(&overlay_cfg(), &flushed, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+    }
+
+    #[test]
+    fn cow_mode_never_builds_overlays() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+            TraceOp::Store(VirtAddr::new(0x100_040)),
+        ];
+        let (report, st) =
+            verify_ops(&SystemConfig::table2(), &ops, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        assert!(st.pages.values().all(|pg| pg.overlay.may == 0));
+        // The poke privatized the page through the classic CoW path.
+        assert_eq!(st.pages[&(0, 0x100)].writable, Tri::Yes);
+    }
+
+    #[test]
+    fn assume_faults_suppresses_must_claims() {
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x999_000), value: 1 },
+        ];
+        let opts = VerifierOptions { assume_faults: true, ..Default::default() };
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &opts, "<t>");
+        assert!(report.findings.is_empty(), "faulty replays make nothing certain");
+        assert!(st.degraded);
+    }
+
+    #[test]
+    fn asid_exhaustion_makes_spawns_dead() {
+        let mut ops = vec![TraceOp::Spawn; PROC_CAP + 3];
+        ops.push(TraceOp::Fork { proc_sel: 0 });
+        let (report, st) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert_eq!(st.procs, PROC_CAP);
+        // 3 dead spawns + 1 dead fork.
+        assert_eq!(rules(&report), vec!["PA-V001"; 4]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The abstract domain of the trace verifier.
+//!
+//! Two pieces:
+//!
+//! * [`Tri`] — classic three-valued logic for per-page facts
+//!   (mapped, copy-on-write, writable, overlay-enabled). `Yes`/`No` are
+//!   proofs; `Maybe` is the sound "don't know".
+//! * [`LineSet`] — the per-page OBitVector lattice: a `must` mask
+//!   (lines proven in the overlay) and a `may` mask (lines possibly in
+//!   the overlay), with `must ⊆ may` as the structural invariant. The
+//!   concrete OBitVector `v` is abstracted soundly iff
+//!   `must ⊆ v ⊆ may`.
+
+/// Three-valued truth: definitely false / unknown / definitely true.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tri {
+    /// Proven false in every execution.
+    No,
+    /// True in some executions the abstraction cannot separate.
+    Maybe,
+    /// Proven true in every execution.
+    Yes,
+}
+
+impl Tri {
+    /// Abstraction of a known concrete boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Tri::Yes
+        } else {
+            Tri::No
+        }
+    }
+
+    /// The fact holds in every execution.
+    #[must_use]
+    pub fn definitely(self) -> bool {
+        self == Tri::Yes
+    }
+
+    /// The fact holds in at least one execution the abstraction tracks.
+    #[must_use]
+    pub fn possibly(self) -> bool {
+        self != Tri::No
+    }
+
+    /// Least upper bound: keeps only what both branches agree on.
+    #[must_use]
+    pub fn join(self, other: Tri) -> Tri {
+        if self == other {
+            self
+        } else {
+            Tri::Maybe
+        }
+    }
+
+    /// Kleene conjunction.
+    #[must_use]
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::No, _) | (_, Tri::No) => Tri::No,
+            (Tri::Yes, Tri::Yes) => Tri::Yes,
+            _ => Tri::Maybe,
+        }
+    }
+
+    /// Kleene disjunction.
+    #[must_use]
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::Yes, _) | (_, Tri::Yes) => Tri::Yes,
+            (Tri::No, Tri::No) => Tri::No,
+            _ => Tri::Maybe,
+        }
+    }
+
+}
+
+/// Kleene negation.
+impl std::ops::Not for Tri {
+    type Output = Tri;
+
+    fn not(self) -> Tri {
+        match self {
+            Tri::No => Tri::Yes,
+            Tri::Maybe => Tri::Maybe,
+            Tri::Yes => Tri::No,
+        }
+    }
+}
+
+/// A must/may pair of 64-bit line masks (`must ⊆ may`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineSet {
+    /// Lines present in every execution.
+    pub must: u64,
+    /// Lines present in at least one execution.
+    pub may: u64,
+}
+
+impl LineSet {
+    /// The empty set (both masks zero) — also the abstraction of
+    /// "definitely no overlay".
+    pub const EMPTY: LineSet = LineSet { must: 0, may: 0 };
+
+    /// Whether line `line` is in the set, as a three-valued fact.
+    #[must_use]
+    pub fn contains(self, line: usize) -> Tri {
+        let bit = 1u64 << line;
+        if self.must & bit != 0 {
+            Tri::Yes
+        } else if self.may & bit != 0 {
+            Tri::Maybe
+        } else {
+            Tri::No
+        }
+    }
+
+    /// Adds a line that is inserted in every execution.
+    pub fn insert_must(&mut self, line: usize) {
+        self.must |= 1 << line;
+        self.may |= 1 << line;
+    }
+
+    /// Adds a line that is inserted in some executions only.
+    pub fn insert_may(&mut self, line: usize) {
+        self.may |= 1 << line;
+    }
+
+    /// Whether the set is non-empty, as a three-valued fact.
+    #[must_use]
+    pub fn non_empty(self) -> Tri {
+        if self.must != 0 {
+            Tri::Yes
+        } else if self.may != 0 {
+            Tri::Maybe
+        } else {
+            Tri::No
+        }
+    }
+
+    /// Drops the `must` half (an operation may or may not have cleared
+    /// the set), keeping `may` as the superset of both outcomes.
+    pub fn weaken(&mut self) {
+        self.must = 0;
+    }
+
+    /// Structural invariant of the domain.
+    #[must_use]
+    pub fn well_formed(self) -> bool {
+        self.must & !self.may == 0
+    }
+
+    /// Number of lines possibly present.
+    #[must_use]
+    pub fn may_count(self) -> usize {
+        self.may.count_ones() as usize
+    }
+
+    /// Number of lines definitely present.
+    #[must_use]
+    pub fn must_count(self) -> usize {
+        self.must.count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_algebra() {
+        assert_eq!(Tri::Yes.and(Tri::Maybe), Tri::Maybe);
+        assert_eq!(Tri::No.and(Tri::Maybe), Tri::No);
+        assert_eq!(Tri::Yes.or(Tri::Maybe), Tri::Yes);
+        assert_eq!(Tri::No.or(Tri::Maybe), Tri::Maybe);
+        assert_eq!(!Tri::Maybe, Tri::Maybe);
+        assert_eq!(Tri::Yes.join(Tri::No), Tri::Maybe);
+        assert_eq!(Tri::Yes.join(Tri::Yes), Tri::Yes);
+        assert!(Tri::from_bool(true).definitely());
+        assert!(!Tri::from_bool(false).possibly());
+    }
+
+    #[test]
+    fn lineset_tracks_must_and_may() {
+        let mut s = LineSet::EMPTY;
+        assert_eq!(s.contains(3), Tri::No);
+        s.insert_may(3);
+        assert_eq!(s.contains(3), Tri::Maybe);
+        s.insert_must(3);
+        assert_eq!(s.contains(3), Tri::Yes);
+        assert_eq!(s.non_empty(), Tri::Yes);
+        s.weaken();
+        assert_eq!(s.contains(3), Tri::Maybe);
+        assert_eq!(s.non_empty(), Tri::Maybe);
+        assert!(s.well_formed());
+        assert_eq!(s.may_count(), 1);
+        assert_eq!(s.must_count(), 0);
+    }
+}

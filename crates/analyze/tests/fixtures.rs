@@ -1,0 +1,150 @@
+//! Every po-analyze rule has a seeded true-positive fixture under
+//! `fixtures/`, and the current source tree runs clean. These tests pin
+//! both halves: a rule that stops firing on its fixture has regressed,
+//! and a finding on the tree is a real defect (or needs an explicit
+//! `po-analyze: allow`).
+
+use po_analyze::lints::{self, fault_threading, tokenizer::ScannedFile};
+use po_analyze::{verify_trace_text, Report, Severity, Verdict, VerifierOptions};
+use po_sim::SystemConfig;
+use std::path::{Path, PathBuf};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules(report: &Report) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+fn verify_fixture(rel: &str, opts: &VerifierOptions) -> po_analyze::Analysis {
+    verify_trace_text(&SystemConfig::table2_overlay(), &fixture(rel), opts, rel)
+}
+
+#[test]
+fn v000_malformed_trace_is_rejected() {
+    let a = verify_fixture("traces/dirty/v000_malformed.trace", &VerifierOptions::default());
+    assert_eq!(a.verdict, Verdict::Reject);
+    assert_eq!(rules(&a.report), vec!["PA-V000"]);
+    assert_eq!(a.report.max_severity(), Some(Severity::Error));
+}
+
+#[test]
+fn v001_dead_op_fires() {
+    let a = verify_fixture("traces/dirty/v001_dead_op.trace", &VerifierOptions::default());
+    assert_eq!(a.verdict, Verdict::Accept);
+    assert_eq!(rules(&a.report), vec!["PA-V001"], "{}", a.report.to_human());
+}
+
+#[test]
+fn v002_unmapped_poke_fires() {
+    let a = verify_fixture("traces/dirty/v002_unmapped_poke.trace", &VerifierOptions::default());
+    assert_eq!(rules(&a.report), vec!["PA-V002"], "{}", a.report.to_human());
+}
+
+#[test]
+fn v003_dead_commit_fires() {
+    let a = verify_fixture("traces/dirty/v003_dead_commit.trace", &VerifierOptions::default());
+    assert_eq!(rules(&a.report), vec!["PA-V003"], "{}", a.report.to_human());
+}
+
+#[test]
+fn v004_unreachable_crash_point_fires() {
+    let opts = VerifierOptions { crash_queries: vec![5], ..Default::default() };
+    let a = verify_fixture("traces/dirty/v004_short_trace.trace", &opts);
+    assert_eq!(rules(&a.report), vec!["PA-V004"], "{}", a.report.to_human());
+    // Without the query the same trace is clean.
+    let a = verify_fixture("traces/dirty/v004_short_trace.trace", &VerifierOptions::default());
+    assert!(a.report.findings.is_empty(), "{}", a.report.to_human());
+}
+
+#[test]
+fn v005_oms_overflow_fires_under_tight_budget() {
+    let opts = VerifierOptions { oms_limit: Some(768), ..Default::default() };
+    let a = verify_fixture("traces/dirty/v005_oms_overflow.trace", &opts);
+    assert_eq!(rules(&a.report), vec!["PA-V005"], "{}", a.report.to_human());
+    // A budget covering the 1024-byte peak settles it.
+    let opts = VerifierOptions { oms_limit: Some(1024), ..Default::default() };
+    let a = verify_fixture("traces/dirty/v005_oms_overflow.trace", &opts);
+    assert!(a.report.findings.is_empty(), "{}", a.report.to_human());
+}
+
+#[test]
+fn v006_resident_tail_fires() {
+    let a = verify_fixture("traces/dirty/v006_resident_tail.trace", &VerifierOptions::default());
+    assert_eq!(rules(&a.report), vec!["PA-V006"], "{}", a.report.to_human());
+}
+
+#[test]
+fn clean_traces_are_clean() {
+    for rel in ["traces/clean/fork_poke_flush.trace", "traces/clean/commit_discard.trace"] {
+        let a = verify_fixture(rel, &VerifierOptions::default());
+        assert_eq!(a.verdict, Verdict::Accept, "{rel}");
+        assert!(a.report.findings.is_empty(), "{rel}:\n{}", a.report.to_human());
+    }
+}
+
+#[test]
+fn l001_width_mismatch_fires() {
+    let report = lints::lint_source("l001.rs", &fixture("lints/l001_width_mismatch.rs"));
+    assert_eq!(rules(&report), vec!["PA-L001"], "{}", report.to_human());
+    assert!(report.findings[0].message.contains("put_u8"), "{}", report.findings[0].message);
+}
+
+#[test]
+fn l002_unbacked_counter_fires() {
+    let report = lints::lint_source("l002.rs", &fixture("lints/l002_unbacked_counter.rs"));
+    assert_eq!(rules(&report), vec!["PA-L002"], "{}", report.to_human());
+    assert!(report.findings[0].message.contains("widget.misses"), "{}", report.findings[0].message);
+}
+
+#[test]
+fn l003_unthreaded_variant_fires() {
+    let corpus = vec![(
+        "l003.rs".to_string(),
+        ScannedFile::scan(&fixture("lints/l003_unthreaded_variant.rs")),
+    )];
+    let mut report = Report::new();
+    fault_threading::check(&corpus, &mut report);
+    let fired = rules(&report);
+    assert!(fired.iter().all(|r| *r == "PA-L003"), "{}", report.to_human());
+    assert!(
+        report.findings.iter().any(|f| f.message.contains("missing from FaultSite::ALL")),
+        "{}",
+        report.to_human()
+    );
+    assert!(
+        report.findings.iter().any(|f| f.message.contains("never threaded")),
+        "{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn l004_orphan_sink_fires() {
+    let report = lints::lint_source("l004.rs", &fixture("lints/l004_orphan_sink.rs"));
+    assert_eq!(rules(&report), vec!["PA-L004"], "{}", report.to_human());
+}
+
+#[test]
+fn clean_lint_fixture_is_clean() {
+    let text = fixture("lints/clean.rs");
+    let report = lints::lint_source("clean.rs", &text);
+    assert!(report.findings.is_empty(), "{}", report.to_human());
+    let corpus = vec![("clean.rs".to_string(), ScannedFile::scan(&text))];
+    let mut report = Report::new();
+    fault_threading::check(&corpus, &mut report);
+    assert!(report.findings.is_empty(), "{}", report.to_human());
+}
+
+#[test]
+fn source_tree_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lints::run_lints(&root).expect("walk workspace");
+    assert!(
+        report.findings.is_empty(),
+        "the tree must lint clean (or carry explicit allows):\n{}",
+        report.to_human()
+    );
+}

@@ -19,28 +19,15 @@
 //!   footprint for SpMV).
 //!
 //! Deterministic: same arguments, byte-identical file — the snapshot is
-//! checked in to seed the repo's performance trajectory, and CI diffs
-//! two back-to-back runs.
+//! checked in to seed the repo's performance trajectory, and the
+//! `perf_ratchet` binary gates CI on cycle regressions against it. The
+//! measurement and encoding live in [`po_bench::summary`] so both
+//! binaries agree on them by construction.
 //!
 //! Usage: `cargo run --release -p po-bench --bin summary_json
 //! [--warmup <instr>] [--post <instr>] [--seed <n>]`
 
-use po_bench::Args;
-use po_sim::{run_fork_experiment, SystemConfig};
-use po_sparse::{gen as matrix_gen, CsrMatrix, OverlayMatrix, TimedSpmv};
-use po_telemetry::TelemetrySink;
-use po_types::geometry::PAGE_SIZE;
-use po_workloads::spec_suite;
-use std::fmt::Write as _;
-
-struct SummaryRow {
-    workload: String,
-    cycles: u64,
-    cpi: f64,
-    memory_overhead_pct: f64,
-    omt_cache_hit_rate: f64,
-    overlay_bytes: u64,
-}
+use po_bench::{summary, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -48,75 +35,8 @@ fn main() {
     let post_instr: u64 = args.get("post", 60_000);
     let seed: u64 = args.get("seed", 42);
 
-    let mut rows = Vec::new();
-    for spec in spec_suite() {
-        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-        let r = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("fork experiment failed");
-        rows.push(SummaryRow {
-            workload: format!("fork/{}", spec.name),
-            cycles: r.post_cycles,
-            cpi: r.cpi,
-            memory_overhead_pct: 100.0 * r.extra_memory_bytes as f64
-                / (mapped * PAGE_SIZE as u64) as f64,
-            omt_cache_hit_rate: r.omt_cache_hit_rate,
-            overlay_bytes: r.overlay_bytes,
-        });
-    }
-
-    // SpMV: the overlay representation on a high-locality matrix, with
-    // telemetry supplying the OMT-cache counters.
-    let triplets = matrix_gen::clustered(40, 512, 20_000, 8, true, seed);
-    let csr = CsrMatrix::from_triplets(&triplets);
-    let ovl = OverlayMatrix::from_triplets(&triplets);
-    let dense_bytes = (ovl.rows() * ovl.cols() * 8) as f64;
-    let sink = TelemetrySink::active();
-    let timed = TimedSpmv::new(SystemConfig::table2_overlay()).with_telemetry(sink.clone());
-    let o = timed.time_overlay(&ovl).expect("overlay SpMV failed");
-    let hits = sink.counter("omt_cache.hits") as f64;
-    let misses = sink.counter("omt_cache.misses") as f64;
-    rows.push(SummaryRow {
-        workload: "spmv/overlay".to_string(),
-        cycles: o.cycles,
-        cpi: o.cpi(),
-        memory_overhead_pct: 100.0 * o.memory_bytes as f64 / dense_bytes,
-        omt_cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
-        overlay_bytes: o.memory_bytes,
-    });
-    let c = TimedSpmv::new(SystemConfig::table2_overlay()).time_csr(&csr).expect("CSR SpMV failed");
-    rows.push(SummaryRow {
-        workload: "spmv/csr".to_string(),
-        cycles: c.cycles,
-        cpi: c.cpi(),
-        memory_overhead_pct: 100.0 * c.memory_bytes as f64 / dense_bytes,
-        omt_cache_hit_rate: 0.0,
-        overlay_bytes: 0,
-    });
-
-    let mut json = String::from("{\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "  \"{}\": {{\"cycles\": {}, \"cpi\": {:.4}, \"memory_overhead_pct\": {:.4}, \
-             \"omt_cache_hit_rate\": {:.4}, \"overlay_bytes\": {}}}",
-            r.workload,
-            r.cycles,
-            r.cpi,
-            r.memory_overhead_pct,
-            r.omt_cache_hit_rate,
-            r.overlay_bytes
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("}\n");
+    let rows = summary::collect(warmup_instr, post_instr, seed).expect("summary workload failed");
+    let json = summary::to_json(&rows);
 
     std::fs::create_dir_all("bench_results").expect("create bench_results");
     let path = "bench_results/summary.json";

@@ -20,6 +20,10 @@
 //! and `--seed <n>`, prints an aligned table to stdout, and writes a
 //! CSV next to it under `bench_results/`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod summary;
+
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;

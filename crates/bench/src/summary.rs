@@ -1,0 +1,286 @@
+//! The benchmark summary: collection, JSON encoding, and the CI ratchet.
+//!
+//! `bench_results/summary.json` is a checked-in snapshot of the repo's
+//! performance trajectory: one row per workload (the §5.1 fork suite
+//! plus the Figure 10 SpMV kernel) with cycles, CPI, memory overhead,
+//! OMT-cache hit rate, and overlay footprint. This module is the single
+//! source of truth for producing it (`collect` and `to_json`, used by
+//! the `summary_json` binary) and for holding the line on it
+//! (`parse_cycles` and `compare`, used by the `perf_ratchet` binary):
+//! CI regenerates the summary and fails on any per-workload cycle
+//! regression beyond the tolerance, so a slowdown has to be committed
+//! deliberately, baseline and cause together.
+
+use crate::geomean;
+use po_sim::{run_fork_experiment, SystemConfig};
+use po_sparse::{gen as matrix_gen, CsrMatrix, OverlayMatrix, TimedSpmv};
+use po_telemetry::TelemetrySink;
+use po_types::geometry::PAGE_SIZE;
+use po_types::PoResult;
+use po_workloads::spec_suite;
+use std::fmt::Write as _;
+
+/// One workload's measurements, as serialized into `summary.json`.
+#[derive(Clone, Debug)]
+pub struct SummaryRow {
+    /// Workload name, e.g. `fork/mcf` or `spmv/overlay`.
+    pub workload: String,
+    /// Cycles over the measured window (the ratchet gates on this).
+    pub cycles: u64,
+    /// Cycles per instruction over the same window.
+    pub cpi: f64,
+    /// Extra memory relative to the mapped working set, in percent.
+    pub memory_overhead_pct: f64,
+    /// OMT-cache hits / accesses over the run.
+    pub omt_cache_hit_rate: f64,
+    /// Overlay Memory Store bytes in use at the end of the run.
+    pub overlay_bytes: u64,
+}
+
+/// Runs every summarized workload and returns one row each: the §5.1
+/// fork experiment (overlay-on-write) per suite benchmark, then the
+/// overlay and CSR SpMV kernels.
+///
+/// Deterministic: the same arguments produce identical rows.
+///
+/// # Errors
+///
+/// Propagates any machine error from the underlying experiments.
+pub fn collect(warmup_instr: u64, post_instr: u64, seed: u64) -> PoResult<Vec<SummaryRow>> {
+    let mut rows = Vec::new();
+    for spec in spec_suite() {
+        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
+        let warmup = spec.generate_warmup(warmup_instr, seed);
+        let post = spec.generate_post_fork(post_instr, seed);
+        let r = run_fork_experiment(
+            SystemConfig::table2_overlay(),
+            spec.base_vpn(),
+            mapped,
+            &warmup,
+            &post,
+        )?;
+        rows.push(SummaryRow {
+            workload: format!("fork/{}", spec.name),
+            cycles: r.post_cycles,
+            cpi: r.cpi,
+            memory_overhead_pct: 100.0 * r.extra_memory_bytes as f64
+                / (mapped * PAGE_SIZE as u64) as f64,
+            omt_cache_hit_rate: r.omt_cache_hit_rate,
+            overlay_bytes: r.overlay_bytes,
+        });
+    }
+
+    // SpMV: the overlay representation on a high-locality matrix, with
+    // telemetry supplying the OMT-cache counters.
+    let triplets = matrix_gen::clustered(40, 512, 20_000, 8, true, seed);
+    let csr = CsrMatrix::from_triplets(&triplets);
+    let ovl = OverlayMatrix::from_triplets(&triplets);
+    let dense_bytes = (ovl.rows() * ovl.cols() * 8) as f64;
+    let sink = TelemetrySink::active();
+    let timed = TimedSpmv::new(SystemConfig::table2_overlay()).with_telemetry(sink.clone());
+    let o = timed.time_overlay(&ovl)?;
+    let hits = sink.counter("omt_cache.hits") as f64;
+    let misses = sink.counter("omt_cache.misses") as f64;
+    rows.push(SummaryRow {
+        workload: "spmv/overlay".to_string(),
+        cycles: o.cycles,
+        cpi: o.cpi(),
+        memory_overhead_pct: 100.0 * o.memory_bytes as f64 / dense_bytes,
+        omt_cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
+        overlay_bytes: o.memory_bytes,
+    });
+    let c = TimedSpmv::new(SystemConfig::table2_overlay()).time_csr(&csr)?;
+    rows.push(SummaryRow {
+        workload: "spmv/csr".to_string(),
+        cycles: c.cycles,
+        cpi: c.cpi(),
+        memory_overhead_pct: 100.0 * c.memory_bytes as f64 / dense_bytes,
+        omt_cache_hit_rate: 0.0,
+        overlay_bytes: 0,
+    });
+    Ok(rows)
+}
+
+/// Renders rows as the checked-in `summary.json` text (byte-stable:
+/// row order is collection order, floats are fixed to four places).
+#[must_use]
+pub fn to_json(rows: &[SummaryRow]) -> String {
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  \"{}\": {{\"cycles\": {}, \"cpi\": {:.4}, \"memory_overhead_pct\": {:.4}, \
+             \"omt_cache_hit_rate\": {:.4}, \"overlay_bytes\": {}}}",
+            r.workload,
+            r.cycles,
+            r.cpi,
+            r.memory_overhead_pct,
+            r.omt_cache_hit_rate,
+            r.overlay_bytes
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+    json
+}
+
+/// Extracts `(workload, cycles)` pairs from a `summary.json` text, in
+/// file order. Tolerant of whitespace but tied to the fixed shape
+/// [`to_json`] emits — one workload per line; this is a snapshot
+/// parser, not a general JSON reader.
+///
+/// # Errors
+///
+/// Returns a located message if a row line has no parseable name or
+/// cycle count.
+pub fn parse_cycles(json: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in json.lines().enumerate() {
+        let line = line.trim();
+        if !line.contains("\"cycles\"") {
+            continue;
+        }
+        let err = |what: &str| format!("summary line {}: {what}: {line}", lineno + 1);
+        let mut quotes = line.split('"');
+        let name = quotes.nth(1).ok_or_else(|| err("no workload name"))?;
+        let after =
+            line.split("\"cycles\":").nth(1).ok_or_else(|| err("no cycles field"))?.trim_start();
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        let cycles = digits.parse::<u64>().map_err(|_| err("cycle count is not an integer"))?;
+        out.push((name.to_string(), cycles));
+    }
+    if out.is_empty() {
+        return Err("summary has no workload rows".to_string());
+    }
+    Ok(out)
+}
+
+/// One workload's verdict from [`compare`].
+#[derive(Clone, Debug)]
+pub struct RatchetLine {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline cycles (`None` for a workload new since the baseline).
+    pub baseline: Option<u64>,
+    /// Freshly measured cycles (`None` for a workload that vanished).
+    pub current: Option<u64>,
+    /// Signed cycle delta in percent, when both sides exist.
+    pub delta_pct: Option<f64>,
+    /// True if this line alone fails the ratchet.
+    pub regressed: bool,
+}
+
+/// The ratchet verdict over a whole summary.
+#[derive(Clone, Debug)]
+pub struct RatchetReport {
+    /// Per-workload verdicts, baseline order then new workloads.
+    pub lines: Vec<RatchetLine>,
+    /// Geometric-mean cycle ratio current/baseline over shared workloads.
+    pub geomean_ratio: f64,
+}
+
+impl RatchetReport {
+    /// True if no workload regressed and none vanished.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.lines.iter().all(|l| !l.regressed)
+    }
+}
+
+/// Compares fresh measurements against the checked-in baseline.
+///
+/// A workload fails the ratchet if its cycles grew more than
+/// `tolerance_pct` over the baseline, or if it exists in the baseline
+/// but was not measured (lost coverage is a regression too). Workloads
+/// new since the baseline are reported but never fail — they get gated
+/// once the baseline is re-committed.
+#[must_use]
+pub fn compare(
+    baseline: &[(String, u64)],
+    current: &[SummaryRow],
+    tolerance_pct: f64,
+) -> RatchetReport {
+    let mut lines = Vec::new();
+    let mut ratios = Vec::new();
+    for (name, base) in baseline {
+        let cur = current.iter().find(|r| &r.workload == name).map(|r| r.cycles);
+        let delta_pct = cur.map(|c| 100.0 * (c as f64 - *base as f64) / *base as f64);
+        let regressed = match delta_pct {
+            Some(d) => d > tolerance_pct,
+            None => true, // vanished workload
+        };
+        if let Some(c) = cur {
+            ratios.push(c as f64 / *base as f64);
+        }
+        lines.push(RatchetLine {
+            workload: name.clone(),
+            baseline: Some(*base),
+            current: cur,
+            delta_pct,
+            regressed,
+        });
+    }
+    for r in current {
+        if !baseline.iter().any(|(name, _)| name == &r.workload) {
+            lines.push(RatchetLine {
+                workload: r.workload.clone(),
+                baseline: None,
+                current: Some(r.cycles),
+                delta_pct: None,
+                regressed: false,
+            });
+        }
+    }
+    let geomean_ratio = if ratios.is_empty() { 1.0 } else { geomean(&ratios) };
+    RatchetReport { lines, geomean_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(workload: &str, cycles: u64) -> SummaryRow {
+        SummaryRow {
+            workload: workload.to_string(),
+            cycles,
+            cpi: 2.0,
+            memory_overhead_pct: 0.1,
+            omt_cache_hit_rate: 0.9,
+            overlay_bytes: 2048,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_snapshot_parser() {
+        let rows = vec![row("fork/mcf", 1000), row("spmv/overlay", 50)];
+        let parsed = parse_cycles(&to_json(&rows)).unwrap();
+        assert_eq!(parsed, vec![("fork/mcf".to_string(), 1000), ("spmv/overlay".to_string(), 50)]);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_cycles("{}\n").is_err());
+        assert!(parse_cycles("  \"w\": {\"cycles\": x}\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_passes_within_tolerance_and_fails_beyond() {
+        let base = vec![("a".to_string(), 1000), ("b".to_string(), 1000)];
+        let ok = compare(&base, &[row("a", 1049), row("b", 960)], 5.0);
+        assert!(ok.pass(), "{:?}", ok.lines);
+        assert!(ok.geomean_ratio < 1.01);
+
+        let bad = compare(&base, &[row("a", 1051), row("b", 960)], 5.0);
+        assert!(!bad.pass());
+        assert_eq!(bad.lines.iter().filter(|l| l.regressed).count(), 1);
+    }
+
+    #[test]
+    fn vanished_workload_fails_and_new_workload_does_not() {
+        let base = vec![("a".to_string(), 1000)];
+        let vanished = compare(&base, &[row("c", 10)], 5.0);
+        assert!(!vanished.pass());
+        assert!(vanished.lines.iter().any(|l| l.workload == "a" && l.regressed));
+        assert!(vanished.lines.iter().any(|l| l.workload == "c" && !l.regressed));
+    }
+}

@@ -64,8 +64,8 @@ pub use scenario::{
     ForkExperimentResult, PeriodicCheckpointResult,
 };
 pub use sim_test::{
-    generate_ops, run_crash_convergence, run_ops, run_ops_traced, shrink_ops, SimHarness,
-    FAILURE_EVENT_TAIL, VPN_BASE,
+    generate_ops, run_crash_convergence, run_ops, run_ops_traced, shrink_ops, shrink_ops_filtered,
+    SimHarness, FAILURE_EVENT_TAIL, MAX_MAP_PAGES, MAX_VPN_SPAN, VPN_BASE,
 };
 pub use stats::SimStats;
 pub use trace::{run_trace, Trace, TraceOp};

@@ -629,7 +629,16 @@ impl Machine {
         if !self.overlay.has_overlay(Opn::encode(asid, vpn)) {
             return Err(PoError::NoOverlay(Opn::encode(asid, vpn)));
         }
-        self.materialize_overlay(asid, vpn)
+        self.materialize_overlay(asid, vpn)?;
+        // The promotion dissolved the overlay and rewrote the PTE: a
+        // cached translation would keep routing reads of formerly
+        // overlaid lines to the dead overlay through its stale
+        // OBitVector. Promotions are rare (§4.3.4), so a shootdown —
+        // symmetric with discard — is the right coherence action.
+        for tlb in &mut self.tlbs {
+            tlb.shootdown(asid, vpn);
+        }
+        Ok(())
     }
 
     /// Discards `vpn`'s overlay (§4.3.4 discard promotion): the page

@@ -40,9 +40,11 @@ pub const FAILURE_EVENT_TAIL: usize = 256;
 pub const VPN_BASE: u64 = 0x100;
 /// Harness-level VPNs are taken modulo this span (fits the 36-bit OPN
 /// VPN field with slack, keeps arbitrary trace files safe to replay).
-const MAX_VPN_SPAN: u64 = 1 << 20;
-/// Upper bound on pages a single `Map` op may create.
-const MAX_MAP_PAGES: u32 = 64;
+/// Public so static analysis (po-analyze) models the same clamping.
+pub const MAX_VPN_SPAN: u64 = 1 << 20;
+/// Upper bound on pages a single `Map` op may create. Public for the
+/// same reason as [`MAX_VPN_SPAN`].
+pub const MAX_MAP_PAGES: u32 = 64;
 
 /// Machine errors the harness treats as benign outcomes of an op (the
 /// op is skipped; resource exhaustion and unmapped targets are normal
@@ -658,7 +660,27 @@ pub fn shrink_ops(
     ops: &[TraceOp],
     inject_bug: bool,
 ) -> Vec<TraceOp> {
-    let fails = |candidate: &[TraceOp]| run_ops(config, plan, candidate, inject_bug).is_err();
+    shrink_ops_filtered(config, plan, ops, inject_bug, |_| true)
+}
+
+/// [`shrink_ops`] with a candidate pre-filter: candidates for which
+/// `keep` returns `false` are discarded without the (expensive)
+/// differential replay. The fuzzer hands in a static-verifier check so
+/// delta debugging never wastes a replay on — or emits — a trace the
+/// verifier can prove degenerate.
+///
+/// `keep` must accept the original failing trace, or shrinking cannot
+/// start and the input is returned unshrunk.
+pub fn shrink_ops_filtered(
+    config: &SystemConfig,
+    plan: Option<&FaultPlan>,
+    ops: &[TraceOp],
+    inject_bug: bool,
+    keep: impl Fn(&[TraceOp]) -> bool,
+) -> Vec<TraceOp> {
+    let fails = |candidate: &[TraceOp]| {
+        keep(candidate) && run_ops(config, plan, candidate, inject_bug).is_err()
+    };
     let mut cur = ops.to_vec();
     if !fails(&cur) {
         return cur;

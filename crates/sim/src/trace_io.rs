@@ -31,7 +31,7 @@
 //! only `C`/`L`/`S`) remain parseable unchanged.
 
 use crate::trace::TraceOp;
-use po_types::geometry::LINES_PER_PAGE;
+use po_types::geometry::{LINES_PER_PAGE, PAGE_SHIFT, VADDR_BITS};
 use po_types::VirtAddr;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -183,6 +183,34 @@ fn parse_u64_hex(lineno: usize, what: &str, s: &str) -> Result<u64, TraceIoError
     u64::from_str_radix(s, 16).map_err(|_| parse_err(lineno, format!("bad hex {what} {s}")))
 }
 
+/// Parses a virtual address and rejects anything outside the
+/// architecture's [`VADDR_BITS`]-bit virtual space — such an op could
+/// never correspond to a real access and would silently alias under the
+/// harness's clamping.
+fn parse_va(lineno: usize, s: &str) -> Result<VirtAddr, TraceIoError> {
+    let raw = parse_u64_hex(lineno, "address", s)?;
+    if raw >> VADDR_BITS != 0 {
+        return Err(parse_err(
+            lineno,
+            format!("address {raw:#x} outside the {VADDR_BITS}-bit virtual space"),
+        ));
+    }
+    Ok(VirtAddr::new(raw))
+}
+
+/// Parses a virtual page number, rejecting values outside the
+/// `VADDR_BITS - PAGE_SHIFT`-bit VPN space.
+fn parse_vpn(lineno: usize, s: &str) -> Result<u64, TraceIoError> {
+    let vpn = parse_u64_hex(lineno, "vpn", s)?;
+    if vpn >> (VADDR_BITS - PAGE_SHIFT) != 0 {
+        return Err(parse_err(
+            lineno,
+            format!("vpn {vpn:#x} outside the {}-bit vpn space", VADDR_BITS - PAGE_SHIFT),
+        ));
+    }
+    Ok(vpn)
+}
+
 fn parse_dec<T: std::str::FromStr>(lineno: usize, what: &str, s: &str) -> Result<T, TraceIoError> {
     s.parse().map_err(|_| parse_err(lineno, format!("bad {what} {s}")))
 }
@@ -221,16 +249,12 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
             |what: &str| fields.next().ok_or_else(|| parse_err(lineno, format!("missing {what}")));
         let op = match tag {
             "C" => TraceOp::Compute(parse_dec(lineno, "compute count", field("compute count")?)?),
-            "L" => {
-                TraceOp::Load(VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?))
-            }
-            "S" => {
-                TraceOp::Store(VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?))
-            }
+            "L" => TraceOp::Load(parse_va(lineno, field("address")?)?),
+            "S" => TraceOp::Store(parse_va(lineno, field("address")?)?),
             "P" => TraceOp::Spawn,
             "M" => TraceOp::Map {
                 proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
-                start: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+                start: parse_vpn(lineno, field("vpn")?)?,
                 count: parse_dec(lineno, "page count", field("page count")?)?,
             },
             "F" => TraceOp::Fork {
@@ -238,16 +262,16 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
             },
             "W" => TraceOp::Poke {
                 proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
-                va: VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?),
+                va: parse_va(lineno, field("address")?)?,
                 value: parse_dec(lineno, "byte value", field("byte value")?)?,
             },
             "R" => TraceOp::Peek {
                 proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
-                va: VirtAddr::new(parse_u64_hex(lineno, "address", field("address")?)?),
+                va: parse_va(lineno, field("address")?)?,
             },
             "K" => {
                 let proc_sel = parse_dec(lineno, "process selector", field("process selector")?)?;
-                let vpn = parse_u64_hex(lineno, "vpn", field("vpn")?)?;
+                let vpn = parse_vpn(lineno, field("vpn")?)?;
                 let line_idx: u8 = parse_dec(lineno, "line index", field("line index")?)?;
                 if line_idx as usize >= LINES_PER_PAGE {
                     return Err(parse_err(
@@ -260,11 +284,11 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
             }
             "T" => TraceOp::CommitPage {
                 proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
-                vpn: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+                vpn: parse_vpn(lineno, field("vpn")?)?,
             },
             "D" => TraceOp::DiscardPage {
                 proc_sel: parse_dec(lineno, "process selector", field("process selector")?)?,
-                vpn: parse_u64_hex(lineno, "vpn", field("vpn")?)?,
+                vpn: parse_vpn(lineno, field("vpn")?)?,
             },
             "U" => TraceOp::Flush,
             "G" => TraceOp::Reclaim,
@@ -353,7 +377,9 @@ mod tests {
             TraceOp::Compute(0),
             TraceOp::Compute(u32::MAX),
             TraceOp::Load(VirtAddr::new(0)),
-            TraceOp::Store(VirtAddr::new(u64::MAX >> 1)),
+            // The largest valid virtual address (the parser rejects
+            // anything past VADDR_BITS).
+            TraceOp::Store(VirtAddr::new((1 << VADDR_BITS) - 1)),
             TraceOp::Spawn,
             TraceOp::Map { proc_sel: u32::MAX, start: 0x100, count: 7 },
             TraceOp::Fork { proc_sel: 0 },
@@ -411,6 +437,59 @@ mod tests {
         let err = read_trace("K 0 100 64 7\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line index 64 out of range"), "{err}");
         assert!(read_trace("K 0 100 63 7\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        // Virtual addresses past the 48-bit space: every op carrying one.
+        for bad in [
+            "L 1000000000000\n",
+            "S ffffffffffffffff\n",
+            "W 0 1000000000000 1\n",
+            "R 0 1000000000000\n",
+        ] {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("virtual space"), "{bad:?} → {err}");
+        }
+        // The boundary itself is fine.
+        assert!(read_trace("L ffffffffffff\n".as_bytes()).is_ok());
+
+        // VPNs past the 36-bit space: every op carrying one.
+        for bad in
+            ["M 0 1000000000 1\n", "K 0 1000000000 0 1\n", "T 0 1000000000\n", "D 0 1000000000\n"]
+        {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("vpn space"), "{bad:?} → {err}");
+        }
+        assert!(read_trace("M 0 fffffffff 1\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn edge_traces_the_verifier_exposes_are_handled() {
+        use crate::sim_test::SimHarness;
+        use crate::SystemConfig;
+
+        // Spawning past the 15-bit ASID space would re-register an
+        // existing ASID; the OS refuses rather than aliasing a process.
+        let mut os = po_vm::OsModel::new(po_vm::VmConfig::default());
+        for _ in 0..po_types::Asid::MAX {
+            os.spawn().unwrap();
+        }
+        assert!(
+            matches!(os.spawn(), Err(po_types::PoError::OutOfMemory)),
+            "duplicate ASID registration must be rejected"
+        );
+
+        // An op on a vpage that is never mapped: the machine rejects the
+        // access (the harness records the skip, the verifier proves it).
+        let mut h = SimHarness::new(SystemConfig::table2_overlay()).unwrap();
+        h.apply(&TraceOp::Spawn).unwrap();
+        assert!(h.machine.peek(h.procs[0], VirtAddr::new(0x999_000)).is_err());
+        h.apply(&TraceOp::Peek { proc_sel: 0, va: VirtAddr::new(0x999_000) }).unwrap();
+
+        // An out-of-range overlay line index can only come from a
+        // hand-edited trace; the parser is the rejection point.
+        assert!(read_trace("!trace-version 2\nP\nK 0 100 255 1\n".as_bytes()).is_err());
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //! assert!(obv.len() <= LINES_PER_PAGE);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod access;
 pub mod addr;
 pub mod error;

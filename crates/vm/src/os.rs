@@ -55,6 +55,10 @@ pub struct OsStats {
     pub bytes_copied: Counter,
     /// TLB shootdowns issued by remaps.
     pub tlb_shootdowns: Counter,
+    /// Frames handed out by [`OsModel::alloc_checked`]-guarded paths.
+    pub frames_allocated: Counter,
+    /// Contiguous chunks granted to the Overlay Memory Store (§4.4.3).
+    pub oms_chunks_granted: Counter,
 }
 
 /// The OS model. See the [crate docs](crate) for a `fork` example.
@@ -130,6 +134,7 @@ impl OsModel {
             self.sink.emit(|| TelemetryEvent::FaultInjected { site: "FrameAllocExhausted" });
             return Err(PoError::OutOfMemory);
         }
+        self.stats.frames_allocated.inc();
         self.sink.count("os.frames_allocated", 1);
         self.allocator.alloc()
     }
@@ -388,6 +393,7 @@ impl OsModel {
             self.sink.emit(|| TelemetryEvent::FaultInjected { site: "OmsGrowRefused" });
             return Err(PoError::OutOfMemory);
         }
+        self.stats.oms_chunks_granted.inc();
         self.sink.count("os.oms_chunks_granted", 1);
         let base = self.allocator.alloc_contiguous(frames)?;
         Ok(FrameAllocator::frame_addr(base))
@@ -447,6 +453,8 @@ impl OsModel {
             &self.stats.pages_copied,
             &self.stats.bytes_copied,
             &self.stats.tlb_shootdowns,
+            &self.stats.frames_allocated,
+            &self.stats.oms_chunks_granted,
         ] {
             w.put_u64(c.get());
         }
@@ -502,6 +510,8 @@ impl OsModel {
             &mut stats.pages_copied,
             &mut stats.bytes_copied,
             &mut stats.tlb_shootdowns,
+            &mut stats.frames_allocated,
+            &mut stats.oms_chunks_granted,
         ] {
             c.add(r.get_u64()?);
         }

@@ -6,6 +6,14 @@
 //! divergence — shrinks the stream to a locally minimal trace and
 //! writes it as a replayable trace file.
 //!
+//! Shrinking is coupled to the `po_analyze` abstract verifier: delta
+//! debugging discards any candidate the verifier proves degenerate
+//! (ops that are provably dead or must fail — PA-V001/PA-V002), so the
+//! expensive differential replay is never spent on noise and the
+//! emitted minimal trace carries no dead weight. The final trace is
+//! verified once more before it is written; a rejection there is an
+//! internal error, not a fuzzing result.
+//!
 //! ```text
 //! diff_fuzz [--seed N] [--runs N] [--ops N] [--cow] [--faults]
 //!           [--inject-bug] [--out PATH]
@@ -28,8 +36,10 @@
 //!
 //! [`DiffOracle`]: page_overlays::sim::DiffOracle
 
+use page_overlays::analyze::{self, Verdict, VerifierOptions};
 use page_overlays::sim::{
-    generate_ops, run_ops, run_ops_traced, shrink_ops, write_trace_with_seed, SystemConfig,
+    generate_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed,
+    SystemConfig, TraceOp,
 };
 use page_overlays::types::{FaultPlan, FaultSite};
 use std::process::ExitCode;
@@ -94,20 +104,50 @@ fn main() -> ExitCode {
             Ok(()) => println!("seed {seed}: ok ({} ops)", ops.len()),
             Err(e) => {
                 println!("seed {seed}: DIVERGENCE — {e}");
-                let shrunk = shrink_ops(&config, plan.as_ref(), &ops, opts.inject_bug);
-                println!("shrunk {} ops -> {} ops", ops.len(), shrunk.len());
-                let file = match std::fs::File::create(&opts.out) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        eprintln!("diff_fuzz: cannot create {}: {e}", opts.out);
-                        return ExitCode::from(2);
-                    }
+                // Delta debugging, with the abstract verifier as a
+                // pre-filter: a candidate containing an op the verifier
+                // proves dead or must-fail (PA-V001/PA-V002) is noise —
+                // skip the replay and never let it become the result.
+                // Under --faults nothing is provable, so the filter is
+                // vacuously permissive (assume_faults degrades it).
+                let vopts = VerifierOptions { assume_faults: opts.faults, ..Default::default() };
+                let clean = |cand: &[TraceOp]| {
+                    !analyze::verify_ops(&config, cand, &vopts, "<candidate>")
+                        .report
+                        .findings
+                        .iter()
+                        .any(|f| f.rule == "PA-V001" || f.rule == "PA-V002")
                 };
-                if let Err(e) = write_trace_with_seed(file, &shrunk, Some(seed)) {
+                let shrunk =
+                    shrink_ops_filtered(&config, plan.as_ref(), &ops, opts.inject_bug, clean);
+                println!("shrunk {} ops -> {} ops", ops.len(), shrunk.len());
+                // Serialize, then verify the exact bytes about to land
+                // on disk: the artifact must parse and replay.
+                let mut bytes = Vec::new();
+                if let Err(e) = write_trace_with_seed(&mut bytes, &shrunk, Some(seed)) {
+                    eprintln!("diff_fuzz: cannot serialize the shrunk trace: {e}");
+                    return ExitCode::from(2);
+                }
+                let text = String::from_utf8_lossy(&bytes);
+                let analysis = analyze::verify_trace_text(&config, &text, &vopts, &opts.out);
+                if analysis.verdict == Verdict::Reject {
+                    eprintln!(
+                        "diff_fuzz: internal error — the shrunk trace does not verify:\n{}",
+                        analysis.report.to_human()
+                    );
+                    return ExitCode::from(2);
+                }
+                if !analysis.report.findings.is_empty() {
+                    println!(
+                        "verifier notes on the minimal trace:\n{}",
+                        analysis.report.to_human()
+                    );
+                }
+                if let Err(e) = std::fs::write(&opts.out, &bytes) {
                     eprintln!("diff_fuzz: cannot write {}: {e}", opts.out);
                     return ExitCode::from(2);
                 }
-                println!("minimal failing trace written to {}", opts.out);
+                println!("minimal failing trace written to {} (verifier-checked)", opts.out);
                 // Replay the minimal trace with telemetry armed and dump
                 // the event tail: what the machine was doing as it broke.
                 if let Err((_, tail)) =

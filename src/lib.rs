@@ -69,6 +69,10 @@ pub use po_workloads as workloads;
 /// speculation, shadow metadata, flexible super-pages).
 pub use po_techniques as techniques;
 
+/// Static analysis: the abstract trace verifier and the project lints
+/// behind the `po_analyze` binary.
+pub use po_analyze as analyze;
+
 pub use po_overlay::{OverlayConfig, OverlayManager};
 pub use po_sim::{Machine, SystemConfig};
 pub use po_types::{

@@ -1,0 +1,12 @@
+//! PA-L005 clean counterpart: the same experiment expressed as
+//! workload jobs submitted to the shared shard pool. (Linted with a
+//! `src/bin/…` path label; never compiled.)
+
+fn main() {
+    let args = Args::from_env();
+    let pool = ShardPool::from_args(&args);
+    let pairs = run_fork_suite_pairs(&pool, 300_000, 500_000, 42, None).expect("suite");
+    for pair in &pairs {
+        println!("{} {:.3}", pair.spec.name, pair.oow().cpi);
+    }
+}

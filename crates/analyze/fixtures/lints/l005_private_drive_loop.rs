@@ -1,0 +1,12 @@
+//! Seeded PA-L005 true positive: a bench binary that re-grew a private
+//! machine-drive loop instead of submitting jobs to the shared runner.
+//! (Linted with a `src/bin/…` path label; never compiled.)
+
+fn main() {
+    let config = SystemConfig::table2_overlay();
+    let mut machine = Machine::new(config);
+    let asid = machine.os_mut().spawn_process().expect("spawn");
+    run_trace(&mut machine, asid, &ops).expect("trace");
+    let fork = run_fork_experiment(cfg2, base_vpn, mapped, &warmup, &post).expect("fork");
+    println!("{} {}", machine.snapshot().cycles, fork.cpi);
+}

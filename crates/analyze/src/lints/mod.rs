@@ -1,6 +1,6 @@
 //! Front 2: project-specific source lints.
 //!
-//! Four rules, each encoding a repo convention whose violation is a
+//! Five rules, each encoding a repo convention whose violation is a
 //! real bug rather than a style nit:
 //!
 //! | Rule    | Severity | Meaning |
@@ -9,6 +9,7 @@
 //! | PA-L002 | warn     | telemetry counter emitted with no backing `Counter` stat field |
 //! | PA-L003 | warn     | `FaultSite` variant missing from `ALL` or threaded nowhere |
 //! | PA-L004 | warn     | component sink field with no telemetry installer |
+//! | PA-L005 | warn     | binary target drives a machine outside the shared runner |
 //!
 //! All rules run on a [`tokenizer::ScannedFile`] — a self-contained
 //! scanner with no compiler or registry dependencies — and honour a
@@ -16,6 +17,7 @@
 //! line above it.
 
 pub mod fault_threading;
+pub mod runner_usage;
 pub mod sink_threading;
 pub mod snapshot_pairing;
 pub mod telemetry_parity;
@@ -30,7 +32,7 @@ use tokenizer::ScannedFile;
 /// (external-API stand-ins), seeded true-positive fixtures, VCS state.
 const SKIP_DIRS: [&str; 5] = ["target", "shims", "fixtures", ".git", "related"];
 
-/// Runs the per-file rules (PA-L001/2/4) over one source text.
+/// Runs the per-file rules (PA-L001/2/4/5) over one source text.
 #[must_use]
 pub fn lint_source(path_label: &str, text: &str) -> Report {
     let file = ScannedFile::scan(text);
@@ -38,6 +40,7 @@ pub fn lint_source(path_label: &str, text: &str) -> Report {
     snapshot_pairing::check(path_label, &file, &mut report);
     telemetry_parity::check(path_label, &file, &mut report);
     sink_threading::check(path_label, &file, &mut report);
+    runner_usage::check(path_label, &file, &mut report);
     report
 }
 
@@ -81,6 +84,7 @@ pub fn run_lints(root: &Path) -> std::io::Result<Report> {
         snapshot_pairing::check(&rel, &file, &mut report);
         telemetry_parity::check(&rel, &file, &mut report);
         sink_threading::check(&rel, &file, &mut report);
+        runner_usage::check(&rel, &file, &mut report);
         scanned.push((rel, file));
     }
     fault_threading::check(&scanned, &mut report);

@@ -1,0 +1,130 @@
+//! PA-L005 — bench binaries drive machines through the shared runner.
+//!
+//! Every figure/ablation binary used to carry its own machine-drive
+//! loop; those loops drifted (different warmup derivation, missing
+//! fingerprints, no telemetry) and none of them could be sharded. The
+//! execution core now lives in `po_sim::runner`, and binaries submit
+//! [`WorkloadJob`](po_sim::runner::WorkloadJob)s to a
+//! `po_bench::ShardPool`. A binary (`src/bin/*.rs` anywhere in the
+//! workspace) that constructs a `Machine` or `SimHarness` — or calls a
+//! scenario entry point directly — has re-grown a private drive loop:
+//! its numbers silently fall out of the shard-determinism guarantee and
+//! the merged telemetry exports.
+//!
+//! Deliberate exceptions (e.g. a tool that must single-step a machine)
+//! carry `// po-analyze: allow(PA-L005)` on or above the line.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L005";
+
+/// Source patterns that mean "this file drives a machine itself".
+/// `run_fork_experiment` also catches the `_on`/`_instrumented`
+/// variants, and `run_periodic_checkpoint_experiment` its `_on` twin.
+const MARKERS: [&str; 5] = [
+    "Machine::new(",
+    "SimHarness::",
+    "run_trace(",
+    "run_fork_experiment",
+    "run_periodic_checkpoint_experiment",
+];
+
+/// Whether `path` (repo-relative, `/`-separated) is a binary target.
+fn is_bin_target(path: &str) -> bool {
+    path.starts_with("bin/") || path.contains("/bin/")
+}
+
+/// Runs the rule over one scanned file.
+pub fn check(path: &str, file: &ScannedFile, report: &mut Report) {
+    if !is_bin_target(path) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.allowed(i, RULE) {
+            continue;
+        }
+        let Some(marker) = MARKERS.iter().find(|m| line.contains(*m)) else {
+            continue;
+        };
+        report.push(Finding::new(
+            RULE,
+            Severity::Warn,
+            path,
+            i + 1,
+            format!(
+                "binary drives a machine privately (`{marker}`) instead of submitting \
+                 WorkloadJobs to the shared runner (po_sim::runner via po_bench::ShardPool): \
+                 private drive loops fall outside the shard-determinism guarantee and the \
+                 merged telemetry exports"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Report {
+        let file = ScannedFile::scan(src);
+        let mut r = Report::new();
+        check(path, &file, &mut r);
+        r
+    }
+
+    #[test]
+    fn private_loop_in_a_bin_fires() {
+        let src = "\
+fn main() {
+    let mut machine = Machine::new(SystemConfig::table2_overlay());
+    run_trace(&mut machine, Asid::new(1), &ops).expect(\"run\");
+}
+";
+        let rep = run("crates/bench/src/bin/fig99.rs", src);
+        assert_eq!(rep.findings.len(), 2, "{}", rep.to_human());
+        assert!(rep.findings.iter().all(|f| f.rule == RULE));
+    }
+
+    #[test]
+    fn the_same_source_outside_bin_is_ignored() {
+        let src = "fn f() { let m = Machine::new(cfg); }\n";
+        assert!(run("crates/sim/src/runner.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "\
+fn main() {
+    // po-analyze: allow(PA-L005)
+    let mut machine = Machine::new(cfg);
+}
+";
+        assert!(run("src/bin/tool.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn runner_submission_is_clean() {
+        let src = "\
+fn main() {
+    let pool = ShardPool::from_args(&args);
+    let results = run_jobs(&pool, jobs).expect(\"runs\");
+}
+";
+        assert!(run("crates/bench/src/bin/fig8.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn scenario_calls_and_harness_count_as_private_loops() {
+        for marker in [
+            "run_fork_experiment(cfg, v, 1, &w, &p)",
+            "SimHarness::new(cfg)",
+            "run_periodic_checkpoint_experiment_on(m, v, 1, &w, &i, 8)",
+        ] {
+            let src = format!("fn main() {{ let r = {marker}; }}\n");
+            let rep = run("src/bin/x.rs", &src);
+            assert_eq!(rep.findings.len(), 1, "marker {marker}: {}", rep.to_human());
+        }
+    }
+}

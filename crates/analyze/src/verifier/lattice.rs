@@ -74,7 +74,6 @@ impl Tri {
             _ => Tri::Maybe,
         }
     }
-
 }
 
 /// Kleene negation.

@@ -128,6 +128,27 @@ fn l004_orphan_sink_fires() {
 }
 
 #[test]
+fn l005_private_drive_loop_fires() {
+    // The rule only scopes binary targets, so the fixture is linted
+    // under a `src/bin/…` label.
+    let report =
+        lints::lint_source("src/bin/l005.rs", &fixture("lints/l005_private_drive_loop.rs"));
+    let fired = rules(&report);
+    assert_eq!(fired, vec!["PA-L005", "PA-L005", "PA-L005"], "{}", report.to_human());
+    assert!(report.findings[0].message.contains("shared runner"), "{}", report.to_human());
+    // Outside a bin path the same source is not this rule's business.
+    let report = lints::lint_source("l005.rs", &fixture("lints/l005_private_drive_loop.rs"));
+    assert!(rules(&report).is_empty(), "{}", report.to_human());
+}
+
+#[test]
+fn l005_runner_submission_is_clean() {
+    let report =
+        lints::lint_source("src/bin/l005_clean.rs", &fixture("lints/l005_clean_runner_use.rs"));
+    assert!(report.findings.is_empty(), "{}", report.to_human());
+}
+
+#[test]
 fn clean_lint_fixture_is_clean() {
     let text = fixture("lints/clean.rs");
     let report = lints::lint_source("clean.rs", &text);

@@ -5,34 +5,21 @@
 //! microbenchmark interleaves overlay reads across blocks of 64 pages
 //! (line 0 of every page, then line 1 of every page, …): the OMT
 //! working set is exactly 64 entries, producing the knee at Table 2's
-//! size.
+//! size. The five cache sizes run as shard-pool jobs.
 //!
-//! Usage: `cargo run --release -p po-bench --bin ablation_omt_cache`
+//! Usage: `cargo run --release -p po-bench --bin ablation_omt_cache
+//! [--shards <n>]`
 
-use po_bench::{Args, ResultTable};
-use po_sim::{run_trace, Machine, SystemConfig, TraceOp};
+use po_bench::suite::run_jobs;
+use po_bench::{Args, ResultTable, ShardPool};
+use po_sim::{SystemConfig, TraceJob, TraceOp, WorkloadJob};
 use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
-use po_types::{LineData, VirtAddr, Vpn};
+use po_types::{VirtAddr, Vpn};
 
 const BASE_VPN: u64 = 0x8_0000;
 const PAGES: u64 = 512;
 const LINES_PER_PAGE_USED: u64 = 16;
 const BLOCK: u64 = 64;
-
-fn build_machine(omt_entries: usize) -> (Machine, po_types::Asid) {
-    let mut config = SystemConfig::table2_overlay();
-    config.overlay.omt_cache_entries = omt_entries;
-    let mut m = Machine::new(config).expect("machine");
-    let pid = m.spawn_process().expect("process");
-    m.map_shared_zero_range(pid, Vpn::new(BASE_VPN), PAGES).expect("map");
-    for p in 0..PAGES {
-        for l in 0..LINES_PER_PAGE_USED {
-            m.seed_overlay_line(pid, Vpn::new(BASE_VPN + p), l as usize, LineData::splat(1))
-                .expect("seed");
-        }
-    }
-    (m, pid)
-}
 
 fn trace() -> Vec<TraceOp> {
     let mut ops = Vec::new();
@@ -51,27 +38,51 @@ fn trace() -> Vec<TraceOp> {
 }
 
 fn main() {
-    let _args = Args::from_env();
+    let args = Args::from_env();
+    let pool = ShardPool::from_args(&args);
     let ops = trace();
+    let seed_lines: Vec<(u64, usize, u8)> = (0..PAGES)
+        .flat_map(|p| (0..LINES_PER_PAGE_USED).map(move |l| (p, l as usize, 1u8)))
+        .collect();
+
+    let sizes = [1usize, 4, 16, 64, 256];
+    let jobs = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &entries)| {
+            let mut config = SystemConfig::table2_overlay();
+            config.overlay.omt_cache_entries = entries;
+            WorkloadJob::trace(
+                i as u64,
+                format!("omt_cache/{entries}"),
+                config,
+                TraceJob {
+                    base_vpn: Vpn::new(BASE_VPN),
+                    mapped_pages: PAGES,
+                    shared_zero: true,
+                    seed_lines: seed_lines.clone(),
+                    ops: ops.clone(),
+                },
+            )
+        })
+        .collect();
+    let results = run_jobs(&pool, jobs).expect("sweep failed");
+
     let mut table = ResultTable::new(
         "Ablation: OMT cache size (interleaved overlay reads, 64-page blocks)",
         &["omt_entries", "cycles", "omt_hit_rate", "vs_table2"],
     );
-    let sizes = [1usize, 4, 16, 64, 256];
-    let mut results = Vec::new();
-    for &entries in &sizes {
-        let (mut m, pid) = build_machine(entries);
-        let stats = run_trace(&mut m, pid, &ops).expect("run");
-        let hit_rate = m.overlay().omt_cache().stats().hit_rate();
-        results.push((entries, stats.cycles, hit_rate));
-    }
-    let table2_cycles = results.iter().find(|(e, _, _)| *e == 64).expect("64 in sweep").1 as f64;
-    for (entries, cycles, hit_rate) in results {
+    let trace_of = |i: usize| results[i].outcome.as_trace().expect("trace job outcome");
+    let table2_cycles =
+        sizes.iter().position(|&e| e == 64).map(|i| trace_of(i).stats.cycles).expect("64 in sweep")
+            as f64;
+    for (i, &entries) in sizes.iter().enumerate() {
+        let t = trace_of(i);
         table.row(&[
             &entries,
-            &cycles,
-            &format!("{:.1}%", hit_rate * 100.0),
-            &format!("{:+.1}%", (cycles as f64 / table2_cycles - 1.0) * 100.0),
+            &t.stats.cycles,
+            &format!("{:.1}%", t.omt_cache_hit_rate * 100.0),
+            &format!("{:+.1}%", (t.stats.cycles as f64 / table2_cycles - 1.0) * 100.0),
         ]);
     }
     table.print();

@@ -4,13 +4,16 @@
 //! to store each overlay — forgoing the memory capacity benefit". This
 //! ablation reruns the Figure 8 memory measurement for the Type 3
 //! workloads with the full segment set (256 B…4 KB) against the
-//! page-per-overlay fallback.
+//! page-per-overlay fallback, as fine/coarse job pairs on the shard
+//! pool.
 //!
-//! Usage: `cargo run --release -p po-bench --bin ablation_segments`
+//! Usage: `cargo run --release -p po-bench --bin ablation_segments
+//! [--shards <n>]`
 
-use po_bench::{human_bytes, Args, ResultTable};
+use po_bench::suite::{fork_job, run_jobs};
+use po_bench::{human_bytes, Args, ResultTable, ShardPool};
 use po_overlay::SegmentClass;
-use po_sim::{run_fork_experiment, SystemConfig};
+use po_sim::SystemConfig;
 use po_workloads::{spec_suite, WorkloadType};
 
 fn main() {
@@ -18,29 +21,42 @@ fn main() {
     let warmup_instr: u64 = args.get("warmup", 300_000);
     let post_instr: u64 = args.get("post", 500_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
+
+    let specs: Vec<_> =
+        spec_suite().into_iter().filter(|s| s.wtype == WorkloadType::SparsePages).collect();
+    let mut jobs = Vec::with_capacity(specs.len() * 2);
+    for (i, spec) in specs.iter().enumerate() {
+        jobs.push(fork_job(
+            2 * i as u64,
+            format!("segments/{}/fine", spec.name),
+            SystemConfig::table2_overlay(),
+            spec,
+            warmup_instr,
+            post_instr,
+            seed,
+        ));
+        let mut coarse_cfg = SystemConfig::table2_overlay();
+        coarse_cfg.overlay.min_segment_class = SegmentClass::K4;
+        jobs.push(fork_job(
+            2 * i as u64 + 1,
+            format!("segments/{}/coarse", spec.name),
+            coarse_cfg,
+            spec,
+            warmup_instr,
+            post_instr,
+            seed,
+        ));
+    }
+    let results = run_jobs(&pool, jobs).expect("runs failed");
 
     let mut table = ResultTable::new(
         "Ablation: OMS segment granularity (extra memory after fork, Type 3)",
         &["benchmark", "fine_segments", "page_per_overlay", "ratio"],
     );
-    for spec in spec_suite().into_iter().filter(|s| s.wtype == WorkloadType::SparsePages) {
-        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-
-        let fine = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("fine run");
-        let mut coarse_cfg = SystemConfig::table2_overlay();
-        coarse_cfg.overlay.min_segment_class = SegmentClass::K4;
-        let coarse = run_fork_experiment(coarse_cfg, spec.base_vpn(), mapped, &warmup, &post)
-            .expect("coarse run");
-
+    for (i, spec) in specs.iter().enumerate() {
+        let fine = results[2 * i].outcome.as_fork().expect("fork job outcome");
+        let coarse = results[2 * i + 1].outcome.as_fork().expect("fork job outcome");
         table.row(&[
             &spec.name,
             &human_bytes(fine.extra_memory_bytes),

@@ -6,13 +6,14 @@
 //! mutating, and overlays are committed at the next fork (the
 //! checkpoint-commit of §5.3.2). Reported: steady-state CPI, peak
 //! per-interval extra memory, and total copy/overlay volume for CoW vs
-//! OoW.
+//! OoW. The benchmark/mode grid runs as shard-pool jobs.
 //!
 //! Usage: `cargo run --release -p po-bench --bin ext_periodic_checkpoint
-//! [--intervals <n>] [--interval-instr <instr>] [--bench <name>]`
+//! [--intervals <n>] [--interval-instr <instr>] [--shards <n>]`
 
-use po_bench::{human_bytes, Args, ResultTable};
-use po_sim::{run_periodic_checkpoint_experiment, SystemConfig};
+use po_bench::suite::run_jobs;
+use po_bench::{human_bytes, Args, ResultTable, ShardPool};
+use po_sim::{SystemConfig, WorkloadJob};
 use po_workloads::spec_suite;
 
 fn main() {
@@ -20,31 +21,47 @@ fn main() {
     let intervals: u64 = args.get("intervals", 8);
     let interval_instr: u64 = args.get("interval-instr", 200_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
+
+    let names = ["sphinx3", "lbm", "mcf"];
+    let modes = [("cow", SystemConfig::table2()), ("oow", SystemConfig::table2_overlay())];
+    let mut jobs = Vec::with_capacity(names.len() * modes.len());
+    for (b, name) in names.iter().enumerate() {
+        let spec = spec_suite().into_iter().find(|s| &s.name == name).expect("known benchmark");
+        let mapped = spec.mapped_pages(interval_instr * intervals);
+        let warmup = spec.generate_warmup(interval_instr, seed);
+        let interval = spec.generate_post_fork(interval_instr, seed);
+        for (m, (mode, config)) in modes.iter().enumerate() {
+            jobs.push(
+                WorkloadJob::periodic_checkpoint(
+                    (b * modes.len() + m) as u64,
+                    format!("checkpoint/{name}/{mode}"),
+                    config.clone(),
+                    spec.base_vpn(),
+                    mapped,
+                    warmup.clone(),
+                    interval.clone(),
+                    intervals,
+                )
+                .with_seed(seed),
+            );
+        }
+    }
+    let results = run_jobs(&pool, jobs).expect("periodic run");
 
     let mut table = ResultTable::new(
         "Extension: periodic fork checkpointing (steady state)",
         &["benchmark", "mode", "cpi", "peak_extra_mem", "pages_copied", "ovl_writes"],
     );
-    for name in ["sphinx3", "lbm", "mcf"] {
-        let spec = spec_suite().into_iter().find(|s| s.name == name).expect("known benchmark");
-        let mapped = spec.mapped_pages(interval_instr * intervals);
-        let warmup = spec.generate_warmup(interval_instr, seed);
-        let interval = spec.generate_post_fork(interval_instr, seed);
-        for (mode, config) in
-            [("cow", SystemConfig::table2()), ("oow", SystemConfig::table2_overlay())]
-        {
-            let r = run_periodic_checkpoint_experiment(
-                config,
-                spec.base_vpn(),
-                mapped,
-                &warmup,
-                &interval,
-                intervals,
-            )
-            .expect("periodic run");
+    for (b, name) in names.iter().enumerate() {
+        for (m, (mode, _)) in modes.iter().enumerate() {
+            let r = results[b * modes.len() + m]
+                .outcome
+                .as_periodic_checkpoint()
+                .expect("checkpoint job outcome");
             table.row(&[
-                &spec.name,
-                &mode,
+                name,
+                mode,
                 &format!("{:.3}", r.cpi),
                 &human_bytes(r.peak_extra_memory_bytes),
                 &r.pages_copied,

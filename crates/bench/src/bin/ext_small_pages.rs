@@ -10,12 +10,15 @@
 //! with P-byte pages — while the mapping-table overhead is computed
 //! directly (one 8 B leaf PTE per P bytes of mapped memory, plus ~0.2%
 //! interior nodes). Overlays deliver 64 B granularity while keeping the
-//! 4 KB TLB reach and page-table size.
+//! 4 KB TLB reach and page-table size. The five configurations run as
+//! shard-pool jobs.
 //!
-//! Usage: `cargo run --release -p po-bench --bin ext_small_pages`
+//! Usage: `cargo run --release -p po-bench --bin ext_small_pages
+//! [--shards <n>]`
 
-use po_bench::{human_bytes, Args, ResultTable};
-use po_sim::{run_fork_experiment, SystemConfig};
+use po_bench::suite::{fork_job, run_jobs};
+use po_bench::{human_bytes, Args, ResultTable, ShardPool};
+use po_sim::SystemConfig;
 use po_workloads::spec_suite;
 
 fn page_table_bytes(footprint_bytes: u64, page_size: u64) -> u64 {
@@ -28,25 +31,45 @@ fn main() {
     let warmup_instr: u64 = args.get("warmup", 300_000);
     let post_instr: u64 = args.get("post", 500_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
 
     let spec = spec_suite().into_iter().find(|s| s.name == "mcf").expect("mcf exists");
-    let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-    let footprint_bytes = mapped * 4096;
-    let warmup = spec.generate_warmup(warmup_instr, seed);
-    let post = spec.generate_post_fork(post_instr, seed);
+    let footprint_bytes = spec.mapped_pages(warmup_instr.max(post_instr)) * 4096;
+
+    let page_sizes = [4096u64, 2048, 1024, 512];
+    let mut jobs = Vec::with_capacity(page_sizes.len() + 1);
+    for (i, &page_size) in page_sizes.iter().enumerate() {
+        let scale = (4096 / page_size) as usize;
+        let mut config = SystemConfig::table2();
+        config.tlb.l1_entries = (config.tlb.l1_entries / scale).max(config.tlb.l1_ways);
+        config.tlb.l2_entries = (config.tlb.l2_entries / scale).max(config.tlb.l2_ways);
+        jobs.push(fork_job(
+            i as u64,
+            format!("small_pages/{page_size}B/cow"),
+            config,
+            &spec,
+            warmup_instr,
+            post_instr,
+            seed,
+        ));
+    }
+    jobs.push(fork_job(
+        page_sizes.len() as u64,
+        "small_pages/4096B/oow",
+        SystemConfig::table2_overlay(),
+        &spec,
+        warmup_instr,
+        post_instr,
+        seed,
+    ));
+    let results = run_jobs(&pool, jobs).expect("run failed");
 
     let mut table = ResultTable::new(
         "Extension: shrinking the page size vs overlays (mcf)",
         &["scheme", "granularity", "cpi", "page_table", "divergence_mem"],
     );
-
-    for page_size in [4096u64, 2048, 1024, 512] {
-        let scale = (4096 / page_size) as usize;
-        let mut config = SystemConfig::table2();
-        config.tlb.l1_entries = (config.tlb.l1_entries / scale).max(config.tlb.l1_ways);
-        config.tlb.l2_entries = (config.tlb.l2_entries / scale).max(config.tlb.l2_ways);
-        let r = run_fork_experiment(config, spec.base_vpn(), mapped, &warmup, &post)
-            .expect("run failed");
+    for (i, &page_size) in page_sizes.iter().enumerate() {
+        let r = results[i].outcome.as_fork().expect("fork job outcome");
         // CoW at page granularity: divergence memory scales with the page
         // size (each dirty page copies page_size bytes).
         let divergence = r.pages_copied * page_size;
@@ -61,14 +84,7 @@ fn main() {
 
     // The overlay framework: full 4 KB TLB reach, 4 KB page tables, 64 B
     // divergence granularity.
-    let oow = run_fork_experiment(
-        SystemConfig::table2_overlay(),
-        spec.base_vpn(),
-        mapped,
-        &warmup,
-        &post,
-    )
-    .expect("oow run failed");
+    let oow = results[page_sizes.len()].outcome.as_fork().expect("fork job outcome");
     table.row(&[
         &"4096B pages + overlays",
         &"64B",

@@ -6,33 +6,38 @@
 //! the overlay's performance (CSR cycles / overlay cycles; >1 = overlay
 //! faster) and relative memory (overlay bytes / CSR bytes; <1 = overlay
 //! smaller), both normalized to CSR. The paper's crossover sits near
-//! L ≈ 4.5, with overlays winning on 34 of 87 matrices.
+//! L ≈ 4.5, with overlays winning on 34 of 87 matrices. Matrices fan
+//! out over the shard pool (each timing runs on its own machine, so the
+//! numbers are shard-invariant).
 //!
 //! Usage: `cargo run --release -p po-bench --bin fig10_spmv
-//! [--scale <f>] [--seed <n>]` (scale multiplies non-zero counts;
-//! default 0.3 keeps the sweep under a minute).
+//! [--scale <f>] [--seed <n>] [--shards <n>]` (scale multiplies
+//! non-zero counts; default 0.3 keeps the sweep under a minute).
 
-use po_bench::{Args, ResultTable};
+use po_bench::{Args, ResultTable, ShardPool};
 use po_sparse::{nonzero_locality, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv};
 
 fn main() {
     let args = Args::from_env();
     let scale: f64 = args.get("scale", 0.3);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
 
-    let timed = TimedSpmv::table2();
-    let mut rows: Vec<(f64, String, f64, f64)> = Vec::new();
-
-    for spec in uf_like_suite(scale, seed) {
-        let l = nonzero_locality(&spec.matrix, 64);
-        let csr = CsrMatrix::from_triplets(&spec.matrix);
-        let ovl = OverlayMatrix::from_triplets(&spec.matrix);
-        let tc = timed.time_csr(&csr).expect("CSR timing failed");
-        let to = timed.time_overlay(&ovl).expect("overlay timing failed");
-        let perf = tc.cycles as f64 / to.cycles as f64;
-        let mem = to.memory_bytes as f64 / tc.memory_bytes as f64;
-        rows.push((l, spec.name.clone(), perf, mem));
-    }
+    let mut rows: Vec<(f64, String, f64, f64)> = pool.run(
+        uf_like_suite(scale, seed),
+        |spec| spec.matrix.nnz() as u64,
+        |spec| {
+            let timed = TimedSpmv::table2();
+            let l = nonzero_locality(&spec.matrix, 64);
+            let csr = CsrMatrix::from_triplets(&spec.matrix);
+            let ovl = OverlayMatrix::from_triplets(&spec.matrix);
+            let tc = timed.time_csr(&csr).expect("CSR timing failed");
+            let to = timed.time_overlay(&ovl).expect("overlay timing failed");
+            let perf = tc.cycles as f64 / to.cycles as f64;
+            let mem = to.memory_bytes as f64 / tc.memory_bytes as f64;
+            (l, spec.name.clone(), perf, mem)
+        },
+    );
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("L is finite"));
 
     let mut table = ResultTable::new(

@@ -2,22 +2,26 @@
 //! overlay-on-write, across the 15 workloads.
 //!
 //! Usage: `cargo run --release -p po-bench --bin fig8_fork_memory
-//! [--post <instr>] [--warmup <instr>] [--seed <n>]`
+//! [--post <instr>] [--warmup <instr>] [--seed <n>] [--shards <n>]`
 //!
 //! The paper runs 200 M warmup + 300 M post-fork instructions; defaults
 //! here are scaled down 500x (the generators are rate-parameterized, so
 //! the CoW/OoW ratio — the paper's 53% mean reduction — is stable under
-//! scaling; see DESIGN.md §5).
+//! scaling; see DESIGN.md §5). The 30 runs go through the shared shard
+//! pool; the table is identical at any `--shards`.
 
-use po_bench::{geomean, human_bytes, Args, ResultTable};
-use po_sim::{run_fork_experiment, SystemConfig};
-use po_workloads::spec_suite;
+use po_bench::suite::run_fork_suite_pairs;
+use po_bench::{geomean, human_bytes, Args, ResultTable, ShardPool};
 
 fn main() {
     let args = Args::from_env();
     let warmup_instr: u64 = args.get("warmup", 400_000);
     let post_instr: u64 = args.get("post", 600_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
+
+    let pairs = run_fork_suite_pairs(&pool, warmup_instr, post_instr, seed, None)
+        .expect("fork suite failed");
 
     let mut table = ResultTable::new(
         "Figure 8: additional memory after fork (CoW vs OoW)",
@@ -27,23 +31,8 @@ fn main() {
     let mut cow_total = 0u64;
     let mut oow_total = 0u64;
 
-    for spec in spec_suite() {
-        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-
-        let cow =
-            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
-                .expect("CoW run failed");
-        let oow = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("OoW run failed");
-
+    for pair in &pairs {
+        let (cow, oow) = (pair.cow(), pair.oow());
         let ratio = if cow.extra_memory_bytes == 0 {
             1.0
         } else {
@@ -53,8 +42,8 @@ fn main() {
         cow_total += cow.extra_memory_bytes;
         oow_total += oow.extra_memory_bytes;
         table.row(&[
-            &spec.name,
-            &format!("{:?}", spec.wtype),
+            &pair.spec.name,
+            &format!("{:?}", pair.spec.wtype),
             &human_bytes(cow.extra_memory_bytes),
             &human_bytes(oow.extra_memory_bytes),
             &format!("{ratio:.3}"),
@@ -65,8 +54,8 @@ fn main() {
     table.row(&[
         &"mean",
         &"-",
-        &human_bytes(cow_total / 15),
-        &human_bytes(oow_total / 15),
+        &human_bytes(cow_total / pairs.len() as u64),
+        &human_bytes(oow_total / pairs.len() as u64),
         &format!("{mean:.3}"),
     ]);
     table.print();

@@ -2,21 +2,26 @@
 //! better) — copy-on-write vs overlay-on-write across the 15 workloads.
 //!
 //! Usage: `cargo run --release -p po-bench --bin fig9_fork_cpi
-//! [--post <instr>] [--warmup <instr>] [--seed <n>]`
+//! [--post <instr>] [--warmup <instr>] [--seed <n>] [--shards <n>]`
 //!
 //! Expected shape (paper §5.1): Type 1 shows no difference; Type 2 OoW
 //! wins except `cactus` (tight write bursts favor CoW's high-MLP page
 //! copy); Type 3 OoW wins clearly; ~15% mean performance improvement.
+//! Runs go through the shared shard pool; simulated cycles do not
+//! depend on `--shards`.
 
-use po_bench::{geomean, Args, ResultTable};
-use po_sim::{run_fork_experiment, SystemConfig};
-use po_workloads::spec_suite;
+use po_bench::suite::run_fork_suite_pairs;
+use po_bench::{geomean, Args, ResultTable, ShardPool};
 
 fn main() {
     let args = Args::from_env();
     let warmup_instr: u64 = args.get("warmup", 400_000);
     let post_instr: u64 = args.get("post", 600_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
+
+    let pairs = run_fork_suite_pairs(&pool, warmup_instr, post_instr, seed, None)
+        .expect("fork suite failed");
 
     let mut table = ResultTable::new(
         "Figure 9: CPI after fork (lower is better)",
@@ -24,28 +29,13 @@ fn main() {
     );
     let mut ratios = Vec::new();
 
-    for spec in spec_suite() {
-        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-
-        let cow =
-            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
-                .expect("CoW run failed");
-        let oow = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("OoW run failed");
-
+    for pair in &pairs {
+        let (cow, oow) = (pair.cow(), pair.oow());
         let ratio = oow.cpi / cow.cpi;
         ratios.push(ratio);
         table.row(&[
-            &spec.name,
-            &format!("{:?}", spec.wtype),
+            &pair.spec.name,
+            &format!("{:?}", pair.spec.wtype),
             &format!("{:.3}", cow.cpi),
             &format!("{:.3}", oow.cpi),
             &format!("{ratio:.3}"),

@@ -23,7 +23,7 @@
 //! Exits 0 when the ratchet holds, 1 on regression, 2 when the
 //! baseline is missing or unreadable.
 
-use po_bench::{summary, Args};
+use po_bench::{summary, Args, ShardPool};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -49,7 +49,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let rows = match summary::collect(warmup_instr, post_instr, seed) {
+    // Simulated cycles are shard-invariant, but the ratchet measures at
+    // one shard anyway so its numbers never depend on host parallelism.
+    let rows = match summary::collect(&ShardPool::serial(), warmup_instr, post_instr, seed) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("perf_ratchet: measurement failed: {e}");

@@ -1,19 +1,31 @@
 //! One-command reproduction: runs every quantitative experiment and
 //! writes `bench_results/report.md` with the paper-vs-measured summary.
 //!
+//! All machine-driving work fans out over the shared shard pool; every
+//! fork job records into a private telemetry sink and the per-job
+//! streams are merged — ordered by `(job, seq)` — into
+//! `bench_results/repro.events.jsonl` and `repro.report.txt`. Both the
+//! report and the merged exports are byte-identical at any `--shards`
+//! value; the `shard-determinism` CI job diffs them.
+//!
 //! Usage: `cargo run --release -p po-bench --bin repro_all
-//! [--post <instr>] [--warmup <instr>] [--scale <f>] [--seed <n>]`
+//! [--post <instr>] [--warmup <instr>] [--scale <f>] [--seed <n>]
+//! [--shards <n>]`
 //!
 //! (The per-figure binaries print the full tables; this target produces
 //! the headline numbers in one pass — a few minutes at defaults.)
 
-use po_bench::{geomean, Args};
-use po_sim::{hardware_cost, run_fork_experiment, SystemConfig};
+use po_bench::suite::run_fork_suite_pairs;
+use po_bench::{geomean, Args, ShardPool};
+use po_sim::{hardware_cost, SystemConfig};
 use po_sparse::{
     nonzero_locality, overhead_vs_ideal, uf_like_suite, CsrMatrix, OverlayMatrix, TimedSpmv,
 };
-use po_workloads::spec_suite;
+use po_telemetry::TelemetryMerge;
 use std::fmt::Write as _;
+
+/// Ring capacity of each fork job's private event journal.
+const JOB_EVENT_CAPACITY: usize = 4096;
 
 fn main() {
     let args = Args::from_env();
@@ -21,6 +33,7 @@ fn main() {
     let post_instr: u64 = args.get("post", 600_000);
     let scale: f64 = args.get("scale", 0.3);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
 
     let mut report = String::new();
     let w = &mut report;
@@ -47,27 +60,23 @@ fn main() {
     .unwrap();
 
     // ---- Figures 8 & 9 ----------------------------------------------
-    println!("running the 15-benchmark fork experiment (Figures 8 & 9)…");
+    println!(
+        "running the 15-benchmark fork experiment (Figures 8 & 9) on {} shard(s)…",
+        pool.shards()
+    );
+    let pairs =
+        run_fork_suite_pairs(&pool, warmup_instr, post_instr, seed, Some(JOB_EVENT_CAPACITY))
+            .expect("fork suite");
+    let mut merge = TelemetryMerge::new();
     let mut mem_ratios = Vec::new();
     let mut cpi_ratios = Vec::new();
     writeln!(w, "## Figures 8 & 9 — fork: CoW vs OoW\n").unwrap();
     writeln!(w, "| benchmark | type | mem oow/cow | cpi oow/cow |").unwrap();
     writeln!(w, "|---|---|---|---|").unwrap();
-    for spec in spec_suite() {
-        let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-        let cow =
-            run_fork_experiment(SystemConfig::table2(), spec.base_vpn(), mapped, &warmup, &post)
-                .expect("cow run");
-        let oow = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )
-        .expect("oow run");
+    for pair in &pairs {
+        merge.absorb(pair.cow.id, &pair.cow.telemetry);
+        merge.absorb(pair.oow.id, &pair.oow.telemetry);
+        let (cow, oow) = (pair.cow(), pair.oow());
         let mem_ratio = if cow.extra_memory_bytes == 0 {
             1.0
         } else {
@@ -76,8 +85,12 @@ fn main() {
         let cpi_ratio = oow.cpi / cow.cpi;
         mem_ratios.push(mem_ratio);
         cpi_ratios.push(cpi_ratio);
-        writeln!(w, "| {} | {:?} | {:.3} | {:.3} |", spec.name, spec.wtype, mem_ratio, cpi_ratio)
-            .unwrap();
+        writeln!(
+            w,
+            "| {} | {:?} | {:.3} | {:.3} |",
+            pair.spec.name, pair.spec.wtype, mem_ratio, cpi_ratio
+        )
+        .unwrap();
     }
     let mem_mean = geomean(&mem_ratios);
     let cpi_mean = geomean(&cpi_ratios);
@@ -92,31 +105,27 @@ fn main() {
 
     // ---- Figure 10 ----------------------------------------------------
     println!("running the 87-matrix SpMV sweep (Figure 10)…");
-    let timed = TimedSpmv::table2();
-    let mut wins = 0usize;
-    let mut total = 0usize;
-    let mut first_win_l: Option<f64> = None;
-    let mut results: Vec<(f64, f64, f64)> = Vec::new();
-    for spec in uf_like_suite(scale, seed) {
-        let l = nonzero_locality(&spec.matrix, 64);
-        let csr = CsrMatrix::from_triplets(&spec.matrix);
-        let ovl = OverlayMatrix::from_triplets(&spec.matrix);
-        let tc = timed.time_csr(&csr).expect("csr");
-        let to = timed.time_overlay(&ovl).expect("overlay");
-        let perf = tc.cycles as f64 / to.cycles as f64;
-        let mem = to.memory_bytes as f64 / tc.memory_bytes as f64;
-        results.push((l, perf, mem));
-        total += 1;
-        if perf > 1.0 {
-            wins += 1;
-        }
-    }
+    let mut results: Vec<(f64, f64, f64)> = pool.run(
+        uf_like_suite(scale, seed),
+        |spec| spec.matrix.nnz() as u64,
+        |spec| {
+            let timed = TimedSpmv::table2();
+            let l = nonzero_locality(&spec.matrix, 64);
+            let csr = CsrMatrix::from_triplets(&spec.matrix);
+            let ovl = OverlayMatrix::from_triplets(&spec.matrix);
+            let tc = timed.time_csr(&csr).expect("csr");
+            let to = timed.time_overlay(&ovl).expect("overlay");
+            (
+                l,
+                tc.cycles as f64 / to.cycles as f64,
+                to.memory_bytes as f64 / tc.memory_bytes as f64,
+            )
+        },
+    );
+    let total = results.len();
+    let wins = results.iter().filter(|(_, perf, _)| *perf > 1.0).count();
     results.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite L"));
-    for (l, perf, _) in &results {
-        if *perf > 1.0 && first_win_l.is_none() {
-            first_win_l = Some(*l);
-        }
-    }
+    let first_win_l = results.iter().find(|(_, perf, _)| *perf > 1.0).map(|(l, _, _)| *l);
     let (hi_l, hi_perf, hi_mem) = results.last().expect("nonempty suite");
     writeln!(
         w,
@@ -152,6 +161,14 @@ fn main() {
 
     std::fs::create_dir_all("bench_results").expect("mkdir");
     std::fs::write("bench_results/report.md", &report).expect("write report");
+    std::fs::write("bench_results/repro.events.jsonl", merge.journal_jsonl())
+        .expect("write events");
+    std::fs::write(
+        "bench_results/repro.report.txt",
+        merge.run_report("repro_all fork suite (merged over jobs)"),
+    )
+    .expect("write telemetry report");
     println!("\n{report}");
     println!("report written to bench_results/report.md");
+    println!("merged telemetry: bench_results/repro.events.jsonl, bench_results/repro.report.txt");
 }

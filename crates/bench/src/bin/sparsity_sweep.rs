@@ -4,12 +4,12 @@
 //! The paper: "our representation outperforms the dense-matrix
 //! representation for all sparsity levels — the performance gap
 //! increases linearly with the fraction of zero cache lines in the
-//! matrix."
+//! matrix." The sparsity levels fan out over the shard pool.
 //!
 //! Usage: `cargo run --release -p po-bench --bin sparsity_sweep
-//! [--rows <n>] [--cols <n>] [--seed <n>]`
+//! [--rows <n>] [--cols <n>] [--seed <n>] [--shards <n>]`
 
-use po_bench::{Args, ResultTable};
+use po_bench::{Args, ResultTable, ShardPool};
 use po_sparse::{gen, OverlayMatrix, TimedSpmv};
 
 fn main() {
@@ -17,19 +17,27 @@ fn main() {
     let rows: usize = args.get("rows", 64);
     let cols: usize = args.get("cols", 512);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
 
-    let timed = TimedSpmv::table2();
-    let dense = timed.time_dense(rows, cols).expect("dense timing failed");
+    let dense = TimedSpmv::table2().time_dense(rows, cols).expect("dense timing failed");
+
+    let pcts = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+    let timings = pool.run(
+        pcts.to_vec(),
+        |_| 1,
+        |pct| {
+            let t = gen::with_zero_line_fraction(rows, cols, pct, seed);
+            let ovl = OverlayMatrix::from_triplets(&t);
+            TimedSpmv::table2().time_overlay(&ovl).expect("overlay timing failed")
+        },
+    );
 
     let mut table = ResultTable::new(
         "Sparsity sweep: overlay SpMV speedup over dense (one iteration)",
         &["zero_line_fraction", "overlay_cycles", "dense_cycles", "speedup"],
     );
     let mut prev_speedup = 0.0f64;
-    for pct in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
-        let t = gen::with_zero_line_fraction(rows, cols, pct, seed);
-        let ovl = OverlayMatrix::from_triplets(&t);
-        let to = timed.time_overlay(&ovl).expect("overlay timing failed");
+    for (pct, to) in pcts.iter().zip(&timings) {
         let speedup = dense.cycles as f64 / to.cycles as f64;
         table.row(&[
             &format!("{:.0}%", pct * 100.0),
@@ -37,7 +45,7 @@ fn main() {
             &dense.cycles,
             &format!("{speedup:.2}x"),
         ]);
-        if pct > 0.0 {
+        if *pct > 0.0 {
             prev_speedup = prev_speedup.max(speedup);
         }
     }

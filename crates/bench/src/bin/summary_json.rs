@@ -24,18 +24,25 @@
 //! measurement and encoding live in [`po_bench::summary`] so both
 //! binaries agree on them by construction.
 //!
+//! Workload runs fan out over the shared shard pool (`--shards N` /
+//! `PO_SHARDS`); the bytes written are identical at any shard count —
+//! the `shard-determinism` CI job diffs `--shards 1` against
+//! `--shards 8`.
+//!
 //! Usage: `cargo run --release -p po-bench --bin summary_json
-//! [--warmup <instr>] [--post <instr>] [--seed <n>]`
+//! [--warmup <instr>] [--post <instr>] [--seed <n>] [--shards <n>]`
 
-use po_bench::{summary, Args};
+use po_bench::{summary, Args, ShardPool};
 
 fn main() {
     let args = Args::from_env();
     let warmup_instr: u64 = args.get("warmup", 40_000);
     let post_instr: u64 = args.get("post", 60_000);
     let seed: u64 = args.get("seed", 42);
+    let pool = ShardPool::from_args(&args);
 
-    let rows = summary::collect(warmup_instr, post_instr, seed).expect("summary workload failed");
+    let rows =
+        summary::collect(&pool, warmup_instr, post_instr, seed).expect("summary workload failed");
     let json = summary::to_json(&rows);
 
     std::fs::create_dir_all("bench_results").expect("create bench_results");

@@ -19,10 +19,20 @@
 //! Every binary accepts `--scale <f>` (work multiplier, default 1.0)
 //! and `--seed <n>`, prints an aligned table to stdout, and writes a
 //! CSV next to it under `bench_results/`.
+//!
+//! Machine-driving work goes through the shared shard pool
+//! ([`pool::ShardPool`]) as `po_sim::runner` jobs (helpers in
+//! [`suite`]): `--shards N` / `PO_SHARDS` picks the worker count, and
+//! results — tables, `summary.json`, merged telemetry exports — are
+//! byte-identical at any shard count.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod pool;
+pub mod suite;
 pub mod summary;
+
+pub use pool::ShardPool;
 
 use std::fmt::Display;
 use std::fs;

@@ -11,9 +11,11 @@
 //! regression beyond the tolerance, so a slowdown has to be committed
 //! deliberately, baseline and cause together.
 
-use crate::geomean;
-use po_sim::{run_fork_experiment, SystemConfig};
-use po_sparse::{gen as matrix_gen, CsrMatrix, OverlayMatrix, TimedSpmv};
+use crate::pool::ShardPool;
+use crate::suite::fork_job;
+use crate::{geomean, suite};
+use po_sim::SystemConfig;
+use po_sparse::{gen as matrix_gen, CsrMatrix, OverlayMatrix, SpmvTiming, TimedSpmv};
 use po_telemetry::TelemetrySink;
 use po_types::geometry::PAGE_SIZE;
 use po_types::PoResult;
@@ -37,30 +39,45 @@ pub struct SummaryRow {
     pub overlay_bytes: u64,
 }
 
-/// Runs every summarized workload and returns one row each: the §5.1
-/// fork experiment (overlay-on-write) per suite benchmark, then the
-/// overlay and CSR SpMV kernels.
+/// Runs every summarized workload through `pool` and returns one row
+/// each: the §5.1 fork experiment (overlay-on-write) per suite
+/// benchmark, then the overlay and CSR SpMV kernels.
 ///
-/// Deterministic: the same arguments produce identical rows.
+/// Deterministic *at any shard count*: rows come back in submission
+/// order and every job runs on its own machine, so the same arguments
+/// produce byte-identical JSON whether the pool has 1 worker or 8.
 ///
 /// # Errors
 ///
 /// Propagates any machine error from the underlying experiments.
-pub fn collect(warmup_instr: u64, post_instr: u64, seed: u64) -> PoResult<Vec<SummaryRow>> {
+pub fn collect(
+    pool: &ShardPool,
+    warmup_instr: u64,
+    post_instr: u64,
+    seed: u64,
+) -> PoResult<Vec<SummaryRow>> {
+    let specs = spec_suite();
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            fork_job(
+                i as u64,
+                format!("fork/{}", spec.name),
+                SystemConfig::table2_overlay(),
+                spec,
+                warmup_instr,
+                post_instr,
+                seed,
+            )
+        })
+        .collect();
     let mut rows = Vec::new();
-    for spec in spec_suite() {
+    for (spec, result) in specs.iter().zip(suite::run_jobs(pool, jobs)?) {
         let mapped = spec.mapped_pages(warmup_instr.max(post_instr));
-        let warmup = spec.generate_warmup(warmup_instr, seed);
-        let post = spec.generate_post_fork(post_instr, seed);
-        let r = run_fork_experiment(
-            SystemConfig::table2_overlay(),
-            spec.base_vpn(),
-            mapped,
-            &warmup,
-            &post,
-        )?;
+        let r = result.outcome.as_fork().expect("fork job outcome");
         rows.push(SummaryRow {
-            workload: format!("fork/{}", spec.name),
+            workload: result.label.clone(),
             cycles: r.post_cycles,
             cpi: r.cpi,
             memory_overhead_pct: 100.0 * r.extra_memory_bytes as f64
@@ -71,25 +88,50 @@ pub fn collect(warmup_instr: u64, post_instr: u64, seed: u64) -> PoResult<Vec<Su
     }
 
     // SpMV: the overlay representation on a high-locality matrix, with
-    // telemetry supplying the OMT-cache counters.
+    // telemetry supplying the OMT-cache counters. The two kernels are
+    // two pool tasks; each builds its own TimedSpmv machine.
     let triplets = matrix_gen::clustered(40, 512, 20_000, 8, true, seed);
     let csr = CsrMatrix::from_triplets(&triplets);
     let ovl = OverlayMatrix::from_triplets(&triplets);
     let dense_bytes = (ovl.rows() * ovl.cols() * 8) as f64;
-    let sink = TelemetrySink::active();
-    let timed = TimedSpmv::new(SystemConfig::table2_overlay()).with_telemetry(sink.clone());
-    let o = timed.time_overlay(&ovl)?;
-    let hits = sink.counter("omt_cache.hits") as f64;
-    let misses = sink.counter("omt_cache.misses") as f64;
+    enum Kernel {
+        Overlay,
+        Csr,
+    }
+    let timings: Vec<PoResult<(SpmvTiming, f64)>> = pool.run(
+        vec![Kernel::Overlay, Kernel::Csr],
+        |k| match k {
+            Kernel::Overlay => 2,
+            Kernel::Csr => 1,
+        },
+        |k| match k {
+            Kernel::Overlay => {
+                let sink = TelemetrySink::active();
+                let timed =
+                    TimedSpmv::new(SystemConfig::table2_overlay()).with_telemetry(sink.clone());
+                let o = timed.time_overlay(&ovl)?;
+                let hits = sink.counter("omt_cache.hits") as f64;
+                let misses = sink.counter("omt_cache.misses") as f64;
+                let rate = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
+                Ok((o, rate))
+            }
+            Kernel::Csr => {
+                let c = TimedSpmv::new(SystemConfig::table2_overlay()).time_csr(&csr)?;
+                Ok((c, 0.0))
+            }
+        },
+    );
+    let mut timings = timings.into_iter();
+    let (o, overlay_rate) = timings.next().expect("overlay kernel timing")?;
     rows.push(SummaryRow {
         workload: "spmv/overlay".to_string(),
         cycles: o.cycles,
         cpi: o.cpi(),
         memory_overhead_pct: 100.0 * o.memory_bytes as f64 / dense_bytes,
-        omt_cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
+        omt_cache_hit_rate: overlay_rate,
         overlay_bytes: o.memory_bytes,
     });
-    let c = TimedSpmv::new(SystemConfig::table2_overlay()).time_csr(&csr)?;
+    let (c, _) = timings.next().expect("csr kernel timing")?;
     rows.push(SummaryRow {
         workload: "spmv/csr".to_string(),
         cycles: c.cycles,

@@ -1,0 +1,56 @@
+//! The hard invariant of the parallel harness, as a test: every byte a
+//! bench driver exports — `summary.json`, merged journal JSONL, merged
+//! run reports — is identical at `--shards 1` and `--shards 8`. The CI
+//! `shard-determinism` job re-checks the same equality on the real
+//! binaries; this test pins it in-process with small budgets so a
+//! violation is caught before a slow CI round-trip.
+
+use po_bench::suite::run_fork_suite_pairs;
+use po_bench::{summary, ShardPool};
+use po_telemetry::TelemetryMerge;
+
+const WARMUP: u64 = 2_000;
+const POST: u64 = 3_000;
+const SEED: u64 = 42;
+
+#[test]
+fn summary_json_bytes_are_shard_invariant() {
+    let serial = summary::collect(&ShardPool::serial(), WARMUP, POST, SEED).expect("serial");
+    let sharded = summary::collect(&ShardPool::new(8), WARMUP, POST, SEED).expect("sharded");
+    assert_eq!(summary::to_json(&serial), summary::to_json(&sharded));
+}
+
+#[test]
+fn merged_telemetry_exports_are_shard_invariant() {
+    let export = |pool: &ShardPool| {
+        let pairs = run_fork_suite_pairs(pool, WARMUP, POST, SEED, Some(512)).expect("suite");
+        let mut merge = TelemetryMerge::new();
+        for pair in &pairs {
+            assert!(merge.absorb(pair.cow.id, &pair.cow.telemetry));
+            assert!(merge.absorb(pair.oow.id, &pair.oow.telemetry));
+        }
+        (merge.journal_jsonl(), merge.run_report("shard-determinism"))
+    };
+    let (serial_jsonl, serial_report) = export(&ShardPool::serial());
+    let (sharded_jsonl, sharded_report) = export(&ShardPool::new(8));
+    assert!(!serial_jsonl.is_empty(), "fork jobs must journal events");
+    assert_eq!(serial_jsonl, sharded_jsonl);
+    assert_eq!(serial_report, sharded_report);
+}
+
+#[test]
+fn fingerprints_are_shard_invariant() {
+    let run = |pool: &ShardPool| -> Vec<(String, u64)> {
+        run_fork_suite_pairs(pool, WARMUP, POST, SEED, None)
+            .expect("suite")
+            .into_iter()
+            .flat_map(|p| {
+                [
+                    (p.cow.label.clone(), p.cow.snapshot_fingerprint),
+                    (p.oow.label.clone(), p.oow.snapshot_fingerprint),
+                ]
+            })
+            .collect()
+    };
+    assert_eq!(run(&ShardPool::serial()), run(&ShardPool::new(8)));
+}

@@ -22,6 +22,12 @@
 //!   *or* overlay-on-write on stores to shared pages.
 //! * [`Trace`] / [`run_trace`] — trace-driven execution.
 //! * [`scenario`] — the paper's fork/checkpoint experiment (§5.1).
+//! * [`runner`] — the shared workload runner every bench driver uses:
+//!   a [`WorkloadJob`] (config + scenario/trace + fault plan + seed)
+//!   executes on its own machine into a [`JobResult`] (outcome +
+//!   snapshot fingerprint + private telemetry sink), so jobs can be
+//!   farmed out to shard threads with deterministic, order-insensitive
+//!   merges.
 //!
 //! # Example
 //!
@@ -49,6 +55,7 @@ pub mod config;
 pub mod core_model;
 pub mod machine;
 pub mod oracle;
+pub mod runner;
 pub mod scenario;
 pub mod sim_test;
 pub mod stats;
@@ -59,8 +66,10 @@ pub use config::{hardware_cost, HardwareCost, SystemConfig};
 pub use core_model::CoreModel;
 pub use machine::Machine;
 pub use oracle::DiffOracle;
+pub use runner::{run_job, JobKind, JobOutcome, JobResult, TraceJob, TraceOutcome, WorkloadJob};
 pub use scenario::{
-    run_fork_experiment, run_fork_experiment_instrumented, run_periodic_checkpoint_experiment,
+    run_fork_experiment, run_fork_experiment_instrumented, run_fork_experiment_on,
+    run_periodic_checkpoint_experiment, run_periodic_checkpoint_experiment_on,
     ForkExperimentResult, PeriodicCheckpointResult,
 };
 pub use sim_test::{

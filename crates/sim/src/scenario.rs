@@ -79,14 +79,32 @@ pub fn run_fork_experiment_instrumented(
 ) -> PoResult<ForkExperimentResult> {
     let mut machine = Machine::new(config)?;
     machine.install_telemetry(sink);
+    run_fork_experiment_on(&mut machine, base_vpn, mapped_pages, warmup, post)
+}
+
+/// The fork experiment against a caller-built [`Machine`] (fresh — the
+/// scenario spawns its own process). This is the form the workload
+/// runner drives, so the machine outlives the experiment and its final
+/// snapshot can be fingerprinted.
+///
+/// # Errors
+///
+/// Propagates machine faults.
+pub fn run_fork_experiment_on(
+    machine: &mut Machine,
+    base_vpn: Vpn,
+    mapped_pages: u64,
+    warmup: &[TraceOp],
+    post: &[TraceOp],
+) -> PoResult<ForkExperimentResult> {
     let parent = machine.spawn_process()?;
     machine.map_range(parent, base_vpn, mapped_pages)?;
 
-    run_trace(&mut machine, parent, warmup)?;
+    run_trace(machine, parent, warmup)?;
     let _child = machine.fork(parent)?;
     machine.mark_memory_epoch();
 
-    let stats = run_trace(&mut machine, parent, post)?;
+    let stats = run_trace(machine, parent, post)?;
     let overlay_bytes = machine.overlay().store().bytes_in_use();
     machine.flush_overlays()?;
 
@@ -137,16 +155,41 @@ pub fn run_periodic_checkpoint_experiment(
     intervals: u64,
 ) -> PoResult<PeriodicCheckpointResult> {
     let mut machine = Machine::new(config)?;
+    run_periodic_checkpoint_experiment_on(
+        &mut machine,
+        base_vpn,
+        mapped_pages,
+        warmup,
+        interval,
+        intervals,
+    )
+}
+
+/// The periodic-checkpoint experiment against a caller-built, fresh
+/// [`Machine`] — the workload-runner form (see
+/// [`run_fork_experiment_on`]).
+///
+/// # Errors
+///
+/// Propagates machine faults.
+pub fn run_periodic_checkpoint_experiment_on(
+    machine: &mut Machine,
+    base_vpn: Vpn,
+    mapped_pages: u64,
+    warmup: &[TraceOp],
+    interval: &[TraceOp],
+    intervals: u64,
+) -> PoResult<PeriodicCheckpointResult> {
     let parent = machine.spawn_process()?;
     machine.map_range(parent, base_vpn, mapped_pages)?;
-    run_trace(&mut machine, parent, warmup)?;
+    run_trace(machine, parent, warmup)?;
 
     let start = machine.snapshot();
     let mut peak = 0u64;
     for _ in 0..intervals {
         let _checkpoint_child = machine.fork(parent)?;
         machine.mark_memory_epoch();
-        run_trace(&mut machine, parent, interval)?;
+        run_trace(machine, parent, interval)?;
         machine.flush_overlays()?;
         peak = peak.max(machine.extra_memory_bytes());
     }

@@ -25,6 +25,7 @@
 use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::oracle::DiffOracle;
+use crate::runner::drive_ops;
 use crate::trace::TraceOp;
 use crate::trace_io::{read_trace, write_trace};
 use po_telemetry::TelemetrySink;
@@ -506,9 +507,7 @@ pub fn run_ops(
     }
     .map_err(|e| format!("machine construction failed: {e:?}"))?;
     h.inject_bug = inject_bug;
-    for (i, op) in ops.iter().enumerate() {
-        h.apply(op).map_err(|e| format!("op {i}: {e}"))?;
-    }
+    drive_ops(&mut h, ops, 0, "", |_, _| {}, |_, _| Ok(false))?;
     h.check_all()
 }
 
@@ -535,12 +534,10 @@ pub fn run_ops_traced(
     .map_err(|e| (format!("machine construction failed: {e:?}"), String::new()))?;
     h.enable_telemetry(FAILURE_EVENT_TAIL);
     h.inject_bug = inject_bug;
-    for (i, op) in ops.iter().enumerate() {
-        if let Err(e) = h.apply(op) {
-            return Err((format!("op {i}: {e}"), h.telemetry_tail(FAILURE_EVENT_TAIL)));
-        }
-    }
-    h.check_all().map_err(|e| (e, h.telemetry_tail(FAILURE_EVENT_TAIL)))
+    drive_ops(&mut h, ops, 0, "", |_, _| {}, |_, _| Ok(false))
+        .map(|_| ())
+        .and_then(|()| h.check_all())
+        .map_err(|e| (e, h.telemetry_tail(FAILURE_EVENT_TAIL)))
 }
 
 // ----------------------------------------------------------------------
@@ -580,12 +577,20 @@ pub fn run_crash_convergence(
     // Golden run.
     let mut golden = SimHarness::with_fault_plan(config.clone(), golden_plan)
         .map_err(|e| format!("machine construction failed: {e:?}"))?;
-    for (i, op) in ops.iter().enumerate() {
-        golden.apply(op).map_err(|e| format!("golden op {i}: {e}"))?;
-        if golden.machine.poll_crash_point() {
-            return Err("crash point fired in the golden run".into());
-        }
-    }
+    drive_ops(
+        &mut golden,
+        ops,
+        0,
+        "golden ",
+        |_, _| {},
+        |h, _| {
+            if h.machine.poll_crash_point() {
+                Err("crash point fired in the golden run".into())
+            } else {
+                Ok(false)
+            }
+        },
+    )?;
     golden.machine.clear_fault_trigger(FaultSite::CrashPoint);
 
     // Crashy run. Telemetry rides along (it survives the restore — the
@@ -595,40 +600,51 @@ pub fn run_crash_convergence(
         .map_err(|e| format!("machine construction failed: {e:?}"))?;
     h.enable_telemetry(FAILURE_EVENT_TAIL);
     let mut saved: Option<(Vec<u8>, DiffOracle, Vec<Asid>, usize)> = None;
-    let mut crashed = false;
-    for (i, op) in ops.iter().enumerate() {
-        if i % every == 0 {
-            saved = Some((h.machine.save_snapshot(), h.oracle.clone(), h.procs.clone(), i));
-        }
-        h.apply(op).map_err(|e| format!("crashy op {i}: {e}"))?;
-        if h.machine.poll_crash_point() {
-            crashed = true;
-            let (bytes, oracle, procs, from) =
-                saved.take().ok_or("crash fired before the first snapshot")?;
-            h.machine
-                .restore_snapshot(&bytes)
-                .map_err(|e| format!("restore after crash at op {i} failed: {e:?}"))?;
-            h.machine.clear_fault_trigger(FaultSite::CrashPoint);
-            h.oracle = oracle;
-            h.procs = procs;
-            // The journal is the op suffix since the snapshot; round-trip
-            // it through the trace format, as a real recovery would.
-            let mut buf = Vec::new();
-            write_trace(&mut buf, &ops[from..])
-                .map_err(|e| format!("journal write failed: {e}"))?;
-            let journal =
-                read_trace(buf.as_slice()).map_err(|e| format!("journal read failed: {e}"))?;
-            if journal != ops[from..] {
-                return Err("journal did not round-trip through the trace format".into());
+    let crashed_at = drive_ops(
+        &mut h,
+        ops,
+        0,
+        "crashy ",
+        |h, i| {
+            if i % every == 0 {
+                saved = Some((h.machine.save_snapshot(), h.oracle.clone(), h.procs.clone(), i));
             }
-            for (j, op) in journal.iter().enumerate() {
-                h.apply(op).map_err(|e| format!("replay op {}: {e}", from + j))?;
+        },
+        |h, _| Ok(h.machine.poll_crash_point()),
+    )?;
+    let crashed = crashed_at.is_some();
+    if let Some(i) = crashed_at {
+        let (bytes, oracle, procs, from) =
+            saved.take().ok_or("crash fired before the first snapshot")?;
+        h.machine
+            .restore_snapshot(&bytes)
+            .map_err(|e| format!("restore after crash at op {i} failed: {e:?}"))?;
+        h.machine.clear_fault_trigger(FaultSite::CrashPoint);
+        h.oracle = oracle;
+        h.procs = procs;
+        // The journal is the op suffix since the snapshot; round-trip
+        // it through the trace format, as a real recovery would.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops[from..]).map_err(|e| format!("journal write failed: {e}"))?;
+        let journal =
+            read_trace(buf.as_slice()).map_err(|e| format!("journal read failed: {e}"))?;
+        if journal != ops[from..] {
+            return Err("journal did not round-trip through the trace format".into());
+        }
+        drive_ops(
+            &mut h,
+            &journal,
+            from,
+            "replay ",
+            |_, _| {},
+            |h, _| {
                 if h.machine.poll_crash_point() {
-                    return Err("crash point re-fired during replay".into());
+                    Err("crash point re-fired during replay".into())
+                } else {
+                    Ok(false)
                 }
-            }
-            break;
-        }
+            },
+        )?;
     }
     h.machine.clear_fault_trigger(FaultSite::CrashPoint);
 

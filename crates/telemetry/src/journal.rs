@@ -233,12 +233,48 @@ impl EventRecord {
 /// When full, the oldest record is evicted; `dropped()` reports how
 /// many were lost. Capacity 0 disables recording entirely (the
 /// sequence counter still advances so counters stay meaningful).
-#[derive(Clone, Debug)]
+///
+/// With a *stream* installed ([`Journal::set_stream`]), records that
+/// would be evicted are instead written to the stream as JSONL, so a
+/// long run traces completely in bounded memory: the flushed lines
+/// followed by [`Journal::to_jsonl`] of the resident ring reproduce,
+/// byte for byte, what an unbounded journal would have exported.
 pub struct Journal {
     ring: VecDeque<EventRecord>,
     capacity: usize,
     next_seq: u64,
     dropped: u64,
+    flushed: u64,
+    stream: Option<Box<dyn std::io::Write + Send>>,
+}
+
+impl Clone for Journal {
+    /// Clones the ring and counters. The stream, if any, stays with the
+    /// original: a writer cannot be duplicated, and two journals
+    /// interleaving lines into one file would corrupt it.
+    fn clone(&self) -> Self {
+        Self {
+            ring: self.ring.clone(),
+            capacity: self.capacity,
+            next_seq: self.next_seq,
+            dropped: self.dropped,
+            flushed: self.flushed,
+            stream: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("ring", &self.ring)
+            .field("capacity", &self.capacity)
+            .field("next_seq", &self.next_seq)
+            .field("dropped", &self.dropped)
+            .field("flushed", &self.flushed)
+            .field("stream", &self.stream.as_ref().map(|_| "<writer>"))
+            .finish()
+    }
 }
 
 impl Journal {
@@ -249,22 +285,58 @@ impl Journal {
             capacity,
             next_seq: 0,
             dropped: 0,
+            flushed: 0,
+            stream: None,
         }
     }
 
-    /// Appends an event at `cycle`, evicting the oldest if full.
+    /// Installs an incremental JSONL writer: from now on, records that
+    /// would be evicted (or dropped by a zero-capacity ring) are
+    /// written to it instead of lost. Replaces any previous stream.
+    pub fn set_stream(&mut self, stream: Box<dyn std::io::Write + Send>) {
+        self.stream = Some(stream);
+    }
+
+    /// Removes and returns the incremental writer, flushing it first.
+    pub fn take_stream(&mut self) -> Option<Box<dyn std::io::Write + Send>> {
+        let mut stream = self.stream.take()?;
+        let _ = stream.flush();
+        Some(stream)
+    }
+
+    /// Appends an event at `cycle`. A full ring evicts the oldest
+    /// record — to the stream when one is installed, otherwise dropped.
     pub fn push(&mut self, cycle: u64, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let record = EventRecord { seq, cycle, event };
         if self.capacity == 0 {
-            self.dropped += 1;
+            self.spill(record);
             return;
         }
         if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+            if let Some(evicted) = self.ring.pop_front() {
+                self.spill(evicted);
+            }
         }
-        self.ring.push_back(EventRecord { seq, cycle, event });
+        self.ring.push_back(record);
+    }
+
+    /// Routes a record leaving the ring: to the stream when one is
+    /// installed (a failed write counts as dropped), else dropped.
+    fn spill(&mut self, record: EventRecord) {
+        match &mut self.stream {
+            Some(stream) => {
+                let mut line = record.to_jsonl();
+                line.push('\n');
+                if stream.write_all(line.as_bytes()).is_ok() {
+                    self.flushed += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            None => self.dropped += 1,
+        }
     }
 
     /// Records currently held, oldest first.
@@ -283,9 +355,15 @@ impl Journal {
         self.next_seq
     }
 
-    /// Events evicted (or not recorded because capacity is 0).
+    /// Events evicted (or not recorded because capacity is 0) that did
+    /// not reach a stream.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events flushed to the incremental stream instead of dropped.
+    pub fn flushed(&self) -> u64 {
+        self.flushed
     }
 
     /// Records currently held.
@@ -386,6 +464,65 @@ mod tests {
         let seqs: Vec<_> = j.tail(2).map(|r| r.seq).collect();
         assert_eq!(seqs, vec![3, 4]);
         assert_eq!(j.tail_jsonl(2).lines().count(), 2);
+    }
+
+    #[test]
+    fn stream_preserves_the_serial_export() {
+        use std::io::Write as _;
+        use std::sync::{Arc, Mutex};
+
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("unpoisoned").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let flushed_bytes = Arc::new(Mutex::new(Vec::new()));
+        let mut bounded = Journal::new(2);
+        bounded.set_stream(Box::new(SharedBuf(Arc::clone(&flushed_bytes))));
+        let mut unbounded = Journal::new(usize::MAX);
+        for i in 0..5 {
+            bounded.push(i, Event::OmtWalk { opn: i, latency: 1 });
+            unbounded.push(i, Event::OmtWalk { opn: i, latency: 1 });
+        }
+        let mut stream = bounded.take_stream().expect("stream was installed");
+        stream.flush().expect("flush");
+        assert_eq!(bounded.flushed(), 3);
+        assert_eq!(bounded.dropped(), 0, "a streamed eviction is not a drop");
+        assert_eq!(bounded.len(), 2);
+        let flushed =
+            String::from_utf8(flushed_bytes.lock().expect("unpoisoned").clone()).expect("utf8");
+        assert_eq!(
+            format!("{flushed}{}", bounded.to_jsonl()),
+            unbounded.to_jsonl(),
+            "flushed + resident lines reproduce the serial export"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_with_stream_is_pure_streaming() {
+        let mut j = Journal::new(0);
+        j.set_stream(Box::new(Vec::new()));
+        j.push(1, Event::FaultInjected { site: "x" });
+        assert_eq!(j.flushed(), 1);
+        assert_eq!(j.dropped(), 0);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn clone_does_not_carry_the_stream() {
+        let mut j = Journal::new(1);
+        j.set_stream(Box::new(Vec::new()));
+        j.push(1, Event::FaultInjected { site: "x" });
+        let mut copy = j.clone();
+        assert!(copy.take_stream().is_none());
+        assert_eq!(copy.len(), 1);
+        assert!(j.take_stream().is_some(), "original keeps its writer");
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * Exporters — JSONL event logs, Chrome `trace_event` JSON
 //!   ([`chrome_trace`]), and a human-readable run report
 //!   ([`run_report`]).
+//! * [`TelemetryMerge`] / [`MergedJournal`] — order-insensitive merging
+//!   of per-shard sinks: counters/histograms/CPI stacks add, gauges
+//!   take the peak, and merged journals are totally ordered by
+//!   `(job, seq)`, so exports from a sharded run are byte-identical to
+//!   a serial one regardless of worker interleaving.
 //!
 //! The handle every layer holds is a [`TelemetrySink`]: an enum whose
 //! default [`Noop`](TelemetrySink::Noop) variant makes every recording
@@ -58,12 +63,14 @@
 
 pub mod export;
 pub mod journal;
+pub mod merge;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
 pub use export::{chrome_trace, run_report};
 pub use journal::{Event, EventRecord, HitLevel, Journal};
+pub use merge::{MergedJournal, TelemetryMerge};
 pub use metrics::{Log2Histogram, MetricsRegistry};
 pub use sink::{TelemetryCore, TelemetrySink};
 pub use span::{AccessSpan, CpiStack, Layer, SpanTracker};

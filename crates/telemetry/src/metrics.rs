@@ -100,6 +100,22 @@ impl Log2Histogram {
         self.buckets[i]
     }
 
+    /// Folds `other` into `self`: buckets, counts, and sums add; the
+    /// extrema combine as min-of-mins / max-of-maxes.
+    ///
+    /// This is the shard-merge law: commutative and associative, with
+    /// the empty histogram as identity, so per-shard histograms merged
+    /// in any order equal the histogram a serial run would have built.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Iterates the non-empty buckets as `(bucket_lo, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -203,6 +219,27 @@ impl MetricsRegistry {
     /// `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self` under the shard-merge laws: counters
+    /// and histograms add, gauges take the elementwise maximum.
+    ///
+    /// Every law is commutative and associative with the empty registry
+    /// as identity, so per-shard registries merged in any permutation
+    /// equal the registry a serial run would have produced. Gauges are
+    /// the one lossy case — "last write wins" is inherently
+    /// order-sensitive, so across shards they are defined as the peak
+    /// value instead (all current gauges are high-water marks).
+    pub fn merge(&mut self, other: &Self) {
+        for (&name, &n) in &other.counters {
+            self.count(name, n);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.entry(name).and_modify(|g| *g = (*g).max(v)).or_insert(v);
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
     }
 
     /// Serializes the whole registry as one JSON object with
@@ -326,6 +363,54 @@ mod tests {
         assert!(json.starts_with("{\"counters\":{\"a.first\":2,\"b.second\":2}"));
         assert!(json.contains("\"gauges\":{\"g\":-5}"));
         assert!(json.contains("\"lat\":{\"count\":1"));
+    }
+
+    #[test]
+    fn histogram_merge_equals_serial_observation() {
+        let mut serial = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [0, 1, 3, 200] {
+            serial.observe(v);
+            a.observe(v);
+        }
+        for v in [7, 4096] {
+            serial.observe(v);
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, serial);
+        assert_eq!(ba, serial, "merge is commutative");
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&Log2Histogram::new());
+        assert_eq!(with_empty, a, "empty histogram is the identity");
+    }
+
+    #[test]
+    fn registry_merge_laws() {
+        let mut a = MetricsRegistry::new();
+        a.count("c", 2);
+        a.gauge("g", 5);
+        a.observe("h", 8);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 3);
+        b.count("only_b", 1);
+        b.gauge("g", 9);
+        b.observe("h", 16);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("c"), 5);
+        assert_eq!(ab.counter("only_b"), 1);
+        assert_eq!(ab.gauge_value("g"), Some(9), "gauges merge as the peak");
+        assert_eq!(ab.histogram("h").map(Log2Histogram::count), Some(2));
+        assert_eq!(ab.to_json(), ba.to_json(), "merge is commutative byte-for-byte");
     }
 
     #[test]

@@ -228,6 +228,21 @@ impl TelemetrySink {
         self.with_core_mut(|core| core.spans.add_instructions(n));
     }
 
+    // --- streaming ----------------------------------------------------
+
+    /// Installs an incremental JSONL writer on the journal: records
+    /// evicted on ring wrap are flushed to it instead of dropped.
+    /// No-op on `Noop`.
+    pub fn set_journal_stream(&self, stream: Box<dyn std::io::Write + Send>) {
+        self.with_core_mut(|core| core.journal.set_stream(stream));
+    }
+
+    /// Removes and returns the journal's incremental writer, flushing
+    /// it first (`None` when `Noop` or no stream was installed).
+    pub fn take_journal_stream(&self) -> Option<Box<dyn std::io::Write + Send>> {
+        self.with_core_mut(|core| core.journal.take_stream()).flatten()
+    }
+
     // --- exports ------------------------------------------------------
 
     /// All journaled events as JSONL (empty when `Noop`).

@@ -150,6 +150,17 @@ impl CpiStack {
         self.instructions += n;
     }
 
+    /// Folds `other` into `self`: per-layer cycles, ops, and
+    /// instructions all add. Commutative and associative with the empty
+    /// stack as identity — the shard-merge law for CPI stacks.
+    pub fn merge(&mut self, other: &Self) {
+        for (c, &o) in self.layers.iter_mut().zip(other.layers.iter()) {
+            *c = c.saturating_add(o);
+        }
+        self.ops = self.ops.saturating_add(other.ops);
+        self.instructions = self.instructions.saturating_add(other.instructions);
+    }
+
     /// Cycles attributed to `layer`.
     pub fn layer_cycles(&self, layer: Layer) -> u64 {
         self.layers[layer.index()]

@@ -51,7 +51,7 @@ pub use error::{PoError, PoResult};
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use line::LineData;
 pub use obitvec::OBitVector;
-pub use snapshot::{fingerprint64, SnapshotReader, SnapshotWriter};
+pub use snapshot::{fingerprint64, fingerprint64_bytes, SnapshotReader, SnapshotWriter};
 pub use stats::Counter;
 
 /// A simulation timestamp measured in CPU cycles.

@@ -230,8 +230,16 @@ impl<'a> SnapshotReader<'a> {
 /// snapshot headers (stable across runs and platforms, unlike
 /// `std::hash`).
 pub fn fingerprint64(s: &str) -> u64 {
+    fingerprint64_bytes(s.as_bytes())
+}
+
+/// FNV-1a hash of a byte slice — the same function [`fingerprint64`]
+/// applies to strings. The workload runner uses it to fingerprint whole
+/// machine snapshots so sharded and serial runs can assert they ended
+/// in identical states without shipping the snapshot bytes around.
+pub fn fingerprint64_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in s.as_bytes() {
+    for b in bytes {
         h ^= *b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }

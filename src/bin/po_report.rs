@@ -25,7 +25,7 @@
 //!
 //! [`TelemetrySink`]: page_overlays::telemetry::TelemetrySink
 
-use page_overlays::sim::{run_fork_experiment_instrumented, SystemConfig};
+use page_overlays::sim::{run_job, SystemConfig, WorkloadJob};
 use page_overlays::sparse::gen as matrix_gen;
 use page_overlays::sparse::{CsrMatrix, OverlayMatrix, TimedSpmv};
 use page_overlays::telemetry::TelemetrySink;
@@ -97,28 +97,27 @@ fn fork_report(opts: &Options) -> Result<(), String> {
         .into_iter()
         .find(|s| s.name == opts.spec)
         .ok_or_else(|| format!("no workload named {} in the SPEC-like suite", opts.spec))?;
-    let mapped = spec.mapped_pages(opts.warmup.max(opts.post));
-    let warmup = spec.generate_warmup(opts.warmup, opts.seed);
-    let post = spec.generate_post_fork(opts.post, opts.seed);
-
-    let sink = TelemetrySink::with_capacity(REPORT_CAPACITY, REPORT_CAPACITY);
-    let result = run_fork_experiment_instrumented(
+    let job = WorkloadJob::fork(
+        0,
+        format!("fork/{} (overlay-on-write)", spec.name),
         SystemConfig::table2_overlay(),
         spec.base_vpn(),
-        mapped,
-        &warmup,
-        &post,
-        sink.clone(),
+        spec.mapped_pages(opts.warmup.max(opts.post)),
+        spec.generate_warmup(opts.warmup, opts.seed),
+        spec.generate_post_fork(opts.post, opts.seed),
     )
-    .map_err(|e| format!("fork experiment failed: {e:?}"))?;
+    .with_seed(opts.seed)
+    .with_telemetry(REPORT_CAPACITY);
+    let run = run_job(job).map_err(|e| format!("fork experiment failed: {e:?}"))?;
+    let result = run.outcome.as_fork().expect("fork job outcome");
 
-    print!("{}", sink.run_report(&format!("fork/{} (overlay-on-write)", spec.name)));
+    print!("{}", run.telemetry.run_report(&run.label));
     println!(
         "\npost-fork CPI {:.3}, extra memory {} B, overlay bytes {} B, OMT cache hit rate {:.3}\n",
         result.cpi, result.extra_memory_bytes, result.overlay_bytes, result.omt_cache_hit_rate
     );
     if let Some(dir) = &opts.out {
-        export(&sink, dir, "fork").map_err(|e| format!("export failed: {e}"))?;
+        export(&run.telemetry, dir, "fork").map_err(|e| format!("export failed: {e}"))?;
     }
     Ok(())
 }

@@ -20,7 +20,8 @@ use po_dram::DataStore;
 use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
 use po_types::{
-    Counter, FaultInjector, FaultSite, LineData, MainMemAddr, OBitVector, Opn, PoError, PoResult,
+    Counter, CrashStage, FaultInjector, FaultSite, LineData, MainMemAddr, OBitVector, Opn, PoError,
+    PoResult,
 };
 use std::collections::HashMap;
 
@@ -115,6 +116,10 @@ pub struct OverlayManager {
     resident: HashMap<(Opn, usize), LineData>,
     stats: OverlayStats,
     faults: FaultInjector,
+    /// Deliberately-injected bug for the refinement-oracle canary
+    /// (DESIGN.md §13): when armed, the next overlay destroy skips its
+    /// OMS free, orphaning the segment. Never serialized.
+    inject_oms_leak: bool,
     /// Telemetry handle (never serialized; the machine re-installs it
     /// after a snapshot restore).
     sink: TelemetrySink,
@@ -139,8 +144,17 @@ impl OverlayManager {
             resident: HashMap::new(),
             stats: OverlayStats::default(),
             faults: FaultInjector::none(),
+            inject_oms_leak: false,
             sink: TelemetrySink::noop(),
         }
+    }
+
+    /// Arms the canary bug: the next destroy with a live segment skips
+    /// its OMS free (one-shot). Exists so the refinement oracle can be
+    /// shown to catch a real accounting bug; never set in production
+    /// paths.
+    pub fn set_inject_oms_leak(&mut self, armed: bool) {
+        self.inject_oms_leak = armed;
     }
 
     /// Installs a fault injector, shared with the OMS.
@@ -520,7 +534,18 @@ impl OverlayManager {
     fn destroy(&mut self, opn: Opn) -> PoResult<()> {
         if let Some(entry) = self.omt.remove(opn) {
             if let Some(seg) = entry.segment {
-                self.store.free(seg.base, seg.class)?;
+                // The OMT entry is gone but the segment is still
+                // allocated: the OMT-write→OMS-free window the DST
+                // harness crashes inside (the segment is orphaned until
+                // recovery replays the op).
+                if self.faults.fire_crash(CrashStage::OmtFreeWindow) {
+                    return Err(PoError::Crashed(CrashStage::OmtFreeWindow));
+                }
+                if self.inject_oms_leak {
+                    self.inject_oms_leak = false;
+                } else {
+                    self.store.free(seg.base, seg.class)?;
+                }
             }
         }
         self.resident.retain(|(o, _), _| *o != opn);
@@ -794,6 +819,7 @@ impl OverlayManager {
             resident,
             stats,
             faults: FaultInjector::none(),
+            inject_oms_leak: false,
             sink: TelemetrySink::noop(),
         })
     }

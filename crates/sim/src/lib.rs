@@ -58,6 +58,7 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 pub mod sim_test;
+pub mod spec_mirror;
 pub mod stats;
 pub mod trace;
 pub mod trace_io;
@@ -73,9 +74,11 @@ pub use scenario::{
     ForkExperimentResult, PeriodicCheckpointResult,
 };
 pub use sim_test::{
-    generate_ops, run_crash_convergence, run_ops, run_ops_traced, shrink_ops, shrink_ops_filtered,
-    SimHarness, FAILURE_EVENT_TAIL, MAX_MAP_PAGES, MAX_VPN_SPAN, VPN_BASE,
+    generate_ops, run_crash_convergence, run_crash_convergence_staged, run_ops, run_ops_traced,
+    shrink_ops, shrink_ops_filtered, SimHarness, FAILURE_EVENT_TAIL, MAX_MAP_PAGES, MAX_VPN_SPAN,
+    VPN_BASE,
 };
+pub use spec_mirror::SpecMirror;
 pub use stats::SimStats;
 pub use trace::{run_trace, Trace, TraceOp};
 pub use trace_io::{read_trace, write_trace, write_trace_with_seed, TraceIoError};

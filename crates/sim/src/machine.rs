@@ -19,8 +19,8 @@ use po_tlb::{Tlb, TlbEntry};
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 use po_types::snapshot::{fingerprint64, SnapshotReader, SnapshotWriter};
 use po_types::{
-    AccessKind, Asid, Cycle, FaultInjector, FaultPlan, FaultSite, MainMemAddr, OBitVector, Opn,
-    PhysAddr, PoError, PoResult, VirtAddr, Vpn,
+    AccessKind, Asid, CrashStage, Cycle, FaultInjector, FaultPlan, FaultSite, MainMemAddr,
+    OBitVector, Opn, PhysAddr, PoError, PoResult, VirtAddr, Vpn,
 };
 use po_vm::OsModel;
 use po_vm::WriteOutcome;
@@ -69,7 +69,7 @@ const MAX_ALLOC_ATTEMPTS: usize = 8;
 /// `"POSN"` — leading bytes of every machine snapshot.
 const SNAPSHOT_MAGIC: u32 = 0x504F_534E;
 /// Bumped whenever the snapshot byte layout changes (DESIGN.md §8).
-const SNAPSHOT_VERSION: u32 = 1;
+const SNAPSHOT_VERSION: u32 = 2;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -314,6 +314,9 @@ impl Machine {
         // Obtain a private writable frame (copies the shared page if
         // refcount > 1); then merge the overlay on top of it.
         self.prepare_write_retrying(asid, vpn.base())?;
+        // The page is privatized but the overlay not yet merged: the
+        // commit/reclaim window the DST harness crashes inside.
+        self.interior_crash(CrashStage::MidReclaim)?;
         let pte = self.os.translate(asid, vpn.base())?;
         let frame = MainMemAddr::new(pte.ppn.base().raw());
         self.overlay.commit(opn, frame, &mut self.mem)?;
@@ -446,6 +449,7 @@ impl Machine {
             if self.os.prepare_write(asid, vpn.base(), &mut self.mem).is_err() {
                 continue;
             }
+            self.interior_crash(CrashStage::MidReclaim)?;
             let pte = self.os.translate(asid, vpn.base())?;
             let frame = MainMemAddr::new(pte.ppn.base().raw());
             freed += self.overlay.collapse_overlay(opn, frame, &mut self.mem)?;
@@ -607,7 +611,18 @@ impl Machine {
     /// deterministic-simulation harness) abandons the machine and
     /// restores the last snapshot.
     pub fn poll_crash_point(&mut self) -> bool {
-        self.faults.fire(FaultSite::CrashPoint)
+        self.faults.fire_crash(CrashStage::OpBoundary)
+    }
+
+    /// Polls an *interior* crash stage (§DESIGN.md §13): a fault plan
+    /// armed at `stage` can lose power in the middle of a multi-step
+    /// transition. Returns [`PoError::Crashed`] when the scheduled crash
+    /// fires; polls at other stages are invisible to the plan.
+    fn interior_crash(&self, stage: CrashStage) -> PoResult<()> {
+        if self.faults.fire_crash(stage) {
+            return Err(PoError::Crashed(stage));
+        }
+        Ok(())
     }
 
     /// Disarms one fault site across every layer sharing the injector —
@@ -615,6 +630,13 @@ impl Machine {
     /// crash at the same op again.
     pub fn clear_fault_trigger(&mut self, site: FaultSite) {
         self.faults.clear_trigger(site);
+    }
+
+    /// Arms the deliberately-injected canary bug (skip exactly one OMS
+    /// free on the next overlay destroy) used to prove the refinement
+    /// oracle catches real accounting bugs. Test-only by intent.
+    pub fn set_inject_oms_leak(&mut self, armed: bool) {
+        self.overlay.set_inject_oms_leak(armed);
     }
 
     /// Commits `vpn`'s overlay into a private physical frame (§4.3.4
@@ -1072,6 +1094,9 @@ impl Machine {
         // The page must become private: reuse the CoW machinery to get a
         // fresh writable frame, then merge the overlay into it.
         let outcome = self.prepare_write_retrying(asid, vpn.base())?;
+        // Privatized (page table updated) but the overlay still live:
+        // the §4.3.4 promotion window the DST harness crashes inside.
+        self.interior_crash(CrashStage::MidPromotion)?;
         let new_ppn = outcome.new_ppn.unwrap_or(old_ppn);
         let src = MainMemAddr::new(old_ppn.base().raw());
         let dst = MainMemAddr::new(new_ppn.base().raw());

@@ -26,11 +26,13 @@ use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::oracle::DiffOracle;
 use crate::runner::drive_ops;
+use crate::spec_mirror::SpecMirror;
 use crate::trace::TraceOp;
 use crate::trace_io::{read_trace, write_trace};
+use po_spec::{SpecOp, SpecOutcome};
 use po_telemetry::TelemetrySink;
 use po_types::geometry::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
-use po_types::{Asid, FaultPlan, FaultSite, LineData, Opn, PoError, VirtAddr, Vpn};
+use po_types::{Asid, CrashStage, FaultPlan, FaultSite, LineData, Opn, PoError, VirtAddr, Vpn};
 
 /// Journal/span ring capacity the traced harness entry points install:
 /// enough context to see what led up to a divergence, small enough to
@@ -76,6 +78,30 @@ enum Route {
     Delta,
 }
 
+/// How [`SimHarness::apply_inner`] stopped short of a clean op: a
+/// scheduled interior crash (normal under the crash-convergence
+/// runners, a finding everywhere else), or a genuine failure.
+enum Interrupt {
+    Crash(CrashStage),
+    Fail(String),
+}
+
+impl From<String> for Interrupt {
+    fn from(e: String) -> Self {
+        Interrupt::Fail(e)
+    }
+}
+
+/// Classifies a hard machine error: a simulated power loss becomes
+/// [`Interrupt::Crash`] (the site-specific message is dropped — the
+/// stage says everything), anything else keeps its description.
+fn interrupt(e: &PoError, msg: String) -> Interrupt {
+    match e {
+        PoError::Crashed(stage) => Interrupt::Crash(*stage),
+        _ => Interrupt::Fail(msg),
+    }
+}
+
 /// The differential harness: a [`Machine`] and its [`DiffOracle`] in
 /// lockstep, plus the live process list that `proc_sel` selectors
 /// resolve against.
@@ -86,10 +112,16 @@ pub struct SimHarness {
     pub oracle: DiffOracle,
     /// Live processes in spawn order.
     pub procs: Vec<Asid>,
+    /// The executable spec stepped in lockstep; refinement is asserted
+    /// against it after every clean op (DESIGN.md §13).
+    pub spec: SpecMirror,
     /// Test-only deliberate bug: a `Poke` of `0x42` writes `0x43` into
     /// the machine (the oracle keeps `0x42`) — used to prove the fuzzer
     /// detects and shrinks real divergence.
     pub inject_bug: bool,
+    /// Set when the last op was cut short by a scheduled interior crash;
+    /// consumed by [`SimHarness::take_crashed`].
+    crashed: Option<CrashStage>,
 }
 
 impl SimHarness {
@@ -99,11 +131,14 @@ impl SimHarness {
     ///
     /// Propagates machine construction failures.
     pub fn new(config: SystemConfig) -> po_types::PoResult<Self> {
+        let spec = SpecMirror::new(&config);
         Ok(Self {
             machine: Machine::new(config)?,
             oracle: DiffOracle::new(),
             procs: Vec::new(),
+            spec,
             inject_bug: false,
+            crashed: None,
         })
     }
 
@@ -139,19 +174,98 @@ impl SimHarness {
         }
     }
 
-    /// Applies one op to the machine and the oracle, then re-syncs
-    /// committed overlays and checks machine invariants.
+    /// Applies one op to the machine, the oracle, and the spec mirror,
+    /// then re-syncs committed overlays, asserts refinement against the
+    /// spec, and checks machine invariants.
+    ///
+    /// A scheduled interior crash is **not** an error here: the op stops
+    /// mid-transition, [`SimHarness::take_crashed`] reports the stage,
+    /// and the post-op checks are skipped (the machine is deliberately
+    /// half-way through a transition — the crash-convergence runner
+    /// judges it with [`SimHarness::check_interior_crash`] instead).
     ///
     /// # Errors
     ///
-    /// `Err` means **divergence or an unexpected machine failure** — a
-    /// genuine finding, not a benign skip.
+    /// `Err` means **divergence, a refinement violation, or an
+    /// unexpected machine failure** — a genuine finding, not a benign
+    /// skip.
     pub fn apply(&mut self, op: &TraceOp) -> Result<(), String> {
-        self.apply_inner(op)?;
+        match self.apply_inner(op) {
+            Ok(()) => {}
+            Err(Interrupt::Crash(stage)) => {
+                self.crashed = Some(stage);
+                return Ok(());
+            }
+            Err(Interrupt::Fail(e)) => return Err(e),
+        }
         self.sync_committed();
+        // Refinement runs before the machine's own invariant sweep so a
+        // semantic bug is attributed to the spec oracle even when it
+        // also corrupts an internal accounting invariant.
+        self.spec.reconcile(&self.machine);
+        self.spec
+            .check_refinement(&self.machine, &self.procs)
+            .map_err(|e| format!("spec refinement violated after {op:?}: {e}"))?;
         self.machine
             .verify_invariants()
             .map_err(|e| format!("invariant violated after {op:?}: {e:?}"))
+    }
+
+    /// The stage of the interior crash that cut the last op short, if
+    /// any. Consuming: the flag resets so the next op starts clean.
+    pub fn take_crashed(&mut self) -> Option<CrashStage> {
+        self.crashed.take()
+    }
+
+    /// The spec op mirroring `op`'s target, for interior-crash
+    /// legality. `None` when the op has no single target page (timed
+    /// reads, flush, reclaim) or resolves to no process.
+    fn interior_spec_op(&self, op: &TraceOp) -> Option<SpecOp> {
+        match *op {
+            TraceOp::Store(va) => {
+                let pid = self.spec.pid_of(self.procs.first().copied()?)?;
+                Some(SpecOp::Write {
+                    pid,
+                    vpn: va.vpn().raw(),
+                    line: va.line_in_page(),
+                    timed: true,
+                })
+            }
+            TraceOp::Fork { proc_sel } => {
+                let pid = self.spec.pid_of(self.resolve(proc_sel)?)?;
+                Some(SpecOp::Fork { parent: pid })
+            }
+            TraceOp::SeedLine { proc_sel, vpn, line, .. } => {
+                let pid = self.spec.pid_of(self.resolve(proc_sel)?)?;
+                Some(SpecOp::SeedLine {
+                    pid,
+                    vpn: clamp_vpn(vpn).raw(),
+                    line: line as usize % LINES_PER_PAGE,
+                })
+            }
+            TraceOp::CommitPage { proc_sel, vpn } => {
+                let pid = self.spec.pid_of(self.resolve(proc_sel)?)?;
+                Some(SpecOp::Commit { pid, vpn: clamp_vpn(vpn).raw() })
+            }
+            TraceOp::DiscardPage { proc_sel, vpn } => {
+                let pid = self.spec.pid_of(self.resolve(proc_sel)?)?;
+                Some(SpecOp::Discard { pid, vpn: clamp_vpn(vpn).raw() })
+            }
+            _ => None,
+        }
+    }
+
+    /// After an interior crash inside `op`: asserts the machine froze in
+    /// a state the spec's [`po_spec::SpecState::admits_interior`]
+    /// membership test accepts.
+    ///
+    /// # Errors
+    ///
+    /// The machine is in a mid-transition state the spec declares
+    /// unreachable.
+    pub fn check_interior_crash(&self, op: &TraceOp) -> Result<(), String> {
+        let spec_op = self.interior_spec_op(op);
+        self.spec.check_interior(&self.machine, &self.procs, spec_op.as_ref())
     }
 
     /// Oracle-side bookkeeping for commits the harness did not issue
@@ -190,24 +304,43 @@ impl SimHarness {
         }
     }
 
-    fn apply_inner(&mut self, op: &TraceOp) -> Result<(), String> {
+    fn apply_inner(&mut self, op: &TraceOp) -> Result<(), Interrupt> {
         match *op {
             TraceOp::Compute(_) | TraceOp::Load(_) | TraceOp::Store(_) => {
                 let Some(asid) = self.procs.first().copied() else { return Ok(()) };
                 match self.machine.execute(asid, op) {
-                    Ok(()) => Ok(()),
-                    Err(e) if benign(&e) => Ok(()),
-                    Err(e) => Err(format!("timed op {op:?} failed: {e:?}")),
+                    Ok(()) => {
+                        if let TraceOp::Store(va) = *op {
+                            // `timed: false`: whether a store promotes
+                            // depends on the issuing core's TLB copy of
+                            // the OBitVector (which can lag the OMT), so
+                            // the mirror never predicts promotion — the
+                            // reconcile sweep mirrors whichever overlays
+                            // the machine actually collapsed.
+                            self.spec.on_write(asid, va, false).map_err(Interrupt::Fail)?;
+                        }
+                        Ok(())
+                    }
+                    Err(e) if benign(&e) => {
+                        if let TraceOp::Store(va) = *op {
+                            // The overlay write may have landed before
+                            // the failure; believe the OBitVector.
+                            self.spec.repair_line(&self.machine, asid, va);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(interrupt(&e, format!("timed op {op:?} failed: {e:?}"))),
                 }
             }
             TraceOp::Spawn => match self.machine.spawn_process() {
                 Ok(asid) => {
                     self.procs.push(asid);
                     self.oracle.spawn(asid);
+                    self.spec.on_spawn(asid);
                     Ok(())
                 }
                 Err(e) if benign(&e) => Ok(()),
-                Err(e) => Err(format!("spawn failed: {e:?}")),
+                Err(e) => Err(interrupt(&e, format!("spawn failed: {e:?}"))),
             },
             TraceOp::Map { proc_sel, start, count } => {
                 let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
@@ -220,9 +353,17 @@ impl SimHarness {
                         continue;
                     }
                     match self.machine.map_range(asid, vpn, 1) {
-                        Ok(()) => self.oracle.note_mapped(asid, vpn),
+                        Ok(()) => {
+                            self.oracle.note_mapped(asid, vpn);
+                            self.spec.on_map(asid, vpn).map_err(Interrupt::Fail)?;
+                        }
                         Err(e) if benign(&e) => {}
-                        Err(e) => return Err(format!("map of vpn {:#x} failed: {e:?}", vpn.raw())),
+                        Err(e) => {
+                            return Err(interrupt(
+                                &e,
+                                format!("map of vpn {:#x} failed: {e:?}", vpn.raw()),
+                            ))
+                        }
                     }
                 }
                 Ok(())
@@ -236,12 +377,15 @@ impl SimHarness {
                         self.oracle.merge_all_deltas(parent);
                         self.oracle.clone_process(parent, child);
                         self.procs.push(child);
+                        self.spec.on_fork(parent, child).map_err(Interrupt::Fail)?;
                         Ok(())
                     }
                     // A fork that dies mid-materialize leaves some parent
                     // overlays committed; sync_committed picks those up.
                     Err(e) if benign(&e) => Ok(()),
-                    Err(e) => Err(format!("fork of asid {} failed: {e:?}", parent.raw())),
+                    Err(e) => {
+                        Err(interrupt(&e, format!("fork of asid {} failed: {e:?}", parent.raw())))
+                    }
                 }
             }
             TraceOp::Poke { proc_sel, va, value } => {
@@ -249,13 +393,13 @@ impl SimHarness {
                 let va = clamp_va(va);
                 let route = self.route_of(asid, va);
                 if (route != Route::Unmapped) != self.oracle.is_mapped(asid, va.vpn()) {
-                    return Err(format!(
+                    return Err(Interrupt::Fail(format!(
                         "mapping disagreement at asid {} va {:#x}: machine {}, oracle {}",
                         asid.raw(),
                         va.raw(),
                         if route == Route::Unmapped { "unmapped" } else { "mapped" },
                         if self.oracle.is_mapped(asid, va.vpn()) { "mapped" } else { "unmapped" },
-                    ));
+                    )));
                 }
                 let wire = if self.inject_bug && value == 0x42 { value ^ 1 } else { value };
                 match self.machine.poke(asid, va, wire) {
@@ -264,24 +408,39 @@ impl SimHarness {
                             Route::Delta => self.oracle.write_delta(asid, va, value),
                             Route::Base => self.oracle.write_base(asid, va, value),
                             Route::Unmapped => {
-                                return Err(format!(
+                                return Err(Interrupt::Fail(format!(
                                     "poke at va {:#x} succeeded on a page the translation probe \
                                      called unmapped",
                                     va.raw()
-                                ))
+                                )))
                             }
+                        }
+                        let out = self.spec.on_write(asid, va, false).map_err(Interrupt::Fail)?;
+                        let spec_delta =
+                            matches!(out, SpecOutcome::Wrote { overlay_route: true, .. });
+                        if (route == Route::Delta) != spec_delta {
+                            return Err(Interrupt::Fail(format!(
+                                "spec refinement violated: write route disagreement at asid {} \
+                                 va {:#x}: machine routed to the {}, spec to the {}",
+                                asid.raw(),
+                                va.raw(),
+                                if route == Route::Delta { "overlay" } else { "base page" },
+                                if spec_delta { "overlay" } else { "base page" },
+                            )));
                         }
                         Ok(())
                     }
                     Err(PoError::Unmapped(_)) if route == Route::Unmapped => Ok(()),
                     // Frame exhaustion during the CoW copy: no byte lands.
                     Err(e) if benign(&e) => Ok(()),
-                    Err(e) => Err(format!("poke at va {:#x} failed: {e:?}", va.raw())),
+                    Err(e) => {
+                        Err(interrupt(&e, format!("poke at va {:#x} failed: {e:?}", va.raw())))
+                    }
                 }
             }
             TraceOp::Peek { proc_sel, va } => {
                 let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
-                self.check_byte(asid, clamp_va(va))
+                self.check_byte(asid, clamp_va(va)).map_err(Interrupt::Fail)
             }
             TraceOp::SeedLine { proc_sel, vpn, line, value } => {
                 let Some(asid) = self.resolve(proc_sel) else { return Ok(()) };
@@ -306,6 +465,7 @@ impl SimHarness {
                 match self.machine.seed_overlay_line(asid, vpn, line, LineData::splat(value)) {
                     Ok(()) => {
                         self.oracle.write_delta_line(asid, vpn, line, value);
+                        self.spec.on_seed(asid, vpn, line);
                         Ok(())
                     }
                     Err(e) if benign(&e) => {
@@ -313,12 +473,14 @@ impl SimHarness {
                         // the OMS eviction failed; believe the OBitVector.
                         if in_overlay(&self.machine) {
                             self.oracle.write_delta_line(asid, vpn, line, value);
+                            self.spec.on_seed(asid, vpn, line);
                         }
                         Ok(())
                     }
-                    Err(e) => {
-                        Err(format!("seed of vpn {:#x} line {line} failed: {e:?}", vpn.raw()))
-                    }
+                    Err(e) => Err(interrupt(
+                        &e,
+                        format!("seed of vpn {:#x} line {line} failed: {e:?}", vpn.raw()),
+                    )),
                 }
             }
             TraceOp::CommitPage { proc_sel, vpn } => {
@@ -330,10 +492,13 @@ impl SimHarness {
                     // (the delta is committed either way).
                     Ok(()) | Err(PoError::NoOverlay(_)) => {
                         self.oracle.merge_delta(asid, vpn);
+                        self.spec.on_commit(asid, vpn);
                         Ok(())
                     }
                     Err(e) if benign(&e) => Ok(()),
-                    Err(e) => Err(format!("commit of vpn {:#x} failed: {e:?}", vpn.raw())),
+                    Err(e) => {
+                        Err(interrupt(&e, format!("commit of vpn {:#x} failed: {e:?}", vpn.raw())))
+                    }
                 }
             }
             TraceOp::DiscardPage { proc_sel, vpn } => {
@@ -344,6 +509,7 @@ impl SimHarness {
                     Ok(()) => {
                         if had {
                             self.oracle.drop_delta(asid, vpn);
+                            self.spec.on_discard(asid, vpn);
                         }
                         Ok(())
                     }
@@ -351,18 +517,24 @@ impl SimHarness {
                     // machine collapsed it — sync merges any stale delta).
                     Err(PoError::NoOverlay(_)) => Ok(()),
                     Err(e) if benign(&e) => Ok(()),
-                    Err(e) => Err(format!("discard of vpn {:#x} failed: {e:?}", vpn.raw())),
+                    Err(e) => {
+                        Err(interrupt(&e, format!("discard of vpn {:#x} failed: {e:?}", vpn.raw())))
+                    }
                 }
             }
+            // Flush spills dirty overlay lines into the OMS (no
+            // functional change the spec tracks); reclaim collapses
+            // overlays wholesale — the spec mirrors whatever vanished
+            // through the reconcile sweep (force-commit).
             TraceOp::Flush => match self.machine.flush_overlays() {
                 Ok(()) => Ok(()),
                 Err(e) if benign(&e) => Ok(()),
-                Err(e) => Err(format!("flush failed: {e:?}")),
+                Err(e) => Err(interrupt(&e, format!("flush failed: {e:?}"))),
             },
             TraceOp::Reclaim => match self.machine.recover_overlay_memory(None) {
                 Ok(_) => Ok(()),
                 Err(e) if benign(&e) => Ok(()),
-                Err(e) => Err(format!("reclaim failed: {e:?}")),
+                Err(e) => Err(interrupt(&e, format!("reclaim failed: {e:?}"))),
             },
         }
     }
@@ -507,8 +679,20 @@ pub fn run_ops(
     }
     .map_err(|e| format!("machine construction failed: {e:?}"))?;
     h.inject_bug = inject_bug;
-    drive_ops(&mut h, ops, 0, "", |_, _| {}, |_, _| Ok(false))?;
+    drive_ops(&mut h, ops, 0, "", |_, _| {}, crash_is_finding)?;
     h.check_all()
+}
+
+/// After-callback for runners that do not model recovery: a scheduled
+/// interior crash has no restore path here, so it is a hard error.
+fn crash_is_finding(h: &mut SimHarness, _i: usize) -> Result<bool, String> {
+    match h.take_crashed() {
+        Some(stage) => Err(format!(
+            "interior crash ({}) fired outside a crash-convergence runner",
+            stage.name()
+        )),
+        None => Ok(false),
+    }
 }
 
 /// [`run_ops`] with telemetry armed: on divergence the error comes back
@@ -534,7 +718,7 @@ pub fn run_ops_traced(
     .map_err(|e| (format!("machine construction failed: {e:?}"), String::new()))?;
     h.enable_telemetry(FAILURE_EVENT_TAIL);
     h.inject_bug = inject_bug;
-    drive_ops(&mut h, ops, 0, "", |_, _| {}, |_, _| Ok(false))
+    drive_ops(&mut h, ops, 0, "", |_, _| {}, crash_is_finding)
         .map(|_| ())
         .and_then(|()| h.check_all())
         .map_err(|e| (e, h.telemetry_tail(FAILURE_EVENT_TAIL)))
@@ -570,9 +754,47 @@ pub fn run_crash_convergence(
     crash_at: u64,
     snapshot_every: usize,
 ) -> Result<bool, String> {
+    run_crash_convergence_staged(
+        config,
+        ops,
+        base_plan,
+        crash_at,
+        snapshot_every,
+        CrashStage::OpBoundary,
+    )
+}
+
+/// [`run_crash_convergence`] with the crash armed at an arbitrary
+/// [`CrashStage`]: `OpBoundary` reproduces the classic between-ops
+/// crash; the interior stages (`MidPromotion`, `MidReclaim`,
+/// `OmtFreeWindow`) fire *inside* a multi-step transition, leaving the
+/// machine half-way through. On an interior crash the runner first asks
+/// the spec whether the frozen state is a legal mid-transition state
+/// ([`SimHarness::check_interior_crash`]), then restores and replays as
+/// usual — recovery must converge byte-identically with the golden run
+/// no matter where inside a transition the power was cut.
+///
+/// Returns whether the crash actually fired.
+///
+/// # Errors
+///
+/// Divergence, a spec-illegal interior state, replay corruption, or an
+/// unexpected machine failure.
+pub fn run_crash_convergence_staged(
+    config: &SystemConfig,
+    ops: &[TraceOp],
+    base_plan: &FaultPlan,
+    crash_at: u64,
+    snapshot_every: usize,
+    stage: CrashStage,
+) -> Result<bool, String> {
     let every = snapshot_every.max(1);
-    let golden_plan = base_plan.clone().at_queries(FaultSite::CrashPoint, []);
-    let crashy_plan = base_plan.clone().at_queries(FaultSite::CrashPoint, [crash_at]);
+    // Both plans carry the stage so the two runs' fault-injector
+    // snapshots stay byte-identical; only the scheduled query differs.
+    let golden_plan =
+        base_plan.clone().at_queries(FaultSite::CrashPoint, []).with_crash_stage(stage);
+    let crashy_plan =
+        base_plan.clone().at_queries(FaultSite::CrashPoint, [crash_at]).with_crash_stage(stage);
 
     // Golden run.
     let mut golden = SimHarness::with_fault_plan(config.clone(), golden_plan)
@@ -584,7 +806,7 @@ pub fn run_crash_convergence(
         "golden ",
         |_, _| {},
         |h, _| {
-            if h.machine.poll_crash_point() {
+            if h.take_crashed().is_some() || h.machine.poll_crash_point() {
                 Err("crash point fired in the golden run".into())
             } else {
                 Ok(false)
@@ -599,7 +821,16 @@ pub fn run_crash_convergence(
     let mut h = SimHarness::with_fault_plan(config.clone(), crashy_plan)
         .map_err(|e| format!("machine construction failed: {e:?}"))?;
     h.enable_telemetry(FAILURE_EVENT_TAIL);
-    let mut saved: Option<(Vec<u8>, DiffOracle, Vec<Asid>, usize)> = None;
+    // Recovery state captured at a snapshot boundary: the machine image
+    // plus the harness-side mirrors that must rewind with it.
+    struct Saved {
+        bytes: Vec<u8>,
+        oracle: DiffOracle,
+        spec: SpecMirror,
+        procs: Vec<Asid>,
+        from: usize,
+    }
+    let mut saved: Option<Saved> = None;
     let crashed_at = drive_ops(
         &mut h,
         ops,
@@ -607,20 +838,42 @@ pub fn run_crash_convergence(
         "crashy ",
         |h, i| {
             if i % every == 0 {
-                saved = Some((h.machine.save_snapshot(), h.oracle.clone(), h.procs.clone(), i));
+                saved = Some(Saved {
+                    bytes: h.machine.save_snapshot(),
+                    oracle: h.oracle.clone(),
+                    spec: h.spec.clone(),
+                    procs: h.procs.clone(),
+                    from: i,
+                });
             }
         },
-        |h, _| Ok(h.machine.poll_crash_point()),
+        |h, i| {
+            if let Some(stage) = h.take_crashed() {
+                // The machine froze mid-transition: the spec decides
+                // whether this interior state is legal before recovery
+                // wipes it.
+                h.check_interior_crash(&ops[i]).map_err(|e| {
+                    format!(
+                        "spec-illegal interior state after {} crash inside op {i} ({:?}): {e}",
+                        stage.name(),
+                        ops[i]
+                    )
+                })?;
+                return Ok(true);
+            }
+            Ok(h.machine.poll_crash_point())
+        },
     )?;
     let crashed = crashed_at.is_some();
     if let Some(i) = crashed_at {
-        let (bytes, oracle, procs, from) =
+        let Saved { bytes, oracle, spec, procs, from } =
             saved.take().ok_or("crash fired before the first snapshot")?;
         h.machine
             .restore_snapshot(&bytes)
             .map_err(|e| format!("restore after crash at op {i} failed: {e:?}"))?;
         h.machine.clear_fault_trigger(FaultSite::CrashPoint);
         h.oracle = oracle;
+        h.spec = spec;
         h.procs = procs;
         // The journal is the op suffix since the snapshot; round-trip
         // it through the trace format, as a real recovery would.
@@ -638,7 +891,7 @@ pub fn run_crash_convergence(
             "replay ",
             |_, _| {},
             |h, _| {
-                if h.machine.poll_crash_point() {
+                if h.take_crashed().is_some() || h.machine.poll_crash_point() {
                     Err("crash point re-fired during replay".into())
                 } else {
                     Ok(false)
@@ -771,6 +1024,25 @@ mod tests {
             .with_probability(FaultSite::OmsGrowRefused, 0.05);
         let crashed = run_crash_convergence(&config, &ops, &plan, 40, 8).unwrap();
         assert!(crashed);
+    }
+
+    #[test]
+    fn crash_convergence_at_interior_stages() {
+        // A low promotion threshold makes MidPromotion reachable on a
+        // short stream; the other interior stages ride the same ops.
+        let config = SystemConfig { promote_threshold: 4, ..SystemConfig::table2_overlay() };
+        let ops = generate_ops(17, 150);
+        let plan = FaultPlan::new(0xBEEF);
+        let mut fired = 0;
+        for stage in CrashStage::INTERIOR {
+            for crash_at in [0, 1, 2] {
+                if run_crash_convergence_staged(&config, &ops, &plan, crash_at, 16, stage).unwrap()
+                {
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "no interior stage fired on this stream");
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! The refinement oracle: po-spec stepped in lockstep with the
+//! [`Machine`] (DESIGN.md §13).
+//!
+//! [`SpecMirror`] owns a [`SpecState`] plus the `pid ↔ Asid` mapping,
+//! and exposes:
+//!
+//! * per-op stepping hooks the harness calls exactly where it does its
+//!   byte-oracle bookkeeping (`on_spawn`, `on_map`, `on_write`, …);
+//! * [`SpecMirror::reconcile`] — the observation-guided sweep mirroring
+//!   the machine's autonomous commits (promotions and pressure
+//!   collapses happen deep inside the timed path, invisible to the op
+//!   stream; an overlay the machine no longer has is force-committed in
+//!   the spec);
+//! * [`SpecMirror::check_refinement`] — the abstraction function α over
+//!   the machine (page tables, flags, OBitVectors, sharing partition,
+//!   OMS bytes) compared field-by-field against the spec after every
+//!   transition;
+//! * [`SpecMirror::check_interior`] — after an interior crash, α of the
+//!   half-finished machine must be a state
+//!   [`SpecState::admits_interior`] accepts.
+//!
+//! The mirror lives entirely outside the timed path: it steps on
+//! functional outcomes only and never feeds back into the machine, so
+//! timing baselines are unaffected.
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use po_spec::{SpecOp, SpecOutcome, SpecPage, SpecParams, SpecState, MAX_SEGMENT_BYTES};
+use po_types::{Asid, Opn, VirtAddr, Vpn};
+
+/// The spec half of the lockstep pair. Cheap to clone (snapshotted by
+/// the crash-convergence runner alongside the byte oracle).
+#[derive(Clone, Debug)]
+pub struct SpecMirror {
+    spec: SpecState,
+    /// `asids[pid]` is the machine process the spec's `pid` mirrors.
+    asids: Vec<Asid>,
+}
+
+impl SpecMirror {
+    /// A mirror for a machine built from `config`, with no processes.
+    pub fn new(config: &SystemConfig) -> Self {
+        let params = SpecParams {
+            overlay_mode: config.overlay_mode,
+            promote_threshold: config.promote_threshold,
+            min_seg_bytes: config.overlay.min_segment_class.bytes() as u64,
+        };
+        Self { spec: SpecState::new(params), asids: Vec::new() }
+    }
+
+    /// The current abstract state.
+    pub fn state(&self) -> &SpecState {
+        &self.spec
+    }
+
+    /// The spec process index mirroring `asid`.
+    pub fn pid_of(&self, asid: Asid) -> Option<usize> {
+        self.asids.iter().position(|&a| a == asid)
+    }
+
+    fn pid(&self, asid: Asid) -> Result<usize, String> {
+        self.pid_of(asid)
+            .ok_or_else(|| format!("asid {} is unknown to the spec mirror", asid.raw()))
+    }
+
+    /// A process was spawned.
+    pub fn on_spawn(&mut self, asid: Asid) {
+        self.spec.step(SpecOp::Spawn);
+        self.asids.push(asid);
+    }
+
+    /// One page was mapped.
+    ///
+    /// # Errors
+    ///
+    /// The spec considers the map illegal — a refinement finding.
+    pub fn on_map(&mut self, asid: Asid, vpn: Vpn) -> Result<(), String> {
+        let pid = self.pid(asid)?;
+        match self.spec.step(SpecOp::Map { pid, vpn: vpn.raw() }) {
+            SpecOutcome::Illegal(why) => Err(format!("spec rejects map of {vpn:?}: {why}")),
+            _ => Ok(()),
+        }
+    }
+
+    /// `parent` forked into `child`.
+    ///
+    /// # Errors
+    ///
+    /// The spec considers the fork illegal — a refinement finding.
+    pub fn on_fork(&mut self, parent: Asid, child: Asid) -> Result<(), String> {
+        let pid = self.pid(parent)?;
+        match self.spec.step(SpecOp::Fork { parent: pid }) {
+            SpecOutcome::Illegal(why) => {
+                Err(format!("spec rejects fork of asid {}: {why}", parent.raw()))
+            }
+            _ => {
+                self.asids.push(child);
+                Ok(())
+            }
+        }
+    }
+
+    /// A write landed (functionally succeeded) at `va`. Returns the
+    /// route the spec predicts so the harness can compare it with the
+    /// machine's.
+    ///
+    /// # Errors
+    ///
+    /// The spec considers the write illegal — a refinement finding.
+    pub fn on_write(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        timed: bool,
+    ) -> Result<SpecOutcome, String> {
+        let pid = self.pid(asid)?;
+        let op = SpecOp::Write { pid, vpn: va.vpn().raw(), line: va.line_in_page(), timed };
+        match self.spec.step(op) {
+            SpecOutcome::Illegal(why) => Err(format!(
+                "spec rejects a write the machine performed at asid {} va {:#x}: {why}",
+                asid.raw(),
+                va.raw()
+            )),
+            out => Ok(out),
+        }
+    }
+
+    /// A line was force-seeded into the overlay of `(asid, vpn)`.
+    pub fn on_seed(&mut self, asid: Asid, vpn: Vpn, line: usize) {
+        if let Some(pid) = self.pid_of(asid) {
+            self.spec.step(SpecOp::SeedLine { pid, vpn: vpn.raw(), line });
+        }
+    }
+
+    /// The overlay of `(asid, vpn)` was committed (or found already
+    /// gone).
+    pub fn on_commit(&mut self, asid: Asid, vpn: Vpn) {
+        if let Some(pid) = self.pid_of(asid) {
+            self.spec.step(SpecOp::Commit { pid, vpn: vpn.raw() });
+        }
+    }
+
+    /// The overlay of `(asid, vpn)` was discarded.
+    pub fn on_discard(&mut self, asid: Asid, vpn: Vpn) {
+        if let Some(pid) = self.pid_of(asid) {
+            self.spec.step(SpecOp::Discard { pid, vpn: vpn.raw() });
+        }
+    }
+
+    /// After a *benign* write failure (resource exhaustion mid-op): the
+    /// overlay line may have landed before the failure. Believe the
+    /// machine's OBitVector for the one line the op targeted, exactly as
+    /// the byte oracle does.
+    pub fn repair_line(&mut self, machine: &Machine, asid: Asid, va: VirtAddr) {
+        let line = va.line_in_page();
+        let landed = machine
+            .overlay()
+            .obitvec(Opn::encode(asid, va.vpn()))
+            .map(|v| v.contains(line))
+            .unwrap_or(false);
+        if landed {
+            self.on_seed(asid, va.vpn(), line);
+        }
+    }
+
+    /// Observation-guided sweep: any spec overlay the machine no longer
+    /// holds was promoted or pressure-collapsed inside the op —
+    /// force-commit it (same privatise-then-merge semantics).
+    pub fn reconcile(&mut self, machine: &Machine) {
+        let vanished: Vec<(usize, u64)> = self
+            .spec
+            .pages()
+            .filter(|(_, p)| p.overlay != 0)
+            .map(|(&(pid, vpn), _)| (pid, vpn))
+            .filter(|&(pid, vpn)| {
+                !machine.overlay().has_overlay(Opn::encode(self.asids[pid], Vpn::new(vpn)))
+            })
+            .collect();
+        for (pid, vpn) in vanished {
+            self.spec.step(SpecOp::ForceCommit { pid, vpn });
+        }
+    }
+
+    /// The abstraction function α: the machine's functional state as a
+    /// [`SpecState`] (frame ids = raw PPNs; only the partition matters).
+    ///
+    /// # Errors
+    ///
+    /// A machine process the mirror tracks cannot be enumerated.
+    fn alpha(&self, machine: &Machine) -> Result<SpecState, String> {
+        let mut pages = Vec::new();
+        for (pid, &asid) in self.asids.iter().enumerate() {
+            let table = machine
+                .os()
+                .pages(asid)
+                .map_err(|e| format!("α: cannot enumerate asid {}: {e:?}", asid.raw()))?;
+            for (vpn, pte) in table {
+                let overlay =
+                    machine.overlay().obitvec(Opn::encode(asid, vpn)).map(|v| v.raw()).unwrap_or(0);
+                pages.push((
+                    (pid, vpn.raw()),
+                    SpecPage {
+                        frame: pte.ppn.raw(),
+                        writable: pte.flags.writable,
+                        cow: pte.flags.cow,
+                        enabled: pte.flags.overlay_enabled,
+                        overlay,
+                    },
+                ));
+            }
+        }
+        Ok(SpecState::observed(self.spec.params(), self.asids.len(), pages))
+    }
+
+    /// Refinement check: α(machine) must equal the spec state — same
+    /// processes, same mapped pages, same flags, same overlay sets, an
+    /// isomorphic sharing partition — and the machine's overlay store
+    /// must fit under the spec's segment-ladder bound.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn check_refinement(&self, machine: &Machine, procs: &[Asid]) -> Result<(), String> {
+        if procs != self.asids {
+            return Err("harness process list diverged from the spec mirror".into());
+        }
+        if self.spec.procs() != self.asids.len() {
+            return Err(format!(
+                "spec tracks {} processes, mirror {}",
+                self.spec.procs(),
+                self.asids.len()
+            ));
+        }
+        let observed = self.alpha(machine)?;
+        let spec_keys: Vec<(usize, u64)> = self.spec.pages().map(|(&k, _)| k).collect();
+        let obs_keys: Vec<(usize, u64)> = observed.pages().map(|(&k, _)| k).collect();
+        if spec_keys != obs_keys {
+            return Err(format!(
+                "mapped page sets differ: spec has {} pages, machine {}",
+                spec_keys.len(),
+                obs_keys.len()
+            ));
+        }
+        // Canonical representative of each sharing group: the first
+        // (pid, vpn) key using the frame, in BTreeMap order. The two
+        // partitions are isomorphic iff every page's representative
+        // matches.
+        let canon = |state: &SpecState| -> Vec<(usize, u64)> {
+            let mut first: std::collections::BTreeMap<u64, (usize, u64)> = Default::default();
+            state.pages().map(|(&k, p)| *first.entry(p.frame).or_insert(k)).collect()
+        };
+        let spec_canon = canon(&self.spec);
+        let obs_canon = canon(&observed);
+        for (i, (&key, (s, o))) in spec_keys
+            .iter()
+            .zip(self.spec.pages().map(|(_, p)| p).zip(observed.pages().map(|(_, p)| p)))
+            .enumerate()
+        {
+            if (s.writable, s.cow, s.enabled) != (o.writable, o.cow, o.enabled) {
+                return Err(format!(
+                    "flags diverge on page {key:?}: spec (writable={}, cow={}, enabled={}), \
+                     machine (writable={}, cow={}, enabled={})",
+                    s.writable, s.cow, s.enabled, o.writable, o.cow, o.enabled
+                ));
+            }
+            if s.overlay != o.overlay {
+                return Err(format!(
+                    "overlay line sets diverge on page {key:?}: spec {:#018x}, machine {:#018x}",
+                    s.overlay, o.overlay
+                ));
+            }
+            if spec_canon[i] != obs_canon[i] {
+                return Err(format!(
+                    "sharing partition diverges on page {key:?}: spec shares with {:?}, machine \
+                     with {:?}",
+                    spec_canon[i], obs_canon[i]
+                ));
+            }
+        }
+        // Every machine overlay must belong to a page the spec knows.
+        for (&opn, _) in machine.overlay().omt().iter() {
+            let (asid, vpn) = opn.decode();
+            let known = self
+                .pid_of(asid)
+                .map(|pid| self.spec.overlay_raw(pid, vpn.raw()) != 0)
+                .unwrap_or(false);
+            if !known {
+                return Err(format!(
+                    "machine holds an overlay for {opn:?} the spec does not know about"
+                ));
+            }
+        }
+        let bytes = machine.overlay().overlay_memory_bytes();
+        let bound = self.spec.oms_bound_bytes();
+        if bytes > bound {
+            return Err(format!(
+                "OMS holds {bytes} bytes, above the spec's segment-ladder bound of {bound}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// After an interior crash inside `op` (`None` = an op with no
+    /// single target page): α of the half-finished machine must be a
+    /// legal mid-transition state, and the OMS may exceed the bound by
+    /// at most one orphaned segment (the OMT-write→OMS-free window).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the state is illegal.
+    pub fn check_interior(
+        &self,
+        machine: &Machine,
+        procs: &[Asid],
+        op: Option<&SpecOp>,
+    ) -> Result<(), String> {
+        if procs != self.asids {
+            return Err("harness process list diverged from the spec mirror".into());
+        }
+        let observed = self.alpha(machine)?;
+        match op {
+            Some(op) => self.spec.admits_interior(&observed, op)?,
+            None => self.spec.admits_interior_untargeted(&observed)?,
+        }
+        let bytes = machine.overlay().overlay_memory_bytes();
+        let bound = observed.oms_bound_bytes() + MAX_SEGMENT_BYTES;
+        if bytes > bound {
+            return Err(format!(
+                "OMS holds {bytes} bytes mid-crash, above the bound {bound} (one orphan allowed)"
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared error types.
 
 use crate::addr::{Opn, PhysAddr, VirtAddr};
+use crate::fault::CrashStage;
 use core::fmt;
 
 /// Result alias with [`PoError`].
@@ -37,6 +38,10 @@ pub enum PoError {
     /// An invariant of a hardware structure was violated (bug guard;
     /// carries a human-readable description).
     Corrupted(&'static str),
+    /// The machine "lost power" at an interior crash stage of a
+    /// multi-step transition. The DST harness treats this as a signal
+    /// to restore the last snapshot and replay, never as a real fault.
+    Crashed(CrashStage),
 }
 
 impl fmt::Display for PoError {
@@ -61,6 +66,9 @@ impl fmt::Display for PoError {
                 write!(f, "overlays are not enabled on the mapping of {va}")
             }
             PoError::Corrupted(what) => write!(f, "internal invariant violated: {what}"),
+            PoError::Crashed(stage) => {
+                write!(f, "simulated power loss at crash stage {}", stage.name())
+            }
         }
     }
 }

@@ -102,6 +102,71 @@ impl FaultSite {
 
 const NUM_SITES: usize = FaultSite::ALL.len();
 
+/// Where in an operation a [`FaultSite::CrashPoint`] query is polled.
+///
+/// PR-1's crash machinery only polled at op boundaries, so the states
+/// mid-way through a multi-step transition — exactly the ones the
+/// paper's atomicity argument (§4.4.2) is about — were never exercised.
+/// A [`FaultPlan`] now carries one armed stage; polls at any *other*
+/// stage are transparent (they neither count nor fire), so the
+/// crash-point query stream stays aligned between a golden run and a
+/// crashy run regardless of which stage is armed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashStage {
+    /// Between two trace ops — the PR-1 behaviour, and the default.
+    #[default]
+    OpBoundary,
+    /// Inside promotion (§4.4.2): after the destination page has been
+    /// privatized (CoW resolved) but before the overlay is committed
+    /// into it.
+    MidPromotion,
+    /// Inside reclaim/commit materialization: after the destination
+    /// page has been privatized but before the overlay collapses.
+    MidReclaim,
+    /// Between the OMT entry removal and the OMS segment free during
+    /// overlay destruction — the window where the store still holds a
+    /// segment no OMT entry points at.
+    OmtFreeWindow,
+}
+
+impl CrashStage {
+    /// All stages, for iteration in matrices and tests.
+    pub const ALL: [CrashStage; 4] = [
+        CrashStage::OpBoundary,
+        CrashStage::MidPromotion,
+        CrashStage::MidReclaim,
+        CrashStage::OmtFreeWindow,
+    ];
+
+    /// The interior (non-boundary) stages.
+    pub const INTERIOR: [CrashStage; 3] =
+        [CrashStage::MidPromotion, CrashStage::MidReclaim, CrashStage::OmtFreeWindow];
+
+    #[inline]
+    fn index(self) -> u8 {
+        match self {
+            CrashStage::OpBoundary => 0,
+            CrashStage::MidPromotion => 1,
+            CrashStage::MidReclaim => 2,
+            CrashStage::OmtFreeWindow => 3,
+        }
+    }
+
+    fn from_index(i: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.index() == i)
+    }
+
+    /// Stable display name (used in test matrices and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashStage::OpBoundary => "op-boundary",
+            CrashStage::MidPromotion => "mid-promotion",
+            CrashStage::MidReclaim => "mid-reclaim",
+            CrashStage::OmtFreeWindow => "omt-free-window",
+        }
+    }
+}
+
 /// How one site decides whether a given query fires.
 #[derive(Clone, Debug, Default)]
 enum Trigger {
@@ -124,12 +189,13 @@ enum Trigger {
 pub struct FaultPlan {
     seed: u64,
     triggers: [Trigger; NUM_SITES],
+    crash_stage: CrashStage,
 }
 
 impl FaultPlan {
     /// An empty plan (no site fires) with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, triggers: Default::default() }
+        Self { seed, triggers: Default::default(), crash_stage: CrashStage::default() }
     }
 
     /// Makes `site` fire independently on each query with probability
@@ -147,6 +213,20 @@ impl FaultPlan {
         self.triggers[site.index()] = Trigger::Schedule(queries.into_iter().collect());
         self
     }
+
+    /// Arms [`FaultSite::CrashPoint`] polls at `stage` instead of the
+    /// default [`CrashStage::OpBoundary`]. Polls at other stages are
+    /// transparent: they neither count nor fire.
+    #[must_use]
+    pub fn with_crash_stage(mut self, stage: CrashStage) -> Self {
+        self.crash_stage = stage;
+        self
+    }
+
+    /// The stage at which crash-point polls are live.
+    pub fn crash_stage(&self) -> CrashStage {
+        self.crash_stage
+    }
 }
 
 /// Mutable per-injector state, shared by all clones of a handle.
@@ -156,6 +236,7 @@ struct FaultState {
     triggers: [Trigger; NUM_SITES],
     queries: [u64; NUM_SITES],
     injected: [u64; NUM_SITES],
+    crash_stage: CrashStage,
 }
 
 /// A cloneable handle asked "does a fault fire here?" at each guarded
@@ -182,6 +263,7 @@ impl FaultInjector {
             triggers: plan.triggers,
             queries: [0; NUM_SITES],
             injected: [0; NUM_SITES],
+            crash_stage: plan.crash_stage,
         }))))
     }
 
@@ -222,6 +304,35 @@ impl FaultInjector {
             s.injected[i] += 1;
         }
         fires
+    }
+
+    /// Polls [`FaultSite::CrashPoint`] at a named [`CrashStage`]. When
+    /// `stage` matches the armed stage of the plan, this is exactly
+    /// [`fire`](FaultInjector::fire) on the crash-point site; when it
+    /// does not, the poll is transparent — it neither counts a query
+    /// nor consumes RNG state — so the crash-point query stream is
+    /// identical however many *other* stages the run passes through.
+    #[inline]
+    pub fn fire_crash(&self, stage: CrashStage) -> bool {
+        match &self.0 {
+            None => false,
+            Some(state) => {
+                {
+                    let s = state.lock().unwrap_or_else(|e| e.into_inner());
+                    if s.crash_stage != stage {
+                        return false;
+                    }
+                }
+                Self::fire_slow(state, FaultSite::CrashPoint)
+            }
+        }
+    }
+
+    /// The crash stage this injector is armed at.
+    pub fn crash_stage(&self) -> CrashStage {
+        self.0.as_ref().map_or(CrashStage::OpBoundary, |s| {
+            s.lock().unwrap_or_else(|e| e.into_inner()).crash_stage
+        })
     }
 
     /// Number of times `site` has been queried.
@@ -267,6 +378,7 @@ impl FaultInjector {
                 w.put_bool(true);
                 let s = state.lock().unwrap_or_else(|e| e.into_inner());
                 w.put_u64(s.rng.state);
+                w.put_u8(s.crash_stage.index());
                 for t in &s.triggers {
                     match t {
                         Trigger::Never => w.put_u8(0),
@@ -303,6 +415,8 @@ impl FaultInjector {
             return Ok(Self::none());
         }
         let rng = SplitMix64 { state: r.get_u64()? };
+        let crash_stage = CrashStage::from_index(r.get_u8()?)
+            .ok_or(PoError::Corrupted("snapshot crash stage unknown"))?;
         let mut triggers: [Trigger; NUM_SITES] = Default::default();
         for t in &mut triggers {
             *t = match r.get_u8()? {
@@ -327,7 +441,13 @@ impl FaultInjector {
         for n in &mut injected {
             *n = r.get_u64()?;
         }
-        Ok(Self(Some(Arc::new(Mutex::new(FaultState { rng, triggers, queries, injected })))))
+        Ok(Self(Some(Arc::new(Mutex::new(FaultState {
+            rng,
+            triggers,
+            queries,
+            injected,
+            crash_stage,
+        })))))
     }
 }
 
@@ -468,6 +588,65 @@ mod tests {
         clone.clear_trigger(FaultSite::CrashPoint);
         assert!(!inj.fire(FaultSite::CrashPoint));
         assert_eq!(inj.queries(FaultSite::CrashPoint), 2);
+    }
+
+    #[test]
+    fn mismatched_stage_polls_are_transparent() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(9)
+                .at_queries(FaultSite::CrashPoint, [1])
+                .with_crash_stage(CrashStage::MidPromotion),
+        );
+        // Polls at every *other* stage never count nor fire.
+        for stage in [CrashStage::OpBoundary, CrashStage::MidReclaim, CrashStage::OmtFreeWindow] {
+            for _ in 0..10 {
+                assert!(!inj.fire_crash(stage), "{}", stage.name());
+            }
+        }
+        assert_eq!(inj.queries(FaultSite::CrashPoint), 0);
+        // Matched polls follow the schedule (query 1 fires).
+        assert!(!inj.fire_crash(CrashStage::MidPromotion));
+        assert!(inj.fire_crash(CrashStage::MidPromotion));
+        assert_eq!(inj.queries(FaultSite::CrashPoint), 2);
+        assert_eq!(inj.injected(FaultSite::CrashPoint), 1);
+    }
+
+    #[test]
+    fn fire_crash_at_default_stage_matches_fire() {
+        let a = FaultInjector::from_plan(FaultPlan::new(3).at_queries(FaultSite::CrashPoint, [2]));
+        let b = FaultInjector::from_plan(FaultPlan::new(3).at_queries(FaultSite::CrashPoint, [2]));
+        for _ in 0..4 {
+            assert_eq!(a.fire_crash(CrashStage::OpBoundary), b.fire(FaultSite::CrashPoint));
+        }
+        assert_eq!(FaultInjector::none().crash_stage(), CrashStage::OpBoundary);
+        assert!(!FaultInjector::none().fire_crash(CrashStage::MidReclaim));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_crash_stage() {
+        let inj = FaultInjector::from_plan(
+            FaultPlan::new(0xABCD)
+                .at_queries(FaultSite::CrashPoint, [0, 4])
+                .with_crash_stage(CrashStage::OmtFreeWindow),
+        );
+        assert!(inj.fire_crash(CrashStage::OmtFreeWindow));
+        let mut w = SnapshotWriter::new();
+        inj.encode_snapshot(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        let restored = FaultInjector::decode_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.crash_stage(), CrashStage::OmtFreeWindow);
+        assert_eq!(restored.queries(FaultSite::CrashPoint), 1);
+        // Stage gating survives the round-trip: boundary polls stay
+        // transparent, window polls track the schedule in lockstep.
+        assert!(!restored.fire_crash(CrashStage::OpBoundary));
+        for _ in 0..4 {
+            assert_eq!(
+                inj.fire_crash(CrashStage::OmtFreeWindow),
+                restored.fire_crash(CrashStage::OmtFreeWindow)
+            );
+        }
     }
 
     #[test]

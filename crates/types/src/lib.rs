@@ -48,7 +48,7 @@ pub mod stats;
 pub use access::{AccessKind, MemoryAccess};
 pub use addr::{Asid, MainMemAddr, Opn, PhysAddr, Ppn, VirtAddr, Vpn};
 pub use error::{PoError, PoResult};
-pub use fault::{FaultInjector, FaultPlan, FaultSite};
+pub use fault::{CrashStage, FaultInjector, FaultPlan, FaultSite};
 pub use line::LineData;
 pub use obitvec::OBitVector;
 pub use snapshot::{fingerprint64, fingerprint64_bytes, SnapshotReader, SnapshotWriter};

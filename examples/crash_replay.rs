@@ -1,22 +1,80 @@
-//! Crash-point recovery, end to end (DESIGN.md §8).
+//! Crash-point recovery, end to end (DESIGN.md §8, §13).
 //!
-//! Runs a fork/overlay workload that snapshots the machine every few
-//! ops and journals the ops since the last snapshot. A scheduled
-//! [`FaultSite::CrashPoint`] kills the run mid-workload; recovery
-//! restores the snapshot, replays the journal (after a round-trip
-//! through the on-disk trace format), and the recovered machine is
-//! compared **byte for byte** against an uninterrupted golden run.
+//! **Part 1 — crash at an op boundary.** Runs a fork/overlay workload
+//! that snapshots the machine every few ops and journals the ops since
+//! the last snapshot. A scheduled [`FaultSite::CrashPoint`] kills the
+//! run mid-workload; recovery restores the snapshot, replays the
+//! journal (after a round-trip through the on-disk trace format), and
+//! the recovered machine is compared **byte for byte** against an
+//! uninterrupted golden run.
+//!
+//! **Part 2 — crash *inside* a transition.** The same crash point is
+//! armed at [`CrashStage::MidPromotion`]: the power is cut half-way
+//! through an overlay promotion, after the new page frame is prepared
+//! but before the page table flips to it. The executable spec
+//! (`po-spec`) first judges the frozen state a *legal interior state*
+//! ([`SimHarness::check_interior_crash`]), then the same
+//! snapshot-restore-replay recovery converges byte-identically with a
+//! golden run whose promotion was never interrupted.
 //!
 //! Run with: `cargo run --release --example crash_replay`
 
-use page_overlays::sim::{read_trace, write_trace, Machine, SimHarness, SystemConfig, TraceOp};
-use page_overlays::types::{FaultPlan, FaultSite, PoResult, VirtAddr};
+use page_overlays::sim::{
+    read_trace, write_trace, DiffOracle, Machine, SimHarness, SpecMirror, SystemConfig, TraceOp,
+};
+use page_overlays::types::{Asid, CrashStage, FaultPlan, FaultSite, PoResult, VirtAddr};
 
 const SNAPSHOT_EVERY: usize = 8;
 const CRASH_AT: u64 = 23;
 
-/// The workload: spawn, map, diverge pages after a fork, promote some
-/// overlays, and read everything back.
+/// Everything recovery needs to rewind: the machine snapshot plus the
+/// harness-side mirrors (byte oracle, spec state, process list) that
+/// live outside the machine and must be rewound with it.
+struct Checkpoint {
+    bytes: Vec<u8>,
+    oracle: DiffOracle,
+    spec: SpecMirror,
+    procs: Vec<Asid>,
+    from: usize,
+}
+
+impl Checkpoint {
+    fn save(h: &SimHarness, from: usize) -> Self {
+        Checkpoint {
+            bytes: h.machine.save_snapshot(),
+            oracle: h.oracle.clone(),
+            spec: h.spec.clone(),
+            procs: h.procs.clone(),
+            from,
+        }
+    }
+
+    fn restore(self, h: &mut SimHarness) -> PoResult<usize> {
+        h.machine.restore_snapshot(&self.bytes)?;
+        h.machine.clear_fault_trigger(FaultSite::CrashPoint);
+        h.oracle = self.oracle;
+        h.spec = self.spec;
+        h.procs = self.procs;
+        Ok(self.from)
+    }
+}
+
+/// Replays the journaled op suffix the way a real recovery would: from
+/// the serialized trace file, not from in-memory state.
+fn replay_journal(h: &mut SimHarness, journal: &[TraceOp]) {
+    let mut file = Vec::new();
+    write_trace(&mut file, journal).expect("journal write");
+    let journal = read_trace(file.as_slice()).expect("journal read");
+    println!("        replaying {} journaled ops through the trace format", journal.len());
+    for op in &journal {
+        h.apply(op).expect("replay diverged");
+        assert!(h.take_crashed().is_none(), "crash re-fired during replay");
+        h.machine.poll_crash_point();
+    }
+}
+
+/// The part-1 workload: spawn, map, diverge pages after a fork, promote
+/// some overlays, and read everything back.
 fn workload() -> Vec<TraceOp> {
     let mut ops = vec![TraceOp::Spawn, TraceOp::Map { proc_sel: 0, start: 0x100, count: 6 }];
     for i in 0..8u64 {
@@ -47,7 +105,7 @@ fn workload() -> Vec<TraceOp> {
     ops
 }
 
-fn main() -> PoResult<()> {
+fn boundary_crash_demo() -> PoResult<()> {
     let config = SystemConfig::table2_overlay();
     let ops = workload();
     println!(
@@ -68,30 +126,17 @@ fn main() -> PoResult<()> {
     // Crashy run: dies at the CRASH_AT-th op boundary.
     let crashy_plan = FaultPlan::new(7).at_queries(FaultSite::CrashPoint, [CRASH_AT]);
     let mut h = SimHarness::with_fault_plan(config, crashy_plan)?;
-    let mut snapshot: Vec<u8> = Vec::new();
-    let mut journal_from = 0usize;
+    let mut checkpoint = Checkpoint::save(&h, 0);
     for (i, op) in ops.iter().enumerate() {
         if i % SNAPSHOT_EVERY == 0 {
-            snapshot = h.machine.save_snapshot();
-            journal_from = i;
-            println!("op {i:2}: snapshot ({} bytes)", snapshot.len());
+            checkpoint = Checkpoint::save(&h, i);
+            println!("op {i:2}: snapshot ({} bytes)", checkpoint.bytes.len());
         }
         h.apply(op).expect("crashy run diverged");
         if h.machine.poll_crash_point() {
-            println!("op {i:2}: CRASH — restoring snapshot from op {journal_from}");
-            h.machine.restore_snapshot(&snapshot)?;
-            h.machine.clear_fault_trigger(FaultSite::CrashPoint);
-
-            // Re-derive the journal the way a real recovery would: from
-            // the serialized trace file.
-            let mut file = Vec::new();
-            write_trace(&mut file, &ops[journal_from..]).expect("journal write");
-            let journal = read_trace(file.as_slice()).expect("journal read");
-            println!("        replaying {} journaled ops through the trace format", journal.len());
-            for op in &journal {
-                h.apply(op).expect("replay diverged");
-                h.machine.poll_crash_point();
-            }
+            let from = checkpoint.restore(&mut h)?;
+            println!("op {i:2}: CRASH — restoring snapshot from op {from}");
+            replay_journal(&mut h, &ops[from..]);
             break;
         }
     }
@@ -119,4 +164,88 @@ fn main() -> PoResult<()> {
     );
     println!("fresh machine restored from the recovered snapshot reads identically");
     Ok(())
+}
+
+/// The part-2 workload: fork a process, then issue timed stores to
+/// distinct cache lines of one shared page. With `promote_threshold: 4`
+/// the fourth new overlay line triggers a full-page promotion — the
+/// multi-step transition the interior crash lands inside.
+fn promotion_workload() -> Vec<TraceOp> {
+    let mut ops = vec![
+        TraceOp::Spawn,
+        TraceOp::Map { proc_sel: 0, start: 0x100, count: 2 },
+        TraceOp::Fork { proc_sel: 0 },
+    ];
+    for line in 0..6u64 {
+        ops.push(TraceOp::Store(VirtAddr::new(0x100_000 + line * 64)));
+    }
+    ops
+}
+
+fn interior_crash_demo() -> PoResult<()> {
+    let config = SystemConfig { promote_threshold: 4, ..SystemConfig::table2_overlay() };
+    let ops = promotion_workload();
+    println!(
+        "workload: {} ops, promote_threshold 4, crash armed at the first {} poll",
+        ops.len(),
+        CrashStage::MidPromotion.name()
+    );
+
+    // Both plans carry the stage so the fault-injector state inside the
+    // two machines' snapshots stays byte-identical.
+    let golden_plan = FaultPlan::new(9)
+        .at_queries(FaultSite::CrashPoint, [])
+        .with_crash_stage(CrashStage::MidPromotion);
+    let mut golden = SimHarness::with_fault_plan(config.clone(), golden_plan)?;
+    for op in &ops {
+        golden.apply(op).expect("golden run diverged");
+        assert!(golden.take_crashed().is_none(), "crash fired in the golden run");
+        golden.machine.poll_crash_point();
+    }
+    golden.machine.clear_fault_trigger(FaultSite::CrashPoint);
+
+    let crashy_plan = FaultPlan::new(9)
+        .at_queries(FaultSite::CrashPoint, [0])
+        .with_crash_stage(CrashStage::MidPromotion);
+    let mut h = SimHarness::with_fault_plan(config, crashy_plan)?;
+    let mut checkpoint = Checkpoint::save(&h, 0);
+    let mut fired = false;
+    for (i, op) in ops.iter().enumerate() {
+        if i % 4 == 0 {
+            checkpoint = Checkpoint::save(&h, i);
+            println!("op {i:2}: snapshot ({} bytes)", checkpoint.bytes.len());
+        }
+        h.apply(op).expect("crashy run diverged");
+        if let Some(stage) = h.take_crashed() {
+            println!("op {i:2}: POWER CUT inside the {} stage of {op:?}", stage.name());
+            // Before recovery wipes the evidence: the executable spec
+            // must admit this half-done promotion as a legal interior
+            // state (old frame still mapped, overlay intact).
+            h.check_interior_crash(op).expect("frozen state must be spec-legal");
+            println!("        the spec admits the frozen state as a legal interior state");
+            let from = checkpoint.restore(&mut h)?;
+            println!("        restoring snapshot from op {from}");
+            replay_journal(&mut h, &ops[from..]);
+            fired = true;
+            break;
+        }
+        h.machine.poll_crash_point();
+    }
+    assert!(fired, "the mid-promotion crash never fired");
+    h.machine.clear_fault_trigger(FaultSite::CrashPoint);
+
+    assert_eq!(
+        golden.machine.save_snapshot(),
+        h.machine.save_snapshot(),
+        "machine recovered from an interior crash must converge with the golden run"
+    );
+    println!("recovered machine is byte-identical to the uninterrupted golden run");
+    Ok(())
+}
+
+fn main() -> PoResult<()> {
+    println!("-- part 1: crash at an op boundary --");
+    boundary_crash_demo()?;
+    println!("\n-- part 2: crash inside a promotion (interior stage) --");
+    interior_crash_demo()
 }

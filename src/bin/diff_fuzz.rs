@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! diff_fuzz [--seed N] [--runs N] [--ops N] [--cow] [--faults]
-//!           [--inject-bug] [--out PATH]
+//!           [--inject-bug] [--spec] [--out PATH]
 //! ```
 //!
 //! * `--seed` — first stream seed (default 1; run `i` uses `seed + i`).
@@ -27,6 +27,10 @@
 //!   failures, grow refusals, frame exhaustion) seeded per run.
 //! * `--inject-bug` — enable the deliberate test-only divergence (a
 //!   poke of `0x42` writes `0x43`): the fuzzer must catch it.
+//! * `--spec` — run the spec-refinement positive control first: a
+//!   machine that skips one OMS free must be caught by the refinement
+//!   oracle (the executable spec every run steps in lockstep anyway).
+//!   CI's `refinement` job passes this flag.
 //! * `--out` — where to write the shrunk failing trace
 //!   (default `diff_fuzz_failure.trace`).
 //!
@@ -38,8 +42,8 @@
 
 use page_overlays::analyze::{self, Verdict, VerifierOptions};
 use page_overlays::sim::{
-    generate_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed,
-    SystemConfig, TraceOp,
+    generate_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed, SimHarness,
+    SystemConfig, TraceOp, VPN_BASE,
 };
 use page_overlays::types::{FaultPlan, FaultSite};
 use std::process::ExitCode;
@@ -51,6 +55,7 @@ struct Options {
     cow: bool,
     faults: bool,
     inject_bug: bool,
+    spec: bool,
     out: String,
 }
 
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
         cow: false,
         faults: false,
         inject_bug: false,
+        spec: false,
         out: "diff_fuzz_failure.trace".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -74,11 +80,38 @@ fn parse_args() -> Result<Options, String> {
             "--cow" => opts.cow = true,
             "--faults" => opts.faults = true,
             "--inject-bug" => opts.inject_bug = true,
+            "--spec" => opts.spec = true,
             "--out" => opts.out = value("--out")?,
             other => return Err(format!("unknown argument {other} (see the module docs)")),
         }
     }
     Ok(opts)
+}
+
+/// Positive control for the refinement oracle: arm the one-shot
+/// OMS-free skip, drive a minimal overlay lifecycle, and demand that
+/// the *spec* (not the byte oracle or an internal invariant sweep)
+/// calls the leak out at the discard.
+fn refinement_canary() -> Result<(), String> {
+    // po-analyze: allow(PA-L005) — 5-op positive control needing a test-only hook
+    let mut h = SimHarness::new(SystemConfig::table2_overlay())
+        .map_err(|e| format!("harness construction failed: {e:?}"))?;
+    h.machine.set_inject_oms_leak(true);
+    let ops = [
+        TraceOp::Spawn,
+        TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 1 },
+        TraceOp::Fork { proc_sel: 0 },
+        TraceOp::SeedLine { proc_sel: 0, vpn: VPN_BASE, line: 0, value: 0xAB },
+        TraceOp::DiscardPage { proc_sel: 0, vpn: VPN_BASE },
+    ];
+    for op in &ops {
+        match h.apply(op) {
+            Ok(()) => {}
+            Err(e) if e.contains("spec refinement violated") => return Ok(()),
+            Err(e) => return Err(format!("the canary tripped the wrong check: {e}")),
+        }
+    }
+    Err("the skipped OMS free went undetected by the refinement oracle".into())
 }
 
 fn main() -> ExitCode {
@@ -90,6 +123,16 @@ fn main() -> ExitCode {
         }
     };
     let config = if opts.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+
+    if opts.spec {
+        match refinement_canary() {
+            Ok(()) => println!("spec refinement positive control: leak caught"),
+            Err(e) => {
+                eprintln!("diff_fuzz: spec refinement positive control FAILED — {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
 
     for i in 0..opts.runs {
         let seed = opts.seed.wrapping_add(i);

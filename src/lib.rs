@@ -59,6 +59,10 @@ pub use po_overlay as overlay;
 /// The Table 2 timing simulator and the fork experiment.
 pub use po_sim as sim;
 
+/// The timing-free executable specification of VM+overlay semantics —
+/// the refinement oracle the DST harness steps in lockstep.
+pub use po_spec as spec;
+
 /// Overlay-backed sparse data structures and the SpMV evaluation.
 pub use po_sparse as sparse;
 

@@ -4,10 +4,10 @@
 //! differential fuzzer catching and shrinking a deliberate bug.
 
 use page_overlays::sim::{
-    generate_ops, read_trace, run_crash_convergence, run_ops, run_trace, shrink_ops, write_trace,
-    Machine, SimHarness, SystemConfig, TraceOp,
+    generate_ops, read_trace, run_crash_convergence, run_crash_convergence_staged, run_ops,
+    run_trace, shrink_ops, write_trace, Machine, SimHarness, SystemConfig, TraceOp,
 };
-use page_overlays::types::{FaultPlan, FaultSite, VirtAddr, Vpn};
+use page_overlays::types::{CrashStage, FaultPlan, FaultSite, VirtAddr, Vpn};
 
 /// Restoring a snapshot into a fresh machine must reproduce the
 /// snapshot byte-for-byte, and the restored machine must stay in
@@ -101,6 +101,50 @@ fn crash_convergence_at_scale() {
     }
     assert!(pairs >= 100, "only {pairs} pairs exercised");
     assert!(crashes >= 100, "only {crashes}/{pairs} pairs actually crashed");
+}
+
+/// Interior crash stages at scale: ≥100 seeded (trace, stage) pairs
+/// where the power is cut *inside* a transition — mid-promotion,
+/// mid-reclaim, and in the OMT-write→OMS-free window. Every pair must
+/// (a) freeze in a state the executable spec admits as a legal interior
+/// state and (b) recover to byte-identical convergence with the golden
+/// run. Every named interior stage must actually fire across the
+/// matrix.
+#[test]
+fn interior_crash_matrix_is_spec_legal_and_converges() {
+    // A low promotion threshold makes MidPromotion reachable on short
+    // streams; MidReclaim and OmtFreeWindow ride commits and discards.
+    let config = SystemConfig { promote_threshold: 4, ..SystemConfig::table2_overlay() };
+    let mut pairs = 0u32;
+    let mut fired = std::collections::BTreeMap::<&str, u32>::new();
+    for seed in 0..12u64 {
+        let ops = generate_ops(seed, 120);
+        let plan = if seed % 3 == 0 {
+            FaultPlan::new(seed ^ 0xFA17)
+                .with_probability(FaultSite::OmsAllocFailed, 0.05)
+                .with_probability(FaultSite::OmsGrowRefused, 0.05)
+        } else {
+            FaultPlan::new(seed)
+        };
+        for stage in CrashStage::INTERIOR {
+            for crash_at in [0u64, 2, 5] {
+                let crashed =
+                    run_crash_convergence_staged(&config, &ops, &plan, crash_at, 8, stage)
+                        .unwrap_or_else(|e| {
+                            panic!("seed {seed} stage {} crash_at {crash_at}: {e}", stage.name())
+                        });
+                pairs += 1;
+                if crashed {
+                    *fired.entry(stage.name()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    assert!(pairs >= 100, "only {pairs} (trace, stage) pairs exercised");
+    for stage in CrashStage::INTERIOR {
+        let n = fired.get(stage.name()).copied().unwrap_or(0);
+        assert!(n >= 5, "interior stage {} fired only {n} times", stage.name());
+    }
 }
 
 /// CoW baseline convergence (the machinery is mode-independent).

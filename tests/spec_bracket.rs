@@ -1,0 +1,134 @@
+//! The three-way agreement between po-analyze's abstract overlay
+//! lattice, the executable spec (`po-spec`), and the concrete machine
+//! (DESIGN.md §13): while the abstract state stays precise, every
+//! page's overlay mask must satisfy
+//!
+//! ```text
+//! overlay.must  ⊆  spec overlay_raw  ⊆  overlay.may
+//! ```
+//!
+//! The spec mirror is stepped in lockstep by `SimHarness::apply` and
+//! refinement-checked against the machine after every op, so this
+//! bracket pins the *abstract interpreter* against the *specification*
+//! — the two ends of the project's soundness story — with the machine
+//! as the common witness. A dirty fixture perturbs the spec on both
+//! sides of the bracket and demands the check actually fires.
+
+use po_analyze::verifier::AbsState;
+use po_analyze::{verify_ops, Verdict, VerifierOptions};
+use po_sim::{generate_ops, SimHarness, SystemConfig, TraceOp, VPN_BASE};
+use po_spec::{SpecOp, SpecState};
+
+/// Collects every page where the bracket `must ⊆ spec ⊆ may` fails.
+/// Abstract pages are keyed by process *index*, which equals the spec
+/// pid (both follow spawn order), so the two key spaces line up
+/// directly. Returns human-readable violations instead of panicking so
+/// the dirty fixture can assert on them.
+fn bracket_violations(state: &AbsState, spec: &SpecState) -> Vec<String> {
+    let mut out = Vec::new();
+    for (&(p, vpn), page) in &state.pages {
+        let spec_mask = spec.overlay_raw(p, vpn);
+        if page.overlay.must & !spec_mask != 0 {
+            out.push(format!(
+                "p{p} vpn {vpn:#x}: must {:#018x} not all in spec {spec_mask:#018x}",
+                page.overlay.must
+            ));
+        }
+        if spec_mask & !page.overlay.may != 0 {
+            out.push(format!(
+                "p{p} vpn {vpn:#x}: spec {spec_mask:#018x} exceeds may {:#018x}",
+                page.overlay.may
+            ));
+        }
+    }
+    out
+}
+
+fn bracket_over_seeds(config: &SystemConfig, seeds: u64, label: &str) {
+    let mut precise = 0usize;
+    for seed in 0..seeds {
+        let ops = generate_ops(seed, 120 + (seed as usize % 5) * 20);
+        let ctx = format!("{label} seed {seed}");
+
+        let mut harness = SimHarness::new(config.clone()).expect("machine construction");
+        for (i, op) in ops.iter().enumerate() {
+            harness.apply(op).unwrap_or_else(|e| panic!("{ctx}: op {i}: {e}"));
+        }
+
+        let analysis = verify_ops(config, &ops, &VerifierOptions::default(), &ctx);
+        assert_eq!(analysis.verdict, Verdict::Accept, "{ctx}: generated traces verify");
+        if analysis.state.degraded || analysis.state.collapsed {
+            continue;
+        }
+        precise += 1;
+        let violations = bracket_violations(&analysis.state, harness.spec.state());
+        assert!(violations.is_empty(), "{ctx}: bracket violated:\n{}", violations.join("\n"));
+    }
+    assert!(
+        precise >= seeds as usize / 2,
+        "{label}: only {precise}/{seeds} traces stayed precise — the bracket test is vacuous"
+    );
+}
+
+#[test]
+fn abstract_lattice_brackets_spec_overlay_mode() {
+    bracket_over_seeds(&SystemConfig::table2_overlay(), 48, "overlay");
+}
+
+#[test]
+fn abstract_lattice_brackets_spec_cow_mode() {
+    bracket_over_seeds(&SystemConfig::table2(), 16, "cow");
+}
+
+/// Negative control: a spec state that drifts from the machine on
+/// either side of the bracket must be reported. The fixture seeds one
+/// overlay line (a `must` bit in the abstract state, a set bit in the
+/// spec), then perturbs a *copy* of the spec both ways:
+///
+/// * discarding the page drops the must-line → lower-bound violation;
+/// * seeding a line into a page the analyzer proved overlay-free
+///   (`may == 0`) → upper-bound violation.
+#[test]
+fn dirty_fixture_trips_both_bracket_directions() {
+    let config = SystemConfig::table2_overlay();
+    let ops = [
+        TraceOp::Spawn,
+        TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 2 },
+        TraceOp::Fork { proc_sel: 0 },
+        TraceOp::SeedLine { proc_sel: 0, vpn: VPN_BASE, line: 7, value: 0xC1 },
+    ];
+    let mut harness = SimHarness::new(config.clone()).expect("machine construction");
+    for op in &ops {
+        harness.apply(op).expect("fixture trace replays");
+    }
+    let analysis = verify_ops(&config, &ops, &VerifierOptions::default(), "dirty fixture");
+    assert_eq!(analysis.verdict, Verdict::Accept);
+    let state = &analysis.state;
+    assert!(!state.degraded && !state.collapsed, "fixture must stay precise");
+
+    // Preconditions: the seeded line is a must-bit, the neighbour page
+    // is proved overlay-free, and the honest spec passes the bracket.
+    let page = state.pages.get(&(0, VPN_BASE)).expect("seeded page tracked");
+    assert_eq!(page.overlay.must & (1 << 7), 1 << 7, "seed line is a must-line");
+    let neighbour = state.pages.get(&(0, VPN_BASE + 1)).expect("neighbour page tracked");
+    assert_eq!(neighbour.overlay.may, 0, "neighbour proved overlay-free");
+    assert!(bracket_violations(state, harness.spec.state()).is_empty());
+
+    // Lower bound: discard the seeded page behind the analyzer's back.
+    let mut dropped = harness.spec.state().clone();
+    dropped.step(SpecOp::Discard { pid: 0, vpn: VPN_BASE });
+    let violations = bracket_violations(state, &dropped);
+    assert!(
+        violations.iter().any(|v| v.contains("must") && v.contains("not all in spec")),
+        "dropped must-line went unreported: {violations:?}"
+    );
+
+    // Upper bound: invent an overlay line the analyzer excluded.
+    let mut inflated = harness.spec.state().clone();
+    inflated.step(SpecOp::SeedLine { pid: 0, vpn: VPN_BASE + 1, line: 3 });
+    let violations = bracket_violations(state, &inflated);
+    assert!(
+        violations.iter().any(|v| v.contains("exceeds may")),
+        "invented overlay line went unreported: {violations:?}"
+    );
+}

@@ -1,0 +1,215 @@
+//! Property tests for the executable specification (`po-spec`,
+//! DESIGN.md §13): the per-page overlay mask must behave exactly like
+//! the plain-`u64` set model the OBitVector is tested against, the spec
+//! must be bit-for-bit deterministic, and — as a positive control for
+//! the whole refinement pipeline — a machine that skips one OMS free
+//! must be caught *by the spec oracle* within a bounded number of ops
+//! and shrink to a minimal replayable trace.
+
+use page_overlays::sim::{
+    generate_ops, read_trace, write_trace, SimHarness, SystemConfig, TraceOp,
+};
+use page_overlays::spec::{SpecOp, SpecOutcome, SpecParams, SpecState};
+use proptest::prelude::*;
+
+/// A spec state with one forked pair so overlays are enabled (overlay
+/// mode turns `enabled` on at fork, mirroring the OS model). Returns
+/// the state and the parent pid; `VPNS` pages are mapped.
+const VPNS: u64 = 4;
+
+fn forked_state() -> (SpecState, usize) {
+    let mut s = SpecState::new(SpecParams {
+        overlay_mode: true,
+        promote_threshold: 64,
+        min_seg_bytes: 256,
+    });
+    let SpecOutcome::Spawned { pid } = s.step(SpecOp::Spawn) else { panic!("spawn") };
+    for vpn in 0..VPNS {
+        assert_eq!(s.step(SpecOp::Map { pid, vpn }), SpecOutcome::Applied);
+    }
+    let SpecOutcome::Spawned { .. } = s.step(SpecOp::Fork { parent: pid }) else { panic!("fork") };
+    (s, pid)
+}
+
+/// The reference model for one page: its overlay mask as a plain `u64`
+/// plus the two flag bits the write route depends on.
+#[derive(Clone, Copy)]
+struct PageModel {
+    mask: u64,
+    writable: bool,
+    cow: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Seeds, untimed writes, commits, and discards against the u64
+    /// model: after every op each page's `overlay_raw` must equal the
+    /// model mask, and a write's reported route must match the model's
+    /// routing predicate (line present, or CoW-protected page).
+    #[test]
+    fn overlay_masks_match_u64_model(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..96)
+    ) {
+        let (mut s, pid) = forked_state();
+        let mut model = vec![PageModel { mask: 0, writable: false, cow: true }; VPNS as usize];
+        for &(code, raw_vpn, raw_line) in &ops {
+            let vpn = (raw_vpn as u64) % VPNS;
+            let line = raw_line as usize % 64;
+            let m = &mut model[vpn as usize];
+            match code % 4 {
+                0 => {
+                    // Untimed write: overlay route iff the line is
+                    // already overlaid or the page is CoW-protected;
+                    // a base write to a CoW page privatises it.
+                    let expect_overlay = (m.mask >> line) & 1 == 1 || (m.cow && !m.writable);
+                    let out = s.step(SpecOp::Write { pid, vpn, line, timed: false });
+                    prop_assert_eq!(
+                        out,
+                        SpecOutcome::Wrote { overlay_route: expect_overlay, promoted: false }
+                    );
+                    if expect_overlay {
+                        m.mask |= 1 << line;
+                    } else if !m.writable {
+                        m.writable = true;
+                        m.cow = false;
+                    }
+                }
+                1 => {
+                    s.step(SpecOp::SeedLine { pid, vpn, line });
+                    m.mask |= 1 << line;
+                }
+                2 => {
+                    // Committing an empty overlay is a NoOp — no
+                    // privatisation happens.
+                    s.step(SpecOp::Commit { pid, vpn });
+                    if m.mask != 0 {
+                        m.mask = 0;
+                        m.writable = true;
+                        m.cow = false;
+                    }
+                }
+                _ => {
+                    s.step(SpecOp::Discard { pid, vpn });
+                    m.mask = 0;
+                }
+            }
+            for (v, pm) in model.iter().enumerate() {
+                prop_assert_eq!(s.overlay_raw(pid, v as u64), pm.mask, "page {}", v);
+            }
+        }
+    }
+
+    /// Same op sequence ⇒ byte-identical `Debug` encoding: the spec has
+    /// no hidden nondeterminism (iteration order, allocation ids).
+    #[test]
+    fn spec_is_deterministic(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..96)
+    ) {
+        let run = || {
+            let (mut s, pid) = forked_state();
+            for &(code, raw_vpn, raw_line) in &ops {
+                let vpn = (raw_vpn as u64) % VPNS;
+                let line = raw_line as usize % 64;
+                match code % 5 {
+                    0 => { s.step(SpecOp::Write { pid, vpn, line, timed: true }); }
+                    1 => { s.step(SpecOp::SeedLine { pid, vpn, line }); }
+                    2 => { s.step(SpecOp::Commit { pid, vpn }); }
+                    3 => { s.step(SpecOp::Discard { pid, vpn }); }
+                    _ => { s.step(SpecOp::Fork { parent: pid }); }
+                }
+            }
+            s.encode()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Drives `ops` through a harness, arming the one-shot OMS-free skip
+/// just before the final op. Returns the first error.
+fn run_with_leak_before_last(config: &SystemConfig, ops: &[TraceOp]) -> Result<(), String> {
+    let mut h = SimHarness::new(config.clone()).map_err(|e| format!("harness: {e:?}"))?;
+    for (i, op) in ops.iter().enumerate() {
+        if i + 1 == ops.len() {
+            h.machine.set_inject_oms_leak(true);
+        }
+        h.apply(op).map_err(|e| format!("op {i}: {e}"))?;
+    }
+    h.check_all()
+}
+
+/// The canary: on a seeded stream, a machine that skips one OMS free
+/// must be flagged by the *refinement* check (not the byte oracle, not
+/// an internal invariant sweep), and delta debugging against the leaky
+/// runner must shrink the stream to a minimal trace that still replays
+/// to the same refinement violation.
+///
+/// The leak is armed once the stream has put overlay bytes into the
+/// OMS, and the trace ends in a `Reclaim`: collapsing every overlay
+/// drops the spec's segment-ladder bound to zero while the machine
+/// still holds the leaked segment — the gap the refinement check sees
+/// at that very op (the bound's slack under lazy OMS allocation is
+/// exactly zero once no overlay survives). Streams whose reclaim
+/// leaves overlays alive hide the leak under that slack and are
+/// skipped.
+#[test]
+fn oms_leak_canary_is_caught_by_refinement_and_shrinks() {
+    let config = SystemConfig::table2_overlay();
+    let fails = |cand: &[TraceOp]| {
+        matches!(
+            run_with_leak_before_last(&config, cand),
+            Err(e) if e.contains("spec refinement violated")
+        )
+    };
+
+    let mut caught = None;
+    'seeds: for seed in 0..5u64 {
+        let stream = generate_ops(seed, 300);
+        let mut h = SimHarness::new(config.clone()).expect("harness");
+        for (i, op) in stream.iter().enumerate() {
+            h.apply(op).expect("clean prefix diverged");
+            if h.machine.overlay().overlay_memory_bytes() > 0 {
+                let mut ops = stream[..=i].to_vec();
+                ops.push(TraceOp::Reclaim);
+                if fails(&ops) {
+                    caught = Some(ops);
+                    break 'seeds;
+                }
+                continue 'seeds;
+            }
+        }
+    }
+    let ops = caught.expect("no seed in 0..5 produced a refinement-attributed leak within 300 ops");
+    let mut cur = ops;
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.drain(i..(i + chunk).min(cand.len()));
+            if fails(&cand) {
+                cur = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    assert!(cur.len() <= 40, "canary shrunk only to {} ops: {cur:?}", cur.len());
+
+    // The minimal trace survives the trace format and still fails.
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &cur).expect("write trace");
+    let replayed = read_trace(buf.as_slice()).expect("read trace");
+    assert_eq!(replayed, cur);
+    assert!(fails(&replayed), "replayed minimal canary trace no longer fails");
+
+    // Sanity: without the leak the same stream is clean.
+    let mut h = SimHarness::new(config).expect("harness");
+    for op in &replayed {
+        h.apply(op).expect("clean run of the minimal trace diverged");
+    }
+}

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! po_analyze lint  [--root DIR] [--json]
-//! po_analyze trace [--cow] [--oms-limit BYTES] [--crash-at N]...
-//!                  [--assume-faults] [--json] FILE...
+//! po_analyze trace [--cow] [--oms-limit BYTES] [--frag-slack F]
+//!                  [--crash-at N]... [--assume-faults] [--json] FILE...
 //! po_analyze all   [--root DIR] [--json]
 //! ```
 //!
 //! * `lint` — run the source lints (PA-L001..L004) over the tree.
 //! * `trace` — abstractly interpret `.trace` files (PA-V000..V006).
 //!   `--cow` verifies under the copy-on-write baseline config instead
-//!   of the overlay config; `--oms-limit` arms the OMS-budget rule;
+//!   of the overlay config; `--oms-limit` arms the OMS-budget rule and
+//!   `--frag-slack F` pads its peak-demand check by a fragmentation
+//!   headroom fraction (e.g. `0.5` demands the budget cover 1.5× the
+//!   peak — the §4.4.3 allocator strands freed bytes under churn);
 //!   each `--crash-at N` arms the crash-point reachability rule for
 //!   query index N; `--assume-faults` verifies as if a fault plan may
 //!   be active (only fault-independent findings survive).
@@ -33,6 +36,7 @@ struct Cli {
     json: bool,
     cow: bool,
     oms_limit: Option<u64>,
+    frag_slack: f64,
     crash_at: Vec<u64>,
     assume_faults: bool,
     files: Vec<PathBuf>,
@@ -41,8 +45,8 @@ struct Cli {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: po_analyze lint  [--root DIR] [--json]\n\
-         \x20      po_analyze trace [--cow] [--oms-limit BYTES] [--crash-at N]... \
-         [--assume-faults] [--json] FILE...\n\
+         \x20      po_analyze trace [--cow] [--oms-limit BYTES] [--frag-slack F] \
+         [--crash-at N]... [--assume-faults] [--json] FILE...\n\
          \x20      po_analyze all   [--root DIR] [--json]"
     );
     ExitCode::from(2)
@@ -55,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         cow: false,
         oms_limit: None,
+        frag_slack: 0.0,
         crash_at: Vec::new(),
         assume_faults: false,
         files: Vec::new(),
@@ -72,6 +77,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--oms-limit" => {
                 let v = it.next().ok_or("--oms-limit needs a value")?;
                 cli.oms_limit = Some(v.parse().map_err(|_| format!("bad --oms-limit {v}"))?);
+            }
+            "--frag-slack" => {
+                let v = it.next().ok_or("--frag-slack needs a value")?;
+                cli.frag_slack = v.parse().map_err(|_| format!("bad --frag-slack {v}"))?;
+                if !cli.frag_slack.is_finite() || cli.frag_slack < 0.0 {
+                    return Err(format!("--frag-slack must be a finite fraction ≥ 0, got {v}"));
+                }
             }
             "--crash-at" => {
                 let v = it.next().ok_or("--crash-at needs a value")?;
@@ -93,6 +105,7 @@ fn verify_file(cli: &Cli, path: &Path, report: &mut Report) -> Result<(), String
     let config = if cli.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
     let opts = VerifierOptions {
         oms_limit: cli.oms_limit,
+        frag_slack: cli.frag_slack,
         crash_queries: cli.crash_at.clone(),
         assume_faults: cli.assume_faults,
     };

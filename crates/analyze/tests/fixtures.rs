@@ -71,6 +71,23 @@ fn v005_oms_overflow_fires_under_tight_budget() {
 }
 
 #[test]
+fn v005_frag_slack_fires_only_with_headroom_armed() {
+    // The budget covers the raw 1024-byte peak, so without slack the
+    // trace is clean; demanding 50 % fragmentation headroom trips it.
+    let opts = VerifierOptions { oms_limit: Some(1280), frag_slack: 0.5, ..Default::default() };
+    let a = verify_fixture("traces/dirty/v005_frag_slack.trace", &opts);
+    assert_eq!(rules(&a.report), vec!["PA-V005"], "{}", a.report.to_human());
+    assert!(
+        a.report.findings[0].message.contains("fragmentation slack"),
+        "{}",
+        a.report.to_human()
+    );
+    let opts = VerifierOptions { oms_limit: Some(1280), ..Default::default() };
+    let a = verify_fixture("traces/dirty/v005_frag_slack.trace", &opts);
+    assert!(a.report.findings.is_empty(), "{}", a.report.to_human());
+}
+
+#[test]
 fn v006_resident_tail_fires() {
     let a = verify_fixture("traces/dirty/v006_resident_tail.trace", &VerifierOptions::default());
     assert_eq!(rules(&a.report), vec!["PA-V006"], "{}", a.report.to_human());

@@ -15,15 +15,24 @@
 //! (`cargo run --release -p po-bench --bin summary_json`) in the same
 //! change that causes it, so the diff carries the price tag.
 //!
+//! The ratchet also holds a **fragmentation ceiling**: a fixed seeded
+//! churn stream (the `po_soak` generator) replayed through the full
+//! differential harness must end with the OMS fragmentation ratio
+//! under `--frag-ceiling` (default 0.5) — §4.4.2 compaction keeps long
+//! churn off the fragmentation wall, and this line fails if it stops
+//! doing so, independent of cycle counts.
+//!
 //! ```text
 //! perf_ratchet [--baseline PATH] [--tolerance PCT]
 //!              [--warmup <instr>] [--post <instr>] [--seed <n>]
+//!              [--frag-ceiling F]
 //! ```
 //!
 //! Exits 0 when the ratchet holds, 1 on regression, 2 when the
 //! baseline is missing or unreadable.
 
 use po_bench::{summary, Args, ShardPool};
+use po_sim::{generate_soak_ops, run_job, SystemConfig, WorkloadJob};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -77,15 +86,56 @@ fn main() -> ExitCode {
         }
     }
     println!("geomean cycle ratio current/baseline: {:.4}", report.geomean_ratio);
-    if report.pass() {
+
+    let frag_ceiling: f64 = args.get("frag-ceiling", 0.5);
+    let soak_ops = generate_soak_ops(seed, 1500);
+    let soak = WorkloadJob::soak(
+        0,
+        "ratchet-churn".to_string(),
+        SystemConfig::table2_overlay(),
+        soak_ops,
+        frag_ceiling,
+    )
+    .with_seed(seed);
+    let frag_ok = match run_job(soak) {
+        Ok(result) => match result.outcome.as_soak() {
+            Some(s) => {
+                let verdict = match &s.verdict {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("FAIL: {e}"),
+                };
+                println!(
+                    "fragmentation ratchet: churn frag={:.3} (ceiling {frag_ceiling:.3}), \
+                     {} compaction passes  {verdict}",
+                    s.final_fragmentation, s.compaction_passes,
+                );
+                s.verdict.is_ok()
+            }
+            None => false,
+        },
+        Err(e) => {
+            eprintln!("perf_ratchet: churn replay died: {e:?}");
+            false
+        }
+    };
+
+    if report.pass() && frag_ok {
         println!("ratchet holds: no workload regressed beyond {tolerance}%");
         ExitCode::SUCCESS
     } else {
         let n = report.lines.iter().filter(|l| l.regressed).count();
-        eprintln!(
-            "perf_ratchet: {n} workload(s) regressed beyond {tolerance}% — if intentional, \
-             regenerate the baseline with summary_json and commit it with the cause"
-        );
+        if n > 0 {
+            eprintln!(
+                "perf_ratchet: {n} workload(s) regressed beyond {tolerance}% — if intentional, \
+                 regenerate the baseline with summary_json and commit it with the cause"
+            );
+        }
+        if !frag_ok {
+            eprintln!(
+                "perf_ratchet: the churn stream breached the {frag_ceiling:.3} fragmentation \
+                 ceiling (or failed outright) — compaction has regressed"
+            );
+        }
         ExitCode::from(1)
     }
 }

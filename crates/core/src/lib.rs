@@ -72,4 +72,4 @@ pub use omt::{Omt, OmtEntry, SegmentRef};
 pub use omt_cache::{OmtCache, OmtCacheStats};
 pub use omt_walk::{HierarchicalOmt, OmtWalkStats};
 pub use segment::{SegmentClass, SegmentMeta};
-pub use store::{OverlayMemoryStore, StoreStats};
+pub use store::{CompactionOutcome, OverlayMemoryStore, StoreStats};

@@ -698,6 +698,79 @@ impl OverlayManager {
         Ok(freed)
     }
 
+    /// Live OMS compaction (§4.4.2): collects every OMT-referenced
+    /// segment and runs one [`OverlayMemoryStore::compact`] pass. For
+    /// each improving move the relocation hook copies the segment's
+    /// bytes line-by-line, polls the first [`CrashStage::MidCompaction`]
+    /// window (bytes copied, OMT still pointing at the old segment),
+    /// then atomically repoints the owner's OMT entry and invalidates
+    /// its OMT-cache copy — the caller (po-sim) layers the TLB
+    /// shootdown on top. Returns the pass outcome plus the pages whose
+    /// segments moved (the shootdown set); relocation is invisible to
+    /// overlay semantics (every line readable before is readable after,
+    /// with identical bytes).
+    ///
+    /// A fired [`FaultSite::CompactionRelocationFailed`] makes the copy
+    /// fail, which aborts the pass gracefully
+    /// ([`crate::CompactionOutcome::aborted`]); the caller may retry.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Crashed`] when an armed mid-compaction crash fires
+    /// (state frozen for DST recovery); [`PoError::Corrupted`] if a live
+    /// segment has no OMT owner (accounting bug).
+    pub fn compact_store(
+        &mut self,
+        mem: &mut DataStore,
+    ) -> PoResult<(crate::CompactionOutcome, Vec<Opn>)> {
+        let mut owner: HashMap<u64, Opn> = HashMap::new();
+        let mut live: Vec<(MainMemAddr, SegmentClass)> = Vec::new();
+        for (opn, entry) in self.omt.iter() {
+            if let Some(seg) = entry.segment {
+                owner.insert(seg.base.raw(), *opn);
+                live.push((seg.base, seg.class));
+            }
+        }
+        // Split borrows: the store drives the pass while the hook
+        // mutates the OMT and OMT cache.
+        let mut moved: Vec<Opn> = Vec::new();
+        let Self { store, omt, omt_cache, faults, sink, .. } = self;
+        let outcome = store.compact(&live, |old, new, class| {
+            if faults.fire(FaultSite::CompactionRelocationFailed) {
+                sink.emit(|| TelemetryEvent::FaultInjected { site: "CompactionRelocationFailed" });
+                return Err(PoError::Corrupted("compaction relocation copy failed"));
+            }
+            let lines = class.bytes() / po_types::geometry::LINE_SIZE;
+            for i in 0..lines as u64 {
+                let off = i * po_types::geometry::LINE_SIZE as u64;
+                let data = mem.read_line(old.add(off));
+                mem.write_line(new.add(off), data);
+            }
+            // First MidCompaction window: destination holds a full copy,
+            // the OMT entry still points at the old segment.
+            if faults.fire_crash(CrashStage::MidCompaction) {
+                return Err(PoError::Crashed(CrashStage::MidCompaction));
+            }
+            let opn = *owner
+                .get(&old.raw())
+                .ok_or(PoError::Corrupted("compaction moved a segment with no OMT owner"))?;
+            let entry = omt
+                .get_mut(opn)
+                .ok_or(PoError::Corrupted("OMT entry vanished during compaction"))?;
+            let seg = entry
+                .segment
+                .as_mut()
+                .ok_or(PoError::Corrupted("OMT segment vanished during compaction"))?;
+            seg.base = new;
+            omt_cache.invalidate(opn);
+            moved.push(opn);
+            Ok(())
+        })?;
+        let frag = (self.store.fragmentation_ratio() * 1000.0).round() as i64;
+        self.sink.gauge("oms.fragmentation_pmille", frag);
+        Ok((outcome, moved))
+    }
+
     /// Structural self-check of the manager + store (DESIGN.md "Fault
     /// model & degradation"):
     ///
@@ -1101,6 +1174,68 @@ mod tests {
             let mut r = po_types::SnapshotReader::new(&bytes);
             assert!(OverlayManager::decode_snapshot(OverlayConfig::default(), &mut r).is_err());
         }
+    }
+
+    #[test]
+    fn compaction_is_semantically_invisible() {
+        let mut m = mgr();
+        let mut mem = DataStore::new();
+        let mut g = Granter::new();
+        // Build fragmentation: many single-line overlays (256 B segments),
+        // then destroy most of them so stragglers pin high pages.
+        for v in 0..48u64 {
+            m.overlaying_write(opn(v), 0, LineData::splat(v as u8)).unwrap();
+            m.evict_line(opn(v), 0, &mut mem, &mut g.grant()).unwrap();
+        }
+        for v in 0..48u64 {
+            if v % 7 != 0 {
+                m.discard(opn(v)).unwrap();
+            }
+        }
+        m.verify_invariants().unwrap();
+        let before_bytes = m.overlay_memory_bytes();
+        let (out, moved) = m.compact_store(&mut mem).unwrap();
+        assert!(!out.aborted);
+        assert!(out.moves > 0, "stragglers must relocate");
+        assert_eq!(moved.len() as u64, out.moves);
+        // Relocation is invisible: same footprint, same data.
+        assert_eq!(m.overlay_memory_bytes(), before_bytes);
+        m.verify_invariants().unwrap();
+        for v in 0..48u64 {
+            if v % 7 == 0 {
+                assert_eq!(m.read_line(opn(v), 0, &mem).unwrap(), LineData::splat(v as u8));
+            }
+        }
+        assert_eq!(m.store().stats().compaction_passes.get(), 1);
+        assert!(m.store().stats().relocated_bytes.get() >= out.relocated_bytes);
+    }
+
+    #[test]
+    fn compaction_relocation_fault_aborts_and_retries() {
+        use po_types::FaultPlan;
+        let mut m = mgr();
+        let mut mem = DataStore::new();
+        let mut g = Granter::new();
+        for v in 0..32u64 {
+            m.overlaying_write(opn(v), 0, LineData::splat(v as u8)).unwrap();
+            m.evict_line(opn(v), 0, &mut mem, &mut g.grant()).unwrap();
+        }
+        for v in 0..31u64 {
+            m.discard(opn(v)).unwrap();
+        }
+        m.set_fault_injector(FaultInjector::from_plan(
+            FaultPlan::new(3).at_queries(FaultSite::CompactionRelocationFailed, [0]),
+        ));
+        let (out, _) = m.compact_store(&mut mem).unwrap();
+        assert!(out.aborted, "fired fault must abort the pass");
+        assert_eq!(out.moves, 0);
+        m.verify_invariants().unwrap();
+        // The schedule fired once; the retry goes through.
+        let (out, _) = m.compact_store(&mut mem).unwrap();
+        assert!(!out.aborted);
+        assert!(out.moves > 0);
+        m.verify_invariants().unwrap();
+        assert_eq!(m.read_line(opn(31), 0, &mem).unwrap(), LineData::splat(31));
     }
 
     #[test]

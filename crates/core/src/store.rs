@@ -13,7 +13,7 @@ use crate::segment::SegmentClass;
 use po_telemetry::{Event as TelemetryEvent, TelemetrySink};
 use po_types::geometry::PAGE_SIZE;
 use po_types::snapshot::{SnapshotReader, SnapshotWriter};
-use po_types::{Counter, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult};
+use po_types::{Counter, CrashStage, FaultInjector, FaultSite, MainMemAddr, PoError, PoResult};
 use std::collections::BTreeSet;
 
 /// OMS statistics.
@@ -27,6 +27,25 @@ pub struct StoreStats {
     pub splits: Counter,
     /// Chunks requested from the OS.
     pub os_grants: Counter,
+    /// Compaction passes run (§4.4.2 memory compaction).
+    pub compaction_passes: Counter,
+    /// Total bytes moved by compaction relocations.
+    pub relocated_bytes: Counter,
+}
+
+/// What one [`OverlayMemoryStore::compact`] pass accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Bytes moved to lower addresses.
+    pub relocated_bytes: u64,
+    /// Live segments relocated.
+    pub moves: u64,
+    /// Buddy merges performed on the free lists.
+    pub merges: u64,
+    /// `true` when a relocation copy failed mid-pass and the pass
+    /// aborted gracefully (the destination segment was released and the
+    /// store is consistent; the caller may retry).
+    pub aborted: bool,
 }
 
 /// The Overlay Memory Store allocator.
@@ -208,6 +227,145 @@ impl OverlayMemoryStore {
         self.free[Self::class_idx(class)].len()
     }
 
+    /// How badly the free space is shattered across the small segment
+    /// classes: `1 − (4 KB-class free bytes / total free bytes)`.
+    ///
+    /// `0.0` means every free byte sits on the 4 KB list (any request
+    /// can be served by splitting); `1.0` means no whole page is free —
+    /// a 4 KB allocation fails even though `bytes_free()` may exceed
+    /// 4 KB many times over. Returns `0.0` when nothing is free (an
+    /// empty free list is not fragmented, just exhausted).
+    pub fn fragmentation_ratio(&self) -> f64 {
+        let free = self.bytes_free();
+        if free == 0 {
+            return 0.0;
+        }
+        let k4 = self.free[Self::class_idx(SegmentClass::K4)].len() as u64
+            * SegmentClass::K4.bytes() as u64;
+        1.0 - k4 as f64 / free as f64
+    }
+
+    /// Merges free buddy pairs upward through the class ladder
+    /// (`buddy = base XOR size`; chunks are 4 KB-aligned so the XOR rule
+    /// is exact for every class below 4 KB). Returns the merge count.
+    ///
+    /// The paper's allocator never coalesces (§4.4.3 keeps the free
+    /// lists flat); this runs only as part of a compaction pass
+    /// (§4.4.2), which is why long churn without compaction strands
+    /// bytes in the small classes.
+    fn coalesce(&mut self) -> u64 {
+        let mut merges = 0;
+        for idx in 0..SegmentClass::ALL.len() - 1 {
+            let size = SegmentClass::ALL[idx].bytes() as u64;
+            // One ascending pass per class suffices: buddies are adjacent
+            // in the sorted set, and a merge feeds the *next* class.
+            let bases: Vec<u64> = self.free[idx].iter().copied().collect();
+            let mut i = 0;
+            while i + 1 < bases.len() {
+                let lo = bases[i];
+                if lo.is_multiple_of(2 * size) && bases[i + 1] == lo + size {
+                    self.free[idx].remove(&lo);
+                    self.free[idx].remove(&(lo + size));
+                    self.free[idx + 1].insert(lo);
+                    merges += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        merges
+    }
+
+    /// One live compaction pass (§4.4.2): coalesce free buddies, then
+    /// relocate live segments — highest addresses first — into the
+    /// lowest free slot of the same class, and coalesce again.
+    ///
+    /// `live` lists every allocated segment (base, class); the store
+    /// has no segment-to-owner map, so the overlay manager supplies it.
+    /// For each improving move the `relocate` hook must copy the
+    /// segment bytes and atomically repoint the owner's OMT entry
+    /// (shooting down cached copies); only after the hook returns `Ok`
+    /// does the store free the old segment. A move that would not lower
+    /// the segment's address is skipped (destination released), so the
+    /// pass never ping-pongs.
+    ///
+    /// Crash semantics (DST): between the hook's `Ok` and the old
+    /// segment's free lies the second [`CrashStage::MidCompaction`]
+    /// window — if the armed crash fires there, the pass freezes with
+    /// exactly one orphaned segment (old copy still allocated, OMT
+    /// already repointed), which the refinement oracle admits. A
+    /// [`PoError::Crashed`] from the hook itself (the first window:
+    /// bytes copied, OMT not yet repointed) propagates the same way —
+    /// nothing is rolled back, the orphan is the *new* segment.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Crashed`] when an armed mid-compaction crash fires
+    /// (state frozen, snapshot-restorable); [`PoError::Corrupted`] only
+    /// if the store's own accounting is broken. A failed relocation
+    /// copy is *not* an error: the pass aborts gracefully with
+    /// [`CompactionOutcome::aborted`] set.
+    pub fn compact(
+        &mut self,
+        live: &[(MainMemAddr, SegmentClass)],
+        mut relocate: impl FnMut(MainMemAddr, MainMemAddr, SegmentClass) -> PoResult<()>,
+    ) -> PoResult<CompactionOutcome> {
+        self.stats.compaction_passes.inc();
+        let mut outcome = CompactionOutcome { merges: self.coalesce(), ..Default::default() };
+        let mut order: Vec<(u64, SegmentClass)> = live.iter().map(|&(a, c)| (a.raw(), c)).collect();
+        order.sort_unstable_by_key(|&(base, _)| std::cmp::Reverse(base));
+        for (old, class) in order {
+            let new = match self.allocate(class) {
+                Ok(n) => n,
+                // Nothing free in this class or above — not a failure,
+                // there is simply no slot to move into.
+                Err(PoError::OverlayStoreExhausted) => continue,
+                Err(e) => return Err(e),
+            };
+            if new.raw() >= old {
+                self.free(new, class)?;
+                continue;
+            }
+            match relocate(MainMemAddr::new(old), new, class) {
+                Ok(()) => {
+                    // OMT now points at `new`; `old` is the orphan until
+                    // the free below lands. The second MidCompaction
+                    // window (repoint done, old segment still allocated).
+                    if self.faults.fire_crash(CrashStage::MidCompaction) {
+                        self.stats.relocated_bytes.add(outcome.relocated_bytes);
+                        return Err(PoError::Crashed(CrashStage::MidCompaction));
+                    }
+                    self.free(MainMemAddr::new(old), class)?;
+                    outcome.moves += 1;
+                    outcome.relocated_bytes += class.bytes() as u64;
+                }
+                // The hook froze inside its own window (bytes copied,
+                // OMT untouched): propagate with nothing rolled back —
+                // `new` stays allocated as the spec-legal orphan.
+                Err(e @ PoError::Crashed(_)) => {
+                    self.stats.relocated_bytes.add(outcome.relocated_bytes);
+                    return Err(e);
+                }
+                // Copy failed (e.g. injected CompactionRelocationFailed):
+                // release the destination and abort the pass cleanly.
+                Err(_) => {
+                    self.free(new, class)?;
+                    outcome.aborted = true;
+                    break;
+                }
+            }
+        }
+        outcome.merges += self.coalesce();
+        self.stats.relocated_bytes.add(outcome.relocated_bytes);
+        self.sink.count("oms.compaction_passes", 1);
+        self.sink.count("oms.relocated_bytes", outcome.relocated_bytes);
+        let (relocated_bytes, moves, aborted) =
+            (outcome.relocated_bytes, outcome.moves, outcome.aborted);
+        self.sink.emit(|| TelemetryEvent::Compaction { relocated_bytes, moves, aborted });
+        Ok(outcome)
+    }
+
     /// Invariant: every managed byte is either free or in use, exactly
     /// once. Checked by tests and property tests (DESIGN.md invariant 2).
     pub fn check_conservation(&self) -> PoResult<()> {
@@ -267,9 +425,14 @@ impl OverlayMemoryStore {
             w.put_u64(base);
             w.put_u64(bytes);
         }
-        for c in
-            [&self.stats.allocations, &self.stats.frees, &self.stats.splits, &self.stats.os_grants]
-        {
+        for c in [
+            &self.stats.allocations,
+            &self.stats.frees,
+            &self.stats.splits,
+            &self.stats.os_grants,
+            &self.stats.compaction_passes,
+            &self.stats.relocated_bytes,
+        ] {
             w.put_u64(c.get());
         }
     }
@@ -304,6 +467,8 @@ impl OverlayMemoryStore {
             &mut store.stats.frees,
             &mut store.stats.splits,
             &mut store.stats.os_grants,
+            &mut store.stats.compaction_passes,
+            &mut store.stats.relocated_bytes,
         ] {
             c.add(r.get_u64()?);
         }
@@ -403,6 +568,113 @@ mod tests {
     fn chunk_must_be_aligned() {
         let mut s = OverlayMemoryStore::new();
         s.add_chunk(MainMemAddr::new(0x100), 1);
+    }
+
+    #[test]
+    fn coalesce_restores_whole_pages() {
+        let mut s = store_with(1);
+        // Shatter the page into sixteen 256 B segments, free them all,
+        // then compact with no live segments: the free lists must fold
+        // back into one whole 4 KB page.
+        let segs: Vec<_> = (0..16).map(|_| s.allocate(SegmentClass::B256).unwrap()).collect();
+        for seg in segs {
+            s.free(seg, SegmentClass::B256).unwrap();
+        }
+        assert_eq!(s.free_count(SegmentClass::K4), 0);
+        assert!(s.fragmentation_ratio() > 0.99);
+        let out = s.compact(&[], |_, _, _| Ok(())).unwrap();
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.merges, 8 + 4 + 2 + 1);
+        assert_eq!(s.free_count(SegmentClass::K4), 1);
+        assert_eq!(s.fragmentation_ratio(), 0.0);
+        s.verify_layout().unwrap();
+    }
+
+    #[test]
+    fn compact_relocates_straggler_downward() {
+        let mut s = store_with(2);
+        // Fill both pages with 256 B segments, then free all but the
+        // very last one: a classic straggler pinning the second page.
+        let segs: Vec<_> = (0..32).map(|_| s.allocate(SegmentClass::B256).unwrap()).collect();
+        let last = *segs.last().unwrap();
+        for &seg in &segs[..31] {
+            s.free(seg, SegmentClass::B256).unwrap();
+        }
+        assert_eq!(s.allocate(SegmentClass::K4), Err(PoError::OverlayStoreExhausted));
+        let mut moved = Vec::new();
+        let out = s
+            .compact(&[(last, SegmentClass::B256)], |old, new, class| {
+                moved.push((old, new, class));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(out.moves, 1);
+        assert_eq!(out.relocated_bytes, 256);
+        assert!(!out.aborted);
+        assert_eq!(moved.len(), 1);
+        assert!(moved[0].1.raw() < moved[0].0.raw(), "relocation must lower the address");
+        // The straggler now lives in the first page; a whole page frees up.
+        assert!(s.allocate(SegmentClass::K4).is_ok());
+        s.verify_layout().unwrap();
+        assert_eq!(s.bytes_in_use(), 256 + 4096);
+    }
+
+    #[test]
+    fn compact_skips_non_improving_moves() {
+        let mut s = store_with(1);
+        let a = s.allocate(SegmentClass::B256).unwrap();
+        // `a` is already the lowest address; compaction must not move it.
+        let out = s.compact(&[(a, SegmentClass::B256)], |_, _, _| panic!("no move")).unwrap();
+        assert_eq!(out.moves, 0);
+        s.verify_layout().unwrap();
+    }
+
+    #[test]
+    fn failed_relocation_aborts_cleanly() {
+        let mut s = store_with(2);
+        let segs: Vec<_> = (0..32).map(|_| s.allocate(SegmentClass::B256).unwrap()).collect();
+        let last = *segs.last().unwrap();
+        for &seg in &segs[..31] {
+            s.free(seg, SegmentClass::B256).unwrap();
+        }
+        let before_used = s.bytes_in_use();
+        let out = s
+            .compact(&[(last, SegmentClass::B256)], |_, _, _| {
+                Err(PoError::Corrupted("injected copy failure"))
+            })
+            .unwrap();
+        assert!(out.aborted);
+        assert_eq!(out.moves, 0);
+        // Destination released, straggler untouched, store consistent.
+        assert_eq!(s.bytes_in_use(), before_used);
+        s.verify_layout().unwrap();
+        // A retry with a working copy succeeds.
+        let out = s.compact(&[(last, SegmentClass::B256)], |_, _, _| Ok(())).unwrap();
+        assert_eq!(out.moves, 1);
+        s.verify_layout().unwrap();
+    }
+
+    #[test]
+    fn mid_compaction_crash_freezes_one_orphan() {
+        use po_types::{FaultPlan, FaultSite};
+        let mut s = store_with(2);
+        let segs: Vec<_> = (0..32).map(|_| s.allocate(SegmentClass::B256).unwrap()).collect();
+        let last = *segs.last().unwrap();
+        for &seg in &segs[..31] {
+            s.free(seg, SegmentClass::B256).unwrap();
+        }
+        s.set_fault_injector(FaultInjector::from_plan(
+            FaultPlan::new(7)
+                .at_queries(FaultSite::CrashPoint, [0])
+                .with_crash_stage(CrashStage::MidCompaction),
+        ));
+        let before_used = s.bytes_in_use();
+        let err = s.compact(&[(last, SegmentClass::B256)], |_, _, _| Ok(())).unwrap_err();
+        assert_eq!(err, PoError::Crashed(CrashStage::MidCompaction));
+        // Window 2: OMT repointed (hook ran), old segment not yet freed —
+        // exactly one extra live segment, conservation still holds.
+        assert_eq!(s.bytes_in_use(), before_used + 256);
+        s.verify_layout().unwrap();
     }
 
     #[test]

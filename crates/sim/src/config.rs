@@ -43,6 +43,11 @@ pub struct SystemConfig {
     /// Promote an overlay to a full page once this many lines are in it
     /// (§4.3.4); 64 = only when the whole page has diverged.
     pub promote_threshold: usize,
+    /// Enable live OMS compaction (§4.4.2) as the middle rung of the
+    /// memory-pressure ladder (reclaim → compact → grow). Disabling it
+    /// models the paper's compaction-free allocator, whose free lists
+    /// fragment irreversibly under segment-class churn.
+    pub oms_compaction: bool,
 }
 
 impl SystemConfig {
@@ -61,6 +66,7 @@ impl SystemConfig {
             coherence_update_latency: 30,
             overlay_mode: false,
             promote_threshold: 64,
+            oms_compaction: true,
         }
     }
 

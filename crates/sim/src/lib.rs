@@ -67,16 +67,18 @@ pub use config::{hardware_cost, HardwareCost, SystemConfig};
 pub use core_model::CoreModel;
 pub use machine::Machine;
 pub use oracle::DiffOracle;
-pub use runner::{run_job, JobKind, JobOutcome, JobResult, TraceJob, TraceOutcome, WorkloadJob};
+pub use runner::{
+    run_job, JobKind, JobOutcome, JobResult, SoakOutcome, TraceJob, TraceOutcome, WorkloadJob,
+};
 pub use scenario::{
     run_fork_experiment, run_fork_experiment_instrumented, run_fork_experiment_on,
     run_periodic_checkpoint_experiment, run_periodic_checkpoint_experiment_on,
     ForkExperimentResult, PeriodicCheckpointResult,
 };
 pub use sim_test::{
-    generate_ops, run_crash_convergence, run_crash_convergence_staged, run_ops, run_ops_traced,
-    shrink_ops, shrink_ops_filtered, SimHarness, FAILURE_EVENT_TAIL, MAX_MAP_PAGES, MAX_VPN_SPAN,
-    VPN_BASE,
+    generate_ops, generate_soak_ops, run_crash_convergence, run_crash_convergence_staged, run_ops,
+    run_ops_traced, shrink_ops, shrink_ops_filtered, SimHarness, FAILURE_EVENT_TAIL, MAX_MAP_PAGES,
+    MAX_VPN_SPAN, VPN_BASE,
 };
 pub use spec_mirror::SpecMirror;
 pub use stats::SimStats;

@@ -69,7 +69,9 @@ const MAX_ALLOC_ATTEMPTS: usize = 8;
 /// `"POSN"` — leading bytes of every machine snapshot.
 const SNAPSHOT_MAGIC: u32 = 0x504F_534E;
 /// Bumped whenever the snapshot byte layout changes (DESIGN.md §8).
-const SNAPSHOT_VERSION: u32 = 2;
+/// v3: compaction counters in `StoreStats`, a new fault site in the
+/// injector's per-site arrays.
+const SNAPSHOT_VERSION: u32 = 3;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -374,9 +376,7 @@ impl Machine {
                 match overlay.evict_all(opn, mem, &mut grant) {
                     Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
                         last = Err(e);
-                        if attempt + 1 == MAX_ALLOC_ATTEMPTS
-                            || self.recover_overlay_memory(Some(opn))? == 0
-                        {
+                        if attempt + 1 == MAX_ALLOC_ATTEMPTS || !self.relieve_pressure(Some(opn))? {
                             return last;
                         }
                     }
@@ -395,10 +395,10 @@ impl Machine {
     // Graceful degradation under memory pressure.
     // ------------------------------------------------------------------
 
-    /// Evicts one dirty overlay line into the OMS, reclaiming overlay
-    /// memory and retrying (bounded) if the store is exhausted or the OS
-    /// refuses to grow it. Surfaces the error only once reclaim can free
-    /// nothing further.
+    /// Evicts one dirty overlay line into the OMS, walking the
+    /// degradation ladder (reclaim → compact → grow, DESIGN.md §14) with
+    /// bounded retries if the store is exhausted or the OS refuses to
+    /// grow it. Surfaces the error only once no rung frees anything.
     fn evict_line_reclaiming(
         &mut self,
         opn: Opn,
@@ -416,9 +416,7 @@ impl Machine {
             match overlay.evict_line(opn, line, mem, &mut grant) {
                 Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
                     last = Err(e);
-                    if attempt + 1 == MAX_ALLOC_ATTEMPTS
-                        || self.recover_overlay_memory(Some(opn))? == 0
-                    {
+                    if attempt + 1 == MAX_ALLOC_ATTEMPTS || !self.relieve_pressure(Some(opn))? {
                         return last;
                     }
                 }
@@ -426,6 +424,20 @@ impl Machine {
             }
         }
         last
+    }
+
+    /// One rung-descent of the §4.4.2 pressure ladder: try reclaim
+    /// (collapse a cold overlay); if that frees nothing, try a
+    /// compaction pass (coalescing may reassemble the larger segment the
+    /// allocation needs even when no overlay is collapsible). Returns
+    /// whether anything changed — `false` means a retry is pointless and
+    /// the caller should surface the allocation failure.
+    fn relieve_pressure(&mut self, exempt: Option<Opn>) -> PoResult<bool> {
+        if self.recover_overlay_memory(exempt)? > 0 {
+            return Ok(true);
+        }
+        let out = self.compact_overlay_memory()?;
+        Ok(out.moves > 0 || out.merges > 0)
     }
 
     /// Releases overlay memory under pressure by collapsing cold overlays
@@ -466,6 +478,33 @@ impl Machine {
             }
         }
         Ok(freed)
+    }
+
+    /// Runs one live OMS compaction pass (§4.4.2): the overlay manager
+    /// relocates live segments downward and repoints their OMT entries;
+    /// the machine then shoots down cached translations of every moved
+    /// page (mirroring the promotion paths — the OMT-cache copies were
+    /// already invalidated per-move by the manager). A no-op returning
+    /// an empty outcome when [`SystemConfig::oms_compaction`] is off.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::Crashed`] when an armed
+    /// [`CrashStage::MidCompaction`] crash fires (DST recovery path);
+    /// [`PoError::Corrupted`] on broken accounting.
+    pub fn compact_overlay_memory(&mut self) -> PoResult<po_overlay::CompactionOutcome> {
+        if !self.config.oms_compaction {
+            return Ok(po_overlay::CompactionOutcome::default());
+        }
+        let (outcome, moved) = self.overlay.compact_store(&mut self.mem)?;
+        for opn in moved {
+            let (asid, vpn) = opn.decode();
+            for tlb in &mut self.tlbs {
+                tlb.shootdown(asid, vpn);
+            }
+        }
+        self.stats.compactions.inc();
+        Ok(outcome)
     }
 
     /// `prepare_write` with bounded retry: a refused frame allocation

@@ -106,6 +106,22 @@ pub enum JobKind {
         /// self-test).
         inject_bug: bool,
     },
+    /// Sustained-pressure soak ([`crate::sim_test::generate_soak_ops`]):
+    /// a churn stream driven through the full differential harness
+    /// (byte oracle + spec refinement + invariant sweep after every op),
+    /// then judged against an end-of-run fragmentation ceiling. The
+    /// outcome reports the degradation-ladder telemetry (compaction
+    /// passes, relocated bytes, fragmentation) alongside the verdict.
+    Soak {
+        /// The churn op stream.
+        ops: Vec<TraceOp>,
+        /// Maximum tolerated end-of-run [`fragmentation ratio`]
+        /// (0.0–1.0); exceeding it is a finding.
+        ///
+        /// [`fragmentation ratio`]:
+        /// po_overlay::OverlayMemoryStore::fragmentation_ratio
+        frag_ceiling: f64,
+    },
 }
 
 /// One schedulable unit of bench work: config + scenario/trace + fault
@@ -182,6 +198,17 @@ impl WorkloadJob {
         Self::new(id, label, config, JobKind::Trace(job))
     }
 
+    /// A sustained-pressure soak job.
+    pub fn soak(
+        id: u64,
+        label: impl Into<String>,
+        config: SystemConfig,
+        ops: Vec<TraceOp>,
+        frag_ceiling: f64,
+    ) -> Self {
+        Self::new(id, label, config, JobKind::Soak { ops, frag_ceiling })
+    }
+
     /// A differential-harness job.
     pub fn harness_ops(
         id: u64,
@@ -224,7 +251,7 @@ impl WorkloadJob {
                 warmup.len() as u64 + interval.len() as u64 * intervals
             }
             JobKind::Trace(t) => t.ops.len() as u64,
-            JobKind::HarnessOps { ops, .. } => ops.len() as u64,
+            JobKind::HarnessOps { ops, .. } | JobKind::Soak { ops, .. } => ops.len() as u64,
         }
     }
 }
@@ -240,6 +267,28 @@ pub struct TraceOutcome {
     pub overlay_bytes: u64,
 }
 
+/// What a [`JobKind::Soak`] job reports: the harness verdict plus the
+/// degradation-ladder counters a soak campaign trends over time.
+#[derive(Clone, Debug)]
+pub struct SoakOutcome {
+    /// `Err` is a divergence, refinement violation, invariant failure,
+    /// or a fragmentation-ceiling breach.
+    pub verdict: Result<(), String>,
+    /// Ops driven (the whole stream; soak findings do not stop early —
+    /// they come from the final sweep).
+    pub ops_applied: u64,
+    /// Live processes when the stream ended (fork churn depth).
+    pub procs: u64,
+    /// Compaction passes the pressure ladder (or explicit `O` ops) ran.
+    pub compaction_passes: u64,
+    /// Bytes of live segments relocated across all passes.
+    pub relocated_bytes: u64,
+    /// End-of-run OMS fragmentation ratio (0.0–1.0).
+    pub final_fragmentation: f64,
+    /// OMS bytes still live when the stream ended.
+    pub overlay_bytes: u64,
+}
+
 /// The scenario-specific result inside a [`JobResult`].
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
@@ -252,6 +301,8 @@ pub enum JobOutcome {
     /// The harness verdict: `Err` is a divergence or unexpected machine
     /// failure (a finding, not a fault).
     Harness(Result<(), String>),
+    /// Soak result: verdict plus degradation-ladder counters.
+    Soak(SoakOutcome),
 }
 
 impl JobOutcome {
@@ -283,6 +334,14 @@ impl JobOutcome {
     pub fn as_harness(&self) -> Option<&Result<(), String>> {
         match self {
             JobOutcome::Harness(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The soak result, if this outcome is one.
+    pub fn as_soak(&self) -> Option<&SoakOutcome> {
+        match self {
+            JobOutcome::Soak(r) => Some(r),
             _ => None,
         }
     }
@@ -333,6 +392,39 @@ pub fn run_job(job: WorkloadJob) -> PoResult<JobResult> {
             let fp = fingerprint64_bytes(&h.machine.save_snapshot());
             (JobOutcome::Harness(verdict), fp)
         }
+        JobKind::Soak { ops, frag_ceiling } => {
+            let mut h = SimHarness::new(job.config)?;
+            if let Some(plan) = job.plan {
+                h.machine.install_fault_plan(plan);
+            }
+            h.machine.install_telemetry(sink.clone());
+            let verdict = drive_ops(&mut h, &ops, 0, "", |_, _| {}, |_, _| Ok(false))
+                .map(|_| ())
+                .and_then(|()| h.check_all())
+                .and_then(|()| {
+                    let frag = h.machine.overlay().store().fragmentation_ratio();
+                    if frag > frag_ceiling {
+                        Err(format!(
+                            "end-of-soak fragmentation {frag:.3} exceeds the ceiling \
+                             {frag_ceiling:.3}"
+                        ))
+                    } else {
+                        Ok(())
+                    }
+                });
+            let store = h.machine.overlay().store();
+            let outcome = SoakOutcome {
+                verdict,
+                ops_applied: ops.len() as u64,
+                procs: h.procs.len() as u64,
+                compaction_passes: store.stats().compaction_passes.get(),
+                relocated_bytes: store.stats().relocated_bytes.get(),
+                final_fragmentation: store.fragmentation_ratio(),
+                overlay_bytes: store.bytes_in_use(),
+            };
+            let fp = fingerprint64_bytes(&h.machine.save_snapshot());
+            (JobOutcome::Soak(outcome), fp)
+        }
         kind => {
             let mut machine = Machine::new(job.config)?;
             if let Some(plan) = job.plan {
@@ -379,7 +471,9 @@ pub fn run_job(job: WorkloadJob) -> PoResult<JobResult> {
                         overlay_bytes: machine.overlay().store().bytes_in_use(),
                     })
                 }
-                JobKind::HarnessOps { .. } => unreachable!("handled in the outer match"),
+                JobKind::HarnessOps { .. } | JobKind::Soak { .. } => {
+                    unreachable!("handled in the outer match")
+                }
             };
             (outcome, fingerprint64_bytes(&machine.save_snapshot()))
         }

@@ -317,7 +317,20 @@ impl SimHarness {
                             // the mirror never predicts promotion — the
                             // reconcile sweep mirrors whichever overlays
                             // the machine actually collapsed.
-                            self.spec.on_write(asid, va, false).map_err(Interrupt::Fail)?;
+                            let out =
+                                self.spec.on_write(asid, va, false).map_err(Interrupt::Fail)?;
+                            // The route itself can also be unpredictable:
+                            // a fork that died mid-materialize leaves
+                            // privatized pages with stale TLB entries
+                            // (the flush happens only when fork
+                            // succeeds), so the store may overlay-route
+                            // where the page table — and the spec — say
+                            // base. Believe the OBitVector for the one
+                            // line the op targeted, as `repair_line`
+                            // does on the failure path.
+                            if !matches!(out, SpecOutcome::Wrote { overlay_route: true, .. }) {
+                                self.spec.repair_line(&self.machine, asid, va);
+                            }
                         }
                         Ok(())
                     }
@@ -536,6 +549,14 @@ impl SimHarness {
                 Err(e) if benign(&e) => Ok(()),
                 Err(e) => Err(interrupt(&e, format!("reclaim failed: {e:?}"))),
             },
+            // Compaction moves OMS segments without changing any byte
+            // the oracle tracks or any page state the spec tracks — the
+            // post-op refinement sweep is the whole check.
+            TraceOp::Compact => match self.machine.compact_overlay_memory() {
+                Ok(_) => Ok(()),
+                Err(e) if benign(&e) => Ok(()),
+                Err(e) => Err(interrupt(&e, format!("compaction failed: {e:?}"))),
+            },
         }
     }
 
@@ -653,8 +674,53 @@ pub fn generate_ops(seed: u64, count: usize) -> Vec<TraceOp> {
             68..=72 => TraceOp::DiscardPage { proc_sel: sel, vpn },
             73..=74 => TraceOp::Flush,
             75..=76 => TraceOp::Reclaim,
-            77..=80 => TraceOp::Compute(1 + (r >> 36) as u32 % 16),
+            77..=78 => TraceOp::Compact,
+            79..=80 => TraceOp::Compute(1 + (r >> 36) as u32 % 16),
             81..=90 => TraceOp::Load(va),
+            _ => TraceOp::Store(va),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Generates a deterministic *soak* stream of length `count` from
+/// `seed`: sustained overlay churn rather than the balanced mix of
+/// [`generate_ops`]. Forks are frequent (fork-per-snapshot process
+/// churn), overlay lifecycles dominate (seed → flush → commit/discard
+/// cycles force the OMS through repeated segment-class reallocation),
+/// and the page window is wider (16 pages per process) so free lists
+/// fragment the way the paper's §4.4.2 compaction-free allocator does.
+/// Explicit `Compact` ops appear at a low rate; the pressure ladder
+/// supplies the rest.
+pub fn generate_soak_ops(seed: u64, count: usize) -> Vec<TraceOp> {
+    let mut rng = SplitMix64::new(seed ^ 0x50AC_50AC);
+    let mut ops = Vec::with_capacity(count);
+    ops.push(TraceOp::Spawn);
+    ops.push(TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 16 });
+    while ops.len() < count {
+        let r = rng.next_u64();
+        let sel = ((r >> 8) % 16) as u32;
+        let vpn = VPN_BASE + (r >> 16) % 16;
+        let va = VirtAddr::new(vpn * PAGE_SIZE as u64 + (r >> 24) % PAGE_SIZE as u64);
+        let value = (r >> 48) as u8;
+        let op = match r % 100 {
+            0 => TraceOp::Spawn,
+            1..=4 => TraceOp::Map { proc_sel: sel, start: vpn, count: 1 + ((r >> 36) % 4) as u32 },
+            5..=14 => TraceOp::Fork { proc_sel: sel },
+            15..=44 => TraceOp::SeedLine {
+                proc_sel: sel,
+                vpn,
+                line: ((r >> 36) % LINES_PER_PAGE as u64) as u8,
+                value,
+            },
+            45..=52 => TraceOp::Poke { proc_sel: sel, va, value },
+            53..=62 => TraceOp::CommitPage { proc_sel: sel, vpn },
+            63..=72 => TraceOp::DiscardPage { proc_sel: sel, vpn },
+            73..=82 => TraceOp::Flush,
+            83..=86 => TraceOp::Reclaim,
+            87..=89 => TraceOp::Compact,
+            90..=94 => TraceOp::Peek { proc_sel: sel, va },
             _ => TraceOp::Store(va),
         };
         ops.push(op);

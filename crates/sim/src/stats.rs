@@ -21,6 +21,8 @@ pub struct SimStats {
     pub overlaying_writes: Counter,
     /// Overlay promotions to full pages.
     pub promotions: Counter,
+    /// OMS compaction passes run by the pressure ladder (§4.4.2).
+    pub compactions: Counter,
     /// Bytes of demand + copy traffic moved over the memory bus.
     pub bus_bytes: u64,
     /// Extra physical memory allocated since the measurement epoch
@@ -45,6 +47,7 @@ impl SimStats {
             &self.pages_copied,
             &self.overlaying_writes,
             &self.promotions,
+            &self.compactions,
         ] {
             w.put_u64(c.get());
         }
@@ -66,6 +69,7 @@ impl SimStats {
             &mut s.pages_copied,
             &mut s.overlaying_writes,
             &mut s.promotions,
+            &mut s.compactions,
         ] {
             c.add(r.get_u64()?);
         }

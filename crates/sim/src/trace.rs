@@ -93,6 +93,11 @@ pub enum TraceOp {
     /// Harness: reclaim overlay memory by collapsing cold overlays
     /// ([`Machine::recover_overlay_memory`]).
     Reclaim,
+    /// Harness: run one OMS compaction pass
+    /// ([`Machine::compact_overlay_memory`]) — coalesce free space and
+    /// relocate live segments downward. Semantically invisible: no
+    /// functional state the oracle or spec tracks changes.
+    Compact,
 }
 
 impl TraceOp {

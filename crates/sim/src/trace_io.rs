@@ -22,6 +22,7 @@
 //! D <p> <hexvpn>     # discard page overlay         (version 2)
 //! U                  # flush dirty overlay lines    (version 2)
 //! G                  # reclaim overlay memory       (version 2)
+//! O                  # compact the overlay store    (version 2)
 //! ```
 //!
 //! Headers are validated strictly: duplicates are rejected, a declared
@@ -122,6 +123,7 @@ pub fn write_trace_with_seed<W: Write>(
             TraceOp::DiscardPage { proc_sel, vpn } => writeln!(w, "D {proc_sel} {vpn:x}")?,
             TraceOp::Flush => writeln!(w, "U")?,
             TraceOp::Reclaim => writeln!(w, "G")?,
+            TraceOp::Compact => writeln!(w, "O")?,
         }
     }
     Ok(())
@@ -292,6 +294,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
             },
             "U" => TraceOp::Flush,
             "G" => TraceOp::Reclaim,
+            "O" => TraceOp::Compact,
             other => return Err(parse_err(lineno, format!("unknown op tag {other}"))),
         };
         if fields.next().is_some() {
@@ -390,6 +393,7 @@ mod tests {
             TraceOp::DiscardPage { proc_sel: 4, vpn: 0x102 },
             TraceOp::Flush,
             TraceOp::Reclaim,
+            TraceOp::Compact,
         ]
     }
 

@@ -32,7 +32,7 @@ fn track_of(event: &Event) -> u64 {
         Event::CacheAccess { .. } => 2,
         Event::OBitCheck { .. } | Event::OmtWalk { .. } | Event::OmsResolve { .. } => 3,
         Event::DramAccess { .. } => 4,
-        Event::OverlayingWrite { .. } | Event::Reclaim { .. } => 5,
+        Event::OverlayingWrite { .. } | Event::Reclaim { .. } | Event::Compaction { .. } => 5,
         Event::FaultInjected { .. } => 6,
     }
 }

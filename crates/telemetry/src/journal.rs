@@ -117,6 +117,16 @@ pub enum Event {
         /// OMS bytes freed.
         freed_bytes: u64,
     },
+    /// An OMS compaction pass relocated live segments to coalesce free
+    /// space (or aborted mid-pass on a relocation failure).
+    Compaction {
+        /// Total bytes moved to lower addresses by this pass.
+        relocated_bytes: u64,
+        /// Number of segments relocated.
+        moves: u64,
+        /// Whether the pass aborted early (relocation copy failed).
+        aborted: bool,
+    },
     /// A fault-injection site fired.
     FaultInjected {
         /// Stable site name (e.g. `"OmsAllocFailed"`).
@@ -136,6 +146,7 @@ impl Event {
             Event::DramAccess { .. } => "DramAccess",
             Event::OverlayingWrite { .. } => "OverlayingWrite",
             Event::Reclaim { .. } => "Reclaim",
+            Event::Compaction { .. } => "Compaction",
             Event::FaultInjected { .. } => "FaultInjected",
         }
     }
@@ -185,6 +196,12 @@ impl Event {
             }
             Event::Reclaim { opn, freed_bytes } => {
                 let _ = write!(out, "\"opn\":{opn},\"freed_bytes\":{freed_bytes}");
+            }
+            Event::Compaction { relocated_bytes, moves, aborted } => {
+                let _ = write!(
+                    out,
+                    "\"relocated_bytes\":{relocated_bytes},\"moves\":{moves},\"aborted\":{aborted}"
+                );
             }
             Event::FaultInjected { site } => {
                 let _ = write!(out, "\"site\":\"{site}\"");

@@ -72,11 +72,16 @@ pub enum FaultSite {
     /// fires, abandons the in-flight run, restores the last snapshot and
     /// replays the journaled suffix (deterministic simulation testing).
     CrashPoint,
+    /// The segment copy inside an OMS compaction pass fails (transient
+    /// copy-engine error). The pass must abort cleanly — the destination
+    /// segment is released, the OMT keeps pointing at the old segment —
+    /// and the caller may retry the whole pass later.
+    CompactionRelocationFailed,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports and tests.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::OmsGrowRefused,
         FaultSite::FrameAllocExhausted,
         FaultSite::OmtCacheCorruption,
@@ -84,6 +89,7 @@ impl FaultSite {
         FaultSite::TlbShootdownTimeout,
         FaultSite::OmsAllocFailed,
         FaultSite::CrashPoint,
+        FaultSite::CompactionRelocationFailed,
     ];
 
     #[inline]
@@ -96,6 +102,7 @@ impl FaultSite {
             FaultSite::TlbShootdownTimeout => 4,
             FaultSite::OmsAllocFailed => 5,
             FaultSite::CrashPoint => 6,
+            FaultSite::CompactionRelocationFailed => 7,
         }
     }
 }
@@ -127,20 +134,31 @@ pub enum CrashStage {
     /// overlay destruction — the window where the store still holds a
     /// segment no OMT entry points at.
     OmtFreeWindow,
+    /// Inside an OMS compaction relocation: either after the segment
+    /// bytes are copied but before the OMT entry is repointed, or after
+    /// the repoint but before the old segment is freed. Both windows
+    /// leave exactly one orphaned segment in the store and no abstract
+    /// state change — compaction is semantically invisible.
+    MidCompaction,
 }
 
 impl CrashStage {
     /// All stages, for iteration in matrices and tests.
-    pub const ALL: [CrashStage; 4] = [
+    pub const ALL: [CrashStage; 5] = [
         CrashStage::OpBoundary,
         CrashStage::MidPromotion,
         CrashStage::MidReclaim,
         CrashStage::OmtFreeWindow,
+        CrashStage::MidCompaction,
     ];
 
     /// The interior (non-boundary) stages.
-    pub const INTERIOR: [CrashStage; 3] =
-        [CrashStage::MidPromotion, CrashStage::MidReclaim, CrashStage::OmtFreeWindow];
+    pub const INTERIOR: [CrashStage; 4] = [
+        CrashStage::MidPromotion,
+        CrashStage::MidReclaim,
+        CrashStage::OmtFreeWindow,
+        CrashStage::MidCompaction,
+    ];
 
     #[inline]
     fn index(self) -> u8 {
@@ -149,6 +167,7 @@ impl CrashStage {
             CrashStage::MidPromotion => 1,
             CrashStage::MidReclaim => 2,
             CrashStage::OmtFreeWindow => 3,
+            CrashStage::MidCompaction => 4,
         }
     }
 
@@ -163,6 +182,7 @@ impl CrashStage {
             CrashStage::MidPromotion => "mid-promotion",
             CrashStage::MidReclaim => "mid-reclaim",
             CrashStage::OmtFreeWindow => "omt-free-window",
+            CrashStage::MidCompaction => "mid-compaction",
         }
     }
 }

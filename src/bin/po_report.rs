@@ -3,10 +3,13 @@
 //! Runs the §5.1 fork/checkpoint experiment and the Figure 10 SpMV
 //! kernel with an active [`TelemetrySink`], then prints a per-layer CPI
 //! stack, the metrics registry, and the journal summary for each.
+//! A third report, `soak`, replays a seeded churn stream through the
+//! differential harness and summarizes fragmentation and §4.4.2
+//! compaction activity from the telemetry gauges and counters.
 //! Optionally exports the raw telemetry next to the report.
 //!
 //! ```text
-//! po_report [--workload fork|spmv|all] [--out DIR]
+//! po_report [--workload fork|spmv|soak|all] [--out DIR]
 //!           [--spec NAME] [--warmup N] [--post N] [--seed N]
 //! ```
 //!
@@ -25,7 +28,7 @@
 //!
 //! [`TelemetrySink`]: page_overlays::telemetry::TelemetrySink
 
-use page_overlays::sim::{run_job, SystemConfig, WorkloadJob};
+use page_overlays::sim::{generate_soak_ops, run_job, SystemConfig, WorkloadJob};
 use page_overlays::sparse::gen as matrix_gen;
 use page_overlays::sparse::{CsrMatrix, OverlayMatrix, TimedSpmv};
 use page_overlays::telemetry::TelemetrySink;
@@ -74,8 +77,8 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other} (see the module docs)")),
         }
     }
-    if !matches!(opts.workload.as_str(), "fork" | "spmv" | "all") {
-        return Err(format!("--workload must be fork, spmv, or all, not {}", opts.workload));
+    if !matches!(opts.workload.as_str(), "fork" | "spmv" | "soak" | "all") {
+        return Err(format!("--workload must be fork, spmv, soak, or all, not {}", opts.workload));
     }
     Ok(opts)
 }
@@ -155,6 +158,53 @@ fn spmv_report(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Ops per soak-report churn stream — matches the `po_soak` default.
+const SOAK_OPS: usize = 2000;
+/// End-of-run fragmentation ceiling — matches the `po_soak` default.
+const SOAK_FRAG_CEILING: f64 = 0.9;
+
+fn soak_report(opts: &Options) -> Result<(), String> {
+    let job = WorkloadJob::soak(
+        0,
+        "soak churn (overlay-on-write)".to_string(),
+        SystemConfig::table2_overlay(),
+        generate_soak_ops(opts.seed, SOAK_OPS),
+        SOAK_FRAG_CEILING,
+    )
+    .with_seed(opts.seed)
+    .with_telemetry(REPORT_CAPACITY);
+    let run = run_job(job).map_err(|e| format!("soak churn failed: {e:?}"))?;
+    let soak = run.outcome.as_soak().expect("soak job outcome");
+    soak.verdict.as_ref().map_err(|e| format!("soak verdict: {e}"))?;
+
+    print!("{}", run.telemetry.run_report(&run.label));
+    // The summary line reads the same gauges and counters the manager
+    // emits into the journal ("oms.fragmentation_pmille" after each
+    // compaction pass, the pass/byte counters from the store), so the
+    // printed numbers are checkable against an `--out` export.
+    let frag_pmille = run
+        .telemetry
+        .metrics()
+        .and_then(|m| m.gauge_value("oms.fragmentation_pmille"))
+        .unwrap_or(0);
+    println!(
+        "\nsoak: {} ops, {} live procs, {} B overlay; compaction: {} passes, {} B relocated, \
+         fragmentation {:.3} final ({} ‰ at last pass, ceiling {:.3})\n",
+        soak.ops_applied,
+        soak.procs,
+        soak.overlay_bytes,
+        run.telemetry.counter("oms.compaction_passes"),
+        run.telemetry.counter("oms.relocated_bytes"),
+        soak.final_fragmentation,
+        frag_pmille,
+        SOAK_FRAG_CEILING,
+    );
+    if let Some(dir) = &opts.out {
+        export(&run.telemetry, dir, "soak").map_err(|e| format!("export failed: {e}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -176,6 +226,9 @@ fn main() -> ExitCode {
     }
     if matches!(opts.workload.as_str(), "spmv" | "all") {
         ok &= run(spmv_report(&opts));
+    }
+    if matches!(opts.workload.as_str(), "soak" | "all") {
+        ok &= run(soak_report(&opts));
     }
     if ok {
         ExitCode::SUCCESS

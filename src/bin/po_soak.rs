@@ -1,0 +1,165 @@
+//! Sustained-pressure soak/chaos driver for the page-overlay machine.
+//!
+//! Drives seeded churn workloads ([`generate_soak_ops`]: fork-heavy
+//! process churn, thousands of overlay seed → flush → commit/discard
+//! cycles) through the full differential harness — byte oracle, spec
+//! refinement, and machine invariants checked after every op — then
+//! judges the end state against a fragmentation ceiling. With
+//! `--faults`, every run also carries a PR-1 style fault plan (OMS
+//! allocation failures, grow refusals, frame exhaustion), so the
+//! §4.4.2 degradation ladder (reclaim → compact → grow) is exercised
+//! under injected pressure, not just organic churn.
+//!
+//! ```text
+//! po_soak [--seed N] [--runs N] [--ops N] [--faults]
+//!         [--frag-ceiling F] [--events PATH]
+//! ```
+//!
+//! * `--seed` — first run seed (default 1; run `i` uses `seed + i`).
+//! * `--runs` — soak runs to drive (default 8).
+//! * `--ops` — churn ops per run (default 2000).
+//! * `--faults` — install a per-run PR-1 fault plan.
+//! * `--frag-ceiling` — maximum tolerated end-of-run OMS fragmentation
+//!   ratio, 0.0–1.0 (default 0.9: soak streams end mid-churn, so some
+//!   fragmentation is expected; compaction must keep it off the wall).
+//! * `--events PATH` — write the merged telemetry journal of all runs
+//!   as JSONL (deterministic: two identical invocations produce
+//!   byte-identical files).
+//!
+//! Every run is an independent [`WorkloadJob`], so the report is
+//! deterministic for a given flag set. Exits 0 when every run is
+//! clean, 1 on any finding, 2 on usage errors.
+//!
+//! [`generate_soak_ops`]: page_overlays::sim::generate_soak_ops
+//! [`WorkloadJob`]: page_overlays::sim::WorkloadJob
+
+use page_overlays::sim::{generate_soak_ops, run_job, SystemConfig, WorkloadJob};
+use page_overlays::telemetry::TelemetryMerge;
+use page_overlays::types::{FaultPlan, FaultSite};
+use std::process::ExitCode;
+
+/// Journal/span ring capacity per soak run: big enough to keep every
+/// compaction and fault event of a default run, small enough to merge.
+const EVENT_CAPACITY: usize = 4096;
+
+struct Options {
+    seed: u64,
+    runs: u64,
+    ops: usize,
+    faults: bool,
+    frag_ceiling: f64,
+    events: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts =
+        Options { seed: 1, runs: 8, ops: 2000, faults: false, frag_ceiling: 0.9, events: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--faults" => opts.faults = true,
+            "--frag-ceiling" => {
+                opts.frag_ceiling =
+                    value("--frag-ceiling")?.parse().map_err(|e| format!("--frag-ceiling: {e}"))?;
+                if !(0.0..=1.0).contains(&opts.frag_ceiling) {
+                    return Err("--frag-ceiling must be within 0.0..=1.0".into());
+                }
+            }
+            "--events" => opts.events = Some(value("--events")?),
+            other => return Err(format!("unknown argument {other} (see the module docs)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("po_soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut merge = TelemetryMerge::new();
+    let mut failures = 0u64;
+    let mut total_passes = 0u64;
+    let mut total_relocated = 0u64;
+    let mut peak_frag = 0.0f64;
+    for i in 0..opts.runs {
+        let seed = opts.seed + i;
+        let ops = generate_soak_ops(seed, opts.ops);
+        let mut job = WorkloadJob::soak(
+            i,
+            format!("soak-{seed}"),
+            SystemConfig::table2_overlay(),
+            ops,
+            opts.frag_ceiling,
+        )
+        .with_seed(seed)
+        .with_telemetry(EVENT_CAPACITY);
+        if opts.faults {
+            job = job.with_fault_plan(
+                FaultPlan::new(seed ^ 0xFA17)
+                    .with_probability(FaultSite::OmsAllocFailed, 0.05)
+                    .with_probability(FaultSite::OmsGrowRefused, 0.05)
+                    .with_probability(FaultSite::FrameAllocExhausted, 0.02),
+            );
+        }
+        let result = match run_job(job) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("po_soak: run {i} (seed {seed}) died: {e:?}");
+                return ExitCode::from(1);
+            }
+        };
+        merge.absorb(result.id, &result.telemetry);
+        // Statically infallible: a Soak job always yields a Soak outcome.
+        let Some(soak) = result.outcome.as_soak() else {
+            eprintln!("po_soak: run {i} returned a non-soak outcome");
+            return ExitCode::from(1);
+        };
+        total_passes += soak.compaction_passes;
+        total_relocated += soak.relocated_bytes;
+        peak_frag = peak_frag.max(soak.final_fragmentation);
+        let verdict = match &soak.verdict {
+            Ok(()) => "ok".to_string(),
+            Err(e) => {
+                failures += 1;
+                format!("FAIL: {e}")
+            }
+        };
+        println!(
+            "soak run {i}: seed={seed} ops={} procs={} compactions={} relocated={} \
+             frag={:.3} oms={} {verdict}",
+            soak.ops_applied,
+            soak.procs,
+            soak.compaction_passes,
+            soak.relocated_bytes,
+            soak.final_fragmentation,
+            soak.overlay_bytes,
+        );
+    }
+    println!(
+        "soak: {}/{} runs clean, {total_passes} compaction passes, {total_relocated} bytes \
+         relocated, peak end-of-run frag {peak_frag:.3}",
+        opts.runs - failures,
+        opts.runs,
+    );
+    if let Some(path) = &opts.events {
+        if let Err(e) = std::fs::write(path, merge.journal_jsonl()) {
+            eprintln!("po_soak: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {} merged events to {path}", merge.journal().len());
+    }
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

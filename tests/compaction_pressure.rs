@@ -1,0 +1,104 @@
+//! Pinned regression for OMS compaction as the middle rung of the
+//! memory-pressure ladder (DESIGN.md §14, paper §4.4.2).
+//!
+//! The paper's allocator never coalesces, so segment-class churn
+//! strands free bytes in the small classes: after a fill/free cycle the
+//! store can hold two entirely-free pages yet fail a 4 KB allocation.
+//! With the frame pool dry (the OS cannot grant another grow chunk),
+//! the only way out is compaction. This test pins both sides of that
+//! claim: the same seeded churn workload OOMs with
+//! [`SystemConfig::oms_compaction`] disabled and completes — with
+//! byte-exact overlay contents — enabled.
+
+use page_overlays::sim::{Machine, SystemConfig};
+use page_overlays::types::{PoError, VirtAddr, Vpn};
+
+const BASE_VPN: u64 = 0x200;
+/// Pages whose one-line overlays shatter the store into 256 B segments.
+const FILL_PAGES: u64 = 32;
+const PAGE: u64 = 4096;
+const LINE: u64 = 64;
+
+/// Frame budget: 33 mapped pages + 32 commit privatizations + 2 OMS
+/// grow chunks, and nothing spare for the chunk the fragmented store
+/// asks for when compaction is off.
+const TOTAL_FRAMES: u64 = 67;
+
+fn va(page: u64, line: u64) -> VirtAddr {
+    VirtAddr::new((BASE_VPN + page) * PAGE + line * LINE)
+}
+
+/// The churn workload. Fork, diverge one line on each of 32 pages and
+/// flush (32 live B256 segments, exactly two OMS pages), commit every
+/// one of them (frees all 32 segments — onto the B256 free list, where
+/// the paper's allocator leaves them forever), then diverge *every*
+/// line of one more shared page and flush: the segment must grow
+/// B256 → B512 → K1 → K2 → K4, and none of those classes has a free
+/// slot unless the shattered bytes are coalesced.
+fn churn(compaction: bool) -> Result<Machine, PoError> {
+    let mut config = SystemConfig::table2_overlay();
+    config.oms_compaction = compaction;
+    // One-frame grow chunks: the store holds exactly what it asked for.
+    config.overlay.oms_chunk_frames = 1;
+    config.vm.total_frames = TOTAL_FRAMES;
+    let mut m = Machine::new(config)?;
+    let parent = m.spawn_process()?;
+    m.map_range(parent, Vpn::new(BASE_VPN), FILL_PAGES + 1)?;
+    let _child = m.fork(parent)?;
+    for page in 0..FILL_PAGES {
+        m.poke(parent, va(page, 0), 0xA0 ^ page as u8)?;
+    }
+    m.flush_overlays()?;
+    for page in 0..FILL_PAGES {
+        m.commit_overlay(parent, Vpn::new(BASE_VPN + page))?;
+    }
+    for line in 0..64 {
+        m.poke(parent, va(FILL_PAGES, line), 0x50 ^ line as u8)?;
+    }
+    m.flush_overlays()?;
+    m.verify_invariants()?;
+    Ok(m)
+}
+
+#[test]
+fn fragmented_churn_ooms_without_compaction() {
+    match churn(false) {
+        Err(PoError::OutOfMemory | PoError::OverlayStoreExhausted) => {}
+        Err(e) => panic!("expected an allocation failure, got {e}"),
+        Ok(m) => panic!(
+            "churn completed without compaction: frag={:.3}, oms={} bytes — \
+             the workload no longer fragments the store; re-tune it",
+            m.overlay().store().fragmentation_ratio(),
+            m.overlay().store().bytes_in_use()
+        ),
+    }
+}
+
+#[test]
+fn fragmented_churn_completes_with_compaction() {
+    let mut m = churn(true).expect("compaction must absorb the fragmented demand");
+    let parent = page_overlays::types::Asid::new(1);
+    // The whole-page overlay survived the grows byte-for-byte.
+    for line in 0..64 {
+        assert_eq!(
+            m.peek(parent, va(FILL_PAGES, line)).unwrap(),
+            0x50 ^ line as u8,
+            "line {line} corrupted across compacted segment growth"
+        );
+    }
+    // Committed pages kept their divergence too.
+    for page in 0..FILL_PAGES {
+        assert_eq!(m.peek(parent, va(page, 0)).unwrap(), 0xA0 ^ page as u8);
+    }
+    let stats = m.overlay_stats();
+    let store = m.overlay().store();
+    assert!(
+        store.stats().compaction_passes.get() > 0,
+        "churn completed but compaction never ran — the workload is not \
+         exercising the ladder"
+    );
+    assert!(store.stats().relocated_bytes.get() > 0 || store.fragmentation_ratio() < 0.5);
+    // The fill pages collapsed their overlays at commit; only the
+    // whole-page overlay remains.
+    assert_eq!(stats.reclaims.get(), 0, "reclaim should have had nothing to give");
+}

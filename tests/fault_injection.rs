@@ -124,6 +124,46 @@ fn mixed_fault_soup_preserves_isolation_and_invariants() {
 }
 
 #[test]
+fn relocation_failure_aborts_compaction_cleanly_and_retry_succeeds() {
+    // Fragment the store so a compaction pass has real work: one-line
+    // overlays on 8 pages land 8 B256 segments in flush (VPN) order,
+    // then committing the first 4 frees the *low* slots, leaving the
+    // high segments as improving moves.
+    let mut config = SystemConfig::table2_overlay();
+    config.overlay.oms_chunk_frames = 1;
+    let mut m = Machine::new(config).unwrap();
+    let parent = m.spawn_process().unwrap();
+    m.map_range(parent, Vpn::new(BASE_VPN), 8).unwrap();
+    let _child = m.fork(parent).unwrap();
+    for page in 0..8 {
+        m.poke(parent, va(page, 0), 0xC0 ^ page as u8).unwrap();
+    }
+    m.flush_overlays().unwrap();
+    for page in 0..4 {
+        m.commit_overlay(parent, Vpn::new(BASE_VPN + page)).unwrap();
+    }
+
+    // The very first relocation copy fails: the pass must abort
+    // gracefully — destination released, nothing moved, store sound.
+    m.install_fault_plan(FaultPlan::new(7).at_queries(FaultSite::CompactionRelocationFailed, [0]));
+    let aborted = m.compact_overlay_memory().unwrap();
+    assert!(aborted.aborted, "injected copy failure did not abort the pass");
+    assert_eq!(aborted.moves, 0, "moves landed before the first (failed) relocation");
+    m.verify_invariants().unwrap();
+
+    // The fault was one-shot; the retry must relocate for real.
+    let retried = m.compact_overlay_memory().unwrap();
+    assert!(!retried.aborted);
+    assert!(retried.moves > 0, "nothing moved on retry despite freed low slots");
+    m.verify_invariants().unwrap();
+
+    // Overlay contents survived the failed pass and the successful one.
+    for page in 0..8 {
+        assert_eq!(m.peek(parent, va(page, 0)).unwrap(), 0xC0 ^ page as u8);
+    }
+}
+
+#[test]
 fn scheduled_faults_fire_exactly_once() {
     // A schedule pinned to one specific grow query (the 4th — by then
     // earlier grants have stocked the OMS, so reclaim has something to

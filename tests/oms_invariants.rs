@@ -3,9 +3,55 @@
 //! non-overlap of live segments, and split behavior.
 
 use page_overlays::overlay::{OverlayMemoryStore, SegmentClass};
-use page_overlays::types::{FaultInjector, FaultPlan, FaultSite, MainMemAddr, PoError};
+use page_overlays::types::{
+    FaultInjector, FaultPlan, FaultSite, MainMemAddr, PoError, SnapshotReader, SnapshotWriter,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Replays `ops` against a fresh store, tracking live segments and a
+/// sparse byte "memory" in which every allocated segment is stamped
+/// with a pattern derived from its (first) base address. Shared setup
+/// for the compaction properties below.
+fn churned_store(ops: &[Op]) -> (OverlayMemoryStore, BTreeMap<u64, (SegmentClass, u8)>, Vec<u8>) {
+    let mut store = OverlayMemoryStore::new();
+    store.add_chunk(MainMemAddr::new(0x0), 2);
+    let mut live: BTreeMap<u64, (SegmentClass, u8)> = BTreeMap::new();
+    // Chunks are laid out back-to-back from 0 so the whole managed
+    // range fits a small flat byte model (initial 2 frames + an 8-frame
+    // growth budget = 40 KB).
+    let mut mem = vec![0u8; 10 * 4096];
+    let mut next_base = 2 * 4096u64;
+    let mut grow_budget = 8u64;
+    for op in ops {
+        match *op {
+            Op::Alloc(class) => {
+                if let Ok(base) = store.allocate(class) {
+                    let stamp = (base.raw() >> 8) as u8 ^ 0x5A;
+                    for b in &mut mem[base.raw() as usize..base.raw() as usize + class.bytes()] {
+                        *b = stamp;
+                    }
+                    live.insert(base.raw(), (class, stamp));
+                }
+            }
+            Op::Free(i) => {
+                if !live.is_empty() {
+                    let key = *live.keys().nth(i % live.len()).expect("nonempty");
+                    let (class, _) = live.remove(&key).expect("present");
+                    store.free(MainMemAddr::new(key), class).unwrap();
+                }
+            }
+            Op::Grow(frames) => {
+                if grow_budget >= frames {
+                    grow_budget -= frames;
+                    store.add_chunk(MainMemAddr::new(next_base), frames);
+                    next_base += frames * 4096;
+                }
+            }
+        }
+    }
+    (store, live, mem)
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -162,6 +208,106 @@ proptest! {
         prop_assert_eq!(store.bytes_in_use(), 0);
         prop_assert_eq!(store.bytes_free(), store.bytes_managed());
         store.check_conservation().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §4.4.2 compaction is semantically invisible and structurally
+    /// sound under arbitrary fragmentation: after one pass, byte
+    /// conservation and free-list layout still hold, no live byte
+    /// changed (every segment still carries its stamp, at its possibly
+    /// new address), in-use accounting is untouched, every accepted
+    /// move strictly lowered the segment's address, and the relocated
+    /// live set is still non-overlapping.
+    #[test]
+    fn compact_conserves_and_preserves_contents(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let (mut store, mut live, mut mem) = churned_store(&ops);
+        let in_use_before = store.bytes_in_use();
+        let managed_before = store.bytes_managed();
+        let live_list: Vec<(MainMemAddr, SegmentClass)> =
+            live.iter().map(|(&b, &(c, _))| (MainMemAddr::new(b), c)).collect();
+        let mut moved = Vec::new();
+        let outcome = store
+            .compact(&live_list, |old, new, class| {
+                assert!(
+                    new.raw() < old.raw(),
+                    "non-improving move {:#x} -> {:#x}",
+                    old.raw(),
+                    new.raw()
+                );
+                mem.copy_within(
+                    old.raw() as usize..old.raw() as usize + class.bytes(),
+                    new.raw() as usize,
+                );
+                moved.push((old.raw(), new.raw()));
+                Ok(())
+            })
+            .unwrap();
+        prop_assert_eq!(outcome.moves as usize, moved.len());
+        prop_assert!(!outcome.aborted);
+        for (old, new) in moved {
+            let entry = live.remove(&old).expect("moved segment was live");
+            live.insert(new, entry);
+        }
+        store.check_conservation().unwrap();
+        store.verify_layout().unwrap();
+        prop_assert_eq!(store.bytes_in_use(), in_use_before);
+        prop_assert_eq!(store.bytes_managed(), managed_before);
+        let mut prev_end = 0u64;
+        for (&base, &(class, stamp)) in &live {
+            prop_assert!(base >= prev_end, "live segments overlap after compaction");
+            prev_end = base + class.bytes() as u64;
+            for (i, &b) in
+                mem[base as usize..base as usize + class.bytes()].iter().enumerate()
+            {
+                prop_assert_eq!(
+                    b, stamp,
+                    "byte {} of segment {:#x} corrupted by relocation", i, base
+                );
+            }
+        }
+    }
+
+    /// A snapshot taken mid-fragmentation round-trips exactly: the
+    /// restored store reports identical accounting, runs an identical
+    /// compaction pass (same moves, merges, and relocated bytes — the
+    /// free lists are ordered state, not advisory), and re-encodes to
+    /// the same bytes afterwards.
+    #[test]
+    fn compact_after_snapshot_roundtrip_matches(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let (mut store, live, _mem) = churned_store(&ops);
+        let mut w = SnapshotWriter::new();
+        store.encode_snapshot(&mut w);
+        let buf = w.finish();
+        let mut restored =
+            OverlayMemoryStore::decode_snapshot(&mut SnapshotReader::new(&buf)).unwrap();
+        prop_assert_eq!(restored.bytes_in_use(), store.bytes_in_use());
+        prop_assert_eq!(restored.bytes_free(), store.bytes_free());
+        prop_assert_eq!(restored.bytes_managed(), store.bytes_managed());
+        prop_assert_eq!(
+            restored.fragmentation_ratio().to_bits(),
+            store.fragmentation_ratio().to_bits()
+        );
+        for class in SegmentClass::ALL {
+            prop_assert_eq!(restored.free_count(class), store.free_count(class));
+        }
+        restored.check_conservation().unwrap();
+        restored.verify_layout().unwrap();
+        let live_list: Vec<(MainMemAddr, SegmentClass)> =
+            live.iter().map(|(&b, &(c, _))| (MainMemAddr::new(b), c)).collect();
+        let a = store.compact(&live_list, |_, _, _| Ok(())).unwrap();
+        let b = restored.compact(&live_list, |_, _, _| Ok(())).unwrap();
+        prop_assert_eq!(a, b);
+        let (mut wa, mut wb) = (SnapshotWriter::new(), SnapshotWriter::new());
+        store.encode_snapshot(&mut wa);
+        restored.encode_snapshot(&mut wb);
+        prop_assert_eq!(wa.finish(), wb.finish(), "post-compaction snapshots diverge");
     }
 }
 

@@ -826,6 +826,9 @@ impl<'a> Interp<'a> {
                 // flag, overlay set, or residency the abstraction
                 // tracks changes, and peak demand only shrinks.
                 TraceOp::Compact => {}
+                // Core affinity only routes timed ops to a core; the
+                // functional abstraction is core-agnostic.
+                TraceOp::OnCore { .. } => {}
                 TraceOp::Compute(_) => {
                     let _ = self.timed_proc(i, "compute");
                 }

@@ -40,12 +40,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
+pub mod contention;
 pub mod hierarchy;
 pub mod prefetch;
 pub mod replacement;
 pub mod set_assoc;
 
 pub use config::{CacheConfig, HierarchyConfig, PrefetcherConfig};
+pub use contention::L3BankQueue;
 pub use hierarchy::{AccessOutcome, CacheHierarchy, HierarchyStats, Level, LookupResult};
 pub use prefetch::StreamPrefetcher;
 pub use replacement::PolicyKind;

@@ -33,9 +33,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
+pub mod contention;
 pub mod model;
 pub mod store;
 
 pub use config::DramConfig;
+pub use contention::BandwidthBucket;
 pub use model::{DramModel, DramStats};
 pub use store::DataStore;

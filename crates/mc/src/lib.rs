@@ -1,0 +1,44 @@
+//! # po-mc — the multi-core timed machine
+//!
+//! A true multi-core execution layer over [`po_sim::Machine`]
+//! (DESIGN.md §15). The machine already holds per-core out-of-order
+//! windows and per-core TLBs behind shared caches, OMT, and DRAM; this
+//! crate supplies the three things that make those cores a *system*:
+//!
+//! * **Deterministic interleaving** ([`sched`]) — per-core op streams
+//!   merged by *simulated* time: the scheduler always runs the core
+//!   whose retirement frontier is furthest behind (ties broken by core
+//!   id), one quantum at a time, on a single host thread. Which host
+//!   thread count drives the jobs around it therefore cannot change a
+//!   single simulated cycle — the shard-determinism invariant extends
+//!   to multi-core runs byte-for-byte.
+//! * **Shared-resource contention** — with more than one core the
+//!   machine arms an L3 bank queue and a DRAM-bandwidth token bucket
+//!   (`po_cache::L3BankQueue`, `po_dram::BandwidthBucket`); stalls
+//!   surface as the `Layer::Contention` CPI slice and the
+//!   `contention_stall_cycles` counter. Single-core runs are
+//!   byte-identical to the pre-multi-core machine.
+//! * **Overlay coherence traffic** ([`workload`]) — the §4.3.3
+//!   overlaying-read-exclusive request and single-line OBitVector
+//!   update message now have observable cost: remote TLB copies are
+//!   updated (counted in `coherence_obit_msgs`) or shot down
+//!   (`coherence_invalidations`), and delivery stalls land in
+//!   `coherence_stall_cycles`. The contended-fork workload makes all
+//!   of it fire on purpose.
+//!
+//! The scheduler comes in two flavors: [`sched::run_interleaved`]
+//! drives timed ops on a bare machine (bench workloads), and
+//! [`sched::run_interleaved_harness`] drives full-grammar streams
+//! through the differential harness, asserting spec refinement after
+//! every applied op — so every scheduled quantum ends refinement-clean
+//! by construction.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod sched;
+pub mod workload;
+
+pub use sched::{run_interleaved, run_interleaved_harness, CoreLane, McSchedule};
+pub use workload::{
+    build_core_streams, run_contended_fork, ContendedForkOutcome, ContendedForkSpec,
+};

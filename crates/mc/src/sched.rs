@@ -1,0 +1,232 @@
+//! The deterministic multi-core scheduler.
+//!
+//! Cores are interleaved by **simulated cycle count**: each scheduling
+//! round picks the unfinished core with the smallest
+//! `(retirement frontier, core id)` key and runs one quantum of its
+//! stream. That is exactly how concurrent cores make progress against
+//! shared resources — the core that is behind in simulated time issues
+//! next — and because the whole loop runs on one host thread over
+//! plain data, the interleaving (and with it every latency, counter,
+//! and snapshot byte) is a pure function of the streams and the
+//! machine configuration.
+
+use po_sim::runner::drive_ops;
+use po_sim::sim_test::SimHarness;
+use po_sim::stats::SimStats;
+use po_sim::{Machine, TraceOp};
+use po_types::{Asid, PoResult};
+
+/// Per-core tally of a scheduled run.
+#[derive(Clone, Debug, Default)]
+pub struct CoreLane {
+    /// Ops from this core's stream that were applied.
+    pub ops_applied: u64,
+    /// The core's retirement frontier when the run ended.
+    pub cycles: u64,
+    /// Instructions the core retired over the whole machine lifetime.
+    pub instructions: u64,
+}
+
+/// What a scheduled multi-core run produced.
+#[derive(Clone, Debug)]
+pub struct McSchedule {
+    /// Machine-stats *delta* over the run (counters included; cycles =
+    /// slowest core's advance, instructions summed across cores).
+    pub stats: SimStats,
+    /// Per-core tallies, indexed by core id.
+    pub per_core: Vec<CoreLane>,
+    /// Scheduling quanta dispatched.
+    pub quanta: u64,
+}
+
+/// Picks the next core to run: the unfinished core with the smallest
+/// `(cycles, core id)` key, or `None` when every stream is exhausted.
+fn next_core(machine: &Machine, cursors: &[usize], streams: &[Vec<TraceOp>]) -> Option<usize> {
+    (0..streams.len())
+        .filter(|&c| cursors[c] < streams[c].len())
+        .min_by_key(|&c| (machine.core_cycles(c), c))
+}
+
+/// Runs one per-core stream of **timed ops** (`Compute`/`Load`/`Store`)
+/// per core, interleaved by simulated time in quanta of `quantum_ops`
+/// ops, all as process `asid`. `streams[c]` runs on core `c`; there
+/// must be at most as many streams as configured cores.
+///
+/// # Errors
+///
+/// Propagates access faults, and rejects harness-level ops (they have
+/// no issuing core — drive those through
+/// [`run_interleaved_harness`]).
+///
+/// # Panics
+///
+/// Panics if `streams.len()` exceeds the configured core count.
+pub fn run_interleaved(
+    machine: &mut Machine,
+    asid: Asid,
+    streams: &[Vec<TraceOp>],
+    quantum_ops: usize,
+) -> PoResult<McSchedule> {
+    let cores = machine.config().cores.max(1);
+    assert!(streams.len() <= cores, "{} streams for a {cores}-core machine", streams.len());
+    let quantum = quantum_ops.max(1);
+    let before = machine.snapshot();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut lanes = vec![CoreLane::default(); streams.len()];
+    let mut quanta = 0u64;
+    while let Some(core) = next_core(machine, &cursors, streams) {
+        quanta += 1;
+        let end = (cursors[core] + quantum).min(streams[core].len());
+        for op in &streams[core][cursors[core]..end] {
+            machine.execute_at_core(core, asid, op)?;
+        }
+        lanes[core].ops_applied += (end - cursors[core]) as u64;
+        cursors[core] = end;
+    }
+    for (c, lane) in lanes.iter_mut().enumerate() {
+        lane.cycles = machine.core_cycles(c);
+        lane.instructions = machine.core_of(c).instructions();
+    }
+    let mut stats = machine.snapshot();
+    stats.instructions -= before.instructions;
+    stats.cycles -= before.cycles;
+    Ok(McSchedule { stats, per_core: lanes, quanta })
+}
+
+/// [`run_interleaved`] through the differential harness: per-core
+/// streams of **full-grammar** ops (fuzz/DST mixes), applied via
+/// [`SimHarness::apply`] — which asserts spec refinement and machine
+/// invariants after every op, so refinement holds at every quantum
+/// boundary a fortiori. The harness's `current_core` is set to the
+/// scheduled core before each quantum; `OnCore` ops inside a stream
+/// still override it mid-quantum (they are part of the grammar).
+///
+/// Returns the quanta dispatched.
+///
+/// # Errors
+///
+/// A divergence, refinement violation, or unexpected machine failure
+/// (a finding), prefixed with the core and stream position.
+pub fn run_interleaved_harness(
+    h: &mut SimHarness,
+    streams: &[Vec<TraceOp>],
+    quantum_ops: usize,
+) -> Result<u64, String> {
+    let cores = h.machine.config().cores.max(1);
+    if streams.len() > cores {
+        return Err(format!("{} streams for a {cores}-core machine", streams.len()));
+    }
+    let quantum = quantum_ops.max(1);
+    let mut cursors = vec![0usize; streams.len()];
+    let mut quanta = 0u64;
+    while let Some(core) = next_core(&h.machine, &cursors, streams) {
+        quanta += 1;
+        h.current_core = core;
+        let from = cursors[core];
+        let end = (from + quantum).min(streams[core].len());
+        drive_ops(
+            h,
+            &streams[core][from..end],
+            from,
+            &format!("core {core} "),
+            |_, _| {},
+            |h, i| match h.take_crashed() {
+                Some(stage) => Err(format!(
+                    "interior crash ({}) fired on core {core} at stream op {i} outside a \
+                     crash-convergence runner",
+                    stage.name()
+                )),
+                None => Ok(false),
+            },
+        )?;
+        cursors[core] = end;
+    }
+    Ok(quanta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use po_sim::sim_test::generate_ops;
+    use po_sim::SystemConfig;
+    use po_types::geometry::{LINE_SIZE, PAGE_SIZE};
+    use po_types::{VirtAddr, Vpn};
+
+    fn mc_config(cores: usize) -> SystemConfig {
+        SystemConfig { cores, ..SystemConfig::table2_overlay() }
+    }
+
+    fn stream(seed: u64, n: usize, pages: u64) -> Vec<TraceOp> {
+        (0..n)
+            .map(|i| {
+                let va = VirtAddr::new(
+                    (0x100 + (seed + i as u64) % pages) * PAGE_SIZE as u64
+                        + ((seed * 7 + i as u64 * 3) % 64) * LINE_SIZE as u64,
+                );
+                match i % 3 {
+                    0 => TraceOp::Load(va),
+                    1 => TraceOp::Store(va),
+                    _ => TraceOp::Compute(1 + (i as u32 % 5)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaving_is_deterministic_and_covers_every_lane() {
+        let run = || {
+            let mut m = Machine::new(mc_config(4)).unwrap();
+            let pid = m.spawn_process().unwrap();
+            m.map_range(pid, Vpn::new(0x100), 8).unwrap();
+            let streams: Vec<_> = (0..4).map(|c| stream(c, 120, 8)).collect();
+            let sched = run_interleaved(&mut m, pid, &streams, 8).unwrap();
+            (sched, m.save_snapshot())
+        };
+        let (a, snap_a) = run();
+        let (b, snap_b) = run();
+        assert_eq!(snap_a, snap_b, "same streams must produce identical snapshots");
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.quanta, b.quanta);
+        for (c, lane) in a.per_core.iter().enumerate() {
+            assert_eq!(lane.ops_applied, 120, "core {c} must drain its stream");
+            assert!(lane.cycles > 0, "core {c} must make progress");
+        }
+    }
+
+    #[test]
+    fn scheduler_runs_the_laggard_first() {
+        // One heavy stream and one light one: the light core finishes
+        // its simulated work early and the heavy core gets every
+        // remaining quantum, so both frontiers advance — neither lane
+        // is starved and total cycles is the max, not the sum.
+        let mut m = Machine::new(mc_config(2)).unwrap();
+        let pid = m.spawn_process().unwrap();
+        m.map_range(pid, Vpn::new(0x100), 8).unwrap();
+        let heavy = stream(0, 300, 8);
+        let light = stream(1, 30, 8);
+        let sched = run_interleaved(&mut m, pid, &[heavy, light], 4).unwrap();
+        assert_eq!(sched.per_core[0].ops_applied, 300);
+        assert_eq!(sched.per_core[1].ops_applied, 30);
+        assert_eq!(
+            sched.stats.cycles,
+            sched.per_core.iter().map(|l| l.cycles).max().unwrap(),
+            "elapsed time is the slowest core's frontier"
+        );
+    }
+
+    #[test]
+    fn harness_scheduler_holds_refinement_on_multicore_fuzz_streams() {
+        let mut h = SimHarness::new(mc_config(2)).unwrap();
+        let streams = vec![generate_ops(5, 120), generate_ops(6, 120)];
+        let quanta = run_interleaved_harness(&mut h, &streams, 6).unwrap();
+        assert!(quanta >= (240 / 6) as u64);
+        h.check_all().unwrap();
+    }
+
+    #[test]
+    fn more_streams_than_cores_is_rejected() {
+        let mut h = SimHarness::new(mc_config(1)).unwrap();
+        let streams = vec![vec![TraceOp::Compute(1)], vec![TraceOp::Compute(1)]];
+        assert!(run_interleaved_harness(&mut h, &streams, 1).is_err());
+    }
+}

@@ -37,6 +37,16 @@ pub struct SystemConfig {
     /// Cost of the overlaying-read-exclusive coherence round (§4.3.3),
     /// cycles. Small: it rides the existing coherence network.
     pub coherence_update_latency: u64,
+    /// Banks in the shared-L3 queueing model. Only exercised with more
+    /// than one core: concurrent accesses mapping to the same bank
+    /// serialize on its port (the `Layer::Contention` CPI slice).
+    pub l3_banks: usize,
+    /// Cycles one access occupies an L3 bank (tag + data port).
+    pub l3_bank_occupancy: u64,
+    /// Channel cycles one 64 B line transfer consumes in the multi-core
+    /// DRAM-bandwidth token bucket (DDR3-1066, 8 B bus, burst 8 → 4
+    /// bus clocks per line). Only exercised with more than one core.
+    pub dram_bandwidth_cycles_per_line: u64,
     /// `true` = stores to shared pages use overlay-on-write;
     /// `false` = classic copy-on-write.
     pub overlay_mode: bool,
@@ -64,6 +74,9 @@ impl SystemConfig {
             cow_fault_overhead: 5000,
             tlb_shootdown_latency: 5000,
             coherence_update_latency: 30,
+            l3_banks: 8,
+            l3_bank_occupancy: 4,
+            dram_bandwidth_cycles_per_line: 4,
             overlay_mode: false,
             promote_threshold: 64,
             oms_compaction: true,

@@ -11,8 +11,8 @@
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
 use crate::stats::SimStats;
-use po_cache::{CacheHierarchy, LookupResult};
-use po_dram::{DataStore, DramModel};
+use po_cache::{CacheHierarchy, L3BankQueue, Level, LookupResult};
+use po_dram::{BandwidthBucket, DataStore, DramModel};
 use po_overlay::{OverlayManager, OverlayStats};
 use po_telemetry::{Event as TelemetryEvent, Layer, TelemetrySink};
 use po_tlb::{Tlb, TlbEntry};
@@ -24,6 +24,26 @@ use po_types::{
 };
 use po_vm::OsModel;
 use po_vm::WriteOutcome;
+
+/// Shared-resource contention state, instantiated only with more than
+/// one core (single-core runs never queue, so their timing is exactly
+/// the pre-multi-core timing).
+#[derive(Clone, Debug)]
+struct Contention {
+    /// Shared L3 bank queue.
+    l3: L3BankQueue,
+    /// DRAM channel-bandwidth token bucket.
+    dram_bw: BandwidthBucket,
+}
+
+impl Contention {
+    fn new(config: &SystemConfig) -> Self {
+        Self {
+            l3: L3BankQueue::new(config.l3_banks, config.l3_bank_occupancy),
+            dram_bw: BandwidthBucket::new(config.dram_bandwidth_cycles_per_line),
+        }
+    }
+}
 
 /// Memory-consumption baseline recorded by
 /// [`Machine::mark_memory_epoch`].
@@ -47,7 +67,12 @@ pub struct Machine {
     tlbs: Vec<Tlb>,
     caches: CacheHierarchy,
     dram: DramModel,
-    core: CoreModel,
+    /// Per-core timing models (index 0 is the core the single-threaded
+    /// experiments run on).
+    cores: Vec<CoreModel>,
+    /// Shared-resource contention (L3 bank queue + DRAM bandwidth);
+    /// `Some` iff more than one core is configured.
+    contention: Option<Contention>,
     stats: SimStats,
     /// Frames granted to the OMS so far (excluded from the "regular
     /// frames" part of the memory metric; OMS consumption is counted at
@@ -71,7 +96,10 @@ const SNAPSHOT_MAGIC: u32 = 0x504F_534E;
 /// Bumped whenever the snapshot byte layout changes (DESIGN.md §8).
 /// v3: compaction counters in `StoreStats`, a new fault site in the
 /// injector's per-site arrays.
-const SNAPSHOT_VERSION: u32 = 3;
+/// v4: per-core timing models (len-prefixed), shared-resource
+/// contention state on multi-core configurations, and the coherence /
+/// contention counters in `SimStats`.
+const SNAPSHOT_VERSION: u32 = 4;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -88,7 +116,10 @@ impl Machine {
             tlbs: (0..config.cores.max(1)).map(|_| Tlb::new(config.tlb.clone())).collect(),
             caches: CacheHierarchy::new(config.hierarchy.clone()),
             dram: DramModel::new(config.dram.clone()),
-            core: CoreModel::new(config.window_entries),
+            cores: (0..config.cores.max(1))
+                .map(|_| CoreModel::new(config.window_entries))
+                .collect(),
+            contention: (config.cores > 1).then(|| Contention::new(&config)),
             stats: SimStats::default(),
             oms_frames: 0,
             epoch: MemoryEpoch::default(),
@@ -190,9 +221,28 @@ impl Machine {
         &self.dram
     }
 
-    /// Returns the core model.
+    /// Returns core 0's timing model.
     pub fn core(&self) -> &CoreModel {
-        &self.core
+        &self.cores[0]
+    }
+
+    /// Returns core `core`'s timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_of(&self, core: usize) -> &CoreModel {
+        &self.cores[core]
+    }
+
+    /// Simulated cycles retired by core `core` — the scheduling key the
+    /// multi-core interleaver orders cores by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_cycles(&self, core: usize) -> Cycle {
+        self.cores[core].cycles()
     }
 
     /// Returns the functional data store (read-only).
@@ -470,8 +520,11 @@ impl Machine {
             for l in 0..LINES_PER_PAGE {
                 self.caches.invalidate_line(opn.line_addr(l));
             }
+            let multi = self.tlbs.len() > 1;
             for tlb in &mut self.tlbs {
-                tlb.shootdown(asid, vpn);
+                if tlb.shootdown(asid, vpn) && multi {
+                    self.stats.coherence_invalidations.inc();
+                }
             }
             if freed > 0 {
                 break;
@@ -497,10 +550,13 @@ impl Machine {
             return Ok(po_overlay::CompactionOutcome::default());
         }
         let (outcome, moved) = self.overlay.compact_store(&mut self.mem)?;
+        let multi = self.tlbs.len() > 1;
         for opn in moved {
             let (asid, vpn) = opn.decode();
             for tlb in &mut self.tlbs {
-                tlb.shootdown(asid, vpn);
+                if tlb.shootdown(asid, vpn) && multi {
+                    self.stats.coherence_invalidations.inc();
+                }
             }
         }
         self.stats.compactions.inc();
@@ -572,7 +628,14 @@ impl Machine {
         }
         self.caches.encode_snapshot(&mut w);
         self.dram.encode_snapshot(&mut w);
-        self.core.encode_snapshot(&mut w);
+        w.put_len(self.cores.len());
+        for core in &self.cores {
+            core.encode_snapshot(&mut w);
+        }
+        if let Some(c) = &self.contention {
+            c.l3.encode_snapshot(&mut w);
+            c.dram_bw.encode_snapshot(&mut w);
+        }
         self.stats.encode_snapshot(&mut w);
         w.put_u64(self.oms_frames);
         w.put_u64(self.epoch.frames_net);
@@ -617,7 +680,29 @@ impl Machine {
         }
         let caches = CacheHierarchy::decode_snapshot(self.config.hierarchy.clone(), &mut r)?;
         let dram = DramModel::decode_snapshot(self.config.dram.clone(), &mut r)?;
-        let core = CoreModel::decode_snapshot(self.config.window_entries, &mut r)?;
+        let n_cores = r.get_len()?;
+        if n_cores != self.cores.len() {
+            return Err(PoError::Corrupted("snapshot core count disagrees with configuration"));
+        }
+        let mut cores = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            cores.push(CoreModel::decode_snapshot(self.config.window_entries, &mut r)?);
+        }
+        let contention = if self.config.cores > 1 {
+            Some(Contention {
+                l3: L3BankQueue::decode_snapshot(
+                    self.config.l3_banks,
+                    self.config.l3_bank_occupancy,
+                    &mut r,
+                )?,
+                dram_bw: BandwidthBucket::decode_snapshot(
+                    self.config.dram_bandwidth_cycles_per_line,
+                    &mut r,
+                )?,
+            })
+        } else {
+            None
+        };
         let stats = SimStats::decode_snapshot(&mut r)?;
         let oms_frames = r.get_u64()?;
         let epoch = MemoryEpoch { frames_net: r.get_u64()?, overlay_used: r.get_u64()? };
@@ -631,7 +716,8 @@ impl Machine {
         self.tlbs = tlbs;
         self.caches = caches;
         self.dram = dram;
-        self.core = core;
+        self.cores = cores;
+        self.contention = contention;
         self.stats = stats;
         self.oms_frames = oms_frames;
         self.epoch = epoch;
@@ -696,8 +782,11 @@ impl Machine {
         // overlaid lines to the dead overlay through its stale
         // OBitVector. Promotions are rare (§4.3.4), so a shootdown —
         // symmetric with discard — is the right coherence action.
+        let multi = self.tlbs.len() > 1;
         for tlb in &mut self.tlbs {
-            tlb.shootdown(asid, vpn);
+            if tlb.shootdown(asid, vpn) && multi {
+                self.stats.coherence_invalidations.inc();
+            }
         }
         Ok(())
     }
@@ -714,8 +803,11 @@ impl Machine {
         for l in 0..LINES_PER_PAGE {
             self.caches.invalidate_line(opn.line_addr(l));
         }
+        let multi = self.tlbs.len() > 1;
         for tlb in &mut self.tlbs {
-            tlb.shootdown(asid, vpn);
+            if tlb.shootdown(asid, vpn) && multi {
+                self.stats.coherence_invalidations.inc();
+            }
         }
         Ok(())
     }
@@ -729,24 +821,45 @@ impl Machine {
     /// Propagates access faults (unmapped addresses, protection);
     /// [`PoError::Corrupted`] for harness-level ops.
     pub fn execute(&mut self, asid: Asid, op: &crate::trace::TraceOp) -> PoResult<()> {
+        self.execute_at_core(0, asid, op)
+    }
+
+    /// Executes one core-level trace operation on core `core`: the op
+    /// issues through that core's private window and TLB, while caches,
+    /// OMT, and DRAM are shared (and, with more than one core, subject
+    /// to the contention models).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn execute_at_core(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        op: &crate::trace::TraceOp,
+    ) -> PoResult<()> {
         use crate::trace::TraceOp;
         match op {
             TraceOp::Compute(n) => {
-                self.core.issue_compute(*n as u64);
+                self.cores[core].issue_compute(*n as u64);
                 self.sink.layer(Layer::Core, *n as u64);
                 self.sink.instructions(*n as u64);
             }
             TraceOp::Load(va) => {
-                let t = self.core.next_issue_cycle();
-                let lat = self.access_at(t, asid, *va, AccessKind::Read)?;
-                self.core.complete(t, lat);
+                let t = self.cores[core].next_issue_cycle();
+                let lat = self.access_at_core(t, core, asid, *va, AccessKind::Read)?;
+                self.cores[core].complete(t, lat);
                 self.stats.loads.inc();
                 self.sink.instructions(1);
             }
             TraceOp::Store(va) => {
-                let t = self.core.next_issue_cycle();
-                let lat = self.access_at(t, asid, *va, AccessKind::Write)?;
-                self.core.complete(t, lat);
+                let t = self.cores[core].next_issue_cycle();
+                let lat = self.access_at_core(t, core, asid, *va, AccessKind::Write)?;
+                self.cores[core].complete(t, lat);
                 self.stats.stores.inc();
                 self.sink.instructions(1);
             }
@@ -763,8 +876,10 @@ impl Machine {
     /// counters, memory metric).
     pub fn snapshot(&self) -> SimStats {
         let mut s = self.stats.clone();
-        s.instructions = self.core.instructions();
-        s.cycles = self.core.cycles();
+        // Instructions add across cores; elapsed time is the slowest
+        // core's retirement frontier (cores run concurrently).
+        s.instructions = self.cores.iter().map(CoreModel::instructions).sum();
+        s.cycles = self.cores.iter().map(CoreModel::cycles).max().unwrap_or(0);
         s.bus_bytes = self.dram.stats().bus_bytes.get();
         s.extra_memory_bytes = self.extra_memory_bytes();
         s
@@ -892,6 +1007,26 @@ impl Machine {
         let mut lat = out.latency;
         self.sink.layer(Layer::Cache, out.latency);
         self.handle_writebacks(now + lat, &out.writebacks)?;
+        // Shared-resource contention (multi-core only): accesses that
+        // reach the shared L3 queue on its bank port, and full misses
+        // additionally take a DRAM-bandwidth token. Single-core runs
+        // have `contention == None` and are byte-identical to before.
+        if let Some(c) = self.contention.as_mut() {
+            let reaches_l3 =
+                matches!(out.result, LookupResult::Miss | LookupResult::Hit { level: Level::L3 });
+            let mut stall = 0;
+            if reaches_l3 {
+                stall += c.l3.admit(now + lat, cache_addr);
+            }
+            if matches!(out.result, LookupResult::Miss) {
+                stall += c.dram_bw.admit(now + lat + stall);
+            }
+            if stall > 0 {
+                lat += stall;
+                self.stats.contention_stall_cycles.add(stall);
+                self.sink.layer(Layer::Contention, stall);
+            }
+        }
         if matches!(out.result, LookupResult::Miss) {
             let (mm_addr, extra) = self.resolve_memory(cache_addr, kind.is_write())?;
             self.sink.layer(Layer::OmtWalk, extra);
@@ -1058,8 +1193,10 @@ impl Machine {
                 // round-trip of shootdown latency, correctness unchanged.
                 lat += self.config.tlb_shootdown_latency;
             }
-            for tlb in &mut self.tlbs {
-                tlb.shootdown(asid, va.vpn());
+            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
+                if tlb.shootdown(asid, va.vpn()) && i != core {
+                    self.stats.coherence_invalidations.inc();
+                }
             }
         }
 
@@ -1101,8 +1238,24 @@ impl Machine {
         // fetch_line above already attributed its cycles to the cache/
         // DRAM layers; only the coherence broadcast is overlay overhead.
         self.sink.layer(Layer::OverlayWrite, self.config.coherence_update_latency);
-        for tlb in &mut self.tlbs {
-            tlb.coherence_obit_update(asid, vpn, line, true);
+        if self.tlbs.len() > 1 {
+            self.stats.coherence_read_exclusive.inc();
+        }
+        let mut remote_updates = 0u64;
+        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
+            if tlb.coherence_obit_update(asid, vpn, line, true) && i != core {
+                remote_updates += 1;
+            }
+        }
+        if remote_updates > 0 {
+            // A remote core actually held a copy: the single-line
+            // OBitVector update message crosses the network and the
+            // store stalls for one extra delivery round.
+            self.stats.coherence_obit_msgs.add(remote_updates);
+            let stall = self.config.coherence_update_latency;
+            lat += stall;
+            self.stats.coherence_stall_cycles.add(stall);
+            self.sink.layer(Layer::Contention, stall);
         }
         self.overlay.overlaying_write(opn, line, data)?;
         entry.obitvec.set(line);
@@ -1153,8 +1306,10 @@ impl Machine {
             // Straggler ack: pay one extra shootdown round-trip.
             lat += self.config.tlb_shootdown_latency;
         }
-        for tlb in &mut self.tlbs {
-            tlb.shootdown(asid, vpn);
+        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
+            if tlb.shootdown(asid, vpn) && i != core {
+                self.stats.coherence_invalidations.inc();
+            }
         }
         let pte = self.os.translate(asid, vpn.base())?;
         let new_entry = TlbEntry { asid, vpn, pte, obitvec: OBitVector::EMPTY };
@@ -1422,6 +1577,105 @@ mod tests {
         assert_eq!(m.peek(pid, va(1, 2)).unwrap(), 0x22);
         assert_eq!(m.peek(child2, va(1, 2)).unwrap(), 0x22);
         assert!(matches!(m.discard_overlay(pid, Vpn::new(0x9999)), Err(PoError::NoOverlay(_))));
+    }
+
+    fn mc_machine(cores: usize, promote_threshold: usize) -> (Machine, Asid) {
+        let config = SystemConfig { cores, promote_threshold, ..SystemConfig::table2_overlay() };
+        let mut m = Machine::new(config).unwrap();
+        let pid = m.spawn_process().unwrap();
+        m.map_range(pid, Vpn::new(0x100), 16).unwrap();
+        (m, pid)
+    }
+
+    #[test]
+    fn cross_core_promotion_invalidates_remote_tlb_obitvec_copies() {
+        let (mut m, pid) = mc_machine(2, 4);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let _child = m.fork(pid).unwrap();
+        // Both cores read the shared page: each private TLB now holds a
+        // copy of its OBitVector.
+        m.access_at_core(0, 0, pid, va(0, 0), AccessKind::Read).unwrap();
+        m.access_at_core(0, 1, pid, va(0, 0), AccessKind::Read).unwrap();
+        // Core 0 diverges line after line: every overlaying write must
+        // deliver the §4.3.3 single-line update to core 1's live copy,
+        // and the write that crosses the promotion threshold must shoot
+        // core 1's entry down.
+        let mut now = 0;
+        for line in 0..4u64 {
+            now += m.access_at_core(now, 0, pid, va(0, line), AccessKind::Write).unwrap();
+        }
+        let s = m.snapshot();
+        assert!(s.promotions.get() > 0, "threshold 4 must promote after 4 diverged lines");
+        assert!(
+            s.coherence_obit_msgs.get() > 0,
+            "core 1 held a copy — overlaying writes must update it remotely"
+        );
+        assert!(
+            s.coherence_invalidations.get() > 0,
+            "the promotion must invalidate core 1's obitvec copy"
+        );
+        assert!(s.coherence_stall_cycles.get() > 0, "remote updates cost delivery cycles");
+        assert!(
+            s.coherence_read_exclusive.get() >= 4,
+            "each overlaying write issues an overlaying-read-exclusive"
+        );
+    }
+
+    #[test]
+    fn single_core_machine_generates_no_coherence_traffic() {
+        let (mut m, pid) = mc_machine(1, 4);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let _child = m.fork(pid).unwrap();
+        let mut now = 0;
+        for line in 0..4u64 {
+            now += m.access_at(now, pid, va(0, line), AccessKind::Write).unwrap();
+        }
+        let s = m.snapshot();
+        assert!(s.promotions.get() > 0);
+        assert_eq!(s.coherence_read_exclusive.get(), 0);
+        assert_eq!(s.coherence_obit_msgs.get(), 0);
+        assert_eq!(s.coherence_invalidations.get(), 0);
+        assert_eq!(s.contention_stall_cycles.get(), 0);
+    }
+
+    #[test]
+    fn multicore_snapshot_round_trips_and_continues_in_lockstep() {
+        let (mut m, pid) = mc_machine(4, 64);
+        m.poke(pid, va(0, 0), 1).unwrap();
+        let _child = m.fork(pid).unwrap();
+        // Distinct per-core histories: frontiers, window residue, TLB
+        // contents, and contention-queue state all differ across cores.
+        for i in 0..60u64 {
+            let core = (i % 4) as usize;
+            m.execute_at_core(core, pid, &TraceOp::Store(va(i % 8, (i * 7) % 64))).unwrap();
+            m.execute_at_core(core, pid, &TraceOp::Compute(1 + (core as u32))).unwrap();
+        }
+        let bytes = m.save_snapshot();
+        let mut twin = Machine::new(m.config().clone()).unwrap();
+        twin.restore_snapshot(&bytes).unwrap();
+        assert_eq!(twin.save_snapshot(), bytes, "restore must be byte-identical");
+        for c in 0..4 {
+            assert_eq!(twin.core_cycles(c), m.core_cycles(c), "core {c} frontier");
+            assert_eq!(
+                twin.core_of(c).instructions(),
+                m.core_of(c).instructions(),
+                "core {c} instructions"
+            );
+        }
+        // Lockstep continuation across every core.
+        for i in 0..24u64 {
+            let core = (i % 4) as usize;
+            let op = TraceOp::Load(va((i * 3) % 8, (i * 11) % 64));
+            m.execute_at_core(core, pid, &op).unwrap();
+            twin.execute_at_core(core, pid, &op).unwrap();
+        }
+        assert_eq!(twin.save_snapshot(), m.save_snapshot(), "lockstep continuation diverged");
+
+        // A machine configured with a different core count must refuse
+        // the snapshot rather than misassign per-core state.
+        let mut wrong =
+            Machine::new(SystemConfig { cores: 2, ..SystemConfig::table2_overlay() }).unwrap();
+        assert!(matches!(wrong.restore_snapshot(&bytes), Err(PoError::Corrupted(_))));
     }
 
     #[test]

@@ -115,6 +115,9 @@ pub struct SimHarness {
     /// The executable spec stepped in lockstep; refinement is asserted
     /// against it after every clean op (DESIGN.md §13).
     pub spec: SpecMirror,
+    /// Core the next timed op issues on (set by [`TraceOp::OnCore`],
+    /// already resolved modulo the configured core count; 0 initially).
+    pub current_core: usize,
     /// Test-only deliberate bug: a `Poke` of `0x42` writes `0x43` into
     /// the machine (the oracle keeps `0x42`) — used to prove the fuzzer
     /// detects and shrinks real divergence.
@@ -137,6 +140,7 @@ impl SimHarness {
             oracle: DiffOracle::new(),
             procs: Vec::new(),
             spec,
+            current_core: 0,
             inject_bug: false,
             crashed: None,
         })
@@ -308,7 +312,7 @@ impl SimHarness {
         match *op {
             TraceOp::Compute(_) | TraceOp::Load(_) | TraceOp::Store(_) => {
                 let Some(asid) = self.procs.first().copied() else { return Ok(()) };
-                match self.machine.execute(asid, op) {
+                match self.machine.execute_at_core(self.current_core, asid, op) {
                     Ok(()) => {
                         if let TraceOp::Store(va) = *op {
                             // `timed: false`: whether a store promotes
@@ -557,6 +561,13 @@ impl SimHarness {
                 Err(e) if benign(&e) => Ok(()),
                 Err(e) => Err(interrupt(&e, format!("compaction failed: {e:?}"))),
             },
+            // Pure harness routing: no machine, oracle, or spec state
+            // changes — only where subsequent timed ops issue. Resolved
+            // modulo the core count so any trace runs on any machine.
+            TraceOp::OnCore { core_sel } => {
+                self.current_core = core_sel as usize % self.machine.config().cores.max(1);
+                Ok(())
+            }
         }
     }
 
@@ -728,6 +739,31 @@ pub fn generate_soak_ops(seed: u64, count: usize) -> Vec<TraceOp> {
     ops
 }
 
+/// [`generate_ops`] with core-affinity directives woven in: every few
+/// ops a [`TraceOp::OnCore`] rotates the issuing core, so on a
+/// multi-core machine the stream's timed ops interleave across cores
+/// (cross-core promotions, coherence OBitVector updates, shootdowns).
+/// With `cores <= 1` the stream is exactly [`generate_ops`]'s — the
+/// single-core fuzz corpus is unchanged. Subsequences stay valid, so
+/// the shrinker works on these streams too.
+pub fn generate_mc_ops(seed: u64, count: usize, cores: usize) -> Vec<TraceOp> {
+    let base = generate_ops(seed, count);
+    if cores <= 1 {
+        return base;
+    }
+    let mut rng = SplitMix64::new(seed ^ 0xC04E_5EED);
+    let mut ops = Vec::with_capacity(base.len() + base.len() / 4 + 1);
+    for (i, op) in base.into_iter().enumerate() {
+        // A rotation roughly every 4 ops gives quanta short enough that
+        // timed ops from different cores genuinely contend.
+        if i % 4 == 0 {
+            ops.push(TraceOp::OnCore { core_sel: (rng.next_u64() % cores as u64) as u32 });
+        }
+        ops.push(op);
+    }
+    ops
+}
+
 /// Builds a harness, applies `ops`, and runs the final sweep.
 ///
 /// # Errors
@@ -894,6 +930,7 @@ pub fn run_crash_convergence_staged(
         oracle: DiffOracle,
         spec: SpecMirror,
         procs: Vec<Asid>,
+        core: usize,
         from: usize,
     }
     let mut saved: Option<Saved> = None;
@@ -909,6 +946,7 @@ pub fn run_crash_convergence_staged(
                     oracle: h.oracle.clone(),
                     spec: h.spec.clone(),
                     procs: h.procs.clone(),
+                    core: h.current_core,
                     from: i,
                 });
             }
@@ -932,7 +970,7 @@ pub fn run_crash_convergence_staged(
     )?;
     let crashed = crashed_at.is_some();
     if let Some(i) = crashed_at {
-        let Saved { bytes, oracle, spec, procs, from } =
+        let Saved { bytes, oracle, spec, procs, core, from } =
             saved.take().ok_or("crash fired before the first snapshot")?;
         h.machine
             .restore_snapshot(&bytes)
@@ -941,6 +979,7 @@ pub fn run_crash_convergence_staged(
         h.oracle = oracle;
         h.spec = spec;
         h.procs = procs;
+        h.current_core = core;
         // The journal is the op suffix since the snapshot; round-trip
         // it through the trace format, as a real recovery would.
         let mut buf = Vec::new();

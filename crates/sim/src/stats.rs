@@ -23,6 +23,21 @@ pub struct SimStats {
     pub promotions: Counter,
     /// OMS compaction passes run by the pressure ladder (§4.4.2).
     pub compactions: Counter,
+    /// Overlaying-read-exclusive coherence requests issued (§4.3.3,
+    /// multi-core only).
+    pub coherence_read_exclusive: Counter,
+    /// Single-line OBitVector update messages delivered to *remote*
+    /// cores' TLB copies over the coherence network (§4.3.3).
+    pub coherence_obit_msgs: Counter,
+    /// Remote-core TLB entries invalidated by cross-core promotions,
+    /// commits, discards, and CoW remaps.
+    pub coherence_invalidations: Counter,
+    /// Cycles timed accesses stalled on coherence delivery to remote
+    /// cores (multi-core only).
+    pub coherence_stall_cycles: Counter,
+    /// Cycles timed accesses stalled on shared-resource contention
+    /// (L3 bank queue + DRAM bandwidth; multi-core only).
+    pub contention_stall_cycles: Counter,
     /// Bytes of demand + copy traffic moved over the memory bus.
     pub bus_bytes: u64,
     /// Extra physical memory allocated since the measurement epoch
@@ -48,6 +63,11 @@ impl SimStats {
             &self.overlaying_writes,
             &self.promotions,
             &self.compactions,
+            &self.coherence_read_exclusive,
+            &self.coherence_obit_msgs,
+            &self.coherence_invalidations,
+            &self.coherence_stall_cycles,
+            &self.contention_stall_cycles,
         ] {
             w.put_u64(c.get());
         }
@@ -70,6 +90,11 @@ impl SimStats {
             &mut s.overlaying_writes,
             &mut s.promotions,
             &mut s.compactions,
+            &mut s.coherence_read_exclusive,
+            &mut s.coherence_obit_msgs,
+            &mut s.coherence_invalidations,
+            &mut s.coherence_stall_cycles,
+            &mut s.contention_stall_cycles,
         ] {
             c.add(r.get_u64()?);
         }

@@ -98,6 +98,14 @@ pub enum TraceOp {
     /// relocate live segments downward. Semantically invisible: no
     /// functional state the oracle or spec tracks changes.
     Compact,
+    /// Harness: route subsequent timed ops (`Compute`/`Load`/`Store`)
+    /// to core `core_sel % cores` — the multi-core analogue of the
+    /// process selector. On a single-core machine this always resolves
+    /// to core 0, so every trace stays valid at every core count.
+    OnCore {
+        /// Core selector (modulo configured core count).
+        core_sel: u32,
+    },
 }
 
 impl TraceOp {

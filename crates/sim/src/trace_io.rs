@@ -23,13 +23,16 @@
 //! U                  # flush dirty overlay lines    (version 2)
 //! G                  # reclaim overlay memory       (version 2)
 //! O                  # compact the overlay store    (version 2)
+//! A <c>              # route timed ops to core c    (version 3)
 //! ```
 //!
 //! Headers are validated strictly: duplicates are rejected, a declared
 //! `!ops` count must match the number of ops actually present, a
-//! declared `!trace-version 1` trace may not contain version-2 tags,
-//! and line indices must be in `0..64`. Version-1 traces (no headers,
-//! only `C`/`L`/`S`) remain parseable unchanged.
+//! declared `!trace-version 1` trace may not contain version-2 tags
+//! (nor version-1/2 traces version-3 tags), and line indices must be in
+//! `0..64`. Version-1 traces (no headers, only `C`/`L`/`S`) remain
+//! parseable unchanged, and the writer only emits the version a trace
+//! actually needs — existing goldens stay byte-stable.
 
 use crate::trace::TraceOp;
 use po_types::geometry::{LINES_PER_PAGE, PAGE_SHIFT, VADDR_BITS};
@@ -95,8 +98,15 @@ pub fn write_trace_with_seed<W: Write>(
     seed: Option<u64>,
 ) -> Result<(), TraceIoError> {
     writeln!(w, "# page-overlays trace, {} ops", ops.len())?;
-    if ops.iter().any(TraceOp::is_harness_op) || seed.is_some() {
-        writeln!(w, "!trace-version 2")?;
+    let version = if ops.iter().any(|op| matches!(op, TraceOp::OnCore { .. })) {
+        3
+    } else if ops.iter().any(TraceOp::is_harness_op) || seed.is_some() {
+        2
+    } else {
+        1
+    };
+    if version > 1 {
+        writeln!(w, "!trace-version {version}")?;
         writeln!(w, "!ops {}", ops.len())?;
         if let Some(s) = seed {
             writeln!(w, "!seed {s:x}")?;
@@ -124,6 +134,7 @@ pub fn write_trace_with_seed<W: Write>(
             TraceOp::Flush => writeln!(w, "U")?,
             TraceOp::Reclaim => writeln!(w, "G")?,
             TraceOp::Compact => writeln!(w, "O")?,
+            TraceOp::OnCore { core_sel } => writeln!(w, "A {core_sel}")?,
         }
     }
     Ok(())
@@ -151,7 +162,7 @@ impl Headers {
                 let v: u32 = value
                     .parse()
                     .map_err(|_| parse_err(lineno, format!("bad trace version {value}")))?;
-                if !(1..=2).contains(&v) {
+                if !(1..=3).contains(&v) {
                     return Err(parse_err(lineno, format!("unsupported trace version {v}")));
                 }
                 self.version = Some(v);
@@ -295,10 +306,19 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
             "U" => TraceOp::Flush,
             "G" => TraceOp::Reclaim,
             "O" => TraceOp::Compact,
+            "A" => TraceOp::OnCore {
+                core_sel: parse_dec(lineno, "core selector", field("core selector")?)?,
+            },
             other => return Err(parse_err(lineno, format!("unknown op tag {other}"))),
         };
         if fields.next().is_some() {
             return Err(parse_err(lineno, format!("trailing fields after {tag} op")));
+        }
+        if headers.version.is_some_and(|v| v < 3) && matches!(op, TraceOp::OnCore { .. }) {
+            return Err(parse_err(
+                lineno,
+                format!("op tag {tag} requires trace version 3, but an older one was declared"),
+            ));
         }
         if headers.version == Some(1) && op.is_harness_op() {
             return Err(parse_err(
@@ -394,7 +414,37 @@ mod tests {
             TraceOp::Flush,
             TraceOp::Reclaim,
             TraceOp::Compact,
+            TraceOp::OnCore { core_sel: u32::MAX },
         ]
+    }
+
+    #[test]
+    fn core_affinity_bumps_version_to_3() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[TraceOp::OnCore { core_sel: 2 }, TraceOp::Compute(1)]).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("!trace-version 3"), "{text}");
+        assert_eq!(
+            read_trace(buf.as_slice()).unwrap(),
+            vec![TraceOp::OnCore { core_sel: 2 }, TraceOp::Compute(1)]
+        );
+        // Traces without the op keep their old version (byte-stable
+        // goldens): harness ops → 2, pure timed ops → 1 (no headers).
+        let mut v2 = Vec::new();
+        write_trace(&mut v2, &[TraceOp::Spawn]).unwrap();
+        assert!(String::from_utf8(v2).unwrap().contains("!trace-version 2"));
+        let mut v1 = Vec::new();
+        write_trace(&mut v1, &[TraceOp::Compute(1)]).unwrap();
+        assert!(!String::from_utf8(v1).unwrap().contains("!trace-version"));
+    }
+
+    #[test]
+    fn core_affinity_rejected_under_old_versions() {
+        for bad in ["!trace-version 1\nA 0\n", "!trace-version 2\nA 1\n"] {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("requires trace version 3"), "{bad:?} → {err}");
+        }
+        assert!(read_trace("!trace-version 3\nA 1\n".as_bytes()).is_ok());
     }
 
     #[test]
@@ -403,7 +453,7 @@ mod tests {
         let mut buf = Vec::new();
         write_trace_with_seed(&mut buf, &ops, Some(0xdead_beef)).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.contains("!trace-version 2"), "{text}");
+        assert!(text.contains("!trace-version 3"), "{text}");
         assert!(text.contains("!seed deadbeef"), "{text}");
         assert_eq!(read_trace(buf.as_slice()).unwrap(), ops);
     }

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// Number of attribution layers.
-pub const NUM_LAYERS: usize = 9;
+pub const NUM_LAYERS: usize = 10;
 
 /// Where cycles of a memory operation are spent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,6 +38,10 @@ pub enum Layer {
     Promotion,
     /// Non-memory (compute) instructions retiring.
     Core,
+    /// Extra cycles from shared-resource contention (L3 bank queue,
+    /// DRAM bandwidth) and overlay coherence stalls under multi-core
+    /// load. Zero on single-core runs.
+    Contention,
     /// Residual: cycles not attributed to any layer above.
     Other,
 }
@@ -53,6 +57,7 @@ impl Layer {
         Layer::OverlayWrite,
         Layer::Promotion,
         Layer::Core,
+        Layer::Contention,
         Layer::Other,
     ];
 
@@ -68,7 +73,8 @@ impl Layer {
             Layer::OverlayWrite => 5,
             Layer::Promotion => 6,
             Layer::Core => 7,
-            Layer::Other => 8,
+            Layer::Contention => 8,
+            Layer::Other => 9,
         }
     }
 
@@ -83,6 +89,7 @@ impl Layer {
             Layer::OverlayWrite => "overlay_write",
             Layer::Promotion => "promotion",
             Layer::Core => "core",
+            Layer::Contention => "contention",
             Layer::Other => "other",
         }
     }

@@ -368,11 +368,14 @@ impl Tlb {
 
     /// Classic single-page shootdown (invalidate everywhere). This is the
     /// expensive operation overlay-on-write avoids; counted separately
-    /// from OBitVector updates.
-    pub fn shootdown(&mut self, asid: Asid, vpn: Vpn) {
+    /// from OBitVector updates. Returns `true` if a cached entry was
+    /// actually dropped — the multi-core machine uses this to account
+    /// cross-core invalidations.
+    pub fn shootdown(&mut self, asid: Asid, vpn: Vpn) -> bool {
         self.stats.shootdowns.inc();
-        self.l1.invalidate(asid, vpn);
-        self.l2.invalidate(asid, vpn);
+        let l1 = self.l1.invalidate(asid, vpn);
+        let l2 = self.l2.invalidate(asid, vpn);
+        l1 || l2
     }
 
     /// Delivers a coherence-carried OBitVector update for one line
@@ -545,9 +548,10 @@ mod tests {
     fn shootdown_removes_both_levels() {
         let mut tlb = Tlb::new(TlbConfig::table2());
         tlb.fill(entry(1, 3));
-        tlb.shootdown(Asid::new(1), Vpn::new(3));
+        assert!(tlb.shootdown(Asid::new(1), Vpn::new(3)), "entry was resident");
+        assert!(!tlb.shootdown(Asid::new(1), Vpn::new(3)), "nothing left to drop");
         assert_eq!(tlb.lookup(Asid::new(1), Vpn::new(3)).outcome, TlbOutcome::Miss);
-        assert_eq!(tlb.stats().shootdowns.get(), 1);
+        assert_eq!(tlb.stats().shootdowns.get(), 2);
     }
 
     #[test]

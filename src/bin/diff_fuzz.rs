@@ -15,13 +15,16 @@
 //! internal error, not a fuzzing result.
 //!
 //! ```text
-//! diff_fuzz [--seed N] [--runs N] [--ops N] [--cow] [--faults]
-//!           [--inject-bug] [--spec] [--out PATH]
+//! diff_fuzz [--seed N] [--runs N] [--ops N] [--cores N] [--cow]
+//!           [--faults] [--inject-bug] [--spec] [--out PATH]
 //! ```
 //!
 //! * `--seed` — first stream seed (default 1; run `i` uses `seed + i`).
 //! * `--runs` — streams to try (default 20).
 //! * `--ops` — ops per stream (default 400).
+//! * `--cores` — cores on the fuzzed machine (default 1). With more
+//!   than one, streams carry `OnCore` directives so timed ops hop
+//!   between cores and the §4.3.3 coherence paths are in play.
 //! * `--cow` — fuzz the copy-on-write baseline instead of overlay mode.
 //! * `--faults` — install a PR-1 style fault plan (OMS allocation
 //!   failures, grow refusals, frame exhaustion) seeded per run.
@@ -42,8 +45,8 @@
 
 use page_overlays::analyze::{self, Verdict, VerifierOptions};
 use page_overlays::sim::{
-    generate_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed, SimHarness,
-    SystemConfig, TraceOp, VPN_BASE,
+    generate_mc_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed,
+    SimHarness, SystemConfig, TraceOp, VPN_BASE,
 };
 use page_overlays::types::{FaultPlan, FaultSite};
 use std::process::ExitCode;
@@ -52,6 +55,7 @@ struct Options {
     seed: u64,
     runs: u64,
     ops: usize,
+    cores: usize,
     cow: bool,
     faults: bool,
     inject_bug: bool,
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 1,
         runs: 20,
         ops: 400,
+        cores: 1,
         cow: false,
         faults: false,
         inject_bug: false,
@@ -77,6 +82,12 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
             "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--cores" => {
+                opts.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+                if opts.cores == 0 {
+                    return Err("--cores must be at least 1".into());
+                }
+            }
             "--cow" => opts.cow = true,
             "--faults" => opts.faults = true,
             "--inject-bug" => opts.inject_bug = true,
@@ -122,7 +133,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let config = if opts.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+    let base = if opts.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+    let config = SystemConfig { cores: opts.cores, ..base };
 
     if opts.spec {
         match refinement_canary() {
@@ -136,7 +148,7 @@ fn main() -> ExitCode {
 
     for i in 0..opts.runs {
         let seed = opts.seed.wrapping_add(i);
-        let ops = generate_ops(seed, opts.ops);
+        let ops = generate_mc_ops(seed, opts.ops, opts.cores);
         let plan = opts.faults.then(|| {
             FaultPlan::new(seed ^ 0xFA17)
                 .with_probability(FaultSite::OmsAllocFailed, 0.05)

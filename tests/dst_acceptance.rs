@@ -4,8 +4,8 @@
 //! differential fuzzer catching and shrinking a deliberate bug.
 
 use page_overlays::sim::{
-    generate_ops, read_trace, run_crash_convergence, run_crash_convergence_staged, run_ops,
-    run_trace, shrink_ops, write_trace, Machine, SimHarness, SystemConfig, TraceOp,
+    generate_mc_ops, generate_ops, read_trace, run_crash_convergence, run_crash_convergence_staged,
+    run_ops, run_trace, shrink_ops, write_trace, Machine, SimHarness, SystemConfig, TraceOp,
 };
 use page_overlays::types::{CrashStage, FaultPlan, FaultSite, VirtAddr, Vpn};
 
@@ -145,6 +145,68 @@ fn interior_crash_matrix_is_spec_legal_and_converges() {
         let n = fired.get(stage.name()).copied().unwrap_or(0);
         assert!(n >= 5, "interior stage {} fired only {n} times", stage.name());
     }
+}
+
+/// The interior crash matrix under cross-core interleavings: the same
+/// mid-transition power cuts, but on streams whose timed ops hop
+/// between the cores of a multi-core machine (`OnCore` directives every
+/// few ops), so promotions, reclaims, and OMT writes are interrupted
+/// while *other* cores hold live TLB obitvec copies. Every interior
+/// stage must fire and every pair must converge byte-identically.
+#[test]
+fn interior_crash_matrix_converges_under_cross_core_interleavings() {
+    for cores in [2usize, 4] {
+        let config = SystemConfig { cores, promote_threshold: 4, ..SystemConfig::table2_overlay() };
+        let mut fired = std::collections::BTreeMap::<&str, u32>::new();
+        for seed in 0..14u64 {
+            let ops = generate_mc_ops(seed, 120, cores);
+            let plan = if seed % 3 == 0 {
+                FaultPlan::new(seed ^ 0xFA17)
+                    .with_probability(FaultSite::OmsAllocFailed, 0.05)
+                    .with_probability(FaultSite::OmsGrowRefused, 0.05)
+            } else {
+                FaultPlan::new(seed)
+            };
+            for stage in CrashStage::INTERIOR {
+                for crash_at in [0u64, 2, 5] {
+                    let crashed =
+                        run_crash_convergence_staged(&config, &ops, &plan, crash_at, 8, stage)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "cores {cores} seed {seed} stage {} crash_at {crash_at}: {e}",
+                                    stage.name()
+                                )
+                            });
+                    if crashed {
+                        *fired.entry(stage.name()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        for stage in CrashStage::INTERIOR {
+            let n = fired.get(stage.name()).copied().unwrap_or(0);
+            assert!(n >= 3, "cores {cores}: interior stage {} fired only {n} times", stage.name());
+        }
+    }
+}
+
+/// Multi-core fuzz streams run clean through the differential harness
+/// (spec refinement after every op), and a snapshot taken mid-stream
+/// round-trips with per-core state intact.
+#[test]
+fn multicore_fuzz_streams_converge_and_round_trip() {
+    let config = SystemConfig { cores: 4, ..SystemConfig::table2_overlay() };
+    for seed in [7u64, 21, 42] {
+        run_ops(&config, None, &generate_mc_ops(seed, 250, 4), false)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    let mut h = SimHarness::new(config).expect("harness");
+    for op in &generate_mc_ops(0xC0DE, 250, 4) {
+        h.apply(op).expect("apply");
+    }
+    assert_round_trip(h.machine, |m| {
+        let _ = m.flush_overlays();
+    });
 }
 
 /// CoW baseline convergence (the machinery is mode-independent).

@@ -1,0 +1,30 @@
+//! Seeded PA-L006 true positive: a multi-core scheduler helper that
+//! delivers OBitVector updates and shoots down remote entries without
+//! threading the telemetry sink or bumping the mirrored coherence
+//! counters. (Linted under a `crates/mc/…` path label by the fixture
+//! test — the file itself lives in `fixtures/`, which the tree walk
+//! skips.)
+
+pub struct Router {
+    tlbs: Vec<Tlb>,
+}
+
+impl Router {
+    /// Delivers a single-line update to every remote TLB copy: the
+    /// functional patch lands, but no `CohObitUpdate` event and no
+    /// `coherence_remote_updates` bump — the PA-C verifier would see a
+    /// lost synchronization edge here.
+    pub fn deliver_update(&mut self, asid: Asid, vpn: Vpn, line: usize) {
+        for tlb in &mut self.tlbs {
+            tlb.coherence_obit_update(asid, vpn, line, true);
+        }
+    }
+
+    /// Invalidates every copy with no ack events and no
+    /// `coherence_invalidations` bump.
+    pub fn drop_entries(&mut self, asid: Asid, vpn: Vpn) {
+        for tlb in &mut self.tlbs {
+            tlb.shootdown(asid, vpn);
+        }
+    }
+}

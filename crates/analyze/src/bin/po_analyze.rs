@@ -1,14 +1,15 @@
 //! `po_analyze` — the static-analysis driver.
 //!
 //! ```text
-//! po_analyze lint  [--root DIR] [--json]
-//! po_analyze trace [--cow] [--oms-limit BYTES] [--frag-slack F]
-//!                  [--crash-at N]... [--assume-faults] [--json] FILE...
-//! po_analyze all   [--root DIR] [--json]
+//! po_analyze lint   [--root DIR] [--json]
+//! po_analyze trace  [--cow] [--cores N] [--oms-limit BYTES] [--frag-slack F]
+//!                   [--crash-at N]... [--assume-faults] [--json] FILE...
+//! po_analyze events [--json] FILE...
+//! po_analyze all    [--root DIR] [--json]
 //! ```
 //!
-//! * `lint` — run the source lints (PA-L001..L004) over the tree.
-//! * `trace` — abstractly interpret `.trace` files (PA-V000..V006).
+//! * `lint` — run the source lints (PA-L001..L006) over the tree.
+//! * `trace` — abstractly interpret `.trace` files (PA-V000..V007).
 //!   `--cow` verifies under the copy-on-write baseline config instead
 //!   of the overlay config; `--oms-limit` arms the OMS-budget rule and
 //!   `--frag-slack F` pads its peak-demand check by a fragmentation
@@ -16,7 +17,11 @@
 //!   peak — the §4.4.3 allocator strands freed bytes under churn);
 //!   each `--crash-at N` arms the crash-point reachability rule for
 //!   query index N; `--assume-faults` verifies as if a fault plan may
-//!   be active (only fault-independent findings survive).
+//!   be active (only fault-independent findings survive); `--cores N`
+//!   verifies against an N-core machine (arms the PA-V007 core-range
+//!   rule and per-core TLB views).
+//! * `events` — replay exported telemetry journals (`.jsonl`) through
+//!   the happens-before concurrency verifier (PA-C000..PA-C006).
 //! * `all` — `lint` plus `trace` over every `.trace` file under the
 //!   root (fixtures excluded).
 //!
@@ -24,7 +29,7 @@
 //! does, 2 on usage or I/O errors.
 
 use po_analyze::lints;
-use po_analyze::verifier::{verify_trace_text, VerifierOptions};
+use po_analyze::verifier::{analyze_jsonl, verify_trace_text, VerifierOptions};
 use po_analyze::{Report, Severity};
 use po_sim::SystemConfig;
 use std::path::{Path, PathBuf};
@@ -39,15 +44,17 @@ struct Cli {
     frag_slack: f64,
     crash_at: Vec<u64>,
     assume_faults: bool,
+    cores: Option<usize>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: po_analyze lint  [--root DIR] [--json]\n\
-         \x20      po_analyze trace [--cow] [--oms-limit BYTES] [--frag-slack F] \
+        "usage: po_analyze lint   [--root DIR] [--json]\n\
+         \x20      po_analyze trace  [--cow] [--cores N] [--oms-limit BYTES] [--frag-slack F] \
          [--crash-at N]... [--assume-faults] [--json] FILE...\n\
-         \x20      po_analyze all   [--root DIR] [--json]"
+         \x20      po_analyze events [--json] FILE...\n\
+         \x20      po_analyze all    [--root DIR] [--json]"
     );
     ExitCode::from(2)
 }
@@ -62,9 +69,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         frag_slack: 0.0,
         crash_at: Vec::new(),
         assume_faults: false,
+        cores: None,
         files: Vec::new(),
     };
-    if !matches!(cli.command.as_str(), "lint" | "trace" | "all") {
+    if !matches!(cli.command.as_str(), "lint" | "trace" | "events" | "all") {
         return Err(format!("unknown command {}", cli.command));
     }
     let mut it = args[1..].iter();
@@ -89,12 +97,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--crash-at needs a value")?;
                 cli.crash_at.push(v.parse().map_err(|_| format!("bad --crash-at {v}"))?);
             }
+            "--cores" => {
+                let v = it.next().ok_or("--cores needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --cores {v}"))?;
+                if n == 0 {
+                    return Err("--cores must be at least 1".to_string());
+                }
+                cli.cores = Some(n);
+            }
             f if !f.starts_with('-') => cli.files.push(PathBuf::from(f)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if cli.command == "trace" && cli.files.is_empty() {
-        return Err("trace needs at least one FILE".to_string());
+    if matches!(cli.command.as_str(), "trace" | "events") && cli.files.is_empty() {
+        return Err(format!("{} needs at least one FILE", cli.command));
     }
     Ok(cli)
 }
@@ -102,7 +118,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 fn verify_file(cli: &Cli, path: &Path, report: &mut Report) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let config = if cli.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+    let mut config = if cli.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
+    if let Some(n) = cli.cores {
+        config.cores = n;
+    }
     let opts = VerifierOptions {
         oms_limit: cli.oms_limit,
         frag_slack: cli.frag_slack,
@@ -145,6 +164,13 @@ fn run(cli: &Cli) -> Result<Report, String> {
     if cli.command == "trace" {
         for f in &cli.files {
             verify_file(cli, f, &mut report)?;
+        }
+    }
+    if cli.command == "events" {
+        for f in &cli.files {
+            let text = std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+            report.extend(analyze_jsonl(&text, &f.display().to_string()));
         }
     }
     if cli.command == "all" {

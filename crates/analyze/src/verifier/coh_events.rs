@@ -1,0 +1,300 @@
+//! Parser for the coherence annotation stream.
+//!
+//! The multi-core machine exports its telemetry journal as JSONL with a
+//! fixed key order (`crates/telemetry/src/journal.rs`). The concurrency
+//! verifier consumes only the `Coh*` kinds; every other event kind is
+//! skipped. The parser is deliberately self-contained (no serde — the
+//! registry is offline) and lenient about unknown kinds but strict
+//! about the shape of the coherence events themselves: a malformed
+//! `Coh*` line is a PA-C000 error, the analog of the trace verifier's
+//! PA-V000.
+
+use crate::findings::{Finding, Report, Severity};
+
+/// One coherence event, decoded from a journal JSONL line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CohEvent {
+    /// `CohReadExclusive`: a core acquired overlaying-read-exclusive
+    /// rights on a line before an overlaying write (§4.3.3 step 1).
+    ReadExclusive {
+        /// Acquiring core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+    },
+    /// `CohObitUpdate`: a single-line OBitVector-update message
+    /// delivered to a remote TLB copy (§4.3.3 step 2).
+    ObitUpdate {
+        /// Writing (sending) core.
+        src: u32,
+        /// Remote receiving core.
+        dest: u32,
+        /// Overlay page number.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+    },
+    /// `CohPromote`: a promotion reached its commit point (§4.3.4).
+    Promote {
+        /// Promoting core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
+    /// `CohShootdownBegin`: a TLB-shootdown window opened.
+    ShootdownBegin {
+        /// Initiating core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
+    /// `CohShootdownAck`: one remote core acknowledged the shootdown.
+    ShootdownAck {
+        /// Initiating core.
+        core: u32,
+        /// Acknowledging core.
+        from: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
+    /// `CohShootdownEnd`: the shootdown window closed.
+    ShootdownEnd {
+        /// Initiating core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
+    /// `CohAccess`: a timed access to an overlay-enabled page.
+    Access {
+        /// Issuing core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+        /// `true` for stores.
+        write: bool,
+    },
+    /// `CohFill`: a TLB miss refilled a core's entry from the page
+    /// tables / OMT (the refilled view is fresh).
+    Fill {
+        /// Refilled core.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
+}
+
+/// A decoded coherence event with its journal stamps and the 1-based
+/// line it came from (the finding anchor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CohRecord {
+    /// Journal sequence number.
+    pub seq: u64,
+    /// Simulated cycle stamp.
+    pub cycle: u64,
+    /// 1-based line number in the JSONL document.
+    pub line_no: usize,
+    /// The event.
+    pub event: CohEvent,
+}
+
+/// Extracts the integer value of `"name":<digits>` from a JSONL line.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts the boolean value of `"name":true|false`.
+fn field_bool(line: &str, name: &str) -> Option<bool> {
+    let key = format!("\"{name}\":");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts the string value of `"kind":"..."`.
+fn field_kind(line: &str) -> Option<&str> {
+    let key = "\"kind\":\"";
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn field_u32(line: &str, name: &str) -> Option<u32> {
+    field_u64(line, name).and_then(|v| u32::try_from(v).ok())
+}
+
+fn field_u8(line: &str, name: &str) -> Option<u8> {
+    field_u64(line, name).and_then(|v| u8::try_from(v).ok())
+}
+
+fn decode_event(kind: &str, line: &str) -> Option<Option<CohEvent>> {
+    // Outer None: not a coherence kind. Inner None: malformed fields.
+    let ev = match kind {
+        "CohReadExclusive" => CohEvent::ReadExclusive {
+            core: field_u32(line, "core")?,
+            opn: field_u64(line, "opn")?,
+            line: field_u8(line, "line")?,
+        },
+        "CohObitUpdate" => CohEvent::ObitUpdate {
+            src: field_u32(line, "src")?,
+            dest: field_u32(line, "dest")?,
+            opn: field_u64(line, "opn")?,
+            line: field_u8(line, "line")?,
+        },
+        "CohPromote" => {
+            CohEvent::Promote { core: field_u32(line, "core")?, opn: field_u64(line, "opn")? }
+        }
+        "CohShootdownBegin" => CohEvent::ShootdownBegin {
+            core: field_u32(line, "core")?,
+            opn: field_u64(line, "opn")?,
+        },
+        "CohShootdownAck" => CohEvent::ShootdownAck {
+            core: field_u32(line, "core")?,
+            from: field_u32(line, "from")?,
+            opn: field_u64(line, "opn")?,
+        },
+        "CohShootdownEnd" => {
+            CohEvent::ShootdownEnd { core: field_u32(line, "core")?, opn: field_u64(line, "opn")? }
+        }
+        "CohAccess" => CohEvent::Access {
+            core: field_u32(line, "core")?,
+            opn: field_u64(line, "opn")?,
+            line: field_u8(line, "line")?,
+            write: field_bool(line, "write")?,
+        },
+        "CohFill" => {
+            CohEvent::Fill { core: field_u32(line, "core")?, opn: field_u64(line, "opn")? }
+        }
+        _ => return None,
+    };
+    Some(Some(ev))
+}
+
+// Wrapping decode_event in the double Option above keeps the `?` sugar
+// while distinguishing "skip" from "malformed"; the wrapper below
+// flattens it for callers.
+fn decode(kind: &str, line: &str) -> DecodeOutcome {
+    match kind {
+        "CohReadExclusive" | "CohObitUpdate" | "CohPromote" | "CohShootdownBegin"
+        | "CohShootdownAck" | "CohShootdownEnd" | "CohAccess" | "CohFill" => {
+            match decode_event(kind, line) {
+                Some(Some(ev)) => DecodeOutcome::Event(ev),
+                _ => DecodeOutcome::Malformed,
+            }
+        }
+        _ => DecodeOutcome::Skip,
+    }
+}
+
+enum DecodeOutcome {
+    Event(CohEvent),
+    Skip,
+    Malformed,
+}
+
+/// Parses a journal JSONL export, returning the coherence records plus
+/// a report holding one PA-C000 error per malformed coherence line.
+/// Non-coherence kinds and blank lines are skipped silently.
+#[must_use]
+pub fn parse_jsonl(text: &str, subject: &str) -> (Vec<CohRecord>, Report) {
+    let mut records = Vec::new();
+    let mut report = Report::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(kind) = field_kind(line) else {
+            report.push(Finding::new(
+                "PA-C000",
+                Severity::Error,
+                subject,
+                line_no,
+                "event line has no \"kind\" field".to_string(),
+            ));
+            continue;
+        };
+        match decode(kind, line) {
+            DecodeOutcome::Event(event) => records.push(CohRecord {
+                seq: field_u64(line, "seq").unwrap_or(line_no as u64),
+                cycle: field_u64(line, "cycle").unwrap_or(0),
+                line_no,
+                event,
+            }),
+            DecodeOutcome::Skip => {}
+            DecodeOutcome::Malformed => report.push(Finding::new(
+                "PA-C000",
+                Severity::Error,
+                subject,
+                line_no,
+                format!("malformed {kind} event: missing or out-of-range field"),
+            )),
+        }
+    }
+    (records, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_coherence_kinds_and_skips_the_rest() {
+        let text = "\
+{\"seq\":0,\"cycle\":5,\"kind\":\"TlbLookup\",\"asid\":1,\"vpn\":2,\"level\":\"L1\",\"latency\":1}\n\
+{\"seq\":1,\"cycle\":6,\"kind\":\"CohReadExclusive\",\"core\":0,\"opn\":9,\"line\":3}\n\
+{\"seq\":2,\"cycle\":7,\"kind\":\"CohObitUpdate\",\"src\":0,\"dest\":1,\"opn\":9,\"line\":3}\n\
+{\"seq\":3,\"cycle\":8,\"kind\":\"CohAccess\",\"core\":1,\"opn\":9,\"line\":3,\"write\":false}\n";
+        let (records, report) = parse_jsonl(text, "t");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].event, CohEvent::ReadExclusive { core: 0, opn: 9, line: 3 });
+        assert_eq!(records[1].event, CohEvent::ObitUpdate { src: 0, dest: 1, opn: 9, line: 3 });
+        assert_eq!(records[2].event, CohEvent::Access { core: 1, opn: 9, line: 3, write: false });
+        assert_eq!(records[2].line_no, 4);
+    }
+
+    #[test]
+    fn malformed_coherence_line_is_c000() {
+        let (records, report) =
+            parse_jsonl("{\"seq\":1,\"cycle\":0,\"kind\":\"CohFill\",\"core\":0}\n", "t");
+        assert!(records.is_empty());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "PA-C000");
+        assert_eq!(report.findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn out_of_range_line_index_is_c000() {
+        let (records, report) = parse_jsonl(
+            "{\"seq\":1,\"cycle\":0,\"kind\":\"CohAccess\",\"core\":0,\"opn\":1,\"line\":300,\"write\":true}\n",
+            "t",
+        );
+        assert!(records.is_empty());
+        assert_eq!(report.findings[0].rule, "PA-C000");
+    }
+
+    #[test]
+    fn kindless_line_is_c000() {
+        let (_, report) = parse_jsonl("{\"seq\":1}\n", "t");
+        assert_eq!(report.findings[0].rule, "PA-C000");
+    }
+}

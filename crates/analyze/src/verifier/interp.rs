@@ -59,6 +59,40 @@ pub struct VerifierOptions {
     pub frag_slack: f64,
 }
 
+/// One core's abstract TLB image of a page. The global
+/// [`AbsPage::tlb_clean`]/[`AbsPage::stale_may`] pair joins these over
+/// every core (and stays the source of truth for whole-trace rules);
+/// the per-core views recover precision for timed ops, which route
+/// through exactly one core's TLB: a core that provably holds no entry
+/// (`cached == false`) performs a fresh fill and sees exact page-table
+/// state even while another core's image is stale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbView {
+    /// May this core's TLB hold an entry for the page at all? `false`
+    /// until a timed access on this core since the last full shootdown
+    /// or flush of the page.
+    pub cached: bool,
+    /// `true` while this core's possible entry provably agrees with the
+    /// page table. An uncached view is vacuously clean (the next access
+    /// on this core refills fresh).
+    pub clean: bool,
+    /// Upper bound on the OBitVector of this core's possible entry
+    /// (coherence patches keep cached entries' OBitVectors current, so
+    /// this accumulates `overlay.may` from fill time onward).
+    pub stale_may: u64,
+}
+
+impl TlbView {
+    /// The view of a core with no entry: vacuously clean.
+    pub const EMPTY: Self = Self { cached: false, clean: true, stale_may: 0 };
+}
+
+impl Default for TlbView {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
 /// Abstract per-page state. Flag fields describe the page *given that
 /// it is mapped*; they are meaningless while `mapped` is `No`.
 #[derive(Clone, Debug)]
@@ -84,6 +118,10 @@ pub struct AbsPage {
     /// `false` once a TLB entry for this page may disagree with the
     /// page table (privatization without shootdown).
     pub tlb_clean: bool,
+    /// Per-core TLB images, indexed by core id and grown on demand; an
+    /// absent slot is [`TlbView::EMPTY`]. Always at least as precise as
+    /// the global `tlb_clean`/`stale_may` join above.
+    pub views: Vec<TlbView>,
 }
 
 impl Default for AbsPage {
@@ -97,6 +135,7 @@ impl Default for AbsPage {
             resident: LineSet::EMPTY,
             stale_may: 0,
             tlb_clean: true,
+            views: Vec::new(),
         }
     }
 }
@@ -108,6 +147,63 @@ impl AbsPage {
             && self.resident.well_formed()
             && self.overlay.may & !self.stale_may == 0
             && (self.overlay.must == 0 || self.mapped == Tri::Yes)
+            // Per-core views refine the global join: never dirtier than
+            // `tlb_clean`, never staler than `stale_may`, and an entry
+            // that cannot exist is vacuously clean.
+            && self.views.iter().all(|v| {
+                v.stale_may & !self.stale_may == 0
+                    && (v.cached || v.clean)
+                    && (!self.tlb_clean || v.clean)
+            })
+    }
+
+    /// This core's TLB image (a copy; absent slots are empty views).
+    #[must_use]
+    pub fn view(&self, core: usize) -> TlbView {
+        self.views.get(core).copied().unwrap_or(TlbView::EMPTY)
+    }
+
+    fn view_mut(&mut self, core: usize) -> &mut TlbView {
+        if self.views.len() <= core {
+            self.views.resize(core + 1, TlbView::EMPTY);
+        }
+        &mut self.views[core]
+    }
+
+    /// A timed access on `core` touched this page: the core's TLB now
+    /// holds an entry whose OBitVector is bounded by the current
+    /// `overlay.may` (exact at fill time, coherence-patched afterwards).
+    fn touch_view(&mut self, core: usize) {
+        let may = self.overlay.may;
+        let v = self.view_mut(core);
+        v.cached = true;
+        v.stale_may |= may;
+    }
+
+    /// The page table changed without a shootdown: every possible
+    /// cached entry may now disagree with it.
+    fn dirty_cached_views(&mut self) {
+        for v in &mut self.views {
+            if v.cached {
+                v.clean = false;
+            }
+        }
+    }
+
+    /// The page's possible OBitVector grew: coherence patches propagate
+    /// the bits into every cached entry.
+    fn note_stale_views(&mut self, bits: u64) {
+        for v in &mut self.views {
+            if v.cached {
+                v.stale_may |= bits;
+            }
+        }
+    }
+
+    /// A full shootdown (or flush) of this page: no core holds an
+    /// entry any more.
+    fn reset_views(&mut self) {
+        self.views.clear();
     }
 }
 
@@ -146,6 +242,11 @@ struct Interp<'a> {
     report: Report,
     /// Upper bound on regular frames allocated so far.
     frames_ub: u64,
+    /// Configured core count (≥ 1), mirroring the machine's TLB array.
+    cores: usize,
+    /// Core the next timed op issues on (`OnCore` routing, resolved
+    /// modulo `cores` exactly as the harness does).
+    current_core: usize,
 }
 
 impl<'a> Interp<'a> {
@@ -154,7 +255,16 @@ impl<'a> Interp<'a> {
         if opts.assume_faults {
             st.degraded = true;
         }
-        Self { config, opts, subject, st, report: Report::new(), frames_ub: 0 }
+        Self {
+            config,
+            opts,
+            subject,
+            st,
+            report: Report::new(),
+            frames_ub: 0,
+            cores: config.cores.max(1),
+            current_core: 0,
+        }
     }
 
     /// `true` while definite (must-style) conclusions are allowed.
@@ -385,6 +495,7 @@ impl<'a> Interp<'a> {
             }
             page.tlb_clean = true;
             page.stale_may = page.overlay.may;
+            page.reset_views(); // fork ends with a full TLB flush
             let clone = page.clone();
             if had_overlay {
                 self.note_alloc(1); // materialize may copy the frame
@@ -437,6 +548,7 @@ impl<'a> Interp<'a> {
                     page.resident.insert_may(line);
                 }
                 page.stale_may |= page.overlay.may;
+                page.note_stale_views(page.overlay.may);
             }
             Tri::No if precise && page.mapped == Tri::Yes => {
                 // Base route. On a CoW page (plain CoW mode) os.write
@@ -445,11 +557,13 @@ impl<'a> Interp<'a> {
                     page.writable = Tri::Yes;
                     page.cow = Tri::No;
                     page.tlb_clean = false;
+                    page.dirty_cached_views();
                     cow_copy_possible = true;
                 } else if page.cow.possibly() && page.writable != Tri::Yes {
                     page.writable = page.writable.join(Tri::Yes);
                     page.cow = page.cow.join(Tri::No);
                     page.tlb_clean = false;
+                    page.dirty_cached_views();
                     cow_copy_possible = true;
                 }
             }
@@ -460,11 +574,13 @@ impl<'a> Interp<'a> {
                     page.overlay.insert_may(line);
                     page.resident.insert_may(line);
                     page.stale_may |= page.overlay.may;
+                    page.note_stale_views(page.overlay.may);
                 }
                 if route_overlay != Tri::Yes && page.cow.possibly() && page.writable != Tri::Yes {
                     page.writable = page.writable.join(Tri::Yes);
                     page.cow = page.cow.join(Tri::No);
                     page.tlb_clean = false;
+                    page.dirty_cached_views();
                     cow_copy_possible = true;
                 }
             }
@@ -528,6 +644,7 @@ impl<'a> Interp<'a> {
             page.overlay.insert_may(line);
         }
         page.stale_may |= page.overlay.may;
+        page.note_stale_views(page.overlay.may);
         self.update_demand();
     }
 
@@ -555,6 +672,7 @@ impl<'a> Interp<'a> {
                 page.cow = Tri::No;
                 page.tlb_clean = true;
                 page.stale_may = 0;
+                page.reset_views();
                 self.note_alloc(1);
             }
             _ => {
@@ -593,6 +711,7 @@ impl<'a> Interp<'a> {
                 page.resident = LineSet::EMPTY;
                 page.tlb_clean = true;
                 page.stale_may = 0;
+                page.reset_views();
             }
             _ => {
                 page.overlay.weaken();
@@ -646,6 +765,7 @@ impl<'a> Interp<'a> {
                 page.cow = Tri::No;
                 page.tlb_clean = true;
                 page.stale_may = 0;
+                page.reset_views();
                 self.note_alloc(1);
                 return;
             }
@@ -701,6 +821,8 @@ impl<'a> Interp<'a> {
             return;
         }
         self.timed_side_effects();
+        let core = self.current_core;
+        self.page_mut(p, vpn).touch_view(core);
     }
 
     fn op_store(&mut self, i: usize, raw_va: u64) {
@@ -721,9 +843,16 @@ impl<'a> Interp<'a> {
         let precise = self.precise();
         let overlay_mode = self.config.overlay_mode;
         let threshold = self.config.promote_threshold;
+        let core = self.current_core;
         let mut alloc = 0u64;
         let page = self.page_mut(p, vpn);
-        let flags_exact = page.tlb_clean
+        // The store routes through exactly this core's TLB image: a
+        // clean view (cached-and-agreeing or provably uncached, hence
+        // freshly filled) keeps the transfer precise even while another
+        // core's entry is stale.
+        let view = page.view(core);
+        page.touch_view(core);
+        let flags_exact = view.clean
             && page.mapped == Tri::Yes
             && page.writable != Tri::Maybe
             && page.cow != Tri::Maybe
@@ -740,15 +869,19 @@ impl<'a> Interp<'a> {
                         page.overlay.insert_must(line);
                         page.resident.insert_must(line);
                         page.stale_may |= page.overlay.may;
+                        page.note_stale_views(page.overlay.may);
                         if page.overlay.must_count() >= threshold {
                             // §4.3.4 promotion: commit + privatize +
-                            // shootdown.
+                            // shootdown, then a fresh refill on the
+                            // promoting core.
                             page.overlay = LineSet::EMPTY;
                             page.resident = LineSet::EMPTY;
                             page.writable = Tri::Yes;
                             page.cow = Tri::No;
                             page.tlb_clean = true;
                             page.stale_may = 0;
+                            page.reset_views();
+                            page.touch_view(core);
                             alloc = 1;
                         }
                     }
@@ -759,6 +892,7 @@ impl<'a> Interp<'a> {
                     page.writable = Tri::Yes;
                     page.cow = Tri::No;
                     page.tlb_clean = false; // L2 may keep the old entry
+                    page.dirty_cached_views();
                     alloc = 1;
                 }
             } else if page.enabled.possibly() && page.overlay.contains(line).possibly() {
@@ -767,16 +901,21 @@ impl<'a> Interp<'a> {
                 page.resident.insert_may(line);
             }
         } else {
-            // Widened store: the routing TLB entry may be stale (old
-            // flags, old OBitVector), so consider every route at once.
-            let maybe_unwritable = !(page.tlb_clean && page.writable == Tri::Yes);
+            // Widened store: this core's routing TLB entry may be stale
+            // (old flags, old OBitVector), so consider every route at
+            // once.
+            let maybe_unwritable = !(view.clean && page.writable == Tri::Yes);
             if maybe_unwritable {
-                let stale_cow = page.cow.possibly() || !page.tlb_clean;
+                let stale_cow = page.cow.possibly() || !view.clean;
                 if overlay_mode && page.enabled.possibly() && stale_cow {
                     page.overlay.insert_may(line);
                     page.resident.insert_may(line);
                     page.stale_may |= page.overlay.may;
-                    if (page.stale_may.count_ones() as usize) >= threshold {
+                    page.note_stale_views(page.overlay.may);
+                    // The promotion threshold applies to the routing
+                    // entry's own OBitVector bound, not the all-core
+                    // join.
+                    if (page.view(core).stale_may.count_ones() as usize) >= threshold {
                         // A promotion through a stale entry is possible.
                         page.overlay.weaken();
                         page.resident.weaken();
@@ -790,6 +929,7 @@ impl<'a> Interp<'a> {
                     page.writable = page.writable.join(Tri::Yes);
                     page.cow = page.cow.join(Tri::No);
                     page.tlb_clean = false;
+                    page.dirty_cached_views();
                     alloc += 1;
                 }
             }
@@ -826,9 +966,25 @@ impl<'a> Interp<'a> {
                 // flag, overlay set, or residency the abstraction
                 // tracks changes, and peak demand only shrinks.
                 TraceOp::Compact => {}
-                // Core affinity only routes timed ops to a core; the
-                // functional abstraction is core-agnostic.
-                TraceOp::OnCore { .. } => {}
+                // Core affinity routes subsequent timed ops to one
+                // core's TLB image, resolved modulo the configured
+                // count exactly as the harness does.
+                TraceOp::OnCore { core_sel } => {
+                    if core_sel as usize >= self.cores {
+                        self.finding(
+                            "PA-V007",
+                            Severity::Warn,
+                            i,
+                            format!(
+                                "OnCore selects core {core_sel}, but the machine is configured \
+                                 with {} core(s): the harness wraps it to core {}",
+                                self.cores,
+                                core_sel as usize % self.cores
+                            ),
+                        );
+                    }
+                    self.current_core = core_sel as usize % self.cores;
+                }
                 TraceOp::Compute(_) => {
                     let _ = self.timed_proc(i, "compute");
                 }
@@ -1172,6 +1328,61 @@ mod tests {
         let (report, st) = verify_ops(&overlay_cfg(), &ops, &opts, "<t>");
         assert!(report.findings.is_empty(), "faulty replays make nothing certain");
         assert!(st.degraded);
+    }
+
+    #[test]
+    fn oncore_past_core_count_is_v007() {
+        let mut cfg = overlay_cfg();
+        cfg.cores = 2;
+        let ops = vec![
+            TraceOp::Spawn,
+            TraceOp::OnCore { core_sel: 1 },
+            TraceOp::OnCore { core_sel: 5 },
+            TraceOp::OnCore { core_sel: 2 },
+        ];
+        let (report, _) = verify_ops(&cfg, &ops, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V007", "PA-V007"], "{}", report.to_human());
+        assert!(report.findings[0].message.contains("wraps it to core 1"));
+
+        // On the single-core default every selector wraps to core 0 —
+        // still reported: the trace asks for cores the machine lacks.
+        let ops = vec![TraceOp::Spawn, TraceOp::OnCore { core_sel: 1 }];
+        let (report, _) = verify_ops(&overlay_cfg(), &ops, &VerifierOptions::default(), "<t>");
+        assert_eq!(rules(&report), vec!["PA-V007"]);
+    }
+
+    #[test]
+    fn per_core_views_keep_remote_cores_precise() {
+        // Core 0 caches the page's entry, then a functional CoW
+        // privatization leaves core 0's entry stale. A store issued on
+        // core 1 — which provably holds no entry — refills fresh and
+        // stays precise; the same store on core 0 must widen.
+        let mut cfg = SystemConfig::table2();
+        cfg.cores = 2;
+        let prefix = vec![
+            TraceOp::Spawn,
+            TraceOp::Map { proc_sel: 0, start: 0x100, count: 1 },
+            TraceOp::Fork { proc_sel: 0 },
+            TraceOp::Load(VirtAddr::new(0x100_000)), // core 0 caches the entry
+            TraceOp::Poke { proc_sel: 0, va: VirtAddr::new(0x100_000), value: 1 },
+        ];
+
+        let mut on_remote = prefix.clone();
+        on_remote.push(TraceOp::OnCore { core_sel: 1 });
+        on_remote.push(TraceOp::Store(VirtAddr::new(0x100_040)));
+        let (report, st) = verify_ops(&cfg, &on_remote, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        assert!(!page.tlb_clean, "the privatization left core 0's entry stale");
+        assert!(!page.view(0).clean);
+        assert_eq!(page.writable, Tri::Yes, "core 1's fresh fill sees the private page exactly");
+
+        let mut on_stale = prefix;
+        on_stale.push(TraceOp::Store(VirtAddr::new(0x100_040)));
+        let (report, st) = verify_ops(&cfg, &on_stale, &VerifierOptions::default(), "<t>");
+        assert!(report.findings.is_empty(), "{}", report.to_human());
+        let page = &st.pages[&(0, 0x100)];
+        assert!(!page.view(0).clean, "core 0's routing entry may still be the CoW image");
     }
 
     #[test]

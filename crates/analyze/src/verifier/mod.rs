@@ -17,6 +17,12 @@
 //! | PA-V004 | warn     | crash point scheduled past the trace's total poll count |
 //! | PA-V005 | warn     | lazy overlay allocation can exceed the configured OMS budget |
 //! | PA-V006 | info     | trace ends with overlay lines resident but not OMS-backed |
+//! | PA-V007 | warn     | `OnCore` selects a core id at or past the configured core count |
+//!
+//! The multi-core **concurrency verifier** (PA-C000..PA-C006) is the
+//! third front, documented in [`concurrency`]: it replays the machine's
+//! coherence annotation stream with per-core vector clocks instead of
+//! symbolically executing the trace.
 //!
 //! Every semantic rule is gated on the interpreter still being
 //! *precise*: once an allocation may fail (physical memory upper bound
@@ -25,11 +31,18 @@
 //! harness treats benign runtime failures as skips, so every
 //! well-formed trace replays.
 
+pub mod coh_events;
+pub mod concurrency;
 pub mod interp;
 pub mod lattice;
+pub mod protocol;
+pub mod vclock;
 
-pub use interp::{AbsPage, AbsState, VerifierOptions};
+pub use coh_events::{parse_jsonl, CohEvent, CohRecord};
+pub use concurrency::{analyze_jsonl, analyze_records, replay_and_analyze, replay_events_jsonl};
+pub use interp::{AbsPage, AbsState, TlbView, VerifierOptions};
 pub use lattice::{LineSet, Tri};
+pub use vclock::VClock;
 
 use crate::findings::{Finding, Report, Severity};
 use po_sim::{read_trace, SystemConfig, TraceOp};

@@ -1,0 +1,90 @@
+//! The per-line coherence protocol state machine and the shootdown
+//! window bookkeeping (the PA-C006 transition invariants).
+//!
+//! The overlay coherence protocol is MSI-shaped at line granularity
+//! (§4.3.3): a line's mapping is **Invalid** until some core acquires
+//! overlaying-read-exclusive rights, after which it is **Owned** by
+//! that core; single-line OBitVector-update messages may only be sent
+//! by the current owner; and a shootdown (promotion, discard, reclaim,
+//! compaction remap) invalidates every line of the page. The verifier
+//! replays the annotation stream against these transitions; a stream a
+//! correct machine cannot produce is a PA-C006 finding.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-line ownership: which core last acquired read-exclusive rights.
+/// Absent means Invalid (no owner since the last shootdown).
+#[derive(Clone, Debug, Default)]
+pub struct LineProtocol {
+    owners: BTreeMap<(u64, u8), u32>,
+}
+
+impl LineProtocol {
+    /// The Invalid/Owned → Owned(`core`) transition for
+    /// (`opn`, `line`), returning the previous owner if there was one.
+    ///
+    /// Re-acquisition is *not* a violation: a TLB entry evicted for
+    /// capacity and refilled comes back with a stale OBitVector, so a
+    /// core legitimately re-runs the §4.3.3 overlaying-write path — and
+    /// re-broadcasts read-exclusive — for a line that already exists.
+    /// The broadcast re-synchronizes every cached copy, so the model
+    /// simply refreshes ownership. The protocol violation the verifier
+    /// flags instead is acquisition while the page's shootdown window
+    /// is open (see the PA-C006 handling in `concurrency`).
+    pub fn acquire_exclusive(&mut self, opn: u64, line: u8, core: u32) -> Option<u32> {
+        self.owners.insert((opn, line), core)
+    }
+
+    /// Current owner of (`opn`, `line`), if any.
+    #[must_use]
+    pub fn owner(&self, opn: u64, line: u8) -> Option<u32> {
+        self.owners.get(&(opn, line)).copied()
+    }
+
+    /// Invalidates every line of `opn` (a completed shootdown).
+    pub fn reset_page(&mut self, opn: u64) {
+        self.owners.retain(|&(o, _), _| o != opn);
+    }
+}
+
+/// An open TLB-shootdown window for one page.
+#[derive(Clone, Debug)]
+pub struct ShootdownWindow {
+    /// Initiating core.
+    pub initiator: u32,
+    /// Remote cores that have acknowledged so far.
+    pub acked: BTreeSet<u32>,
+    /// Whether the window was opened by a promotion commit
+    /// (`CohPromote` immediately preceding the begin) — the PA-C003
+    /// visibility rule applies only to these.
+    pub promote: bool,
+    /// 1-based source line of the `CohShootdownBegin` (finding anchor).
+    pub opened_at: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_acquisition_and_reset() {
+        let mut p = LineProtocol::default();
+        assert_eq!(p.acquire_exclusive(7, 3, 0), None);
+        assert_eq!(p.owner(7, 3), Some(0));
+        assert_eq!(p.acquire_exclusive(7, 3, 1), Some(0), "re-acquire transfers ownership");
+        assert_eq!(p.owner(7, 3), Some(1));
+        p.reset_page(7);
+        assert_eq!(p.owner(7, 3), None);
+        assert_eq!(p.acquire_exclusive(7, 3, 2), None, "clean re-acquire after shootdown");
+    }
+
+    #[test]
+    fn reset_is_per_page() {
+        let mut p = LineProtocol::default();
+        p.acquire_exclusive(1, 0, 0);
+        p.acquire_exclusive(2, 0, 0);
+        p.reset_page(1);
+        assert_eq!(p.owner(1, 0), None);
+        assert_eq!(p.owner(2, 0), Some(0));
+    }
+}

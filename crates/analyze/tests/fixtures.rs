@@ -5,6 +5,7 @@
 //! `po-analyze: allow`).
 
 use po_analyze::lints::{self, fault_threading, tokenizer::ScannedFile};
+use po_analyze::verifier::analyze_jsonl;
 use po_analyze::{verify_trace_text, Report, Severity, Verdict, VerifierOptions};
 use po_sim::SystemConfig;
 use std::path::{Path, PathBuf};
@@ -94,6 +95,25 @@ fn v006_resident_tail_fires() {
 }
 
 #[test]
+fn v007_oncore_out_of_range_fires() {
+    // On the default single-core config, `A 3` wraps — and warns.
+    let a = verify_fixture("traces/dirty/v007_oncore_range.trace", &VerifierOptions::default());
+    assert_eq!(a.verdict, Verdict::Accept);
+    assert_eq!(rules(&a.report), vec!["PA-V007"], "{}", a.report.to_human());
+    assert!(a.report.findings[0].message.contains("wraps it to core 0"), "{}", a.report.to_human());
+    // With enough configured cores the same trace is clean.
+    let mut config = SystemConfig::table2_overlay();
+    config.cores = 8;
+    let a = verify_trace_text(
+        &config,
+        &fixture("traces/dirty/v007_oncore_range.trace"),
+        &VerifierOptions::default(),
+        "v007",
+    );
+    assert!(a.report.findings.is_empty(), "{}", a.report.to_human());
+}
+
+#[test]
 fn clean_traces_are_clean() {
     for rel in ["traces/clean/fork_poke_flush.trace", "traces/clean/commit_discard.trace"] {
         let a = verify_fixture(rel, &VerifierOptions::default());
@@ -163,6 +183,49 @@ fn l005_runner_submission_is_clean() {
     let report =
         lints::lint_source("src/bin/l005_clean.rs", &fixture("lints/l005_clean_runner_use.rs"));
     assert!(report.findings.is_empty(), "{}", report.to_human());
+}
+
+#[test]
+fn l006_unaccounted_coherence_fires_in_scope() {
+    // The rule scopes machine-driving code, so the fixture is linted
+    // under a `crates/mc/…` label.
+    let text = fixture("lints/l006_unaccounted_coherence.rs");
+    let report = lints::lint_source("crates/mc/src/router.rs", &text);
+    assert_eq!(rules(&report), vec!["PA-L006", "PA-L006"], "{}", report.to_human());
+    assert!(report.findings[0].message.contains("synchronization edge"), "{}", report.to_human());
+    // Outside sim/ or mc/ the same source is not this rule's business.
+    let report = lints::lint_source("crates/tlb/src/router.rs", &text);
+    assert!(rules(&report).is_empty(), "{}", report.to_human());
+}
+
+#[test]
+fn c_rule_event_fixtures_fire_their_encoded_rule() {
+    // Every dirty events fixture trips exactly the rule its filename
+    // encodes (cNNN_*.jsonl → PA-CNNN), mirroring the CI race-analyze
+    // job's filename convention.
+    for (name, rule) in [
+        ("c000_malformed_event", "PA-C000"),
+        ("c001_lost_update", "PA-C001"),
+        ("c002_unowned_update", "PA-C002"),
+        ("c003_early_promotion_visibility", "PA-C003"),
+        ("c004_unordered_updates", "PA-C004"),
+        ("c005_stale_window_access", "PA-C005"),
+        ("c006_orphan_ack", "PA-C006"),
+    ] {
+        let text = fixture(&format!("events/dirty/{name}.jsonl"));
+        let report = analyze_jsonl(&text, name);
+        let fired: std::collections::BTreeSet<_> = rules(&report).into_iter().collect();
+        assert_eq!(fired.len(), 1, "{name} fired {fired:?}:\n{}", report.to_human());
+        assert!(fired.contains(rule), "{name} fired {fired:?}, want {rule}");
+    }
+}
+
+#[test]
+fn clean_event_fixtures_are_clean() {
+    for name in ["delivered_update", "promotion_shootdown"] {
+        let report = analyze_jsonl(&fixture(&format!("events/clean/{name}.jsonl")), name);
+        assert!(report.findings.is_empty(), "{name}:\n{}", report.to_human());
+    }
 }
 
 #[test]

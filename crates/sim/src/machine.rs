@@ -84,6 +84,12 @@ pub struct Machine {
     /// [`Machine::install_telemetry`]. Never serialized into snapshots —
     /// telemetry-on and telemetry-off machines produce identical bytes.
     sink: TelemetrySink,
+    /// One-shot race canary ([`Machine::set_inject_obit_race`]): the next
+    /// remote OBitVector-update delivery is performed but its coherence
+    /// annotation (event + message accounting) is suppressed, modeling a
+    /// message lost in flight. Never serialized — like the sink, it is
+    /// harness-side instrumentation, not machine state.
+    inject_obit_race: bool,
 }
 
 /// Bound on allocation attempts per access: each retry first reclaims
@@ -125,6 +131,7 @@ impl Machine {
             epoch: MemoryEpoch::default(),
             faults: FaultInjector::none(),
             sink: TelemetrySink::noop(),
+            inject_obit_race: false,
             config,
         })
     }
@@ -521,10 +528,24 @@ impl Machine {
                 self.caches.invalidate_line(opn.line_addr(l));
             }
             let multi = self.tlbs.len() > 1;
-            for tlb in &mut self.tlbs {
+            if multi {
+                self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
+                self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
+            }
+            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
                 if tlb.shootdown(asid, vpn) && multi {
                     self.stats.coherence_invalidations.inc();
                 }
+                if multi && i != 0 {
+                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                        core: 0,
+                        from: i as u32,
+                        opn: opn.raw(),
+                    });
+                }
+            }
+            if multi {
+                self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
             }
             if freed > 0 {
                 break;
@@ -553,10 +574,23 @@ impl Machine {
         let multi = self.tlbs.len() > 1;
         for opn in moved {
             let (asid, vpn) = opn.decode();
-            for tlb in &mut self.tlbs {
+            if multi {
+                self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
+            }
+            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
                 if tlb.shootdown(asid, vpn) && multi {
                     self.stats.coherence_invalidations.inc();
                 }
+                if multi && i != 0 {
+                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                        core: 0,
+                        from: i as u32,
+                        opn: opn.raw(),
+                    });
+                }
+            }
+            if multi {
+                self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
             }
         }
         self.stats.compactions.inc();
@@ -764,6 +798,24 @@ impl Machine {
         self.overlay.set_inject_oms_leak(armed);
     }
 
+    /// Arms the deliberately-injected race canary: the next single-line
+    /// OBitVector-update message delivered to a remote core loses its
+    /// coherence annotation — no [`TelemetryEvent::CohObitUpdate`], no
+    /// message count, no delivery stall — while the functional TLB patch
+    /// still lands. Byte state, the invariant sweep, and the refinement
+    /// oracle are all blind to it by construction; only the
+    /// happens-before analysis over the annotation stream can see the
+    /// victim's next access ride a view that never observed the write.
+    /// One-shot: disarms after firing. Test-only by intent.
+    pub fn set_inject_obit_race(&mut self, armed: bool) {
+        self.inject_obit_race = armed;
+    }
+
+    /// Whether the race canary is still armed (i.e. has not fired yet).
+    pub fn obit_race_armed(&self) -> bool {
+        self.inject_obit_race
+    }
+
     /// Commits `vpn`'s overlay into a private physical frame (§4.3.4
     /// commit promotion, driven explicitly). The page ends overlay-free
     /// and writable; reads are unchanged.
@@ -782,11 +834,26 @@ impl Machine {
         // overlaid lines to the dead overlay through its stale
         // OBitVector. Promotions are rare (§4.3.4), so a shootdown —
         // symmetric with discard — is the right coherence action.
+        let opn = Opn::encode(asid, vpn);
         let multi = self.tlbs.len() > 1;
-        for tlb in &mut self.tlbs {
+        if multi {
+            self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
+            self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
+        }
+        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
             if tlb.shootdown(asid, vpn) && multi {
                 self.stats.coherence_invalidations.inc();
             }
+            if multi && i != 0 {
+                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                    core: 0,
+                    from: i as u32,
+                    opn: opn.raw(),
+                });
+            }
+        }
+        if multi {
+            self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
         }
         Ok(())
     }
@@ -804,10 +871,24 @@ impl Machine {
             self.caches.invalidate_line(opn.line_addr(l));
         }
         let multi = self.tlbs.len() > 1;
-        for tlb in &mut self.tlbs {
+        if multi {
+            self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
+            self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
+        }
+        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
             if tlb.shootdown(asid, vpn) && multi {
                 self.stats.coherence_invalidations.inc();
             }
+            if multi && i != 0 {
+                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                    core: 0,
+                    from: i as u32,
+                    opn: opn.raw(),
+                });
+            }
+        }
+        if multi {
+            self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
         }
         Ok(())
     }
@@ -954,9 +1035,21 @@ impl Machine {
                 };
                 let e = TlbEntry { asid, vpn, pte, obitvec };
                 self.tlbs[core].fill(e);
+                if pte.flags.overlay_enabled && self.tlbs.len() > 1 {
+                    self.sink
+                        .emit(|| TelemetryEvent::CohFill { core: core as u32, opn: opn.raw() });
+                }
                 e
             }
         };
+        if entry.pte.flags.overlay_enabled && self.tlbs.len() > 1 {
+            self.sink.emit(|| TelemetryEvent::CohAccess {
+                core: core as u32,
+                opn: opn.raw(),
+                line: line as u8,
+                write: kind.is_write(),
+            });
+        }
 
         // 2. Stores to non-writable pages: CoW or overlaying write.
         if kind.is_write() && !entry.pte.flags.writable {
@@ -1193,10 +1286,29 @@ impl Machine {
                 // round-trip of shootdown latency, correctness unchanged.
                 lat += self.config.tlb_shootdown_latency;
             }
+            let multi = self.tlbs.len() > 1;
+            let opn = Opn::encode(asid, va.vpn());
+            if multi {
+                self.sink.emit(|| TelemetryEvent::CohShootdownBegin {
+                    core: core as u32,
+                    opn: opn.raw(),
+                });
+            }
             for (i, tlb) in self.tlbs.iter_mut().enumerate() {
                 if tlb.shootdown(asid, va.vpn()) && i != core {
                     self.stats.coherence_invalidations.inc();
                 }
+                if multi && i != core {
+                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                        core: core as u32,
+                        from: i as u32,
+                        opn: opn.raw(),
+                    });
+                }
+            }
+            if multi {
+                self.sink
+                    .emit(|| TelemetryEvent::CohShootdownEnd { core: core as u32, opn: opn.raw() });
             }
         }
 
@@ -1204,6 +1316,10 @@ impl Machine {
         let pte = self.os.translate(asid, va)?;
         let new_entry = TlbEntry { asid, vpn: va.vpn(), pte, obitvec: OBitVector::EMPTY };
         self.tlbs[core].fill(new_entry);
+        if pte.flags.overlay_enabled && self.tlbs.len() > 1 {
+            let opn = Opn::encode(asid, va.vpn());
+            self.sink.emit(|| TelemetryEvent::CohFill { core: core as u32, opn: opn.raw() });
+        }
         *entry = new_entry;
         Ok(lat)
     }
@@ -1240,11 +1356,30 @@ impl Machine {
         self.sink.layer(Layer::OverlayWrite, self.config.coherence_update_latency);
         if self.tlbs.len() > 1 {
             self.stats.coherence_read_exclusive.inc();
+            self.sink.emit(|| TelemetryEvent::CohReadExclusive {
+                core: core as u32,
+                opn: opn.raw(),
+                line: line as u8,
+            });
         }
         let mut remote_updates = 0u64;
         for (i, tlb) in self.tlbs.iter_mut().enumerate() {
             if tlb.coherence_obit_update(asid, vpn, line, true) && i != core {
+                if self.inject_obit_race {
+                    // Race canary: this delivery's annotation is lost in
+                    // flight — the TLB patch above landed, but the
+                    // message never shows up in the event stream or the
+                    // message/stall accounting. One-shot.
+                    self.inject_obit_race = false;
+                    continue;
+                }
                 remote_updates += 1;
+                self.sink.emit(|| TelemetryEvent::CohObitUpdate {
+                    src: core as u32,
+                    dest: i as u32,
+                    opn: opn.raw(),
+                    line: line as u8,
+                });
             }
         }
         if remote_updates > 0 {
@@ -1306,14 +1441,34 @@ impl Machine {
             // Straggler ack: pay one extra shootdown round-trip.
             lat += self.config.tlb_shootdown_latency;
         }
+        let multi = self.tlbs.len() > 1;
+        if multi {
+            self.sink.emit(|| TelemetryEvent::CohPromote { core: core as u32, opn: opn.raw() });
+            self.sink
+                .emit(|| TelemetryEvent::CohShootdownBegin { core: core as u32, opn: opn.raw() });
+        }
         for (i, tlb) in self.tlbs.iter_mut().enumerate() {
             if tlb.shootdown(asid, vpn) && i != core {
                 self.stats.coherence_invalidations.inc();
             }
+            if multi && i != core {
+                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                    core: core as u32,
+                    from: i as u32,
+                    opn: opn.raw(),
+                });
+            }
+        }
+        if multi {
+            self.sink
+                .emit(|| TelemetryEvent::CohShootdownEnd { core: core as u32, opn: opn.raw() });
         }
         let pte = self.os.translate(asid, vpn.base())?;
         let new_entry = TlbEntry { asid, vpn, pte, obitvec: OBitVector::EMPTY };
         self.tlbs[core].fill(new_entry);
+        if multi && pte.flags.overlay_enabled {
+            self.sink.emit(|| TelemetryEvent::CohFill { core: core as u32, opn: opn.raw() });
+        }
         *entry = new_entry;
         // Copy cost: the page copy ran through DRAM.
         let t0 = now;
@@ -1356,7 +1511,10 @@ impl Machine {
                 self.overlay.write_line(opn, line, data)?;
             } else {
                 self.overlay.overlaying_write(opn, line, data)?;
+                // Functional oracle path: no message is modeled, only the
+                // end state — the timed path accounts the traffic.
                 for tlb in &mut self.tlbs {
+                    // po-analyze: allow(PA-L006)
                     tlb.coherence_obit_update(asid, vpn, line, true);
                 }
             }

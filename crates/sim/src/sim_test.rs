@@ -1052,9 +1052,20 @@ pub fn shrink_ops_filtered(
     inject_bug: bool,
     keep: impl Fn(&[TraceOp]) -> bool,
 ) -> Vec<TraceOp> {
-    let fails = |candidate: &[TraceOp]| {
+    shrink_by(ops, |candidate| {
         keep(candidate) && run_ops(config, plan, candidate, inject_bug).is_err()
-    };
+    })
+}
+
+/// The bare delta-debugging loop with a caller-supplied failure
+/// predicate. [`shrink_ops_filtered`] instantiates it with "the
+/// differential replay diverges"; the race-canary positive control
+/// instantiates it with "the concurrency verifier still reports
+/// PA-C001 on the armed replay" — a property no `run_ops` error can
+/// express, since the canary is invisible to every functional oracle.
+///
+/// Returns the input unshrunk if `fails` rejects it.
+pub fn shrink_by(ops: &[TraceOp], fails: impl Fn(&[TraceOp]) -> bool) -> Vec<TraceOp> {
     let mut cur = ops.to_vec();
     if !fails(&cur) {
         return cur;

@@ -16,7 +16,7 @@ use crate::span::Layer;
 use std::fmt::Write as _;
 
 /// Track (tid) layout of the exported trace.
-const TRACKS: [(u64, &str); 7] = [
+const TRACKS: [(u64, &str); 8] = [
     (0, "access spans"),
     (1, "tlb"),
     (2, "cache"),
@@ -24,6 +24,7 @@ const TRACKS: [(u64, &str); 7] = [
     (4, "dram"),
     (5, "overlay"),
     (6, "faults"),
+    (7, "coherence"),
 ];
 
 fn track_of(event: &Event) -> u64 {
@@ -34,6 +35,14 @@ fn track_of(event: &Event) -> u64 {
         Event::DramAccess { .. } => 4,
         Event::OverlayingWrite { .. } | Event::Reclaim { .. } | Event::Compaction { .. } => 5,
         Event::FaultInjected { .. } => 6,
+        Event::CohReadExclusive { .. }
+        | Event::CohObitUpdate { .. }
+        | Event::CohPromote { .. }
+        | Event::CohShootdownBegin { .. }
+        | Event::CohShootdownAck { .. }
+        | Event::CohShootdownEnd { .. }
+        | Event::CohAccess { .. }
+        | Event::CohFill { .. } => 7,
     }
 }
 

@@ -132,6 +132,82 @@ pub enum Event {
         /// Stable site name (e.g. `"OmsAllocFailed"`).
         site: &'static str,
     },
+    /// A core acquired overlaying-read-exclusive rights on a line
+    /// before an overlaying write (§4.3.3 step 1).
+    CohReadExclusive {
+        /// Core that acquired exclusivity.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+    },
+    /// A single-line OBitVector-update message delivered from the
+    /// writing core to a remote TLB copy (§4.3.3 step 2).
+    CohObitUpdate {
+        /// Writing (sending) core.
+        src: u32,
+        /// Remote core whose TLB copy was patched.
+        dest: u32,
+        /// Overlay page number.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+    },
+    /// A promotion reached its commit point on the issuing core
+    /// (§4.3.4); remote cores still hold stale entries until the
+    /// shootdown completes.
+    CohPromote {
+        /// Core that performed the promotion.
+        core: u32,
+        /// Overlay page number promoted.
+        opn: u64,
+    },
+    /// A TLB-shootdown window opened for a page.
+    CohShootdownBegin {
+        /// Initiating core.
+        core: u32,
+        /// Overlay page number being shot down.
+        opn: u64,
+    },
+    /// One remote core acknowledged a shootdown (its TLB copy is gone).
+    CohShootdownAck {
+        /// Initiating core.
+        core: u32,
+        /// Acknowledging remote core.
+        from: u32,
+        /// Overlay page number being shot down.
+        opn: u64,
+    },
+    /// The shootdown window closed: every remote copy is invalidated
+    /// and the new mapping is globally visible.
+    CohShootdownEnd {
+        /// Initiating core.
+        core: u32,
+        /// Overlay page number shot down.
+        opn: u64,
+    },
+    /// A timed access to an overlay-enabled page, annotated with the
+    /// issuing core — the observation points the happens-before
+    /// analysis orders.
+    CohAccess {
+        /// Issuing core.
+        core: u32,
+        /// Overlay page number accessed.
+        opn: u64,
+        /// Line index within the page.
+        line: u8,
+        /// `true` for stores.
+        write: bool,
+    },
+    /// A TLB miss refilled a core's entry for an overlay-enabled page
+    /// from the (coherent) page tables — the refilled copy is fresh.
+    CohFill {
+        /// Core whose TLB was refilled.
+        core: u32,
+        /// Overlay page number.
+        opn: u64,
+    },
 }
 
 impl Event {
@@ -148,6 +224,14 @@ impl Event {
             Event::Reclaim { .. } => "Reclaim",
             Event::Compaction { .. } => "Compaction",
             Event::FaultInjected { .. } => "FaultInjected",
+            Event::CohReadExclusive { .. } => "CohReadExclusive",
+            Event::CohObitUpdate { .. } => "CohObitUpdate",
+            Event::CohPromote { .. } => "CohPromote",
+            Event::CohShootdownBegin { .. } => "CohShootdownBegin",
+            Event::CohShootdownAck { .. } => "CohShootdownAck",
+            Event::CohShootdownEnd { .. } => "CohShootdownEnd",
+            Event::CohAccess { .. } => "CohAccess",
+            Event::CohFill { .. } => "CohFill",
         }
     }
 
@@ -205,6 +289,31 @@ impl Event {
             }
             Event::FaultInjected { site } => {
                 let _ = write!(out, "\"site\":\"{site}\"");
+            }
+            Event::CohReadExclusive { core, opn, line } => {
+                let _ = write!(out, "\"core\":{core},\"opn\":{opn},\"line\":{line}");
+            }
+            Event::CohObitUpdate { src, dest, opn, line } => {
+                let _ = write!(out, "\"src\":{src},\"dest\":{dest},\"opn\":{opn},\"line\":{line}");
+            }
+            Event::CohPromote { core, opn } => {
+                let _ = write!(out, "\"core\":{core},\"opn\":{opn}");
+            }
+            Event::CohShootdownBegin { core, opn } => {
+                let _ = write!(out, "\"core\":{core},\"opn\":{opn}");
+            }
+            Event::CohShootdownAck { core, from, opn } => {
+                let _ = write!(out, "\"core\":{core},\"from\":{from},\"opn\":{opn}");
+            }
+            Event::CohShootdownEnd { core, opn } => {
+                let _ = write!(out, "\"core\":{core},\"opn\":{opn}");
+            }
+            Event::CohAccess { core, opn, line, write } => {
+                let _ =
+                    write!(out, "\"core\":{core},\"opn\":{opn},\"line\":{line},\"write\":{write}");
+            }
+            Event::CohFill { core, opn } => {
+                let _ = write!(out, "\"core\":{core},\"opn\":{opn}");
             }
         }
     }
@@ -470,6 +579,49 @@ mod tests {
             r2.to_jsonl(),
             "{\"seq\":0,\"cycle\":0,\"kind\":\"OBitCheck\",\"opn\":9,\"line\":3,\"set\":true}"
         );
+    }
+
+    #[test]
+    fn coherence_jsonl_shape() {
+        let cases = [
+            (
+                Event::CohReadExclusive { core: 0, opn: 5, line: 3 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohReadExclusive\",\"core\":0,\"opn\":5,\"line\":3}",
+            ),
+            (
+                Event::CohObitUpdate { src: 0, dest: 2, opn: 5, line: 3 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohObitUpdate\",\"src\":0,\"dest\":2,\"opn\":5,\"line\":3}",
+            ),
+            (
+                Event::CohPromote { core: 1, opn: 5 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohPromote\",\"core\":1,\"opn\":5}",
+            ),
+            (
+                Event::CohShootdownBegin { core: 1, opn: 5 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohShootdownBegin\",\"core\":1,\"opn\":5}",
+            ),
+            (
+                Event::CohShootdownAck { core: 1, from: 3, opn: 5 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohShootdownAck\",\"core\":1,\"from\":3,\"opn\":5}",
+            ),
+            (
+                Event::CohShootdownEnd { core: 1, opn: 5 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohShootdownEnd\",\"core\":1,\"opn\":5}",
+            ),
+            (
+                Event::CohAccess { core: 2, opn: 5, line: 63, write: true },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohAccess\",\"core\":2,\"opn\":5,\"line\":63,\"write\":true}",
+            ),
+            (
+                Event::CohFill { core: 2, opn: 5 },
+                "{\"seq\":0,\"cycle\":9,\"kind\":\"CohFill\",\"core\":2,\"opn\":5}",
+            ),
+        ];
+        for (event, want) in cases {
+            let r = EventRecord { seq: 0, cycle: 9, event };
+            assert_eq!(r.to_jsonl(), want);
+            assert_eq!(event.duration(), None, "coherence annotations carry no latency");
+        }
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! [`model`] runs a closure under **every** interleaving of its
+//! instrumented operations and lets the closure's own assertions judge
+//! each one. Threads spawned with [`thread::spawn`] become *logical*
+//! threads driven by a cooperative scheduler: exactly one is ever
+//! executing between instrumented points, and at each point the
+//! scheduler branches over every runnable thread. The branch choices
+//! are recorded per execution and explored depth-first with
+//! backtracking, so a test passes only if it holds on *all*
+//! schedules — the property the bench shard pool's atomic-cursor claim
+//! loop is checked against.
+//!
+//! Scope (deliberately minimal, matching what this workspace uses):
+//!
+//! * [`sync::atomic::AtomicUsize`] — every operation is a scheduling
+//!   point; semantics are sequentially consistent regardless of the
+//!   `Ordering` argument (the shim explores interleavings, not memory
+//!   reordering — the real loom is stronger here).
+//! * [`thread::spawn`] / [`thread::JoinHandle::join`] — `join` blocks
+//!   the logical thread; all spawned threads must be joined before the
+//!   model closure returns.
+//! * [`sync::Arc`] — re-exported from `std` (no leak tracking).
+//!
+//! A panic on any schedule is rethrown with the schedule's decision
+//! string, so a failing interleaving is reproducible by eye.
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+/// Upper bound on explored executions: a state-space explosion in a
+/// test is a bug in the test's bounds, not something to wait out.
+const MAX_EXECUTIONS: usize = 200_000;
+
+/// A logical thread's scheduler state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be scheduled (its next instrumented step can run).
+    Runnable,
+    /// Waiting for another logical thread to finish (`join`).
+    Blocked(usize),
+    /// The thread's closure returned.
+    Finished,
+}
+
+/// One branch point: which runnable thread was picked, out of how many.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    alternatives: usize,
+}
+
+#[derive(Debug)]
+struct State {
+    status: Vec<Status>,
+    /// Logical thread currently allowed to execute (usize::MAX: none —
+    /// the execution is over).
+    active: usize,
+    /// Branch decisions: replayed up to `cursor`, recorded past it.
+    path: Vec<Choice>,
+    cursor: usize,
+    /// First panic observed on any logical thread, with its payload
+    /// rendered to a string; aborts the execution.
+    failed: Option<String>,
+}
+
+#[derive(Debug)]
+struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Exec {
+    fn new(replay: Vec<Choice>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                status: vec![Status::Runnable],
+                active: 0,
+                path: replay,
+                cursor: 0,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling logical thread until the scheduler hands it
+    /// the active slot. Propagates a failure from any other thread.
+    fn acquire<'a>(&'a self, me: usize) -> std::sync::MutexGuard<'a, State> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.active != me {
+            if let Some(msg) = &s.failed {
+                panic!("model execution failed on another thread: {msg}");
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s
+    }
+
+    /// Picks the next active thread among the runnable ones — the
+    /// branch point of the exploration. Replays a recorded choice when
+    /// one exists, otherwise records the first alternative.
+    fn release_to_next(&self, s: &mut State) {
+        let runnable: Vec<usize> = s
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if s.status.iter().all(|st| *st == Status::Finished) {
+                s.active = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            s.failed = Some("deadlock: no runnable logical thread".to_string());
+            self.cv.notify_all();
+            panic!("deadlock: no runnable logical thread");
+        }
+        let k = if s.cursor < s.path.len() {
+            debug_assert_eq!(
+                s.path[s.cursor].alternatives,
+                runnable.len(),
+                "replay divergence: the model closure is not deterministic"
+            );
+            s.path[s.cursor].chosen
+        } else {
+            s.path.push(Choice { chosen: 0, alternatives: runnable.len() });
+            0
+        };
+        s.cursor += 1;
+        s.active = runnable[k];
+        self.cv.notify_all();
+    }
+
+    /// One instrumented step: wait to be scheduled, run `op`, branch.
+    fn step<R>(&self, me: usize, op: impl FnOnce() -> R) -> R {
+        let mut s = self.acquire(me);
+        let r = op();
+        self.release_to_next(&mut s);
+        r
+    }
+
+    fn fail(&self, msg: String) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.failed.is_none() {
+            s.failed = Some(msg);
+        }
+        s.active = usize::MAX;
+        self.cv.notify_all();
+    }
+}
+
+std::thread_local! {
+    static CTX: std::cell::RefCell<Option<(std::sync::Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn ctx() -> (std::sync::Arc<Exec>, usize) {
+    CTX.with(|c| c.borrow().clone().expect("loom primitives may only be used inside loom::model"))
+}
+
+/// Shimmed `loom::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Shimmed `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as O};
+
+        /// An atomic counter whose every operation is a scheduling
+        /// point. Semantics are sequentially consistent — the shim
+        /// explores interleavings, not weak-memory reorderings.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(StdAtomicUsize);
+
+        impl AtomicUsize {
+            /// A new atomic holding `v`.
+            #[must_use]
+            pub fn new(v: usize) -> Self {
+                Self(StdAtomicUsize::new(v))
+            }
+
+            /// Scheduled load.
+            pub fn load(&self, _order: Ordering) -> usize {
+                let (exec, me) = super::super::ctx();
+                exec.step(me, || self.0.load(O::SeqCst))
+            }
+
+            /// Scheduled store.
+            pub fn store(&self, v: usize, _order: Ordering) {
+                let (exec, me) = super::super::ctx();
+                exec.step(me, || self.0.store(v, O::SeqCst));
+            }
+
+            /// Scheduled atomic fetch-add.
+            pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+                let (exec, me) = super::super::ctx();
+                exec.step(me, || self.0.fetch_add(v, O::SeqCst))
+            }
+
+            /// Scheduled compare-exchange.
+            ///
+            /// # Errors
+            ///
+            /// The observed value, when it differs from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<usize, usize> {
+                let (exec, me) = super::super::ctx();
+                exec.step(me, || self.0.compare_exchange(current, new, O::SeqCst, O::SeqCst))
+            }
+        }
+    }
+}
+
+/// Shimmed `loom::thread`.
+pub mod thread {
+    use super::{ctx, Status, CTX};
+    use std::sync::{Arc, Mutex};
+
+    /// Handle to a spawned logical thread.
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: Arc<Mutex<Option<T>>>,
+        os: std::thread::JoinHandle<()>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks the calling logical thread until the target finishes
+        /// and returns its closure's value.
+        ///
+        /// # Errors
+        ///
+        /// Mirrors `std`: an `Err` carries the panic payload — though
+        /// the shim aborts the whole model on a thread panic first, so
+        /// in practice `join` only returns `Ok`.
+        #[allow(clippy::missing_panics_doc)]
+        pub fn join(self) -> std::thread::Result<T> {
+            let (exec, me) = ctx();
+            let mut s = exec.acquire(me);
+            if s.status[self.id] != Status::Finished {
+                s.status[me] = Status::Blocked(self.id);
+                exec.release_to_next(&mut s);
+                drop(s);
+                s = exec.acquire(me);
+            }
+            exec.release_to_next(&mut s);
+            drop(s);
+            let _ = self.os.join();
+            let v = self
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("a finished logical thread has stored its result");
+            Ok(v)
+        }
+    }
+
+    /// Spawns a logical thread participating in the model's schedule
+    /// exploration. The closure's first instrumented operation blocks
+    /// until the scheduler picks the thread.
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+        let (exec, _) = ctx();
+        let id = {
+            let mut s = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.status.push(Status::Runnable);
+            s.status.len() - 1
+        };
+        let result = Arc::new(Mutex::new(None));
+        let os = {
+            let exec = Arc::clone(&exec);
+            let result = Arc::clone(&result);
+            std::thread::spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                match out {
+                    Ok(v) => {
+                        *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        // Finishing is itself a scheduled step, so the
+                        // runnable set stays deterministic under replay.
+                        let mut s = exec.acquire(id);
+                        s.status[id] = Status::Finished;
+                        for st in s.status.iter_mut() {
+                            if *st == Status::Blocked(id) {
+                                *st = Status::Runnable;
+                            }
+                        }
+                        exec.release_to_next(&mut s);
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        exec.fail(msg);
+                    }
+                }
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+        };
+        JoinHandle { id, result, os }
+    }
+}
+
+/// Runs `f` under every interleaving of its instrumented operations,
+/// depth-first with backtracking. Panics (with the failing schedule)
+/// if any execution panics, deadlocks, leaks an unjoined thread, or
+/// the exploration exceeds [`MAX_EXECUTIONS`].
+pub fn model(f: impl Fn() + Send + Sync + 'static) {
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "model exploration exceeded {MAX_EXECUTIONS} executions — tighten the test bounds"
+        );
+        let exec = std::sync::Arc::new(Exec::new(replay));
+        CTX.with(|c| *c.borrow_mut() = Some((std::sync::Arc::clone(&exec), 0)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        CTX.with(|c| *c.borrow_mut() = None);
+        let s = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        let schedule: String =
+            s.path.iter().map(|c| c.chosen.to_string()).collect::<Vec<_>>().join(",");
+        if let Some(msg) = &s.failed {
+            panic!("model failed on schedule [{schedule}] (execution {executions}): {msg}");
+        }
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|m| (*m).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("model failed on schedule [{schedule}] (execution {executions}): {msg}");
+        }
+        assert!(
+            s.status.iter().enumerate().all(|(i, st)| i == 0 || *st == Status::Finished),
+            "model closure returned with unjoined logical threads"
+        );
+        // Backtrack: bump the deepest choice with an unexplored
+        // alternative, drop everything after it.
+        let mut path = s.path.clone();
+        drop(s);
+        loop {
+            match path.last_mut() {
+                None => return,
+                Some(last) if last.chosen + 1 < last.alternatives => {
+                    last.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        }
+        replay = path;
+    }
+}
+
+/// Exploration statistics for the unit tests: outcomes observed across
+/// all executions of a model, keyed by a caller-chosen label.
+#[doc(hidden)]
+pub fn explore_outcomes(f: impl Fn() -> usize + Send + Sync + 'static) -> BTreeMap<usize, usize> {
+    let seen = std::sync::Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = std::sync::Arc::clone(&seen);
+    model(move || {
+        let out = f();
+        *sink.lock().unwrap_or_else(|e| e.into_inner()).entry(out).or_insert(0) += 1;
+    });
+    std::sync::Arc::try_unwrap(seen)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    /// The canonical lost-update shape: two threads doing a non-atomic
+    /// read-modify-write. Exhaustive exploration must find BOTH the
+    /// clean outcome (2) and the lost update (1) — a scheduler that
+    /// never interleaves between the load and the store would only
+    /// ever see 2.
+    #[test]
+    fn finds_the_lost_update_interleaving() {
+        let outcomes = super::explore_outcomes(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().expect("worker");
+            }
+            c.load(Ordering::SeqCst)
+        });
+        assert!(outcomes.contains_key(&2), "missed the sequential outcome: {outcomes:?}");
+        assert!(outcomes.contains_key(&1), "missed the lost-update race: {outcomes:?}");
+    }
+
+    /// An atomic RMW has no racy window: every schedule ends at 2.
+    #[test]
+    fn atomic_rmw_is_race_free_on_every_schedule() {
+        let outcomes = super::explore_outcomes(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().expect("worker");
+            }
+            c.load(Ordering::SeqCst)
+        });
+        assert_eq!(outcomes.keys().copied().collect::<Vec<_>>(), vec![2], "{outcomes:?}");
+    }
+
+    /// A failing schedule is reported with its decision string.
+    #[test]
+    fn failing_schedule_is_named() {
+        let err = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&c);
+                let h = super::thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+                h.join().expect("worker");
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        })
+        .expect_err("the racy model must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("schedule ["), "{msg}");
+    }
+}

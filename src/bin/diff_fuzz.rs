@@ -34,8 +34,21 @@
 //!   machine that skips one OMS free must be caught by the refinement
 //!   oracle (the executable spec every run steps in lockstep anyway).
 //!   CI's `refinement` job passes this flag.
+//! * `--race` — run the seeded-race positive control first: a machine
+//!   that delivers one remote OBitVector update without annotating it
+//!   must be caught by the PA-C happens-before verifier — and by
+//!   *nothing else* (the byte oracle, the invariant sweep, and the
+//!   refinement spec all stay green, because the functional TLB patch
+//!   still lands). The witness is ddmin-shrunk under the "PA-C001
+//!   still fires" predicate and written next to `--out` as
+//!   `<out>.race.trace`. CI's `race-analyze` job passes this flag.
 //! * `--out` — where to write the shrunk failing trace
 //!   (default `diff_fuzz_failure.trace`).
+//!
+//! With `--cores` above 1, every converged stream — and any shrunk
+//! divergence witness — is additionally replayed through the PA-C
+//! concurrency verifier; a finding there fails the run even when the
+//! byte oracle agrees.
 //!
 //! Exits 0 if every run converges, 1 on divergence (after writing the
 //! shrunk trace and, next to it, `<out>.events.jsonl` — the last 256
@@ -43,11 +56,13 @@
 //!
 //! [`DiffOracle`]: page_overlays::sim::DiffOracle
 
+use page_overlays::analyze::verifier::{analyze_jsonl, replay_and_analyze, replay_events_jsonl};
 use page_overlays::analyze::{self, Verdict, VerifierOptions};
 use page_overlays::sim::{
-    generate_mc_ops, run_ops, run_ops_traced, shrink_ops_filtered, write_trace_with_seed,
-    SimHarness, SystemConfig, TraceOp, VPN_BASE,
+    generate_mc_ops, run_ops, run_ops_traced, shrink_by, shrink_ops_filtered,
+    write_trace_with_seed, SimHarness, SystemConfig, TraceOp, VPN_BASE,
 };
+use page_overlays::types::VirtAddr;
 use page_overlays::types::{FaultPlan, FaultSite};
 use std::process::ExitCode;
 
@@ -60,6 +75,7 @@ struct Options {
     faults: bool,
     inject_bug: bool,
     spec: bool,
+    race: bool,
     out: String,
 }
 
@@ -73,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
         faults: false,
         inject_bug: false,
         spec: false,
+        race: false,
         out: "diff_fuzz_failure.trace".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -92,6 +109,7 @@ fn parse_args() -> Result<Options, String> {
             "--faults" => opts.faults = true,
             "--inject-bug" => opts.inject_bug = true,
             "--spec" => opts.spec = true,
+            "--race" => opts.race = true,
             "--out" => opts.out = value("--out")?,
             other => return Err(format!("unknown argument {other} (see the module docs)")),
         }
@@ -125,6 +143,75 @@ fn refinement_canary() -> Result<(), String> {
     Err("the skipped OMS free went undetected by the refinement oracle".into())
 }
 
+/// Positive control for the concurrency verifier: arm the one-shot
+/// suppressed remote OBitVector-update annotation, drive the §4.3.3
+/// remote-update pattern across two cores under a generated multi-core
+/// tail, and demand that PA-C001 — and *only* the happens-before
+/// analysis — calls out the deleted synchronization edge. The replay
+/// itself runs the byte oracle, the invariant sweep, and the
+/// refinement spec in lockstep, so a clean journal return already
+/// proves every functional check stayed green. The witness is then
+/// ddmin-shrunk under the "PA-C001 still fires" predicate and written
+/// as a replayable trace.
+fn race_canary(out: &str) -> Result<(), String> {
+    let config = SystemConfig { cores: 2, ..SystemConfig::table2_overlay() };
+    // Deterministic victim pattern: core 1 caches the page, core 0's
+    // overlaying store broadcasts the single-line update (suppressed by
+    // the canary), core 1 reads the line it never saw created.
+    let mut ops = vec![
+        TraceOp::Spawn,
+        TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 2 },
+        TraceOp::Fork { proc_sel: 0 },
+        TraceOp::OnCore { core_sel: 1 },
+        TraceOp::Load(VirtAddr::new(VPN_BASE << 12)),
+        TraceOp::OnCore { core_sel: 0 },
+        TraceOp::Store(VirtAddr::new(VPN_BASE << 12)),
+        TraceOp::OnCore { core_sel: 1 },
+        TraceOp::Load(VirtAddr::new(VPN_BASE << 12)),
+    ];
+    // A generated tail gives the shrinker real work.
+    ops.extend(generate_mc_ops(0xCA9A87, 80, 2));
+
+    // Negative control: unarmed, the same stream must be PA-C clean.
+    let control = replay_and_analyze(&config, &ops, "<race-control>")
+        .map_err(|e| format!("the unarmed control replay failed: {e}"))?;
+    if !control.findings.is_empty() {
+        return Err(format!(
+            "the unarmed control replay is not PA-C clean:\n{}",
+            control.to_human()
+        ));
+    }
+
+    // Armed: functional oracles stay green (a replay error here means
+    // the canary tripped the wrong check), PA-C001 must fire.
+    let armed_race = |cand: &[TraceOp]| {
+        replay_events_jsonl(&config, cand, true)
+            .map(|journal| {
+                analyze_jsonl(&journal, "<race-canary>")
+                    .findings
+                    .iter()
+                    .any(|f| f.rule == "PA-C001")
+            })
+            .unwrap_or(false)
+    };
+    let journal = replay_events_jsonl(&config, &ops, true)
+        .map_err(|e| format!("the canary tripped a functional oracle: {e}"))?;
+    let report = analyze_jsonl(&journal, "<race-canary>");
+    if !report.findings.iter().any(|f| f.rule == "PA-C001") {
+        return Err("the suppressed update annotation went undetected by PA-C001".into());
+    }
+
+    let shrunk = shrink_by(&ops, armed_race);
+    println!("race canary: shrunk {} ops -> {} ops", ops.len(), shrunk.len());
+    let mut bytes = Vec::new();
+    write_trace_with_seed(&mut bytes, &shrunk, None)
+        .map_err(|e| format!("cannot serialize the shrunk race witness: {e}"))?;
+    let race_out = format!("{out}.race.trace");
+    std::fs::write(&race_out, &bytes).map_err(|e| format!("cannot write {race_out}: {e}"))?;
+    println!("minimal race witness written to {race_out}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -146,6 +233,16 @@ fn main() -> ExitCode {
         }
     }
 
+    if opts.race {
+        match race_canary(&opts.out) {
+            Ok(()) => println!("race positive control: lost update caught by PA-C001 alone"),
+            Err(e) => {
+                eprintln!("diff_fuzz: race positive control FAILED — {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
     for i in 0..opts.runs {
         let seed = opts.seed.wrapping_add(i);
         let ops = generate_mc_ops(seed, opts.ops, opts.cores);
@@ -156,6 +253,29 @@ fn main() -> ExitCode {
                 .with_probability(FaultSite::FrameAllocExhausted, 0.02)
         });
         match run_ops(&config, plan.as_ref(), &ops, opts.inject_bug) {
+            Ok(()) if opts.cores > 1 => {
+                // The byte oracle agrees — now the coherence annotation
+                // stream must also carry a race-free happens-before
+                // order. (The replay runs on a clean machine: fault
+                // plans perturb scheduling, not the HB requirement.)
+                match replay_and_analyze(&config, &ops, &format!("seed {seed}")) {
+                    Ok(report) if report.findings.is_empty() => {
+                        println!("seed {seed}: ok ({} ops, PA-C clean)", ops.len());
+                    }
+                    Ok(report) => {
+                        eprintln!(
+                            "diff_fuzz: seed {seed} converged but the concurrency verifier \
+                             found:\n{}",
+                            report.to_human()
+                        );
+                        return ExitCode::from(1);
+                    }
+                    Err(e) => {
+                        eprintln!("diff_fuzz: seed {seed} PA-C replay failed — {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
             Ok(()) => println!("seed {seed}: ok ({} ops)", ops.len()),
             Err(e) => {
                 println!("seed {seed}: DIVERGENCE — {e}");

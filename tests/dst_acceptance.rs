@@ -191,14 +191,27 @@ fn interior_crash_matrix_converges_under_cross_core_interleavings() {
 }
 
 /// Multi-core fuzz streams run clean through the differential harness
-/// (spec refinement after every op), and a snapshot taken mid-stream
-/// round-trips with per-core state intact.
+/// (spec refinement after every op), their coherence annotation
+/// streams replay race-free through the PA-C happens-before verifier,
+/// and a snapshot taken mid-stream round-trips with per-core state
+/// intact.
 #[test]
 fn multicore_fuzz_streams_converge_and_round_trip() {
     let config = SystemConfig { cores: 4, ..SystemConfig::table2_overlay() };
     for seed in [7u64, 21, 42] {
-        run_ops(&config, None, &generate_mc_ops(seed, 250, 4), false)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let ops = generate_mc_ops(seed, 250, 4);
+        run_ops(&config, None, &ops, false).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = page_overlays::analyze::verifier::replay_and_analyze(
+            &config,
+            &ops,
+            &format!("seed {seed}"),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} PA-C replay: {e}"));
+        assert!(
+            report.findings.is_empty(),
+            "seed {seed}: clean multi-core run must be PA-C clean:\n{}",
+            report.to_human()
+        );
     }
     let mut h = SimHarness::new(config).expect("harness");
     for op in &generate_mc_ops(0xC0DE, 250, 4) {

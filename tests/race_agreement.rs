@@ -1,0 +1,115 @@
+//! Agreement between the multi-core machine and the PA-C
+//! happens-before verifier (DESIGN.md §16).
+//!
+//! Two halves, mirroring the differential fuzzer's contract:
+//!
+//! * **Soundness of the clean direction** — a hundred seeded
+//!   multi-core fuzz streams (1/2/4/8 cores) replay through the full
+//!   differential harness and the concurrency verifier with zero PA-C
+//!   findings: the machine's coherence annotation stream really does
+//!   carry a race-free happens-before order, and the verifier does not
+//!   invent races the machine never ran.
+//! * **Sensitivity** — the seeded race canary (one remote OBitVector
+//!   update delivered with its annotation suppressed, functional patch
+//!   intact) is invisible to the byte oracle, the invariant sweep, and
+//!   the refinement spec, and is caught by PA-C001 alone; the witness
+//!   ddmin-shrinks to a small trace that round-trips through the trace
+//!   format and still fires after re-parsing.
+
+use page_overlays::analyze::verifier::{analyze_jsonl, replay_and_analyze, replay_events_jsonl};
+use page_overlays::sim::{
+    generate_mc_ops, read_trace, run_ops, shrink_by, write_trace, SystemConfig, TraceOp, VPN_BASE,
+};
+use page_overlays::types::VirtAddr;
+
+/// The deterministic §4.3.3 victim pattern: core 1 caches the forked
+/// page, core 0's overlaying store broadcasts the single-line update
+/// (the canary's target), core 1 reads the line it never saw created.
+fn canary_ops() -> Vec<TraceOp> {
+    vec![
+        TraceOp::Spawn,
+        TraceOp::Map { proc_sel: 0, start: VPN_BASE, count: 2 },
+        TraceOp::Fork { proc_sel: 0 },
+        TraceOp::OnCore { core_sel: 1 },
+        TraceOp::Load(VirtAddr::new(VPN_BASE << 12)),
+        TraceOp::OnCore { core_sel: 0 },
+        TraceOp::Store(VirtAddr::new(VPN_BASE << 12)),
+        TraceOp::OnCore { core_sel: 1 },
+        TraceOp::Load(VirtAddr::new(VPN_BASE << 12)),
+    ]
+}
+
+/// 25 seeds at each of 1, 2, 4 and 8 cores — 100 streams — replayed
+/// through the harness (byte oracle + invariants + refinement spec
+/// after every op) and then through the concurrency verifier. Zero
+/// findings: no false positives on clean runs at any core count.
+#[test]
+fn hundred_multicore_streams_replay_race_free() {
+    for (ci, cores) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let config = SystemConfig { cores, ..SystemConfig::table2_overlay() };
+        for s in 0..25u64 {
+            let seed = (ci as u64) * 1000 + s;
+            let ops = generate_mc_ops(seed, 100, cores);
+            let report = replay_and_analyze(&config, &ops, &format!("cores {cores} seed {seed}"))
+                .unwrap_or_else(|e| panic!("cores {cores} seed {seed}: replay failed: {e}"));
+            assert!(
+                report.findings.is_empty(),
+                "cores {cores} seed {seed}: clean run must be PA-C clean:\n{}",
+                report.to_human()
+            );
+        }
+    }
+}
+
+/// The canary is caught by the concurrency verifier and by nothing
+/// else: the armed replay returns a journal (meaning the byte oracle,
+/// the per-op invariant sweep, and the refinement spec all stayed
+/// green), and every finding on that journal is PA-C001.
+#[test]
+fn race_canary_is_caught_only_by_the_concurrency_verifier() {
+    let config = SystemConfig { cores: 2, ..SystemConfig::table2_overlay() };
+    let ops = canary_ops();
+    // Unarmed, machine and verifier agree the stream is race-free.
+    run_ops(&config, None, &ops, false).expect("unarmed differential run");
+    let control = replay_and_analyze(&config, &ops, "control").expect("control replay");
+    assert!(control.findings.is_empty(), "{}", control.to_human());
+    // Armed, the functional oracles still see nothing…
+    let journal = replay_events_jsonl(&config, &ops, true)
+        .expect("armed replay must stay functionally green");
+    // …and the happens-before analysis sees exactly the lost edge.
+    let report = analyze_jsonl(&journal, "canary");
+    assert!(
+        report.findings.iter().any(|f| f.rule == "PA-C001"),
+        "the suppressed update annotation went undetected:\n{}",
+        report.to_human()
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule == "PA-C001"),
+        "only the race rule may fire on the canary:\n{}",
+        report.to_human()
+    );
+}
+
+/// Delta debugging under the "PA-C001 still fires" predicate shrinks a
+/// canary stream buried in fuzz noise to a ≤40-op witness that
+/// round-trips through the trace-v3 format and still fires when
+/// re-parsed and re-replayed.
+#[test]
+fn race_canary_shrinks_to_a_replayable_witness() {
+    let config = SystemConfig { cores: 2, ..SystemConfig::table2_overlay() };
+    let mut ops = canary_ops();
+    ops.extend(generate_mc_ops(0xF00D, 60, 2));
+    let fires = |cand: &[TraceOp]| {
+        replay_events_jsonl(&config, cand, true)
+            .map(|j| analyze_jsonl(&j, "witness").findings.iter().any(|f| f.rule == "PA-C001"))
+            .unwrap_or(false)
+    };
+    assert!(fires(&ops), "the buried canary must fire before shrinking");
+    let shrunk = shrink_by(&ops, fires);
+    assert!(shrunk.len() <= 40, "witness stuck at {} ops", shrunk.len());
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &shrunk).expect("serialize witness");
+    let parsed = read_trace(bytes.as_slice()).expect("witness must re-parse");
+    assert_eq!(parsed, shrunk, "trace round-trip must be lossless");
+    assert!(fires(&parsed), "the re-parsed witness must still fire");
+}

@@ -1,0 +1,22 @@
+//! PA-L007 clean counterpart: the same questions answered through the
+//! supported observation surface — trait-routed accessors and per-page
+//! probes, no raw table access. (Linted with a `crates/sim/…` path
+//! label; never compiled.)
+
+fn sweep(machine: &Machine) -> usize {
+    machine
+        .overlay_pages()
+        .iter()
+        .map(|&opn| machine.overlay().resident_lines(opn))
+        .sum()
+}
+
+fn observe(machine: &Machine, asid: Asid, va: VirtAddr) -> (bool, f64) {
+    let pte = machine.os().translate(asid, va).expect("walk");
+    let overlaid = machine
+        .overlay()
+        .obitvec(Opn::encode(asid, va.vpn()))
+        .map(|v| v.contains(va.line_in_page()))
+        .unwrap_or(false);
+    (pte.flags.overlay_enabled && overlaid, machine.overlay().omt_cache().hit_rate())
+}

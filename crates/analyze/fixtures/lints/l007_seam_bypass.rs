@@ -1,0 +1,18 @@
+//! Seeded PA-L007 true positive: backend-generic simulator code that
+//! reaches past the AddressTranslation seam — walking the raw OMT and
+//! constructing translation state of its own. (Linted with a
+//! `crates/sim/…` path label; never compiled.)
+
+fn sweep(machine: &Machine) -> usize {
+    let mut held = 0;
+    for (&opn, entry) in machine.overlay().omt().iter() {
+        held += entry.resident_lines(opn);
+    }
+    held
+}
+
+fn shadow_walk(asid: Asid, va: VirtAddr) -> Pte {
+    let mut os = OsModel::new(VmConfig::default());
+    let table: &PageTable = os.table_for(asid);
+    table.walk(va).expect("walk")
+}

@@ -1,0 +1,146 @@
+//! PA-L007 — sim/mc code stays behind the `AddressTranslation` seam.
+//!
+//! The machine translates through a pluggable backend
+//! (`po_xlate::AddressTranslation`); `crates/sim` and `crates/mc` are
+//! backend-generic consumers. Code there that reaches into the
+//! translation structures directly — walking the raw `Omt`, naming
+//! `PageTable`, or constructing `OsModel`/`OverlayManager` state of its
+//! own — silently assumes the overlay backend and breaks (or worse,
+//! half-works) the moment a rival backend is selected. Observation
+//! stays legal: the read-only `machine.os()` / `machine.overlay()` /
+//! `machine.overlay_pages()` accessors and per-page probes
+//! (`obitvec`, `has_overlay`, `omt_cache`) are the supported surface.
+//!
+//! Deliberate exceptions (e.g. a debugging tool that must dump raw OMT
+//! entries) carry `// po-analyze: allow(PA-L007)` on or above the line.
+
+use super::tokenizer::ScannedFile;
+use crate::findings::{Finding, Report, Severity};
+
+/// The rule identifier.
+pub const RULE: &str = "PA-L007";
+
+/// Source patterns that mean "this code bypasses the translation
+/// seam". `.omt()` is the raw table accessor (the parenthesis keeps
+/// `.omt_cache(` legal); the type names catch direct construction or
+/// manipulation of backend-private structures.
+const MARKERS: [&str; 6] =
+    [".omt()", "PageTable", "Omt::", "HierarchicalOmt", "OsModel::new(", "OverlayManager::new("];
+
+/// Whether `path` (repo-relative, `/`-separated) is backend-generic
+/// simulator code — the scope the seam protects.
+fn is_seam_consumer(path: &str) -> bool {
+    path.starts_with("crates/sim/") || path.starts_with("crates/mc/")
+}
+
+/// Runs the rule over one scanned file.
+pub fn check(path: &str, file: &ScannedFile, report: &mut Report) {
+    if !is_seam_consumer(path) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.allowed(i, RULE) {
+            continue;
+        }
+        let Some(marker) = MARKERS.iter().find(|m| line.contains(*m)) else {
+            continue;
+        };
+        report.push(Finding::new(
+            RULE,
+            Severity::Warn,
+            path,
+            i + 1,
+            format!(
+                "backend-generic code touches translation internals (`{marker}`) instead of \
+                 going through the AddressTranslation trait (po_xlate): direct PageTable/Omt \
+                 access assumes the overlay backend and breaks under any rival selected via \
+                 SystemConfig::backend"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Report {
+        let file = ScannedFile::scan(src);
+        let mut r = Report::new();
+        check(path, &file, &mut r);
+        r
+    }
+
+    #[test]
+    fn raw_omt_walk_in_sim_fires() {
+        let src = "\
+fn sweep(machine: &Machine) {
+    for (&opn, entry) in machine.overlay().omt().iter() {
+        drop((opn, entry));
+    }
+}
+";
+        let rep = run("crates/sim/src/spec_mirror.rs", src);
+        assert_eq!(rep.findings.len(), 1, "{}", rep.to_human());
+        assert_eq!(rep.findings[0].rule, RULE);
+    }
+
+    #[test]
+    fn the_same_source_in_the_backend_crates_is_ignored() {
+        let src = "fn f(m: &OverlayManager) { let _ = m.omt(); }\n";
+        for path in ["crates/xlate/src/lib.rs", "crates/core/src/manager.rs", "crates/vm/src/os.rs"]
+        {
+            assert!(run(path, src).findings.is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn supported_observation_surface_is_clean() {
+        let src = "\
+fn observe(machine: &Machine) {
+    let _ = machine.overlay().obitvec(opn);
+    let _ = machine.overlay().omt_cache().hit_rate();
+    let _ = machine.overlay_pages();
+    let _ = machine.os().translate(asid, va);
+}
+";
+        assert!(run("crates/sim/src/runner.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn direct_state_construction_fires() {
+        for marker in
+            ["OsModel::new(cfg)", "OverlayManager::new(cfg)", "PageTable::new()", "Omt::new()"]
+        {
+            let src = format!("fn f() {{ let s = {marker}; }}\n");
+            let rep = run("crates/mc/src/sched.rs", &src);
+            assert_eq!(rep.findings.len(), 1, "marker {marker}: {}", rep.to_human());
+        }
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "\
+fn dump(machine: &Machine) {
+    // po-analyze: allow(PA-L007)
+    for (&opn, _) in machine.overlay().omt().iter() {}
+}
+";
+        assert!(run("crates/sim/src/debug.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut os = po_vm::OsModel::new(po_vm::VmConfig::default());
+        os.spawn().unwrap();
+    }
+}
+";
+        assert!(run("crates/sim/src/trace_io.rs", src).findings.is_empty());
+    }
+}

@@ -2,29 +2,37 @@
 //! overlay-on-write, across the 15 workloads.
 //!
 //! Usage: `cargo run --release -p po-bench --bin fig8_fork_memory
-//! [--post <instr>] [--warmup <instr>] [--seed <n>] [--shards <n>]`
+//! [--backend <overlay|seg>] [--post <instr>] [--warmup <instr>]
+//! [--seed <n>] [--shards <n>]`
 //!
 //! The paper runs 200 M warmup + 300 M post-fork instructions; defaults
 //! here are scaled down 500x (the generators are rate-parameterized, so
 //! the CoW/OoW ratio — the paper's 53% mean reduction — is stable under
 //! scaling; see DESIGN.md §5). The 30 runs go through the shared shard
 //! pool; the table is identical at any `--shards`.
+//!
+//! `--backend` picks the address-translation backend for *both*
+//! halves of every pair: on `seg` (no overlay support) the OoW half
+//! degrades to classic CoW and the reduction collapses toward 0% —
+//! the comparative-lab control run.
 
-use po_bench::suite::run_fork_suite_pairs;
+use po_bench::suite::run_fork_suite_pairs_on;
 use po_bench::{geomean, human_bytes, Args, ResultTable, ShardPool};
+use po_sim::BackendKind;
 
 fn main() {
     let args = Args::from_env();
     let warmup_instr: u64 = args.get("warmup", 400_000);
     let post_instr: u64 = args.get("post", 600_000);
     let seed: u64 = args.get("seed", 42);
+    let backend: BackendKind = args.get("backend", BackendKind::Overlay);
     let pool = ShardPool::from_args(&args);
 
-    let pairs = run_fork_suite_pairs(&pool, warmup_instr, post_instr, seed, None)
+    let pairs = run_fork_suite_pairs_on(&pool, backend, warmup_instr, post_instr, seed, None)
         .expect("fork suite failed");
 
     let mut table = ResultTable::new(
-        "Figure 8: additional memory after fork (CoW vs OoW)",
+        &format!("Figure 8: additional memory after fork (CoW vs OoW, backend: {backend})"),
         &["benchmark", "type", "cow", "oow", "oow/cow"],
     );
     let mut ratios = Vec::new();
@@ -64,6 +72,10 @@ fn main() {
          (geomean; paper: 53% average reduction).",
         (1.0 - mean) * 100.0
     );
-    let path = table.save_csv("fig8_fork_memory").expect("csv");
+    let csv_name = match backend {
+        BackendKind::Overlay => "fig8_fork_memory".to_string(),
+        other => format!("fig8_fork_memory_{other}"),
+    };
+    let path = table.save_csv(&csv_name).expect("csv");
     println!("CSV written to {}", path.display());
 }

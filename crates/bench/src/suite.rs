@@ -10,7 +10,7 @@
 
 use crate::pool::ShardPool;
 use po_sim::runner::{run_job, JobResult, WorkloadJob};
-use po_sim::{ForkExperimentResult, SystemConfig};
+use po_sim::{BackendKind, ForkExperimentResult, SystemConfig};
 use po_types::PoResult;
 use po_workloads::{spec_suite, WorkloadSpec};
 
@@ -74,7 +74,8 @@ impl ForkPair {
 /// Runs the whole 15-workload suite as CoW/OoW pairs through the pool.
 /// With `telemetry_capacity = Some(n)` every job records into a private
 /// sink of that ring size (for merged exports); job ids are
-/// `2*spec_index` (CoW) and `2*spec_index + 1` (OoW).
+/// `2*spec_index` (CoW) and `2*spec_index + 1` (OoW). Shorthand for
+/// [`run_fork_suite_pairs_on`] with the canonical overlay backend.
 ///
 /// # Errors
 ///
@@ -86,12 +87,38 @@ pub fn run_fork_suite_pairs(
     seed: u64,
     telemetry_capacity: Option<usize>,
 ) -> PoResult<Vec<ForkPair>> {
+    run_fork_suite_pairs_on(
+        pool,
+        BackendKind::Overlay,
+        warmup_instr,
+        post_instr,
+        seed,
+        telemetry_capacity,
+    )
+}
+
+/// [`run_fork_suite_pairs`] with every machine translating through
+/// `backend`. On a backend without overlay support the "oow" half
+/// degrades to classic CoW by construction — the CoW/OoW gap closing
+/// to 1.0 is exactly what the comparative lab measures there.
+///
+/// # Errors
+///
+/// The first machine fault.
+pub fn run_fork_suite_pairs_on(
+    pool: &ShardPool,
+    backend: BackendKind,
+    warmup_instr: u64,
+    post_instr: u64,
+    seed: u64,
+    telemetry_capacity: Option<usize>,
+) -> PoResult<Vec<ForkPair>> {
+    let cow = SystemConfig { backend, ..SystemConfig::table2() };
+    let oow = SystemConfig { backend, ..SystemConfig::table2_overlay() };
     let specs = spec_suite();
     let mut jobs = Vec::with_capacity(specs.len() * 2);
     for (i, spec) in specs.iter().enumerate() {
-        for (half, mode, config) in
-            [(0, "cow", SystemConfig::table2()), (1, "oow", SystemConfig::table2_overlay())]
-        {
+        for (half, mode, config) in [(0, "cow", cow.clone()), (1, "oow", oow.clone())] {
             let mut job = fork_job(
                 (2 * i + half) as u64,
                 format!("fork/{}/{mode}", spec.name),

@@ -14,7 +14,7 @@
 use crate::pool::ShardPool;
 use crate::suite::fork_job;
 use crate::{geomean, suite};
-use po_sim::SystemConfig;
+use po_sim::{BackendKind, SystemConfig};
 use po_sparse::{gen as matrix_gen, CsrMatrix, OverlayMatrix, SpmvTiming, TimedSpmv};
 use po_telemetry::TelemetrySink;
 use po_types::geometry::PAGE_SIZE;
@@ -41,11 +41,9 @@ pub struct SummaryRow {
 
 /// Runs every summarized workload through `pool` and returns one row
 /// each: the §5.1 fork experiment (overlay-on-write) per suite
-/// benchmark, then the overlay and CSR SpMV kernels.
-///
-/// Deterministic *at any shard count*: rows come back in submission
-/// order and every job runs on its own machine, so the same arguments
-/// produce byte-identical JSON whether the pool has 1 worker or 8.
+/// benchmark, then the overlay and CSR SpMV kernels. Shorthand for
+/// [`collect_for_backend`] on the canonical overlay backend — the
+/// variant the checked-in `summary.json` snapshots.
 ///
 /// # Errors
 ///
@@ -56,6 +54,32 @@ pub fn collect(
     post_instr: u64,
     seed: u64,
 ) -> PoResult<Vec<SummaryRow>> {
+    collect_for_backend(pool, BackendKind::Overlay, warmup_instr, post_instr, seed)
+}
+
+/// [`collect`] on an arbitrary address-translation backend: the same
+/// workloads, traces, and row names, with every machine translating
+/// through `backend`. Row names are backend-agnostic so per-backend
+/// summary files compare row-by-row; a backend without overlay support
+/// runs the identical streams under classic CoW (fork rows then report
+/// zero overlay bytes, and the SpMV "overlay" kernel degrades to
+/// page-privatized reads — the cycle gap is the lab's signal).
+///
+/// Deterministic *at any shard count*: rows come back in submission
+/// order and every job runs on its own machine, so the same arguments
+/// produce byte-identical JSON whether the pool has 1 worker or 8.
+///
+/// # Errors
+///
+/// Propagates any machine error from the underlying experiments.
+pub fn collect_for_backend(
+    pool: &ShardPool,
+    backend: BackendKind,
+    warmup_instr: u64,
+    post_instr: u64,
+    seed: u64,
+) -> PoResult<Vec<SummaryRow>> {
+    let config = SystemConfig { backend, ..SystemConfig::table2_overlay() };
     let specs = spec_suite();
     let jobs = specs
         .iter()
@@ -64,7 +88,7 @@ pub fn collect(
             fork_job(
                 i as u64,
                 format!("fork/{}", spec.name),
-                SystemConfig::table2_overlay(),
+                config.clone(),
                 spec,
                 warmup_instr,
                 post_instr,
@@ -107,8 +131,7 @@ pub fn collect(
         |k| match k {
             Kernel::Overlay => {
                 let sink = TelemetrySink::active();
-                let timed =
-                    TimedSpmv::new(SystemConfig::table2_overlay()).with_telemetry(sink.clone());
+                let timed = TimedSpmv::new(config.clone()).with_telemetry(sink.clone());
                 let o = timed.time_overlay(&ovl)?;
                 let hits = sink.counter("omt_cache.hits") as f64;
                 let misses = sink.counter("omt_cache.misses") as f64;
@@ -116,7 +139,7 @@ pub fn collect(
                 Ok((o, rate))
             }
             Kernel::Csr => {
-                let c = TimedSpmv::new(SystemConfig::table2_overlay()).time_csr(&csr)?;
+                let c = TimedSpmv::new(config.clone()).time_csr(&csr)?;
                 Ok((c, 0.0))
             }
         },
@@ -277,6 +300,43 @@ pub fn compare(
     RatchetReport { lines, geomean_ratio }
 }
 
+/// One row of the cross-backend comparison: a freshly measured backend
+/// against a rival's summary file (row names are backend-agnostic, so
+/// rows pair by workload).
+#[derive(Clone, Debug)]
+pub struct BackendComparisonRow {
+    /// Workload name shared by both summaries.
+    pub workload: String,
+    /// Cycles just measured on the selected backend.
+    pub current: u64,
+    /// The rival's cycles for the same workload, if its summary has it.
+    pub rival: Option<u64>,
+    /// `current / rival` when both sides exist.
+    pub ratio: Option<f64>,
+}
+
+/// Pairs fresh per-backend measurements with a rival backend's summary
+/// (as parsed by [`parse_cycles`]), one comparison row per measured
+/// workload, in measurement order.
+#[must_use]
+pub fn compare_backends(
+    current: &[SummaryRow],
+    rival: &[(String, u64)],
+) -> Vec<BackendComparisonRow> {
+    current
+        .iter()
+        .map(|r| {
+            let other = rival.iter().find(|(name, _)| name == &r.workload).map(|&(_, c)| c);
+            BackendComparisonRow {
+                workload: r.workload.clone(),
+                current: r.cycles,
+                rival: other,
+                ratio: other.map(|c| r.cycles as f64 / c as f64),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +375,18 @@ mod tests {
         let bad = compare(&base, &[row("a", 1051), row("b", 960)], 5.0);
         assert!(!bad.pass());
         assert_eq!(bad.lines.iter().filter(|l| l.regressed).count(), 1);
+    }
+
+    #[test]
+    fn backend_comparison_pairs_by_workload() {
+        let current = vec![row("fork/mcf", 900), row("spmv/overlay", 50)];
+        let rival = vec![("fork/mcf".to_string(), 1000)];
+        let cmp = compare_backends(&current, &rival);
+        assert_eq!(cmp.len(), 2);
+        assert_eq!(cmp[0].rival, Some(1000));
+        assert!((cmp[0].ratio.unwrap() - 0.9).abs() < 1e-9);
+        assert_eq!(cmp[1].rival, None);
+        assert!(cmp[1].ratio.is_none());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use po_dram::DramConfig;
 use po_overlay::OverlayConfig;
 use po_tlb::TlbConfig;
 use po_vm::VmConfig;
+use po_xlate::BackendKind;
 
 /// Full system configuration. Defaults reproduce Table 2 of the paper.
 #[derive(Clone, Debug)]
@@ -47,6 +48,11 @@ pub struct SystemConfig {
     /// DRAM-bandwidth token bucket (DDR3-1066, 8 B bus, burst 8 → 4
     /// bus clocks per line). Only exercised with more than one core.
     pub dram_bandwidth_cycles_per_line: u64,
+    /// Which [`AddressTranslation`](po_xlate::AddressTranslation)
+    /// backend the machine translates through. The overlay backend is
+    /// the paper's design; rivals run the same workloads for
+    /// comparison (`--backend` on the bench bins).
+    pub backend: BackendKind,
     /// `true` = stores to shared pages use overlay-on-write;
     /// `false` = classic copy-on-write.
     pub overlay_mode: bool,
@@ -77,6 +83,7 @@ impl SystemConfig {
             l3_banks: 8,
             l3_bank_occupancy: 4,
             dram_bandwidth_cycles_per_line: 4,
+            backend: BackendKind::Overlay,
             overlay_mode: false,
             promote_threshold: 64,
             oms_compaction: true,
@@ -86,6 +93,14 @@ impl SystemConfig {
     /// The Table 2 system with overlay-on-write enabled.
     pub fn table2_overlay() -> Self {
         Self { overlay_mode: true, ..Self::table2() }
+    }
+
+    /// Whether overlay semantics are in effect: overlay mode is on
+    /// *and* the selected backend implements overlays. A backend
+    /// without them (e.g. `seg`) degrades every divergence to classic
+    /// page-granular copy-on-write, whatever `overlay_mode` says.
+    pub fn overlay_semantics(&self) -> bool {
+        self.overlay_mode && self.backend.supports_overlays()
     }
 }
 

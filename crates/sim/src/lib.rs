@@ -67,6 +67,7 @@ pub use config::{hardware_cost, HardwareCost, SystemConfig};
 pub use core_model::CoreModel;
 pub use machine::Machine;
 pub use oracle::DiffOracle;
+pub use po_xlate::{AddressTranslation, BackendKind};
 pub use runner::{
     run_job, JobKind, JobOutcome, JobResult, SoakOutcome, TraceJob, TraceOutcome, WorkloadJob,
 };

@@ -1,12 +1,19 @@
 //! The full simulated system.
 //!
-//! A [`Machine`] owns every hardware model and the OS model, and
-//! implements the complete memory-access path of Figure 6: TLB (with
-//! OBitVector) → L1/L2/L3 → memory controller (OMT cache → Overlay
-//! Memory Store) → DRAM, plus the two write-divergence mechanisms under
-//! comparison: classic **copy-on-write** (page copy + shootdown on the
-//! critical path, Figure 3a) and **overlay-on-write** (single-line remap
-//! via coherence, Figure 3b).
+//! A [`Machine`] owns every hardware model and a pluggable
+//! [`AddressTranslation`] backend, and implements the complete
+//! memory-access path of Figure 6: TLB (with OBitVector) → L1/L2/L3 →
+//! memory controller (OMT cache → Overlay Memory Store) → DRAM, plus
+//! the two write-divergence mechanisms under comparison: classic
+//! **copy-on-write** (page copy + shootdown on the critical path,
+//! Figure 3a) and **overlay-on-write** (single-line remap via
+//! coherence, Figure 3b).
+//!
+//! All translation — walks, fills, privatization, fork, overlay
+//! promotion — goes through the backend trait, so rival VM designs
+//! (`SystemConfig::backend`) run the same workloads with their own
+//! translation semantics and walk costs (lint PA-L007 keeps it that
+//! way).
 
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
@@ -24,6 +31,7 @@ use po_types::{
 };
 use po_vm::OsModel;
 use po_vm::WriteOutcome;
+use po_xlate::{AddressTranslation, TranslationBackend};
 
 /// Shared-resource contention state, instantiated only with more than
 /// one core (single-core runs never queue, so their timing is exactly
@@ -45,6 +53,34 @@ impl Contention {
     }
 }
 
+/// Why a TLB shootdown broadcast is happening — decides its coherence
+/// annotations and invalidation-counting convention (see
+/// `Machine::broadcast_shootdown`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShootdownCause {
+    /// OS-driven overlay promotion (reclaim, explicit commit/discard).
+    OsPromotion,
+    /// OS-driven OMS compaction moved the page's segment.
+    OsCompaction,
+    /// A core's CoW fault remapped the page.
+    CowRemap,
+    /// A core's overlaying write crossed the promotion threshold.
+    CorePromotion,
+}
+
+impl ShootdownCause {
+    /// Promotions announce themselves with a `CohPromote` annotation.
+    fn is_promotion(self) -> bool {
+        matches!(self, ShootdownCause::OsPromotion | ShootdownCause::CorePromotion)
+    }
+
+    /// OS-driven maintenance counts every dropped entry (it has no core
+    /// of its own); core-initiated remaps count remote cores only.
+    fn is_os_driven(self) -> bool {
+        matches!(self, ShootdownCause::OsPromotion | ShootdownCause::OsCompaction)
+    }
+}
+
 /// Memory-consumption baseline recorded by
 /// [`Machine::mark_memory_epoch`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -59,9 +95,11 @@ struct MemoryEpoch {
 #[derive(Debug)]
 pub struct Machine {
     config: SystemConfig,
-    os: OsModel,
+    /// The address-translation backend: OS/translation state plus the
+    /// overlay machinery and the OMS grant ledger, behind the
+    /// [`AddressTranslation`] seam.
+    xlate: TranslationBackend,
     mem: DataStore,
-    overlay: OverlayManager,
     /// Per-core TLBs (index 0 is the core the single-threaded experiments
     /// run on).
     tlbs: Vec<Tlb>,
@@ -74,10 +112,6 @@ pub struct Machine {
     /// `Some` iff more than one core is configured.
     contention: Option<Contention>,
     stats: SimStats,
-    /// Frames granted to the OMS so far (excluded from the "regular
-    /// frames" part of the memory metric; OMS consumption is counted at
-    /// segment granularity instead).
-    oms_frames: u64,
     epoch: MemoryEpoch,
     faults: FaultInjector,
     /// Telemetry handle; clones are distributed to every layer by
@@ -105,7 +139,10 @@ const SNAPSHOT_MAGIC: u32 = 0x504F_534E;
 /// v4: per-core timing models (len-prefixed), shared-resource
 /// contention state on multi-core configurations, and the coherence /
 /// contention counters in `SimStats`.
-const SNAPSHOT_VERSION: u32 = 4;
+/// v5: a translation-backend tag after the config fingerprint, with
+/// the backend's state block (OS model, overlay manager, OMS grant
+/// ledger) serialized contiguously right after it.
+const SNAPSHOT_VERSION: u32 = 5;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -116,9 +153,12 @@ impl Machine {
     /// resources.
     pub fn new(config: SystemConfig) -> PoResult<Self> {
         Ok(Self {
-            os: OsModel::new(config.vm.clone()),
+            xlate: TranslationBackend::new(
+                config.backend,
+                config.overlay.clone(),
+                config.vm.clone(),
+            ),
             mem: DataStore::new(),
-            overlay: OverlayManager::new(config.overlay.clone()),
             tlbs: (0..config.cores.max(1)).map(|_| Tlb::new(config.tlb.clone())).collect(),
             caches: CacheHierarchy::new(config.hierarchy.clone()),
             dram: DramModel::new(config.dram.clone()),
@@ -127,7 +167,6 @@ impl Machine {
                 .collect(),
             contention: (config.cores > 1).then(|| Contention::new(&config)),
             stats: SimStats::default(),
-            oms_frames: 0,
             epoch: MemoryEpoch::default(),
             faults: FaultInjector::none(),
             sink: TelemetrySink::noop(),
@@ -154,9 +193,8 @@ impl Machine {
     }
 
     fn redistribute_telemetry(&mut self) {
-        self.os.set_telemetry(self.sink.clone());
+        self.xlate.set_telemetry(self.sink.clone());
         self.dram.set_telemetry(self.sink.clone());
-        self.overlay.set_telemetry(self.sink.clone());
         self.caches.set_telemetry(self.sink.clone());
         for tlb in &mut self.tlbs {
             tlb.set_telemetry(self.sink.clone());
@@ -171,17 +209,15 @@ impl Machine {
     /// fault check is a single discriminant test on the fast path.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         let inj = FaultInjector::from_plan(plan);
-        self.os.set_fault_injector(inj.clone());
+        self.xlate.set_fault_injector(inj.clone());
         self.dram.set_fault_injector(inj.clone());
-        self.overlay.set_fault_injector(inj.clone());
         self.faults = inj;
     }
 
     /// Overlay statistics with [`OverlayStats::injected_faults`] synced
     /// from the shared injector.
     pub fn overlay_stats(&mut self) -> OverlayStats {
-        self.overlay.sync_injected_faults();
-        self.overlay.stats().clone()
+        self.xlate.overlay_stats()
     }
 
     /// Returns the configuration.
@@ -189,14 +225,24 @@ impl Machine {
         &self.config
     }
 
-    /// Returns the OS model.
-    pub fn os(&self) -> &OsModel {
-        &self.os
+    /// Returns the translation backend (the [`AddressTranslation`] seam).
+    pub fn translation(&self) -> &TranslationBackend {
+        &self.xlate
     }
 
-    /// Returns the overlay manager.
+    /// Returns the OS model (read-only observation).
+    pub fn os(&self) -> &OsModel {
+        self.xlate.os()
+    }
+
+    /// Returns the overlay manager (read-only observation).
     pub fn overlay(&self) -> &OverlayManager {
-        &self.overlay
+        self.xlate.overlay()
+    }
+
+    /// Every page that currently has an overlay, in OPN order.
+    pub fn overlay_pages(&self) -> Vec<Opn> {
+        self.xlate.overlay_pages()
     }
 
     /// Returns core 0's TLB.
@@ -263,7 +309,7 @@ impl Machine {
     ///
     /// Propagates ASID exhaustion.
     pub fn spawn_process(&mut self) -> PoResult<Asid> {
-        self.os.spawn()
+        self.xlate.spawn()
     }
 
     /// Maps `count` writable anonymous pages at `start` for `asid`.
@@ -272,7 +318,7 @@ impl Machine {
     ///
     /// Propagates allocator exhaustion.
     pub fn map_range(&mut self, asid: Asid, start: Vpn, count: u64) -> PoResult<()> {
-        self.os.map_range(asid, start, count, true)
+        self.xlate.map_range(asid, start, count, true)
     }
 
     /// Maps `count` virtual pages at `start` all onto a single shared
@@ -291,11 +337,16 @@ impl Machine {
         start: Vpn,
         count: u64,
     ) -> PoResult<po_types::Ppn> {
-        let zero = self.os.alloc_frame()?;
+        let zero = self.xlate.alloc_frame()?;
         for i in 0..count {
             let vpn = Vpn::new(start.raw() + i);
-            self.os.map_shared_frame(asid, vpn, zero)?;
-            self.os.enable_overlays(asid, vpn)?;
+            self.xlate.map_shared_frame(asid, vpn, zero)?;
+            // Overlay-capable backends expose the pages through the OMT
+            // even in CoW mode (seeded sparse structures resolve through
+            // it); a backend without overlays leaves them plain CoW.
+            if self.xlate.supports_overlays() {
+                self.xlate.protect_for_share(asid, vpn)?;
+            }
         }
         Ok(zero)
     }
@@ -314,9 +365,18 @@ impl Machine {
         line: usize,
         data: po_types::LineData,
     ) -> PoResult<()> {
-        let opn = Opn::encode(asid, vpn);
-        self.overlay.overlaying_write(opn, line, data)?;
-        self.evict_line_reclaiming(opn, line)?;
+        if self.xlate.supports_overlays() {
+            let opn = Opn::encode(asid, vpn);
+            self.xlate.overlaying_write(opn, line, data)?;
+            self.evict_line_reclaiming(opn, line)?;
+        } else {
+            // Page-granular fallback: privatize the shared page (classic
+            // CoW copy) and write the line into the private frame — the
+            // memory-bloat side of the sparse-structure comparison.
+            self.prepare_write_retrying(asid, vpn.base())?;
+            let pte = self.xlate.walk(asid, vpn.base())?;
+            self.mem.write_line(MainMemAddr::new(pte.ppn.line_addr(line).raw()), data);
+        }
         Ok(())
     }
 
@@ -334,13 +394,14 @@ impl Machine {
         // checkpoint-commit step of §5.3.2 ("the overlays are then
         // committed"). Otherwise the new child would read the stale
         // physical page underneath the parent's divergence.
-        if self.config.overlay_mode {
+        let overlay = self.config.overlay_semantics();
+        if overlay {
             let mut overlaid: Vec<Vpn> = self
-                .os
+                .xlate
                 .pages(parent)?
                 .into_iter()
                 .map(|(vpn, _)| vpn)
-                .filter(|&vpn| self.overlay.has_overlay(Opn::encode(parent, vpn)))
+                .filter(|&vpn| self.xlate.has_overlay(Opn::encode(parent, vpn)))
                 .collect();
             // Page tables iterate hash-ordered; materialize in VPN order
             // so frame allocation (and seeded fault plans) reproduce.
@@ -349,20 +410,17 @@ impl Machine {
                 self.materialize_overlay(parent, vpn)?;
             }
         }
-        let child = self.os.fork(parent)?;
-        if self.config.overlay_mode {
-            for (vpn, _) in self.os.pages(parent)? {
-                self.os.enable_overlays(parent, vpn)?;
-                self.os.enable_overlays(child, vpn)?;
+        // The backend rewrites PTE flags and reports which address
+        // spaces now hold stale cached translations; the machine owns
+        // the TLBs and performs the flushes (the backend never touches
+        // them).
+        let out = self.xlate.fork(parent, overlay)?;
+        for asid in &out.flush {
+            for tlb in &mut self.tlbs {
+                tlb.flush_asid(*asid);
             }
         }
-        // fork rewrote PTE flags: cached translations are stale on
-        // every core.
-        for tlb in &mut self.tlbs {
-            tlb.flush_asid(parent);
-            tlb.flush_asid(child);
-        }
-        Ok(child)
+        Ok(out.child)
     }
 
     /// Commits `vpn`'s overlay into a private frame (copy-and-commit when
@@ -376,9 +434,9 @@ impl Machine {
         // The page is privatized but the overlay not yet merged: the
         // commit/reclaim window the DST harness crashes inside.
         self.interior_crash(CrashStage::MidReclaim)?;
-        let pte = self.os.translate(asid, vpn.base())?;
+        let pte = self.xlate.walk(asid, vpn.base())?;
         let frame = MainMemAddr::new(pte.ppn.base().raw());
-        self.overlay.commit(opn, frame, &mut self.mem)?;
+        self.xlate.commit_overlay_to(opn, frame, &mut self.mem)?;
         for l in 0..LINES_PER_PAGE {
             self.caches.invalidate_line(opn.line_addr(l));
         }
@@ -389,8 +447,8 @@ impl Machine {
     /// [`Machine::extra_memory_bytes`] (called at the fork in Figure 8).
     pub fn mark_memory_epoch(&mut self) {
         self.epoch = MemoryEpoch {
-            frames_net: self.os.frames_allocated() - self.oms_frames,
-            overlay_used: self.overlay.overlay_memory_bytes(),
+            frames_net: self.xlate.frames_allocated() - self.xlate.oms_frames(),
+            overlay_used: self.xlate.overlay_memory_bytes(),
         };
     }
 
@@ -399,11 +457,11 @@ impl Machine {
     /// cache-resident dirty overlay lines (line granularity) — the
     /// Figure 8 metric.
     pub fn extra_memory_bytes(&self) -> u64 {
-        let frames_net = self.os.frames_allocated() - self.oms_frames;
+        let frames_net = self.xlate.frames_allocated() - self.xlate.oms_frames();
         let frame_bytes = frames_net.saturating_sub(self.epoch.frames_net) * PAGE_SIZE as u64;
         let overlay_bytes =
-            self.overlay.overlay_memory_bytes().saturating_sub(self.epoch.overlay_used);
-        let resident_bytes = self.overlay.resident_lines() as u64 * LINE_SIZE as u64;
+            self.xlate.overlay_memory_bytes().saturating_sub(self.epoch.overlay_used);
+        let resident_bytes = self.xlate.resident_lines() as u64 * LINE_SIZE as u64;
         frame_bytes + overlay_bytes + resident_bytes
     }
 
@@ -415,22 +473,12 @@ impl Machine {
     ///
     /// Propagates OMS growth failures.
     pub fn flush_overlays(&mut self) -> PoResult<()> {
-        let mut opns: Vec<Opn> = self.overlay.omt().iter().map(|(o, _)| *o).collect();
-        // The OMT is hash-ordered; flush in OPN order so the grant-query
-        // stream (and with it any seeded fault plan) is reproducible.
-        opns.sort_by_key(|o| o.raw());
-        for opn in opns {
+        // overlay_pages is OPN-ordered, so the grant-query stream (and
+        // with it any seeded fault plan) is reproducible.
+        for opn in self.xlate.overlay_pages() {
             let mut last = Ok(());
             for attempt in 0..MAX_ALLOC_ATTEMPTS {
-                let Machine {
-                    ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, ..
-                } = *self;
-                let mut grant = |frames: u64| {
-                    let base = os.grant_oms_chunk(frames)?;
-                    *oms_frames += frames;
-                    Ok(base)
-                };
-                match overlay.evict_all(opn, mem, &mut grant) {
+                match self.xlate.evict_all_of(opn, &mut self.mem) {
                     Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
                         last = Err(e);
                         if attempt + 1 == MAX_ALLOC_ATTEMPTS || !self.relieve_pressure(Some(opn))? {
@@ -463,14 +511,7 @@ impl Machine {
     ) -> PoResult<po_overlay::EvictOutcome> {
         let mut last = Err(PoError::OverlayStoreExhausted);
         for attempt in 0..MAX_ALLOC_ATTEMPTS {
-            let Machine { ref mut os, ref mut mem, ref mut overlay, ref mut oms_frames, .. } =
-                *self;
-            let mut grant = |frames: u64| {
-                let base = os.grant_oms_chunk(frames)?;
-                *oms_frames += frames;
-                Ok(base)
-            };
-            match overlay.evict_line(opn, line, mem, &mut grant) {
+            match self.xlate.evict_line(opn, line, &mut self.mem) {
                 Err(e @ (PoError::OverlayStoreExhausted | PoError::OutOfMemory)) => {
                     last = Err(e);
                     if attempt + 1 == MAX_ALLOC_ATTEMPTS || !self.relieve_pressure(Some(opn))? {
@@ -508,50 +549,74 @@ impl Machine {
     /// Propagates commit failures; candidates whose pages are unmapped or
     /// cannot be privatized are skipped, not errors.
     pub fn recover_overlay_memory(&mut self, exempt: Option<Opn>) -> PoResult<u64> {
-        self.overlay.note_alloc_retry();
+        self.xlate.note_alloc_retry();
         let mut freed = 0u64;
-        for opn in self.overlay.reclaim_candidates(exempt) {
+        for opn in self.xlate.reclaim_candidates(exempt) {
             let (asid, vpn) = opn.decode();
             // Privatize the frame first: committing onto a still-shared
             // page would leak the divergence to the other sharers. A page
             // that is gone or cannot be copied is skipped.
-            if self.os.prepare_write(asid, vpn.base(), &mut self.mem).is_err() {
+            if self.xlate.privatize(asid, vpn.base(), &mut self.mem).is_err() {
                 continue;
             }
             self.interior_crash(CrashStage::MidReclaim)?;
-            let pte = self.os.translate(asid, vpn.base())?;
+            let pte = self.xlate.walk(asid, vpn.base())?;
             let frame = MainMemAddr::new(pte.ppn.base().raw());
-            freed += self.overlay.collapse_overlay(opn, frame, &mut self.mem)?;
+            freed += self.xlate.collapse_overlay(opn, frame, &mut self.mem)?;
             // The overlay address space for this page is dead: drop stale
             // cache lines and cached translations everywhere.
             for l in 0..LINES_PER_PAGE {
                 self.caches.invalidate_line(opn.line_addr(l));
             }
-            let multi = self.tlbs.len() > 1;
-            if multi {
-                self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
-                self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
-            }
-            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-                if tlb.shootdown(asid, vpn) && multi {
-                    self.stats.coherence_invalidations.inc();
-                }
-                if multi && i != 0 {
-                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                        core: 0,
-                        from: i as u32,
-                        opn: opn.raw(),
-                    });
-                }
-            }
-            if multi {
-                self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
-            }
+            self.broadcast_shootdown(0, asid, vpn, ShootdownCause::OsPromotion);
             if freed > 0 {
                 break;
             }
         }
         Ok(freed)
+    }
+
+    /// One all-core TLB shootdown broadcast with its coherence
+    /// annotations — the single implementation behind every remap path
+    /// (reclaim, compaction, commit/discard promotion, CoW, threshold
+    /// promotion).
+    ///
+    /// `core` is the initiating core (0 for OS-driven maintenance).
+    /// The [`ShootdownCause`] decides two accounting details the paths
+    /// have always differed on: whether a `CohPromote` annotation
+    /// precedes the broadcast, and whether the initiating core's own
+    /// dropped entry counts as a coherence invalidation (OS-driven
+    /// paths count it; core-initiated remaps count remote cores only).
+    /// Straggler-ack latency stays with the callers that model it.
+    fn broadcast_shootdown(&mut self, core: usize, asid: Asid, vpn: Vpn, cause: ShootdownCause) {
+        let opn = Opn::encode(asid, vpn);
+        let multi = self.tlbs.len() > 1;
+        if multi {
+            if cause.is_promotion() {
+                self.sink.emit(|| TelemetryEvent::CohPromote { core: core as u32, opn: opn.raw() });
+            }
+            self.sink
+                .emit(|| TelemetryEvent::CohShootdownBegin { core: core as u32, opn: opn.raw() });
+        }
+        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
+            let dropped = tlb.shootdown(asid, vpn);
+            let counted =
+                if cause.is_os_driven() { dropped && multi } else { dropped && i != core };
+            if counted {
+                self.stats.coherence_invalidations.inc();
+            }
+            if multi && i != core {
+                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
+                    core: core as u32,
+                    from: i as u32,
+                    opn: opn.raw(),
+                });
+            }
+        }
+        if multi {
+            self.sink
+                .emit(|| TelemetryEvent::CohShootdownEnd { core: core as u32, opn: opn.raw() });
+        }
     }
 
     /// Runs one live OMS compaction pass (§4.4.2): the overlay manager
@@ -570,28 +635,10 @@ impl Machine {
         if !self.config.oms_compaction {
             return Ok(po_overlay::CompactionOutcome::default());
         }
-        let (outcome, moved) = self.overlay.compact_store(&mut self.mem)?;
-        let multi = self.tlbs.len() > 1;
+        let (outcome, moved) = self.xlate.compact_store(&mut self.mem)?;
         for opn in moved {
             let (asid, vpn) = opn.decode();
-            if multi {
-                self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
-            }
-            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-                if tlb.shootdown(asid, vpn) && multi {
-                    self.stats.coherence_invalidations.inc();
-                }
-                if multi && i != 0 {
-                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                        core: 0,
-                        from: i as u32,
-                        opn: opn.raw(),
-                    });
-                }
-            }
-            if multi {
-                self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
-            }
+            self.broadcast_shootdown(0, asid, vpn, ShootdownCause::OsCompaction);
         }
         self.stats.compactions.inc();
         Ok(outcome)
@@ -603,7 +650,7 @@ impl Machine {
     fn prepare_write_retrying(&mut self, asid: Asid, va: VirtAddr) -> PoResult<WriteOutcome> {
         let mut last = Err(PoError::OutOfMemory);
         for attempt in 0..MAX_ALLOC_ATTEMPTS {
-            match self.os.prepare_write(asid, va, &mut self.mem) {
+            match self.xlate.privatize(asid, va, &mut self.mem) {
                 Err(PoError::OutOfMemory) => {
                     last = Err(PoError::OutOfMemory);
                     if attempt + 1 == MAX_ALLOC_ATTEMPTS
@@ -628,13 +675,7 @@ impl Machine {
     ///
     /// [`PoError::Corrupted`] naming the violated invariant.
     pub fn verify_invariants(&self) -> PoResult<()> {
-        self.overlay.verify_invariants()?;
-        if self.overlay.store().bytes_managed() != self.oms_frames * PAGE_SIZE as u64 {
-            return Err(PoError::Corrupted(
-                "OMS managed bytes disagree with the frames granted by the OS",
-            ));
-        }
-        Ok(())
+        self.xlate.verify()
     }
 
     // ------------------------------------------------------------------
@@ -653,9 +694,9 @@ impl Machine {
         w.put_u32(SNAPSHOT_MAGIC);
         w.put_u32(SNAPSHOT_VERSION);
         w.put_u64(fingerprint64(&format!("{:?}", self.config)));
-        self.os.encode_snapshot(&mut w);
+        w.put_u8(self.config.backend.tag());
+        self.xlate.encode_snapshot(&mut w);
         self.mem.encode_snapshot(&mut w);
-        self.overlay.encode_snapshot(&mut w);
         w.put_len(self.tlbs.len());
         for tlb in &self.tlbs {
             tlb.encode_snapshot(&mut w);
@@ -671,7 +712,6 @@ impl Machine {
             c.dram_bw.encode_snapshot(&mut w);
         }
         self.stats.encode_snapshot(&mut w);
-        w.put_u64(self.oms_frames);
         w.put_u64(self.epoch.frames_net);
         w.put_u64(self.epoch.overlay_used);
         self.faults.encode_snapshot(&mut w);
@@ -701,9 +741,15 @@ impl Machine {
         if r.get_u64()? != fingerprint64(&format!("{:?}", self.config)) {
             return Err(PoError::Corrupted("snapshot built under a different configuration"));
         }
-        let os = po_vm::OsModel::decode_snapshot(&mut r)?;
+        if r.get_u8()? != self.config.backend.tag() {
+            return Err(PoError::Corrupted("snapshot built under a different translation backend"));
+        }
+        let xlate = TranslationBackend::decode_snapshot(
+            self.config.backend,
+            self.config.overlay.clone(),
+            &mut r,
+        )?;
         let mem = DataStore::decode_snapshot(&mut r)?;
-        let overlay = OverlayManager::decode_snapshot(self.config.overlay.clone(), &mut r)?;
         let n_tlbs = r.get_len()?;
         if n_tlbs != self.tlbs.len() {
             return Err(PoError::Corrupted("snapshot TLB count disagrees with configuration"));
@@ -738,26 +784,22 @@ impl Machine {
             None
         };
         let stats = SimStats::decode_snapshot(&mut r)?;
-        let oms_frames = r.get_u64()?;
         let epoch = MemoryEpoch { frames_net: r.get_u64()?, overlay_used: r.get_u64()? };
         let faults = FaultInjector::decode_snapshot(&mut r)?;
         r.expect_end()?;
         // All decodes succeeded: commit, then redistribute the restored
         // injector exactly as install_fault_plan does.
-        self.os = os;
+        self.xlate = xlate;
         self.mem = mem;
-        self.overlay = overlay;
         self.tlbs = tlbs;
         self.caches = caches;
         self.dram = dram;
         self.cores = cores;
         self.contention = contention;
         self.stats = stats;
-        self.oms_frames = oms_frames;
         self.epoch = epoch;
-        self.os.set_fault_injector(faults.clone());
+        self.xlate.set_fault_injector(faults.clone());
         self.dram.set_fault_injector(faults.clone());
-        self.overlay.set_fault_injector(faults.clone());
         self.faults = faults;
         // Decoded components come up with inert sinks; re-arm them from
         // the machine's (never-serialized) telemetry handle.
@@ -795,7 +837,7 @@ impl Machine {
     /// free on the next overlay destroy) used to prove the refinement
     /// oracle catches real accounting bugs. Test-only by intent.
     pub fn set_inject_oms_leak(&mut self, armed: bool) {
-        self.overlay.set_inject_oms_leak(armed);
+        self.xlate.set_inject_oms_leak(armed);
     }
 
     /// Arms the deliberately-injected race canary: the next single-line
@@ -825,7 +867,7 @@ impl Machine {
     /// [`PoError::NoOverlay`] if the page has no overlay; propagates
     /// allocation failures from the privatization step.
     pub fn commit_overlay(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
-        if !self.overlay.has_overlay(Opn::encode(asid, vpn)) {
+        if !self.xlate.has_overlay(Opn::encode(asid, vpn)) {
             return Err(PoError::NoOverlay(Opn::encode(asid, vpn)));
         }
         self.materialize_overlay(asid, vpn)?;
@@ -834,27 +876,7 @@ impl Machine {
         // overlaid lines to the dead overlay through its stale
         // OBitVector. Promotions are rare (§4.3.4), so a shootdown —
         // symmetric with discard — is the right coherence action.
-        let opn = Opn::encode(asid, vpn);
-        let multi = self.tlbs.len() > 1;
-        if multi {
-            self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
-            self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
-        }
-        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-            if tlb.shootdown(asid, vpn) && multi {
-                self.stats.coherence_invalidations.inc();
-            }
-            if multi && i != 0 {
-                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                    core: 0,
-                    from: i as u32,
-                    opn: opn.raw(),
-                });
-            }
-        }
-        if multi {
-            self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
-        }
+        self.broadcast_shootdown(0, asid, vpn, ShootdownCause::OsPromotion);
         Ok(())
     }
 
@@ -866,30 +888,11 @@ impl Machine {
     /// [`PoError::NoOverlay`] if the page has no overlay.
     pub fn discard_overlay(&mut self, asid: Asid, vpn: Vpn) -> PoResult<()> {
         let opn = Opn::encode(asid, vpn);
-        self.overlay.discard(opn)?;
+        self.xlate.discard_overlay(opn)?;
         for l in 0..LINES_PER_PAGE {
             self.caches.invalidate_line(opn.line_addr(l));
         }
-        let multi = self.tlbs.len() > 1;
-        if multi {
-            self.sink.emit(|| TelemetryEvent::CohPromote { core: 0, opn: opn.raw() });
-            self.sink.emit(|| TelemetryEvent::CohShootdownBegin { core: 0, opn: opn.raw() });
-        }
-        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-            if tlb.shootdown(asid, vpn) && multi {
-                self.stats.coherence_invalidations.inc();
-            }
-            if multi && i != 0 {
-                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                    core: 0,
-                    from: i as u32,
-                    opn: opn.raw(),
-                });
-            }
-        }
-        if multi {
-            self.sink.emit(|| TelemetryEvent::CohShootdownEnd { core: 0, opn: opn.raw() });
-        }
+        self.broadcast_shootdown(0, asid, vpn, ShootdownCause::OsPromotion);
         Ok(())
     }
 
@@ -1021,15 +1024,17 @@ impl Machine {
         let mut entry = match lookup.entry {
             Some(e) => e,
             None => {
-                lat += self.tlbs[core].miss_penalty();
-                self.sink.layer(Layer::Tlb, self.tlbs[core].miss_penalty());
-                let pte = self.os.translate(asid, va)?;
+                // The walk cost is the backend's: the overlay backend
+                // pays the full 4-level radix walk, rivals their own.
+                let walk = self.xlate.walk_cycles(self.tlbs[core].miss_penalty());
+                lat += walk;
+                self.sink.layer(Layer::Tlb, walk);
+                let pte = self.xlate.walk(asid, va)?;
                 let obitvec = if pte.flags.overlay_enabled {
                     // The walk fetches the OBitVector from the OMT
                     // (Figure 6), leaving the entry in the controller's
                     // OMT cache as a side effect.
-                    self.overlay.warm_omt_cache(opn);
-                    self.overlay.obitvec(opn).unwrap_or(OBitVector::EMPTY)
+                    self.xlate.fill_obitvec(opn)
                 } else {
                     OBitVector::EMPTY
                 };
@@ -1056,7 +1061,7 @@ impl Machine {
             if !entry.pte.flags.cow {
                 return Err(PoError::ProtectionViolation(va));
             }
-            if self.config.overlay_mode && entry.pte.flags.overlay_enabled {
+            if self.config.overlay_semantics() && entry.pte.flags.overlay_enabled {
                 if !entry.obitvec.contains(line) {
                     lat +=
                         self.overlaying_write_path(now + lat, core, asid, vpn, line, &mut entry)?;
@@ -1169,13 +1174,13 @@ impl Machine {
         let mut out = Vec::with_capacity(degree);
         let mut line = addr.line_in_page() + 1;
         let mut page_off = 0u64;
-        let mut obv = self.overlay.obitvec(opn).unwrap_or(OBitVector::EMPTY);
+        let mut obv = self.xlate.obitvec(opn).unwrap_or(OBitVector::EMPTY);
         for _ in 0..distance {
             if line >= LINES_PER_PAGE {
                 line = 0;
                 page_off += 1;
                 let next = Opn::encode(asid, Vpn::new(vpn.raw() + page_off));
-                match self.overlay.obitvec(next) {
+                match self.xlate.obitvec(next) {
                     Ok(v) => obv = v,
                     Err(_) => break, // no further overlays to stream
                 }
@@ -1202,11 +1207,15 @@ impl Machine {
             // in the manager with no OMS home (allocation is lazy,
             // §4.3.3). The controller's first touch materializes it via
             // the normal eviction path instead of faulting.
-            if self.overlay.line_needs_materialization(opn, line) {
+            if self.xlate.line_needs_materialization(opn, line) {
                 self.evict_line_reclaiming(opn, line)?;
             }
-            let (mm, omt_hit) = self.overlay.controller_resolve(opn, line, modify)?;
-            let extra = if omt_hit { 0 } else { self.config.overlay.omt_walk_latency };
+            let (mm, omt_hit) = self.xlate.controller_resolve(opn, line, modify)?;
+            let extra = if omt_hit {
+                0
+            } else {
+                self.xlate.omt_walk_cycles(self.config.overlay.omt_walk_latency)
+            };
             if !omt_hit {
                 self.sink.emit(|| TelemetryEvent::OmtWalk { opn: opn.raw(), latency: extra });
             }
@@ -1225,7 +1234,7 @@ impl Machine {
                 let line = wb.line_in_page();
                 match self.evict_line_reclaiming(opn, line) {
                     Ok(_) => {
-                        if let Ok((mm, _)) = self.overlay.controller_resolve(opn, line, true) {
+                        if let Ok((mm, _)) = self.xlate.controller_resolve(opn, line, true) {
                             self.dram.write(now, mm);
                         }
                     }
@@ -1286,34 +1295,11 @@ impl Machine {
                 // round-trip of shootdown latency, correctness unchanged.
                 lat += self.config.tlb_shootdown_latency;
             }
-            let multi = self.tlbs.len() > 1;
-            let opn = Opn::encode(asid, va.vpn());
-            if multi {
-                self.sink.emit(|| TelemetryEvent::CohShootdownBegin {
-                    core: core as u32,
-                    opn: opn.raw(),
-                });
-            }
-            for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-                if tlb.shootdown(asid, va.vpn()) && i != core {
-                    self.stats.coherence_invalidations.inc();
-                }
-                if multi && i != core {
-                    self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                        core: core as u32,
-                        from: i as u32,
-                        opn: opn.raw(),
-                    });
-                }
-            }
-            if multi {
-                self.sink
-                    .emit(|| TelemetryEvent::CohShootdownEnd { core: core as u32, opn: opn.raw() });
-            }
+            self.broadcast_shootdown(core, asid, va.vpn(), ShootdownCause::CowRemap);
         }
 
         // The handler installs the new translation before returning.
-        let pte = self.os.translate(asid, va)?;
+        let pte = self.xlate.walk(asid, va)?;
         let new_entry = TlbEntry { asid, vpn: va.vpn(), pte, obitvec: OBitVector::EMPTY };
         self.tlbs[core].fill(new_entry);
         if pte.flags.overlay_enabled && self.tlbs.len() > 1 {
@@ -1392,7 +1378,7 @@ impl Machine {
             self.stats.coherence_stall_cycles.add(stall);
             self.sink.layer(Layer::Contention, stall);
         }
-        self.overlay.overlaying_write(opn, line, data)?;
+        self.xlate.overlaying_write(opn, line, data)?;
         entry.obitvec.set(line);
         self.stats.overlaying_writes.inc();
 
@@ -1430,7 +1416,7 @@ impl Machine {
         // prepare_write already copied old→new if the frame was shared,
         // so committing the overlay on top of dst yields the merged page
         // (for the sole-owner case src == dst and the copy is implicit).
-        self.overlay.commit(opn, dst, &mut self.mem)?;
+        self.xlate.commit_overlay_to(opn, dst, &mut self.mem)?;
         // Invalidate stale overlay-tagged lines.
         for l in 0..LINES_PER_PAGE {
             self.caches.invalidate_line(opn.line_addr(l));
@@ -1441,29 +1427,9 @@ impl Machine {
             // Straggler ack: pay one extra shootdown round-trip.
             lat += self.config.tlb_shootdown_latency;
         }
+        self.broadcast_shootdown(core, asid, vpn, ShootdownCause::CorePromotion);
         let multi = self.tlbs.len() > 1;
-        if multi {
-            self.sink.emit(|| TelemetryEvent::CohPromote { core: core as u32, opn: opn.raw() });
-            self.sink
-                .emit(|| TelemetryEvent::CohShootdownBegin { core: core as u32, opn: opn.raw() });
-        }
-        for (i, tlb) in self.tlbs.iter_mut().enumerate() {
-            if tlb.shootdown(asid, vpn) && i != core {
-                self.stats.coherence_invalidations.inc();
-            }
-            if multi && i != core {
-                self.sink.emit(|| TelemetryEvent::CohShootdownAck {
-                    core: core as u32,
-                    from: i as u32,
-                    opn: opn.raw(),
-                });
-            }
-        }
-        if multi {
-            self.sink
-                .emit(|| TelemetryEvent::CohShootdownEnd { core: core as u32, opn: opn.raw() });
-        }
-        let pte = self.os.translate(asid, vpn.base())?;
+        let pte = self.xlate.walk(asid, vpn.base())?;
         let new_entry = TlbEntry { asid, vpn, pte, obitvec: OBitVector::EMPTY };
         self.tlbs[core].fill(new_entry);
         if multi && pte.flags.overlay_enabled {
@@ -1496,21 +1462,22 @@ impl Machine {
     ///
     /// Propagates translation/protection failures.
     pub fn poke(&mut self, asid: Asid, va: VirtAddr, value: u8) -> PoResult<()> {
-        let pte = self.os.translate(asid, va)?;
+        let pte = self.xlate.walk(asid, va)?;
         let vpn = va.vpn();
         let opn = Opn::encode(asid, vpn);
         let line = va.line_in_page();
-        let in_overlay = self.overlay.obitvec(opn).map(|v| v.contains(line)).unwrap_or(false);
+        let in_overlay = self.xlate.obitvec(opn).map(|v| v.contains(line)).unwrap_or(false);
         let overlay_write = pte.flags.overlay_enabled
-            && (in_overlay || (self.config.overlay_mode && pte.flags.cow && !pte.flags.writable));
+            && (in_overlay
+                || (self.config.overlay_semantics() && pte.flags.cow && !pte.flags.writable));
         if overlay_write {
             let phys = MainMemAddr::new(pte.ppn.line_addr(line).raw());
-            let mut data = self.overlay.resolve_read(opn, line, phys, &self.mem)?;
+            let mut data = self.xlate.resolve_read(opn, line, phys, &self.mem)?;
             data.as_mut_bytes()[va.line_offset()] = value;
             if in_overlay {
-                self.overlay.write_line(opn, line, data)?;
+                self.xlate.write_overlay_line(opn, line, data)?;
             } else {
-                self.overlay.overlaying_write(opn, line, data)?;
+                self.xlate.overlaying_write(opn, line, data)?;
                 // Functional oracle path: no message is modeled, only the
                 // end state — the timed path accounts the traffic.
                 for tlb in &mut self.tlbs {
@@ -1520,7 +1487,7 @@ impl Machine {
             }
             Ok(())
         } else {
-            self.os.write(asid, va, value, &mut self.mem).map(|_| ())
+            self.xlate.write_byte(asid, va, value, &mut self.mem).map(|_| ())
         }
     }
 
@@ -1530,13 +1497,13 @@ impl Machine {
     ///
     /// Propagates translation failures.
     pub fn peek(&self, asid: Asid, va: VirtAddr) -> PoResult<u8> {
-        let pte = self.os.translate(asid, va)?;
+        let pte = self.xlate.walk(asid, va)?;
         let vpn = va.vpn();
         let opn = Opn::encode(asid, vpn);
         let line = va.line_in_page();
         let phys = MainMemAddr::new(pte.ppn.line_addr(line).raw());
         if pte.flags.overlay_enabled {
-            let data = self.overlay.resolve_read(opn, line, phys, &self.mem)?;
+            let data = self.xlate.resolve_read(opn, line, phys, &self.mem)?;
             Ok(data.as_bytes()[va.line_offset()])
         } else {
             Ok(self.mem.read_line(phys).as_bytes()[va.line_offset()])

@@ -300,7 +300,9 @@ impl SimHarness {
             .unwrap_or(false);
         let overlay_write = pte.flags.overlay_enabled
             && (in_overlay
-                || (self.machine.config().overlay_mode && pte.flags.cow && !pte.flags.writable));
+                || (self.machine.config().overlay_semantics()
+                    && pte.flags.cow
+                    && !pte.flags.writable));
         if overlay_write {
             Route::Delta
         } else {

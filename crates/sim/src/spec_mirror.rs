@@ -41,7 +41,7 @@ impl SpecMirror {
     /// A mirror for a machine built from `config`, with no processes.
     pub fn new(config: &SystemConfig) -> Self {
         let params = SpecParams {
-            overlay_mode: config.overlay_mode,
+            overlay_mode: config.overlay_semantics(),
             promote_threshold: config.promote_threshold,
             min_seg_bytes: config.overlay.min_segment_class.bytes() as u64,
         };
@@ -278,7 +278,7 @@ impl SpecMirror {
             }
         }
         // Every machine overlay must belong to a page the spec knows.
-        for (&opn, _) in machine.overlay().omt().iter() {
+        for opn in machine.overlay_pages() {
             let (asid, vpn) = opn.decode();
             let known = self
                 .pid_of(asid)

@@ -16,7 +16,8 @@
 //!
 //! ```text
 //! diff_fuzz [--seed N] [--runs N] [--ops N] [--cores N] [--cow]
-//!           [--faults] [--inject-bug] [--spec] [--out PATH]
+//!           [--backend overlay|seg] [--faults] [--inject-bug]
+//!           [--spec] [--out PATH]
 //! ```
 //!
 //! * `--seed` — first stream seed (default 1; run `i` uses `seed + i`).
@@ -26,6 +27,10 @@
 //!   than one, streams carry `OnCore` directives so timed ops hop
 //!   between cores and the §4.3.3 coherence paths are in play.
 //! * `--cow` — fuzz the copy-on-write baseline instead of overlay mode.
+//! * `--backend` — address-translation backend to fuzz (default
+//!   `overlay`). A backend without overlay support (`seg`) degrades
+//!   every shared-page store to classic CoW; the byte oracle, the
+//!   invariant sweep, and the refinement spec all follow suit.
 //! * `--faults` — install a PR-1 style fault plan (OMS allocation
 //!   failures, grow refusals, frame exhaustion) seeded per run.
 //! * `--inject-bug` — enable the deliberate test-only divergence (a
@@ -60,7 +65,7 @@ use page_overlays::analyze::verifier::{analyze_jsonl, replay_and_analyze, replay
 use page_overlays::analyze::{self, Verdict, VerifierOptions};
 use page_overlays::sim::{
     generate_mc_ops, run_ops, run_ops_traced, shrink_by, shrink_ops_filtered,
-    write_trace_with_seed, SimHarness, SystemConfig, TraceOp, VPN_BASE,
+    write_trace_with_seed, BackendKind, SimHarness, SystemConfig, TraceOp, VPN_BASE,
 };
 use page_overlays::types::VirtAddr;
 use page_overlays::types::{FaultPlan, FaultSite};
@@ -72,6 +77,7 @@ struct Options {
     ops: usize,
     cores: usize,
     cow: bool,
+    backend: BackendKind,
     faults: bool,
     inject_bug: bool,
     spec: bool,
@@ -86,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         ops: 400,
         cores: 1,
         cow: false,
+        backend: BackendKind::Overlay,
         faults: false,
         inject_bug: false,
         spec: false,
@@ -106,6 +113,9 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--cow" => opts.cow = true,
+            "--backend" => {
+                opts.backend = value("--backend")?.parse().map_err(|e| format!("--backend: {e}"))?
+            }
             "--faults" => opts.faults = true,
             "--inject-bug" => opts.inject_bug = true,
             "--spec" => opts.spec = true,
@@ -221,7 +231,7 @@ fn main() -> ExitCode {
         }
     };
     let base = if opts.cow { SystemConfig::table2() } else { SystemConfig::table2_overlay() };
-    let config = SystemConfig { cores: opts.cores, ..base };
+    let config = SystemConfig { cores: opts.cores, backend: opts.backend, ..base };
 
     if opts.spec {
         match refinement_canary() {

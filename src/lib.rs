@@ -56,6 +56,13 @@ pub use po_tlb as tlb;
 /// overlay manager (the paper's core contribution).
 pub use po_overlay as overlay;
 
+/// Pluggable address-translation backends: the [`AddressTranslation`]
+/// trait, the canonical overlay backend, and its rivals
+/// (`SystemConfig::backend` / `--backend` select one at run time).
+///
+/// [`AddressTranslation`]: po_xlate::AddressTranslation
+pub use po_xlate as xlate;
+
 /// The Table 2 timing simulator and the fork experiment.
 pub use po_sim as sim;
 
@@ -82,3 +89,4 @@ pub use po_sim::{Machine, SystemConfig};
 pub use po_types::{
     Asid, LineData, MainMemAddr, OBitVector, Opn, PhysAddr, PoError, PoResult, Ppn, VirtAddr, Vpn,
 };
+pub use po_xlate::BackendKind;
